@@ -1,0 +1,1 @@
+bench/workloads.ml: Format Printf S4e_asm S4e_cpu

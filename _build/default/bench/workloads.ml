@@ -1,0 +1,313 @@
+(* Benchmark workload programs (assembly, WCET-analyzable).
+
+   Each workload is a small kernel of the kind the QTA paper analyzes:
+   counted loops with constant bounds, terminating in a syscon exit
+   whose status is a checksum.  All loop bounds are inferable by the
+   static analysis, so experiment E4 runs with no annotations. *)
+
+type t = {
+  w_name : string;
+  w_source : string;
+  w_expect : int option;  (** expected exit status, when known *)
+  w_annotations : (string * int) list;
+      (** loop bounds the analyzer cannot infer (loops containing
+          calls: the context-insensitive analysis assumes calls clobber
+          every register, so call-carrying counters need annotations) *)
+}
+
+let exit_with reg = Printf.sprintf {|
+  li   t6, 0x00100000
+  sw   %s, 0(t6)
+  ebreak
+|} reg
+
+(* Bubble sort, classic constant-bound variant: both loops always run
+   the full n-1 passes. *)
+let bubble_sort =
+  { w_name = "sort";
+    w_expect = Some 1;
+    w_annotations = [];
+    w_source =
+      {|
+_start:
+  li   s0, 0            # i
+  li   s1, 15           # n - 1
+outer:
+  li   s2, 0            # j
+inner:
+  la   a0, data
+  slli a1, s2, 2
+  add  a0, a0, a1
+  lw   a2, 0(a0)
+  lw   a3, 4(a0)
+  ble  a2, a3, no_swap
+  sw   a3, 0(a0)
+  sw   a2, 4(a0)
+no_swap:
+  addi s2, s2, 1
+  blt  s2, s1, inner
+  addi s0, s0, 1
+  blt  s0, s1, outer
+  # verify sortedness: a0 = 1 if sorted
+  li   a0, 1
+  li   s2, 0
+check:
+  la   a1, data
+  slli a2, s2, 2
+  add  a1, a1, a2
+  lw   a3, 0(a1)
+  lw   a4, 4(a1)
+  ble  a3, a4, ok
+  li   a0, 0
+ok:
+  addi s2, s2, 1
+  blt  s2, s1, check
+|}
+      ^ exit_with "a0"
+      ^ {|
+  .data
+data:
+  .word 14, 3, 9, 1, 12, 7, 15, 2, 8, 11, 4, 13, 6, 10, 5, 16
+|} }
+
+(* 6x6 integer matrix multiply, checksum of the product. *)
+let matmul =
+  { w_name = "matmul";
+    w_expect = None;
+    w_annotations = [];
+    w_source =
+      {|
+  .equ N, 6
+_start:
+  li   s0, 0            # i
+  li   s3, N
+mm_i:
+  li   s1, 0            # j
+mm_j:
+  li   s2, 0            # k
+  li   a7, 0            # acc
+mm_k:
+  # a[i][k]
+  li   a0, N
+  mul  a1, s0, a0
+  add  a1, a1, s2
+  slli a1, a1, 2
+  la   a2, mat_a
+  add  a2, a2, a1
+  lw   a3, 0(a2)
+  # b[k][j]
+  mul  a4, s2, a0
+  add  a4, a4, s1
+  slli a4, a4, 2
+  la   a5, mat_b
+  add  a5, a5, a4
+  lw   a6, 0(a5)
+  mul  a3, a3, a6
+  add  a7, a7, a3
+  addi s2, s2, 1
+  blt  s2, s3, mm_k
+  # checksum += c[i][j]
+  add  s4, s4, a7
+  addi s1, s1, 1
+  blt  s1, s3, mm_j
+  addi s0, s0, 1
+  blt  s0, s3, mm_i
+|}
+      ^ exit_with "s4"
+      ^ {|
+  .data
+mat_a:
+  .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12
+  .word 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13
+  .word 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14
+mat_b:
+  .word 6, 5, 4, 3, 2, 1, 9, 8, 7, 6, 5, 4
+  .word 5, 4, 3, 2, 1, 9, 8, 7, 6, 5, 4, 3
+  .word 4, 3, 2, 1, 9, 8, 7, 6, 5, 4, 3, 2
+|} }
+
+(* Bit-serial CRC over a 24-byte message (outer loop over bytes, inner
+   constant 8-bit loop). *)
+let crc32 =
+  { w_name = "crc32";
+    w_expect = None;
+    w_annotations = [];
+    w_source =
+      {|
+_start:
+  li   s0, 0            # byte index
+  li   s1, 24           # message length
+  li   a0, -1           # crc
+  li   s3, 0xedb88320   # polynomial
+  li   a4, 8            # bits per byte (loop-invariant bound)
+crc_byte:
+  la   a1, msg
+  add  a1, a1, s0
+  lbu  a2, 0(a1)
+  xor  a0, a0, a2
+  li   s2, 0            # bit counter
+crc_bit:
+  andi a3, a0, 1
+  srli a0, a0, 1
+  beqz a3, crc_noxor
+  xor  a0, a0, s3
+crc_noxor:
+  addi s2, s2, 1
+  blt  s2, a4, crc_bit
+  addi s0, s0, 1
+  blt  s0, s1, crc_byte
+  not  a0, a0
+|}
+      ^ exit_with "a0"
+      ^ {|
+  .data
+msg:
+  .ascii "Scale4Edge RISC-V WCET!!"
+|} }
+
+(* Iterative Fibonacci, fib(24) mod 2^32. *)
+let fib =
+  { w_name = "fib";
+    w_expect = Some 46368;
+    w_annotations = [];
+    w_source =
+      {|
+_start:
+  li   a0, 0
+  li   a1, 1
+  li   s0, 0
+  li   s1, 23
+fib_loop:
+  add  a2, a0, a1
+  mv   a0, a1
+  mv   a1, a2
+  addi s0, s0, 1
+  blt  s0, s1, fib_loop
+|}
+      ^ exit_with "a1" }
+
+(* Linear search with an early exit; the counter exit bounds the loop
+   even though the match exit is data-dependent. *)
+let search =
+  { w_name = "search";
+    w_expect = Some 21;
+    w_annotations = [];
+    w_source =
+      {|
+_start:
+  li   s0, 0
+  li   s1, 32
+  li   s2, 77           # needle
+  li   a0, -1
+find:
+  la   a1, haystack
+  slli a2, s0, 2
+  add  a1, a1, a2
+  lw   a3, 0(a1)
+  beq  a3, s2, found
+  addi s0, s0, 1
+  blt  s0, s1, find
+  j    done
+found:
+  mv   a0, s0
+done:
+|}
+      ^ exit_with "a0"
+      ^ {|
+  .data
+haystack:
+  .word 12, 4, 91, 33, 7, 1, 55, 60, 18, 29, 41, 3, 99, 14, 76, 8
+  .word 27, 83, 5, 64, 11, 77, 2, 38, 50, 9, 100, 45, 71, 23, 88, 6
+|} }
+
+(* A branchy instruction mix used as the E5/E9 throughput workload:
+   iterations of mixed ALU / memory / branch work. *)
+let mix =
+  { w_name = "mix";
+    w_expect = None;
+    w_annotations = [];
+    w_source =
+      {|
+_start:
+  li   s0, 0
+  li   s1, 2000         # iterations
+  li   a0, 0x12345678
+  la   s2, scratch
+mix_loop:
+  andi a1, s0, 63
+  slli a2, a1, 2
+  add  a3, s2, a2
+  xor  a0, a0, s0
+  slli a4, a0, 13
+  xor  a0, a0, a4
+  srli a4, a0, 17
+  xor  a0, a0, a4
+  sw   a0, 0(a3)
+  lw   a5, 0(a3)
+  add  a0, a0, a5
+  andi a6, s0, 7
+  bnez a6, mix_skip
+  addi a0, a0, 100
+mix_skip:
+  addi s0, s0, 1
+  blt  s0, s1, mix_loop
+|}
+      ^ exit_with "a0"
+      ^ {|
+  .data
+scratch:
+  .space 256
+|} }
+
+(* A call-graph-shaped workload: the WCET of main must accumulate the
+   callees' bounds through two call levels. *)
+let calls =
+  { w_name = "calls";
+    w_expect = Some 3906;
+    w_annotations = [ ("main_loop", 6) ];
+    w_source =
+      {|
+_start:
+  li   sp, 0x80040000
+  li   s0, 0
+  li   s1, 5
+  li   a0, 1
+main_loop:
+  call scale_and_mix
+  addi s0, s0, 1
+  blt  s0, s1, main_loop
+|}
+      ^ exit_with "a0"
+      ^ {|
+# a0 <- mix(5 * a0)
+scale_and_mix:
+  addi sp, sp, -8
+  sw   ra, 0(sp)
+  li   a1, 5
+  mul  a0, a0, a1
+  call mix_in
+  lw   ra, 0(sp)
+  addi sp, sp, 8
+  ret
+mix_in:
+  addi a0, a0, 1
+  ret
+|} }
+
+let all = [ bubble_sort; matmul; crc32; fib; search; calls ]
+
+let program w = S4e_asm.Assembler.assemble_exn w.w_source
+
+let validate w =
+  let p = program w in
+  let m = S4e_cpu.Machine.create () in
+  S4e_asm.Program.load_machine p m;
+  match (S4e_cpu.Machine.run m ~fuel:10_000_000, w.w_expect) with
+  | S4e_cpu.Machine.Exited got, Some want when got <> want ->
+      failwith
+        (Printf.sprintf "workload %s: expected %d, got %d" w.w_name want got)
+  | S4e_cpu.Machine.Exited _, _ -> ()
+  | stop, _ ->
+      failwith
+        (Format.asprintf "workload %s did not exit: %a" w.w_name
+           S4e_cpu.Machine.pp_stop_reason stop)

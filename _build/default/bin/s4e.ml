@@ -1,0 +1,433 @@
+(* The Scale4Edge ecosystem command-line front end.
+
+   One subcommand per flow: run / dis / cfg / wcet / qta-export /
+   coverage / fault / torture / bmi.  Each subcommand is a thin shell
+   over the s4e_core API so everything it does is also available as a
+   library call. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Accept either assembly source or a binary image (by magic). *)
+let assemble_file path =
+  let content = read_file path in
+  if String.length content >= 4 && String.sub content 0 4 = "S4EP" then
+    match S4e_asm.Program.of_bytes content with
+    | Ok p -> p
+    | Error m ->
+        Format.eprintf "%s: malformed image: %s@." path m;
+        exit 1
+  else
+    match S4e_asm.Assembler.assemble content with
+    | Ok p -> p
+    | Error e ->
+        Format.eprintf "%s: %a@." path S4e_asm.Assembler.pp_error e;
+        exit 1
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.s"
+         ~doc:"Assembly source file.")
+
+let fuel_arg =
+  Arg.(value & opt int 10_000_000 & info [ "fuel" ] ~docv:"N"
+         ~doc:"Maximum instructions to execute.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+(* ---------------- run ---------------- *)
+
+let run_cmd =
+  let trace_arg =
+    Arg.(value & opt (some int) None & info [ "trace" ] ~docv:"N"
+           ~doc:"Print the last N executed instructions and control-flow \
+                 statistics after the run.")
+  in
+  let input_arg =
+    Arg.(value & opt (some string) None & info [ "input" ] ~docv:"BYTES"
+           ~doc:"Bytes to feed into the UART receive queue before running.")
+  in
+  let cache_arg =
+    Arg.(value & flag & info [ "cache-stats" ]
+           ~doc:"Model 4 KiB 2-way I/D caches and report hit rates.")
+  in
+  let action file fuel trace input cache_stats =
+    let p = assemble_file file in
+    let m = S4e_cpu.Machine.create () in
+    let tracer =
+      Option.map
+        (fun depth -> S4e_cpu.Tracer.attach m.S4e_cpu.Machine.hooks ~depth)
+        trace
+    in
+    let caches =
+      if cache_stats then Some (S4e_cpu.Cache_model.attach m) else None
+    in
+    S4e_asm.Program.load_machine p m;
+    (match input with
+    | Some s -> S4e_soc.Uart.feed m.S4e_cpu.Machine.uart s
+    | None -> ());
+    let stop = S4e_cpu.Machine.run m ~fuel in
+    print_string (S4e_cpu.Machine.uart_output m);
+    Format.printf "@.-- %a; %d instructions, %d cycles@."
+      S4e_cpu.Machine.pp_stop_reason stop
+      (S4e_cpu.Machine.instret m) (S4e_cpu.Machine.cycles m);
+    (match caches with
+    | None -> ()
+    | Some c ->
+        let pr name (s : S4e_cpu.Cache_model.stats) =
+          Format.printf "%s: %d accesses, %.1f%% hits@." name
+            s.S4e_cpu.Cache_model.st_accesses
+            (100.0 *. S4e_cpu.Cache_model.hit_rate s)
+        in
+        pr "icache" (S4e_cpu.Cache_model.icache_stats c);
+        pr "dcache" (S4e_cpu.Cache_model.dcache_stats c));
+    match tracer with
+    | None -> ()
+    | Some t ->
+        let s = S4e_cpu.Tracer.stats t in
+        Format.printf "trace tail:@.%a" S4e_cpu.Tracer.pp_tail t;
+        Format.printf
+          "branches: %d (%d taken), calls: %d, returns: %d@."
+          s.S4e_cpu.Tracer.st_branches s.S4e_cpu.Tracer.st_taken
+          s.S4e_cpu.Tracer.st_calls s.S4e_cpu.Tracer.st_returns
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Assemble and execute a program on the virtual prototype.")
+    Term.(const action $ file_arg $ fuel_arg $ trace_arg $ input_arg $ cache_arg)
+
+(* ---------------- mutate ---------------- *)
+
+let mutate_cmd =
+  let tests_arg =
+    Arg.(value & opt_all string [] & info [ "test"; "t" ] ~docv:"BYTES"
+           ~doc:"A test stimulus: bytes fed to the UART (repeatable). With \
+                 no tests, one empty-input test is used.")
+  in
+  let ops_arg =
+    Arg.(value & opt (some string) None & info [ "operators" ] ~docv:"OPS"
+           ~doc:"Comma-separated operator subset (AOR,ROR,COR,SOR,SDL).")
+  in
+  let survivors_arg =
+    Arg.(value & flag & info [ "survivors" ]
+           ~doc:"List every surviving mutant.")
+  in
+  let action file tests ops survivors fuel =
+    let p = assemble_file file in
+    let operators =
+      match ops with
+      | None -> S4e_mutation.Mutop.all
+      | Some s ->
+          String.split_on_char ',' s
+          |> List.filter_map (fun name ->
+                 List.find_opt
+                   (fun op ->
+                     String.uppercase_ascii name = S4e_mutation.Mutop.name op)
+                   S4e_mutation.Mutop.all)
+    in
+    let mutants = S4e_mutation.Mutant.generate ~operators p in
+    let tests =
+      match tests with
+      | [] -> [ S4e_mutation.Score.test ~fuel ~name:"t0" "" ]
+      | l ->
+          List.mapi
+            (fun i input ->
+              S4e_mutation.Score.test ~fuel
+                ~name:(Printf.sprintf "t%d" i)
+                input)
+            l
+    in
+    let results = S4e_mutation.Score.run p ~tests ~mutants in
+    let s = S4e_mutation.Score.summarize results in
+    Format.printf "%a@." S4e_mutation.Score.pp_score s;
+    if survivors then
+      List.iter
+        (fun m -> Format.printf "survived: %s@." (S4e_mutation.Mutant.describe m))
+        (S4e_mutation.Score.survivors results)
+  in
+  Cmd.v
+    (Cmd.info "mutate"
+       ~doc:"Binary mutation analysis: score a test set by mutant killing.")
+    Term.(const action $ file_arg $ tests_arg $ ops_arg $ survivors_arg $ fuel_arg)
+
+(* ---------------- asm ---------------- *)
+
+let asm_cmd =
+  let out_arg =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ]
+           ~docv:"OUT.bin" ~doc:"Output image path.")
+  in
+  let action file out =
+    let p = assemble_file file in
+    S4e_asm.Program.save p out;
+    Format.printf "wrote %s (%d bytes of payload, entry 0x%08x)@." out
+      (S4e_asm.Program.size p) p.S4e_asm.Program.entry
+  in
+  Cmd.v
+    (Cmd.info "asm" ~doc:"Assemble a program into a loadable binary image.")
+    Term.(const action $ file_arg $ out_arg)
+
+(* ---------------- dis ---------------- *)
+
+let dis_cmd =
+  let action file =
+    let p = assemble_file file in
+    List.iter
+      (fun l -> Format.printf "%a@." S4e_asm.Disasm.pp_line l)
+      (S4e_asm.Disasm.disassemble_program p)
+  in
+  Cmd.v
+    (Cmd.info "dis" ~doc:"Assemble and disassemble a program.")
+    Term.(const action $ file_arg)
+
+(* ---------------- stats ---------------- *)
+
+let stats_cmd =
+  let action file =
+    let p = assemble_file file in
+    let s = S4e_cfg.Static_stats.analyze p in
+    Format.printf "%a" S4e_cfg.Static_stats.pp s;
+    Format.printf "minimal ISA: %s@."
+      (S4e_isa.Isa_module.isa_string
+         (S4e_cfg.Static_stats.required_modules s))
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Static instruction-set analysis (histograms, register \
+             pressure, minimal ISA).")
+    Term.(const action $ file_arg)
+
+(* ---------------- cfg ---------------- *)
+
+let cfg_cmd =
+  let action file =
+    let p = assemble_file file in
+    let decode = S4e_cfg.Cfg.decoder_of_program p in
+    let cg = S4e_cfg.Callgraph.build ~decode ~entry:p.S4e_asm.Program.entry in
+    List.iter
+      (fun (entry, g) ->
+        Format.printf "function @@ 0x%08x:@.%a@." entry S4e_cfg.Cfg.pp g)
+      cg.S4e_cfg.Callgraph.functions
+  in
+  Cmd.v
+    (Cmd.info "cfg" ~doc:"Reconstruct and print the control-flow graph.")
+    Term.(const action $ file_arg)
+
+(* ---------------- wcet ---------------- *)
+
+let annot_arg =
+  let parse s =
+    match String.index_opt s '=' with
+    | Some i -> (
+        let label = String.sub s 0 i in
+        let v = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt v with
+        | Some b -> Ok (label, b)
+        | None -> Error (`Msg ("bad bound in " ^ s)))
+    | None -> Error (`Msg ("expected LABEL=BOUND, got " ^ s))
+  in
+  let print fmt (l, b) = Format.fprintf fmt "%s=%d" l b in
+  Arg.(value & opt_all (conv (parse, print)) []
+       & info [ "annot"; "a" ] ~docv:"LABEL=BOUND"
+           ~doc:"Loop-bound annotation for the loop whose header carries LABEL.")
+
+let cosim_arg =
+  Arg.(value & flag & info [ "cosim" ]
+         ~doc:"Also run the QTA co-simulation and report the path WCET.")
+
+let wcet_cmd =
+  let action file annotations cosim fuel =
+    let p = assemble_file file in
+    if cosim then
+      match S4e_core.Flows.wcet_flow ~annotations ~fuel p with
+      | Error e ->
+          Format.eprintf "wcet: %s@." (S4e_wcet.Analysis.describe_error e);
+          exit 1
+      | Ok r ->
+          Format.printf "%a" S4e_wcet.Analysis.pp_report
+            r.S4e_core.Flows.wr_report;
+          Format.printf "co-simulation: dynamic=%d path-wcet=%d static=%d (%a)@."
+            r.S4e_core.Flows.wr_dynamic r.S4e_core.Flows.wr_path
+            r.S4e_core.Flows.wr_static S4e_cpu.Machine.pp_stop_reason
+            r.S4e_core.Flows.wr_stop
+    else
+      match S4e_wcet.Analysis.analyze ~annotations p with
+      | Error e ->
+          Format.eprintf "wcet: %s@." (S4e_wcet.Analysis.describe_error e);
+          exit 1
+      | Ok report -> Format.printf "%a" S4e_wcet.Analysis.pp_report report
+  in
+  Cmd.v
+    (Cmd.info "wcet" ~doc:"Static WCET analysis (optionally with QTA co-simulation).")
+    Term.(const action $ file_arg $ annot_arg $ cosim_arg $ fuel_arg)
+
+(* ---------------- qta-export ---------------- *)
+
+let qta_export_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT"
+           ~doc:"Output path (default: stdout).")
+  in
+  let action file annotations out =
+    let p = assemble_file file in
+    match S4e_wcet.Annotated_cfg.of_program ~annotations p with
+    | Error e ->
+        Format.eprintf "qta-export: %s@." (S4e_wcet.Analysis.describe_error e);
+        exit 1
+    | Ok acfg -> (
+        let s = S4e_wcet.Annotated_cfg.to_string acfg in
+        match out with
+        | None -> print_string s
+        | Some path ->
+            let oc = open_out path in
+            output_string oc s;
+            close_out oc)
+  in
+  Cmd.v
+    (Cmd.info "qta-export"
+       ~doc:"Write the WCET-annotated CFG (ait2qta interchange format).")
+    Term.(const action $ file_arg $ annot_arg $ out_arg)
+
+(* ---------------- coverage ---------------- *)
+
+let coverage_cmd =
+  let torture_n =
+    Arg.(value & opt int 5 & info [ "torture-programs" ] ~docv:"N"
+           ~doc:"Number of random torture programs in the third suite.")
+  in
+  let action torture_n =
+    let isa = S4e_cpu.Machine.default_config.S4e_cpu.Machine.isa in
+    let suites =
+      [ ("architectural", S4e_torture.Suites.arch_suite ~isa);
+        ("unit", S4e_torture.Suites.unit_suite ~isa);
+        ("torture",
+         S4e_torture.Suites.torture_suite ~isa
+           ~seeds:(List.init torture_n (fun i -> i + 1))) ]
+    in
+    let reports =
+      List.map
+        (fun (name, progs) -> (name, S4e_core.Flows.coverage_of_suite progs))
+        suites
+    in
+    List.iter
+      (fun (name, rep) ->
+        Format.printf "== %s ==@.%a@." name S4e_coverage.Report.pp rep)
+      reports;
+    let union =
+      List.fold_left
+        (fun acc (_, r) -> S4e_coverage.Report.combine acc r)
+        (S4e_coverage.Report.create ~isa)
+        reports
+    in
+    Format.printf "== unified suite ==@.%a@." S4e_coverage.Report.pp union
+  in
+  Cmd.v
+    (Cmd.info "coverage"
+       ~doc:"Instruction and register coverage of the three test suites.")
+    Term.(const action $ torture_n)
+
+(* ---------------- fault ---------------- *)
+
+let fault_cmd =
+  let mutants_arg =
+    Arg.(value & opt int 100 & info [ "mutants"; "n" ] ~docv:"N"
+           ~doc:"Number of mutants to generate.")
+  in
+  let blind_arg =
+    Arg.(value & flag & info [ "blind" ]
+           ~doc:"Ignore coverage guidance when choosing injection sites.")
+  in
+  let action file mutants seed blind fuel =
+    let p = assemble_file file in
+    let cfg =
+      { S4e_core.Flows.default_fault_config with
+        S4e_core.Flows.ff_seed = seed; ff_mutants = mutants;
+        ff_blind = blind; ff_fuel = fuel }
+    in
+    let r = S4e_core.Flows.fault_flow cfg p in
+    Format.printf "%a@." S4e_fault.Campaign.pp_summary r.S4e_core.Flows.ff_summary;
+    List.iter
+      (fun (f, o) ->
+        if o <> S4e_fault.Campaign.Masked then
+          Format.printf "  %-8s %a@."
+            (S4e_fault.Campaign.outcome_name o)
+            S4e_fault.Fault.pp f)
+      r.S4e_core.Flows.ff_results
+  in
+  Cmd.v
+    (Cmd.info "fault" ~doc:"Coverage-guided bit-flip fault campaign.")
+    Term.(const action $ file_arg $ mutants_arg $ seed_arg $ blind_arg $ fuel_arg)
+
+(* ---------------- torture ---------------- *)
+
+let torture_cmd =
+  let segments_arg =
+    Arg.(value & opt int 20 & info [ "segments" ] ~docv:"N"
+           ~doc:"Number of generated segments.")
+  in
+  let compress_arg =
+    Arg.(value & flag & info [ "rvc" ] ~doc:"Emit compressed encodings.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"OUT.bin"
+           ~doc:"Also save the generated program as a binary image.")
+  in
+  let action seed segments compress out =
+    let cfg =
+      { S4e_torture.Torture.default_config with
+        S4e_torture.Torture.seed; segments; compress }
+    in
+    let p = S4e_torture.Torture.generate cfg in
+    (match out with
+    | Some path -> S4e_asm.Program.save p path
+    | None -> ());
+    let r =
+      S4e_core.Flows.run ~fuel:(S4e_torture.Torture.fuel_bound cfg) p
+    in
+    Format.printf "torture seed=%d: %a; %d instructions@." seed
+      S4e_cpu.Machine.pp_stop_reason r.S4e_core.Flows.rr_stop
+      r.S4e_core.Flows.rr_instret
+  in
+  Cmd.v
+    (Cmd.info "torture" ~doc:"Generate and run a random test program.")
+    Term.(const action $ seed_arg $ segments_arg $ compress_arg $ out_arg)
+
+(* ---------------- bmi ---------------- *)
+
+let bmi_cmd =
+  let n_arg =
+    Arg.(value & opt int 256 & info [ "words" ] ~docv:"N"
+           ~doc:"Input array length in words.")
+  in
+  let action n seed =
+    Format.printf "%-10s %-8s %-8s %s@." "kernel" "base" "bmi" "speedup";
+    List.iter
+      (fun k ->
+        let base = S4e_bmi.Kernels.measure k S4e_bmi.Kernels.Base ~n ~seed in
+        let bmi = S4e_bmi.Kernels.measure k S4e_bmi.Kernels.Bmi ~n ~seed in
+        Format.printf "%-10s %-8d %-8d %.2fx@." k.S4e_bmi.Kernels.k_name
+          base.S4e_bmi.Kernels.m_cycles bmi.S4e_bmi.Kernels.m_cycles
+          (float_of_int base.S4e_bmi.Kernels.m_cycles
+          /. float_of_int bmi.S4e_bmi.Kernels.m_cycles))
+      S4e_bmi.Kernels.all
+  in
+  Cmd.v
+    (Cmd.info "bmi" ~doc:"Cycle comparison of base-ISA vs BMI kernels.")
+    Term.(const action $ n_arg $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "s4e" ~version:"1.0.0"
+      ~doc:"The Scale4Edge RISC-V ecosystem tools."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; asm_cmd; dis_cmd; cfg_cmd; stats_cmd; wcet_cmd;
+            qta_export_cmd; coverage_cmd; fault_cmd; mutate_cmd;
+            torture_cmd; bmi_cmd ]))

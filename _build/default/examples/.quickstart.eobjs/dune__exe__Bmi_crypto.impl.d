@@ -1,0 +1,1 @@
+examples/bmi_crypto.ml: Format List S4e_bmi

@@ -1,0 +1,1 @@
+examples/bmi_crypto.mli:

@@ -1,0 +1,1 @@
+examples/coverage_suites.ml: Format List S4e_core S4e_coverage S4e_cpu S4e_torture String

@@ -1,0 +1,1 @@
+examples/fault_lock_system.ml: Format List S4e_asm S4e_core S4e_cpu S4e_fault S4e_soc

@@ -1,0 +1,1 @@
+examples/periodic_scheduler.ml: Format List Option Printf S4e_asm S4e_cpu S4e_soc S4e_wcet

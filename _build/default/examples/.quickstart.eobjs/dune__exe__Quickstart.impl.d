@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List S4e_asm S4e_cfg S4e_core S4e_cpu

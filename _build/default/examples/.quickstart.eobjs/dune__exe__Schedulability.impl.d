@@ -1,0 +1,1 @@
+examples/schedulability.ml: Format List Option S4e_asm S4e_core S4e_rtos S4e_wcet

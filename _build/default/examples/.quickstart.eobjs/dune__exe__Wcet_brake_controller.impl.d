@@ -1,0 +1,1 @@
+examples/wcet_brake_controller.ml: Format List Printf S4e_asm S4e_core S4e_wcet String

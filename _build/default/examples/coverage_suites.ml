@@ -1,0 +1,51 @@
+(* The coverage experiment (MBMV 2021 / experiment E1): measure the
+   instruction-type and register coverage of three test suites, then of
+   their union — the "unified test suite".
+
+   The published result: individually each suite leaves gaps; combined,
+   the suites reach 100 % GPR+FPR register coverage and 98.7 %
+   instruction-type coverage.  This reproduction shows the same shape;
+   the residual gap here is the deliberately uncovered wfi.
+
+   Run with: dune exec examples/coverage_suites.exe *)
+
+let pct f = 100.0 *. f
+
+let () =
+  let isa = S4e_cpu.Machine.default_config.S4e_cpu.Machine.isa in
+  let suites =
+    [ ("architectural", S4e_torture.Suites.arch_suite ~isa);
+      ("unit", S4e_torture.Suites.unit_suite ~isa);
+      ("torture",
+       S4e_torture.Suites.torture_suite ~isa ~seeds:[ 1; 2; 3; 4; 5 ]) ]
+  in
+  Format.printf "%-16s %-8s %-10s %-8s %-8s %-8s@." "suite" "progs"
+    "instr-type" "GPR" "FPR" "CSR";
+  let reports =
+    List.map
+      (fun (name, progs) ->
+        let rep = S4e_core.Flows.coverage_of_suite progs in
+        Format.printf "%-16s %-8d %9.1f%% %6.1f%% %6.1f%% %6.1f%%@." name
+          (List.length progs)
+          (pct (S4e_coverage.Report.instruction_coverage rep))
+          (pct (S4e_coverage.Report.gpr_coverage rep))
+          (pct (S4e_coverage.Report.fpr_coverage rep))
+          (pct (S4e_coverage.Report.csr_coverage rep));
+        rep)
+      suites
+  in
+  let union =
+    List.fold_left S4e_coverage.Report.combine
+      (S4e_coverage.Report.create ~isa)
+      reports
+  in
+  Format.printf "%-16s %-8s %9.1f%% %6.1f%% %6.1f%% %6.1f%%@." "unified" "-"
+    (pct (S4e_coverage.Report.instruction_coverage union))
+    (pct (S4e_coverage.Report.gpr_coverage union))
+    (pct (S4e_coverage.Report.fpr_coverage union))
+    (pct (S4e_coverage.Report.csr_coverage union));
+  Format.printf "@.instruction types still missing from the union: %s@."
+    (String.concat ", " (S4e_coverage.Report.missed_instructions union));
+  Format.printf
+    "(the paper reports 100%% register and 98.7%% instruction coverage for \
+     its unified suite)@."

@@ -1,0 +1,62 @@
+(* Quickstart: assemble a program, run it on the virtual prototype,
+   inspect its output, and peek at a disassembly and its CFG.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let source = {|
+  # Print a greeting over the UART and exit through the syscon.
+  .equ UART, 0x10000000
+  .equ EXIT, 0x00100000
+
+_start:
+  la   a1, message
+  li   a2, UART
+print_loop:
+  lbu  a0, 0(a1)
+  beqz a0, finished
+  sb   a0, 0(a2)          # transmit one byte
+  addi a1, a1, 1
+  j    print_loop
+finished:
+  li   t0, 6              # compute a tiny result: 6! = 720
+  li   a0, 1
+fact_loop:
+  mul  a0, a0, t0
+  addi t0, t0, -1
+  bgtz t0, fact_loop
+  li   a3, EXIT
+  sw   a0, 0(a3)          # exit with status 720
+  ebreak
+
+  .data
+message:
+  .asciz "Hello from the Scale4Edge virtual prototype!\n"
+|}
+
+let () =
+  (* 1. Assemble. *)
+  let program = S4e_asm.Assembler.assemble_exn source in
+  Format.printf "assembled %d bytes, entry at 0x%08x@."
+    (S4e_asm.Program.size program)
+    program.S4e_asm.Program.entry;
+
+  (* 2. Disassemble the first few instructions. *)
+  Format.printf "@.first instructions:@.";
+  List.iteri
+    (fun i line ->
+      if i < 5 then Format.printf "  %a@." S4e_asm.Disasm.pp_line line)
+    (S4e_asm.Disasm.disassemble_program program);
+
+  (* 3. Run on the default machine (RV32IMFC + Zicsr + BMI, TB cache on). *)
+  let result = S4e_core.Flows.run program in
+  Format.printf "@.uart says: %s" result.S4e_core.Flows.rr_uart;
+  Format.printf "stopped: %a@." S4e_cpu.Machine.pp_stop_reason
+    result.S4e_core.Flows.rr_stop;
+  Format.printf "executed %d instructions in %d model cycles@."
+    result.S4e_core.Flows.rr_instret result.S4e_core.Flows.rr_cycles;
+
+  (* 4. Look at the reconstructed control-flow graph. *)
+  let decode = S4e_cfg.Cfg.decoder_of_program program in
+  let g = S4e_cfg.Cfg.build ~decode ~entry:program.S4e_asm.Program.entry in
+  Format.printf "@.CFG: %d blocks, %d edges@." (S4e_cfg.Cfg.block_count g)
+    (S4e_cfg.Cfg.edge_count g)

@@ -1,0 +1,143 @@
+(* From WCET bounds to a schedulability proof — the full vertical flow.
+
+   A small avionics-flavoured task set lives in one image: an attitude
+   filter, a control law, and a telemetry CRC.  The example
+     1. statically bounds each task with the WCET analyzer,
+     2. cross-checks one bound against the QTA co-simulation,
+     3. runs fixed-priority response-time analysis on the bounds,
+     4. reports the margin to the first deadline miss.
+
+   Run with: dune exec examples/schedulability.exe *)
+
+let image = {|
+_start:
+  ebreak
+
+attitude_filter:
+  la   a0, samples
+  li   a1, 0
+  li   a2, 12
+  li   a3, 0
+af_loop:
+  slli a4, a1, 2
+  add  a5, a0, a4
+  lw   a6, 0(a5)
+  add  a3, a3, a6
+  addi a1, a1, 1
+  blt  a1, a2, af_loop
+  srai a3, a3, 2
+  mret
+
+control_law:
+  li   a0, 0
+  li   a1, 0
+  li   a2, 20
+cl_loop:
+  add  a1, a1, a0
+  srai a3, a1, 3
+  add  a0, a0, a3
+  addi a0, a0, 1
+  addi a2, a2, -1
+  bgtz a2, cl_loop
+  mret
+
+telemetry_crc:
+  li   s0, 0
+  li   s1, 16
+  li   a0, -1
+  li   s3, 0xedb88320
+  li   a4, 8
+tc_byte:
+  la   a1, samples
+  add  a1, a1, s0
+  lbu  a2, 0(a1)
+  xor  a0, a0, a2
+  li   s2, 0
+tc_bit:
+  andi a3, a0, 1
+  srli a0, a0, 1
+  beqz a3, tc_skip
+  xor  a0, a0, s3
+tc_skip:
+  addi s2, s2, 1
+  blt  s2, a4, tc_bit
+  addi s0, s0, 1
+  blt  s0, s1, tc_byte
+  mret
+
+  .data
+samples:
+  .word 310, 250, 180, 90, 410, 240, 160, 200, 120, 330, 280, 150
+|}
+
+let task_periods =
+  [ ("attitude_filter", 900); ("control_law", 3000); ("telemetry_crc", 12000) ]
+
+let () =
+  let program = S4e_asm.Assembler.assemble_exn image in
+
+  (* 1. static bounds per task *)
+  (match S4e_rtos.Rta.of_program program ~tasks:task_periods with
+  | Error m -> failwith m
+  | Ok tasks ->
+      Format.printf "== static WCET bounds ==@.";
+      List.iter
+        (fun tk ->
+          Format.printf "  %-16s C = %4d cycles (period %d)@."
+            tk.S4e_rtos.Rta.tk_name tk.S4e_rtos.Rta.tk_wcet
+            tk.S4e_rtos.Rta.tk_period)
+        tasks;
+
+      (* 2. cross-check the filter's bound against QTA + dynamic run *)
+      let filter_entry =
+        Option.get (S4e_asm.Program.symbol program "attitude_filter")
+      in
+      let filter_view =
+        { program with S4e_asm.Program.entry = filter_entry }
+      in
+      (match S4e_core.Flows.wcet_flow filter_view with
+      | Ok r ->
+          Format.printf
+            "@.== QTA cross-check (attitude_filter) ==@.dynamic %d <= path \
+             %d <= static %d@."
+            r.S4e_core.Flows.wr_dynamic r.S4e_core.Flows.wr_path
+            r.S4e_core.Flows.wr_static;
+          assert (r.S4e_core.Flows.wr_dynamic <= r.S4e_core.Flows.wr_path);
+          assert (r.S4e_core.Flows.wr_path <= r.S4e_core.Flows.wr_static)
+      | Error e ->
+          Format.printf "cross-check failed: %s@."
+            (S4e_wcet.Analysis.describe_error e));
+
+      (* 3. response-time analysis *)
+      let analysis = S4e_rtos.Rta.analyze tasks in
+      Format.printf "@.== response-time analysis ==@.%a" S4e_rtos.Rta.pp
+        analysis;
+
+      (* 4. margin: how far can the filter period shrink? *)
+      let schedulable_at period =
+        let tasks' =
+          List.map
+            (fun tk ->
+              if tk.S4e_rtos.Rta.tk_name = "attitude_filter" then
+                { tk with S4e_rtos.Rta.tk_period = period;
+                  tk_deadline = period }
+              else tk)
+            tasks
+        in
+        (S4e_rtos.Rta.analyze tasks').S4e_rtos.Rta.a_schedulable
+      in
+      let filter =
+        List.find
+          (fun tk -> tk.S4e_rtos.Rta.tk_name = "attitude_filter")
+          tasks
+      in
+      let rec first_miss period =
+        if period <= filter.S4e_rtos.Rta.tk_wcet then period
+        else if schedulable_at period then first_miss (period - 10)
+        else period
+      in
+      let limit = first_miss 900 in
+      Format.printf
+        "@.the filter period can shrink from 900 to ~%d cycles before the \
+         set misses a deadline@."
+        (limit + 10))

@@ -1,0 +1,1 @@
+lib/asm/assembler.ml: Buffer Builder Char Format Hashtbl List Printf Program Result S4e_isa S4e_soc Source String

@@ -1,0 +1,1 @@
+lib/asm/builder.ml: Csr List Option Printf Reg S4e_bits S4e_isa Source

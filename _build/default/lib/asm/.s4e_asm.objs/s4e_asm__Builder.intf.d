@@ -1,0 +1,1 @@
+lib/asm/builder.mli: S4e_isa Source

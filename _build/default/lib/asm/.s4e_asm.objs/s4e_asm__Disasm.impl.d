@@ -1,0 +1,1 @@
+lib/asm/disasm.ml: Format List Printf Program S4e_isa S4e_mem String

@@ -1,0 +1,1 @@
+lib/asm/disasm.mli: Format Program S4e_mem

@@ -1,0 +1,1 @@
+lib/asm/program.ml: Buffer Bytes Char List Printf S4e_cpu S4e_isa S4e_mem S4e_soc String

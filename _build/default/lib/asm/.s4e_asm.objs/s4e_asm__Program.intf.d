@@ -1,0 +1,1 @@
+lib/asm/program.mli: S4e_bits S4e_cpu S4e_isa S4e_mem

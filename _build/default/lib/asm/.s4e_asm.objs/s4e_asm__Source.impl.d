@@ -1,0 +1,1 @@
+lib/asm/source.ml: Buffer Char Format List Printf S4e_isa String

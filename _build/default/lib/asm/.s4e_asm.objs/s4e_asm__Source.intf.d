@@ -1,0 +1,1 @@
+lib/asm/source.mli: Format S4e_isa

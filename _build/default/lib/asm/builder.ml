@@ -1,0 +1,338 @@
+open S4e_isa
+open S4e_isa.Instr
+open Source
+
+exception Build_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Build_error s)) fmt
+
+(* ---------------- operand shape helpers ---------------- *)
+
+let reg = function
+  | Oreg r -> r
+  | o ->
+      fail "expected a register, got %s"
+        (match o with
+        | Ofreg _ -> "an FP register"
+        | Oimm _ -> "an immediate"
+        | Omem _ -> "a memory operand"
+        | Ostr _ -> "a string"
+        | Oreg _ -> assert false)
+
+let freg = function
+  | Ofreg r -> r
+  | Oreg _ -> fail "expected an FP register, got an integer register"
+  | _ -> fail "expected an FP register"
+
+let imm = function
+  | Oimm e -> e
+  | Oreg r -> fail "expected an immediate, got register %s" (Reg.abi_name r)
+  | _ -> fail "expected an immediate"
+
+let mem = function
+  | Omem (off, base) -> (off, base)
+  | Oimm e -> (e, Reg.zero)  (* bare address: offset from x0 *)
+  | _ -> fail "expected a memory operand offset(base)"
+
+let check_signed ~bits what v =
+  if v < -(1 lsl (bits - 1)) || v >= 1 lsl (bits - 1) then
+    fail "%s %d does not fit in %d signed bits" what v bits;
+  v
+
+let check_branch_off v =
+  if v land 1 <> 0 then fail "branch target is not 2-byte aligned";
+  ignore (check_signed ~bits:13 "branch offset" v);
+  v
+
+let check_jal_off v =
+  if v land 1 <> 0 then fail "jump target is not 2-byte aligned";
+  ignore (check_signed ~bits:21 "jump offset" v);
+  v
+
+let check_shamt v =
+  if v < 0 || v > 31 then fail "shift amount %d out of range" v;
+  v
+
+let check_u20 what v =
+  if v < 0 || v >= 1 lsl 20 then fail "%s %d does not fit in 20 bits" what v;
+  v
+
+(* A CSR operand is a name ("mstatus") or a numeric expression. *)
+let csr_of ~eval e =
+  match e with
+  | Sym s -> (
+      match Csr.of_name s with
+      | Some a -> a
+      | None ->
+          let v = eval e in
+          if Csr.valid v then v else fail "bad CSR %s" s)
+  | _ ->
+      let v = eval e in
+      if Csr.valid v then v else fail "bad CSR address 0x%x" v
+
+(* ---------------- mnemonic tables ---------------- *)
+
+let r_ops =
+  [ ("add", ADD); ("sub", SUB); ("sll", SLL); ("slt", SLT); ("sltu", SLTU);
+    ("xor", XOR); ("srl", SRL); ("sra", SRA); ("or", OR); ("and", AND);
+    ("mul", MUL); ("mulh", MULH); ("mulhsu", MULHSU); ("mulhu", MULHU);
+    ("div", DIV); ("divu", DIVU); ("rem", REM); ("remu", REMU);
+    ("andn", ANDN); ("orn", ORN); ("xnor", XNOR); ("rol", ROL); ("ror", ROR);
+    ("min", MIN); ("max", MAX); ("minu", MINU); ("maxu", MAXU);
+    ("bset", BSET); ("bclr", BCLR); ("binv", BINV); ("bext", BEXT) ]
+
+let i_ops =
+  [ ("addi", ADDI); ("slti", SLTI); ("sltiu", SLTIU); ("xori", XORI);
+    ("ori", ORI); ("andi", ANDI) ]
+
+let shift_ops =
+  [ ("slli", SLLI); ("srli", SRLI); ("srai", SRAI); ("rori", RORI);
+    ("bseti", BSETI); ("bclri", BCLRI); ("binvi", BINVI); ("bexti", BEXTI) ]
+
+let unary_ops =
+  [ ("clz", CLZ); ("ctz", CTZ); ("cpop", CPOP); ("sext.b", SEXT_B);
+    ("sext.h", SEXT_H); ("zext.h", ZEXT_H); ("rev8", REV8); ("orc.b", ORC_B) ]
+
+let load_ops = [ ("lb", LB); ("lh", LH); ("lw", LW); ("lbu", LBU); ("lhu", LHU) ]
+let store_ops = [ ("sb", SB); ("sh", SH); ("sw", SW) ]
+
+let branch_ops =
+  [ ("beq", BEQ); ("bne", BNE); ("blt", BLT); ("bge", BGE); ("bltu", BLTU);
+    ("bgeu", BGEU) ]
+
+let csr_ops =
+  [ ("csrrw", CSRRW); ("csrrs", CSRRS); ("csrrc", CSRRC);
+    ("csrrwi", CSRRWI); ("csrrsi", CSRRSI); ("csrrci", CSRRCI) ]
+
+let fp_ops =
+  [ ("fadd.s", FADD); ("fsub.s", FSUB); ("fmul.s", FMUL); ("fdiv.s", FDIV);
+    ("fmin.s", FMIN); ("fmax.s", FMAX); ("fsgnj.s", FSGNJ);
+    ("fsgnjn.s", FSGNJN); ("fsgnjx.s", FSGNJX) ]
+
+let fp_cmp_ops = [ ("feq.s", FEQ); ("flt.s", FLT); ("fle.s", FLE) ]
+
+let amo_ops =
+  [ ("amoswap.w", AMOSWAP); ("amoadd.w", AMOADD); ("amoxor.w", AMOXOR);
+    ("amoand.w", AMOAND); ("amoor.w", AMOOR); ("amomin.w", AMOMIN);
+    ("amomax.w", AMOMAX); ("amominu.w", AMOMINU); ("amomaxu.w", AMOMAXU) ]
+
+let nullary =
+  [ ("fence", Fence); ("fence.i", Fence_i); ("ecall", Ecall);
+    ("ebreak", Ebreak); ("mret", Mret); ("wfi", Wfi) ]
+
+(* Pseudo branches that swap their operands: (pseudo, real). *)
+let swapped_branches =
+  [ ("bgt", BLT); ("ble", BGE); ("bgtu", BLTU); ("bleu", BGEU) ]
+
+(* Pseudo branches against zero: (pseudo, real, zero_first). *)
+let zero_branches =
+  [ ("beqz", BEQ, false); ("bnez", BNE, false); ("bltz", BLT, false);
+    ("bgez", BGE, false); ("blez", BGE, true); ("bgtz", BLT, true) ]
+
+let fits12 v = v >= -2048 && v < 2048
+
+(* Constant folding over symbol-free expressions; used to pick the li
+   expansion without consulting the (pass-dependent) symbol table, so
+   pass 1 and pass 2 always agree. *)
+let rec try_eval_const = function
+  | Num n -> Some n
+  | Sym _ -> None
+  | Neg e -> Option.map (fun v -> -v) (try_eval_const e)
+  | Add (a, b) -> (
+      match (try_eval_const a, try_eval_const b) with
+      | Some x, Some y -> Some (x + y)
+      | _, _ -> None)
+  | Sub (a, b) -> (
+      match (try_eval_const a, try_eval_const b) with
+      | Some x, Some y -> Some (x - y)
+      | _, _ -> None)
+  | Hi _ | Lo _ -> None
+
+let li_size e =
+  match try_eval_const e with Some n when fits12 n -> 4 | Some _ | None -> 8
+
+let hi20 v = ((v + 0x800) lsr 12) land 0xFFFFF
+let lo12 v = S4e_bits.Bits.(to_signed (sext ~width:12 v))
+
+(* ---------------- size computation (pass 1) ---------------- *)
+
+let size_of mnemonic operands =
+  let one = 4 and two = 8 in
+  match (mnemonic, operands) with
+  | "li", [ _; Oimm e ] -> li_size e
+  | "la", [ _; _ ] -> two
+  | _ ->
+      if List.mem_assoc mnemonic r_ops || List.mem_assoc mnemonic i_ops
+         || List.mem_assoc mnemonic amo_ops
+         || List.mem mnemonic [ "lr.w"; "sc.w" ]
+         || List.mem_assoc mnemonic shift_ops
+         || List.mem_assoc mnemonic unary_ops
+         || List.mem_assoc mnemonic load_ops
+         || List.mem_assoc mnemonic store_ops
+         || List.mem_assoc mnemonic branch_ops
+         || List.mem_assoc mnemonic csr_ops
+         || List.mem_assoc mnemonic fp_ops
+         || List.mem_assoc mnemonic fp_cmp_ops
+         || List.mem_assoc mnemonic nullary
+         || List.mem_assoc mnemonic swapped_branches
+         || List.exists (fun (p, _, _) -> p = mnemonic) zero_branches
+         || List.mem mnemonic
+              [ "lui"; "auipc"; "jal"; "jalr"; "flw"; "fsw"; "fsqrt.s";
+                "fcvt.w.s"; "fcvt.wu.s"; "fcvt.s.w"; "fcvt.s.wu"; "fmv.x.w";
+                "fmv.w.x"; "nop"; "mv"; "not"; "neg"; "seqz"; "snez"; "sltz";
+                "sgtz"; "j"; "jr"; "ret"; "call"; "csrr"; "csrw"; "csrs";
+                "csrc"; "fmv.s"; "fabs.s"; "fneg.s" ]
+      then one
+      else fail "unknown mnemonic %S" mnemonic
+
+(* ---------------- building (pass 2) ---------------- *)
+
+let build mnemonic operands ~pc ~eval =
+  let ev e = eval e in
+  let target_off e = ev e - pc in
+  match (mnemonic, operands) with
+  (* real R/I/shift/unary *)
+  | m, [ rd; rs1; rs2 ] when List.mem_assoc m r_ops ->
+      [ Op (List.assoc m r_ops, reg rd, reg rs1, reg rs2) ]
+  | m, [ rd; rs1; i ] when List.mem_assoc m i_ops ->
+      [ Op_imm (List.assoc m i_ops, reg rd, reg rs1,
+                check_signed ~bits:12 "immediate" (ev (imm i))) ]
+  | m, [ rd; rs1; i ] when List.mem_assoc m shift_ops ->
+      [ Shift_imm (List.assoc m shift_ops, reg rd, reg rs1,
+                   check_shamt (ev (imm i))) ]
+  | m, [ rd; rs1 ] when List.mem_assoc m unary_ops ->
+      [ Unary (List.assoc m unary_ops, reg rd, reg rs1) ]
+  (* loads / stores *)
+  | m, [ rd; addr ] when List.mem_assoc m load_ops ->
+      let off, base = mem addr in
+      [ Load (List.assoc m load_ops, reg rd, base,
+              check_signed ~bits:12 "load offset" (ev off)) ]
+  | m, [ src; addr ] when List.mem_assoc m store_ops ->
+      let off, base = mem addr in
+      [ Store (List.assoc m store_ops, reg src, base,
+               check_signed ~bits:12 "store offset" (ev off)) ]
+  (* branches *)
+  | m, [ rs1; rs2; t ] when List.mem_assoc m branch_ops ->
+      [ Branch (List.assoc m branch_ops, reg rs1, reg rs2,
+                check_branch_off (target_off (imm t))) ]
+  | m, [ rs1; rs2; t ] when List.mem_assoc m swapped_branches ->
+      [ Branch (List.assoc m swapped_branches, reg rs2, reg rs1,
+                check_branch_off (target_off (imm t))) ]
+  | m, [ rs1; t ] when List.exists (fun (p, _, _) -> p = m) zero_branches ->
+      let _, op, zero_first =
+        List.find (fun (p, _, _) -> p = m) zero_branches
+      in
+      let off = check_branch_off (target_off (imm t)) in
+      if zero_first then [ Branch (op, Reg.zero, reg rs1, off) ]
+      else [ Branch (op, reg rs1, Reg.zero, off) ]
+  (* jumps *)
+  | "jal", [ t ] -> [ Jal (Reg.ra, check_jal_off (target_off (imm t))) ]
+  | "jal", [ rd; t ] -> [ Jal (reg rd, check_jal_off (target_off (imm t))) ]
+  | "j", [ t ] -> [ Jal (Reg.zero, check_jal_off (target_off (imm t))) ]
+  | "call", [ t ] -> [ Jal (Reg.ra, check_jal_off (target_off (imm t))) ]
+  | "jalr", [ rs1 ] -> [ Jalr (Reg.ra, reg rs1, 0) ]
+  | "jalr", [ rd; Omem (off, base) ] ->
+      [ Jalr (reg rd, base, check_signed ~bits:12 "jalr offset" (ev off)) ]
+  | "jalr", [ rd; rs1; i ] ->
+      [ Jalr (reg rd, reg rs1, check_signed ~bits:12 "jalr offset" (ev (imm i))) ]
+  | "jr", [ rs1 ] -> [ Jalr (Reg.zero, reg rs1, 0) ]
+  | "ret", [] -> [ Jalr (Reg.zero, Reg.ra, 0) ]
+  (* upper immediates *)
+  | "lui", [ rd; i ] -> [ Lui (reg rd, check_u20 "lui immediate" (ev (imm i))) ]
+  | "auipc", [ rd; i ] ->
+      [ Auipc (reg rd, check_u20 "auipc immediate" (ev (imm i))) ]
+  (* system *)
+  | m, [] when List.mem_assoc m nullary -> [ List.assoc m nullary ]
+  | m, [ rd; c; s ] when List.mem_assoc m csr_ops ->
+      let op = List.assoc m csr_ops in
+      let addr = csr_of ~eval (imm c) in
+      let src =
+        match op with
+        | CSRRW | CSRRS | CSRRC -> reg s
+        | CSRRWI | CSRRSI | CSRRCI ->
+            let v = ev (imm s) in
+            if v < 0 || v > 31 then fail "CSR immediate %d out of range" v;
+            v
+      in
+      [ Csr (op, reg rd, addr, src) ]
+  | "csrr", [ rd; c ] -> [ Csr (CSRRS, reg rd, csr_of ~eval (imm c), Reg.zero) ]
+  | "csrw", [ c; s ] -> [ Csr (CSRRW, Reg.zero, csr_of ~eval (imm c), reg s) ]
+  | "csrs", [ c; s ] -> [ Csr (CSRRS, Reg.zero, csr_of ~eval (imm c), reg s) ]
+  | "csrc", [ c; s ] -> [ Csr (CSRRC, Reg.zero, csr_of ~eval (imm c), reg s) ]
+  (* atomics: the address operand is (reg) or offset-0 memory syntax *)
+  | "lr.w", [ rd; addr ] ->
+      let off, base = mem addr in
+      if ev off <> 0 then fail "lr.w takes a plain (reg) address";
+      [ Lr (reg rd, base) ]
+  | "sc.w", [ rd; src; addr ] ->
+      let off, base = mem addr in
+      if ev off <> 0 then fail "sc.w takes a plain (reg) address";
+      [ Sc (reg rd, reg src, base) ]
+  | m, [ rd; src; addr ] when List.mem_assoc m amo_ops ->
+      let off, base = mem addr in
+      if ev off <> 0 then fail "%s takes a plain (reg) address" m;
+      [ Amo (List.assoc m amo_ops, reg rd, reg src, base) ]
+  (* floating point *)
+  | "flw", [ rd; addr ] ->
+      let off, base = mem addr in
+      [ Flw (freg rd, base, check_signed ~bits:12 "load offset" (ev off)) ]
+  | "fsw", [ src; addr ] ->
+      let off, base = mem addr in
+      [ Fsw (freg src, base, check_signed ~bits:12 "store offset" (ev off)) ]
+  | m, [ rd; rs1; rs2 ] when List.mem_assoc m fp_ops ->
+      [ Fp_op (List.assoc m fp_ops, freg rd, freg rs1, freg rs2) ]
+  | m, [ rd; rs1; rs2 ] when List.mem_assoc m fp_cmp_ops ->
+      [ Fp_cmp (List.assoc m fp_cmp_ops, reg rd, freg rs1, freg rs2) ]
+  | "fsqrt.s", [ rd; rs1 ] -> [ Fsqrt (freg rd, freg rs1) ]
+  | "fcvt.w.s", [ rd; rs1 ] -> [ Fcvt_w_s (reg rd, freg rs1, false) ]
+  | "fcvt.wu.s", [ rd; rs1 ] -> [ Fcvt_w_s (reg rd, freg rs1, true) ]
+  | "fcvt.s.w", [ rd; rs1 ] -> [ Fcvt_s_w (freg rd, reg rs1, false) ]
+  | "fcvt.s.wu", [ rd; rs1 ] -> [ Fcvt_s_w (freg rd, reg rs1, true) ]
+  | "fmv.x.w", [ rd; rs1 ] -> [ Fmv_x_w (reg rd, freg rs1) ]
+  | "fmv.w.x", [ rd; rs1 ] -> [ Fmv_w_x (freg rd, reg rs1) ]
+  | "fmv.s", [ rd; rs1 ] ->
+      let s = freg rs1 in
+      [ Fp_op (FSGNJ, freg rd, s, s) ]
+  | "fabs.s", [ rd; rs1 ] ->
+      let s = freg rs1 in
+      [ Fp_op (FSGNJX, freg rd, s, s) ]
+  | "fneg.s", [ rd; rs1 ] ->
+      let s = freg rs1 in
+      [ Fp_op (FSGNJN, freg rd, s, s) ]
+  (* pseudo ALU *)
+  | "nop", [] -> [ Op_imm (ADDI, Reg.zero, Reg.zero, 0) ]
+  | "mv", [ rd; rs ] -> [ Op_imm (ADDI, reg rd, reg rs, 0) ]
+  | "not", [ rd; rs ] -> [ Op_imm (XORI, reg rd, reg rs, -1) ]
+  | "neg", [ rd; rs ] -> [ Op (SUB, reg rd, Reg.zero, reg rs) ]
+  | "seqz", [ rd; rs ] -> [ Op_imm (SLTIU, reg rd, reg rs, 1) ]
+  | "snez", [ rd; rs ] -> [ Op (SLTU, reg rd, Reg.zero, reg rs) ]
+  | "sltz", [ rd; rs ] -> [ Op (SLT, reg rd, reg rs, Reg.zero) ]
+  | "sgtz", [ rd; rs ] -> [ Op (SLT, reg rd, Reg.zero, reg rs) ]
+  (* li / la *)
+  | "li", [ rd; Oimm e ] ->
+      let v = ev e land 0xFFFF_FFFF in
+      if li_size e = 4 then [ Op_imm (ADDI, reg rd, Reg.zero, ev e) ]
+      else
+        let hi = hi20 v and lo = lo12 v in
+        let rd = reg rd in
+        [ Lui (rd, hi); Op_imm (ADDI, rd, rd, lo) ]
+  | "la", [ rd; a ] ->
+      let v = ev (imm a) land 0xFFFF_FFFF in
+      let hi = hi20 v and lo = lo12 v in
+      let rd = reg rd in
+      [ Lui (rd, hi); Op_imm (ADDI, rd, rd, lo) ]
+  | m, ops ->
+      fail "bad operands for %S (%d operands)" m (List.length ops)
+
+let known_mnemonics () =
+  List.map fst r_ops @ List.map fst i_ops @ List.map fst shift_ops
+  @ List.map fst unary_ops @ List.map fst load_ops @ List.map fst store_ops
+  @ List.map fst branch_ops @ List.map fst csr_ops @ List.map fst fp_ops
+  @ List.map fst fp_cmp_ops @ List.map fst nullary
+  @ List.map fst swapped_branches
+  @ List.map (fun (p, _, _) -> p) zero_branches
+  @ [ "lui"; "auipc"; "jal"; "jalr"; "flw"; "fsw"; "fsqrt.s"; "fcvt.w.s";
+      "fcvt.wu.s"; "fcvt.s.w"; "fcvt.s.wu"; "fmv.x.w"; "fmv.w.x"; "nop";
+      "mv"; "not"; "neg"; "seqz"; "snez"; "sltz"; "sgtz"; "j"; "jr"; "ret";
+      "call"; "csrr"; "csrw"; "csrs"; "csrc"; "fmv.s"; "fabs.s"; "fneg.s";
+      "li"; "la" ]

@@ -1,0 +1,40 @@
+type line = { pc : int; raw : int; size : int; text : string }
+
+let disassemble_word w =
+  match S4e_isa.Decode.decode w with
+  | Some i -> S4e_isa.Instr.to_string i
+  | None -> Printf.sprintf ".word 0x%08x" w
+
+let disassemble_range ~mem ?(compressed = true) ~start ~len () =
+  let stop = start + len in
+  let rec go pc acc =
+    if pc >= stop then List.rev acc
+    else
+      let half = S4e_mem.Sparse_mem.read16 mem pc in
+      if half land 0x3 <> 0x3 && compressed then
+        let text =
+          match S4e_isa.Compressed.decode16 half with
+          | Some i -> "c." ^ S4e_isa.Instr.to_string i
+          | None -> Printf.sprintf ".half 0x%04x" half
+        in
+        go (pc + 2) ({ pc; raw = half; size = 2; text } :: acc)
+      else
+        let w = S4e_mem.Sparse_mem.read32 mem pc in
+        go (pc + 4) ({ pc; raw = w; size = 4; text = disassemble_word w } :: acc)
+  in
+  go start []
+
+let disassemble_program p =
+  let mem = S4e_mem.Sparse_mem.create () in
+  Program.load p mem;
+  List.concat_map
+    (fun c ->
+      if c.Program.is_code then
+        disassemble_range ~mem ~start:c.Program.addr
+          ~len:(String.length c.Program.bytes) ()
+      else [])
+    p.Program.chunks
+
+let pp_line fmt l =
+  if l.size = 2 then Format.fprintf fmt "%08x:     %04x  %s" l.pc l.raw l.text
+  else Format.fprintf fmt "%08x: %08x  %s" l.pc l.raw l.text

@@ -1,0 +1,22 @@
+(** Disassembler for loaded images and raw words. *)
+
+type line = {
+  pc : int;
+  raw : int;  (** encoded bits (16 or 32 wide) *)
+  size : int;
+  text : string;  (** rendering, or [".word 0x...."] when undecodable *)
+}
+
+val disassemble_word : int -> string
+(** One 32-bit word, or [".word ..."] if it does not decode. *)
+
+val disassemble_range :
+  mem:S4e_mem.Sparse_mem.t -> ?compressed:bool -> start:int -> len:int ->
+  unit -> line list
+(** Walk [len] bytes from [start], decoding compressed halfwords when
+    [compressed] (default true). *)
+
+val disassemble_program : Program.t -> line list
+(** All code chunks of a program. *)
+
+val pp_line : Format.formatter -> line -> unit

@@ -1,0 +1,174 @@
+type word = int
+
+type chunk = { addr : word; bytes : string; is_code : bool }
+
+type t = {
+  chunks : chunk list;
+  entry : word;
+  symbols : (string * word) list;
+}
+
+let empty = { chunks = []; entry = 0; symbols = [] }
+
+let symbol t name = List.assoc_opt name t.symbols
+
+let code_range t =
+  List.fold_left
+    (fun acc c ->
+      if not c.is_code then acc
+      else
+        let lo = c.addr and hi = c.addr + String.length c.bytes in
+        match acc with
+        | None -> Some (lo, hi)
+        | Some (alo, ahi) -> Some (min alo lo, max ahi hi))
+    None t.chunks
+
+let size t =
+  List.fold_left (fun acc c -> acc + String.length c.bytes) 0 t.chunks
+
+let load t mem =
+  List.iter (fun c -> S4e_mem.Sparse_mem.load_bytes mem c.addr c.bytes) t.chunks
+
+let load_machine t machine =
+  List.iter
+    (fun c -> S4e_cpu.Machine.load_string machine c.addr c.bytes)
+    t.chunks;
+  S4e_cpu.Machine.reset machine ~pc:t.entry
+
+let le32 w =
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr (w land 0xFF));
+  Bytes.set b 1 (Char.chr ((w lsr 8) land 0xFF));
+  Bytes.set b 2 (Char.chr ((w lsr 16) land 0xFF));
+  Bytes.set b 3 (Char.chr ((w lsr 24) land 0xFF));
+  Bytes.to_string b
+
+let le16 w =
+  let b = Bytes.create 2 in
+  Bytes.set b 0 (Char.chr (w land 0xFF));
+  Bytes.set b 1 (Char.chr ((w lsr 8) land 0xFF));
+  Bytes.to_string b
+
+let of_instrs ?(base = S4e_soc.Memory_map.ram_base) ?(compress = false) instrs =
+  let buf = Buffer.create (4 * List.length instrs) in
+  List.iter
+    (fun i ->
+      if compress then
+        match S4e_isa.Compressed.compress i with
+        | Some h -> Buffer.add_string buf (le16 h)
+        | None -> Buffer.add_string buf (le32 (S4e_isa.Encode.encode i))
+      else Buffer.add_string buf (le32 (S4e_isa.Encode.encode i)))
+    instrs;
+  { chunks = [ { addr = base; bytes = Buffer.contents buf; is_code = true } ];
+    entry = base;
+    symbols = [] }
+
+let instr_words ?(base = S4e_soc.Memory_map.ram_base) instrs =
+  let rec go pc = function
+    | [] -> []
+    | i :: rest -> (pc, 4, i) :: go (pc + 4) rest
+  in
+  go base instrs
+
+(* ---------------- binary image format ---------------- *)
+
+let magic = "S4EP"
+let format_version = 1
+
+let to_bytes t =
+  let buf = Buffer.create 1024 in
+  let u32 v =
+    for i = 0 to 3 do
+      Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xFF))
+    done
+  in
+  Buffer.add_string buf magic;
+  u32 format_version;
+  u32 t.entry;
+  u32 (List.length t.chunks);
+  u32 (List.length t.symbols);
+  List.iter
+    (fun c ->
+      u32 c.addr;
+      u32 (String.length c.bytes);
+      Buffer.add_char buf (if c.is_code then '\001' else '\000');
+      Buffer.add_string buf c.bytes)
+    t.chunks;
+  List.iter
+    (fun (name, addr) ->
+      u32 (String.length name);
+      Buffer.add_string buf name;
+      u32 addr)
+    t.symbols;
+  Buffer.contents buf
+
+exception Malformed of string
+
+let of_bytes s =
+  let pos = ref 0 in
+  let need n what =
+    if !pos + n > String.length s then
+      raise (Malformed (Printf.sprintf "truncated %s" what))
+  in
+  let u32 what =
+    need 4 what;
+    let v =
+      Char.code s.[!pos]
+      lor (Char.code s.[!pos + 1] lsl 8)
+      lor (Char.code s.[!pos + 2] lsl 16)
+      lor (Char.code s.[!pos + 3] lsl 24)
+    in
+    pos := !pos + 4;
+    v
+  in
+  let bytes n what =
+    need n what;
+    let b = String.sub s !pos n in
+    pos := !pos + n;
+    b
+  in
+  try
+    if bytes 4 "magic" <> magic then raise (Malformed "bad magic");
+    let version = u32 "version" in
+    if version <> format_version then
+      raise (Malformed (Printf.sprintf "unsupported version %d" version));
+    let entry = u32 "entry" in
+    let nchunks = u32 "chunk count" in
+    let nsymbols = u32 "symbol count" in
+    if nchunks > 0xFFFF || nsymbols > 0xFFFFF then
+      raise (Malformed "implausible table size");
+    let chunks =
+      List.init nchunks (fun _ ->
+          let addr = u32 "chunk addr" in
+          let len = u32 "chunk length" in
+          let flag = bytes 1 "chunk flag" in
+          let data = bytes len "chunk data" in
+          { addr; bytes = data; is_code = flag = "\001" })
+    in
+    let symbols =
+      List.init nsymbols (fun _ ->
+          let n = u32 "symbol length" in
+          if n > 4096 then raise (Malformed "implausible symbol length");
+          let name = bytes n "symbol name" in
+          let addr = u32 "symbol addr" in
+          (name, addr))
+    in
+    if !pos <> String.length s then raise (Malformed "trailing bytes");
+    Ok { chunks; entry; symbols }
+  with Malformed m -> Error m
+
+let save t path =
+  let oc = open_out_bin path in
+  output_string oc (to_bytes t);
+  close_out oc
+
+let load_file path =
+  match
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with
+  | s -> of_bytes s
+  | exception Sys_error m -> Error m

@@ -1,0 +1,62 @@
+(** Loadable program images.
+
+    The ecosystem's substitute for ELF objects: a list of byte chunks
+    with load addresses, an entry point, and a symbol table.  Produced
+    by the assembler and by the programmatic generators (torture,
+    suites, BMI kernels); consumed by the loader, the CFG
+    reconstructor, and the fault injector (which needs to know where
+    code lives). *)
+
+type word = S4e_bits.Bits.word
+
+type chunk = {
+  addr : word;
+  bytes : string;
+  is_code : bool;  (** true for text-section chunks *)
+}
+
+type t = {
+  chunks : chunk list;
+  entry : word;
+  symbols : (string * word) list;
+}
+
+val empty : t
+
+val symbol : t -> string -> word option
+
+val code_range : t -> (word * word) option
+(** [(lo, hi)] spanning all code chunks, [hi] exclusive. *)
+
+val size : t -> int
+(** Total bytes over all chunks. *)
+
+val load : t -> S4e_mem.Sparse_mem.t -> unit
+
+val load_machine : t -> S4e_cpu.Machine.t -> unit
+(** Loads the image, flushes the TB cache, and resets the hart at the
+    entry point. *)
+
+val of_instrs : ?base:word -> ?compress:bool -> S4e_isa.Instr.t list -> t
+(** Builds a single-chunk code image from an instruction list.  With
+    [compress], every instruction that has an RVC form is emitted as 16
+    bits — callers must not use pc-relative operands in that case, or
+    must compute them against the compressed layout. *)
+
+val instr_words : ?base:word -> S4e_isa.Instr.t list -> (word * int * S4e_isa.Instr.t) list
+(** [(pc, size, instr)] layout of [of_instrs ~compress:false]. *)
+
+(** {1 Binary image files}
+
+    A minimal object format (the repo's ELF substitute) so CLI stages
+    can hand images to each other: magic ["S4EP"], version, entry,
+    chunk table, symbol table, all little-endian.  Round-trips exactly
+    (property-tested). *)
+
+val to_bytes : t -> string
+val of_bytes : string -> (t, string) result
+
+val save : t -> string -> unit
+(** [save t path] writes the image file. *)
+
+val load_file : string -> (t, string) result

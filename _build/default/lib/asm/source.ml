@@ -1,0 +1,315 @@
+type expr =
+  | Num of int
+  | Sym of string
+  | Neg of expr
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Hi of expr
+  | Lo of expr
+
+type operand =
+  | Oreg of S4e_isa.Reg.t
+  | Ofreg of S4e_isa.Reg.t
+  | Oimm of expr
+  | Omem of expr * S4e_isa.Reg.t
+  | Ostr of string
+
+type stmt =
+  | Slabel of string
+  | Sdirective of string * operand list
+  | Sinstr of string * operand list
+
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+let rec pp_expr fmt = function
+  | Num n -> Format.fprintf fmt "%d" n
+  | Sym s -> Format.pp_print_string fmt s
+  | Neg e -> Format.fprintf fmt "-%a" pp_expr e
+  | Add (a, b) -> Format.fprintf fmt "(%a + %a)" pp_expr a pp_expr b
+  | Sub (a, b) -> Format.fprintf fmt "(%a - %a)" pp_expr a pp_expr b
+  | Hi e -> Format.fprintf fmt "%%hi(%a)" pp_expr e
+  | Lo e -> Format.fprintf fmt "%%lo(%a)" pp_expr e
+
+(* ---------------- character-level scanning helpers ---------------- *)
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '.'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let strip_comment s =
+  let n = String.length s in
+  let rec go i in_str =
+    if i >= n then s
+    else
+      match s.[i] with
+      | '"' -> go (i + 1) (not in_str)
+      | '#' when not in_str -> String.sub s 0 i
+      | '/' when (not in_str) && i + 1 < n && s.[i + 1] = '/' ->
+          String.sub s 0 i
+      | _ -> go (i + 1) in_str
+  in
+  go 0 false
+
+(* Split a comma-separated operand list, respecting parentheses and
+   string quotes. *)
+let split_operands line s =
+  let n = String.length s in
+  let parts = ref [] in
+  let start = ref 0 in
+  let depth = ref 0 in
+  let in_str = ref false in
+  for i = 0 to n - 1 do
+    match s.[i] with
+    | '"' -> in_str := not !in_str
+    | '(' when not !in_str -> incr depth
+    | ')' when not !in_str ->
+        decr depth;
+        if !depth < 0 then fail line "unbalanced parentheses"
+    | ',' when (not !in_str) && !depth = 0 ->
+        parts := String.sub s !start (i - !start) :: !parts;
+        start := i + 1
+    | _ -> ()
+  done;
+  if !in_str then fail line "unterminated string";
+  if !depth <> 0 then fail line "unbalanced parentheses";
+  let last = String.sub s !start (n - !start) in
+  List.rev_map String.trim (last :: !parts)
+
+(* ---------------- expression parser ---------------- *)
+
+type scanner = { src : string; mutable pos : int; line : int }
+
+let peek sc = if sc.pos < String.length sc.src then Some sc.src.[sc.pos] else None
+
+let advance sc = sc.pos <- sc.pos + 1
+
+let skip_ws sc =
+  while
+    match peek sc with
+    | Some (' ' | '\t') -> true
+    | Some _ | None -> false
+  do
+    advance sc
+  done
+
+let scan_ident sc =
+  let start = sc.pos in
+  while match peek sc with Some c when is_ident_char c -> true | _ -> false do
+    advance sc
+  done;
+  String.sub sc.src start (sc.pos - start)
+
+let scan_number sc =
+  let start = sc.pos in
+  (match peek sc with Some '-' -> advance sc | _ -> ());
+  while
+    match peek sc with
+    | Some c
+      when (c >= '0' && c <= '9')
+           || (c >= 'a' && c <= 'f')
+           || (c >= 'A' && c <= 'F')
+           || c = 'x' || c = 'X' || c = 'o' || c = 'b' -> true
+    | _ -> false
+  do
+    advance sc
+  done;
+  let text = String.sub sc.src start (sc.pos - start) in
+  match int_of_string_opt text with
+  | Some v -> v
+  | None -> fail sc.line "bad numeric literal %S" text
+
+let rec parse_sum sc =
+  let lhs = parse_term sc in
+  let rec go lhs =
+    skip_ws sc;
+    match peek sc with
+    | Some '+' ->
+        advance sc;
+        skip_ws sc;
+        go (Add (lhs, parse_term sc))
+    | Some '-' ->
+        advance sc;
+        skip_ws sc;
+        go (Sub (lhs, parse_term sc))
+    | Some _ | None -> lhs
+  in
+  go lhs
+
+and parse_term sc =
+  skip_ws sc;
+  match peek sc with
+  | Some '%' ->
+      advance sc;
+      let kind = scan_ident sc in
+      skip_ws sc;
+      (match peek sc with
+      | Some '(' -> advance sc
+      | _ -> fail sc.line "expected '(' after %%%s" kind);
+      let inner = parse_sum sc in
+      skip_ws sc;
+      (match peek sc with
+      | Some ')' -> advance sc
+      | _ -> fail sc.line "expected ')'");
+      (match kind with
+      | "hi" -> Hi inner
+      | "lo" -> Lo inner
+      | _ -> fail sc.line "unknown relocation operator %%%s" kind)
+  | Some '(' ->
+      advance sc;
+      let inner = parse_sum sc in
+      skip_ws sc;
+      (match peek sc with
+      | Some ')' -> advance sc
+      | _ -> fail sc.line "expected ')'");
+      inner
+  | Some '-' ->
+      advance sc;
+      Neg (parse_term sc)
+  | Some '\'' ->
+      advance sc;
+      let c =
+        match peek sc with
+        | Some '\\' -> (
+            advance sc;
+            match peek sc with
+            | Some 'n' -> '\n'
+            | Some 't' -> '\t'
+            | Some '0' -> '\000'
+            | Some '\\' -> '\\'
+            | Some '\'' -> '\''
+            | Some c -> c
+            | None -> fail sc.line "unterminated character literal")
+        | Some c -> c
+        | None -> fail sc.line "unterminated character literal"
+      in
+      advance sc;
+      (match peek sc with
+      | Some '\'' -> advance sc
+      | _ -> fail sc.line "unterminated character literal");
+      Num (Char.code c)
+  | Some c when c >= '0' && c <= '9' -> Num (scan_number sc)
+  | Some c when is_ident_start c -> Sym (scan_ident sc)
+  | Some c -> fail sc.line "unexpected character %C in expression" c
+  | None -> fail sc.line "unexpected end of expression"
+
+let parse_expr line s =
+  let sc = { src = s; pos = 0; line } in
+  let e = parse_sum sc in
+  skip_ws sc;
+  if sc.pos <> String.length s then
+    fail line "trailing characters in expression %S" s;
+  e
+
+(* ---------------- operand parsing ---------------- *)
+
+let parse_string_literal line s =
+  (* s includes the surrounding quotes *)
+  let n = String.length s in
+  if n < 2 || s.[0] <> '"' || s.[n - 1] <> '"' then
+    fail line "malformed string literal";
+  let buf = Buffer.create (n - 2) in
+  let rec go i =
+    if i >= n - 1 then Buffer.contents buf
+    else
+      match s.[i] with
+      | '\\' when i + 1 < n - 1 ->
+          let c =
+            match s.[i + 1] with
+            | 'n' -> '\n'
+            | 't' -> '\t'
+            | '0' -> '\000'
+            | 'r' -> '\r'
+            | c -> c
+          in
+          Buffer.add_char buf c;
+          go (i + 2)
+      | c ->
+          Buffer.add_char buf c;
+          go (i + 1)
+  in
+  go 1
+
+let parse_operand line s =
+  let s = String.trim s in
+  if s = "" then fail line "empty operand"
+  else if s.[0] = '"' then Ostr (parse_string_literal line s)
+  else
+    match S4e_isa.Reg.of_name s with
+    | Some r -> Oreg r
+    | None -> (
+        match S4e_isa.Reg.f_of_name s with
+        | Some r -> Ofreg r
+        | None ->
+            (* offset(base) ? *)
+            let n = String.length s in
+            if n > 0 && s.[n - 1] = ')' then
+              match String.index_opt s '(' with
+              | Some i when not (String.length s > 1 && s.[0] = '%') -> (
+                  let off_text = String.trim (String.sub s 0 i) in
+                  let reg_text = String.sub s (i + 1) (n - i - 2) in
+                  match S4e_isa.Reg.of_name (String.trim reg_text) with
+                  | Some base ->
+                      let off =
+                        if off_text = "" then Num 0
+                        else parse_expr line off_text
+                      in
+                      Omem (off, base)
+                  | None -> Oimm (parse_expr line s))
+              | Some _ | None -> Oimm (parse_expr line s)
+            else Oimm (parse_expr line s))
+
+(* ---------------- line parsing ---------------- *)
+
+let parse_line lineno text acc =
+  let text = strip_comment text in
+  let rec strip_labels text acc =
+    let text = String.trim text in
+    match String.index_opt text ':' with
+    | Some i
+      when i > 0
+           && is_ident_start text.[0]
+           && String.for_all is_ident_char (String.sub text 0 i) ->
+        let label = String.sub text 0 i in
+        let rest = String.sub text (i + 1) (String.length text - i - 1) in
+        strip_labels rest ((lineno, Slabel label) :: acc)
+    | Some _ | None -> (text, acc)
+  in
+  let text, acc = strip_labels text acc in
+  if text = "" then acc
+  else
+    (* split mnemonic from operands at the first whitespace *)
+    let ws_index =
+      let n = String.length text in
+      let rec go i =
+        if i >= n then None
+        else if text.[i] = ' ' || text.[i] = '\t' then Some i
+        else go (i + 1)
+      in
+      go 0
+    in
+    let mnemonic, rest =
+      match ws_index with
+      | None -> (text, "")
+      | Some i ->
+          ( String.sub text 0 i,
+            String.sub text (i + 1) (String.length text - i - 1) )
+    in
+    let mnemonic = String.lowercase_ascii (String.trim mnemonic) in
+    let rest = String.trim rest in
+    let operands =
+      if rest = "" then [] else List.map (parse_operand lineno) (split_operands lineno rest)
+    in
+    if mnemonic.[0] = '.' then (lineno, Sdirective (mnemonic, operands)) :: acc
+    else (lineno, Sinstr (mnemonic, operands)) :: acc
+
+let parse_string src =
+  let lines = String.split_on_char '\n' src in
+  let _, acc =
+    List.fold_left
+      (fun (lineno, acc) text -> (lineno + 1, parse_line lineno text acc))
+      (1, []) lines
+  in
+  List.rev acc

@@ -1,0 +1,1 @@
+lib/bits/bits.ml: Format Int32 Printf

@@ -1,0 +1,1 @@
+lib/bits/bits.mli: Format

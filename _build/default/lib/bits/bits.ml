@@ -1,0 +1,147 @@
+type word = int
+
+let mask32 x = x land 0xFFFF_FFFF
+let is_word x = x >= 0 && x <= 0xFFFF_FFFF
+
+let to_signed w =
+  if w land 0x8000_0000 <> 0 then w - 0x1_0000_0000 else w
+
+let of_signed x = mask32 x
+let of_int32 i = Int32.to_int i land 0xFFFF_FFFF
+let to_int32 w = Int32.of_int (to_signed w)
+
+let add a b = mask32 (a + b)
+let sub a b = mask32 (a - b)
+let mul a b = mask32 (a * b)
+
+(* The full 64-bit product of two 32-bit values fits in OCaml's 63-bit
+   native int only when at least one operand is interpreted unsigned and
+   the other signed, or both signed; for unsigned x unsigned the product
+   can reach 2^64, so we split operands into 16-bit halves. *)
+let mulhu a b =
+  let al = a land 0xFFFF and ah = a lsr 16 in
+  let bl = b land 0xFFFF and bh = b lsr 16 in
+  let ll = al * bl in
+  let lh = al * bh in
+  let hl = ah * bl in
+  let hh = ah * bh in
+  let cross = (ll lsr 16) + (lh land 0xFFFF) + (hl land 0xFFFF) in
+  mask32 (hh + (lh lsr 16) + (hl lsr 16) + (cross lsr 16))
+
+(* Signed variants are derived from the unsigned high word — the direct
+   63-bit product would overflow for operands near the 32-bit extremes
+   (e.g. (-2^31) * (-2^31) = 2^62 > max_int). *)
+let mulh a b =
+  let high = mulhu a b in
+  let high = if a land 0x8000_0000 <> 0 then high - b else high in
+  let high = if b land 0x8000_0000 <> 0 then high - a else high in
+  mask32 high
+
+let mulhsu a b =
+  let high = mulhu a b in
+  mask32 (if a land 0x8000_0000 <> 0 then high - b else high)
+
+let div a b =
+  let sa = to_signed a and sb = to_signed b in
+  if sb = 0 then mask32 (-1)
+  else if sa = -0x8000_0000 && sb = -1 then 0x8000_0000
+  else
+    (* OCaml division truncates toward zero, matching RISC-V. *)
+    of_signed (sa / sb)
+
+let divu a b = if b = 0 then 0xFFFF_FFFF else a / b
+
+let rem a b =
+  let sa = to_signed a and sb = to_signed b in
+  if sb = 0 then a
+  else if sa = -0x8000_0000 && sb = -1 then 0
+  else of_signed (sa mod sb)
+
+let remu a b = if b = 0 then a else a mod b
+
+let logand a b = a land b
+let logor a b = a lor b
+let logxor a b = a lxor b
+let lognot a = mask32 (lnot a)
+let andn a b = a land lognot b
+let orn a b = a lor lognot b
+let xnor a b = lognot (a lxor b)
+
+let sll a n = mask32 (a lsl (n land 31))
+let srl a n = a lsr (n land 31)
+let sra a n = mask32 (to_signed a asr (n land 31))
+
+let rol a n =
+  let n = n land 31 in
+  if n = 0 then a else mask32 ((a lsl n) lor (a lsr (32 - n)))
+
+let ror a n =
+  let n = n land 31 in
+  if n = 0 then a else mask32 ((a lsr n) lor (a lsl (32 - n)))
+
+let lt_signed a b = to_signed a < to_signed b
+let lt_unsigned a b = a < b
+let ge_signed a b = not (lt_signed a b)
+let ge_unsigned a b = a >= b
+let min_signed a b = if lt_signed a b then a else b
+let max_signed a b = if lt_signed a b then b else a
+let min_unsigned a b = if a < b then a else b
+let max_unsigned a b = if a < b then b else a
+
+let popcount w =
+  let rec go w acc = if w = 0 then acc else go (w lsr 1) (acc + (w land 1)) in
+  go w 0
+
+let clz w =
+  if w = 0 then 32
+  else
+    let rec go i = if w land (1 lsl i) <> 0 then 31 - i else go (i - 1) in
+    go 31
+
+let ctz w =
+  if w = 0 then 32
+  else
+    let rec go i = if w land (1 lsl i) <> 0 then i else go (i + 1) in
+    go 0
+
+let get_byte i w = (w lsr (8 * i)) land 0xFF
+
+let set_byte i b w =
+  let sh = 8 * i in
+  (w land lnot (0xFF lsl sh) lor ((b land 0xFF) lsl sh)) land 0xFFFF_FFFF
+
+let rev8 w =
+  (get_byte 0 w lsl 24) lor (get_byte 1 w lsl 16)
+  lor (get_byte 2 w lsl 8) lor get_byte 3 w
+
+let orc_b w =
+  let byte i = if get_byte i w <> 0 then 0xFF else 0 in
+  (byte 3 lsl 24) lor (byte 2 lsl 16) lor (byte 1 lsl 8) lor byte 0
+
+let sext ~width x =
+  assert (width >= 1 && width <= 32);
+  let x = x land ((1 lsl width) - 1) in
+  if x land (1 lsl (width - 1)) <> 0 then mask32 (x - (1 lsl width)) else x
+
+let zext ~width x =
+  assert (width >= 1 && width <= 32);
+  if width = 32 then mask32 x else x land ((1 lsl width) - 1)
+
+let bits ~hi ~lo w =
+  assert (0 <= lo && lo <= hi && hi <= 31);
+  (w lsr lo) land ((1 lsl (hi - lo + 1)) - 1)
+
+let bit i w = (w lsr i) land 1
+
+let set_bit i v w =
+  if v then w lor (1 lsl i) else w land lnot (1 lsl i) land 0xFFFF_FFFF
+
+let flip_bit i w = w lxor (1 lsl i)
+
+let bset w i = w lor (1 lsl (i land 31))
+let bclr w i = w land lnot (1 lsl (i land 31)) land 0xFFFF_FFFF
+let binv w i = w lxor (1 lsl (i land 31))
+let bext w i = (w lsr (i land 31)) land 1
+
+let pp_hex fmt w = Format.fprintf fmt "0x%08x" w
+let to_hex w = Printf.sprintf "0x%08x" w

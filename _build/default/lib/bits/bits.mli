@@ -1,0 +1,155 @@
+(** 32-bit word arithmetic on native OCaml integers.
+
+    All values of type {!word} are native [int]s constrained to the range
+    [0, 2{^32}).  Using native ints instead of [int32] keeps the hot
+    interpreter loop free of boxing (DESIGN.md decision 1).  Every
+    operation re-normalizes its result into the canonical unsigned
+    range. *)
+
+type word = int
+(** An unsigned 32-bit value stored in a native [int].  Invariant:
+    [0 <= w <= 0xFFFF_FFFF]. *)
+
+val mask32 : int -> word
+(** [mask32 x] truncates [x] to its low 32 bits. *)
+
+val is_word : int -> bool
+(** [is_word x] is [true] iff [x] is already in canonical range. *)
+
+val to_signed : word -> int
+(** [to_signed w] reinterprets [w] as a two's-complement 32-bit signed
+    value, in the range [-2{^31}, 2{^31}). *)
+
+val of_signed : int -> word
+(** [of_signed x] is the canonical unsigned form of a signed value
+    (inverse of {!to_signed} for in-range inputs). *)
+
+val of_int32 : int32 -> word
+val to_int32 : word -> int32
+
+(** {1 Arithmetic} *)
+
+val add : word -> word -> word
+val sub : word -> word -> word
+val mul : word -> word -> word
+
+val mulh : word -> word -> word
+(** High 32 bits of the signed x signed 64-bit product. *)
+
+val mulhu : word -> word -> word
+(** High 32 bits of the unsigned x unsigned 64-bit product. *)
+
+val mulhsu : word -> word -> word
+(** High 32 bits of the signed x unsigned 64-bit product. *)
+
+val div : word -> word -> word
+(** Signed division with RISC-V semantics: division by zero yields
+    [-1]; overflow ([min_int / -1]) yields [min_int]. *)
+
+val divu : word -> word -> word
+(** Unsigned division; division by zero yields all-ones. *)
+
+val rem : word -> word -> word
+(** Signed remainder; remainder by zero yields the dividend. *)
+
+val remu : word -> word -> word
+(** Unsigned remainder; remainder by zero yields the dividend. *)
+
+(** {1 Bitwise operations} *)
+
+val logand : word -> word -> word
+val logor : word -> word -> word
+val logxor : word -> word -> word
+val lognot : word -> word
+val andn : word -> word -> word
+val orn : word -> word -> word
+val xnor : word -> word -> word
+
+val sll : word -> int -> word
+(** Logical left shift; only the low 5 bits of the amount are used. *)
+
+val srl : word -> int -> word
+(** Logical right shift; only the low 5 bits of the amount are used. *)
+
+val sra : word -> int -> word
+(** Arithmetic right shift; only the low 5 bits of the amount are used. *)
+
+val rol : word -> int -> word
+(** Rotate left by the low 5 bits of the amount. *)
+
+val ror : word -> int -> word
+(** Rotate right by the low 5 bits of the amount. *)
+
+(** {1 Comparisons} *)
+
+val lt_signed : word -> word -> bool
+val lt_unsigned : word -> word -> bool
+val ge_signed : word -> word -> bool
+val ge_unsigned : word -> word -> bool
+val min_signed : word -> word -> word
+val max_signed : word -> word -> word
+val min_unsigned : word -> word -> word
+val max_unsigned : word -> word -> word
+
+(** {1 Counting and permutation} *)
+
+val popcount : word -> int
+(** Number of set bits. *)
+
+val clz : word -> int
+(** Count of leading zero bits; [clz 0 = 32]. *)
+
+val ctz : word -> int
+(** Count of trailing zero bits; [ctz 0 = 32]. *)
+
+val rev8 : word -> word
+(** Reverse the order of the four bytes. *)
+
+val orc_b : word -> word
+(** Per byte: all-ones if the byte is nonzero, else zero (Zbb [orc.b]). *)
+
+(** {1 Extension and fields} *)
+
+val sext : width:int -> int -> word
+(** [sext ~width x] sign-extends the low [width] bits of [x] to a
+    32-bit word.  [1 <= width <= 32]. *)
+
+val zext : width:int -> int -> word
+(** [zext ~width x] zero-extends the low [width] bits of [x]. *)
+
+val bits : hi:int -> lo:int -> word -> int
+(** [bits ~hi ~lo w] extracts the inclusive bit field [w\[hi:lo\]],
+    right-aligned.  Requires [0 <= lo <= hi <= 31]. *)
+
+val bit : int -> word -> int
+(** [bit i w] is bit [i] of [w], 0 or 1. *)
+
+val set_bit : int -> bool -> word -> word
+(** [set_bit i v w] is [w] with bit [i] forced to [v]. *)
+
+val flip_bit : int -> word -> word
+(** [flip_bit i w] toggles bit [i]. *)
+
+(** {1 Single-bit operations (Zbs semantics: the index is masked to 5
+    bits)} *)
+
+val bset : word -> int -> word
+val bclr : word -> int -> word
+val binv : word -> int -> word
+val bext : word -> int -> word
+(** [bext w i] is bit [i land 31] of [w], as 0 or 1. *)
+
+(** {1 Bytes <-> words (little endian)} *)
+
+val get_byte : int -> word -> int
+(** [get_byte i w] is byte [i] (0 = least significant). *)
+
+val set_byte : int -> int -> word -> word
+(** [set_byte i b w] replaces byte [i] with [b land 0xff]. *)
+
+(** {1 Formatting} *)
+
+val pp_hex : Format.formatter -> word -> unit
+(** Prints as [0x%08x]. *)
+
+val to_hex : word -> string

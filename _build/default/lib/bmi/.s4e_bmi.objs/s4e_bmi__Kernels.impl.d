@@ -1,0 +1,1 @@
+lib/bmi/kernels.ml: Format List Printf Random S4e_asm S4e_cpu String

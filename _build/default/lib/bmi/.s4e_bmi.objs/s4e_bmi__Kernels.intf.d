@@ -1,0 +1,1 @@
+lib/bmi/kernels.mli: S4e_asm S4e_cpu

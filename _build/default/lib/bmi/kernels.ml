@@ -1,0 +1,325 @@
+type variant = Base | Bmi
+
+type kernel = {
+  k_name : string;
+  k_descr : string;
+  k_source : variant -> n:int -> seed:int -> string;
+}
+
+(* Common scaffold: walk an n-word array at [data], fold a checksum
+   into a0, exit with it through the syscon.  [hoist] runs once before
+   the loop (loop-invariant constants — granted to both variants so the
+   comparison is fair to an optimizing compiler). *)
+let scaffold ~n ~seed ~hoist ~body =
+  let rng = Random.State.make [| seed |] in
+  let rand32 () =
+    (Random.State.bits rng lor (Random.State.bits rng lsl 15)) land 0xFFFF_FFFF
+  in
+  let words = List.init n (fun _ -> Printf.sprintf "0x%08x" (rand32 ())) in
+  Printf.sprintf
+    {|
+_start:
+  la   s0, data
+  li   s1, %d
+  li   s2, 0
+  li   a0, 0
+%s
+kloop:
+  lw   a1, 0(s0)
+%s
+  addi s0, s0, 4
+  addi s2, s2, 1
+  blt  s2, s1, kloop
+  li   t1, 0x00100000
+  sw   a0, 0(t1)
+  ebreak
+  .data
+data:
+  .word %s
+|}
+    n hoist body
+    (String.concat ", " words)
+
+let rothash =
+  { k_name = "rothash";
+    k_descr = "rotate-and-mix hash round (rol/ror vs shift-or)";
+    k_source =
+      (fun variant ~n ~seed ->
+        let body =
+          match variant with
+          | Bmi ->
+              {|
+  rori a2, a1, 25
+  xor  a0, a0, a2
+  rori a4, a0, 13
+  add  a0, a4, a2
+|}
+          | Base ->
+              {|
+  slli a2, a1, 7
+  srli a4, a1, 25
+  or   a2, a2, a4
+  xor  a0, a0, a2
+  srli a4, a0, 13
+  slli a5, a0, 19
+  or   a4, a4, a5
+  add  a0, a4, a2
+|}
+        in
+        scaffold ~n ~seed ~hoist:"" ~body) }
+
+let popcount =
+  { k_name = "popcount";
+    k_descr = "population-count accumulation (cpop vs SWAR)";
+    k_source =
+      (fun variant ~n ~seed ->
+        match variant with
+        | Bmi ->
+            scaffold ~n ~seed ~hoist:""
+              ~body:{|
+  cpop a2, a1
+  add  a0, a0, a2
+|}
+        | Base ->
+            scaffold ~n ~seed
+              ~hoist:
+                {|
+  li   s3, 0x55555555
+  li   s4, 0x33333333
+  li   s5, 0x0f0f0f0f
+  li   s6, 0x01010101
+|}
+              ~body:
+                {|
+  srli a2, a1, 1
+  and  a2, a2, s3
+  sub  a2, a1, a2
+  srli a4, a2, 2
+  and  a4, a4, s4
+  and  a2, a2, s4
+  add  a2, a2, a4
+  srli a4, a2, 4
+  add  a2, a2, a4
+  and  a2, a2, s5
+  mul  a2, a2, s6
+  srli a2, a2, 24
+  add  a0, a0, a2
+|}) }
+
+let normalize =
+  { k_name = "normalize";
+    k_descr = "leading-zero normalization (clz vs binary search)";
+    k_source =
+      (fun variant ~n ~seed ->
+        match variant with
+        | Bmi ->
+            scaffold ~n ~seed ~hoist:""
+              ~body:{|
+  clz  a2, a1
+  sll  a3, a1, a2
+  xor  a0, a0, a3
+|}
+        | Base ->
+            scaffold ~n ~seed ~hoist:""
+              ~body:
+                {|
+  mv   a2, a1
+  li   a3, 0
+  bnez a2, clz_nz
+  li   a3, 32
+  j    clz_done
+clz_nz:
+  lui  a4, 0xffff0
+  and  a4, a2, a4
+  bnez a4, clz_16
+  slli a2, a2, 16
+  addi a3, a3, 16
+clz_16:
+  lui  a4, 0xff000
+  and  a4, a2, a4
+  bnez a4, clz_8
+  slli a2, a2, 8
+  addi a3, a3, 8
+clz_8:
+  lui  a4, 0xf0000
+  and  a4, a2, a4
+  bnez a4, clz_4
+  slli a2, a2, 4
+  addi a3, a3, 4
+clz_4:
+  lui  a4, 0xc0000
+  and  a4, a2, a4
+  bnez a4, clz_2
+  slli a2, a2, 2
+  addi a3, a3, 2
+clz_2:
+  lui  a4, 0x80000
+  and  a4, a2, a4
+  bnez a4, clz_done
+  addi a3, a3, 1
+clz_done:
+  sll  a4, a1, a3
+  xor  a0, a0, a4
+|}) }
+
+let masking =
+  { k_name = "masking";
+    k_descr = "stream masking with complemented operands (andn/orn/xnor)";
+    k_source =
+      (fun variant ~n ~seed ->
+        let body =
+          match variant with
+          | Bmi ->
+              {|
+  andn a2, a1, a0
+  orn  a4, a0, a2
+  xnor a2, a4, a1
+  add  a0, a0, a2
+|}
+          | Base ->
+              {|
+  xori a2, a0, -1
+  and  a2, a1, a2
+  xori a4, a2, -1
+  or   a4, a0, a4
+  xor  a2, a4, a1
+  xori a2, a2, -1
+  add  a0, a0, a2
+|}
+        in
+        scaffold ~n ~seed ~hoist:"" ~body) }
+
+let clamp =
+  { k_name = "clamp";
+    k_descr = "saturating clamp to a window (min/max vs branches)";
+    k_source =
+      (fun variant ~n ~seed ->
+        let hoist = {|
+  li   s3, 0x20000000
+  li   s4, 0x00100000
+|} in
+        match variant with
+        | Bmi ->
+            scaffold ~n ~seed ~hoist
+              ~body:
+                {|
+  min  a2, a1, s3
+  max  a2, a2, s4
+  add  a0, a0, a2
+|}
+        | Base ->
+            scaffold ~n ~seed ~hoist
+              ~body:
+                {|
+  mv   a2, a1
+  ble  a2, s3, clamp_hi
+  mv   a2, s3
+clamp_hi:
+  bge  a2, s4, clamp_lo
+  mv   a2, s4
+clamp_lo:
+  add  a0, a0, a2
+|}) }
+
+let bytes =
+  { k_name = "bytes";
+    k_descr = "endianness swap (rev8 vs shift-mask)";
+    k_source =
+      (fun variant ~n ~seed ->
+        match variant with
+        | Bmi ->
+            scaffold ~n ~seed ~hoist:""
+              ~body:{|
+  rev8 a2, a1
+  xor  a0, a0, a2
+|}
+        | Base ->
+            scaffold ~n ~seed
+              ~hoist:{|
+  li   s3, 0x0000ff00
+  li   s4, 0x00ff0000
+|}
+              ~body:
+                {|
+  srli a2, a1, 24
+  srli a4, a1, 8
+  and  a4, a4, s3
+  or   a2, a2, a4
+  slli a4, a1, 8
+  and  a4, a4, s4
+  or   a2, a2, a4
+  slli a4, a1, 24
+  or   a2, a2, a4
+  xor  a0, a0, a2
+|}) }
+
+let bitfield =
+  { k_name = "bitfield";
+    k_descr = "variable-index bit test/set/invert (Zbs vs shift sequences)";
+    k_source =
+      (fun variant ~n ~seed ->
+        match variant with
+        | Bmi ->
+            scaffold ~n ~seed ~hoist:""
+              ~body:
+                {|
+  andi a2, a1, 31
+  bext a3, a0, a2
+  bset a4, a1, a2
+  binv a0, a0, a2
+  add  a0, a0, a3
+  xor  a0, a0, a4
+|}
+        | Base ->
+            scaffold ~n ~seed ~hoist:{|
+  li   s3, 1
+|}
+              ~body:
+                {|
+  andi a2, a1, 31
+  srl  a3, a0, a2
+  andi a3, a3, 1
+  sll  a5, s3, a2
+  or   a4, a1, a5
+  sll  a5, s3, a2
+  xor  a0, a0, a5
+  add  a0, a0, a3
+  xor  a0, a0, a4
+|}) }
+
+let all = [ rothash; popcount; normalize; masking; clamp; bytes; bitfield ]
+
+let find name = List.find_opt (fun k -> k.k_name = name) all
+
+let program k variant ~n ~seed =
+  S4e_asm.Assembler.assemble_exn (k.k_source variant ~n ~seed)
+
+type measurement = {
+  m_cycles : int;
+  m_instret : int;
+  m_checksum : int;
+}
+
+let measure ?config k variant ~n ~seed =
+  let p = program k variant ~n ~seed in
+  let m = S4e_cpu.Machine.create ?config () in
+  S4e_asm.Program.load_machine p m;
+  match S4e_cpu.Machine.run m ~fuel:(1_000_000 + (n * 1000)) with
+  | S4e_cpu.Machine.Exited code ->
+      { m_cycles = S4e_cpu.Machine.cycles m;
+        m_instret = S4e_cpu.Machine.instret m;
+        m_checksum = code }
+  | stop ->
+      failwith
+        (Format.asprintf "kernel %s/%s did not exit: %a" k.k_name
+           (match variant with Base -> "base" | Bmi -> "bmi")
+           S4e_cpu.Machine.pp_stop_reason stop)
+
+let speedup ?config k ~n ~seed =
+  let base = measure ?config k Base ~n ~seed in
+  let bmi = measure ?config k Bmi ~n ~seed in
+  if base.m_checksum <> bmi.m_checksum then
+    failwith
+      (Printf.sprintf "kernel %s: variants disagree (base 0x%x, bmi 0x%x)"
+         k.k_name base.m_checksum bmi.m_checksum);
+  float_of_int base.m_cycles /. float_of_int bmi.m_cycles

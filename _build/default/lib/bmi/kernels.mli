@@ -1,0 +1,39 @@
+(** Cryptographic / bit-twiddling kernels in two ISA dialects.
+
+    The BMI paper's software evaluation: each kernel exists as a
+    base-ISA (RV32IM) instruction sequence and as a BMI sequence using
+    the ecosystem's bit-manipulation extensions.  Both variants compute
+    the identical checksum over the same seeded input array
+    (property-tested); the interesting output is the cycle ratio
+    (experiment E6). *)
+
+type variant = Base | Bmi
+
+type kernel = {
+  k_name : string;
+  k_descr : string;
+  k_source : variant -> n:int -> seed:int -> string;
+      (** assembly source processing an [n]-word seeded array *)
+}
+
+val all : kernel list
+(** rothash, popcount, normalize (clz), masking, clamp, bytes (rev8). *)
+
+val find : string -> kernel option
+
+val program : kernel -> variant -> n:int -> seed:int -> S4e_asm.Program.t
+
+type measurement = {
+  m_cycles : int;
+  m_instret : int;
+  m_checksum : int;  (** syscon exit value *)
+}
+
+val measure :
+  ?config:S4e_cpu.Machine.config -> kernel -> variant -> n:int -> seed:int ->
+  measurement
+(** Assembles, runs, and reports.
+    @raise Failure if the kernel does not terminate normally. *)
+
+val speedup : ?config:S4e_cpu.Machine.config -> kernel -> n:int -> seed:int -> float
+(** base cycles / BMI cycles (checks the checksums agree). *)

@@ -1,0 +1,1 @@
+lib/cfg/callgraph.mli: Cfg S4e_bits S4e_isa

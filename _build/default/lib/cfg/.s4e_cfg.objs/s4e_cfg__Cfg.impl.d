@@ -1,0 +1,1 @@
+lib/cfg/cfg.ml: Array Compressed Decode Format Hashtbl List Queue Reg S4e_asm S4e_isa S4e_mem String

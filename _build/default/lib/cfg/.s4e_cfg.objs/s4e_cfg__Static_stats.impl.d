@@ -1,0 +1,1 @@
+lib/cfg/static_stats.ml: Array Compressed Decode Format Hashtbl Isa_module List Option Printf Reg S4e_asm S4e_isa S4e_mem String

@@ -1,0 +1,1 @@
+lib/cfg/static_stats.mli: Format S4e_asm S4e_bits S4e_isa

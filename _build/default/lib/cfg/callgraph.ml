@@ -1,0 +1,61 @@
+type word = int
+
+type t = {
+  entry : word;
+  functions : (word * Cfg.t) list;
+}
+
+let build ~decode ~entry =
+  let functions = Hashtbl.create 8 in
+  let order = ref [] in
+  let rec visit addr =
+    if not (Hashtbl.mem functions addr) then begin
+      let cfg = Cfg.build ~decode ~entry:addr in
+      Hashtbl.replace functions addr cfg;
+      order := addr :: !order;
+      List.iter visit cfg.Cfg.callees
+    end
+  in
+  visit entry;
+  { entry;
+    functions =
+      List.rev_map (fun a -> (a, Hashtbl.find functions a)) !order }
+
+let find t addr = List.assoc_opt addr t.functions
+
+let is_recursive t =
+  (* cycle detection over call edges *)
+  let color = Hashtbl.create 8 in
+  let rec dfs addr =
+    match Hashtbl.find_opt color addr with
+    | Some `Gray -> true
+    | Some `Black -> false
+    | None -> (
+        Hashtbl.replace color addr `Gray;
+        let cyc =
+          match find t addr with
+          | None -> false
+          | Some cfg -> List.exists dfs cfg.Cfg.callees
+        in
+        Hashtbl.replace color addr `Black;
+        cyc)
+  in
+  dfs t.entry
+
+let topological t =
+  if is_recursive t then failwith "Callgraph.topological: recursive call graph";
+  let visited = Hashtbl.create 8 in
+  let out = ref [] in
+  let rec dfs addr =
+    if not (Hashtbl.mem visited addr) then begin
+      Hashtbl.replace visited addr ();
+      (match find t addr with
+      | None -> ()
+      | Some cfg -> List.iter dfs cfg.Cfg.callees);
+      out := addr :: !out
+    end
+  in
+  dfs t.entry;
+  (* children pushed before parents, so !out is caller-first; reverse
+     for callee-first. *)
+  List.rev !out

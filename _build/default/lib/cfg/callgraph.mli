@@ -1,0 +1,24 @@
+(** Interprocedural view: one {!Cfg.t} per function, linked by calls.
+
+    Functions are discovered from the program entry by following call
+    targets transitively.  Recursion (any cycle in the call graph) is
+    reported, because the hierarchical WCET analysis requires a
+    bottom-up function order. *)
+
+type word = S4e_bits.Bits.word
+
+type t = {
+  entry : word;
+  functions : (word * Cfg.t) list;  (** entry address -> function CFG *)
+}
+
+val build :
+  decode:(word -> (int * S4e_isa.Instr.t) option) -> entry:word -> t
+
+val find : t -> word -> Cfg.t option
+
+val topological : t -> word list
+(** Callee-first order.
+    @raise Failure if the call graph is recursive. *)
+
+val is_recursive : t -> bool

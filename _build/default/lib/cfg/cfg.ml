@@ -1,0 +1,190 @@
+open S4e_isa
+module Instr = S4e_isa.Instr
+
+type word = int
+
+type terminator =
+  | T_branch of { taken : word; fallthrough : word }
+  | T_goto of word
+  | T_call of { callee : word; return_to : word }
+  | T_ret
+  | T_indirect
+  | T_halt
+
+type block = {
+  id : int;
+  start_pc : word;
+  instrs : (word * int * Instr.t) array;
+  terminator : terminator;
+}
+
+type t = {
+  entry : int;
+  blocks : block array;
+  succs : int list array;
+  preds : int list array;
+  callees : word list;
+}
+
+(* Classify a control-flow instruction at [pc] of byte size [size]. *)
+let classify pc size instr =
+  match instr with
+  | Instr.Branch (_, _, _, off) ->
+      Some (T_branch { taken = pc + off; fallthrough = pc + size })
+  | Instr.Jal (rd, off) ->
+      if rd = Reg.zero then Some (T_goto (pc + off))
+      else Some (T_call { callee = pc + off; return_to = pc + size })
+  | Instr.Jalr (rd, rs1, imm) ->
+      if rd = Reg.zero && rs1 = Reg.ra && imm = 0 then Some T_ret
+      else Some T_indirect
+  | Instr.Ecall | Instr.Ebreak | Instr.Mret | Instr.Wfi -> Some T_halt
+  | Instr.Lui _ | Instr.Auipc _ | Instr.Load _ | Instr.Store _
+  | Instr.Op_imm _ | Instr.Shift_imm _ | Instr.Op _ | Instr.Unary _
+  | Instr.Fence | Instr.Fence_i | Instr.Csr _ | Instr.Flw _ | Instr.Fsw _
+  | Instr.Fp_op _ | Instr.Fp_cmp _ | Instr.Fsqrt _ | Instr.Fcvt_w_s _
+  | Instr.Fcvt_s_w _ | Instr.Fmv_x_w _ | Instr.Fmv_w_x _
+  | Instr.Lr _ | Instr.Sc _ | Instr.Amo _ -> None
+
+(* Successor program points of a terminator, within the same function. *)
+let terminator_succ_pcs = function
+  | T_branch { taken; fallthrough } -> [ taken; fallthrough ]
+  | T_goto target -> [ target ]
+  | T_call { return_to; _ } -> [ return_to ]
+  | T_ret | T_indirect | T_halt -> []
+
+let build ~decode ~entry =
+  (match decode entry with
+  | None -> invalid_arg "Cfg.build: entry does not decode"
+  | Some _ -> ());
+  (* Phase A: explore from the entry, recording every leader (block
+     start) and every control-flow instruction's terminator. *)
+  let leaders = Hashtbl.create 64 in
+  let visited_runs = Hashtbl.create 64 in
+  let callees = ref [] in
+  let add_callee c = if not (List.mem c !callees) then callees := c :: !callees in
+  let worklist = Queue.create () in
+  Hashtbl.replace leaders entry ();
+  Queue.add entry worklist;
+  while not (Queue.is_empty worklist) do
+    let start = Queue.take worklist in
+    if not (Hashtbl.mem visited_runs start) then begin
+      Hashtbl.replace visited_runs start ();
+      (* walk the straight-line run from [start] *)
+      let rec walk pc =
+        match decode pc with
+        | None -> ()
+        | Some (size, instr) -> (
+            match classify pc size instr with
+            | None -> walk (pc + size)
+            | Some term ->
+                (match term with
+                | T_call { callee; _ } -> add_callee callee
+                | T_branch _ | T_goto _ | T_ret | T_indirect | T_halt -> ());
+                List.iter
+                  (fun succ ->
+                    if not (Hashtbl.mem leaders succ) then begin
+                      Hashtbl.replace leaders succ ();
+                      Queue.add succ worklist
+                    end
+                    else if not (Hashtbl.mem visited_runs succ) then
+                      Queue.add succ worklist)
+                  (terminator_succ_pcs term))
+      in
+      walk start
+    end
+  done;
+  (* Phase B: materialize blocks from each leader, stopping at control
+     flow or at the next leader. *)
+  let leader_list =
+    Hashtbl.fold (fun pc () acc -> pc :: acc) leaders [] |> List.sort compare
+  in
+  let block_of_leader start =
+    let rec collect pc acc =
+      match decode pc with
+      | None -> (List.rev acc, T_halt)
+      | Some (size, instr) -> (
+          match classify pc size instr with
+          | Some term -> (List.rev ((pc, size, instr) :: acc), term)
+          | None ->
+              let next = pc + size in
+              if Hashtbl.mem leaders next then
+                (List.rev ((pc, size, instr) :: acc), T_goto next)
+              else collect next ((pc, size, instr) :: acc))
+    in
+    let instrs, terminator = collect start [] in
+    (start, Array.of_list instrs, terminator)
+  in
+  let raw_blocks = List.map block_of_leader leader_list in
+  let blocks =
+    Array.of_list
+      (List.mapi
+         (fun id (start_pc, instrs, terminator) ->
+           { id; start_pc; instrs; terminator })
+         raw_blocks)
+  in
+  let index = Hashtbl.create (Array.length blocks) in
+  Array.iter (fun b -> Hashtbl.replace index b.start_pc b.id) blocks;
+  let n = Array.length blocks in
+  let succs = Array.make n [] in
+  let preds = Array.make n [] in
+  Array.iter
+    (fun b ->
+      let ss =
+        List.filter_map
+          (fun pc -> Hashtbl.find_opt index pc)
+          (terminator_succ_pcs b.terminator)
+      in
+      succs.(b.id) <- ss;
+      List.iter (fun s -> preds.(s) <- b.id :: preds.(s)) ss)
+    blocks;
+  Array.iteri (fun i l -> preds.(i) <- List.rev l) preds;
+  let entry_id =
+    match Hashtbl.find_opt index entry with
+    | Some id -> id
+    | None -> invalid_arg "Cfg.build: entry block missing"
+  in
+  { entry = entry_id; blocks; succs; preds; callees = List.rev !callees }
+
+let block_at t pc =
+  let n = Array.length t.blocks in
+  let rec go i =
+    if i >= n then None
+    else if t.blocks.(i).start_pc = pc then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let decoder_of_mem mem ?(compressed = true) () pc =
+  let half = S4e_mem.Sparse_mem.read16 mem pc in
+  if half land 0x3 <> 0x3 then
+    if compressed then
+      match Compressed.decode16 half with
+      | Some i -> Some (2, i)
+      | None -> None
+    else None
+  else
+    match Decode.decode (S4e_mem.Sparse_mem.read32 mem pc) with
+    | Some i -> Some (4, i)
+    | None -> None
+
+let decoder_of_program p =
+  let mem = S4e_mem.Sparse_mem.create () in
+  S4e_asm.Program.load p mem;
+  let range = S4e_asm.Program.code_range p in
+  fun pc ->
+    match range with
+    | None -> None
+    | Some (lo, hi) ->
+        if pc < lo || pc >= hi then None else decoder_of_mem mem () pc
+
+let block_count t = Array.length t.blocks
+let edge_count t = Array.fold_left (fun acc l -> acc + List.length l) 0 t.succs
+
+let pp fmt t =
+  Array.iter
+    (fun b ->
+      Format.fprintf fmt "block %d @@ 0x%08x (%d instrs) -> %s@."
+        b.id b.start_pc (Array.length b.instrs)
+        (String.concat ","
+           (List.map string_of_int t.succs.(b.id))))
+    t.blocks

@@ -1,0 +1,61 @@
+(** Control-flow graph reconstruction from binaries.
+
+    Rebuilds the intraprocedural CFG of one function directly from
+    machine code, the way the QTA preprocessor rebuilds aiT's block
+    graph: blocks are maximal single-entry straight-line runs; edges are
+    branch outcomes, gotos, and fall-throughs.  Calls ([jal ra]) end a
+    block but are *not* followed — the callee is a separate function
+    (see {!Callgraph}); the call block's successor is the return site.
+
+    Invariants (property-tested):
+    - every instruction belongs to exactly one block;
+    - every edge target is a block start;
+    - the entry block dominates every reachable block. *)
+
+type word = S4e_bits.Bits.word
+
+type terminator =
+  | T_branch of { taken : word; fallthrough : word }
+  | T_goto of word
+  | T_call of { callee : word; return_to : word }
+  | T_ret
+  | T_indirect  (** [jalr] to a computed target (not [ret]) *)
+  | T_halt  (** [ecall]/[ebreak]/[mret]/[wfi], undecodable word, or
+                fall-off-the-map *)
+
+type block = {
+  id : int;
+  start_pc : word;
+  instrs : (word * int * S4e_isa.Instr.t) array;
+  terminator : terminator;
+}
+
+type t = {
+  entry : int;  (** block id of the function entry *)
+  blocks : block array;  (** indexed by id *)
+  succs : int list array;
+  preds : int list array;
+  callees : word list;  (** distinct call targets, in first-call order *)
+}
+
+val block_at : t -> word -> int option
+(** Block id whose [start_pc] is the given address. *)
+
+val build :
+  decode:(word -> (int * S4e_isa.Instr.t) option) -> entry:word -> t
+(** [decode pc] returns [(size, instr)] or [None] past the code.
+    @raise Invalid_argument if [entry] does not decode. *)
+
+val decoder_of_mem :
+  S4e_mem.Sparse_mem.t -> ?compressed:bool -> unit ->
+  word -> (int * S4e_isa.Instr.t) option
+(** A [decode] function reading a loaded image. *)
+
+val decoder_of_program :
+  S4e_asm.Program.t -> word -> (int * S4e_isa.Instr.t) option
+(** Loads the program into a scratch memory and restricts decoding to
+    its code range. *)
+
+val block_count : t -> int
+val edge_count : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+type t = { idom : int array; rpo : int array }
+
+(* Cooper-Harvey-Kennedy iterative dominators. *)
+let compute (g : Cfg.t) =
+  let n = Array.length g.Cfg.blocks in
+  let postorder = ref [] in
+  let mark = Array.make n false in
+  let rec dfs v =
+    if not mark.(v) then begin
+      mark.(v) <- true;
+      List.iter dfs g.Cfg.succs.(v);
+      postorder := v :: !postorder
+    end
+  in
+  dfs g.Cfg.entry;
+  let rpo = Array.of_list !postorder in
+  let rpo_index = Array.make n (-1) in
+  Array.iteri (fun i v -> rpo_index.(v) <- i) rpo;
+  let idom = Array.make n (-1) in
+  idom.(g.Cfg.entry) <- g.Cfg.entry;
+  let intersect a b =
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while rpo_index.(!a) > rpo_index.(!b) do a := idom.(!a) done;
+      while rpo_index.(!b) > rpo_index.(!a) do b := idom.(!b) done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun v ->
+        if v <> g.Cfg.entry then begin
+          let new_idom =
+            List.fold_left
+              (fun acc p ->
+                if idom.(p) = -1 then acc
+                else match acc with None -> Some p | Some a -> Some (intersect a p))
+              None g.Cfg.preds.(v)
+          in
+          match new_idom with
+          | None -> ()
+          | Some d ->
+              if idom.(v) <> d then begin
+                idom.(v) <- d;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  { idom; rpo }
+
+let reachable t v = t.idom.(v) <> -1
+
+let dominates t a b =
+  if not (reachable t b) then false
+  else
+    let rec go v = if v = a then true else if v = t.idom.(v) then false else go t.idom.(v) in
+    go b

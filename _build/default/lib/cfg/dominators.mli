@@ -1,0 +1,15 @@
+(** Dominator analysis (iterative dataflow over reverse postorder).
+
+    [idom.(entry) = entry]; unreachable blocks get [idom = -1]. *)
+
+type t = {
+  idom : int array;  (** immediate dominator per block id *)
+  rpo : int array;  (** reachable blocks in reverse postorder *)
+}
+
+val compute : Cfg.t -> t
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b]: does [a] dominate [b]?  Reflexive. *)
+
+val reachable : t -> int -> bool

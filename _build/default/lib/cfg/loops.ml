@@ -1,0 +1,140 @@
+type loop = {
+  header : int;
+  body : int list;
+  back_edges : (int * int) list;
+  exits : (int * int) list;
+  parent : int option;
+  depth : int;
+}
+
+type t = {
+  loops : loop array;
+  loop_of_header : (int, int) Hashtbl.t;
+}
+
+module Iset = Set.Make (Int)
+
+let back_edges (g : Cfg.t) (dom : Dominators.t) =
+  let edges = ref [] in
+  Array.iter
+    (fun (b : Cfg.block) ->
+      List.iter
+        (fun s ->
+          if Dominators.reachable dom b.Cfg.id
+             && Dominators.dominates dom s b.Cfg.id then
+            edges := (b.Cfg.id, s) :: !edges)
+        g.Cfg.succs.(b.Cfg.id))
+    g.Cfg.blocks;
+  List.rev !edges
+
+(* Natural loop of back edge (latch, header): header + all blocks that
+   reach latch against edge direction without passing header. *)
+let natural_loop (g : Cfg.t) (latch, header) =
+  let body = ref (Iset.singleton header) in
+  (* Never walk the header's predecessors: the header bounds the body. *)
+  let stack = ref (if latch = header then [] else [ latch ]) in
+  body := Iset.add latch !body;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | v :: rest ->
+        stack := rest;
+        List.iter
+          (fun p ->
+            if not (Iset.mem p !body) then begin
+              body := Iset.add p !body;
+              stack := p :: !stack
+            end)
+          g.Cfg.preds.(v)
+  done;
+  !body
+
+let compute (g : Cfg.t) (dom : Dominators.t) =
+  let bes = back_edges g dom in
+  (* merge loops sharing a header *)
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (latch, header) ->
+      let body = natural_loop g (latch, header) in
+      match Hashtbl.find_opt by_header header with
+      | None -> Hashtbl.replace by_header header (body, [ (latch, header) ])
+      | Some (b, es) ->
+          Hashtbl.replace by_header header
+            (Iset.union b body, (latch, header) :: es))
+    bes;
+  let raw =
+    Hashtbl.fold (fun header (body, es) acc -> (header, body, List.rev es) :: acc)
+      by_header []
+    (* Inner loops (smaller bodies) first, so parents appear after
+       children when scanning for the innermost enclosing loop. *)
+    |> List.sort (fun (_, a, _) (_, b, _) -> compare (Iset.cardinal a) (Iset.cardinal b))
+  in
+  let raw = Array.of_list raw in
+  let n = Array.length raw in
+  let parent_of i =
+    let _, body_i, _ = raw.(i) in
+    let rec find j =
+      if j >= n then None
+      else if j <> i then
+        let _, body_j, _ = raw.(j) in
+        if Iset.cardinal body_j > Iset.cardinal body_i && Iset.subset body_i body_j
+        then Some j
+        else find (j + 1)
+      else find (j + 1)
+    in
+    find (i + 1)
+  in
+  let parents = Array.init n parent_of in
+  let rec depth_of i =
+    match parents.(i) with None -> 1 | Some p -> 1 + depth_of p
+  in
+  let exits_of body =
+    Iset.fold
+      (fun v acc ->
+        List.fold_left
+          (fun acc s -> if Iset.mem s body then acc else (v, s) :: acc)
+          acc g.Cfg.succs.(v))
+      body []
+    |> List.rev
+  in
+  let loops =
+    Array.init n (fun i ->
+        let header, body, es = raw.(i) in
+        { header; body = Iset.elements body; back_edges = es;
+          exits = exits_of body; parent = parents.(i); depth = depth_of i })
+  in
+  let loop_of_header = Hashtbl.create n in
+  Array.iteri (fun i l -> Hashtbl.replace loop_of_header l.header i) loops;
+  { loops; loop_of_header }
+
+(* Reducibility: DFS-retreating edges must all be back edges. *)
+let reducible (g : Cfg.t) (dom : Dominators.t) =
+  let n = Array.length g.Cfg.blocks in
+  let color = Array.make n 0 in
+  (* 0 = white, 1 = on stack, 2 = done *)
+  let ok = ref true in
+  let rec dfs v =
+    color.(v) <- 1;
+    List.iter
+      (fun s ->
+        if color.(s) = 0 then dfs s
+        else if color.(s) = 1 && not (Dominators.dominates dom s v) then
+          ok := false)
+      g.Cfg.succs.(v);
+    color.(v) <- 2
+  in
+  dfs g.Cfg.entry;
+  !ok
+
+let innermost t block =
+  let best = ref None in
+  Array.iteri
+    (fun i l ->
+      if List.mem block l.body then
+        match !best with
+        | None -> best := Some i
+        | Some j -> if l.depth > t.loops.(j).depth then best := Some i)
+    t.loops;
+  !best
+
+let in_loop t i block = List.mem block t.loops.(i).body

@@ -1,0 +1,33 @@
+(** Natural-loop detection.
+
+    A back edge is an edge [n -> h] where [h] dominates [n]; its natural
+    loop is [h] plus every block that reaches [n] without passing
+    through [h].  Loops sharing a header are merged.  The nesting forest
+    orders loops by body inclusion.
+
+    {!reducible} holds iff every retreating edge is a back edge — the
+    precondition for the hierarchical WCET analysis. *)
+
+type loop = {
+  header : int;
+  body : int list;  (** sorted block ids, including the header *)
+  back_edges : (int * int) list;  (** (latch, header) *)
+  exits : (int * int) list;  (** (from-block in body, to-block outside) *)
+  parent : int option;  (** index of the innermost enclosing loop *)
+  depth : int;  (** 1 for outermost loops *)
+}
+
+type t = {
+  loops : loop array;
+  loop_of_header : (int, int) Hashtbl.t;  (** header block id -> loop index *)
+}
+
+val compute : Cfg.t -> Dominators.t -> t
+
+val reducible : Cfg.t -> Dominators.t -> bool
+
+val innermost : t -> int -> int option
+(** Index of the innermost loop containing a block id. *)
+
+val in_loop : t -> int -> int -> bool
+(** [in_loop t loop_idx block]: is [block] in that loop's body? *)

@@ -1,0 +1,162 @@
+open S4e_isa
+module Instr = S4e_isa.Instr
+module Program = S4e_asm.Program
+
+type word = int
+
+type t = {
+  total : int;
+  bytes : int;
+  compressed : int;
+  by_mnemonic : (string * int) list;
+  by_module : (Isa_module.t * int) list;
+  gpr_reads : int array;
+  gpr_writes : int array;
+  max_branch_distance : int;
+  max_jump_distance : int;
+  imm_min : int;
+  imm_max : int;
+  loads : int;
+  stores : int;
+}
+
+let module_of_mnemonic =
+  let table = Hashtbl.create 128 in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun name -> Hashtbl.replace table name m)
+        (Isa_module.mnemonics m))
+    Isa_module.all;
+  fun name -> Hashtbl.find_opt table name
+
+let imm12_of = function
+  | Instr.Jalr (_, _, imm)
+  | Instr.Load (_, _, _, imm)
+  | Instr.Store (_, _, _, imm)
+  | Instr.Op_imm (_, _, _, imm)
+  | Instr.Flw (_, _, imm)
+  | Instr.Fsw (_, _, imm) -> Some imm
+  | Instr.Lui _ | Instr.Auipc _ | Instr.Jal _ | Instr.Branch _
+  | Instr.Shift_imm _ | Instr.Op _ | Instr.Unary _ | Instr.Fence
+  | Instr.Fence_i | Instr.Ecall | Instr.Ebreak | Instr.Mret | Instr.Wfi
+  | Instr.Csr _ | Instr.Fp_op _ | Instr.Fp_cmp _ | Instr.Fsqrt _
+  | Instr.Fcvt_w_s _ | Instr.Fcvt_s_w _ | Instr.Fmv_x_w _ | Instr.Fmv_w_x _
+  | Instr.Lr _ | Instr.Sc _ | Instr.Amo _ -> None
+
+let analyze p =
+  let mem = S4e_mem.Sparse_mem.create () in
+  Program.load p mem;
+  let total = ref 0 and bytes = ref 0 and compressed = ref 0 in
+  let counts = Hashtbl.create 64 in
+  let gpr_reads = Array.make 32 0 and gpr_writes = Array.make 32 0 in
+  let max_branch = ref 0 and max_jump = ref 0 in
+  let imm_min = ref 0 and imm_max = ref 0 in
+  let loads = ref 0 and stores = ref 0 in
+  let record instr =
+    incr total;
+    let m = Instr.mnemonic instr in
+    Hashtbl.replace counts m
+      (1 + Option.value (Hashtbl.find_opt counts m) ~default:0);
+    List.iter
+      (fun r -> gpr_reads.(r) <- gpr_reads.(r) + 1)
+      (Instr.sources instr);
+    (match Instr.destination instr with
+    | Some d -> gpr_writes.(d) <- gpr_writes.(d) + 1
+    | None -> ());
+    (match instr with
+    | Instr.Branch (_, _, _, off) -> max_branch := max !max_branch (abs off)
+    | Instr.Jal (_, off) -> max_jump := max !max_jump (abs off)
+    | _ -> ());
+    (match imm12_of instr with
+    | Some imm ->
+        if imm < !imm_min then imm_min := imm;
+        if imm > !imm_max then imm_max := imm
+    | None -> ());
+    match instr with
+    | Instr.Load _ | Instr.Flw _ | Instr.Lr _ -> incr loads
+    | Instr.Store _ | Instr.Fsw _ | Instr.Sc _ -> incr stores
+    | Instr.Amo _ ->
+        incr loads;
+        incr stores
+    | _ -> ()
+  in
+  List.iter
+    (fun (c : Program.chunk) ->
+      if c.Program.is_code then begin
+        bytes := !bytes + String.length c.Program.bytes;
+        let stop = c.Program.addr + String.length c.Program.bytes in
+        let rec walk pc =
+          if pc + 2 <= stop then
+            let half = S4e_mem.Sparse_mem.read16 mem pc in
+            if half land 0x3 <> 0x3 then begin
+              (match Compressed.decode16 half with
+              | Some instr ->
+                  incr compressed;
+                  record instr
+              | None -> ());
+              walk (pc + 2)
+            end
+            else if pc + 4 <= stop then begin
+              (match Decode.decode (S4e_mem.Sparse_mem.read32 mem pc) with
+              | Some instr -> record instr
+              | None -> ());
+              walk (pc + 4)
+            end
+        in
+        walk c.Program.addr
+      end)
+    p.Program.chunks;
+  let by_mnemonic =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+    |> List.sort (fun (a, x) (b, y) ->
+           match compare y x with 0 -> compare a b | c -> c)
+  in
+  let by_module =
+    List.filter_map
+      (fun m ->
+        let n =
+          List.fold_left
+            (fun acc (name, c) ->
+              if module_of_mnemonic name = Some m then acc + c else acc)
+            0 by_mnemonic
+        in
+        if n > 0 then Some (m, n) else None)
+      Isa_module.all
+  in
+  { total = !total; bytes = !bytes; compressed = !compressed; by_mnemonic;
+    by_module; gpr_reads; gpr_writes; max_branch_distance = !max_branch;
+    max_jump_distance = !max_jump; imm_min = !imm_min; imm_max = !imm_max;
+    loads = !loads; stores = !stores }
+
+let required_modules t =
+  (* Instr.mnemonic maps RVC expansions onto base mnemonics, so C is
+     required iff compressed encodings were seen. *)
+  List.map fst t.by_module
+  @ if t.compressed > 0 then [ Isa_module.C ] else []
+
+let unused_gprs t =
+  let out = ref [] in
+  for r = 31 downto 0 do
+    if t.gpr_reads.(r) = 0 && t.gpr_writes.(r) = 0 then out := r :: !out
+  done;
+  !out
+
+let pp fmt t =
+  Format.fprintf fmt "%d instructions in %d bytes (%d compressed)@." t.total
+    t.bytes t.compressed;
+  Format.fprintf fmt "modules: %s@."
+    (String.concat " "
+       (List.map
+          (fun (m, n) -> Printf.sprintf "%s:%d" (Isa_module.name m) n)
+          t.by_module));
+  Format.fprintf fmt "loads: %d, stores: %d@." t.loads t.stores;
+  Format.fprintf fmt "max branch distance: %d, max jump distance: %d@."
+    t.max_branch_distance t.max_jump_distance;
+  Format.fprintf fmt "immediate range: [%d, %d]@." t.imm_min t.imm_max;
+  Format.fprintf fmt "top instructions:";
+  List.iteri
+    (fun i (m, n) -> if i < 8 then Format.fprintf fmt " %s:%d" m n)
+    t.by_mnemonic;
+  Format.fprintf fmt "@.unused registers: %s@."
+    (String.concat " " (List.map Reg.x_name (unused_gprs t)))

@@ -1,0 +1,40 @@
+(** Static instruction-set analysis — the ANALISA companion tool
+    (DATE 2017 University Booth).
+
+    Where the coverage collector measures what a binary *does*, this
+    module measures what it *contains*: instruction-type histograms per
+    ISA module, static register read/write pressure, immediate-value
+    and branch-distance distributions, and memory addressing shape.
+    Useful for ISA-subset sizing ("which extensions does this binary
+    actually need?") and as the static denominator next to dynamic
+    coverage. *)
+
+type word = S4e_bits.Bits.word
+
+type t = {
+  total : int;  (** decoded instructions *)
+  bytes : int;  (** code bytes analyzed *)
+  compressed : int;  (** 16-bit encodings *)
+  by_mnemonic : (string * int) list;  (** descending by count *)
+  by_module : (S4e_isa.Isa_module.t * int) list;
+  gpr_reads : int array;  (** static read sites per register *)
+  gpr_writes : int array;
+  max_branch_distance : int;  (** |bytes|, conditional branches *)
+  max_jump_distance : int;  (** |bytes|, jal *)
+  imm_min : int;  (** most negative 12-bit immediate used *)
+  imm_max : int;
+  loads : int;
+  stores : int;
+}
+
+val analyze : S4e_asm.Program.t -> t
+(** Linear sweep over all code chunks (both encodings). *)
+
+val required_modules : t -> S4e_isa.Isa_module.t list
+(** Modules with at least one instruction in the binary — the minimal
+    ISA configuration that can run it. *)
+
+val unused_gprs : t -> int list
+(** Registers with no static read or write site. *)
+
+val pp : Format.formatter -> t -> unit

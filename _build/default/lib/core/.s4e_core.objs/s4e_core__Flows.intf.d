@@ -1,0 +1,1 @@
+lib/core/flows.mli: S4e_asm S4e_bits S4e_coverage S4e_cpu S4e_fault S4e_wcet

@@ -1,0 +1,1 @@
+lib/core/io_guard.ml: Format List S4e_cpu S4e_mem

@@ -1,0 +1,1 @@
+lib/core/io_guard.mli: Format S4e_bits S4e_cpu

@@ -1,0 +1,109 @@
+module Machine = S4e_cpu.Machine
+module Program = S4e_asm.Program
+
+type word = int
+
+type run_result = {
+  rr_stop : Machine.stop_reason;
+  rr_instret : int;
+  rr_cycles : int;
+  rr_uart : string;
+}
+
+let default_fuel = 10_000_000
+
+let run ?config ?(fuel = default_fuel) p =
+  let m = Machine.create ?config () in
+  Program.load_machine p m;
+  let stop = Machine.run m ~fuel in
+  { rr_stop = stop;
+    rr_instret = Machine.instret m;
+    rr_cycles = Machine.cycles m;
+    rr_uart = Machine.uart_output m }
+
+let coverage_of_suite ?config ?(fuel = default_fuel) suite =
+  let isa =
+    match config with
+    | Some c -> c.Machine.isa
+    | None -> Machine.default_config.Machine.isa
+  in
+  List.fold_left
+    (fun acc (_, p) ->
+      let m = Machine.create ?config () in
+      let collector = S4e_coverage.Collector.attach m () in
+      Program.load_machine p m;
+      let (_ : Machine.stop_reason) = Machine.run m ~fuel in
+      let rep = S4e_coverage.Collector.report collector in
+      S4e_coverage.Collector.detach m collector;
+      S4e_coverage.Report.combine acc rep)
+    (S4e_coverage.Report.create ~isa)
+    suite
+
+type wcet_result = {
+  wr_static : int;
+  wr_path : int;
+  wr_dynamic : int;
+  wr_report : S4e_wcet.Analysis.report;
+  wr_stop : Machine.stop_reason;
+}
+
+let wcet_flow ?config ?(model = S4e_cpu.Timing_model.default)
+    ?(annotations = []) ?(fuel = default_fuel) p =
+  match S4e_wcet.Analysis.analyze ~model ~annotations p with
+  | Error e -> Error e
+  | Ok report -> (
+      match S4e_wcet.Annotated_cfg.of_program ~model ~annotations p with
+      | Error e -> Error e
+      | Ok acfg ->
+          let config =
+            match config with
+            | Some c -> { c with Machine.timing = model }
+            | None -> { Machine.default_config with Machine.timing = model }
+          in
+          let m = Machine.create ~config () in
+          let qta = S4e_wcet.Qta.attach m acfg in
+          Program.load_machine p m;
+          let stop = Machine.run m ~fuel in
+          let qr = S4e_wcet.Qta.report qta in
+          Ok
+            { wr_static = report.S4e_wcet.Analysis.program_wcet;
+              wr_path = qr.S4e_wcet.Qta.path_wcet;
+              wr_dynamic = Machine.cycles m;
+              wr_report = report;
+              wr_stop = stop })
+
+type fault_flow_config = {
+  ff_seed : int;
+  ff_mutants : int;
+  ff_targets : S4e_fault.Campaign.target list;
+  ff_kinds : S4e_fault.Campaign.kind_choice list;
+  ff_fuel : int;
+  ff_blind : bool;
+}
+
+let default_fault_config =
+  { ff_seed = 1; ff_mutants = 100; ff_targets = [ `Gpr; `Code; `Data ];
+    ff_kinds = [ `Permanent; `Transient ]; ff_fuel = 1_000_000;
+    ff_blind = false }
+
+type fault_flow_result = {
+  ff_summary : S4e_fault.Campaign.summary;
+  ff_results : (S4e_fault.Fault.t * S4e_fault.Campaign.outcome) list;
+  ff_golden : S4e_fault.Campaign.signature;
+}
+
+let fault_flow ?config cfg p =
+  let golden, coverage = S4e_fault.Campaign.golden ?config ~fuel:cfg.ff_fuel p in
+  let golden_instret = golden.S4e_fault.Campaign.sig_instret in
+  let faults =
+    if cfg.ff_blind then
+      S4e_fault.Campaign.generate_blind ~seed:cfg.ff_seed ~n:cfg.ff_mutants
+        ~targets:cfg.ff_targets ~kinds:cfg.ff_kinds ~program:p ~golden_instret
+    else
+      S4e_fault.Campaign.generate ~seed:cfg.ff_seed ~n:cfg.ff_mutants
+        ~targets:cfg.ff_targets ~kinds:cfg.ff_kinds ~coverage ~golden_instret
+  in
+  let results = S4e_fault.Campaign.run ?config ~fuel:cfg.ff_fuel p ~golden faults in
+  { ff_summary = S4e_fault.Campaign.summarize results;
+    ff_results = results;
+    ff_golden = golden }

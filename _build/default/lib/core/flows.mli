@@ -1,0 +1,79 @@
+(** The ecosystem's four analysis flows behind one API.
+
+    Everything a downstream user needs for the common cases: run a
+    program on the virtual prototype, measure suite coverage, run a
+    fault campaign, and run the full QTA WCET flow (static analysis +
+    annotated co-simulation + dynamic measurement). *)
+
+type word = S4e_bits.Bits.word
+
+(** {1 Plain execution} *)
+
+type run_result = {
+  rr_stop : S4e_cpu.Machine.stop_reason;
+  rr_instret : int;
+  rr_cycles : int;
+  rr_uart : string;
+}
+
+val run :
+  ?config:S4e_cpu.Machine.config -> ?fuel:int -> S4e_asm.Program.t ->
+  run_result
+(** Default fuel: 10 million instructions. *)
+
+(** {1 Coverage} *)
+
+val coverage_of_suite :
+  ?config:S4e_cpu.Machine.config ->
+  ?fuel:int ->
+  (string * S4e_asm.Program.t) list ->
+  S4e_coverage.Report.t
+(** Runs every program of the suite on a fresh machine and combines the
+    reports. *)
+
+(** {1 WCET (the QTA flow)} *)
+
+type wcet_result = {
+  wr_static : int;  (** static program WCET bound *)
+  wr_path : int;  (** WCET of the executed path (co-simulation) *)
+  wr_dynamic : int;  (** measured dynamic cycles *)
+  wr_report : S4e_wcet.Analysis.report;
+  wr_stop : S4e_cpu.Machine.stop_reason;
+}
+
+val wcet_flow :
+  ?config:S4e_cpu.Machine.config ->
+  ?model:S4e_cpu.Timing_model.t ->
+  ?annotations:(string * int) list ->
+  ?fuel:int ->
+  S4e_asm.Program.t ->
+  (wcet_result, S4e_wcet.Analysis.error) result
+(** For every terminating run, [wr_dynamic <= wr_path <= wr_static].
+    The machine's timing model is forced to [model] so the three
+    numbers are comparable. *)
+
+(** {1 Fault campaigns} *)
+
+type fault_flow_config = {
+  ff_seed : int;
+  ff_mutants : int;
+  ff_targets : S4e_fault.Campaign.target list;
+  ff_kinds : S4e_fault.Campaign.kind_choice list;
+  ff_fuel : int;
+  ff_blind : bool;  (** ablation: ignore coverage guidance *)
+}
+
+val default_fault_config : fault_flow_config
+(** seed 1, 100 mutants, GPR+code+data, both kinds, fuel 1M, guided. *)
+
+type fault_flow_result = {
+  ff_summary : S4e_fault.Campaign.summary;
+  ff_results : (S4e_fault.Fault.t * S4e_fault.Campaign.outcome) list;
+  ff_golden : S4e_fault.Campaign.signature;
+}
+
+val fault_flow :
+  ?config:S4e_cpu.Machine.config ->
+  fault_flow_config ->
+  S4e_asm.Program.t ->
+  fault_flow_result

@@ -1,0 +1,46 @@
+(** Non-invasive IO access monitoring (MBMV 2019 security analysis).
+
+    A policy whitelists, per device, the code regions allowed to touch
+    it.  The guard watches the bus: any device access whose program
+    counter falls outside the device's allowed regions is recorded as a
+    violation — without instrumenting the target software.  The lock-
+    system example uses this to catch an exploit path writing to the
+    UART directly. *)
+
+type word = S4e_bits.Bits.word
+
+type restriction =
+  | Restrict_all  (** reads and writes both need authorization *)
+  | Restrict_writes  (** reads are free; writes need authorization *)
+
+type policy = {
+  p_device : string;  (** bus device name, e.g. ["uart"] *)
+  p_allowed : (word * word) list;
+      (** pc ranges [\[lo, hi)] permitted to access the device; an empty
+          list forbids all restricted access *)
+  p_restrict : restriction;
+}
+
+type violation = {
+  v_pc : word;  (** pc of the offending instruction *)
+  v_device : string;
+  v_addr : word;
+  v_is_write : bool;
+  v_instret : int;  (** retired-instruction timestamp of the access *)
+}
+
+type t
+
+val attach : S4e_cpu.Machine.t -> policy list -> t
+(** Installs the bus watcher.  Devices without a policy are
+    unrestricted.  Replaces any previously installed IO watcher. *)
+
+val detach : S4e_cpu.Machine.t -> t -> unit
+
+val violations : t -> violation list
+(** In occurrence order. *)
+
+val accesses : t -> int
+(** Total device accesses observed. *)
+
+val pp_violation : Format.formatter -> violation -> unit

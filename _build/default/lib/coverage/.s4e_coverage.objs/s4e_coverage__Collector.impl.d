@@ -1,0 +1,1 @@
+lib/coverage/collector.ml: Array Hashtbl Instr List Option Report S4e_cpu S4e_isa

@@ -1,0 +1,1 @@
+lib/coverage/collector.mli: Report S4e_cpu S4e_isa

@@ -1,0 +1,1 @@
+lib/coverage/report.ml: Array Format Hashtbl List Option S4e_isa String

@@ -1,0 +1,1 @@
+lib/coverage/report.mli: Format Hashtbl S4e_isa

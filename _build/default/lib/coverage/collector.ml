@@ -1,0 +1,59 @@
+open S4e_isa
+
+type t = {
+  rep : Report.t;
+  insn_id : S4e_cpu.Hooks.id;
+  mem_id : S4e_cpu.Hooks.id;
+}
+
+let record_instr rep pc instr =
+  let r = (rep : Report.t) in
+  Hashtbl.replace r.Report.executed_pcs pc ();
+  let m = Instr.mnemonic instr in
+  let prev = Option.value (Hashtbl.find_opt r.Report.executed m) ~default:0 in
+  Hashtbl.replace r.Report.executed m (prev + 1);
+  List.iter (fun s -> r.Report.gpr_read.(s) <- true) (Instr.sources instr);
+  (match Instr.destination instr with
+  | Some d -> r.Report.gpr_written.(d) <- true
+  | None -> ());
+  List.iter (fun s -> r.Report.fpr_read.(s) <- true) (Instr.fp_sources instr);
+  (match Instr.fp_destination instr with
+  | Some d -> r.Report.fpr_written.(d) <- true
+  | None -> ());
+  match instr with
+  | Instr.Csr (_, _, csr, _) -> Hashtbl.replace r.Report.csr_accessed csr ()
+  | _ -> ()
+
+let record_mem rep (ev : S4e_cpu.Hooks.mem_event) =
+  let r = (rep : Report.t) in
+  r.Report.mem_accesses <- r.Report.mem_accesses + 1;
+  if Hashtbl.length r.Report.touched_data < Report.touched_data_cap then
+    for i = 0 to ev.S4e_cpu.Hooks.mem_size - 1 do
+      Hashtbl.replace r.Report.touched_data (ev.S4e_cpu.Hooks.mem_addr + i) ()
+    done;
+  if ev.S4e_cpu.Hooks.mem_addr < r.Report.mem_lo then
+    r.Report.mem_lo <- ev.S4e_cpu.Hooks.mem_addr;
+  let hi = ev.S4e_cpu.Hooks.mem_addr + ev.S4e_cpu.Hooks.mem_size in
+  if hi > r.Report.mem_hi then r.Report.mem_hi <- hi
+
+let attach (m : S4e_cpu.Machine.t) ?isa () =
+  let isa =
+    match isa with
+    | Some l -> l
+    | None -> m.S4e_cpu.Machine.config.S4e_cpu.Machine.isa
+  in
+  let rep = Report.create ~isa in
+  let insn_id =
+    S4e_cpu.Hooks.on_insn m.S4e_cpu.Machine.hooks (fun pc i ->
+        record_instr rep pc i)
+  in
+  let mem_id =
+    S4e_cpu.Hooks.on_mem m.S4e_cpu.Machine.hooks (fun ev -> record_mem rep ev)
+  in
+  { rep; insn_id; mem_id }
+
+let detach (m : S4e_cpu.Machine.t) t =
+  S4e_cpu.Hooks.unregister m.S4e_cpu.Machine.hooks t.insn_id;
+  S4e_cpu.Hooks.unregister m.S4e_cpu.Machine.hooks t.mem_id
+
+let report t = t.rep

@@ -1,0 +1,16 @@
+(** Coverage collection as a plugin over the hook API.
+
+    Non-invasive, like the published tool: the binary under analysis is
+    unmodified; the collector subscribes to instruction and memory
+    events and fills a {!Report.t}. *)
+
+type t
+
+val attach :
+  S4e_cpu.Machine.t -> ?isa:S4e_isa.Isa_module.t list -> unit -> t
+(** [isa] defaults to the machine's configured modules. *)
+
+val detach : S4e_cpu.Machine.t -> t -> unit
+
+val report : t -> Report.t
+(** The live report (shared, not a copy). *)

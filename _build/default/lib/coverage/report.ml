@@ -1,0 +1,129 @@
+module Isa_module = S4e_isa.Isa_module
+
+type t = {
+  isa : Isa_module.t list;
+  executed : (string, int) Hashtbl.t;
+  gpr_read : bool array;
+  gpr_written : bool array;
+  fpr_read : bool array;
+  fpr_written : bool array;
+  csr_accessed : (int, unit) Hashtbl.t;
+  executed_pcs : (int, unit) Hashtbl.t;
+  touched_data : (int, unit) Hashtbl.t;
+  mutable mem_lo : int;
+  mutable mem_hi : int;
+  mutable mem_accesses : int;
+}
+
+let create ~isa =
+  { isa;
+    executed = Hashtbl.create 128;
+    gpr_read = Array.make 32 false;
+    gpr_written = Array.make 32 false;
+    fpr_read = Array.make 32 false;
+    fpr_written = Array.make 32 false;
+    csr_accessed = Hashtbl.create 16;
+    executed_pcs = Hashtbl.create 1024;
+    touched_data = Hashtbl.create 1024;
+    mem_lo = max_int;
+    mem_hi = 0;
+    mem_accesses = 0 }
+
+let union_isa a b =
+  List.sort_uniq compare (a @ b)
+
+let combine a b =
+  let t = create ~isa:(union_isa a.isa b.isa) in
+  let merge_counts src =
+    Hashtbl.iter
+      (fun k v ->
+        let prev = Option.value (Hashtbl.find_opt t.executed k) ~default:0 in
+        Hashtbl.replace t.executed k (prev + v))
+      src.executed
+  in
+  merge_counts a;
+  merge_counts b;
+  let merge_bools dst xa xb =
+    Array.iteri (fun i v -> dst.(i) <- v || xb.(i)) xa
+  in
+  merge_bools t.gpr_read a.gpr_read b.gpr_read;
+  merge_bools t.gpr_written a.gpr_written b.gpr_written;
+  merge_bools t.fpr_read a.fpr_read b.fpr_read;
+  merge_bools t.fpr_written a.fpr_written b.fpr_written;
+  List.iter
+    (fun src ->
+      Hashtbl.iter (fun k () -> Hashtbl.replace t.csr_accessed k ()) src.csr_accessed;
+      Hashtbl.iter (fun k () -> Hashtbl.replace t.executed_pcs k ()) src.executed_pcs;
+      Hashtbl.iter (fun k () -> Hashtbl.replace t.touched_data k ()) src.touched_data)
+    [ a; b ];
+  t.mem_lo <- min a.mem_lo b.mem_lo;
+  t.mem_hi <- max a.mem_hi b.mem_hi;
+  t.mem_accesses <- a.mem_accesses + b.mem_accesses;
+  t
+
+let touched_data_cap = 1 lsl 16
+
+let universe t = Isa_module.universe t.isa
+
+let frac num den = if den = 0 then 1.0 else float_of_int num /. float_of_int den
+
+let instruction_coverage t =
+  let u = universe t in
+  let hit = List.length (List.filter (Hashtbl.mem t.executed) u) in
+  frac hit (List.length u)
+
+let accessed read written =
+  let n = ref 0 in
+  for i = 0 to 31 do
+    if read.(i) || written.(i) then incr n
+  done;
+  !n
+
+let gpr_coverage t = frac (accessed t.gpr_read t.gpr_written) 32
+
+let fpr_coverage t =
+  if List.mem Isa_module.F t.isa then
+    frac (accessed t.fpr_read t.fpr_written) 32
+  else 1.0
+
+let csr_coverage t =
+  if List.mem Isa_module.Zicsr t.isa then
+    let implemented = S4e_isa.Csr.implemented in
+    let hit =
+      List.length (List.filter (Hashtbl.mem t.csr_accessed) implemented)
+    in
+    frac hit (List.length implemented)
+  else 1.0
+
+let missed_instructions t =
+  List.filter (fun m -> not (Hashtbl.mem t.executed m)) (universe t)
+
+let missed_regs read written =
+  let out = ref [] in
+  for i = 31 downto 0 do
+    if not (read.(i) || written.(i)) then out := i :: !out
+  done;
+  !out
+
+let missed_gprs t = missed_regs t.gpr_read t.gpr_written
+let missed_fprs t = missed_regs t.fpr_read t.fpr_written
+
+let executed_count t = Hashtbl.fold (fun _ v acc -> acc + v) t.executed 0
+
+let pct f = 100.0 *. f
+
+let pp fmt t =
+  Format.fprintf fmt "ISA: %s@." (Isa_module.isa_string t.isa);
+  Format.fprintf fmt "instruction types: %.1f%% (%d/%d)@."
+    (pct (instruction_coverage t))
+    (List.length (universe t) - List.length (missed_instructions t))
+    (List.length (universe t));
+  Format.fprintf fmt "GPR: %.1f%%  FPR: %.1f%%  CSR: %.1f%%@."
+    (pct (gpr_coverage t)) (pct (fpr_coverage t)) (pct (csr_coverage t));
+  (match missed_instructions t with
+  | [] -> ()
+  | missed ->
+      Format.fprintf fmt "missed instructions: %s@." (String.concat " " missed));
+  if t.mem_accesses > 0 then
+    Format.fprintf fmt "data memory: [0x%08x, 0x%08x), %d accesses@."
+      t.mem_lo t.mem_hi t.mem_accesses

@@ -1,0 +1,57 @@
+(** Coverage reports: the ecosystem's instruction-type and register
+    coverage metric (MBMV 2021).
+
+    A report records, for a configured ISA, which instruction types
+    (canonical mnemonics) were executed, which GPRs/FPRs were read or
+    written, which CSRs were accessed, and the extent of touched data
+    memory.  Reports from different test suites {!combine} into a
+    unified-suite report — the paper's headline experiment. *)
+
+type t = {
+  isa : S4e_isa.Isa_module.t list;
+  executed : (string, int) Hashtbl.t;  (** mnemonic -> execution count *)
+  gpr_read : bool array;
+  gpr_written : bool array;
+  fpr_read : bool array;
+  fpr_written : bool array;
+  csr_accessed : (int, unit) Hashtbl.t;
+  executed_pcs : (int, unit) Hashtbl.t;
+  touched_data : (int, unit) Hashtbl.t;
+      (** byte addresses of data accesses (fault-injection sites);
+          capped at {!touched_data_cap} entries *)
+  mutable mem_lo : int;  (** lowest data address touched; [max_int] if none *)
+  mutable mem_hi : int;  (** highest data address touched, exclusive *)
+  mutable mem_accesses : int;
+}
+
+val touched_data_cap : int
+
+val create : isa:S4e_isa.Isa_module.t list -> t
+
+val combine : t -> t -> t
+(** Union of two reports (the unified test suite).  The ISA
+    configuration is the union of both. *)
+
+(** {1 Metrics (each in [0, 1])} *)
+
+val instruction_coverage : t -> float
+(** Executed fraction of the configured modules' mnemonic universe. *)
+
+val gpr_coverage : t -> float
+(** Fraction of the 32 GPRs accessed (read or written).  [x0] counts as
+    accessed when read or used as a discard destination. *)
+
+val fpr_coverage : t -> float
+val csr_coverage : t -> float
+(** Over {!S4e_isa.Csr.implemented}. *)
+
+val missed_instructions : t -> string list
+(** Universe mnemonics never executed, sorted. *)
+
+val missed_gprs : t -> int list
+val missed_fprs : t -> int list
+
+val executed_count : t -> int
+(** Total dynamic instructions recorded. *)
+
+val pp : Format.formatter -> t -> unit

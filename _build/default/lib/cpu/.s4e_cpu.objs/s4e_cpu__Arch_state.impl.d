@@ -1,0 +1,1 @@
+lib/cpu/arch_state.ml: Array Csr S4e_isa

@@ -1,0 +1,1 @@
+lib/cpu/arch_state.mli: S4e_bits S4e_isa

@@ -1,0 +1,1 @@
+lib/cpu/cache_model.ml: Array Hooks Machine

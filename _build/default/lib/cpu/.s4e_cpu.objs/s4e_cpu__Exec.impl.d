@@ -1,0 +1,1 @@
+lib/cpu/exec.ml: Arch_state Encode Float Hooks Int32 S4e_bits S4e_isa S4e_mem Trap

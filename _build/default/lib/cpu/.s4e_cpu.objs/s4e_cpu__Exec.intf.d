@@ -1,0 +1,1 @@
+lib/cpu/exec.mli: Arch_state Hooks S4e_isa S4e_mem

@@ -1,0 +1,1 @@
+lib/cpu/hooks.ml: List S4e_isa Trap

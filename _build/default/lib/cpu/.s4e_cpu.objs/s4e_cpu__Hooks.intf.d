@@ -1,0 +1,1 @@
+lib/cpu/hooks.mli: S4e_bits S4e_isa Trap

@@ -1,0 +1,1 @@
+lib/cpu/machine.ml: Arch_state Array Compressed Decode Decodetree Exec Format Hooks Instr Isa_module List S4e_isa S4e_mem S4e_soc Set String Tb_cache Timing_model Trap

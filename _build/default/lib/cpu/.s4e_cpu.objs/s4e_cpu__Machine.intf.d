@@ -1,0 +1,1 @@
+lib/cpu/machine.mli: Arch_state Format Hooks S4e_bits S4e_isa S4e_mem S4e_soc Tb_cache Timing_model Trap

@@ -1,0 +1,1 @@
+lib/cpu/tb_cache.ml: Array Hashtbl List S4e_isa

@@ -1,0 +1,1 @@
+lib/cpu/tb_cache.mli: S4e_bits S4e_isa

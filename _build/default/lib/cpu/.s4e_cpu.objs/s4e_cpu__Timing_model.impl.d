@@ -1,0 +1,1 @@
+lib/cpu/timing_model.ml: S4e_isa

@@ -1,0 +1,1 @@
+lib/cpu/timing_model.mli: S4e_isa

@@ -1,0 +1,1 @@
+lib/cpu/tracer.ml: Array Format Hooks Instr List Reg S4e_bits S4e_isa

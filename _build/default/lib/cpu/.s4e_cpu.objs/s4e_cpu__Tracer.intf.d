@@ -1,0 +1,1 @@
+lib/cpu/tracer.mli: Format Hooks S4e_bits S4e_isa

@@ -1,0 +1,1 @@
+lib/cpu/trap.ml: Printf S4e_bits

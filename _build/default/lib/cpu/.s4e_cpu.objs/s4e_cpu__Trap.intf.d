@@ -1,0 +1,1 @@
+lib/cpu/trap.mli: S4e_bits

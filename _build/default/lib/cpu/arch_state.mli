@@ -1,0 +1,58 @@
+(** Architectural state of one RV32 hart (machine mode only).
+
+    GPRs and FPRs are exposed through accessors that maintain the
+    invariants ([x0] reads zero, all values canonical 32-bit words). *)
+
+type word = S4e_bits.Bits.word
+
+type t = {
+  regs : word array;  (** 32 GPRs; [regs.(0)] is kept at 0 *)
+  fregs : word array;  (** 32 FPRs as IEEE-754 single bit patterns *)
+  mutable pc : word;
+  mutable mstatus : word;
+  mutable mie : word;
+  mutable mip : word;
+  mutable mtvec : word;
+  mutable mscratch : word;
+  mutable mepc : word;
+  mutable mcause : word;
+  mutable mtval : word;
+  mutable fcsr : word;
+  mutable cycle : int;  (** 64-bit cycle counter in a native int *)
+  mutable instret : int;
+  mutable time_source : unit -> int;
+      (** Reads platform time for the [time] CSR; the machine points
+          this at the CLINT. *)
+  mutable reservation : word option;
+      (** LR/SC reservation address (A extension, single hart). *)
+}
+
+val create : ?pc:word -> unit -> t
+val reset : t -> pc:word -> unit
+
+val get_reg : t -> S4e_isa.Reg.t -> word
+
+val set_reg : t -> S4e_isa.Reg.t -> word -> unit
+(** Writes to [x0] are discarded. *)
+
+val get_freg : t -> S4e_isa.Reg.t -> word
+val set_freg : t -> S4e_isa.Reg.t -> word -> unit
+
+(** {1 mstatus fields} *)
+
+val mie_bit : t -> bool
+val set_mie_bit : t -> bool -> unit
+val mpie_bit : t -> bool
+val set_mpie_bit : t -> bool -> unit
+
+(** {1 CSR file}
+
+    [csr_read]/[csr_write] return [None] for unimplemented addresses;
+    the executor maps [None] to an illegal-instruction trap.
+    [csr_write] to a read-only address also yields [None]. *)
+
+val csr_read : t -> S4e_isa.Csr.t -> word option
+val csr_write : t -> S4e_isa.Csr.t -> word -> unit option
+
+val copy : t -> t
+(** Deep copy (snapshot for fault campaigns and differential runs). *)

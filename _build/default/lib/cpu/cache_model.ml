@@ -1,0 +1,116 @@
+type geometry = {
+  g_line_bytes : int;
+  g_sets : int;
+  g_ways : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let geometry ?(ways = 2) ~line_bytes ~total_bytes () =
+  if not (is_pow2 line_bytes) || line_bytes < 4 then
+    invalid_arg "Cache_model.geometry: line size must be a power of two >= 4";
+  if not (is_pow2 ways) then
+    invalid_arg "Cache_model.geometry: associativity must be a power of two";
+  let sets = total_bytes / (line_bytes * ways) in
+  if sets = 0 || not (is_pow2 sets) then
+    invalid_arg
+      "Cache_model.geometry: total size must be a power-of-two multiple of \
+       line size x ways";
+  { g_line_bytes = line_bytes; g_sets = sets; g_ways = ways }
+
+let size_bytes g = g.g_line_bytes * g.g_sets * g.g_ways
+
+type stats = {
+  st_accesses : int;
+  st_hits : int;
+  st_misses : int;
+}
+
+let hit_rate s =
+  if s.st_accesses = 0 then 1.0
+  else float_of_int s.st_hits /. float_of_int s.st_accesses
+
+type t = {
+  geo : geometry;
+  tags : int array;  (* sets x ways; -1 = invalid *)
+  lru : int array;  (* per (set, way): last-use stamp *)
+  mutable clock : int;
+  mutable accesses : int;
+  mutable hits : int;
+}
+
+let create geo =
+  { geo;
+    tags = Array.make (geo.g_sets * geo.g_ways) (-1);
+    lru = Array.make (geo.g_sets * geo.g_ways) 0;
+    clock = 0;
+    accesses = 0;
+    hits = 0 }
+
+let access t addr =
+  let line = addr / t.geo.g_line_bytes in
+  let set = line land (t.geo.g_sets - 1) in
+  (* the full line number serves as the tag (set match is implied) *)
+  let tag = line in
+  let base = set * t.geo.g_ways in
+  t.accesses <- t.accesses + 1;
+  t.clock <- t.clock + 1;
+  let rec find w =
+    if w >= t.geo.g_ways then None
+    else if t.tags.(base + w) = tag then Some w
+    else find (w + 1)
+  in
+  match find 0 with
+  | Some w ->
+      t.hits <- t.hits + 1;
+      t.lru.(base + w) <- t.clock;
+      true
+  | None ->
+      (* evict the least recently used way *)
+      let victim = ref 0 in
+      for w = 1 to t.geo.g_ways - 1 do
+        if t.lru.(base + w) < t.lru.(base + !victim) then victim := w
+      done;
+      t.tags.(base + !victim) <- tag;
+      t.lru.(base + !victim) <- t.clock;
+      false
+
+let stats t =
+  { st_accesses = t.accesses; st_hits = t.hits;
+    st_misses = t.accesses - t.hits }
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.lru 0 (Array.length t.lru) 0;
+  t.clock <- 0;
+  t.accesses <- 0;
+  t.hits <- 0
+
+type attached = {
+  ic : t;
+  dc : t;
+  insn_id : Hooks.id;
+  mem_id : Hooks.id;
+}
+
+let default_geometry =
+  { g_line_bytes = 32; g_sets = 64; g_ways = 2 }  (* 4 KiB *)
+
+let attach ?(icache = default_geometry) ?(dcache = default_geometry)
+    (m : Machine.t) =
+  let ic = create icache and dc = create dcache in
+  let insn_id =
+    Hooks.on_insn m.Machine.hooks (fun pc _ -> ignore (access ic pc))
+  in
+  let mem_id =
+    Hooks.on_mem m.Machine.hooks (fun ev ->
+        ignore (access dc ev.Hooks.mem_addr))
+  in
+  { ic; dc; insn_id; mem_id }
+
+let detach (m : Machine.t) a =
+  Hooks.unregister m.Machine.hooks a.insn_id;
+  Hooks.unregister m.Machine.hooks a.mem_id
+
+let icache_stats a = stats a.ic
+let dcache_stats a = stats a.dc

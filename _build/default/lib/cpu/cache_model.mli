@@ -1,0 +1,60 @@
+(** Observational cache models — another hook-API client.
+
+    QEMU ships a cache-modeling TCG plugin; the same idea here: set-
+    associative LRU instruction and data caches fed by the insn/mem
+    hooks, reporting hit rates without influencing timing.  (Folding
+    cache effects into the timing model would require a static cache
+    analysis on the WCET side to stay sound — aiT's core feature, and
+    documented future work in DESIGN.md.)
+
+    Geometry invariants are checked at creation: line size, set count,
+    and associativity must be powers of two. *)
+
+type geometry = {
+  g_line_bytes : int;  (** power of two, >= 4 *)
+  g_sets : int;  (** power of two *)
+  g_ways : int;  (** power of two *)
+}
+
+val geometry : ?ways:int -> line_bytes:int -> total_bytes:int -> unit -> geometry
+(** Derives the set count from [total_bytes / (line_bytes * ways)];
+    [ways] defaults to 2.
+    @raise Invalid_argument on non-power-of-two shapes. *)
+
+val size_bytes : geometry -> int
+
+type stats = {
+  st_accesses : int;
+  st_hits : int;
+  st_misses : int;
+}
+
+val hit_rate : stats -> float
+(** Hits per access; 1.0 for an unused cache. *)
+
+type t
+
+val create : geometry -> t
+(** A standalone cache (usable without a machine, e.g. in tests). *)
+
+val access : t -> int -> bool
+(** [access t addr] touches the line containing [addr]; returns whether
+    it hit.  LRU replacement within the set. *)
+
+val stats : t -> stats
+val reset : t -> unit
+
+(** {1 Machine attachment} *)
+
+type attached
+
+val attach :
+  ?icache:geometry -> ?dcache:geometry -> Machine.t -> attached
+(** Subscribes an instruction cache to the insn hook and a data cache
+    to the mem hook.  Defaults: 4 KiB 2-way I-cache and D-cache with
+    32-byte lines. *)
+
+val detach : Machine.t -> attached -> unit
+
+val icache_stats : attached -> stats
+val dcache_stats : attached -> stats

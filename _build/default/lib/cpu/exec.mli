@@ -1,0 +1,23 @@
+(** Single-instruction executor.
+
+    [execute ?on_mem state bus ~size instr] performs one architectural
+    step: reads operands, performs the operation (including bus
+    accesses), writes results, and advances [state.pc] (by [size] bytes,
+    or to the control-flow target).  Raises {!Trap.Exn} on synchronous
+    exceptions, leaving [state.pc] at the faulting instruction so the
+    machine can enter the trap.
+
+    The return value reports whether a conditional branch was taken
+    ([false] for every non-branch); the machine feeds it to the timing
+    model.
+
+    [on_mem] observes each data access; it is passed explicitly (rather
+    than via {!Hooks}) so the executor stays container-free. *)
+
+val execute :
+  ?on_mem:(Hooks.mem_event -> unit) ->
+  Arch_state.t ->
+  S4e_mem.Bus.t ->
+  size:int ->
+  S4e_isa.Instr.t ->
+  bool

@@ -1,0 +1,313 @@
+open S4e_isa
+module Bus = S4e_mem.Bus
+module Soc = S4e_soc
+
+type word = int
+
+type decoder_kind = Hand_decoder | Decodetree_decoder
+
+type config = {
+  isa : Isa_module.t list;
+  timing : Timing_model.t;
+  use_tb_cache : bool;
+  decoder : decoder_kind;
+}
+
+let default_config =
+  { isa = [ Isa_module.I; M; A; F; C; Zicsr; B ];
+    timing = Timing_model.default; use_tb_cache = true;
+    decoder = Decodetree_decoder }
+
+type stop_reason =
+  | Exited of int
+  | Fatal_trap of Trap.exception_cause * word
+  | Out_of_fuel
+  | Wfi_halt
+
+let pp_stop_reason fmt = function
+  | Exited code -> Format.fprintf fmt "exited with code %d" code
+  | Fatal_trap (cause, pc) ->
+      Format.fprintf fmt "fatal trap at 0x%08x: %s" pc (Trap.describe cause)
+  | Out_of_fuel -> Format.pp_print_string fmt "out of fuel"
+  | Wfi_halt -> Format.pp_print_string fmt "halted in wfi"
+
+type t = {
+  state : Arch_state.t;
+  bus : Bus.t;
+  uart : Soc.Uart.t;
+  clint : Soc.Clint.t;
+  gpio : Soc.Gpio.t;
+  syscon : Soc.Syscon.t;
+  hooks : Hooks.t;
+  config : config;
+  decode32 : word -> Instr.t option;
+  tb : Tb_cache.t;
+}
+
+module Sset = Set.Make (String)
+
+let full_isa = [ Isa_module.I; M; A; F; C; Zicsr; B ]
+
+let make_decoder config =
+  let is_full =
+    List.for_all (fun m -> List.mem m config.isa) full_isa
+  in
+  let base =
+    match config.decoder with
+    | Hand_decoder -> Decode.decode
+    | Decodetree_decoder ->
+        if is_full then Decodetree.decode (Decodetree.rv32 ())
+        else
+          let allowed = Sset.of_list (Isa_module.universe config.isa) in
+          let rows =
+            List.filter
+              (fun r -> Sset.mem r.Decodetree.name allowed)
+              Decodetree.rv32_rows
+          in
+          Decodetree.decode (Decodetree.compile rows)
+  in
+  match config.decoder with
+  | Decodetree_decoder -> base
+  | Hand_decoder ->
+      if is_full then base
+      else
+        let allowed = Sset.of_list (Isa_module.universe config.isa) in
+        fun w ->
+          match base w with
+          | Some i when Sset.mem (Instr.mnemonic i) allowed -> Some i
+          | Some _ | None -> None
+
+let create ?(config = default_config) () =
+  let bus = Bus.create () in
+  let uart = Soc.Uart.create () in
+  let clint = Soc.Clint.create () in
+  let gpio = Soc.Gpio.create () in
+  let syscon = Soc.Syscon.create () in
+  Bus.attach bus (Soc.Uart.device uart ~base:Soc.Memory_map.uart_base);
+  Bus.attach bus (Soc.Clint.device clint ~base:Soc.Memory_map.clint_base);
+  Bus.attach bus (Soc.Gpio.device gpio ~base:Soc.Memory_map.gpio_base);
+  Bus.attach bus (Soc.Syscon.device syscon ~base:Soc.Memory_map.syscon_base);
+  let state = Arch_state.create ~pc:Soc.Memory_map.ram_base () in
+  state.time_source <- (fun () -> Soc.Clint.time clint);
+  let decode32 = make_decoder config in
+  let decode16 =
+    if List.mem Isa_module.C config.isa then Some Compressed.decode16
+    else None
+  in
+  let tb =
+    Tb_cache.create ~decode32 ~decode16 ~fetch32:(Bus.fetch32 bus)
+      ~fetch16:(Bus.fetch16 bus) ()
+  in
+  { state; bus; uart; clint; gpio; syscon; hooks = Hooks.create ();
+    config; decode32; tb }
+
+let reset t ~pc =
+  Arch_state.reset t.state ~pc;
+  Soc.Clint.reset t.clint;
+  Soc.Syscon.reset t.syscon;
+  Soc.Uart.clear_output t.uart
+
+(* Interrupt pending bits in mip. *)
+let msip_bit = 1 lsl 3
+let mtip_bit = 1 lsl 7
+
+let update_mip t =
+  let mip = ref 0 in
+  if Soc.Clint.timer_pending t.clint then mip := !mip lor mtip_bit;
+  if Soc.Clint.software_pending t.clint then mip := !mip lor msip_bit;
+  t.state.mip <- !mip
+
+(* Trap entry.  Returns [Some stop] when the trap is fatal (no handler
+   installed). *)
+let enter_exception t cause pc =
+  Hooks.fire_trap t.hooks cause pc;
+  if t.state.mtvec = 0 then Some (Fatal_trap (cause, pc))
+  else begin
+    t.state.mepc <- pc;
+    t.state.mcause <- Trap.mcause_of_exception cause;
+    t.state.mtval <- Trap.tval_of cause;
+    Arch_state.set_mpie_bit t.state (Arch_state.mie_bit t.state);
+    Arch_state.set_mie_bit t.state false;
+    t.state.pc <- t.state.mtvec;
+    None
+  end
+
+let enter_interrupt t irq =
+  t.state.mepc <- t.state.pc;
+  t.state.mcause <- Trap.mcause_of_interrupt irq;
+  t.state.mtval <- 0;
+  Arch_state.set_mpie_bit t.state (Arch_state.mie_bit t.state);
+  Arch_state.set_mie_bit t.state false;
+  t.state.pc <- t.state.mtvec
+
+(* Priority order per the privileged spec: external, software, timer. *)
+let pending_interrupt t =
+  if not (Arch_state.mie_bit t.state) then None
+  else
+    let active = t.state.mie land t.state.mip in
+    if active = 0 then None
+    else if active land msip_bit <> 0 then Some Trap.Software
+    else Some Trap.Timer
+
+(* WFI: wake if an interrupt can arrive; fast-forward the timer when a
+   future timer interrupt is the only wake source. *)
+let wfi_resume t =
+  update_mip t;
+  if t.state.mie land t.state.mip <> 0 then true
+  else if t.state.mie land mtip_bit <> 0 then begin
+    let now = Soc.Clint.time t.clint in
+    let cmp = Soc.Clint.timecmp t.clint in
+    if cmp = max_int then false
+    else begin
+      if cmp > now then Soc.Clint.tick t.clint (cmp - now);
+      update_mip t;
+      true
+    end
+  end
+  else false
+
+let instret t = t.state.instret
+let cycles t = t.state.cycle
+let uart_output t = Soc.Uart.output t.uart
+
+let load_word t addr w =
+  S4e_mem.Sparse_mem.write32 (Bus.ram t.bus) addr w;
+  Tb_cache.notify_store t.tb addr
+
+let load_string t addr s =
+  S4e_mem.Sparse_mem.load_bytes (Bus.ram t.bus) addr s;
+  Tb_cache.flush t.tb
+
+let misaligned_pc t pc =
+  if List.mem Isa_module.C t.config.isa then pc land 1 <> 0
+  else pc land 3 <> 0
+
+exception Stop of stop_reason
+
+let run t ~fuel =
+  let state = t.state in
+  let timing = t.config.timing in
+  let compressed = List.mem Isa_module.C t.config.isa in
+  let remaining = ref fuel in
+  let on_mem ev =
+    if ev.Hooks.mem_is_store then begin
+      Tb_cache.notify_store t.tb ev.Hooks.mem_addr;
+      (* Reflect CLINT writes (e.g. mtimecmp) immediately. *)
+      ()
+    end;
+    if Hooks.has_mem t.hooks then Hooks.fire_mem t.hooks ev
+  in
+  (* Load-use hazard tracking: the destination of the previous
+     instruction when it was a load (kind distinguishes GPR/FPR). *)
+  let hazard = timing.Timing_model.load_use_hazard in
+  let last_load : (bool * int) option ref = ref None in
+  let hazard_stall instr =
+    match !last_load with
+    | Some (false, d) when List.mem d (Instr.sources instr) -> hazard
+    | Some (true, d) when List.mem d (Instr.fp_sources instr) -> hazard
+    | Some _ | None -> 0
+  in
+  let update_last_load instr =
+    last_load :=
+      (match instr with
+      | Instr.Load (_, rd, _, _) -> Some (false, rd)
+      | Instr.Flw (frd, _, _) -> Some (true, frd)
+      | _ -> None)
+  in
+  (* Execute one decoded instruction; raises Stop on exit conditions. *)
+  let exec_one ipc size instr =
+    if Hooks.has_insn t.hooks then Hooks.fire_insn t.hooks ipc instr;
+    (match instr with
+    | Instr.Fence_i -> Tb_cache.flush t.tb
+    | _ -> ());
+    (try
+       let stall = if hazard > 0 then hazard_stall instr else 0 in
+       let taken = Exec.execute ~on_mem state t.bus ~size instr in
+       if hazard > 0 then update_last_load instr;
+       let c = Timing_model.cost timing instr ~taken + stall in
+       state.cycle <- state.cycle + c;
+       Soc.Clint.tick t.clint c
+     with Trap.Exn cause -> (
+       last_load := None;
+       match enter_exception t cause ipc with
+       | Some stop -> raise (Stop stop)
+       | None ->
+           state.cycle <- state.cycle + timing.Timing_model.system;
+           Soc.Clint.tick t.clint timing.Timing_model.system));
+    state.instret <- state.instret + 1;
+    decr remaining;
+    (match Soc.Syscon.exit_code t.syscon with
+    | Some code -> raise (Stop (Exited code))
+    | None -> ());
+    match instr with
+    | Instr.Wfi ->
+        if not (wfi_resume t) then raise (Stop Wfi_halt)
+    | _ -> ()
+  in
+  let decode_single pc =
+    let half = Bus.fetch16 t.bus pc in
+    if half land 0x3 <> 0x3 then
+      if compressed then
+        match Compressed.decode16 half with
+        | Some i -> Some (2, i)
+        | None -> None
+      else None
+    else
+      match t.decode32 (Bus.fetch32 t.bus pc) with
+      | Some i -> Some (4, i)
+      | None -> None
+  in
+  try
+    while !remaining > 0 do
+      update_mip t;
+      (match pending_interrupt t with
+      | Some irq ->
+          enter_interrupt t irq;
+          last_load := None
+      | None -> ());
+      let pc = state.pc in
+      if misaligned_pc t pc then begin
+        match enter_exception t Trap.Misaligned_fetch pc with
+        | Some stop -> raise (Stop stop)
+        | None -> ()
+      end
+      else if t.config.use_tb_cache then begin
+        let entry = Tb_cache.lookup t.tb pc in
+        let n = Array.length entry.Tb_cache.instrs in
+        if n = 0 then begin
+          let word = Bus.fetch32 t.bus pc in
+          match enter_exception t (Trap.Illegal_instruction word) pc with
+          | Some stop -> raise (Stop stop)
+          | None -> ()
+        end
+        else begin
+          if Hooks.has_block t.hooks then Hooks.fire_block t.hooks pc n;
+          (* Execute the block; stop early if a trap redirected the pc
+             or fuel ran out. *)
+          let i = ref 0 in
+          let continue = ref true in
+          while !continue && !i < n do
+            let ipc, size, instr = Array.unsafe_get entry.Tb_cache.instrs !i in
+            if state.pc <> ipc then continue := false
+            else begin
+              exec_one ipc size instr;
+              incr i;
+              if !remaining <= 0 then continue := false
+            end
+          done
+        end
+      end
+      else begin
+        match decode_single pc with
+        | None ->
+            let word = Bus.fetch32 t.bus pc in
+            (match enter_exception t (Trap.Illegal_instruction word) pc with
+            | Some stop -> raise (Stop stop)
+            | None -> ())
+        | Some (size, instr) ->
+            if Hooks.has_block t.hooks then Hooks.fire_block t.hooks pc 1;
+            exec_one pc size instr
+      end
+    done;
+    Out_of_fuel
+  with Stop reason -> reason

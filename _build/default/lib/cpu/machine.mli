@@ -1,0 +1,66 @@
+(** The virtual prototype: one RV32 hart, bus, and platform devices.
+
+    A machine bundles architectural state, the system bus with the
+    default {!S4e_soc.Memory_map} devices (UART, CLINT, GPIO, syscon),
+    the instrumentation {!Hooks}, a configurable decoder, the
+    translation-block cache, and the timing model.  [run] executes until
+    software exits through the syscon, a fatal trap occurs, fuel runs
+    out, or the hart would sleep forever in WFI. *)
+
+type word = S4e_bits.Bits.word
+
+type decoder_kind = Hand_decoder | Decodetree_decoder
+
+type config = {
+  isa : S4e_isa.Isa_module.t list;
+  timing : Timing_model.t;
+  use_tb_cache : bool;
+  decoder : decoder_kind;
+}
+
+val default_config : config
+(** RV32IMFC + Zicsr + B, default timing, TB cache on, DecodeTree. *)
+
+type stop_reason =
+  | Exited of int  (** software wrote the syscon EXIT register *)
+  | Fatal_trap of Trap.exception_cause * word
+      (** trap taken with no handler installed ([mtvec] = 0); the word
+          is the faulting pc *)
+  | Out_of_fuel
+  | Wfi_halt  (** WFI with no interrupt source able to wake the hart *)
+
+val pp_stop_reason : Format.formatter -> stop_reason -> unit
+
+type t = {
+  state : Arch_state.t;
+  bus : S4e_mem.Bus.t;
+  uart : S4e_soc.Uart.t;
+  clint : S4e_soc.Clint.t;
+  gpio : S4e_soc.Gpio.t;
+  syscon : S4e_soc.Syscon.t;
+  hooks : Hooks.t;
+  config : config;
+  decode32 : word -> S4e_isa.Instr.t option;
+  tb : Tb_cache.t;
+}
+
+val create : ?config:config -> unit -> t
+
+val reset : t -> pc:word -> unit
+(** Architectural reset (registers, CSRs, CLINT, syscon); memory, the
+    TB cache, and hooks are preserved. *)
+
+val run : t -> fuel:int -> stop_reason
+(** Executes at most [fuel] instructions.  Interrupts are sampled at
+    translation-block boundaries (as in QEMU). *)
+
+val instret : t -> int
+val cycles : t -> int
+
+val uart_output : t -> string
+
+val load_word : t -> word -> word -> unit
+(** [load_word t addr w] pokes one word directly into RAM (bypassing
+    devices and hooks) and invalidates affected translation blocks. *)
+
+val load_string : t -> word -> string -> unit

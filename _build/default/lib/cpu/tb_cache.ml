@@ -1,0 +1,85 @@
+type word = int
+
+type entry = {
+  block_pc : word;
+  instrs : (word * int * S4e_isa.Instr.t) array;
+  total_size : int;
+}
+
+type t = {
+  table : (word, entry) Hashtbl.t;
+  decode32 : word -> S4e_isa.Instr.t option;
+  decode16 : (int -> S4e_isa.Instr.t option) option;
+  fetch32 : word -> word;
+  fetch16 : word -> int;
+  mutable code_lo : word;  (* inclusive range covered by cached blocks *)
+  mutable code_hi : word;  (* exclusive *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let max_block_len = 64
+
+let create ~decode32 ~decode16 ~fetch32 ~fetch16 () =
+  { table = Hashtbl.create 1024; decode32; decode16; fetch32; fetch16;
+    code_lo = max_int; code_hi = 0; hits = 0; misses = 0 }
+
+(* Decode one instruction at [pc]: compressed halfwords expand via
+   decode16; otherwise a full word via decode32. *)
+let decode_at t pc =
+  let half = t.fetch16 pc in
+  if half land 0x3 <> 0x3 then
+    match t.decode16 with
+    | Some d16 -> (
+        match d16 half with Some i -> Some (2, i) | None -> None)
+    | None -> None
+  else
+    match t.decode32 (t.fetch32 pc) with
+    | Some i -> Some (4, i)
+    | None -> None
+
+let translate t pc =
+  let rec go acc cur count =
+    if count >= max_block_len then List.rev acc
+    else
+      match decode_at t cur with
+      | None -> List.rev acc
+      | Some (size, instr) ->
+          let acc = (cur, size, instr) :: acc in
+          (* fence.i ends a block so freshly written code is re-decoded *)
+          if S4e_isa.Instr.is_control_flow instr
+             || instr = S4e_isa.Instr.Wfi
+             || instr = S4e_isa.Instr.Fence_i
+          then List.rev acc
+          else go acc (cur + size) (count + 1)
+  in
+  let instrs = Array.of_list (go [] pc 0) in
+  let total_size =
+    Array.fold_left (fun acc (_, size, _) -> acc + size) 0 instrs
+  in
+  { block_pc = pc; instrs; total_size }
+
+let lookup t pc =
+  match Hashtbl.find_opt t.table pc with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      e
+  | None ->
+      t.misses <- t.misses + 1;
+      let e = translate t pc in
+      Hashtbl.replace t.table pc e;
+      if e.total_size > 0 then begin
+        if pc < t.code_lo then t.code_lo <- pc;
+        if pc + e.total_size > t.code_hi then t.code_hi <- pc + e.total_size
+      end;
+      e
+
+let flush t =
+  Hashtbl.reset t.table;
+  t.code_lo <- max_int;
+  t.code_hi <- 0
+
+let notify_store t addr =
+  if addr >= t.code_lo - 3 && addr < t.code_hi then flush t
+
+let stats t = (Hashtbl.length t.table, t.hits, t.misses)

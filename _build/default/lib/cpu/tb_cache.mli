@@ -1,0 +1,47 @@
+(** Translation-block cache — the QEMU TCG analogue.
+
+    Fetch-and-decode is the dominant cost of a switch interpreter; this
+    cache decodes a straight-line run of instructions (a translation
+    block) once and replays the decoded array on subsequent visits.
+    Blocks end at control-flow instructions, at {!max_block_len}, or
+    just before an undecodable word.
+
+    Stores into the address range covered by cached blocks invalidate
+    the whole cache (coarse but correct); [fence.i] does the same.
+    Ablated in experiment E9. *)
+
+type word = S4e_bits.Bits.word
+
+type entry = {
+  block_pc : word;
+  instrs : (word * int * S4e_isa.Instr.t) array;
+      (** (pc, size-in-bytes, instruction) triples *)
+  total_size : int;  (** bytes covered *)
+}
+
+type t
+
+val max_block_len : int
+
+val create :
+  decode32:(word -> S4e_isa.Instr.t option) ->
+  decode16:(int -> S4e_isa.Instr.t option) option ->
+  fetch32:(word -> word) ->
+  fetch16:(word -> int) ->
+  unit ->
+  t
+(** [decode16 = None] disables the compressed instruction set. *)
+
+val lookup : t -> word -> entry
+(** [lookup t pc] returns the cached block at [pc], translating it on a
+    miss.  An entry with an empty [instrs] array means the very first
+    word at [pc] does not decode (the machine raises an illegal
+    instruction trap). *)
+
+val notify_store : t -> word -> unit
+(** Invalidate if [addr] may fall inside cached code. *)
+
+val flush : t -> unit
+
+val stats : t -> int * int * int
+(** (cached blocks, hits, misses). *)

@@ -1,0 +1,61 @@
+type t = {
+  alu : int;
+  load : int;
+  store : int;
+  mul : int;
+  div : int;
+  branch_taken : int;
+  branch_not_taken : int;
+  jump : int;
+  csr : int;
+  fence : int;
+  system : int;
+  fp : int;
+  fdiv : int;
+  fsqrt : int;
+  fmove : int;
+  load_use_hazard : int;
+}
+
+let default =
+  { alu = 1; load = 2; store = 1; mul = 3; div = 34; branch_taken = 3;
+    branch_not_taken = 1; jump = 2; csr = 2; fence = 1; system = 3; fp = 4;
+    fdiv = 16; fsqrt = 20; fmove = 1; load_use_hazard = 1 }
+
+let rocket_like =
+  { alu = 1; load = 3; store = 1; mul = 4; div = 64; branch_taken = 2;
+    branch_not_taken = 1; jump = 1; csr = 1; fence = 1; system = 2; fp = 5;
+    fdiv = 24; fsqrt = 28; fmove = 2; load_use_hazard = 2 }
+
+let without_hazards m = { m with load_use_hazard = 0 }
+
+let cost m instr ~taken =
+  let open S4e_isa.Instr in
+  match instr with
+  | Lui _ | Auipc _ | Op_imm _ | Shift_imm _ | Unary _ -> m.alu
+  | Op (op, _, _, _) -> (
+      match op with
+      | MUL | MULH | MULHSU | MULHU -> m.mul
+      | DIV | DIVU | REM | REMU -> m.div
+      | ADD | SUB | SLL | SLT | SLTU | XOR | SRL | SRA | OR | AND
+      | ANDN | ORN | XNOR | ROL | ROR | MIN | MAX | MINU | MAXU
+      | BSET | BCLR | BINV | BEXT -> m.alu)
+  | Load _ | Flw _ -> m.load
+  | Store _ | Fsw _ -> m.store
+  | Branch _ -> if taken then m.branch_taken else m.branch_not_taken
+  | Jal _ | Jalr _ -> m.jump
+  | Csr _ -> m.csr
+  | Fence | Fence_i -> m.fence
+  | Ecall | Ebreak | Mret | Wfi -> m.system
+  | Fp_op (op, _, _, _) -> (
+      match op with
+      | FDIV -> m.fdiv
+      | FADD | FSUB | FMUL | FMIN | FMAX -> m.fp
+      | FSGNJ | FSGNJN | FSGNJX -> m.fmove)
+  | Fsqrt _ -> m.fsqrt
+  | Fp_cmp _ | Fcvt_w_s _ | Fcvt_s_w _ | Fmv_x_w _ | Fmv_w_x _ -> m.fmove
+  | Lr _ -> m.load
+  | Sc _ -> m.load + m.store
+  | Amo _ -> m.load + m.store
+
+let worst_cost m instr = cost m instr ~taken:true

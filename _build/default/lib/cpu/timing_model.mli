@@ -1,0 +1,49 @@
+(** Per-instruction cycle cost model.
+
+    The model is a simple in-order single-issue pipeline abstraction:
+    each instruction class has a fixed cost, taken branches pay a flush
+    penalty.  The same table drives the dynamic [cycle] counter and the
+    static WCET analysis, so the static bound is comparable against
+    dynamic observations (experiment E4): for every instruction,
+    {!worst_cost} >= the cost charged at execution. *)
+
+type t = {
+  alu : int;  (** register/immediate ALU, including BMI *)
+  load : int;
+  store : int;
+  mul : int;
+  div : int;  (** also rem *)
+  branch_taken : int;
+  branch_not_taken : int;
+  jump : int;  (** jal, jalr *)
+  csr : int;
+  fence : int;
+  system : int;  (** ecall, ebreak, mret, wfi *)
+  fp : int;  (** fp arith except div/sqrt *)
+  fdiv : int;
+  fsqrt : int;
+  fmove : int;  (** moves, converts, compares, fp load/store extra *)
+  load_use_hazard : int;
+      (** stall cycles when an instruction consumes the destination of
+          the immediately preceding load; 0 disables hazard modeling *)
+}
+
+val default : t
+(** Five-stage in-order core: ALU 1, load 2, mul 3, div 34, taken
+    branch 3, etc. *)
+
+val rocket_like : t
+(** Alternative calibration with a longer divider and cheaper jumps,
+    for sensitivity experiments. *)
+
+val cost : t -> S4e_isa.Instr.t -> taken:bool -> int
+(** Cycles charged for one execution.  [taken] matters only for
+    conditional branches. *)
+
+val worst_cost : t -> S4e_isa.Instr.t -> int
+(** An upper bound of [cost] over both branch outcomes.  Hazard stalls
+    are accounted separately (see {!load_use_pairs} in [Block_time] and
+    the machine's dynamic tracking). *)
+
+val without_hazards : t -> t
+(** The same model with [load_use_hazard = 0] (ablations). *)

@@ -1,0 +1,85 @@
+open S4e_isa
+
+type word = int
+
+type entry = { e_pc : word; e_instr : Instr.t }
+
+type stats = {
+  st_instructions : int;
+  st_branches : int;
+  st_taken : int;
+  st_calls : int;
+  st_returns : int;
+}
+
+type t = {
+  ring : entry option array;
+  mutable head : int;  (* next slot *)
+  mutable count : int;
+  mutable instructions : int;
+  mutable branches : int;
+  mutable taken : int;
+  mutable calls : int;
+  mutable returns : int;
+  mutable pending_branch : word option;
+      (* taken-target of the last branch, resolved by the next pc *)
+  mutable hook : Hooks.id option;
+}
+
+let record t pc instr =
+  t.instructions <- t.instructions + 1;
+  (* resolve the previous branch's outcome *)
+  (match t.pending_branch with
+  | Some target ->
+      if pc = target then t.taken <- t.taken + 1;
+      t.pending_branch <- None
+  | None -> ());
+  (match instr with
+  | Instr.Branch (_, _, _, off) ->
+      t.branches <- t.branches + 1;
+      t.pending_branch <- Some (S4e_bits.Bits.add pc (S4e_bits.Bits.of_signed off))
+  | Instr.Jal (rd, _) when rd <> 0 -> t.calls <- t.calls + 1
+  | Instr.Jalr (rd, rs1, 0) when rd = 0 && rs1 = Reg.ra ->
+      t.returns <- t.returns + 1
+  | Instr.Jalr (rd, _, _) when rd <> 0 -> t.calls <- t.calls + 1
+  | _ -> ());
+  t.ring.(t.head) <- Some { e_pc = pc; e_instr = instr };
+  t.head <- (t.head + 1) mod Array.length t.ring;
+  if t.count < Array.length t.ring then t.count <- t.count + 1
+
+let attach hooks ~depth =
+  let t =
+    { ring = Array.make (max 1 depth) None; head = 0; count = 0;
+      instructions = 0; branches = 0; taken = 0; calls = 0; returns = 0;
+      pending_branch = None; hook = None }
+  in
+  t.hook <- Some (Hooks.on_insn hooks (record t));
+  t
+
+let detach hooks t =
+  match t.hook with
+  | Some id ->
+      Hooks.unregister hooks id;
+      t.hook <- None
+  | None -> ()
+
+let tail t =
+  let n = Array.length t.ring in
+  let start = (t.head - t.count + n) mod n in
+  List.init t.count (fun i ->
+      match t.ring.((start + i) mod n) with
+      | Some e -> e
+      | None -> assert false)
+
+let stats t =
+  { st_instructions = t.instructions;
+    st_branches = t.branches;
+    st_taken = t.taken;
+    st_calls = t.calls;
+    st_returns = t.returns }
+
+let pp_tail fmt t =
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "  %08x: %s@." e.e_pc (Instr.to_string e.e_instr))
+    (tail t)

@@ -1,0 +1,32 @@
+(** Execution tracer — a debugging client of the hook API.
+
+    Keeps a ring buffer of the most recently executed instructions and
+    running control-flow statistics.  Branch outcomes are inferred by
+    watching consecutive pcs, so the tracer needs no executor support.
+    The CLI uses it to print the tail of a run after a fatal trap. *)
+
+type word = S4e_bits.Bits.word
+
+type entry = { e_pc : word; e_instr : S4e_isa.Instr.t }
+
+type stats = {
+  st_instructions : int;
+  st_branches : int;
+  st_taken : int;  (** conditional branches observed taken *)
+  st_calls : int;  (** [jal]/[jalr] with a link register *)
+  st_returns : int;
+}
+
+type t
+
+val attach : Hooks.t -> depth:int -> t
+(** [depth] is the ring-buffer capacity (the trace tail length). *)
+
+val detach : Hooks.t -> t -> unit
+
+val tail : t -> entry list
+(** Oldest first, at most [depth] entries. *)
+
+val stats : t -> stats
+
+val pp_tail : Format.formatter -> t -> unit

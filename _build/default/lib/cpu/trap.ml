@@ -1,0 +1,38 @@
+type exception_cause =
+  | Misaligned_fetch
+  | Illegal_instruction of S4e_bits.Bits.word
+  | Breakpoint
+  | Misaligned_load of S4e_bits.Bits.word
+  | Misaligned_store of S4e_bits.Bits.word
+  | Ecall_from_m
+
+type interrupt = Software | Timer | External
+
+exception Exn of exception_cause
+
+let exception_code = function
+  | Misaligned_fetch -> 0
+  | Illegal_instruction _ -> 2
+  | Breakpoint -> 3
+  | Misaligned_load _ -> 4
+  | Misaligned_store _ -> 6
+  | Ecall_from_m -> 11
+
+let interrupt_code = function Software -> 3 | Timer -> 7 | External -> 11
+
+let mcause_of_exception c = exception_code c
+let mcause_of_interrupt i = 0x8000_0000 lor interrupt_code i
+
+let tval_of = function
+  | Illegal_instruction w -> w
+  | Misaligned_load a | Misaligned_store a -> a
+  | Misaligned_fetch | Breakpoint | Ecall_from_m -> 0
+
+let describe = function
+  | Misaligned_fetch -> "instruction address misaligned"
+  | Illegal_instruction w ->
+      Printf.sprintf "illegal instruction 0x%08x" w
+  | Breakpoint -> "breakpoint"
+  | Misaligned_load a -> Printf.sprintf "misaligned load at 0x%08x" a
+  | Misaligned_store a -> Printf.sprintf "misaligned store at 0x%08x" a
+  | Ecall_from_m -> "environment call from M-mode"

@@ -1,0 +1,32 @@
+(** Synchronous exceptions and interrupts (machine mode).
+
+    Cause encodings follow the RISC-V privileged specification; the
+    interrupt bit of [mcause] is handled by {!mcause_code}. *)
+
+type exception_cause =
+  | Misaligned_fetch
+  | Illegal_instruction of S4e_bits.Bits.word  (** the offending word *)
+  | Breakpoint
+  | Misaligned_load of S4e_bits.Bits.word  (** the offending address *)
+  | Misaligned_store of S4e_bits.Bits.word
+  | Ecall_from_m
+
+type interrupt = Software | Timer | External
+
+exception Exn of exception_cause
+(** Raised by the executor; the machine converts it into a trap entry. *)
+
+val exception_code : exception_cause -> int
+(** The [mcause] code (interrupt bit clear). *)
+
+val interrupt_code : interrupt -> int
+(** The [mcause] code (without the interrupt bit). *)
+
+val mcause_of_exception : exception_cause -> S4e_bits.Bits.word
+val mcause_of_interrupt : interrupt -> S4e_bits.Bits.word
+
+val tval_of : exception_cause -> S4e_bits.Bits.word
+(** Value for [mtval]: faulting address or instruction bits, 0 when the
+    specification leaves it unspecified. *)
+
+val describe : exception_cause -> string

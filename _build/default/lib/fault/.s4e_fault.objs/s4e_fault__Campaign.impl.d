@@ -1,0 +1,1 @@
+lib/fault/campaign.ml: Array Fault Format Fun Hashtbl Injector List Random S4e_asm S4e_coverage S4e_cpu S4e_soc String

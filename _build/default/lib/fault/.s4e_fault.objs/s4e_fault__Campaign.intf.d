@@ -1,0 +1,1 @@
+lib/fault/campaign.mli: Fault Format S4e_asm S4e_coverage S4e_cpu

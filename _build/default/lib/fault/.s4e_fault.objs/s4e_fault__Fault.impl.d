@@ -1,0 +1,1 @@
+lib/fault/fault.ml: Format Printf S4e_isa Stdlib

@@ -1,0 +1,1 @@
+lib/fault/fault.mli: Format S4e_bits S4e_isa

@@ -1,0 +1,1 @@
+lib/fault/injector.ml: Fault S4e_bits S4e_cpu S4e_mem

@@ -1,0 +1,176 @@
+module Machine = S4e_cpu.Machine
+module Program = S4e_asm.Program
+module Report = S4e_coverage.Report
+
+type outcome = Masked | Sdc | Crashed | Hung
+
+let outcome_name = function
+  | Masked -> "masked"
+  | Sdc -> "sdc"
+  | Crashed -> "crashed"
+  | Hung -> "hung"
+
+type signature = {
+  sig_exit : int option;
+  sig_uart : string;
+  sig_instret : int;
+}
+
+type summary = {
+  masked : int;
+  sdc : int;
+  crashed : int;
+  hung : int;
+  total : int;
+}
+
+type target = [ `Gpr | `Fpr | `Code | `Data ]
+type kind_choice = [ `Permanent | `Transient ]
+
+let run_machine ?config program =
+  let m = Machine.create ?config () in
+  Program.load_machine program m;
+  m
+
+let signature_of m stop =
+  { sig_exit = (match stop with Machine.Exited c -> Some c | _ -> None);
+    sig_uart = Machine.uart_output m;
+    sig_instret = Machine.instret m }
+
+let golden ?config ~fuel program =
+  let m = run_machine ?config program in
+  let collector = S4e_coverage.Collector.attach m () in
+  let stop = Machine.run m ~fuel in
+  let rep = S4e_coverage.Collector.report collector in
+  S4e_coverage.Collector.detach m collector;
+  (signature_of m stop, rep)
+
+(* ---------------- fault-list generation ---------------- *)
+
+let keys_of table = Hashtbl.fold (fun k () acc -> k :: acc) table []
+
+let pick rng arr = arr.(Random.State.int rng (Array.length arr))
+
+let accessed_regs read written =
+  let out = ref [] in
+  for i = 31 downto 0 do
+    if read.(i) || written.(i) then out := i :: !out
+  done;
+  Array.of_list !out
+
+let gen_with rng ~targets ~kinds ~golden_instret ~gpr_pool ~fpr_pool ~code_pool
+    ~data_pool n =
+  let targets = Array.of_list targets in
+  let kinds = Array.of_list kinds in
+  let viable = function
+    | `Gpr -> Array.length gpr_pool > 0
+    | `Fpr -> Array.length fpr_pool > 0
+    | `Code -> Array.length code_pool > 0
+    | `Data -> Array.length data_pool > 0
+  in
+  let targets = Array.of_list (List.filter viable (Array.to_list targets)) in
+  if Array.length targets = 0 then []
+  else
+    List.init n (fun _ ->
+        let bit = Random.State.int rng 32 in
+        let loc =
+          match pick rng targets with
+          | `Gpr -> Fault.Gpr (pick rng gpr_pool, bit)
+          | `Fpr -> Fault.Fpr (pick rng fpr_pool, bit)
+          | `Code -> Fault.Code (pick rng code_pool, bit)
+          | `Data ->
+              Fault.Data (pick rng data_pool, Random.State.int rng 8)
+        in
+        let kind =
+          match pick rng kinds with
+          | `Permanent -> Fault.Permanent
+          | `Transient ->
+              Fault.Transient (1 + Random.State.int rng (max 1 golden_instret))
+        in
+        { Fault.loc; kind })
+
+let generate ~seed ~n ~targets ~kinds ~coverage ~golden_instret =
+  let rng = Random.State.make [| seed |] in
+  let rep = (coverage : Report.t) in
+  let gpr_pool = accessed_regs rep.Report.gpr_read rep.Report.gpr_written in
+  let fpr_pool = accessed_regs rep.Report.fpr_read rep.Report.fpr_written in
+  let code_pool = Array.of_list (keys_of rep.Report.executed_pcs) in
+  Array.sort compare code_pool;
+  let data_pool =
+    (* exact touched addresses, excluding device windows: a data fault
+       only makes sense where the program actually keeps state *)
+    let keys =
+      Hashtbl.fold
+        (fun k () acc ->
+          if k >= S4e_soc.Memory_map.ram_base then k :: acc else acc)
+        rep.Report.touched_data []
+    in
+    let arr = Array.of_list keys in
+    Array.sort compare arr;
+    arr
+  in
+  gen_with rng ~targets ~kinds ~golden_instret ~gpr_pool ~fpr_pool ~code_pool
+    ~data_pool n
+
+let generate_blind ~seed ~n ~targets ~kinds ~program ~golden_instret =
+  let rng = Random.State.make [| seed |] in
+  let gpr_pool = Array.init 32 Fun.id in
+  let fpr_pool = Array.init 32 Fun.id in
+  let code_pool =
+    match Program.code_range program with
+    | None -> [||]
+    | Some (lo, hi) ->
+        Array.init (max 0 ((hi - lo) / 4)) (fun i -> lo + (4 * i))
+  in
+  let data_pool =
+    (* the whole RAM page around the data segment *)
+    match program.Program.chunks with
+    | [] -> [||]
+    | chunks ->
+        let datas = List.filter (fun c -> not c.Program.is_code) chunks in
+        (match datas with
+        | [] -> [||]
+        | c :: _ ->
+            Array.init
+              (min 4096 (max 64 (String.length c.Program.bytes)))
+              (fun i -> c.Program.addr + i))
+  in
+  gen_with rng ~targets ~kinds ~golden_instret ~gpr_pool ~fpr_pool ~code_pool
+    ~data_pool n
+
+(* ---------------- running ---------------- *)
+
+let classify ~(golden : signature) m stop =
+  match stop with
+  | Machine.Exited c ->
+      if Some c = golden.sig_exit && Machine.uart_output m = golden.sig_uart
+      then Masked
+      else Sdc
+  | Machine.Fatal_trap _ -> Crashed
+  | Machine.Out_of_fuel | Machine.Wfi_halt -> Hung
+
+let run_one ?config ~fuel program ~golden fault =
+  let m = run_machine ?config program in
+  let armed = Injector.arm m fault in
+  let stop = Machine.run m ~fuel in
+  Injector.disarm m armed;
+  classify ~golden m stop
+
+let run ?config ~fuel program ~golden faults =
+  List.map (fun f -> (f, run_one ?config ~fuel program ~golden f)) faults
+
+let summarize results =
+  List.fold_left
+    (fun acc (_, o) ->
+      match o with
+      | Masked -> { acc with masked = acc.masked + 1; total = acc.total + 1 }
+      | Sdc -> { acc with sdc = acc.sdc + 1; total = acc.total + 1 }
+      | Crashed -> { acc with crashed = acc.crashed + 1; total = acc.total + 1 }
+      | Hung -> { acc with hung = acc.hung + 1; total = acc.total + 1 })
+    { masked = 0; sdc = 0; crashed = 0; hung = 0; total = 0 }
+    results
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "total=%d masked=%d sdc=%d crashed=%d hung=%d" s.total s.masked s.sdc
+    s.crashed s.hung

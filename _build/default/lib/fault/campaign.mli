@@ -1,0 +1,76 @@
+(** Mutant generation and mass fault simulation.
+
+    The fault paper's flow: run the golden binary once, collect its
+    coverage (which registers and instructions it actually exercises),
+    generate fault lists restricted to those sites ("dedicated sets of
+    fault injected hardware models, i.e., mutants"), simulate every
+    mutant, and classify:
+
+    - [Masked]: terminates normally with the golden signature;
+    - [Sdc]: terminates normally with a different exit code or UART
+      output (the paper's "normal termination though executed on a
+      faulty hardware model" — silent data corruption);
+    - [Crashed]: ends in a fatal trap;
+    - [Hung]: exhausts its fuel or sleeps forever. *)
+
+type outcome = Masked | Sdc | Crashed | Hung
+
+val outcome_name : outcome -> string
+
+type signature = {
+  sig_exit : int option;
+  sig_uart : string;
+  sig_instret : int;
+}
+
+type summary = {
+  masked : int;
+  sdc : int;
+  crashed : int;
+  hung : int;
+  total : int;
+}
+
+type target = [ `Gpr | `Fpr | `Code | `Data ]
+type kind_choice = [ `Permanent | `Transient ]
+
+val golden :
+  ?config:S4e_cpu.Machine.config -> fuel:int -> S4e_asm.Program.t ->
+  signature * S4e_coverage.Report.t
+(** Reference run with coverage collection. *)
+
+val generate :
+  seed:int ->
+  n:int ->
+  targets:target list ->
+  kinds:kind_choice list ->
+  coverage:S4e_coverage.Report.t ->
+  golden_instret:int ->
+  Fault.t list
+(** Coverage-guided fault list: register faults only in accessed
+    registers, code faults only at executed pcs, data faults only in
+    the touched address window; transient times uniform in
+    [1, golden_instret].  Deterministic in [seed]. *)
+
+val generate_blind :
+  seed:int ->
+  n:int ->
+  targets:target list ->
+  kinds:kind_choice list ->
+  program:S4e_asm.Program.t ->
+  golden_instret:int ->
+  Fault.t list
+(** Ablation baseline: sites drawn from the whole register file / code
+    range regardless of what the program exercises. *)
+
+val run_one :
+  ?config:S4e_cpu.Machine.config -> fuel:int -> S4e_asm.Program.t ->
+  golden:signature -> Fault.t -> outcome
+
+val run :
+  ?config:S4e_cpu.Machine.config -> fuel:int -> S4e_asm.Program.t ->
+  golden:signature -> Fault.t list -> (Fault.t * outcome) list
+
+val summarize : (Fault.t * outcome) list -> summary
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,27 @@
+type word = int
+
+type location =
+  | Gpr of S4e_isa.Reg.t * int
+  | Fpr of S4e_isa.Reg.t * int
+  | Code of word * int
+  | Data of word * int
+
+type kind = Permanent | Transient of int
+
+type t = { loc : location; kind : kind }
+
+let describe t =
+  let loc =
+    match t.loc with
+    | Gpr (r, b) -> Printf.sprintf "GPR %s bit %d" (S4e_isa.Reg.abi_name r) b
+    | Fpr (r, b) -> Printf.sprintf "FPR %s bit %d" (S4e_isa.Reg.f_name r) b
+    | Code (a, b) -> Printf.sprintf "code 0x%08x bit %d" a b
+    | Data (a, b) -> Printf.sprintf "data 0x%08x bit %d" a b
+  in
+  match t.kind with
+  | Permanent -> loc ^ " (permanent)"
+  | Transient n -> Printf.sprintf "%s (transient @ instr %d)" loc n
+
+let pp fmt t = Format.pp_print_string fmt (describe t)
+
+let compare = Stdlib.compare

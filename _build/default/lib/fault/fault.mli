@@ -1,0 +1,27 @@
+(** Fault models: bit flips in architectural state and memory.
+
+    The fault paper's model space: permanent and transient single-bit
+    flips in the register file, in instruction memory (equivalent to
+    binary mutation), and in data memory.  A (fault, program) pair is a
+    {e mutant}; running all mutants and classifying their outcomes is a
+    campaign ({!Campaign}). *)
+
+type word = S4e_bits.Bits.word
+
+type location =
+  | Gpr of S4e_isa.Reg.t * int  (** (register, bit 0..31) *)
+  | Fpr of S4e_isa.Reg.t * int
+  | Code of word * int  (** (instruction address, bit) — binary mutation *)
+  | Data of word * int  (** (data address, bit within the byte's word) *)
+
+type kind =
+  | Permanent  (** stuck-at: the bit is held at its flipped value *)
+  | Transient of int  (** single flip after N retired instructions *)
+
+type t = { loc : location; kind : kind }
+
+val describe : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val compare : t -> t -> int

@@ -1,0 +1,89 @@
+module Bits = S4e_bits.Bits
+module Machine = S4e_cpu.Machine
+module Hooks = S4e_cpu.Hooks
+
+type armed = { hook : Hooks.id option }
+
+let flip_code m addr bit =
+  let ram = S4e_mem.Bus.ram m.Machine.bus in
+  (* bit within the 32-bit word at the (aligned) address *)
+  let base = addr land lnot 3 in
+  let w = S4e_mem.Sparse_mem.read32 ram base in
+  S4e_mem.Sparse_mem.write32 ram base (Bits.flip_bit bit w);
+  S4e_cpu.Tb_cache.notify_store m.Machine.tb base
+
+let flip_data m addr bit =
+  let ram = S4e_mem.Bus.ram m.Machine.bus in
+  let b = S4e_mem.Sparse_mem.read8 ram addr in
+  S4e_mem.Sparse_mem.write8 ram addr (b lxor (1 lsl (bit land 7)))
+
+let flip_gpr st r bit =
+  let v = S4e_cpu.Arch_state.get_reg st r in
+  S4e_cpu.Arch_state.set_reg st r (Bits.flip_bit bit v)
+
+let flip_fpr st r bit =
+  let v = S4e_cpu.Arch_state.get_freg st r in
+  S4e_cpu.Arch_state.set_freg st r (Bits.flip_bit bit v)
+
+let arm (m : Machine.t) (f : Fault.t) =
+  let st = m.Machine.state in
+  match (f.Fault.loc, f.Fault.kind) with
+  | Fault.Code (addr, bit), Fault.Permanent ->
+      flip_code m addr bit;
+      { hook = None }
+  | Fault.Code (addr, bit), Fault.Transient n ->
+      let count = ref 0 in
+      let id =
+        Hooks.on_insn m.Machine.hooks (fun _ _ ->
+            incr count;
+            if !count = n then flip_code m addr bit)
+      in
+      { hook = Some id }
+  | Fault.Data (addr, bit), Fault.Permanent ->
+      flip_data m addr bit;
+      { hook = None }
+  | Fault.Data (addr, bit), Fault.Transient n ->
+      let count = ref 0 in
+      let id =
+        Hooks.on_insn m.Machine.hooks (fun _ _ ->
+            incr count;
+            if !count = n then flip_data m addr bit)
+      in
+      { hook = Some id }
+  | Fault.Gpr (r, bit), Fault.Permanent ->
+      let stuck = 1 - Bits.bit bit (S4e_cpu.Arch_state.get_reg st r) in
+      let id =
+        Hooks.on_insn m.Machine.hooks (fun _ _ ->
+            S4e_cpu.Arch_state.set_reg st r
+              (Bits.set_bit bit (stuck = 1) (S4e_cpu.Arch_state.get_reg st r)))
+      in
+      { hook = Some id }
+  | Fault.Gpr (r, bit), Fault.Transient n ->
+      let count = ref 0 in
+      let id =
+        Hooks.on_insn m.Machine.hooks (fun _ _ ->
+            incr count;
+            if !count = n then flip_gpr st r bit)
+      in
+      { hook = Some id }
+  | Fault.Fpr (r, bit), Fault.Permanent ->
+      let stuck = 1 - Bits.bit bit (S4e_cpu.Arch_state.get_freg st r) in
+      let id =
+        Hooks.on_insn m.Machine.hooks (fun _ _ ->
+            S4e_cpu.Arch_state.set_freg st r
+              (Bits.set_bit bit (stuck = 1) (S4e_cpu.Arch_state.get_freg st r)))
+      in
+      { hook = Some id }
+  | Fault.Fpr (r, bit), Fault.Transient n ->
+      let count = ref 0 in
+      let id =
+        Hooks.on_insn m.Machine.hooks (fun _ _ ->
+            incr count;
+            if !count = n then flip_fpr st r bit)
+      in
+      { hook = Some id }
+
+let disarm (m : Machine.t) armed =
+  match armed.hook with
+  | Some id -> Hooks.unregister m.Machine.hooks id
+  | None -> ()

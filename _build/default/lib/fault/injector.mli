@@ -1,0 +1,15 @@
+(** Applying a fault to a live machine.
+
+    Code and data flips touch memory directly (a flipped code bit is a
+    binary mutation, XEMU-style); register faults are realized through
+    the hook API — a transient flips the bit once after N retired
+    instructions, a permanent holds the bit at its flipped ("stuck")
+    value before every instruction.  Arm after loading the program and
+    before running. *)
+
+type armed
+
+val arm : S4e_cpu.Machine.t -> Fault.t -> armed
+
+val disarm : S4e_cpu.Machine.t -> armed -> unit
+(** Removes hooks; memory flips are not undone (discard the machine). *)

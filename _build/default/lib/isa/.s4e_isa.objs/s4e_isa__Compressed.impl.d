@@ -1,0 +1,1 @@
+lib/isa/compressed.ml: Instr Option Reg S4e_bits

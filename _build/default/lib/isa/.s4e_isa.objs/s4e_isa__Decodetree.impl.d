@@ -1,0 +1,1 @@
+lib/isa/decodetree.ml: Array Fields Hashtbl Instr Lazy List Option Printf

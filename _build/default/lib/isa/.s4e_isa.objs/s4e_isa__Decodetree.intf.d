@@ -1,0 +1,1 @@
+lib/isa/decodetree.mli: Instr S4e_bits

@@ -1,0 +1,1 @@
+lib/isa/fields.ml: S4e_bits

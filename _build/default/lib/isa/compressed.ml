@@ -1,0 +1,262 @@
+open Instr
+
+let bits ~hi ~lo h = (h lsr lo) land ((1 lsl (hi - lo + 1)) - 1)
+let bit i h = (h lsr i) land 1
+let sext ~width v = S4e_bits.Bits.(to_signed (sext ~width v))
+
+(* 3-bit register fields address x8..x15. *)
+let r3 v = 8 + v
+
+(* Immediate descrambling, one function per compressed format. *)
+
+let imm_ci h = sext ~width:6 ((bit 12 h lsl 5) lor bits ~hi:6 ~lo:2 h)
+
+let uimm_addi4spn h =
+  (bits ~hi:12 ~lo:11 h lsl 4)
+  lor (bits ~hi:10 ~lo:7 h lsl 6)
+  lor (bit 6 h lsl 2)
+  lor (bit 5 h lsl 3)
+
+let uimm_lwsw h =
+  (bits ~hi:12 ~lo:10 h lsl 3) lor (bit 6 h lsl 2) lor (bit 5 h lsl 6)
+
+let imm_addi16sp h =
+  sext ~width:10
+    ((bit 12 h lsl 9) lor (bit 6 h lsl 4) lor (bit 5 h lsl 6)
+    lor (bits ~hi:4 ~lo:3 h lsl 7)
+    lor (bit 2 h lsl 5))
+
+let imm_cj h =
+  sext ~width:12
+    ((bit 12 h lsl 11) lor (bit 11 h lsl 4)
+    lor (bits ~hi:10 ~lo:9 h lsl 8)
+    lor (bit 8 h lsl 10) lor (bit 7 h lsl 6) lor (bit 6 h lsl 7)
+    lor (bits ~hi:5 ~lo:3 h lsl 1)
+    lor (bit 2 h lsl 5))
+
+let imm_cb h =
+  sext ~width:9
+    ((bit 12 h lsl 8)
+    lor (bits ~hi:11 ~lo:10 h lsl 3)
+    lor (bits ~hi:6 ~lo:5 h lsl 6)
+    lor (bits ~hi:4 ~lo:3 h lsl 1)
+    lor (bit 2 h lsl 5))
+
+let uimm_lwsp h =
+  (bit 12 h lsl 5) lor (bits ~hi:6 ~lo:4 h lsl 2) lor (bits ~hi:3 ~lo:2 h lsl 6)
+
+let uimm_swsp h =
+  (bits ~hi:12 ~lo:9 h lsl 2) lor (bits ~hi:8 ~lo:7 h lsl 6)
+
+let shamt_c h = (bit 12 h lsl 5) lor bits ~hi:6 ~lo:2 h
+
+let decode_q0 h =
+  match bits ~hi:15 ~lo:13 h with
+  | 0b000 ->
+      let u = uimm_addi4spn h in
+      if u = 0 then None (* includes the all-zeros illegal encoding *)
+      else Some (Op_imm (ADDI, r3 (bits ~hi:4 ~lo:2 h), Reg.sp, u))
+  | 0b010 ->
+      Some (Load (LW, r3 (bits ~hi:4 ~lo:2 h), r3 (bits ~hi:9 ~lo:7 h),
+                  uimm_lwsw h))
+  | 0b110 ->
+      Some (Store (SW, r3 (bits ~hi:4 ~lo:2 h), r3 (bits ~hi:9 ~lo:7 h),
+                   uimm_lwsw h))
+  | _ -> None
+
+let decode_q1_alu h =
+  let rd = r3 (bits ~hi:9 ~lo:7 h) in
+  match bits ~hi:11 ~lo:10 h with
+  | 0b00 ->
+      let sh = shamt_c h in
+      if sh >= 32 then None else Some (Shift_imm (SRLI, rd, rd, sh))
+  | 0b01 ->
+      let sh = shamt_c h in
+      if sh >= 32 then None else Some (Shift_imm (SRAI, rd, rd, sh))
+  | 0b10 -> Some (Op_imm (ANDI, rd, rd, imm_ci h))
+  | _ ->
+      if bit 12 h <> 0 then None
+      else
+        let rs2 = r3 (bits ~hi:4 ~lo:2 h) in
+        let op =
+          match bits ~hi:6 ~lo:5 h with
+          | 0b00 -> SUB
+          | 0b01 -> XOR
+          | 0b10 -> OR
+          | _ -> AND
+        in
+        Some (Op (op, rd, rd, rs2))
+
+let decode_q1 h =
+  match bits ~hi:15 ~lo:13 h with
+  | 0b000 ->
+      (* c.nop (rd = 0) and c.addi share an expansion. *)
+      let rd = bits ~hi:11 ~lo:7 h in
+      Some (Op_imm (ADDI, rd, rd, imm_ci h))
+  | 0b001 -> Some (Jal (Reg.ra, imm_cj h))
+  | 0b010 -> Some (Op_imm (ADDI, bits ~hi:11 ~lo:7 h, Reg.zero, imm_ci h))
+  | 0b011 ->
+      let rd = bits ~hi:11 ~lo:7 h in
+      if rd = 2 then
+        let imm = imm_addi16sp h in
+        if imm = 0 then None else Some (Op_imm (ADDI, Reg.sp, Reg.sp, imm))
+      else
+        let imm = imm_ci h in
+        if imm = 0 then None else Some (Lui (rd, imm land 0xFFFFF))
+  | 0b100 -> decode_q1_alu h
+  | 0b101 -> Some (Jal (Reg.zero, imm_cj h))
+  | 0b110 -> Some (Branch (BEQ, r3 (bits ~hi:9 ~lo:7 h), Reg.zero, imm_cb h))
+  | _ -> Some (Branch (BNE, r3 (bits ~hi:9 ~lo:7 h), Reg.zero, imm_cb h))
+
+let decode_q2 h =
+  let rd = bits ~hi:11 ~lo:7 h in
+  let rs2 = bits ~hi:6 ~lo:2 h in
+  match bits ~hi:15 ~lo:13 h with
+  | 0b000 ->
+      let sh = shamt_c h in
+      if sh >= 32 then None else Some (Shift_imm (SLLI, rd, rd, sh))
+  | 0b010 ->
+      if rd = 0 then None else Some (Load (LW, rd, Reg.sp, uimm_lwsp h))
+  | 0b100 ->
+      if bit 12 h = 0 then
+        if rs2 = 0 then
+          if rd = 0 then None else Some (Jalr (Reg.zero, rd, 0))
+        else Some (Op (ADD, rd, Reg.zero, rs2))
+      else if rs2 = 0 then
+        if rd = 0 then Some Ebreak else Some (Jalr (Reg.ra, rd, 0))
+      else Some (Op (ADD, rd, rd, rs2))
+  | 0b110 -> Some (Store (SW, rs2, Reg.sp, uimm_swsp h))
+  | _ -> None
+
+let decode16 h =
+  let h = h land 0xFFFF in
+  match h land 0x3 with
+  | 0b00 -> decode_q0 h
+  | 0b01 -> decode_q1 h
+  | 0b10 -> decode_q2 h
+  | _ -> None
+
+(* Compression.  Build the halfword from fields; each case mirrors a
+   decode case above, and only fires when every operand fits. *)
+
+let fits_signed ~width v = v >= -(1 lsl (width - 1)) && v < 1 lsl (width - 1)
+let is_r3 r = r >= 8 && r <= 15
+
+let enc_ci ~funct3 ~rd ~imm ~quad =
+  (funct3 lsl 13)
+  lor (((imm lsr 5) land 1) lsl 12)
+  lor (rd lsl 7)
+  lor ((imm land 0x1F) lsl 2)
+  lor quad
+
+let enc_cj ~funct3 off =
+  let b i = (off lsr i) land 1 in
+  (funct3 lsl 13)
+  lor (b 11 lsl 12) lor (b 4 lsl 11)
+  lor (((off lsr 8) land 3) lsl 9)
+  lor (b 10 lsl 8) lor (b 6 lsl 7) lor (b 7 lsl 6)
+  lor (((off lsr 1) land 7) lsl 3)
+  lor (b 5 lsl 2) lor 0b01
+
+let enc_cb ~funct3 ~rs1 off =
+  let b i = (off lsr i) land 1 in
+  (funct3 lsl 13)
+  lor (b 8 lsl 12)
+  lor (((off lsr 3) land 3) lsl 10)
+  lor ((rs1 - 8) lsl 7)
+  lor (((off lsr 6) land 3) lsl 5)
+  lor (((off lsr 1) land 3) lsl 3)
+  lor (b 5 lsl 2) lor 0b01
+
+let compress i =
+  match i with
+  | Op_imm (ADDI, rd, rs1, imm)
+    when rd = rs1 && rd <> 0 && fits_signed ~width:6 imm && imm <> 0 ->
+      Some (enc_ci ~funct3:0 ~rd ~imm ~quad:0b01)
+  | Op_imm (ADDI, rd, 0, imm) when rd <> 0 && fits_signed ~width:6 imm ->
+      Some (enc_ci ~funct3:0b010 ~rd ~imm ~quad:0b01)
+  | Op_imm (ANDI, rd, rs1, imm)
+    when rd = rs1 && is_r3 rd && fits_signed ~width:6 imm ->
+      (enc_ci ~funct3:0b100 ~rd:(rd - 8) ~imm ~quad:0b01)
+      lor (0b10 lsl 10)
+      |> Option.some
+  | Op (op, rd, rs1, rs2)
+    when rd = rs1 && is_r3 rd && is_r3 rs2
+         && (op = SUB || op = XOR || op = OR || op = AND) ->
+      let sel =
+        match op with SUB -> 0 | XOR -> 1 | OR -> 2 | AND -> 3 | _ -> 0
+      in
+      Some
+        ((0b100 lsl 13) lor (0b011 lsl 10) lor ((rd - 8) lsl 7)
+        lor (sel lsl 5)
+        lor ((rs2 - 8) lsl 2)
+        lor 0b01)
+  | Op (ADD, rd, 0, rs2) when rd <> 0 && rs2 <> 0 ->
+      Some ((0b100 lsl 13) lor (rd lsl 7) lor (rs2 lsl 2) lor 0b10)
+  | Op (ADD, rd, rs1, rs2) when rd = rs1 && rd <> 0 && rs2 <> 0 ->
+      Some ((0b100 lsl 13) lor (1 lsl 12) lor (rd lsl 7) lor (rs2 lsl 2) lor 0b10)
+  | Shift_imm (SLLI, rd, rs1, sh) when rd = rs1 && rd <> 0 && sh < 32 ->
+      Some (enc_ci ~funct3:0 ~rd ~imm:sh ~quad:0b10)
+  | Shift_imm (SRLI, rd, rs1, sh) when rd = rs1 && is_r3 rd && sh < 32 ->
+      Some (enc_ci ~funct3:0b100 ~rd:(rd - 8) ~imm:sh ~quad:0b01)
+  | Shift_imm (SRAI, rd, rs1, sh) when rd = rs1 && is_r3 rd && sh < 32 ->
+      Some
+        ((enc_ci ~funct3:0b100 ~rd:(rd - 8) ~imm:sh ~quad:0b01)
+        lor (0b01 lsl 10))
+  | Jal (0, off) when fits_signed ~width:12 off && off land 1 = 0 ->
+      Some (enc_cj ~funct3:0b101 off)
+  | Jal (1, off) when fits_signed ~width:12 off && off land 1 = 0 ->
+      Some (enc_cj ~funct3:0b001 off)
+  | Jalr (0, rs1, 0) when rs1 <> 0 ->
+      Some ((0b100 lsl 13) lor (rs1 lsl 7) lor 0b10)
+  | Jalr (1, rs1, 0) when rs1 <> 0 ->
+      Some ((0b100 lsl 13) lor (1 lsl 12) lor (rs1 lsl 7) lor 0b10)
+  | Branch (BEQ, rs1, 0, off)
+    when is_r3 rs1 && fits_signed ~width:9 off && off land 1 = 0 ->
+      Some (enc_cb ~funct3:0b110 ~rs1 off)
+  | Branch (BNE, rs1, 0, off)
+    when is_r3 rs1 && fits_signed ~width:9 off && off land 1 = 0 ->
+      Some (enc_cb ~funct3:0b111 ~rs1 off)
+  | Load (LW, rd, rs1, imm)
+    when is_r3 rd && is_r3 rs1 && imm >= 0 && imm < 128 && imm land 3 = 0 ->
+      Some
+        ((0b010 lsl 13)
+        lor (((imm lsr 3) land 7) lsl 10)
+        lor ((rs1 - 8) lsl 7)
+        lor (((imm lsr 2) land 1) lsl 6)
+        lor (((imm lsr 6) land 1) lsl 5)
+        lor ((rd - 8) lsl 2))
+  | Store (SW, src, rs1, imm)
+    when is_r3 src && is_r3 rs1 && imm >= 0 && imm < 128 && imm land 3 = 0 ->
+      Some
+        ((0b110 lsl 13)
+        lor (((imm lsr 3) land 7) lsl 10)
+        lor ((rs1 - 8) lsl 7)
+        lor (((imm lsr 2) land 1) lsl 6)
+        lor (((imm lsr 6) land 1) lsl 5)
+        lor ((src - 8) lsl 2))
+  | Load (LW, rd, 2, imm)
+    when rd <> 0 && imm >= 0 && imm < 256 && imm land 3 = 0 ->
+      Some
+        ((0b010 lsl 13)
+        lor (((imm lsr 5) land 1) lsl 12)
+        lor (rd lsl 7)
+        lor (((imm lsr 2) land 7) lsl 4)
+        lor (((imm lsr 6) land 3) lsl 2)
+        lor 0b10)
+  | Store (SW, src, 2, imm)
+    when imm >= 0 && imm < 256 && imm land 3 = 0 ->
+      Some
+        ((0b110 lsl 13)
+        lor (((imm lsr 2) land 0xF) lsl 9)
+        lor (((imm lsr 6) land 3) lsl 7)
+        lor (src lsl 2)
+        lor 0b10)
+  | Ebreak -> Some ((0b100 lsl 13) lor (1 lsl 12) lor 0b10)
+  | Lui (rd, imm20)
+    when rd <> 0 && rd <> 2
+         && (let s = S4e_bits.Bits.(to_signed (sext ~width:20 imm20)) in
+             fits_signed ~width:6 s && s <> 0) ->
+      let s = S4e_bits.Bits.(to_signed (sext ~width:20 imm20)) in
+      Some (enc_ci ~funct3:0b011 ~rd ~imm:s ~quad:0b01)
+  | _ -> None

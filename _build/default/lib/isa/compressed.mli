@@ -1,0 +1,22 @@
+(** RVC (compressed, 16-bit) instruction support.
+
+    Compressed instructions are expanded to the base {!Instr.t} AST at
+    decode time, as in QEMU; the emulator only needs the expansion plus
+    the encoded size to advance the PC.  [compress] is the partial
+    inverse used by the assembler when the C extension is enabled: it
+    re-encodes an instruction as 16 bits when a compressed form exists.
+
+    Round trip: [decode16 h = Some i] implies the expansion [i] executes
+    identically to the 32-bit form, and [compress i = Some h'] implies
+    [decode16 h' = Some i]. *)
+
+val decode16 : int -> Instr.t option
+(** [decode16 h] expands the 16-bit halfword [h] (low 16 bits used).
+    Returns [None] for reserved or illegal encodings, including the
+    defined-illegal all-zeros halfword.  The halfword must satisfy
+    [h land 3 <> 3] to be a compressed encoding; words failing that are
+    rejected. *)
+
+val compress : Instr.t -> int option
+(** [compress i] is a 16-bit encoding of [i] if one exists.  Guarantees
+    [decode16 (compress i) = Some i] (property-tested). *)

@@ -1,0 +1,53 @@
+type t = int
+
+let fflags = 0x001
+let frm = 0x002
+let fcsr = 0x003
+let mvendorid = 0xF11
+let marchid = 0xF12
+let mimpid = 0xF13
+let mhartid = 0xF14
+let mstatus = 0x300
+let misa = 0x301
+let mie = 0x304
+let mtvec = 0x305
+let mscratch = 0x340
+let mepc = 0x341
+let mcause = 0x342
+let mtval = 0x343
+let mip = 0x344
+let mcycle = 0xB00
+let minstret = 0xB02
+let cycle = 0xC00
+let time = 0xC01
+let instret = 0xC02
+let cycleh = 0xC80
+let timeh = 0xC81
+let instreth = 0xC82
+
+let valid a = a >= 0 && a < 0x1000
+let is_read_only a = a lsr 10 = 0b11
+
+let table =
+  [ (fflags, "fflags"); (frm, "frm"); (fcsr, "fcsr");
+    (mvendorid, "mvendorid"); (marchid, "marchid"); (mimpid, "mimpid");
+    (mhartid, "mhartid"); (mstatus, "mstatus"); (misa, "misa");
+    (mie, "mie"); (mtvec, "mtvec"); (mscratch, "mscratch");
+    (mepc, "mepc"); (mcause, "mcause"); (mtval, "mtval"); (mip, "mip");
+    (mcycle, "mcycle"); (minstret, "minstret");
+    (cycle, "cycle"); (time, "time"); (instret, "instret");
+    (cycleh, "cycleh"); (timeh, "timeh"); (instreth, "instreth") ]
+
+let name a =
+  match List.assoc_opt a table with
+  | Some n -> n
+  | None -> Printf.sprintf "csr0x%03x" a
+
+let of_name s =
+  let rec go = function
+    | [] -> None
+    | (a, n) :: rest -> if String.equal n s then Some a else go rest
+  in
+  go table
+
+let implemented = List.sort compare (List.map fst table)

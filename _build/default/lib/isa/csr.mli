@@ -1,0 +1,60 @@
+(** Control and status register addresses.
+
+    CSR addresses are 12-bit integers.  This module names the machine-mode
+    and user-visible CSRs implemented by the emulator, and classifies
+    addresses for access checking and coverage accounting. *)
+
+type t = int
+(** A CSR address.  Invariant: [0 <= a < 0x1000]. *)
+
+(** {1 Floating-point} *)
+
+val fflags : t
+val frm : t
+val fcsr : t
+
+(** {1 Machine information} *)
+
+val mvendorid : t
+val marchid : t
+val mimpid : t
+val mhartid : t
+
+(** {1 Machine trap setup / handling} *)
+
+val mstatus : t
+val misa : t
+val mie : t
+val mtvec : t
+val mscratch : t
+val mepc : t
+val mcause : t
+val mtval : t
+val mip : t
+
+(** {1 Counters} *)
+
+val mcycle : t
+val minstret : t
+val cycle : t
+val time : t
+val instret : t
+val cycleh : t
+val timeh : t
+val instreth : t
+
+val valid : t -> bool
+(** Address range check. *)
+
+val is_read_only : t -> bool
+(** Top two address bits = 11 means reads only (per the privileged spec
+    address convention). *)
+
+val name : t -> string
+(** Symbolic name if known, otherwise ["csr0x%03x"]. *)
+
+val of_name : string -> t option
+
+val implemented : t list
+(** All CSRs the emulator implements, in address order; this is the
+    denominator of CSR coverage. *)

@@ -1,0 +1,238 @@
+open Instr
+
+(* Decoding is a straightforward dispatch on opcode, then funct3/funct7.
+   Reserved field values (e.g. nonzero funct7 on ADDI's opcode space
+   where a shift is not intended) yield None so that fault-injected
+   words trap instead of silently executing. *)
+
+let decode_op w =
+  let rd = Fields.rd w and rs1 = Fields.rs1 w and rs2 = Fields.rs2 w in
+  let op =
+    match (Fields.funct3 w, Fields.funct7 w) with
+    | 0, 0x00 -> Some ADD
+    | 0, 0x20 -> Some SUB
+    | 1, 0x00 -> Some SLL
+    | 2, 0x00 -> Some SLT
+    | 3, 0x00 -> Some SLTU
+    | 4, 0x00 -> Some XOR
+    | 5, 0x00 -> Some SRL
+    | 5, 0x20 -> Some SRA
+    | 6, 0x00 -> Some OR
+    | 7, 0x00 -> Some AND
+    | 0, 0x01 -> Some MUL
+    | 1, 0x01 -> Some MULH
+    | 2, 0x01 -> Some MULHSU
+    | 3, 0x01 -> Some MULHU
+    | 4, 0x01 -> Some DIV
+    | 5, 0x01 -> Some DIVU
+    | 6, 0x01 -> Some REM
+    | 7, 0x01 -> Some REMU
+    | 7, 0x20 -> Some ANDN
+    | 6, 0x20 -> Some ORN
+    | 4, 0x20 -> Some XNOR
+    | 1, 0x30 -> Some ROL
+    | 5, 0x30 -> Some ROR
+    | 4, 0x05 -> Some MIN
+    | 5, 0x05 -> Some MINU
+    | 6, 0x05 -> Some MAX
+    | 7, 0x05 -> Some MAXU
+    | 1, 0x14 -> Some BSET
+    | 1, 0x24 -> Some BCLR
+    | 1, 0x34 -> Some BINV
+    | 5, 0x24 -> Some BEXT
+    | _, _ -> None
+  in
+  match op with
+  | Some op -> Some (Op (op, rd, rs1, rs2))
+  | None ->
+      if Fields.funct3 w = 4 && Fields.funct7 w = 0x04 && rs2 = 0 then
+        Some (Unary (ZEXT_H, rd, rs1))
+      else None
+
+let decode_op_imm w =
+  let rd = Fields.rd w and rs1 = Fields.rs1 w in
+  let imm = Fields.i_imm w in
+  let shamt = Fields.shamt w and funct7 = Fields.funct7 w in
+  match Fields.funct3 w with
+  | 0 -> Some (Op_imm (ADDI, rd, rs1, imm))
+  | 2 -> Some (Op_imm (SLTI, rd, rs1, imm))
+  | 3 -> Some (Op_imm (SLTIU, rd, rs1, imm))
+  | 4 -> Some (Op_imm (XORI, rd, rs1, imm))
+  | 6 -> Some (Op_imm (ORI, rd, rs1, imm))
+  | 7 -> Some (Op_imm (ANDI, rd, rs1, imm))
+  | 1 -> (
+      match funct7 with
+      | 0x00 -> Some (Shift_imm (SLLI, rd, rs1, shamt))
+      | 0x14 -> Some (Shift_imm (BSETI, rd, rs1, shamt))
+      | 0x24 -> Some (Shift_imm (BCLRI, rd, rs1, shamt))
+      | 0x34 -> Some (Shift_imm (BINVI, rd, rs1, shamt))
+      | 0x30 -> (
+          match shamt with
+          | 0 -> Some (Unary (CLZ, rd, rs1))
+          | 1 -> Some (Unary (CTZ, rd, rs1))
+          | 2 -> Some (Unary (CPOP, rd, rs1))
+          | 4 -> Some (Unary (SEXT_B, rd, rs1))
+          | 5 -> Some (Unary (SEXT_H, rd, rs1))
+          | _ -> None)
+      | _ -> None)
+  | 5 -> (
+      match funct7 with
+      | 0x00 -> Some (Shift_imm (SRLI, rd, rs1, shamt))
+      | 0x20 -> Some (Shift_imm (SRAI, rd, rs1, shamt))
+      | 0x30 -> Some (Shift_imm (RORI, rd, rs1, shamt))
+      | 0x24 -> Some (Shift_imm (BEXTI, rd, rs1, shamt))
+      | 0x34 when shamt = 0x18 -> Some (Unary (REV8, rd, rs1))
+      | 0x14 when shamt = 0x07 -> Some (Unary (ORC_B, rd, rs1))
+      | _ -> None)
+  | _ -> None
+
+let decode_load w =
+  let rd = Fields.rd w and rs1 = Fields.rs1 w and imm = Fields.i_imm w in
+  let op =
+    match Fields.funct3 w with
+    | 0 -> Some LB
+    | 1 -> Some LH
+    | 2 -> Some LW
+    | 4 -> Some LBU
+    | 5 -> Some LHU
+    | _ -> None
+  in
+  Option.map (fun op -> Load (op, rd, rs1, imm)) op
+
+let decode_store w =
+  let rs1 = Fields.rs1 w and rs2 = Fields.rs2 w and imm = Fields.s_imm w in
+  let op =
+    match Fields.funct3 w with
+    | 0 -> Some SB
+    | 1 -> Some SH
+    | 2 -> Some SW
+    | _ -> None
+  in
+  Option.map (fun op -> Store (op, rs2, rs1, imm)) op
+
+let decode_branch w =
+  let rs1 = Fields.rs1 w and rs2 = Fields.rs2 w and imm = Fields.b_imm w in
+  let op =
+    match Fields.funct3 w with
+    | 0 -> Some BEQ
+    | 1 -> Some BNE
+    | 4 -> Some BLT
+    | 5 -> Some BGE
+    | 6 -> Some BLTU
+    | 7 -> Some BGEU
+    | _ -> None
+  in
+  Option.map (fun op -> Branch (op, rs1, rs2, imm)) op
+
+let decode_system w =
+  let rd = Fields.rd w and rs1 = Fields.rs1 w in
+  match Fields.funct3 w with
+  | 0 -> (
+      if rd <> 0 || rs1 <> 0 then None
+      else
+        match Fields.csr w with
+        | 0x000 -> Some Ecall
+        | 0x001 -> Some Ebreak
+        | 0x302 -> Some Mret
+        | 0x105 -> Some Wfi
+        | _ -> None)
+  | 1 -> Some (Csr (CSRRW, rd, Fields.csr w, rs1))
+  | 2 -> Some (Csr (CSRRS, rd, Fields.csr w, rs1))
+  | 3 -> Some (Csr (CSRRC, rd, Fields.csr w, rs1))
+  | 5 -> Some (Csr (CSRRWI, rd, Fields.csr w, rs1))
+  | 6 -> Some (Csr (CSRRSI, rd, Fields.csr w, rs1))
+  | 7 -> Some (Csr (CSRRCI, rd, Fields.csr w, rs1))
+  | _ -> None
+
+let decode_misc_mem w =
+  match Fields.funct3 w with
+  | 0 -> Some Fence
+  | 1 -> Some Fence_i
+  | _ -> None
+
+let decode_op_fp w =
+  let rd = Fields.rd w and rs1 = Fields.rs1 w and rs2 = Fields.rs2 w in
+  let f3 = Fields.funct3 w in
+  match Fields.funct7 w with
+  | 0x00 -> Some (Fp_op (FADD, rd, rs1, rs2))
+  | 0x04 -> Some (Fp_op (FSUB, rd, rs1, rs2))
+  | 0x08 -> Some (Fp_op (FMUL, rd, rs1, rs2))
+  | 0x0C -> Some (Fp_op (FDIV, rd, rs1, rs2))
+  | 0x10 -> (
+      match f3 with
+      | 0 -> Some (Fp_op (FSGNJ, rd, rs1, rs2))
+      | 1 -> Some (Fp_op (FSGNJN, rd, rs1, rs2))
+      | 2 -> Some (Fp_op (FSGNJX, rd, rs1, rs2))
+      | _ -> None)
+  | 0x14 -> (
+      match f3 with
+      | 0 -> Some (Fp_op (FMIN, rd, rs1, rs2))
+      | 1 -> Some (Fp_op (FMAX, rd, rs1, rs2))
+      | _ -> None)
+  | 0x50 -> (
+      match f3 with
+      | 2 -> Some (Fp_cmp (FEQ, rd, rs1, rs2))
+      | 1 -> Some (Fp_cmp (FLT, rd, rs1, rs2))
+      | 0 -> Some (Fp_cmp (FLE, rd, rs1, rs2))
+      | _ -> None)
+  | 0x2C -> if rs2 = 0 && f3 = 0 then Some (Fsqrt (rd, rs1)) else None
+  | 0x60 -> (
+      match (rs2, f3) with
+      | 0, 0 -> Some (Fcvt_w_s (rd, rs1, false))
+      | 1, 0 -> Some (Fcvt_w_s (rd, rs1, true))
+      | _ -> None)
+  | 0x68 -> (
+      match (rs2, f3) with
+      | 0, 0 -> Some (Fcvt_s_w (rd, rs1, false))
+      | 1, 0 -> Some (Fcvt_s_w (rd, rs1, true))
+      | _ -> None)
+  | 0x70 -> if rs2 = 0 && f3 = 0 then Some (Fmv_x_w (rd, rs1)) else None
+  | 0x78 -> if rs2 = 0 && f3 = 0 then Some (Fmv_w_x (rd, rs1)) else None
+  | _ -> None
+
+(* A-extension: funct5 discriminates; aq/rl bits are accepted as any. *)
+let decode_amo w =
+  if Fields.funct3 w <> 2 then None
+  else
+    let rd = Fields.rd w and rs1 = Fields.rs1 w and rs2 = Fields.rs2 w in
+    match Fields.funct7 w lsr 2 with
+    | 0x02 -> if rs2 = 0 then Some (Lr (rd, rs1)) else None
+    | 0x03 -> Some (Sc (rd, rs2, rs1))
+    | 0x00 -> Some (Amo (AMOADD, rd, rs2, rs1))
+    | 0x01 -> Some (Amo (AMOSWAP, rd, rs2, rs1))
+    | 0x04 -> Some (Amo (AMOXOR, rd, rs2, rs1))
+    | 0x08 -> Some (Amo (AMOOR, rd, rs2, rs1))
+    | 0x0C -> Some (Amo (AMOAND, rd, rs2, rs1))
+    | 0x10 -> Some (Amo (AMOMIN, rd, rs2, rs1))
+    | 0x14 -> Some (Amo (AMOMAX, rd, rs2, rs1))
+    | 0x18 -> Some (Amo (AMOMINU, rd, rs2, rs1))
+    | 0x1C -> Some (Amo (AMOMAXU, rd, rs2, rs1))
+    | _ -> None
+
+let decode w =
+  if w land 0x3 <> 0x3 then None
+  else
+    match Fields.opcode w with
+    | 0x37 -> Some (Lui (Fields.rd w, Fields.u_imm w))
+    | 0x17 -> Some (Auipc (Fields.rd w, Fields.u_imm w))
+    | 0x6F -> Some (Jal (Fields.rd w, Fields.j_imm w))
+    | 0x67 ->
+        if Fields.funct3 w = 0 then
+          Some (Jalr (Fields.rd w, Fields.rs1 w, Fields.i_imm w))
+        else None
+    | 0x63 -> decode_branch w
+    | 0x03 -> decode_load w
+    | 0x23 -> decode_store w
+    | 0x13 -> decode_op_imm w
+    | 0x33 -> decode_op w
+    | 0x0F -> decode_misc_mem w
+    | 0x73 -> decode_system w
+    | 0x07 -> if Fields.funct3 w = 2 then
+                Some (Flw (Fields.rd w, Fields.rs1 w, Fields.i_imm w))
+              else None
+    | 0x27 -> if Fields.funct3 w = 2 then
+                Some (Fsw (Fields.rs2 w, Fields.rs1 w, Fields.s_imm w))
+              else None
+    | 0x53 -> decode_op_fp w
+    | 0x2F -> decode_amo w
+    | _ -> None

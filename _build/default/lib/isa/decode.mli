@@ -1,0 +1,12 @@
+(** Hand-written instruction decoder (the reference decoder).
+
+    [decode w] returns [None] for any word that is not a valid encoding
+    of an implemented instruction; the emulator turns [None] into an
+    illegal-instruction trap.  Words whose low two bits are not [11]
+    belong to the compressed (16-bit) encoding space and also decode to
+    [None] here — see {!Compressed}.
+
+    Equivalence with the generated {!Decodetree} decoder is
+    property-tested and benchmarked (experiment E7). *)
+
+val decode : S4e_bits.Bits.word -> Instr.t option

@@ -1,0 +1,155 @@
+open Instr
+
+let op_lui = 0x37
+let op_auipc = 0x17
+let op_jal = 0x6F
+let op_jalr = 0x67
+let op_branch = 0x63
+let op_load = 0x03
+let op_store = 0x23
+let op_op_imm = 0x13
+let op_op = 0x33
+let op_misc_mem = 0x0F
+let op_system = 0x73
+let op_load_fp = 0x07
+let op_store_fp = 0x27
+let op_op_fp = 0x53
+let op_amo = 0x2F
+
+let op_r_funct = function
+  | ADD -> (0, 0x00) | SUB -> (0, 0x20) | SLL -> (1, 0x00) | SLT -> (2, 0x00)
+  | SLTU -> (3, 0x00) | XOR -> (4, 0x00) | SRL -> (5, 0x00) | SRA -> (5, 0x20)
+  | OR -> (6, 0x00) | AND -> (7, 0x00)
+  | MUL -> (0, 0x01) | MULH -> (1, 0x01) | MULHSU -> (2, 0x01)
+  | MULHU -> (3, 0x01) | DIV -> (4, 0x01) | DIVU -> (5, 0x01)
+  | REM -> (6, 0x01) | REMU -> (7, 0x01)
+  | ANDN -> (7, 0x20) | ORN -> (6, 0x20) | XNOR -> (4, 0x20)
+  | ROL -> (1, 0x30) | ROR -> (5, 0x30)
+  | MIN -> (4, 0x05) | MINU -> (5, 0x05) | MAX -> (6, 0x05) | MAXU -> (7, 0x05)
+  | BSET -> (1, 0x14) | BCLR -> (1, 0x24) | BINV -> (1, 0x34)
+  | BEXT -> (5, 0x24)
+
+let op_i_funct3 = function
+  | ADDI -> 0 | SLTI -> 2 | SLTIU -> 3 | XORI -> 4 | ORI -> 6 | ANDI -> 7
+
+let op_load_funct3 = function LB -> 0 | LH -> 1 | LW -> 2 | LBU -> 4 | LHU -> 5
+let op_store_funct3 = function SB -> 0 | SH -> 1 | SW -> 2
+
+let op_branch_funct3 = function
+  | BEQ -> 0 | BNE -> 1 | BLT -> 4 | BGE -> 5 | BLTU -> 6 | BGEU -> 7
+
+let op_csr_funct3 = function
+  | CSRRW -> 1 | CSRRS -> 2 | CSRRC -> 3
+  | CSRRWI -> 5 | CSRRSI -> 6 | CSRRCI -> 7
+
+let op_fp_funct = function
+  | FADD -> (0, 0x00) | FSUB -> (0, 0x04) | FMUL -> (0, 0x08)
+  | FDIV -> (0, 0x0C)
+  | FSGNJ -> (0, 0x10) | FSGNJN -> (1, 0x10) | FSGNJX -> (2, 0x10)
+  | FMIN -> (0, 0x14) | FMAX -> (1, 0x14)
+
+let op_fp_cmp_funct3 = function FEQ -> 2 | FLT -> 1 | FLE -> 0
+
+(* funct5 in instruction bits 31:27; aq/rl (bits 26:25) encode as 0 *)
+let op_amo_funct5 = function
+  | AMOADD -> 0x00 | AMOSWAP -> 0x01 | AMOXOR -> 0x04 | AMOOR -> 0x08
+  | AMOAND -> 0x0C | AMOMIN -> 0x10 | AMOMAX -> 0x14 | AMOMINU -> 0x18
+  | AMOMAXU -> 0x1C
+
+(* Zbb single-source ops encode the operation selector in the rs2
+   field under OP-IMM funct3=001 (clz family) or funct3=101 (rev8,
+   orc.b); zext.h lives under the OP opcode. *)
+let encode_unary op rd rs1 =
+  let i_imm imm f3 =
+    Fields.r_type ~opcode:op_op_imm ~funct3:f3 ~funct7:(imm lsr 5)
+      ~rd ~rs1 ~rs2:(imm land 0x1F)
+  in
+  match op with
+  | CLZ -> i_imm 0x600 1
+  | CTZ -> i_imm 0x601 1
+  | CPOP -> i_imm 0x602 1
+  | SEXT_B -> i_imm 0x604 1
+  | SEXT_H -> i_imm 0x605 1
+  | REV8 -> i_imm 0x698 5
+  | ORC_B -> i_imm 0x287 5
+  | ZEXT_H -> Fields.r_type ~opcode:op_op ~funct3:4 ~funct7:0x04 ~rd ~rs1 ~rs2:0
+
+let encode = function
+  | Lui (rd, imm20) -> Fields.u_type ~opcode:op_lui ~rd ~imm20
+  | Auipc (rd, imm20) -> Fields.u_type ~opcode:op_auipc ~rd ~imm20
+  | Jal (rd, off) -> Fields.j_type ~opcode:op_jal ~rd ~imm:off
+  | Jalr (rd, rs1, imm) ->
+      Fields.i_type ~opcode:op_jalr ~funct3:0 ~rd ~rs1 ~imm
+  | Branch (op, rs1, rs2, off) ->
+      Fields.b_type ~opcode:op_branch ~funct3:(op_branch_funct3 op) ~rs1 ~rs2
+        ~imm:off
+  | Load (op, rd, base, imm) ->
+      Fields.i_type ~opcode:op_load ~funct3:(op_load_funct3 op) ~rd ~rs1:base
+        ~imm
+  | Store (op, src, base, imm) ->
+      Fields.s_type ~opcode:op_store ~funct3:(op_store_funct3 op) ~rs1:base
+        ~rs2:src ~imm
+  | Op_imm (op, rd, rs1, imm) ->
+      Fields.i_type ~opcode:op_op_imm ~funct3:(op_i_funct3 op) ~rd ~rs1 ~imm
+  | Shift_imm (op, rd, rs1, sh) ->
+      assert (sh >= 0 && sh < 32);
+      let funct3, funct7 =
+        match op with
+        | SLLI -> (1, 0x00)
+        | SRLI -> (5, 0x00)
+        | SRAI -> (5, 0x20)
+        | RORI -> (5, 0x30)
+        | BSETI -> (1, 0x14)
+        | BCLRI -> (1, 0x24)
+        | BINVI -> (1, 0x34)
+        | BEXTI -> (5, 0x24)
+      in
+      Fields.r_type ~opcode:op_op_imm ~funct3 ~funct7 ~rd ~rs1 ~rs2:sh
+  | Op (op, rd, rs1, rs2) ->
+      let funct3, funct7 = op_r_funct op in
+      Fields.r_type ~opcode:op_op ~funct3 ~funct7 ~rd ~rs1 ~rs2
+  | Unary (op, rd, rs1) -> encode_unary op rd rs1
+  | Fence ->
+      (* fence iorw, iorw *)
+      Fields.i_type ~opcode:op_misc_mem ~funct3:0 ~rd:0 ~rs1:0 ~imm:0x0FF
+  | Fence_i -> Fields.i_type ~opcode:op_misc_mem ~funct3:1 ~rd:0 ~rs1:0 ~imm:0
+  | Ecall -> Fields.i_type ~opcode:op_system ~funct3:0 ~rd:0 ~rs1:0 ~imm:0
+  | Ebreak -> Fields.i_type ~opcode:op_system ~funct3:0 ~rd:0 ~rs1:0 ~imm:1
+  | Mret -> Fields.i_type ~opcode:op_system ~funct3:0 ~rd:0 ~rs1:0 ~imm:0x302
+  | Wfi -> Fields.i_type ~opcode:op_system ~funct3:0 ~rd:0 ~rs1:0 ~imm:0x105
+  | Csr (op, rd, csr, src) ->
+      assert (Csr.valid csr && src >= 0 && src < 32);
+      Fields.r_type ~opcode:op_system ~funct3:(op_csr_funct3 op)
+        ~funct7:(csr lsr 5) ~rd ~rs1:src ~rs2:(csr land 0x1F)
+  | Flw (frd, base, imm) ->
+      Fields.i_type ~opcode:op_load_fp ~funct3:2 ~rd:frd ~rs1:base ~imm
+  | Fsw (fsrc, base, imm) ->
+      Fields.s_type ~opcode:op_store_fp ~funct3:2 ~rs1:base ~rs2:fsrc ~imm
+  | Fp_op (op, frd, frs1, frs2) ->
+      let funct3, funct7 = op_fp_funct op in
+      Fields.r_type ~opcode:op_op_fp ~funct3 ~funct7 ~rd:frd ~rs1:frs1
+        ~rs2:frs2
+  | Fp_cmp (op, rd, frs1, frs2) ->
+      Fields.r_type ~opcode:op_op_fp ~funct3:(op_fp_cmp_funct3 op) ~funct7:0x50
+        ~rd ~rs1:frs1 ~rs2:frs2
+  | Fsqrt (frd, frs1) ->
+      Fields.r_type ~opcode:op_op_fp ~funct3:0 ~funct7:0x2C ~rd:frd ~rs1:frs1
+        ~rs2:0
+  | Fcvt_w_s (rd, frs1, unsigned) ->
+      Fields.r_type ~opcode:op_op_fp ~funct3:0 ~funct7:0x60 ~rd ~rs1:frs1
+        ~rs2:(if unsigned then 1 else 0)
+  | Fcvt_s_w (frd, rs1, unsigned) ->
+      Fields.r_type ~opcode:op_op_fp ~funct3:0 ~funct7:0x68 ~rd:frd ~rs1
+        ~rs2:(if unsigned then 1 else 0)
+  | Fmv_x_w (rd, frs1) ->
+      Fields.r_type ~opcode:op_op_fp ~funct3:0 ~funct7:0x70 ~rd ~rs1:frs1
+        ~rs2:0
+  | Fmv_w_x (frd, rs1) ->
+      Fields.r_type ~opcode:op_op_fp ~funct3:0 ~funct7:0x78 ~rd:frd ~rs1 ~rs2:0
+  | Lr (rd, rs1) ->
+      Fields.r_type ~opcode:op_amo ~funct3:2 ~funct7:(0x02 lsl 2) ~rd ~rs1 ~rs2:0
+  | Sc (rd, src, rs1) ->
+      Fields.r_type ~opcode:op_amo ~funct3:2 ~funct7:(0x03 lsl 2) ~rd ~rs1 ~rs2:src
+  | Amo (op, rd, src, rs1) ->
+      Fields.r_type ~opcode:op_amo ~funct3:2 ~funct7:(op_amo_funct5 op lsl 2)
+        ~rd ~rs1 ~rs2:src

@@ -1,0 +1,8 @@
+(** Instruction encoder: AST to 32-bit machine words.
+
+    The inverse of {!Decode.decode}; round-tripping is property-tested.
+    Raises [Invalid_argument] (via assertions) when an operand is out of
+    its encodable range, e.g. a branch offset that does not fit in 13
+    signed bits. *)
+
+val encode : Instr.t -> S4e_bits.Bits.word

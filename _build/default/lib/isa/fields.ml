@@ -1,0 +1,88 @@
+(* Bit-field extraction and insertion for the RV32 instruction formats.
+   Shared by the encoder, the hand decoder, and the DecodeTree builders so
+   that immediate scrambling logic exists in exactly one place. *)
+
+let rd w = S4e_bits.Bits.bits ~hi:11 ~lo:7 w
+let rs1 w = S4e_bits.Bits.bits ~hi:19 ~lo:15 w
+let rs2 w = S4e_bits.Bits.bits ~hi:24 ~lo:20 w
+let funct3 w = S4e_bits.Bits.bits ~hi:14 ~lo:12 w
+let funct7 w = S4e_bits.Bits.bits ~hi:31 ~lo:25 w
+let opcode w = w land 0x7F
+
+(* Immediates are returned as signed native ints. *)
+
+let i_imm w = S4e_bits.Bits.(to_signed (sext ~width:12 (bits ~hi:31 ~lo:20 w)))
+
+let s_imm w =
+  let open S4e_bits.Bits in
+  let v = (bits ~hi:31 ~lo:25 w lsl 5) lor bits ~hi:11 ~lo:7 w in
+  to_signed (sext ~width:12 v)
+
+let b_imm w =
+  let open S4e_bits.Bits in
+  let v =
+    (bit 31 w lsl 12) lor (bit 7 w lsl 11)
+    lor (bits ~hi:30 ~lo:25 w lsl 5)
+    lor (bits ~hi:11 ~lo:8 w lsl 1)
+  in
+  to_signed (sext ~width:13 v)
+
+let u_imm w = S4e_bits.Bits.bits ~hi:31 ~lo:12 w
+
+let j_imm w =
+  let open S4e_bits.Bits in
+  let v =
+    (bit 31 w lsl 20)
+    lor (bits ~hi:19 ~lo:12 w lsl 12)
+    lor (bit 20 w lsl 11)
+    lor (bits ~hi:30 ~lo:21 w lsl 1)
+  in
+  to_signed (sext ~width:21 v)
+
+let csr w = S4e_bits.Bits.bits ~hi:31 ~lo:20 w
+let shamt w = S4e_bits.Bits.bits ~hi:24 ~lo:20 w
+
+(* Insertion: all build a full 32-bit word from parts.  Immediate
+   arguments are signed ints; range is the caller's responsibility
+   (checked with assertions). *)
+
+let in_range ~bitsz v =
+  v >= -(1 lsl (bitsz - 1)) && v < 1 lsl (bitsz - 1)
+
+let r_type ~opcode ~funct3 ~funct7 ~rd ~rs1 ~rs2 =
+  (funct7 lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor (rd lsl 7) lor opcode
+
+let i_type ~opcode ~funct3 ~rd ~rs1 ~imm =
+  assert (in_range ~bitsz:12 imm);
+  ((imm land 0xFFF) lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor (rd lsl 7) lor opcode
+
+let s_type ~opcode ~funct3 ~rs1 ~rs2 ~imm =
+  assert (in_range ~bitsz:12 imm);
+  let imm = imm land 0xFFF in
+  ((imm lsr 5) lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor ((imm land 0x1F) lsl 7) lor opcode
+
+let b_type ~opcode ~funct3 ~rs1 ~rs2 ~imm =
+  assert (in_range ~bitsz:13 imm && imm land 1 = 0);
+  let imm = imm land 0x1FFF in
+  (((imm lsr 12) land 1) lsl 31)
+  lor (((imm lsr 5) land 0x3F) lsl 25)
+  lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor (((imm lsr 1) land 0xF) lsl 8)
+  lor (((imm lsr 11) land 1) lsl 7)
+  lor opcode
+
+let u_type ~opcode ~rd ~imm20 =
+  assert (imm20 >= 0 && imm20 < 1 lsl 20);
+  (imm20 lsl 12) lor (rd lsl 7) lor opcode
+
+let j_type ~opcode ~rd ~imm =
+  assert (in_range ~bitsz:21 imm && imm land 1 = 0);
+  let imm = imm land 0x1F_FFFF in
+  (((imm lsr 20) land 1) lsl 31)
+  lor (((imm lsr 1) land 0x3FF) lsl 21)
+  lor (((imm lsr 11) land 1) lsl 20)
+  lor (((imm lsr 12) land 0xFF) lsl 12)
+  lor (rd lsl 7) lor opcode

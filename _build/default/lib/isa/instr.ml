@@ -1,0 +1,262 @@
+type reg = Reg.t
+
+type op_r =
+  | ADD | SUB | SLL | SLT | SLTU | XOR | SRL | SRA | OR | AND
+  | MUL | MULH | MULHSU | MULHU | DIV | DIVU | REM | REMU
+  | ANDN | ORN | XNOR | ROL | ROR
+  | MIN | MAX | MINU | MAXU
+  | BSET | BCLR | BINV | BEXT
+
+type op_i = ADDI | SLTI | SLTIU | XORI | ORI | ANDI
+type op_shift = SLLI | SRLI | SRAI | RORI | BSETI | BCLRI | BINVI | BEXTI
+type op_load = LB | LH | LW | LBU | LHU
+type op_store = SB | SH | SW
+type op_branch = BEQ | BNE | BLT | BGE | BLTU | BGEU
+type op_unary = CLZ | CTZ | CPOP | SEXT_B | SEXT_H | ZEXT_H | REV8 | ORC_B
+type op_csr = CSRRW | CSRRS | CSRRC | CSRRWI | CSRRSI | CSRRCI
+type op_fp = FADD | FSUB | FMUL | FDIV | FMIN | FMAX | FSGNJ | FSGNJN | FSGNJX
+type op_fp_cmp = FEQ | FLT | FLE
+
+type op_amo =
+  | AMOSWAP | AMOADD | AMOXOR | AMOAND | AMOOR
+  | AMOMIN | AMOMAX | AMOMINU | AMOMAXU
+
+type t =
+  | Lui of reg * int
+  | Auipc of reg * int
+  | Jal of reg * int
+  | Jalr of reg * reg * int
+  | Branch of op_branch * reg * reg * int
+  | Load of op_load * reg * reg * int
+  | Store of op_store * reg * reg * int
+  | Op_imm of op_i * reg * reg * int
+  | Shift_imm of op_shift * reg * reg * int
+  | Op of op_r * reg * reg * reg
+  | Unary of op_unary * reg * reg
+  | Fence
+  | Fence_i
+  | Ecall
+  | Ebreak
+  | Mret
+  | Wfi
+  | Csr of op_csr * reg * Csr.t * int
+  | Flw of reg * reg * int
+  | Fsw of reg * reg * int
+  | Fp_op of op_fp * reg * reg * reg
+  | Fp_cmp of op_fp_cmp * reg * reg * reg
+  | Fsqrt of reg * reg
+  | Fcvt_w_s of reg * reg * bool
+  | Fcvt_s_w of reg * reg * bool
+  | Fmv_x_w of reg * reg
+  | Fmv_w_x of reg * reg
+  | Lr of reg * reg
+  | Sc of reg * reg * reg
+  | Amo of op_amo * reg * reg * reg
+
+let op_amo_name = function
+  | AMOSWAP -> "amoswap.w" | AMOADD -> "amoadd.w" | AMOXOR -> "amoxor.w"
+  | AMOAND -> "amoand.w" | AMOOR -> "amoor.w" | AMOMIN -> "amomin.w"
+  | AMOMAX -> "amomax.w" | AMOMINU -> "amominu.w" | AMOMAXU -> "amomaxu.w"
+
+let equal (a : t) (b : t) = a = b
+
+let op_r_name = function
+  | ADD -> "add" | SUB -> "sub" | SLL -> "sll" | SLT -> "slt"
+  | SLTU -> "sltu" | XOR -> "xor" | SRL -> "srl" | SRA -> "sra"
+  | OR -> "or" | AND -> "and"
+  | MUL -> "mul" | MULH -> "mulh" | MULHSU -> "mulhsu" | MULHU -> "mulhu"
+  | DIV -> "div" | DIVU -> "divu" | REM -> "rem" | REMU -> "remu"
+  | ANDN -> "andn" | ORN -> "orn" | XNOR -> "xnor"
+  | ROL -> "rol" | ROR -> "ror"
+  | MIN -> "min" | MAX -> "max" | MINU -> "minu" | MAXU -> "maxu"
+  | BSET -> "bset" | BCLR -> "bclr" | BINV -> "binv" | BEXT -> "bext"
+
+let op_i_name = function
+  | ADDI -> "addi" | SLTI -> "slti" | SLTIU -> "sltiu"
+  | XORI -> "xori" | ORI -> "ori" | ANDI -> "andi"
+
+let op_shift_name = function
+  | SLLI -> "slli" | SRLI -> "srli" | SRAI -> "srai" | RORI -> "rori"
+  | BSETI -> "bseti" | BCLRI -> "bclri" | BINVI -> "binvi" | BEXTI -> "bexti"
+
+let op_load_name = function
+  | LB -> "lb" | LH -> "lh" | LW -> "lw" | LBU -> "lbu" | LHU -> "lhu"
+
+let op_store_name = function SB -> "sb" | SH -> "sh" | SW -> "sw"
+
+let op_branch_name = function
+  | BEQ -> "beq" | BNE -> "bne" | BLT -> "blt"
+  | BGE -> "bge" | BLTU -> "bltu" | BGEU -> "bgeu"
+
+let op_unary_name = function
+  | CLZ -> "clz" | CTZ -> "ctz" | CPOP -> "cpop"
+  | SEXT_B -> "sext.b" | SEXT_H -> "sext.h" | ZEXT_H -> "zext.h"
+  | REV8 -> "rev8" | ORC_B -> "orc.b"
+
+let op_csr_name = function
+  | CSRRW -> "csrrw" | CSRRS -> "csrrs" | CSRRC -> "csrrc"
+  | CSRRWI -> "csrrwi" | CSRRSI -> "csrrsi" | CSRRCI -> "csrrci"
+
+let op_fp_name = function
+  | FADD -> "fadd.s" | FSUB -> "fsub.s" | FMUL -> "fmul.s"
+  | FDIV -> "fdiv.s" | FMIN -> "fmin.s" | FMAX -> "fmax.s"
+  | FSGNJ -> "fsgnj.s" | FSGNJN -> "fsgnjn.s" | FSGNJX -> "fsgnjx.s"
+
+let op_fp_cmp_name = function FEQ -> "feq.s" | FLT -> "flt.s" | FLE -> "fle.s"
+
+let mnemonic = function
+  | Lui _ -> "lui"
+  | Auipc _ -> "auipc"
+  | Jal _ -> "jal"
+  | Jalr _ -> "jalr"
+  | Branch (op, _, _, _) -> op_branch_name op
+  | Load (op, _, _, _) -> op_load_name op
+  | Store (op, _, _, _) -> op_store_name op
+  | Op_imm (op, _, _, _) -> op_i_name op
+  | Shift_imm (op, _, _, _) -> op_shift_name op
+  | Op (op, _, _, _) -> op_r_name op
+  | Unary (op, _, _) -> op_unary_name op
+  | Fence -> "fence"
+  | Fence_i -> "fence.i"
+  | Ecall -> "ecall"
+  | Ebreak -> "ebreak"
+  | Mret -> "mret"
+  | Wfi -> "wfi"
+  | Csr (op, _, _, _) -> op_csr_name op
+  | Flw _ -> "flw"
+  | Fsw _ -> "fsw"
+  | Fp_op (op, _, _, _) -> op_fp_name op
+  | Fp_cmp (op, _, _, _) -> op_fp_cmp_name op
+  | Fsqrt _ -> "fsqrt.s"
+  | Fcvt_w_s (_, _, false) -> "fcvt.w.s"
+  | Fcvt_w_s (_, _, true) -> "fcvt.wu.s"
+  | Fcvt_s_w (_, _, false) -> "fcvt.s.w"
+  | Fcvt_s_w (_, _, true) -> "fcvt.s.wu"
+  | Fmv_x_w _ -> "fmv.x.w"
+  | Fmv_w_x _ -> "fmv.w.x"
+  | Lr _ -> "lr.w"
+  | Sc _ -> "sc.w"
+  | Amo (op, _, _, _) -> op_amo_name op
+
+let pp fmt i =
+  let x = Reg.abi_name and f = Reg.f_name in
+  let m = mnemonic i in
+  match i with
+  | Lui (rd, imm) | Auipc (rd, imm) ->
+      Format.fprintf fmt "%s %s, 0x%x" m (x rd) imm
+  | Jal (rd, off) -> Format.fprintf fmt "%s %s, %d" m (x rd) off
+  | Jalr (rd, rs1, imm) ->
+      Format.fprintf fmt "%s %s, %d(%s)" m (x rd) imm (x rs1)
+  | Branch (_, rs1, rs2, off) ->
+      Format.fprintf fmt "%s %s, %s, %d" m (x rs1) (x rs2) off
+  | Load (_, rd, base, imm) ->
+      Format.fprintf fmt "%s %s, %d(%s)" m (x rd) imm (x base)
+  | Store (_, src, base, imm) ->
+      Format.fprintf fmt "%s %s, %d(%s)" m (x src) imm (x base)
+  | Op_imm (_, rd, rs1, imm) ->
+      Format.fprintf fmt "%s %s, %s, %d" m (x rd) (x rs1) imm
+  | Shift_imm (_, rd, rs1, sh) ->
+      Format.fprintf fmt "%s %s, %s, %d" m (x rd) (x rs1) sh
+  | Op (_, rd, rs1, rs2) ->
+      Format.fprintf fmt "%s %s, %s, %s" m (x rd) (x rs1) (x rs2)
+  | Unary (_, rd, rs1) -> Format.fprintf fmt "%s %s, %s" m (x rd) (x rs1)
+  | Fence | Fence_i | Ecall | Ebreak | Mret | Wfi ->
+      Format.pp_print_string fmt m
+  | Csr (op, rd, csr, src) -> (
+      match op with
+      | CSRRW | CSRRS | CSRRC ->
+          Format.fprintf fmt "%s %s, %s, %s" m (x rd) (Csr.name csr) (x src)
+      | CSRRWI | CSRRSI | CSRRCI ->
+          Format.fprintf fmt "%s %s, %s, %d" m (x rd) (Csr.name csr) src)
+  | Flw (frd, base, imm) ->
+      Format.fprintf fmt "%s %s, %d(%s)" m (f frd) imm (x base)
+  | Fsw (fsrc, base, imm) ->
+      Format.fprintf fmt "%s %s, %d(%s)" m (f fsrc) imm (x base)
+  | Fp_op (_, frd, frs1, frs2) ->
+      Format.fprintf fmt "%s %s, %s, %s" m (f frd) (f frs1) (f frs2)
+  | Fp_cmp (_, rd, frs1, frs2) ->
+      Format.fprintf fmt "%s %s, %s, %s" m (x rd) (f frs1) (f frs2)
+  | Fsqrt (frd, frs1) -> Format.fprintf fmt "%s %s, %s" m (f frd) (f frs1)
+  | Fcvt_w_s (rd, frs1, _) ->
+      Format.fprintf fmt "%s %s, %s" m (x rd) (f frs1)
+  | Fcvt_s_w (frd, rs1, _) ->
+      Format.fprintf fmt "%s %s, %s" m (f frd) (x rs1)
+  | Fmv_x_w (rd, frs1) -> Format.fprintf fmt "%s %s, %s" m (x rd) (f frs1)
+  | Fmv_w_x (frd, rs1) -> Format.fprintf fmt "%s %s, %s" m (f frd) (x rs1)
+  | Lr (rd, rs1) -> Format.fprintf fmt "%s %s, (%s)" m (x rd) (x rs1)
+  | Sc (rd, src, rs1) ->
+      Format.fprintf fmt "%s %s, %s, (%s)" m (x rd) (x src) (x rs1)
+  | Amo (_, rd, src, rs1) ->
+      Format.fprintf fmt "%s %s, %s, (%s)" m (x rd) (x src) (x rs1)
+
+let to_string i = Format.asprintf "%a" pp i
+
+let is_branch = function Branch _ -> true | _ -> false
+let is_jump = function Jal _ | Jalr _ -> true | _ -> false
+
+let is_control_flow = function
+  | Branch _ | Jal _ | Jalr _ | Ecall | Ebreak | Mret -> true
+  | _ -> false
+
+let is_memory_access = function
+  | Load _ | Store _ | Flw _ | Fsw _ | Lr _ | Sc _ | Amo _ -> true
+  | _ -> false
+
+let sources = function
+  | Lui _ | Auipc _ | Jal _ | Fence | Fence_i | Ecall | Ebreak | Mret | Wfi
+    -> []
+  | Jalr (_, rs1, _)
+  | Load (_, _, rs1, _)
+  | Op_imm (_, _, rs1, _)
+  | Shift_imm (_, _, rs1, _)
+  | Unary (_, _, rs1)
+  | Flw (_, rs1, _)
+  | Fsw (_, rs1, _)
+  | Fcvt_s_w (_, rs1, _)
+  | Fmv_w_x (_, rs1)
+  | Lr (_, rs1) -> [ rs1 ]
+  | Sc (_, src, rs1) | Amo (_, _, src, rs1) -> [ src; rs1 ]
+  | Branch (_, rs1, rs2, _) | Store (_, rs2, rs1, _) | Op (_, _, rs1, rs2)
+    -> [ rs1; rs2 ]
+  | Csr (op, _, _, src) -> (
+      match op with
+      | CSRRW | CSRRS | CSRRC -> [ src ]
+      | CSRRWI | CSRRSI | CSRRCI -> [])
+  | Fp_op _ | Fp_cmp _ | Fsqrt _ | Fcvt_w_s _ | Fmv_x_w _ -> []
+
+let destination = function
+  | Lui (rd, _) | Auipc (rd, _) | Jal (rd, _) | Jalr (rd, _, _)
+  | Load (_, rd, _, _)
+  | Op_imm (_, rd, _, _)
+  | Shift_imm (_, rd, _, _)
+  | Op (_, rd, _, _)
+  | Unary (_, rd, _)
+  | Csr (_, rd, _, _)
+  | Fp_cmp (_, rd, _, _)
+  | Fcvt_w_s (rd, _, _)
+  | Fmv_x_w (rd, _)
+  | Lr (rd, _)
+  | Sc (rd, _, _)
+  | Amo (_, rd, _, _) -> Some rd
+  | Branch _ | Store _ | Fence | Fence_i | Ecall | Ebreak | Mret | Wfi
+  | Flw _ | Fsw _ | Fp_op _ | Fsqrt _ | Fcvt_s_w _ | Fmv_w_x _ -> None
+
+let fp_sources = function
+  | Fsw (fsrc, _, _) -> [ fsrc ]
+  | Fp_op (_, _, frs1, frs2) | Fp_cmp (_, _, frs1, frs2) -> [ frs1; frs2 ]
+  | Fsqrt (_, frs1) | Fcvt_w_s (_, frs1, _) | Fmv_x_w (_, frs1) -> [ frs1 ]
+  | Lui _ | Auipc _ | Jal _ | Jalr _ | Branch _ | Load _ | Store _
+  | Op_imm _ | Shift_imm _ | Op _ | Unary _ | Fence | Fence_i | Ecall
+  | Ebreak | Mret | Wfi | Csr _ | Flw _ | Fcvt_s_w _ | Fmv_w_x _
+  | Lr _ | Sc _ | Amo _ -> []
+
+let fp_destination = function
+  | Flw (frd, _, _)
+  | Fp_op (_, frd, _, _)
+  | Fsqrt (frd, _)
+  | Fcvt_s_w (frd, _, _)
+  | Fmv_w_x (frd, _) -> Some frd
+  | Lui _ | Auipc _ | Jal _ | Jalr _ | Branch _ | Load _ | Store _
+  | Op_imm _ | Shift_imm _ | Op _ | Unary _ | Fence | Fence_i | Ecall
+  | Ebreak | Mret | Wfi | Csr _ | Fsw _ | Fp_cmp _ | Fcvt_w_s _
+  | Fmv_x_w _ | Lr _ | Sc _ | Amo _ -> None

@@ -1,0 +1,112 @@
+(** The RISC-V instruction AST.
+
+    Instructions are grouped by encoding format rather than one
+    constructor per mnemonic, so the executor, encoder, and decoders
+    share per-format logic.  Covered ISA modules: RV32I, M, Zicsr,
+    a single-precision F subset, and the ten-plus bit-manipulation
+    instructions (BMI, Zbb-compatible encodings) from the ecosystem's
+    PATMOS 2019 paper.  The C extension is handled by {!Compressed},
+    which expands to this AST. *)
+
+type reg = Reg.t
+
+(** Register-register ALU operations (R-type). *)
+type op_r =
+  | ADD | SUB | SLL | SLT | SLTU | XOR | SRL | SRA | OR | AND
+  | MUL | MULH | MULHSU | MULHU | DIV | DIVU | REM | REMU
+  | ANDN | ORN | XNOR | ROL | ROR
+  | MIN | MAX | MINU | MAXU
+  | BSET | BCLR | BINV | BEXT
+
+(** Register-immediate ALU operations (I-type). *)
+type op_i = ADDI | SLTI | SLTIU | XORI | ORI | ANDI
+
+(** Immediate shifts (I-type, specialized immediate field). *)
+type op_shift = SLLI | SRLI | SRAI | RORI | BSETI | BCLRI | BINVI | BEXTI
+
+type op_load = LB | LH | LW | LBU | LHU
+type op_store = SB | SH | SW
+type op_branch = BEQ | BNE | BLT | BGE | BLTU | BGEU
+
+(** Single-source BMI operations (unary R-type with encoded rs2). *)
+type op_unary = CLZ | CTZ | CPOP | SEXT_B | SEXT_H | ZEXT_H | REV8 | ORC_B
+
+type op_csr = CSRRW | CSRRS | CSRRC | CSRRWI | CSRRSI | CSRRCI
+
+(** F-extension register-register operations. *)
+type op_fp = FADD | FSUB | FMUL | FDIV | FMIN | FMAX | FSGNJ | FSGNJN | FSGNJX
+
+type op_fp_cmp = FEQ | FLT | FLE
+
+(** A-extension read-modify-write operations. *)
+type op_amo =
+  | AMOSWAP | AMOADD | AMOXOR | AMOAND | AMOOR
+  | AMOMIN | AMOMAX | AMOMINU | AMOMAXU
+
+type t =
+  | Lui of reg * int  (** [Lui (rd, imm20)]: rd <- imm20 << 12; [0 <= imm20 < 2{^20}] *)
+  | Auipc of reg * int  (** [Auipc (rd, imm20)]: rd <- pc + (imm20 << 12) *)
+  | Jal of reg * int  (** byte offset, signed, even, |off| < 2{^20} *)
+  | Jalr of reg * reg * int  (** [Jalr (rd, rs1, imm12)] *)
+  | Branch of op_branch * reg * reg * int  (** byte offset, signed, even *)
+  | Load of op_load * reg * reg * int  (** [Load (op, rd, base, imm12)] *)
+  | Store of op_store * reg * reg * int  (** [Store (op, src, base, imm12)] *)
+  | Op_imm of op_i * reg * reg * int  (** [Op_imm (op, rd, rs1, imm12)] *)
+  | Shift_imm of op_shift * reg * reg * int  (** shamt in [0, 31] *)
+  | Op of op_r * reg * reg * reg  (** [Op (op, rd, rs1, rs2)] *)
+  | Unary of op_unary * reg * reg  (** [Unary (op, rd, rs1)] *)
+  | Fence
+  | Fence_i
+  | Ecall
+  | Ebreak
+  | Mret
+  | Wfi
+  | Csr of op_csr * reg * Csr.t * int
+      (** [Csr (op, rd, csr, src)]: [src] is rs1 for register forms and
+          the 5-bit zimm for immediate forms. *)
+  | Flw of reg * reg * int  (** [Flw (frd, base, imm12)] *)
+  | Fsw of reg * reg * int  (** [Fsw (fsrc, base, imm12)] *)
+  | Fp_op of op_fp * reg * reg * reg  (** [Fp_op (op, frd, frs1, frs2)] *)
+  | Fp_cmp of op_fp_cmp * reg * reg * reg  (** [Fp_cmp (op, rd, frs1, frs2)] *)
+  | Fsqrt of reg * reg  (** [Fsqrt (frd, frs1)] *)
+  | Fcvt_w_s of reg * reg * bool  (** [Fcvt_w_s (rd, frs1, unsigned)] *)
+  | Fcvt_s_w of reg * reg * bool  (** [Fcvt_s_w (frd, rs1, unsigned)] *)
+  | Fmv_x_w of reg * reg  (** [Fmv_x_w (rd, frs1)] *)
+  | Fmv_w_x of reg * reg  (** [Fmv_w_x (frd, rs1)] *)
+  | Lr of reg * reg  (** [Lr (rd, rs1)]: load-reserved word *)
+  | Sc of reg * reg * reg  (** [Sc (rd, src, rs1)]: store-conditional *)
+  | Amo of op_amo * reg * reg * reg  (** [Amo (op, rd, src, rs1)] *)
+
+val equal : t -> t -> bool
+
+val mnemonic : t -> string
+(** Canonical assembler mnemonic, e.g. ["addi"], ["fcvt.w.s"]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Disassembly-style rendering with ABI register names. *)
+
+val to_string : t -> string
+
+val is_branch : t -> bool
+(** Conditional branches only. *)
+
+val is_jump : t -> bool
+(** [Jal] and [Jalr]. *)
+
+val is_control_flow : t -> bool
+(** Branches, jumps, [Ecall], [Ebreak], and [Mret] — anything that ends a
+    basic block. *)
+
+val is_memory_access : t -> bool
+
+val sources : t -> reg list
+(** GPR indices read by the instruction (excluding FPRs). *)
+
+val destination : t -> reg option
+(** GPR written, if any (excluding FPRs; [x0] still reported). *)
+
+val fp_sources : t -> reg list
+(** FPR indices read. *)
+
+val fp_destination : t -> reg option
+(** FPR written, if any. *)

@@ -1,0 +1,59 @@
+type t = I | M | A | F | C | Zicsr | B
+
+let all = [ I; M; A; F; C; Zicsr; B ]
+
+let name = function
+  | I -> "I"
+  | M -> "M"
+  | A -> "A"
+  | F -> "F"
+  | C -> "C"
+  | Zicsr -> "Zicsr"
+  | B -> "B"
+
+let of_name = function
+  | "I" -> Some I
+  | "M" -> Some M
+  | "A" -> Some A
+  | "F" -> Some F
+  | "C" -> Some C
+  | "Zicsr" -> Some Zicsr
+  | "B" -> Some B
+  | _ -> None
+
+let mnemonics = function
+  | I ->
+      [ "lui"; "auipc"; "jal"; "jalr"; "beq"; "bne"; "blt"; "bge"; "bltu";
+        "bgeu"; "lb"; "lh"; "lw"; "lbu"; "lhu"; "sb"; "sh"; "sw"; "addi";
+        "slti"; "sltiu"; "xori"; "ori"; "andi"; "slli"; "srli"; "srai";
+        "add"; "sub"; "sll"; "slt"; "sltu"; "xor"; "srl"; "sra"; "or";
+        "and"; "fence"; "fence.i"; "ecall"; "ebreak"; "mret"; "wfi" ]
+  | M -> [ "mul"; "mulh"; "mulhsu"; "mulhu"; "div"; "divu"; "rem"; "remu" ]
+  | A ->
+      [ "lr.w"; "sc.w"; "amoswap.w"; "amoadd.w"; "amoxor.w"; "amoand.w";
+        "amoor.w"; "amomin.w"; "amomax.w"; "amominu.w"; "amomaxu.w" ]
+  | F ->
+      [ "flw"; "fsw"; "fadd.s"; "fsub.s"; "fmul.s"; "fdiv.s"; "fsqrt.s";
+        "fsgnj.s"; "fsgnjn.s"; "fsgnjx.s"; "fmin.s"; "fmax.s"; "feq.s";
+        "flt.s"; "fle.s"; "fcvt.w.s"; "fcvt.wu.s"; "fcvt.s.w"; "fcvt.s.wu";
+        "fmv.x.w"; "fmv.w.x" ]
+  | C -> []
+  | Zicsr -> [ "csrrw"; "csrrs"; "csrrc"; "csrrwi"; "csrrsi"; "csrrci" ]
+  | B ->
+      [ "andn"; "orn"; "xnor"; "clz"; "ctz"; "cpop"; "rol"; "ror"; "rori";
+        "min"; "max"; "minu"; "maxu"; "sext.b"; "sext.h"; "zext.h"; "rev8";
+        "orc.b"; "bset"; "bclr"; "binv"; "bext"; "bseti"; "bclri"; "binvi";
+        "bexti" ]
+
+let universe modules =
+  List.sort_uniq String.compare (List.concat_map mnemonics modules)
+
+let isa_string modules =
+  let base, exts =
+    List.partition
+      (fun m -> match m with I | M | A | F | C -> true | Zicsr | B -> false)
+      modules
+  in
+  let base_str = String.concat "" (List.map name base) in
+  let ext_str = String.concat "_" (List.map name exts) in
+  "RV32" ^ base_str ^ (if ext_str = "" then "" else "_" ^ ext_str)

@@ -1,0 +1,28 @@
+(** ISA module (extension) sets.
+
+    The Scale4Edge coverage metric is defined per ISA module: it asks
+    which instruction types of the *configured* modules were executed.
+    This module enumerates the mnemonics belonging to each extension so
+    coverage denominators and fault-injection opcode universes follow
+    the configuration. *)
+
+type t = I | M | A | F | C | Zicsr | B
+(** [B] is the ecosystem's bit-manipulation instruction set (PATMOS 2019),
+    encoded Zbb-compatibly. *)
+
+val all : t list
+
+val name : t -> string
+val of_name : string -> t option
+
+val mnemonics : t -> string list
+(** Instruction types (canonical mnemonics) belonging to one module.
+    [C] mnemonics are the compressed forms' expansions and are empty
+    here, because compressed instructions are counted via their
+    expansion (as the virtual prototype executes them). *)
+
+val universe : t list -> string list
+(** Sorted, de-duplicated mnemonics of a configuration. *)
+
+val isa_string : t list -> string
+(** E.g. ["RV32IMF_Zicsr_B"]. *)

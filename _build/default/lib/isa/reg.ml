@@ -1,0 +1,80 @@
+type t = int
+
+let count = 32
+let zero = 0
+let ra = 1
+let sp = 2
+let gp = 3
+let tp = 4
+let fp = 8
+let t0 = 5
+let t1 = 6
+let t2 = 7
+let a0 = 10
+let a1 = 11
+let a2 = 12
+let a3 = 13
+let a4 = 14
+let a5 = 15
+let a6 = 16
+let a7 = 17
+let s0 = 8
+let s1 = 9
+let s2 = 18
+let s3 = 19
+
+let valid r = r >= 0 && r <= 31
+
+let abi_names =
+  [| "zero"; "ra"; "sp"; "gp"; "tp"; "t0"; "t1"; "t2";
+     "s0"; "s1"; "a0"; "a1"; "a2"; "a3"; "a4"; "a5";
+     "a6"; "a7"; "s2"; "s3"; "s4"; "s5"; "s6"; "s7";
+     "s8"; "s9"; "s10"; "s11"; "t3"; "t4"; "t5"; "t6" |]
+
+let f_abi_names =
+  [| "ft0"; "ft1"; "ft2"; "ft3"; "ft4"; "ft5"; "ft6"; "ft7";
+     "fs0"; "fs1"; "fa0"; "fa1"; "fa2"; "fa3"; "fa4"; "fa5";
+     "fa6"; "fa7"; "fs2"; "fs3"; "fs4"; "fs5"; "fs6"; "fs7";
+     "fs8"; "fs9"; "fs10"; "fs11"; "ft8"; "ft9"; "ft10"; "ft11" |]
+
+let abi_name r =
+  assert (valid r);
+  abi_names.(r)
+
+let x_name r =
+  assert (valid r);
+  "x" ^ string_of_int r
+
+let f_name r =
+  assert (valid r);
+  f_abi_names.(r)
+
+let find_in_array names s =
+  let rec go i =
+    if i >= Array.length names then None
+    else if String.equal names.(i) s then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let parse_indexed prefix s =
+  let n = String.length prefix in
+  if String.length s > n && String.length s <= n + 2
+     && String.sub s 0 n = prefix then
+    match int_of_string_opt (String.sub s n (String.length s - n)) with
+    | Some i when valid i -> Some i
+    | Some _ | None -> None
+  else None
+
+let of_name s =
+  match parse_indexed "x" s with
+  | Some r -> Some r
+  | None -> (
+      match s with
+      | "fp" -> Some fp
+      | _ -> find_in_array abi_names s)
+
+let f_of_name s =
+  match parse_indexed "f" s with
+  | Some r -> Some r
+  | None -> find_in_array f_abi_names s

@@ -1,0 +1,54 @@
+(** General-purpose and floating-point register names.
+
+    Registers are represented as plain integers in [0, 31] for speed in
+    the interpreter loop; this module provides the ABI naming used by
+    the assembler, disassembler, and coverage reports. *)
+
+type t = int
+(** A register index.  Invariant: [0 <= r <= 31]. *)
+
+val count : int
+(** Number of registers in each file (32). *)
+
+val zero : t
+val ra : t
+val sp : t
+val gp : t
+val tp : t
+val fp : t
+
+val t0 : t
+val t1 : t
+val t2 : t
+
+val a0 : t
+val a1 : t
+val a2 : t
+val a3 : t
+val a4 : t
+val a5 : t
+val a6 : t
+val a7 : t
+
+val s0 : t
+val s1 : t
+val s2 : t
+val s3 : t
+
+val valid : t -> bool
+(** [valid r] is [true] iff [0 <= r <= 31]. *)
+
+val abi_name : t -> string
+(** ABI name of a GPR, e.g. [abi_name 2 = "sp"]. *)
+
+val x_name : t -> string
+(** Architectural name, e.g. [x_name 2 = "x2"]. *)
+
+val f_name : t -> string
+(** FPR ABI name, e.g. [f_name 10 = "fa0"]. *)
+
+val of_name : string -> t option
+(** Parses either architectural ([x0]..[x31]) or ABI GPR names. *)
+
+val f_of_name : string -> t option
+(** Parses either architectural ([f0]..[f31]) or ABI FPR names. *)

@@ -1,0 +1,1 @@
+lib/mem/bus.ml: Array Printf Sparse_mem

@@ -1,0 +1,1 @@
+lib/mem/bus.mli: S4e_bits Sparse_mem

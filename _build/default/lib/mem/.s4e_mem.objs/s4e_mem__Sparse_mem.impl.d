@@ -1,0 +1,1 @@
+lib/mem/sparse_mem.ml: Bytes Char Hashtbl String

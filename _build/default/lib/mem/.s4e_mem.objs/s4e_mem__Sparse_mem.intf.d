@@ -1,0 +1,1 @@
+lib/mem/sparse_mem.mli: S4e_bits

@@ -1,0 +1,97 @@
+type word = int
+
+type io_access = {
+  io_addr : word;
+  io_size : int;
+  io_value : word;
+  io_is_write : bool;
+  io_device : string;
+}
+
+type device = {
+  dev_name : string;
+  dev_base : word;
+  dev_len : int;
+  dev_read : int -> int -> word;
+  dev_write : int -> int -> word -> unit;
+}
+
+type t = {
+  mem : Sparse_mem.t;
+  mutable devices : device array;
+  mutable watcher : (io_access -> unit) option;
+}
+
+let create () = { mem = Sparse_mem.create (); devices = [||]; watcher = None }
+let ram t = t.mem
+
+let overlaps a b =
+  a.dev_base < b.dev_base + b.dev_len && b.dev_base < a.dev_base + a.dev_len
+
+let attach t dev =
+  Array.iter
+    (fun d ->
+      if overlaps d dev then
+        invalid_arg
+          (Printf.sprintf "Bus.attach: %s overlaps %s" dev.dev_name d.dev_name))
+    t.devices;
+  t.devices <- Array.append t.devices [| dev |]
+
+let device_ranges t =
+  Array.to_list
+    (Array.map (fun d -> (d.dev_name, d.dev_base, d.dev_len)) t.devices)
+
+let set_io_watcher t w = t.watcher <- w
+
+let find_device t addr =
+  let n = Array.length t.devices in
+  let rec go i =
+    if i >= n then None
+    else
+      let d = Array.unsafe_get t.devices i in
+      if addr >= d.dev_base && addr < d.dev_base + d.dev_len then Some d
+      else go (i + 1)
+  in
+  go 0
+
+let notify t d addr size value is_write =
+  match t.watcher with
+  | None -> ()
+  | Some f ->
+      f { io_addr = addr; io_size = size; io_value = value;
+          io_is_write = is_write; io_device = d.dev_name }
+
+let read t addr size =
+  match find_device t addr with
+  | Some d ->
+      let v = d.dev_read (addr - d.dev_base) size in
+      notify t d addr size v false;
+      v
+  | None -> (
+      match size with
+      | 1 -> Sparse_mem.read8 t.mem addr
+      | 2 -> Sparse_mem.read16 t.mem addr
+      | 4 -> Sparse_mem.read32 t.mem addr
+      | _ -> invalid_arg "Bus.read: size must be 1, 2 or 4")
+
+let write t addr size v =
+  match find_device t addr with
+  | Some d ->
+      d.dev_write (addr - d.dev_base) size v;
+      notify t d addr size v true
+  | None -> (
+      match size with
+      | 1 -> Sparse_mem.write8 t.mem addr v
+      | 2 -> Sparse_mem.write16 t.mem addr v
+      | 4 -> Sparse_mem.write32 t.mem addr v
+      | _ -> invalid_arg "Bus.write: size must be 1, 2 or 4")
+
+let read32 t addr = read t addr 4
+let read16 t addr = read t addr 2
+let read8 t addr = read t addr 1
+let write32 t addr v = write t addr 4 v
+let write16 t addr v = write t addr 2 v
+let write8 t addr v = write t addr 1 v
+
+let fetch32 t addr = Sparse_mem.read32 t.mem addr
+let fetch16 t addr = Sparse_mem.read16 t.mem addr

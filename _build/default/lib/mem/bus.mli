@@ -1,0 +1,63 @@
+(** System bus: RAM plus memory-mapped devices.
+
+    The bus routes each access either to a registered device (by address
+    range) or to the backing {!Sparse_mem}.  Device accesses can be
+    observed through {!set_io_watcher}, which is the substrate for the
+    ecosystem's non-invasive IO access analysis (MBMV 2019): watchers
+    see every device touch without the software being instrumented. *)
+
+type word = S4e_bits.Bits.word
+
+type io_access = {
+  io_addr : word;
+  io_size : int;  (** 1, 2 or 4 *)
+  io_value : word;
+  io_is_write : bool;
+  io_device : string;
+}
+
+(** A memory-mapped device occupying [\[base, base+len)]. *)
+type device = {
+  dev_name : string;
+  dev_base : word;
+  dev_len : int;
+  dev_read : int -> int -> word;  (** [dev_read offset size] *)
+  dev_write : int -> int -> word -> unit;  (** [dev_write offset size v] *)
+}
+
+type t
+
+val create : unit -> t
+
+val ram : t -> Sparse_mem.t
+(** Direct access to the RAM backing store (used by loaders and fault
+    injectors; bypasses devices and watchers). *)
+
+val attach : t -> device -> unit
+(** Registers a device.  Raises [Invalid_argument] if its range overlaps
+    an already-attached device. *)
+
+val device_ranges : t -> (string * word * int) list
+(** [(name, base, len)] of every attached device. *)
+
+val set_io_watcher : t -> (io_access -> unit) option -> unit
+(** Installs (or clears) the observer called after every device access. *)
+
+val read : t -> word -> int -> word
+(** [read bus addr size] with [size] in {1, 2, 4}.  Unclaimed addresses
+    fall through to RAM. *)
+
+val write : t -> word -> int -> word -> unit
+
+val read32 : t -> word -> word
+val read16 : t -> word -> word
+val read8 : t -> word -> word
+val write32 : t -> word -> word -> unit
+val write16 : t -> word -> word -> unit
+val write8 : t -> word -> word -> unit
+
+val fetch32 : t -> word -> word
+(** Instruction fetch: always from RAM, never from devices, and not
+    reported to the IO watcher. *)
+
+val fetch16 : t -> word -> word

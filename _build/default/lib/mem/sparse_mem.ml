@@ -1,0 +1,98 @@
+let page_bits = 12
+let page_size = 1 lsl page_bits
+let page_mask = page_size - 1
+
+type t = { pages : (int, Bytes.t) Hashtbl.t }
+
+let create () = { pages = Hashtbl.create 64 }
+
+let page_for m addr =
+  let key = addr lsr page_bits in
+  match Hashtbl.find_opt m.pages key with
+  | Some p -> p
+  | None ->
+      let p = Bytes.make page_size '\000' in
+      Hashtbl.replace m.pages key p;
+      p
+
+let read8 m addr =
+  let addr = addr land 0xFFFF_FFFF in
+  match Hashtbl.find_opt m.pages (addr lsr page_bits) with
+  | None -> 0
+  | Some p -> Char.code (Bytes.unsafe_get p (addr land page_mask))
+
+let write8 m addr v =
+  let addr = addr land 0xFFFF_FFFF in
+  let p = page_for m addr in
+  Bytes.unsafe_set p (addr land page_mask) (Char.chr (v land 0xFF))
+
+(* Halfword/word accesses are frequent and nearly always fall within one
+   page; the fast path reads directly from the page buffer. *)
+
+let read16 m addr =
+  let addr = addr land 0xFFFF_FFFF in
+  let off = addr land page_mask in
+  if off <= page_size - 2 then
+    match Hashtbl.find_opt m.pages (addr lsr page_bits) with
+    | None -> 0
+    | Some p -> Char.code (Bytes.unsafe_get p off)
+                lor (Char.code (Bytes.unsafe_get p (off + 1)) lsl 8)
+  else read8 m addr lor (read8 m (addr + 1) lsl 8)
+
+let write16 m addr v =
+  let addr = addr land 0xFFFF_FFFF in
+  let off = addr land page_mask in
+  if off <= page_size - 2 then begin
+    let p = page_for m addr in
+    Bytes.unsafe_set p off (Char.chr (v land 0xFF));
+    Bytes.unsafe_set p (off + 1) (Char.chr ((v lsr 8) land 0xFF))
+  end
+  else begin
+    write8 m addr v;
+    write8 m (addr + 1) (v lsr 8)
+  end
+
+let read32 m addr =
+  let addr = addr land 0xFFFF_FFFF in
+  let off = addr land page_mask in
+  if off <= page_size - 4 then
+    match Hashtbl.find_opt m.pages (addr lsr page_bits) with
+    | None -> 0
+    | Some p ->
+        Char.code (Bytes.unsafe_get p off)
+        lor (Char.code (Bytes.unsafe_get p (off + 1)) lsl 8)
+        lor (Char.code (Bytes.unsafe_get p (off + 2)) lsl 16)
+        lor (Char.code (Bytes.unsafe_get p (off + 3)) lsl 24)
+  else read16 m addr lor (read16 m (addr + 2) lsl 16)
+
+let write32 m addr v =
+  let addr = addr land 0xFFFF_FFFF in
+  let off = addr land page_mask in
+  if off <= page_size - 4 then begin
+    let p = page_for m addr in
+    Bytes.unsafe_set p off (Char.chr (v land 0xFF));
+    Bytes.unsafe_set p (off + 1) (Char.chr ((v lsr 8) land 0xFF));
+    Bytes.unsafe_set p (off + 2) (Char.chr ((v lsr 16) land 0xFF));
+    Bytes.unsafe_set p (off + 3) (Char.chr ((v lsr 24) land 0xFF))
+  end
+  else begin
+    write16 m addr v;
+    write16 m (addr + 2) (v lsr 16)
+  end
+
+let load_bytes m addr s =
+  String.iteri (fun i c -> write8 m (addr + i) (Char.code c)) s
+
+let dump_bytes m addr len =
+  String.init len (fun i -> Char.chr (read8 m (addr + i)))
+
+let clear m = Hashtbl.reset m.pages
+
+let copy m =
+  let pages = Hashtbl.create (Hashtbl.length m.pages) in
+  Hashtbl.iter (fun k p -> Hashtbl.replace pages k (Bytes.copy p)) m.pages;
+  { pages }
+
+let touched_pages m = Hashtbl.length m.pages
+
+let iter_touched m f = Hashtbl.iter (fun k _ -> f (k lsl page_bits)) m.pages

@@ -1,0 +1,42 @@
+(** Sparse byte-addressable memory.
+
+    Backing store is a hash table of fixed-size pages allocated on first
+    touch, so a 4 GiB address space costs only what the program uses.
+    All multi-byte accesses are little-endian, matching RISC-V. *)
+
+type t
+
+val page_size : int
+(** Bytes per page (a power of two). *)
+
+val create : unit -> t
+
+val read8 : t -> int -> int
+(** [read8 m addr] reads one byte; untouched memory reads as zero. *)
+
+val write8 : t -> int -> int -> unit
+(** [write8 m addr v] stores [v land 0xff]. *)
+
+val read16 : t -> int -> int
+val write16 : t -> int -> int -> unit
+val read32 : t -> int -> S4e_bits.Bits.word
+val write32 : t -> int -> S4e_bits.Bits.word -> unit
+
+val load_bytes : t -> int -> string -> unit
+(** [load_bytes m addr s] copies [s] into memory starting at [addr]. *)
+
+val dump_bytes : t -> int -> int -> string
+(** [dump_bytes m addr len] reads [len] bytes starting at [addr]. *)
+
+val clear : t -> unit
+(** Drops every page. *)
+
+val copy : t -> t
+(** Deep copy; used to snapshot the golden state for fault campaigns. *)
+
+val touched_pages : t -> int
+(** Number of pages allocated so far. *)
+
+val iter_touched : t -> (int -> unit) -> unit
+(** [iter_touched m f] calls [f] with the base address of every
+    allocated page (order unspecified). *)

@@ -1,0 +1,1 @@
+lib/mutation/mutant.ml: List Mutop Printf S4e_asm S4e_cpu S4e_isa S4e_mem String

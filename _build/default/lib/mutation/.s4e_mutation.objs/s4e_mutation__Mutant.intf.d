@@ -1,0 +1,1 @@
+lib/mutation/mutant.mli: Mutop S4e_asm S4e_bits S4e_cpu S4e_isa

@@ -1,0 +1,1 @@
+lib/mutation/mutop.ml: List S4e_isa

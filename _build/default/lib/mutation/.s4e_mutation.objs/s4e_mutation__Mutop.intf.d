@@ -1,0 +1,1 @@
+lib/mutation/mutop.mli: S4e_isa

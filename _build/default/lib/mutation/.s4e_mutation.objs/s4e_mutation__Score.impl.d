@@ -1,0 +1,1 @@
+lib/mutation/score.ml: Format List Mutant Mutop S4e_asm S4e_cpu S4e_soc

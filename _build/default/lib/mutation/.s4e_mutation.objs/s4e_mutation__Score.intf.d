@@ -1,0 +1,1 @@
+lib/mutation/score.mli: Format Mutant Mutop S4e_asm S4e_cpu

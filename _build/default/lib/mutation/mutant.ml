@@ -1,0 +1,57 @@
+module Program = S4e_asm.Program
+
+type word = int
+
+type t = {
+  m_id : int;
+  m_pc : word;
+  m_operator : Mutop.t;
+  m_original : S4e_isa.Instr.t;
+  m_mutated : S4e_isa.Instr.t;
+}
+
+let describe m =
+  Printf.sprintf "#%d @ 0x%08x [%s] %s -> %s" m.m_id m.m_pc
+    (Mutop.name m.m_operator)
+    (S4e_isa.Instr.to_string m.m_original)
+    (S4e_isa.Instr.to_string m.m_mutated)
+
+let generate ?(operators = Mutop.all) ?(covered = fun _ -> true) p =
+  let mem = S4e_mem.Sparse_mem.create () in
+  Program.load p mem;
+  let next_id = ref 0 in
+  let mutants = ref [] in
+  List.iter
+    (fun (c : Program.chunk) ->
+      if c.Program.is_code then begin
+        let stop = c.Program.addr + String.length c.Program.bytes in
+        let rec walk pc =
+          if pc + 2 <= stop then
+            let half = S4e_mem.Sparse_mem.read16 mem pc in
+            if half land 0x3 <> 0x3 then walk (pc + 2)  (* skip RVC *)
+            else if pc + 4 <= stop then begin
+              (match S4e_isa.Decode.decode (S4e_mem.Sparse_mem.read32 mem pc) with
+              | Some instr when covered pc ->
+                  List.iter
+                    (fun op ->
+                      List.iter
+                        (fun mutated ->
+                          let m =
+                            { m_id = !next_id; m_pc = pc; m_operator = op;
+                              m_original = instr; m_mutated = mutated }
+                          in
+                          incr next_id;
+                          mutants := m :: !mutants)
+                        (Mutop.mutations op instr))
+                    operators
+              | Some _ | None -> ());
+              walk (pc + 4)
+            end
+        in
+        walk c.Program.addr
+      end)
+    p.Program.chunks;
+  List.rev !mutants
+
+let apply m (machine : S4e_cpu.Machine.t) =
+  S4e_cpu.Machine.load_word machine m.m_pc (S4e_isa.Encode.encode m.m_mutated)

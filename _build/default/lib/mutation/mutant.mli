@@ -1,0 +1,35 @@
+(** Mutant enumeration and image patching.
+
+    A mutant is one mutation applied at one code address.  Enumeration
+    walks the 32-bit instructions of a program's code chunks (16-bit
+    RVC instructions are skipped — a widened replacement would clobber
+    the neighbour); XEMU-style, the site list can be restricted to
+    instructions a reference execution actually covers, which removes
+    trivially-equivalent mutants in dead code. *)
+
+type word = S4e_bits.Bits.word
+
+type t = {
+  m_id : int;
+  m_pc : word;
+  m_operator : Mutop.t;
+  m_original : S4e_isa.Instr.t;
+  m_mutated : S4e_isa.Instr.t;
+}
+
+val describe : t -> string
+
+val generate :
+  ?operators:Mutop.t list ->
+  ?covered:(word -> bool) ->
+  S4e_asm.Program.t ->
+  t list
+(** All mutants of the program, in address order.  [operators] defaults
+    to {!Mutop.all}; [covered] (default: everything) filters sites by
+    pc — pass the golden run's
+    [Hashtbl.mem report.executed_pcs] for coverage-guided
+    enumeration. *)
+
+val apply : t -> S4e_cpu.Machine.t -> unit
+(** Patches the mutated encoding into the machine's RAM (call after
+    loading the program). *)

@@ -1,0 +1,142 @@
+open S4e_isa.Instr
+
+type t = Aor | Ror | Cor | Sor | Sdl
+
+let all = [ Aor; Ror; Cor; Sor; Sdl ]
+
+let name = function
+  | Aor -> "AOR"
+  | Ror -> "ROR"
+  | Cor -> "COR"
+  | Sor -> "SOR"
+  | Sdl -> "SDL"
+
+let describe = function
+  | Aor -> "arithmetic operator replacement"
+  | Ror -> "relational (branch) operator replacement"
+  | Cor -> "constant perturbation"
+  | Sor -> "source register replacement"
+  | Sdl -> "statement deletion"
+
+(* Replacement partners chosen so a mutation stays in the same
+   semantic family (the classic strong-mutation sets). *)
+let aor_partners = function
+  | ADD -> [ SUB; XOR ]
+  | SUB -> [ ADD; XOR ]
+  | AND -> [ OR; XOR ]
+  | OR -> [ AND; XOR ]
+  | XOR -> [ AND; OR ]
+  | SLL -> [ SRL ]
+  | SRL -> [ SLL; SRA ]
+  | SRA -> [ SRL ]
+  | MUL -> [ ADD ]
+  | DIV -> [ MUL; REM ]
+  | REM -> [ DIV ]
+  | DIVU -> [ REMU ]
+  | REMU -> [ DIVU ]
+  | SLT -> [ SLTU ]
+  | SLTU -> [ SLT ]
+  | MIN -> [ MAX ]
+  | MAX -> [ MIN ]
+  | MINU -> [ MAXU ]
+  | MAXU -> [ MINU ]
+  | ANDN -> [ ORN ]
+  | ORN -> [ ANDN ]
+  | XNOR -> [ XOR ]
+  | ROL -> [ ROR ]
+  | ROR -> [ ROL ]
+  | MULH | MULHSU | MULHU -> [ MUL ]
+  | BSET -> [ BCLR; BINV ]
+  | BCLR -> [ BSET; BINV ]
+  | BINV -> [ BSET; BCLR ]
+  | BEXT -> [ BINV ]
+
+let aor_imm_partners = function
+  | ADDI -> [ XORI; ORI ]
+  | ANDI -> [ ORI; XORI ]
+  | ORI -> [ ANDI; XORI ]
+  | XORI -> [ ANDI; ORI ]
+  | SLTI -> [ SLTIU ]
+  | SLTIU -> [ SLTI ]
+
+let ror_partners = function
+  | BEQ -> [ BNE ]
+  | BNE -> [ BEQ ]
+  | BLT -> [ BGE; BLTU ]
+  | BGE -> [ BLT; BGEU ]
+  | BLTU -> [ BGEU; BLT ]
+  | BGEU -> [ BLTU; BGE ]
+
+let shift_partners = function
+  | SLLI -> [ SRLI ]
+  | SRLI -> [ SLLI; SRAI ]
+  | SRAI -> [ SRLI ]
+  | RORI -> [ SRLI ]
+  | BSETI -> [ BCLRI; BINVI ]
+  | BCLRI -> [ BSETI; BINVI ]
+  | BINVI -> [ BSETI; BCLRI ]
+  | BEXTI -> [ BINVI ]
+
+(* Constant perturbations that keep the immediate encodable. *)
+let perturb_imm12 imm =
+  List.filter
+    (fun v -> v <> imm && v >= -2048 && v < 2048)
+    [ imm + 1; imm - 1; 0 ]
+
+let perturb_shamt sh = List.filter (fun v -> v <> sh && v >= 0 && v < 32) [ sh + 1; sh - 1; 0 ]
+
+(* Source-register substitution: swap in a nearby register, never x0
+   (reading x0 instead is covered by the zeroing COR mutants). *)
+let replace_reg r = if r >= 31 then r - 1 else r + 1
+
+let mutations op instr =
+  match (op, instr) with
+  | Aor, Op (o, rd, rs1, rs2) ->
+      List.map (fun o' -> Op (o', rd, rs1, rs2)) (aor_partners o)
+  | Aor, Op_imm (o, rd, rs1, imm) ->
+      List.map (fun o' -> Op_imm (o', rd, rs1, imm)) (aor_imm_partners o)
+  | Aor, Shift_imm (o, rd, rs1, sh) ->
+      List.map (fun o' -> Shift_imm (o', rd, rs1, sh)) (shift_partners o)
+  | Aor, _ -> []
+  | Ror, Branch (o, rs1, rs2, off) ->
+      List.map (fun o' -> Branch (o', rs1, rs2, off)) (ror_partners o)
+  | Ror, _ -> []
+  | Cor, Op_imm (o, rd, rs1, imm) ->
+      List.map (fun imm' -> Op_imm (o, rd, rs1, imm')) (perturb_imm12 imm)
+  | Cor, Shift_imm (o, rd, rs1, sh) ->
+      List.map (fun sh' -> Shift_imm (o, rd, rs1, sh')) (perturb_shamt sh)
+  | Cor, Load (o, rd, base, imm) ->
+      List.map (fun imm' -> Load (o, rd, base, imm')) (perturb_imm12 imm)
+  | Cor, Store (o, src, base, imm) ->
+      List.map (fun imm' -> Store (o, src, base, imm')) (perturb_imm12 imm)
+  | Cor, Lui (rd, imm20) ->
+      List.filter_map
+        (fun v ->
+          if v <> imm20 && v >= 0 && v < 1 lsl 20 then Some (Lui (rd, v))
+          else None)
+        [ imm20 + 1; imm20 - 1 ]
+  | Cor, _ -> []
+  | Sor, Op (o, rd, rs1, rs2) ->
+      [ Op (o, rd, replace_reg rs1, rs2); Op (o, rd, rs1, replace_reg rs2) ]
+  | Sor, Op_imm (o, rd, rs1, imm) when rs1 <> 0 ->
+      [ Op_imm (o, rd, replace_reg rs1, imm) ]
+  | Sor, Branch (o, rs1, rs2, off) when rs1 <> 0 ->
+      [ Branch (o, replace_reg rs1, rs2, off) ]
+  | Sor, Store (o, src, base, imm) when src <> 0 ->
+      [ Store (o, replace_reg src, base, imm) ]
+  | Sor, _ -> []
+  | Sdl, i -> (
+      (* deleting control flow or system instructions is replaced by
+         the weaker "skip computation" mutation only for plain data
+         operations, so mutants cannot jump out of the image *)
+      match i with
+      | Op _ | Op_imm _ | Shift_imm _ | Unary _ | Lui _ | Load _ | Store _ ->
+          let nop = Op_imm (ADDI, 0, 0, 0) in
+          if equal i nop then [] else [ nop ]
+      | Auipc _ | Jal _ | Jalr _ | Branch _ | Fence | Fence_i | Ecall
+      | Ebreak | Mret | Wfi | Csr _ | Flw _ | Fsw _ | Fp_op _ | Fp_cmp _
+      | Fsqrt _ | Fcvt_w_s _ | Fcvt_s_w _ | Fmv_x_w _ | Fmv_w_x _
+      | Lr _ | Sc _ | Amo _ -> [])
+
+let mutations op instr =
+  List.filter (fun m -> not (equal m instr)) (mutations op instr)

@@ -1,0 +1,26 @@
+(** Mutation operators over decoded instructions.
+
+    The XEMU companion paper (EMSOFT 2012) mutates embedded software at
+    the binary level — "high level mutations correlate to bit flips of
+    software binaries" — to measure how well a test suite exercises the
+    code.  These are the classic operator classes, expressed on the
+    instruction AST and re-encoded into the image:
+
+    - AOR: arithmetic operator replacement within an encoding class;
+    - ROR: relational (branch condition) operator replacement;
+    - COR: constant perturbation (off-by-one, zeroing);
+    - SOR: source-register replacement;
+    - SDL: statement deletion (replace with [nop]).
+
+    Every produced mutation is a *different* instruction of the same
+    byte width, so patching the image never disturbs neighbours. *)
+
+type t = Aor | Ror | Cor | Sor | Sdl
+
+val all : t list
+val name : t -> string
+val describe : t -> string
+
+val mutations : t -> S4e_isa.Instr.t -> S4e_isa.Instr.t list
+(** All mutants of one instruction under one operator (possibly empty;
+    never contains the original). *)

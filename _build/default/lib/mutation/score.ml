@@ -1,0 +1,94 @@
+module Machine = S4e_cpu.Machine
+module Program = S4e_asm.Program
+
+type test = {
+  t_name : string;
+  t_uart_input : string;
+  t_fuel : int;
+}
+
+let test ?(fuel = 1_000_000) ~name input =
+  { t_name = name; t_uart_input = input; t_fuel = fuel }
+
+type verdict = Killed of string | Survived
+
+type result = { r_mutant : Mutant.t; r_verdict : verdict }
+
+type score = {
+  s_total : int;
+  s_killed : int;
+  s_survived : int;
+  s_score : float;
+  s_per_operator : (Mutop.t * int * int) list;
+}
+
+type observation = {
+  o_stop : [ `Exited of int | `Fatal | `Hung ];
+  o_uart : string;
+}
+
+let observe ?config p ~mutant t =
+  let m = Machine.create ?config () in
+  Program.load_machine p m;
+  (match mutant with Some mu -> Mutant.apply mu m | None -> ());
+  S4e_soc.Uart.feed m.Machine.uart t.t_uart_input;
+  let stop = Machine.run m ~fuel:t.t_fuel in
+  { o_stop =
+      (match stop with
+      | Machine.Exited c -> `Exited c
+      | Machine.Fatal_trap _ -> `Fatal
+      | Machine.Out_of_fuel | Machine.Wfi_halt -> `Hung);
+    o_uart = Machine.uart_output m }
+
+let run ?config p ~tests ~mutants =
+  let oracles =
+    List.map (fun t -> (t.t_name, observe ?config p ~mutant:None t)) tests
+  in
+  List.map
+    (fun mu ->
+      let rec try_tests = function
+        | [] -> Survived
+        | t :: rest ->
+            let golden = List.assoc t.t_name oracles in
+            let got = observe ?config p ~mutant:(Some mu) t in
+            if got <> golden then Killed t.t_name else try_tests rest
+      in
+      { r_mutant = mu; r_verdict = try_tests tests })
+    mutants
+
+let summarize results =
+  let total = List.length results in
+  let killed =
+    List.length (List.filter (fun r -> r.r_verdict <> Survived) results)
+  in
+  let per_operator =
+    List.map
+      (fun op ->
+        let of_op =
+          List.filter (fun r -> r.r_mutant.Mutant.m_operator = op) results
+        in
+        let k =
+          List.length (List.filter (fun r -> r.r_verdict <> Survived) of_op)
+        in
+        (op, k, List.length of_op))
+      Mutop.all
+  in
+  { s_total = total;
+    s_killed = killed;
+    s_survived = total - killed;
+    s_score = (if total = 0 then 1.0 else float_of_int killed /. float_of_int total);
+    s_per_operator = per_operator }
+
+let survivors results =
+  List.filter_map
+    (fun r ->
+      match r.r_verdict with Survived -> Some r.r_mutant | Killed _ -> None)
+    results
+
+let pp_score fmt s =
+  Format.fprintf fmt "mutation score %.1f%% (%d/%d killed)" (100.0 *. s.s_score)
+    s.s_killed s.s_total;
+  List.iter
+    (fun (op, k, t) ->
+      if t > 0 then Format.fprintf fmt "@.  %s: %d/%d" (Mutop.name op) k t)
+    s.s_per_operator

@@ -1,0 +1,48 @@
+(** Mutation analysis: measuring test quality by mutant killing.
+
+    A test is a named stimulus for the program under analysis — a UART
+    input string plus a fuel budget; its oracle is the golden run's
+    signature (exit status + UART output) under the same stimulus.  A
+    mutant is {e killed} by a test whose observed behaviour differs
+    from the oracle, and {e survives} if every test agrees with its
+    oracle.  The mutation score (killed / total) is the companion
+    papers' verification-quality metric; surviving mutants point at
+    stimuli worth adding (or at equivalent mutants). *)
+
+type test = {
+  t_name : string;
+  t_uart_input : string;
+  t_fuel : int;
+}
+
+val test : ?fuel:int -> name:string -> string -> test
+(** [test ~name input] with default fuel 1,000,000. *)
+
+type verdict =
+  | Killed of string  (** name of the first killing test *)
+  | Survived
+
+type result = { r_mutant : Mutant.t; r_verdict : verdict }
+
+type score = {
+  s_total : int;
+  s_killed : int;
+  s_survived : int;
+  s_score : float;  (** killed / total, 1.0 when there are no mutants *)
+  s_per_operator : (Mutop.t * int * int) list;  (** (op, killed, total) *)
+}
+
+val run :
+  ?config:S4e_cpu.Machine.config ->
+  S4e_asm.Program.t ->
+  tests:test list ->
+  mutants:Mutant.t list ->
+  result list
+(** Executes every (mutant x test) pair, short-circuiting per mutant at
+    the first kill.  Deterministic. *)
+
+val summarize : result list -> score
+
+val survivors : result list -> Mutant.t list
+
+val pp_score : Format.formatter -> score -> unit

@@ -1,0 +1,1 @@
+lib/rtos/rta.ml: Format List Option Printf S4e_asm S4e_wcet

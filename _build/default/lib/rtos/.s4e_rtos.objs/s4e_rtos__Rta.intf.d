@@ -1,0 +1,1 @@
+lib/rtos/rta.mli: Format S4e_asm S4e_cpu

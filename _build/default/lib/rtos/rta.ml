@@ -1,0 +1,131 @@
+type task = {
+  tk_name : string;
+  tk_wcet : int;
+  tk_period : int;
+  tk_deadline : int;
+}
+
+let task ?deadline ~name ~wcet ~period () =
+  { tk_name = name; tk_wcet = wcet; tk_period = period;
+    tk_deadline = Option.value deadline ~default:period }
+
+type verdict = {
+  v_task : task;
+  v_response : int option;
+  v_priority : int;
+}
+
+type analysis = {
+  a_verdicts : verdict list;
+  a_schedulable : bool;
+  a_utilization : float;
+  a_ll_bound : float;
+}
+
+let validate tasks =
+  if tasks = [] then invalid_arg "Rta.analyze: empty task set";
+  List.iter
+    (fun t ->
+      if t.tk_wcet <= 0 || t.tk_period <= 0 || t.tk_deadline <= 0 then
+        invalid_arg (Printf.sprintf "Rta.analyze: %s has a non-positive parameter" t.tk_name);
+      if t.tk_deadline > t.tk_period then
+        invalid_arg
+          (Printf.sprintf "Rta.analyze: %s has D > T (only constrained \
+                           deadlines are supported)" t.tk_name))
+    tasks
+
+let ceil_div a b = (a + b - 1) / b
+
+(* Joseph-Pandya fixed point.  The sequence is monotone and bounded by
+   the deadline check, so it terminates. *)
+let response_time ~hp t =
+  let interference r =
+    List.fold_left
+      (fun acc j -> acc + (ceil_div r j.tk_period * j.tk_wcet))
+      0 hp
+  in
+  let rec iterate r =
+    if r > t.tk_deadline then None
+    else
+      let r' = t.tk_wcet + interference r in
+      if r' = r then Some r else if r' > t.tk_deadline then None else iterate r'
+  in
+  iterate t.tk_wcet
+
+let utilization tasks =
+  List.fold_left
+    (fun acc t -> acc +. (float_of_int t.tk_wcet /. float_of_int t.tk_period))
+    0.0 tasks
+
+let liu_layland_bound n =
+  let n = float_of_int n in
+  n *. ((2.0 ** (1.0 /. n)) -. 1.0)
+
+let analyze ?(rate_monotonic = true) tasks =
+  validate tasks;
+  let ordered =
+    if rate_monotonic then
+      List.stable_sort (fun a b -> compare a.tk_period b.tk_period) tasks
+    else tasks
+  in
+  let rec verdicts hp = function
+    | [] -> []
+    | t :: rest ->
+        let v =
+          { v_task = t; v_response = response_time ~hp t;
+            v_priority = List.length hp }
+        in
+        v :: verdicts (hp @ [ t ]) rest
+  in
+  let vs = verdicts [] ordered in
+  { a_verdicts = vs;
+    a_schedulable = List.for_all (fun v -> v.v_response <> None) vs;
+    a_utilization = utilization tasks;
+    a_ll_bound = liu_layland_bound (List.length tasks) }
+
+let of_program ?model ?annotations p ~tasks =
+  let results =
+    List.map
+      (fun (symbol, period) ->
+        match S4e_asm.Program.symbol p symbol with
+        | None -> Error (Printf.sprintf "no symbol %S in the image" symbol)
+        | Some entry -> (
+            let view = { p with S4e_asm.Program.entry } in
+            match S4e_wcet.Analysis.analyze ?model ?annotations view with
+            | Error e ->
+                Error
+                  (Printf.sprintf "%s: %s" symbol
+                     (S4e_wcet.Analysis.describe_error e))
+            | Ok r ->
+                Ok
+                  (task ~name:symbol
+                     ~wcet:r.S4e_wcet.Analysis.program_wcet ~period ())))
+      tasks
+  in
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | Ok t :: rest -> collect (t :: acc) rest
+    | Error m :: _ -> Error m
+  in
+  collect [] results
+
+let pp fmt a =
+  Format.fprintf fmt
+    "utilization %.3f (Liu-Layland bound for %d tasks: %.3f)@."
+    a.a_utilization
+    (List.length a.a_verdicts)
+    a.a_ll_bound;
+  List.iter
+    (fun v ->
+      match v.v_response with
+      | Some r ->
+          Format.fprintf fmt "  P%d %-16s C=%-6d T=%-6d D=%-6d R=%d@."
+            v.v_priority v.v_task.tk_name v.v_task.tk_wcet v.v_task.tk_period
+            v.v_task.tk_deadline r
+      | None ->
+          Format.fprintf fmt "  P%d %-16s C=%-6d T=%-6d D=%-6d MISSES its deadline@."
+            v.v_priority v.v_task.tk_name v.v_task.tk_wcet v.v_task.tk_period
+            v.v_task.tk_deadline)
+    a.a_verdicts;
+  Format.fprintf fmt "  task set %s@."
+    (if a.a_schedulable then "SCHEDULABLE" else "NOT schedulable")

@@ -1,0 +1,70 @@
+(** Fixed-priority response-time analysis (RTA).
+
+    The ecosystem group's schedulability companions (He/Müller,
+    Euromicro DSD 2012; Zabel/Müller's abstract RTOS analyses) close the
+    loop the WCET flow opens: once QTA bounds each task's execution
+    time, classical response-time analysis decides whether a periodic
+    task set meets its deadlines under preemptive fixed-priority
+    scheduling.
+
+    The implementation is the standard Joseph–Pandya recurrence
+
+    {v R_i = C_i + sum_{j in hp(i)} ceil(R_i / T_j) * C_j v}
+
+    iterated to a fixed point, with constrained deadlines
+    ([D_i <= T_i]).  Priorities are either given or assigned
+    rate-monotonically. *)
+
+type task = {
+  tk_name : string;
+  tk_wcet : int;  (** C, in cycles — typically from {!S4e_wcet.Analysis} *)
+  tk_period : int;  (** T, in cycles *)
+  tk_deadline : int;  (** D, in cycles; [D <= T] *)
+}
+
+val task : ?deadline:int -> name:string -> wcet:int -> period:int -> unit -> task
+(** [deadline] defaults to the period (implicit deadlines). *)
+
+type verdict = {
+  v_task : task;
+  v_response : int option;
+      (** worst-case response time; [None] when the recurrence exceeds
+          the deadline (unschedulable task) *)
+  v_priority : int;  (** 0 = highest *)
+}
+
+type analysis = {
+  a_verdicts : verdict list;  (** in priority order *)
+  a_schedulable : bool;
+  a_utilization : float;
+  a_ll_bound : float;
+      (** Liu–Layland bound [n(2^{1/n} - 1)] for this task count *)
+}
+
+val analyze : ?rate_monotonic:bool -> task list -> analysis
+(** With [rate_monotonic] (default true) tasks are prioritized by
+    period (shorter period = higher priority); otherwise list order is
+    priority order.
+    @raise Invalid_argument on empty sets, non-positive parameters, or
+    [D > T]. *)
+
+val response_time : hp:task list -> task -> int option
+(** Response time of one task against its higher-priority interferers,
+    or [None] if it exceeds the deadline. *)
+
+val utilization : task list -> float
+val liu_layland_bound : int -> float
+
+val of_program :
+  ?model:S4e_cpu.Timing_model.t ->
+  ?annotations:(string * int) list ->
+  S4e_asm.Program.t ->
+  tasks:(string * int) list ->
+  (task list, string) result
+(** [of_program p ~tasks] derives each task's WCET by statically
+    analyzing the function at the named symbol; [tasks] pairs a symbol
+    with its period (implicit deadline).  This is the QTA-to-RTA
+    bridge: bounds come from the same analyzer the co-simulation
+    validates. *)
+
+val pp : Format.formatter -> analysis -> unit

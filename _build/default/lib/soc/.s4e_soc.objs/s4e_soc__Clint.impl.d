@@ -1,0 +1,1 @@
+lib/soc/clint.ml: S4e_mem

@@ -1,0 +1,1 @@
+lib/soc/clint.mli: S4e_bits S4e_mem

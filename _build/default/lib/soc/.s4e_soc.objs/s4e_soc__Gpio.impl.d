@@ -1,0 +1,1 @@
+lib/soc/gpio.ml: S4e_mem

@@ -1,0 +1,1 @@
+lib/soc/gpio.mli: S4e_bits S4e_mem

@@ -1,0 +1,1 @@
+lib/soc/memory_map.ml: Uart

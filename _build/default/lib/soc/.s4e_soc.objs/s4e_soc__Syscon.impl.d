@@ -1,0 +1,1 @@
+lib/soc/syscon.ml: S4e_mem

@@ -1,0 +1,1 @@
+lib/soc/syscon.mli: S4e_bits S4e_mem

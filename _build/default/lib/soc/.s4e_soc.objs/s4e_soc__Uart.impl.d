@@ -1,0 +1,1 @@
+lib/soc/uart.ml: Buffer Char Queue S4e_mem String

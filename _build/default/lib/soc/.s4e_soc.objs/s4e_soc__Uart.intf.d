@@ -1,0 +1,1 @@
+lib/soc/uart.mli: S4e_bits S4e_mem

@@ -1,0 +1,44 @@
+type t = {
+  mutable mtime : int;
+  mutable mtimecmp : int;
+  mutable msip : bool;
+}
+
+let create () = { mtime = 0; mtimecmp = max_int; msip = false }
+
+let lo32 v = v land 0xFFFF_FFFF
+let hi32 v = (v lsr 32) land 0x7FFF_FFFF
+
+let read t offset _size =
+  match offset with
+  | 0x0000 -> if t.msip then 1 else 0
+  | 0x4000 -> lo32 t.mtimecmp
+  | 0x4004 -> hi32 t.mtimecmp
+  | 0xBFF8 -> lo32 t.mtime
+  | 0xBFFC -> hi32 t.mtime
+  | _ -> 0
+
+let write t offset _size v =
+  match offset with
+  | 0x0000 -> t.msip <- v land 1 = 1
+  | 0x4000 -> t.mtimecmp <- (t.mtimecmp land lnot 0xFFFF_FFFF) lor lo32 v
+  | 0x4004 -> t.mtimecmp <- lo32 t.mtimecmp lor (lo32 v lsl 32)
+  | 0xBFF8 -> t.mtime <- (t.mtime land lnot 0xFFFF_FFFF) lor lo32 v
+  | 0xBFFC -> t.mtime <- lo32 t.mtime lor (lo32 v lsl 32)
+  | _ -> ()
+
+let device t ~base =
+  { S4e_mem.Bus.dev_name = "clint"; dev_base = base; dev_len = 0x10000;
+    dev_read = read t; dev_write = write t }
+
+let tick t n = t.mtime <- t.mtime + n
+let time t = t.mtime
+let set_timecmp t v = t.mtimecmp <- v
+let timecmp t = t.mtimecmp
+let timer_pending t = t.mtime >= t.mtimecmp
+let software_pending t = t.msip
+
+let reset t =
+  t.mtime <- 0;
+  t.mtimecmp <- max_int;
+  t.msip <- false

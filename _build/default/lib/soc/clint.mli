@@ -1,0 +1,29 @@
+(** CLINT-style core-local interruptor: machine timer and software
+    interrupt.
+
+    Register map (byte offsets, as in the SiFive CLINT):
+    - [0x0000] MSIP: software interrupt pending (bit 0).
+    - [0x4000] MTIMECMP (low), [0x4004] MTIMECMP (high).
+    - [0xBFF8] MTIME (low), [0xBFFC] MTIME (high).
+
+    The machine advances MTIME via {!tick} (one tick per retired
+    instruction by default, a common virtual-prototype simplification)
+    and polls {!timer_pending} / {!software_pending} to drive the
+    [mip.MTIP]/[mip.MSIP] bits. *)
+
+type t
+
+val create : unit -> t
+val device : t -> base:S4e_bits.Bits.word -> S4e_mem.Bus.device
+
+val tick : t -> int -> unit
+(** [tick t n] advances MTIME by [n]. *)
+
+val time : t -> int
+(** Current MTIME (64-bit value in a native int). *)
+
+val set_timecmp : t -> int -> unit
+val timecmp : t -> int
+val timer_pending : t -> bool
+val software_pending : t -> bool
+val reset : t -> unit

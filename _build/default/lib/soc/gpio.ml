@@ -1,0 +1,30 @@
+type t = {
+  mutable out_latch : int;
+  mutable in_pins : int;
+  on_output : (int -> unit) option;
+}
+
+let create ?on_output () = { out_latch = 0; in_pins = 0; on_output }
+
+let read t offset _size =
+  match offset with
+  | 0x00 -> t.out_latch
+  | 0x04 -> t.in_pins
+  | _ -> 0
+
+let write t offset _size v =
+  if offset = 0x00 then begin
+    let v = v land 0xFFFF_FFFF in
+    if v <> t.out_latch then begin
+      t.out_latch <- v;
+      match t.on_output with Some f -> f v | None -> ()
+    end
+  end
+
+let device t ~base =
+  { S4e_mem.Bus.dev_name = "gpio"; dev_base = base; dev_len = 0x100;
+    dev_read = read t; dev_write = write t }
+
+let output t = t.out_latch
+let set_input t v = t.in_pins <- v land 0xFFFF_FFFF
+let input t = t.in_pins

@@ -1,0 +1,16 @@
+(** A 32-bit GPIO block.
+
+    Register map (byte offsets):
+    - [0x00] OUT: output latch (read back what was written).
+    - [0x04] IN: input pins, set from the host side via {!set_input}.
+
+    An optional callback observes every change of the output latch;
+    the lock-system example wires the door actuator to it. *)
+
+type t
+
+val create : ?on_output:(S4e_bits.Bits.word -> unit) -> unit -> t
+val device : t -> base:S4e_bits.Bits.word -> S4e_mem.Bus.device
+val output : t -> S4e_bits.Bits.word
+val set_input : t -> S4e_bits.Bits.word -> unit
+val input : t -> S4e_bits.Bits.word

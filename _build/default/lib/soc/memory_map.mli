@@ -1,0 +1,19 @@
+(** The default platform memory map, shared by the runtime, assembler
+    examples, and documentation.
+
+    Mirrors the common RISC-V virtual-platform layout (CLINT low, IO in
+    the [0x1000_0000] window, RAM at [0x8000_0000]). *)
+
+val ram_base : int
+val clint_base : int
+val uart_base : int
+val syscon_base : int
+val gpio_base : int
+
+val uart_data : int
+(** Absolute address of the UART DATA register. *)
+
+val uart_status : int
+val syscon_exit : int
+val gpio_out : int
+val gpio_in : int

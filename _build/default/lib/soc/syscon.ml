@@ -1,0 +1,12 @@
+type t = { mutable code : int option }
+
+let create () = { code = None }
+
+let write t offset _size v = if offset = 0x00 then t.code <- Some v
+
+let device t ~base =
+  { S4e_mem.Bus.dev_name = "syscon"; dev_base = base; dev_len = 0x10;
+    dev_read = (fun _ _ -> 0); dev_write = write t }
+
+let exit_code t = t.code
+let reset t = t.code <- None

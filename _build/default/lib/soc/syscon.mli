@@ -1,0 +1,19 @@
+(** System controller ("test finisher"), modeled on QEMU virt's sifive
+    test device: software terminates a simulation by storing an exit
+    code to it.
+
+    Register map (byte offsets):
+    - [0x00] EXIT: writing [v] ends the run with status [v].
+
+    The conventional protocol (used by our runtime and generated
+    programs) is: write 0 for PASS, nonzero for FAIL. *)
+
+type t
+
+val create : unit -> t
+val device : t -> base:S4e_bits.Bits.word -> S4e_mem.Bus.device
+
+val exit_code : t -> int option
+(** [Some code] once software has written the EXIT register. *)
+
+val reset : t -> unit

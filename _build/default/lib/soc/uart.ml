@@ -1,0 +1,32 @@
+type t = {
+  tx : Buffer.t;
+  rx : char Queue.t;
+  on_tx : (char -> unit) option;
+}
+
+let data_offset = 0x00
+let status_offset = 0x04
+
+let create ?on_tx () = { tx = Buffer.create 256; rx = Queue.create (); on_tx }
+
+let read t offset _size =
+  if offset = data_offset then
+    match Queue.take_opt t.rx with Some c -> Char.code c | None -> 0
+  else if offset = status_offset then
+    (if Queue.is_empty t.rx then 0 else 1) lor 0b10
+  else 0
+
+let write t offset _size v =
+  if offset = data_offset then begin
+    let c = Char.chr (v land 0xFF) in
+    Buffer.add_char t.tx c;
+    match t.on_tx with Some f -> f c | None -> ()
+  end
+
+let device t ~base =
+  { S4e_mem.Bus.dev_name = "uart"; dev_base = base; dev_len = 0x100;
+    dev_read = read t; dev_write = write t }
+
+let feed t s = String.iter (fun c -> Queue.add c t.rx) s
+let output t = Buffer.contents t.tx
+let clear_output t = Buffer.clear t.tx

@@ -1,0 +1,29 @@
+(** A minimal memory-mapped UART.
+
+    Register map (byte offsets):
+    - [0x00] DATA: writes transmit one byte; reads pop the receive queue
+      (0 when empty).
+    - [0x04] STATUS: bit 0 = receive data available, bit 1 = transmitter
+      ready (always set).
+
+    Transmitted bytes accumulate in an internal buffer ({!output}) and
+    are optionally forwarded to a callback, which examples use to print
+    live. *)
+
+type t
+
+val create : ?on_tx:(char -> unit) -> unit -> t
+
+val device : t -> base:S4e_bits.Bits.word -> S4e_mem.Bus.device
+(** Bus device of length 0x100 at [base]. *)
+
+val feed : t -> string -> unit
+(** Appends bytes to the receive queue (host-to-target input). *)
+
+val output : t -> string
+(** Everything transmitted so far. *)
+
+val clear_output : t -> unit
+
+val data_offset : int
+val status_offset : int

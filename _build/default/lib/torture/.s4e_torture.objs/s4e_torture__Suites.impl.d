@@ -1,0 +1,1 @@
+lib/torture/suites.ml: Buffer Format List Printf S4e_asm S4e_isa Torture

@@ -1,0 +1,1 @@
+lib/torture/suites.mli: S4e_asm S4e_isa

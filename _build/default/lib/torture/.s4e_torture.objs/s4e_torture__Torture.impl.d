@@ -1,0 +1,1 @@
+lib/torture/torture.ml: Array Buffer Char Compressed Csr Encode Fun Hashtbl Instr List Random Reg S4e_asm S4e_bits S4e_isa S4e_soc

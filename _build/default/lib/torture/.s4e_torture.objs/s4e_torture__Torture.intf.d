@@ -1,0 +1,1 @@
+lib/torture/torture.mli: S4e_asm S4e_isa

@@ -1,0 +1,301 @@
+module Isa_module = S4e_isa.Isa_module
+
+let fuel = 200_000
+
+let exit_ok = {|
+  li t1, 0x00100000
+  sw x0, 0(t1)
+|}
+
+let asm name src =
+  match S4e_asm.Assembler.assemble src with
+  | Ok p -> (name, p)
+  | Error e ->
+      failwith
+        (Format.asprintf "suite program %s: %a" name S4e_asm.Assembler.pp_error
+           e)
+
+(* The I-module walk installs a trap handler so ecall/ebreak/mret all
+   execute; wfi is deliberately not covered (it would halt the hart),
+   which is this suite collection's analogue of the paper's residual
+   1.3 % instruction-type gap. *)
+let arch_i () =
+  asm "arch-I"
+    ({|
+_start:
+  la   t0, handler
+  csrw mtvec, t0
+  lui  a0, 0x12345
+  auipc a1, 0
+  jal  a2, j1
+j1:
+  la   a3, j2
+  jalr a4, 0(a3)
+j2:
+  beq  x0, x0, b1
+b1:
+  bne  a0, x0, b2
+b2:
+  blt  x0, a0, b3
+b3:
+  bge  a0, x0, b4
+b4:
+  bltu x0, a0, b5
+b5:
+  bgeu a0, x0, b6
+b6:
+  la   a5, word
+  lb   a0, 0(a5)
+  lh   a1, 0(a5)
+  lw   a2, 0(a5)
+  lbu  a3, 1(a5)
+  lhu  a4, 2(a5)
+  sb   a0, 4(a5)
+  sh   a1, 4(a5)
+  sw   a2, 4(a5)
+  addi a0, a1, 17
+  slti a1, a2, 99
+  sltiu a2, a3, 99
+  xori a3, a4, 0x55
+  ori  a4, a5, 0x0f
+  andi a5, a0, 0x3c
+  slli a0, a1, 3
+  srli a1, a2, 2
+  srai a2, a3, 1
+  add  a0, a1, a2
+  sub  a1, a2, a3
+  sll  a2, a3, a4
+  slt  a3, a4, a5
+  sltu a4, a5, a0
+  xor  a5, a0, a1
+  srl  a0, a1, a2
+  sra  a1, a2, a3
+  or   a2, a3, a4
+  and  a3, a4, a5
+  fence
+  fence.i
+  ecall
+  ebreak
+|}
+   ^ exit_ok
+   ^ {|
+handler:
+  csrr t2, mepc
+  addi t2, t2, 4
+  csrw mepc, t2
+  mret
+  .data
+word:
+  .word 0xdeadbeef, 0
+|})
+
+let arch_m () =
+  asm "arch-M"
+    ({|
+_start:
+  li a0, 123456
+  li a1, -789
+  mul    a2, a0, a1
+  mulh   a3, a0, a1
+  mulhsu a4, a0, a1
+  mulhu  a5, a0, a1
+  div    a2, a0, a1
+  divu   a3, a0, a1
+  rem    a4, a0, a1
+  remu   a5, a0, a1
+|} ^ exit_ok)
+
+let arch_b () =
+  asm "arch-B"
+    ({|
+_start:
+  li a0, 0x0ff0cafe
+  li a1, 0x12345678
+  andn a2, a0, a1
+  orn  a3, a0, a1
+  xnor a4, a0, a1
+  rol  a5, a0, a1
+  ror  a2, a1, a0
+  rori a3, a0, 7
+  min  a4, a0, a1
+  max  a5, a0, a1
+  minu a2, a0, a1
+  maxu a3, a0, a1
+  clz  a4, a0
+  ctz  a5, a0
+  cpop a2, a0
+  sext.b a3, a0
+  sext.h a4, a0
+  zext.h a5, a0
+  rev8 a2, a0
+  orc.b a3, a0
+  bset a4, a0, a1
+  bclr a5, a0, a1
+  binv a2, a0, a1
+  bext a3, a0, a1
+  bseti a4, a0, 11
+  bclri a5, a0, 11
+  binvi a2, a0, 11
+  bexti a3, a0, 11
+|} ^ exit_ok)
+
+let arch_zicsr () =
+  asm "arch-Zicsr"
+    ({|
+_start:
+  li a0, 0x5a5a
+  csrrw  a1, mscratch, a0
+  csrrs  a2, mscratch, x0
+  csrrc  a3, mscratch, a0
+  csrrwi a4, mscratch, 21
+  csrrsi a5, mscratch, 2
+  csrrci a1, mscratch, 1
+|} ^ exit_ok)
+
+let arch_f () =
+  asm "arch-F"
+    ({|
+_start:
+  la   a0, fdata
+  flw  fa0, 0(a0)
+  flw  fa1, 4(a0)
+  fadd.s  fa2, fa0, fa1
+  fsub.s  fa3, fa0, fa1
+  fmul.s  fa4, fa0, fa1
+  fdiv.s  fa5, fa0, fa1
+  fsqrt.s fa2, fa0
+  fsgnj.s fa3, fa0, fa1
+  fsgnjn.s fa4, fa0, fa1
+  fsgnjx.s fa5, fa0, fa1
+  fmin.s  fa2, fa0, fa1
+  fmax.s  fa3, fa0, fa1
+  feq.s   a1, fa0, fa1
+  flt.s   a2, fa0, fa1
+  fle.s   a3, fa0, fa1
+  fcvt.w.s  a4, fa0
+  fcvt.wu.s a5, fa0
+  li a1, 42
+  fcvt.s.w  fa4, a1
+  fcvt.s.wu fa5, a1
+  fmv.x.w   a2, fa0
+  fmv.w.x   fa2, a2
+  fsw  fa2, 8(a0)
+|} ^ exit_ok
+   ^ {|
+  .data
+fdata:
+  .word 0x40490fdb, 0x3f800000, 0
+|})
+
+let arch_a () =
+  asm "arch-A"
+    ({|
+_start:
+  la   a0, cell
+  li   a1, 25
+  # lr/sc success path
+  lr.w       a2, (a0)
+  sc.w       a3, a1, (a0)
+  # sc without a reservation must fail (writes 1)
+  sc.w       a4, a1, (a0)
+  amoswap.w  a2, a1, (a0)
+  amoadd.w   a2, a1, (a0)
+  amoxor.w   a2, a1, (a0)
+  amoand.w   a2, a1, (a0)
+  amoor.w    a2, a1, (a0)
+  amomin.w   a2, a1, (a0)
+  amomax.w   a2, a1, (a0)
+  amominu.w  a2, a1, (a0)
+  amomaxu.w  a2, a1, (a0)
+|} ^ exit_ok
+   ^ {|
+  .data
+cell:
+  .word 7
+|})
+
+let arch_suite ~isa =
+  List.filter_map
+    (fun m ->
+      match m with
+      | Isa_module.I -> Some (arch_i ())
+      | Isa_module.M -> Some (arch_m ())
+      | Isa_module.B -> Some (arch_b ())
+      | Isa_module.Zicsr -> Some (arch_zicsr ())
+      | Isa_module.F -> Some (arch_f ())
+      | Isa_module.A -> Some (arch_a ())
+      | Isa_module.C -> None)
+    isa
+
+(* Unit suite: complete register files, basic instruction types only. *)
+
+let unit_gpr_walk () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "_start:\n";
+  for r = 1 to 31 do
+    Buffer.add_string buf (Printf.sprintf "  li x%d, %d\n" r (r * 3))
+  done;
+  Buffer.add_string buf "  li a0, 0\n";
+  for r = 1 to 31 do
+    if r <> 10 then
+      Buffer.add_string buf (Printf.sprintf "  add a0, a0, x%d\n" r)
+  done;
+  Buffer.add_string buf exit_ok;
+  asm "unit-gpr-walk" (Buffer.contents buf)
+
+let unit_fpr_walk () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "_start:\n  li a1, 0x3f800000\n";
+  for r = 0 to 31 do
+    Buffer.add_string buf (Printf.sprintf "  addi a1, a1, 1\n");
+    Buffer.add_string buf (Printf.sprintf "  fmv.w.x f%d, a1\n" r)
+  done;
+  Buffer.add_string buf "  fmv.w.x f0, x0\n";
+  for r = 1 to 31 do
+    Buffer.add_string buf (Printf.sprintf "  fadd.s f0, f0, f%d\n" r)
+  done;
+  Buffer.add_string buf "  fmv.x.w a0, f0\n";
+  Buffer.add_string buf exit_ok;
+  asm "unit-fpr-walk" (Buffer.contents buf)
+
+let unit_csr_walk () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "_start:\n";
+  List.iter
+    (fun csr ->
+      Buffer.add_string buf
+        (Printf.sprintf "  csrr a0, %s\n" (S4e_isa.Csr.name csr)))
+    S4e_isa.Csr.implemented;
+  Buffer.add_string buf "  li a1, 7\n  csrw mscratch, a1\n";
+  Buffer.add_string buf exit_ok;
+  asm "unit-csr-walk" (Buffer.contents buf)
+
+let unit_suite ~isa =
+  [ unit_gpr_walk () ]
+  @ (if List.mem Isa_module.F isa then [ unit_fpr_walk () ] else [])
+  @ if List.mem Isa_module.Zicsr isa then [ unit_csr_walk () ] else []
+
+let torture_suite ~isa ~seeds =
+  let gen_isa =
+    List.filter
+      (fun m ->
+        match m with
+        | Isa_module.I | Isa_module.M | Isa_module.B | Isa_module.F -> true
+        | Isa_module.A | Isa_module.C | Isa_module.Zicsr -> false)
+      isa
+  in
+  List.concat_map
+    (fun seed ->
+      let base =
+        Torture.generate { Torture.default_config with seed; isa = gen_isa }
+      in
+      let compressed =
+        if List.mem Isa_module.C isa then
+          [ ( Printf.sprintf "torture-%d-rvc" seed,
+              Torture.generate
+                { Torture.default_config with
+                  seed = seed + 1000; isa = gen_isa; compress = true } ) ]
+        else []
+      in
+      (Printf.sprintf "torture-%d" seed, base) :: compressed)
+    seeds

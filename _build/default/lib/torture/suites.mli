@@ -1,0 +1,26 @@
+(** Structured test suites for the coverage experiment (E1).
+
+    Three suites play the roles of the paper's three inputs:
+
+    - {!arch_suite}: the architectural-test analogue — walks every
+      instruction type of the configured modules once with directed
+      operands, but (like the real suite) funnels data through the
+      argument registers only, leaving register-coverage gaps;
+    - {!unit_suite}: the unit-test analogue — touches every GPR and
+      FPR and the implemented CSRs, but only exercises a basic
+      instruction subset;
+    - random torture programs (from {!Torture.generate}) fill the
+      remaining space but never execute the system instructions.
+
+    Each suite is a list of named programs; coverage of their union is
+    the experiment's "unified test suite". *)
+
+val arch_suite : isa:S4e_isa.Isa_module.t list -> (string * S4e_asm.Program.t) list
+
+val unit_suite : isa:S4e_isa.Isa_module.t list -> (string * S4e_asm.Program.t) list
+
+val torture_suite :
+  isa:S4e_isa.Isa_module.t list -> seeds:int list -> (string * S4e_asm.Program.t) list
+
+val fuel : int
+(** Sufficient fuel for any suite program. *)

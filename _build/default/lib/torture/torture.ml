@@ -1,0 +1,260 @@
+open S4e_isa
+open S4e_isa.Instr
+module Isa_module = S4e_isa.Isa_module
+module Program = S4e_asm.Program
+
+type config = {
+  seed : int;
+  segments : int;
+  isa : Isa_module.t list;
+  allow_loops : bool;
+  allow_memory : bool;
+  max_loop_iters : int;
+  compress : bool;
+}
+
+let default_config =
+  { seed = 1; segments = 20; isa = [ Isa_module.I; M; B ];
+    allow_loops = true; allow_memory = true; max_loop_iters = 16;
+    compress = false }
+
+(* ---------------- item-level mini assembler ----------------
+
+   Generated code is a list of items; branches reference label ids so
+   byte offsets can be resolved after the (possibly compressed) layout
+   is known.  Branch and jump items always stay 32-bit wide, so label
+   addresses are independent of the offsets being patched in. *)
+
+type item =
+  | I of Instr.t
+  | L of int  (* label definition *)
+  | B of op_branch * Reg.t * Reg.t * int  (* conditional branch to label *)
+
+let materialize ~base ~compress items =
+  (* pass 1: sizes and label addresses *)
+  let addr = ref base in
+  let labels = Hashtbl.create 16 in
+  let sized =
+    List.map
+      (fun item ->
+        let here = !addr in
+        let size =
+          match item with
+          | L id ->
+              Hashtbl.replace labels id here;
+              0
+          | B _ -> 4
+          | I i ->
+              if compress then
+                match Compressed.compress i with Some _ -> 2 | None -> 4
+              else 4
+        in
+        addr := !addr + size;
+        (here, item))
+      items
+  in
+  (* pass 2: emit *)
+  let buf = Buffer.create 1024 in
+  let emit16 h =
+    Buffer.add_char buf (Char.chr (h land 0xFF));
+    Buffer.add_char buf (Char.chr ((h lsr 8) land 0xFF))
+  in
+  let emit32 w =
+    emit16 (w land 0xFFFF);
+    emit16 (w lsr 16)
+  in
+  List.iter
+    (fun (here, item) ->
+      match item with
+      | L _ -> ()
+      | B (op, r1, r2, label) ->
+          let target = Hashtbl.find labels label in
+          emit32 (Encode.encode (Branch (op, r1, r2, target - here)))
+      | I i ->
+          if compress then
+            match Compressed.compress i with
+            | Some h -> emit16 h
+            | None -> emit32 (Encode.encode i)
+          else emit32 (Encode.encode i))
+    sized;
+  { Program.chunks =
+      [ { Program.addr = base; bytes = Buffer.contents buf; is_code = true } ];
+    entry = base;
+    symbols = [ ("_start", base) ] }
+
+(* ---------------- generation ---------------- *)
+
+(* Register roles: gp (x3) = data window base, tp (x4) = syscon address,
+   x28/x29 = loop counter and bound.  Everything else in [pool] holds
+   live data folded into the final checksum. *)
+let pool =
+  [| 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15; 18; 19; 20; 21; 22; 23; 24;
+     25; 26; 27; 30; 31 |]
+
+let data_base = S4e_soc.Memory_map.ram_base + 0x20000
+let data_window = 1024
+
+let li rd v =
+  let v = v land 0xFFFF_FFFF in
+  if v < 2048 || v >= 0xFFFF_F800 then
+    [ I (Op_imm (ADDI, rd, Reg.zero, S4e_bits.Bits.to_signed v)) ]
+  else
+    let hi = (v + 0x800) lsr 12 land 0xFFFFF in
+    let lo = S4e_bits.Bits.(to_signed (sext ~width:12 v)) in
+    [ I (Lui (rd, hi)); I (Op_imm (ADDI, rd, rd, lo)) ]
+
+let r_ops_for isa =
+  let base = [ ADD; SUB; SLL; SLT; SLTU; XOR; SRL; SRA; OR; AND ] in
+  let m = [ MUL; MULH; MULHSU; MULHU; DIV; DIVU; REM; REMU ] in
+  let b = [ ANDN; ORN; XNOR; ROL; ROR; MIN; MAX; MINU; MAXU ] in
+  base
+  @ (if List.mem Isa_module.M isa then m else [])
+  @ if List.mem Isa_module.B isa then b else []
+
+let i_ops_all = [ ADDI; SLTI; SLTIU; XORI; ORI; ANDI ]
+let shift_ops_for isa =
+  [ SLLI; SRLI; SRAI ] @ if List.mem Isa_module.B isa then [ RORI ] else []
+
+let unary_ops_for isa =
+  if List.mem Isa_module.B isa then
+    [ CLZ; CTZ; CPOP; SEXT_B; SEXT_H; ZEXT_H; REV8; ORC_B ]
+  else []
+
+type gen = {
+  rng : Random.State.t;
+  cfg : config;
+  mutable next_label : int;
+  r_ops : op_r array;
+  shift_ops : op_shift array;
+  unary_ops : op_unary array;
+}
+
+let fresh_label g =
+  let l = g.next_label in
+  g.next_label <- l + 1;
+  l
+
+let pick g arr = arr.(Random.State.int g.rng (Array.length arr))
+let reg g = pick g pool
+let irange g lo hi = lo + Random.State.int g.rng (hi - lo + 1)
+
+let random_alu g =
+  match Random.State.int g.rng 4 with
+  | 0 -> I (Op (pick g g.r_ops, reg g, reg g, reg g))
+  | 1 ->
+      I (Op_imm (List.nth i_ops_all (Random.State.int g.rng 6), reg g, reg g,
+                 irange g (-2048) 2047))
+  | 2 -> I (Shift_imm (pick g g.shift_ops, reg g, reg g, irange g 0 31))
+  | _ ->
+      if Array.length g.unary_ops > 0 then
+        I (Unary (pick g g.unary_ops, reg g, reg g))
+      else I (Op (pick g g.r_ops, reg g, reg g, reg g))
+
+let alu_segment g = List.init (irange g 4 12) (fun _ -> random_alu g)
+
+let memory_segment g =
+  let off_w = irange g 0 ((data_window / 4) - 1) * 4 in
+  let off_b = irange g 0 (data_window - 1) in
+  let off_h = irange g 0 ((data_window / 2) - 1) * 2 in
+  [ I (Store (SW, reg g, Reg.gp, off_w));
+    I (Load (LW, reg g, Reg.gp, off_w));
+    I (Store (SB, reg g, Reg.gp, off_b));
+    I (Load (LBU, reg g, Reg.gp, off_b));
+    I (Store (SH, reg g, Reg.gp, off_h));
+    I (Load ((if Random.State.bool g.rng then LH else LHU), reg g, Reg.gp, off_h)) ]
+
+let loop_segment g =
+  let header = fresh_label g in
+  let n = irange g 2 g.cfg.max_loop_iters in
+  let body = List.init (irange g 2 6) (fun _ -> random_alu g) in
+  li 28 0 @ li 29 n
+  @ [ L header ]
+  @ body
+  @ [ I (Op_imm (ADDI, 28, 28, 1)); B (BLT, 28, 29, header) ]
+
+let forward_branch_segment g =
+  let skip = fresh_label g in
+  let filler = List.init (irange g 1 5) (fun _ -> random_alu g) in
+  let op = List.nth [ BEQ; BNE; BLT; BGE; BLTU; BGEU ] (Random.State.int g.rng 6) in
+  [ B (op, reg g, reg g, skip) ] @ filler @ [ L skip ]
+
+let fp_segment g =
+  let f1 = Random.State.int g.rng 16 and f2 = Random.State.int g.rng 16 in
+  let fd = Random.State.int g.rng 16 in
+  let op = List.nth [ FADD; FSUB; FMUL; FMIN; FMAX; FSGNJ ] (Random.State.int g.rng 6) in
+  [ I (Fmv_w_x (f1, reg g));
+    I (Fmv_w_x (f2, reg g));
+    I (Fp_op (op, fd, f1, f2));
+    (* compare, then move bits back into the integer pool *)
+    I (Fp_cmp (FLE, reg g, f1, f2));
+    I (Fmv_x_w (reg g, fd)) ]
+
+let amo_segment g =
+  let off = irange g 0 ((data_window / 4) - 1) * 4 in
+  (* x29 (outside the data pool) holds the 4-aligned target address, so
+     no random destination can corrupt it mid-segment *)
+  [ I (Op_imm (ADDI, 29, Reg.gp, off));
+    I (Lr (reg g, 29));
+    I (Sc (reg g, reg g, 29));
+    I (Amo (AMOADD, reg g, reg g, 29));
+    I (Amo (AMOXOR, reg g, reg g, 29));
+    I (Amo ((if Random.State.bool g.rng then AMOMIN else AMOMAXU),
+            reg g, reg g, 29)) ]
+
+let csr_segment g =
+  [ I (Csr (CSRRW, reg g, Csr.mscratch, reg g));
+    I (Csr (CSRRS, reg g, Csr.mscratch, Reg.zero)) ]
+
+let segment g =
+  let choices =
+    [ Some `Alu; Some `Alu;
+      (if g.cfg.allow_memory then Some `Mem else None);
+      (if g.cfg.allow_loops then Some `Loop else None);
+      Some `Fwd;
+      (if List.mem Isa_module.F g.cfg.isa then Some `Fp else None);
+      (if List.mem Isa_module.A g.cfg.isa && g.cfg.allow_memory then Some `Amo
+       else None);
+      (if List.mem Isa_module.Zicsr g.cfg.isa then Some `Csr else None) ]
+    |> List.filter_map Fun.id
+    |> Array.of_list
+  in
+  match pick g choices with
+  | `Alu -> alu_segment g
+  | `Mem -> memory_segment g
+  | `Loop -> loop_segment g
+  | `Fwd -> forward_branch_segment g
+  | `Fp -> fp_segment g
+  | `Amo -> amo_segment g
+  | `Csr -> csr_segment g
+
+let prologue g =
+  let init_reg r = li r (Random.State.int g.rng 0x3FFFFFFF) in
+  List.concat_map init_reg (Array.to_list pool)
+  @ li Reg.gp data_base
+  @ li Reg.tp S4e_soc.Memory_map.syscon_exit
+
+let epilogue _g =
+  (* fold the pool into a0 (x10), write the checksum to the syscon *)
+  let fold =
+    Array.to_list pool
+    |> List.filter (fun r -> r <> 10)
+    |> List.map (fun r -> I (Op (XOR, 10, 10, r)))
+  in
+  fold @ [ I (Store (SW, 10, Reg.tp, 0)); I Ebreak ]
+
+let generate cfg =
+  let g =
+    { rng = Random.State.make [| cfg.seed |];
+      cfg;
+      next_label = 0;
+      r_ops = Array.of_list (r_ops_for cfg.isa);
+      shift_ops = Array.of_list (shift_ops_for cfg.isa);
+      unary_ops = Array.of_list (unary_ops_for cfg.isa) }
+  in
+  let body = List.concat (List.init cfg.segments (fun _ -> segment g)) in
+  let items = prologue g @ body @ epilogue g in
+  materialize ~base:S4e_soc.Memory_map.ram_base ~compress:cfg.compress items
+
+let fuel_bound cfg =
+  let per_segment = (cfg.max_loop_iters + 2) * 10 in
+  (200 + (cfg.segments * per_segment)) * 2

@@ -1,0 +1,32 @@
+(** Random test-program generation — the RISC-V Torture equivalent.
+
+    Generated programs are self-contained: they initialize registers
+    with pseudo-random values, run a configurable number of segments
+    (straight-line ALU runs, memory bursts into a private data window,
+    bounded counted loops, forward branches), fold every live register
+    into a checksum, and exit through the syscon with the checksum as
+    status.  Termination is guaranteed by construction: loops are
+    counted with inferable bounds (usable for the WCET soundness
+    property test) and branches only jump forward.
+
+    Deterministic in the seed. *)
+
+type config = {
+  seed : int;
+  segments : int;  (** number of generated segments *)
+  isa : S4e_isa.Isa_module.t list;  (** instruction selection *)
+  allow_loops : bool;
+  allow_memory : bool;
+  max_loop_iters : int;  (** per generated counted loop *)
+  compress : bool;  (** emit RVC forms where possible *)
+}
+
+val default_config : config
+(** seed 1, 20 segments, RV32IM+B, loops and memory on, 16 iterations,
+    no compression. *)
+
+val generate : config -> S4e_asm.Program.t
+
+val fuel_bound : config -> int
+(** An instruction budget guaranteed to suffice for the generated
+    program (used as run fuel). *)

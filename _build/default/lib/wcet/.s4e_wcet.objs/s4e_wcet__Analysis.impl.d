@@ -1,0 +1,1 @@
+lib/wcet/analysis.ml: Array Block_time Format Hashtbl Ipet List Loop_bounds Option Printf S4e_asm S4e_cfg S4e_cpu

@@ -1,0 +1,1 @@
+lib/wcet/analysis.mli: Format Loop_bounds S4e_asm S4e_bits S4e_cpu

@@ -1,0 +1,1 @@
+lib/wcet/annotated_cfg.ml: Analysis Array Block_time Buffer Hashtbl List Printf S4e_asm S4e_cfg S4e_cpu Stdlib String

@@ -1,0 +1,1 @@
+lib/wcet/annotated_cfg.mli: Analysis Hashtbl S4e_asm S4e_bits S4e_cpu

@@ -1,0 +1,1 @@
+lib/wcet/block_time.ml: Array List S4e_cfg S4e_cpu S4e_isa

@@ -1,0 +1,1 @@
+lib/wcet/block_time.mli: S4e_cfg S4e_cpu

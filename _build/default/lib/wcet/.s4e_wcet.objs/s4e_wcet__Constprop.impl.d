@@ -1,0 +1,1 @@
+lib/wcet/constprop.ml: Array List S4e_bits S4e_cfg S4e_isa

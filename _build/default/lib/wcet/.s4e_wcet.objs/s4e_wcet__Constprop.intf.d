@@ -1,0 +1,1 @@
+lib/wcet/constprop.mli: S4e_cfg

@@ -1,0 +1,1 @@
+lib/wcet/ipet.ml: Array Fun Hashtbl Int List Loop_bounds S4e_cfg Set

@@ -1,0 +1,1 @@
+lib/wcet/ipet.mli: Loop_bounds S4e_bits S4e_cfg

@@ -1,0 +1,1 @@
+lib/wcet/loop_bounds.ml: Array Constprop Int List Option S4e_bits S4e_cfg S4e_isa Set

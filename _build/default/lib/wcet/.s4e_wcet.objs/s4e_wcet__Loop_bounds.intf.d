@@ -1,0 +1,1 @@
+lib/wcet/loop_bounds.mli: S4e_bits S4e_cfg

@@ -1,0 +1,1 @@
+lib/wcet/qta.ml: Annotated_cfg Hashtbl S4e_cpu

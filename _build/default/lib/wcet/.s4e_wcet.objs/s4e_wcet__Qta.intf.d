@@ -1,0 +1,1 @@
+lib/wcet/qta.mli: Annotated_cfg S4e_cpu

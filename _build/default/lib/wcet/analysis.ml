@@ -1,0 +1,145 @@
+module Cfg = S4e_cfg.Cfg
+module Dominators = S4e_cfg.Dominators
+module Loops = S4e_cfg.Loops
+module Callgraph = S4e_cfg.Callgraph
+module Program = S4e_asm.Program
+
+type word = int
+
+type loop_info = {
+  li_header_pc : word;
+  li_bound : int;
+  li_source : Loop_bounds.source;
+}
+
+type func_report = {
+  fr_entry : word;
+  fr_name : string option;
+  fr_blocks : int;
+  fr_edges : int;
+  fr_loops : loop_info list;
+  fr_wcet : int;
+}
+
+type report = {
+  program_wcet : int;
+  functions : func_report list;
+  model : S4e_cpu.Timing_model.t;
+}
+
+type error =
+  | E_unbounded_loop of word
+  | E_irreducible of word
+  | E_indirect_jump of word
+  | E_recursion
+
+let describe_error = function
+  | E_unbounded_loop pc ->
+      Printf.sprintf
+        "loop at 0x%08x has no inferable bound; annotate its header label" pc
+  | E_irreducible pc -> Printf.sprintf "function 0x%08x has irreducible control flow" pc
+  | E_indirect_jump pc ->
+      Printf.sprintf "block at 0x%08x ends in an indirect jump" pc
+  | E_recursion -> "the call graph is recursive"
+
+exception Err of error
+
+let name_of_addr (p : Program.t) addr =
+  List.find_map
+    (fun (name, a) -> if a = addr && name <> "_start" then Some name else None)
+    p.Program.symbols
+  |> function
+  | Some n -> Some n
+  | None -> if Some addr = Program.symbol p "_start" then Some "_start" else None
+
+let analyze ?(model = S4e_cpu.Timing_model.default) ?(annotations = []) p =
+  try
+    let decode = Cfg.decoder_of_program p in
+    let ann_by_pc = Hashtbl.create 8 in
+    List.iter
+      (fun (label, bound) ->
+        match Program.symbol p label with
+        | Some pc -> Hashtbl.replace ann_by_pc pc bound
+        | None -> ())
+      annotations;
+    let cg = Callgraph.build ~decode ~entry:p.Program.entry in
+    if Callgraph.is_recursive cg then raise (Err E_recursion);
+    let order = Callgraph.topological cg in
+    let wcet_by_entry = Hashtbl.create 8 in
+    let reports =
+      List.map
+        (fun fentry ->
+          let g =
+            match Callgraph.find cg fentry with
+            | Some g -> g
+            | None -> assert false
+          in
+          let dom = Dominators.compute g in
+          if not (Loops.reducible g dom) then raise (Err (E_irreducible fentry));
+          let loops = Loops.compute g dom in
+          let bounds =
+            Loop_bounds.infer g dom loops ~annotations:(Hashtbl.find_opt ann_by_pc)
+          in
+          let base_costs = Block_time.all_blocks model g in
+          let costs =
+            Array.mapi
+              (fun i c ->
+                match g.Cfg.blocks.(i).Cfg.terminator with
+                | Cfg.T_call { callee; _ } -> (
+                    match Hashtbl.find_opt wcet_by_entry callee with
+                    | Some w -> c + w
+                    | None -> raise (Err E_recursion))
+                | _ -> c)
+              base_costs
+          in
+          let result =
+            try Ipet.function_wcet g dom loops ~costs ~bounds with
+            | Ipet.Unbounded_loop pc -> raise (Err (E_unbounded_loop pc))
+            | Ipet.Irreducible -> raise (Err (E_irreducible fentry))
+            | Ipet.Indirect_jump pc -> raise (Err (E_indirect_jump pc))
+          in
+          Hashtbl.replace wcet_by_entry fentry result.Ipet.wcet;
+          let loop_infos =
+            List.map
+              (fun (i, b, src) ->
+                { li_header_pc =
+                    g.Cfg.blocks.(loops.Loops.loops.(i).Loops.header)
+                      .Cfg.start_pc;
+                  li_bound = b;
+                  li_source = src })
+              bounds.Loop_bounds.bounds
+          in
+          { fr_entry = fentry;
+            fr_name = name_of_addr p fentry;
+            fr_blocks = Cfg.block_count g;
+            fr_edges = Cfg.edge_count g;
+            fr_loops = loop_infos;
+            fr_wcet = result.Ipet.wcet })
+        order
+    in
+    let program_wcet =
+      match Hashtbl.find_opt wcet_by_entry p.Program.entry with
+      | Some w -> w
+      | None -> 0
+    in
+    Ok { program_wcet; functions = reports; model }
+  with
+  | Err e -> Error e
+  | Failure _ -> Error E_recursion
+
+let pp_report fmt r =
+  Format.fprintf fmt "program WCET: %d cycles@." r.program_wcet;
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "  function %s @@ 0x%08x: wcet=%d blocks=%d edges=%d@."
+        (Option.value f.fr_name ~default:"?")
+        f.fr_entry f.fr_wcet f.fr_blocks f.fr_edges;
+      List.iter
+        (fun l ->
+          Format.fprintf fmt "    loop @@ 0x%08x: bound=%d (%s)@."
+            l.li_header_pc l.li_bound
+            (match l.li_source with
+            | Loop_bounds.Inferred -> "inferred"
+            | Loop_bounds.Annotated -> "annotated"))
+        f.fr_loops)
+    r.functions

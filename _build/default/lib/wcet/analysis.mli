@@ -1,0 +1,48 @@
+(** End-to-end static WCET analysis of a program image — the aiT-role
+    component of the QTA flow.
+
+    Pipeline: binary -> call graph -> per-function CFG, dominators,
+    loops -> loop bounds (inference + annotations) -> hierarchical IPET,
+    callee-first so call blocks charge their callee's WCET. *)
+
+type word = S4e_bits.Bits.word
+
+type loop_info = {
+  li_header_pc : word;
+  li_bound : int;
+  li_source : Loop_bounds.source;
+}
+
+type func_report = {
+  fr_entry : word;
+  fr_name : string option;  (** symbol naming the entry, if any *)
+  fr_blocks : int;
+  fr_edges : int;
+  fr_loops : loop_info list;
+  fr_wcet : int;  (** cycles, callees included *)
+}
+
+type report = {
+  program_wcet : int;
+  functions : func_report list;  (** callee-first *)
+  model : S4e_cpu.Timing_model.t;
+}
+
+type error =
+  | E_unbounded_loop of word
+  | E_irreducible of word  (** function entry *)
+  | E_indirect_jump of word
+  | E_recursion
+
+val describe_error : error -> string
+
+val analyze :
+  ?model:S4e_cpu.Timing_model.t ->
+  ?annotations:(string * int) list ->
+  S4e_asm.Program.t ->
+  (report, error) result
+(** [annotations] are (label, bound) pairs: the label must be a program
+    symbol at a loop-header address.  Bounds are maximum header
+    executions per loop entry. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,196 @@
+module Cfg = S4e_cfg.Cfg
+module Dominators = S4e_cfg.Dominators
+module Loops = S4e_cfg.Loops
+module Callgraph = S4e_cfg.Callgraph
+module Program = S4e_asm.Program
+
+type word = int
+
+type ablock = { ab_pc : word; ab_wcet : int; ab_instrs : int }
+type aedge = { ae_from : word; ae_to : word; ae_kind : string }
+
+type afunc = {
+  af_entry : word;
+  af_name : string option;
+  af_blocks : ablock list;
+  af_edges : aedge list;
+  af_loops : (word * int) list;
+  af_wcet : int;
+}
+
+type t = {
+  entry : word;
+  program_wcet : int;
+  funcs : afunc list;
+}
+
+let edges_of_block (b : Cfg.block) =
+  match b.Cfg.terminator with
+  | Cfg.T_branch { taken; fallthrough } ->
+      [ { ae_from = b.Cfg.start_pc; ae_to = taken; ae_kind = "taken" };
+        { ae_from = b.Cfg.start_pc; ae_to = fallthrough; ae_kind = "fall" } ]
+  | Cfg.T_goto target ->
+      [ { ae_from = b.Cfg.start_pc; ae_to = target; ae_kind = "goto" } ]
+  | Cfg.T_call { return_to; _ } ->
+      [ { ae_from = b.Cfg.start_pc; ae_to = return_to; ae_kind = "return-to" } ]
+  | Cfg.T_ret | Cfg.T_indirect | Cfg.T_halt -> []
+
+let of_program ?(model = S4e_cpu.Timing_model.default) ?(annotations = []) p =
+  match Analysis.analyze ~model ~annotations p with
+  | Error e -> Error e
+  | Ok report ->
+      let decode = Cfg.decoder_of_program p in
+      let cg = Callgraph.build ~decode ~entry:p.Program.entry in
+      let funcs =
+        List.map
+          (fun (fr : Analysis.func_report) ->
+            let g =
+              match Callgraph.find cg fr.Analysis.fr_entry with
+              | Some g -> g
+              | None -> assert false
+            in
+            let blocks =
+              Array.to_list g.Cfg.blocks
+              |> List.map (fun (b : Cfg.block) ->
+                     { ab_pc = b.Cfg.start_pc;
+                       ab_wcet = Block_time.block_wcet model b;
+                       ab_instrs = Array.length b.Cfg.instrs })
+            in
+            let edges =
+              Array.to_list g.Cfg.blocks |> List.concat_map edges_of_block
+            in
+            { af_entry = fr.Analysis.fr_entry;
+              af_name = fr.Analysis.fr_name;
+              af_blocks = blocks;
+              af_edges = edges;
+              af_loops =
+                List.map
+                  (fun (l : Analysis.loop_info) ->
+                    (l.Analysis.li_header_pc, l.Analysis.li_bound))
+                  fr.Analysis.fr_loops;
+              af_wcet = fr.Analysis.fr_wcet })
+          report.Analysis.functions
+      in
+      Ok
+        { entry = p.Program.entry;
+          program_wcet = report.Analysis.program_wcet;
+          funcs }
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "qta-cfg v1\n";
+  pf "entry 0x%08x\n" t.entry;
+  pf "program-wcet %d\n" t.program_wcet;
+  List.iter
+    (fun f ->
+      pf "function 0x%08x%s\n" f.af_entry
+        (match f.af_name with Some n -> " " ^ n | None -> "");
+      List.iter
+        (fun b -> pf "  block 0x%08x %d %d\n" b.ab_pc b.ab_wcet b.ab_instrs)
+        f.af_blocks;
+      List.iter
+        (fun e -> pf "  edge 0x%08x 0x%08x %s\n" e.ae_from e.ae_to e.ae_kind)
+        f.af_edges;
+      List.iter (fun (h, b) -> pf "  loop 0x%08x %d\n" h b) f.af_loops;
+      pf "  wcet %d\n" f.af_wcet;
+      pf "end\n")
+    t.funcs;
+  Buffer.contents buf
+
+type parse_state = {
+  mutable ps_entry : word option;
+  mutable ps_wcet : int option;
+  mutable ps_funcs : afunc list;
+  mutable ps_cur : afunc option;
+}
+
+let of_string s =
+  let err fmt = Printf.ksprintf (fun m -> Stdlib.Error m) fmt in
+  let ps = { ps_entry = None; ps_wcet = None; ps_funcs = []; ps_cur = None } in
+  let lines = String.split_on_char '\n' s in
+  let parse_word w =
+    match int_of_string_opt w with
+    | Some v -> Ok v
+    | None -> err "bad number %S" w
+  in
+  let rec go lineno = function
+    | [] -> (
+        match (ps.ps_entry, ps.ps_wcet, ps.ps_cur) with
+        | Some entry, Some program_wcet, None ->
+            Ok { entry; program_wcet; funcs = List.rev ps.ps_funcs }
+        | None, _, _ -> err "missing entry line"
+        | _, None, _ -> err "missing program-wcet line"
+        | _, _, Some _ -> err "unterminated function")
+    | line :: rest -> (
+        let tokens =
+          String.split_on_char ' ' (String.trim line)
+          |> List.filter (fun t -> t <> "")
+        in
+        let continue () = go (lineno + 1) rest in
+        let ( let* ) r k = match r with Ok v -> k v | Stdlib.Error e -> Stdlib.Error e in
+        match (tokens, ps.ps_cur) with
+        | [], _ -> continue ()
+        | [ "qta-cfg"; "v1" ], _ -> continue ()
+        | [ "entry"; a ], None ->
+            let* v = parse_word a in
+            ps.ps_entry <- Some v;
+            continue ()
+        | [ "program-wcet"; a ], None ->
+            let* v = parse_word a in
+            ps.ps_wcet <- Some v;
+            continue ()
+        | "function" :: a :: name_opt, None ->
+            let* v = parse_word a in
+            ps.ps_cur <-
+              Some
+                { af_entry = v;
+                  af_name = (match name_opt with [ n ] -> Some n | _ -> None);
+                  af_blocks = []; af_edges = []; af_loops = []; af_wcet = 0 };
+            continue ()
+        | [ "block"; a; w; n ], Some f ->
+            let* a = parse_word a in
+            let* w = parse_word w in
+            let* n = parse_word n in
+            ps.ps_cur <-
+              Some
+                { f with
+                  af_blocks = { ab_pc = a; ab_wcet = w; ab_instrs = n } :: f.af_blocks };
+            continue ()
+        | [ "edge"; a; b; k ], Some f ->
+            let* a = parse_word a in
+            let* b = parse_word b in
+            ps.ps_cur <-
+              Some
+                { f with
+                  af_edges = { ae_from = a; ae_to = b; ae_kind = k } :: f.af_edges };
+            continue ()
+        | [ "loop"; h; b ], Some f ->
+            let* h = parse_word h in
+            let* b = parse_word b in
+            ps.ps_cur <- Some { f with af_loops = (h, b) :: f.af_loops };
+            continue ()
+        | [ "wcet"; w ], Some f ->
+            let* w = parse_word w in
+            ps.ps_cur <- Some { f with af_wcet = w };
+            continue ()
+        | [ "end" ], Some f ->
+            ps.ps_funcs <-
+              { f with
+                af_blocks = List.rev f.af_blocks;
+                af_edges = List.rev f.af_edges;
+                af_loops = List.rev f.af_loops }
+              :: ps.ps_funcs;
+            ps.ps_cur <- None;
+            continue ()
+        | t :: _, _ -> err "line %d: unexpected token %S" lineno t)
+  in
+  go 1 lines
+
+let block_wcet_table t =
+  let table = Hashtbl.create 256 in
+  List.iter
+    (fun f ->
+      List.iter (fun b -> Hashtbl.replace table b.ab_pc b.ab_wcet) f.af_blocks)
+    t.funcs;
+  table

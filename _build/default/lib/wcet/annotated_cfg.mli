@@ -1,0 +1,49 @@
+(** The WCET-annotated CFG exchange format ("ait2qta" equivalent).
+
+    In the published QTA flow, an aiT report is preprocessed into a
+    timing-annotated control-flow graph which QEMU then loads next to
+    the binary.  This module is that interchange artifact: a plain-text,
+    line-oriented format carrying blocks with their WCETs, edges, loop
+    bounds, and per-function WCETs.  {!to_string}/{!of_string} round
+    trip (property-tested), so the artifact can be produced offline and
+    shipped to the co-simulator. *)
+
+type word = S4e_bits.Bits.word
+
+type ablock = { ab_pc : word; ab_wcet : int; ab_instrs : int }
+
+type aedge = {
+  ae_from : word;
+  ae_to : word;
+  ae_kind : string;  (** "taken" | "fall" | "goto" | "return-to" *)
+}
+
+type afunc = {
+  af_entry : word;
+  af_name : string option;
+  af_blocks : ablock list;
+  af_edges : aedge list;
+  af_loops : (word * int) list;  (** (header pc, bound) *)
+  af_wcet : int;
+}
+
+type t = {
+  entry : word;
+  program_wcet : int;
+  funcs : afunc list;
+}
+
+val of_program :
+  ?model:S4e_cpu.Timing_model.t ->
+  ?annotations:(string * int) list ->
+  S4e_asm.Program.t ->
+  (t, Analysis.error) result
+(** Runs the full static analysis and packages it as the exchange
+    artifact. *)
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+
+val block_wcet_table : t -> (word, int) Hashtbl.t
+(** block start pc -> block WCET over every function (for the
+    co-simulator). *)

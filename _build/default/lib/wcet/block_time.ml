@@ -1,0 +1,42 @@
+module Instr = S4e_isa.Instr
+module Timing_model = S4e_cpu.Timing_model
+
+(* Worst-case load-use stalls of one block: exact for consecutive
+   intra-block pairs (the stall happens iff the dependency exists), plus
+   one conservative stall at the block's first instruction to cover a
+   trailing load in whichever block ran before. *)
+let hazard_cycles model (b : S4e_cfg.Cfg.block) =
+  let h = model.Timing_model.load_use_hazard in
+  if h = 0 then 0
+  else
+    let instrs = b.S4e_cfg.Cfg.instrs in
+    let n = Array.length instrs in
+    if n = 0 then 0
+    else begin
+      let total = ref 0 in
+      (* cross-block entry stall *)
+      let _, _, first = instrs.(0) in
+      if Instr.sources first <> [] || Instr.fp_sources first <> [] then
+        total := !total + h;
+      for i = 0 to n - 2 do
+        let _, _, producer = instrs.(i) in
+        let _, _, consumer = instrs.(i + 1) in
+        let stalls =
+          match producer with
+          | Instr.Load (_, rd, _, _) -> List.mem rd (Instr.sources consumer)
+          | Instr.Flw (frd, _, _) -> List.mem frd (Instr.fp_sources consumer)
+          | _ -> false
+        in
+        if stalls then total := !total + h
+      done;
+      !total
+    end
+
+let block_wcet model (b : S4e_cfg.Cfg.block) =
+  Array.fold_left
+    (fun acc (_, _, instr) -> acc + Timing_model.worst_cost model instr)
+    0 b.S4e_cfg.Cfg.instrs
+  + hazard_cycles model b
+
+let all_blocks model (g : S4e_cfg.Cfg.t) =
+  Array.map (block_wcet model) g.S4e_cfg.Cfg.blocks

@@ -1,0 +1,10 @@
+(** Per-block worst-case cycle counts.
+
+    A block's WCET is the sum of {!S4e_cpu.Timing_model.worst_cost} over
+    its instructions — the same table the emulator charges dynamically,
+    so static >= dynamic holds instruction by instruction. *)
+
+val block_wcet : S4e_cpu.Timing_model.t -> S4e_cfg.Cfg.block -> int
+
+val all_blocks : S4e_cpu.Timing_model.t -> S4e_cfg.Cfg.t -> int array
+(** Indexed by block id. *)

@@ -1,0 +1,157 @@
+open S4e_isa.Instr
+module Bits = S4e_bits.Bits
+module Cfg = S4e_cfg.Cfg
+
+type state = int option array
+
+let unknown_all () =
+  let s = Array.make 32 None in
+  s.(0) <- Some 0;
+  s
+
+let get (s : state) r = if r = 0 then Some 0 else s.(r)
+
+let set (s : state) r v = if r <> 0 then s.(r) <- v
+
+let transfer_instr (s : state) instr =
+  match instr with
+  | Lui (rd, imm20) -> set s rd (Some (imm20 lsl 12))
+  | Auipc (rd, _) -> set s rd None
+  | Op_imm (op, rd, rs1, imm) ->
+      set s rd
+        (match get s rs1 with
+        | Some a -> (
+            match op with
+            | ADDI -> Some (Bits.add a (Bits.of_signed imm))
+            | SLTI -> Some (if Bits.lt_signed a (Bits.of_signed imm) then 1 else 0)
+            | SLTIU ->
+                Some (if Bits.lt_unsigned a (Bits.of_signed imm) then 1 else 0)
+            | XORI -> Some (Bits.logxor a (Bits.of_signed imm))
+            | ORI -> Some (Bits.logor a (Bits.of_signed imm))
+            | ANDI -> Some (Bits.logand a (Bits.of_signed imm)))
+        | None -> None)
+  | Shift_imm (op, rd, rs1, sh) ->
+      set s rd
+        (match get s rs1 with
+        | Some a ->
+            Some
+              (match op with
+              | SLLI -> Bits.sll a sh
+              | SRLI -> Bits.srl a sh
+              | SRAI -> Bits.sra a sh
+              | RORI -> Bits.ror a sh
+              | BSETI -> Bits.bset a sh
+              | BCLRI -> Bits.bclr a sh
+              | BINVI -> Bits.binv a sh
+              | BEXTI -> Bits.bext a sh)
+        | None -> None)
+  | Op (op, rd, rs1, rs2) ->
+      set s rd
+        (match (get s rs1, get s rs2) with
+        | Some a, Some b -> (
+            match op with
+            | ADD -> Some (Bits.add a b)
+            | SUB -> Some (Bits.sub a b)
+            | SLL -> Some (Bits.sll a b)
+            | SLT -> Some (if Bits.lt_signed a b then 1 else 0)
+            | SLTU -> Some (if Bits.lt_unsigned a b then 1 else 0)
+            | XOR -> Some (Bits.logxor a b)
+            | SRL -> Some (Bits.srl a b)
+            | SRA -> Some (Bits.sra a b)
+            | OR -> Some (Bits.logor a b)
+            | AND -> Some (Bits.logand a b)
+            | MUL -> Some (Bits.mul a b)
+            | MULH -> Some (Bits.mulh a b)
+            | MULHSU -> Some (Bits.mulhsu a b)
+            | MULHU -> Some (Bits.mulhu a b)
+            | DIV -> Some (Bits.div a b)
+            | DIVU -> Some (Bits.divu a b)
+            | REM -> Some (Bits.rem a b)
+            | REMU -> Some (Bits.remu a b)
+            | ANDN -> Some (Bits.andn a b)
+            | ORN -> Some (Bits.orn a b)
+            | XNOR -> Some (Bits.xnor a b)
+            | ROL -> Some (Bits.rol a b)
+            | ROR -> Some (Bits.ror a b)
+            | MIN -> Some (Bits.min_signed a b)
+            | MAX -> Some (Bits.max_signed a b)
+            | MINU -> Some (Bits.min_unsigned a b)
+            | MAXU -> Some (Bits.max_unsigned a b)
+            | BSET -> Some (Bits.bset a b)
+            | BCLR -> Some (Bits.bclr a b)
+            | BINV -> Some (Bits.binv a b)
+            | BEXT -> Some (Bits.bext a b))
+        | _, _ -> None)
+  | Unary (op, rd, rs1) ->
+      set s rd
+        (match get s rs1 with
+        | Some a ->
+            Some
+              (match op with
+              | CLZ -> Bits.clz a
+              | CTZ -> Bits.ctz a
+              | CPOP -> Bits.popcount a
+              | SEXT_B -> Bits.sext ~width:8 a
+              | SEXT_H -> Bits.sext ~width:16 a
+              | ZEXT_H -> Bits.zext ~width:16 a
+              | REV8 -> Bits.rev8 a
+              | ORC_B -> Bits.orc_b a)
+        | None -> None)
+  | Load (_, rd, _, _) | Csr (_, rd, _, _)
+  | Lr (rd, _) | Sc (rd, _, _) | Amo (_, rd, _, _) -> set s rd None
+  | Jal (rd, _) | Jalr (rd, _, _) -> set s rd None
+  | Fp_cmp (_, rd, _, _) | Fcvt_w_s (rd, _, _) | Fmv_x_w (rd, _) ->
+      set s rd None
+  | Branch _ | Store _ | Fence | Fence_i | Ecall | Ebreak | Mret | Wfi
+  | Flw _ | Fsw _ | Fp_op _ | Fsqrt _ | Fcvt_s_w _ | Fmv_w_x _ -> ()
+
+let transfer_block (s : state) (b : Cfg.block) =
+  let s = Array.copy s in
+  Array.iter (fun (_, _, instr) -> transfer_instr s instr) b.Cfg.instrs;
+  (* A call clobbers every register (no calling-convention assumptions). *)
+  (match b.Cfg.terminator with
+  | Cfg.T_call _ ->
+      for r = 1 to 31 do
+        s.(r) <- None
+      done
+  | Cfg.T_branch _ | Cfg.T_goto _ | Cfg.T_ret | Cfg.T_indirect | Cfg.T_halt ->
+      ());
+  s
+
+let join a b =
+  Array.init 32 (fun i ->
+      match (a.(i), b.(i)) with
+      | Some x, Some y when x = y -> Some x
+      | _, _ -> None)
+
+let entry_states (g : Cfg.t) =
+  let n = Array.length g.Cfg.blocks in
+  let states = Array.make n None in
+  states.(g.Cfg.entry) <- Some (unknown_all ());
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun (b : Cfg.block) ->
+        match states.(b.Cfg.id) with
+        | None -> ()
+        | Some s_in ->
+            let s_out = transfer_block s_in b in
+            List.iter
+              (fun succ ->
+                let merged =
+                  match states.(succ) with
+                  | None -> s_out
+                  | Some old -> join old s_out
+                in
+                match states.(succ) with
+                | Some old when old = merged -> ()
+                | _ ->
+                    states.(succ) <- Some merged;
+                    changed := true)
+              g.Cfg.succs.(b.Cfg.id))
+      g.Cfg.blocks
+  done;
+  Array.map
+    (function Some s -> s | None -> unknown_all ())
+    states

@@ -1,0 +1,17 @@
+(** Intraprocedural constant propagation over GPRs.
+
+    A path-insensitive forward dataflow used by the loop-bound
+    inference to learn counter initial values and invariant bound
+    registers.  The lattice per register is flat: unknown / constant.
+    Calls clobber every register (conservative); loads and CSR reads
+    produce unknown. *)
+
+type state = int option array
+(** index = register; [Some v] = register is provably [v] here. *)
+
+val entry_states : S4e_cfg.Cfg.t -> state array
+(** Per block id, register constants at block entry.  The function
+    entry starts all-unknown except [x0 = 0]. *)
+
+val transfer_block : state -> S4e_cfg.Cfg.block -> state
+(** Applies all instructions of a block (functional: returns a copy). *)

@@ -1,0 +1,123 @@
+module Cfg = S4e_cfg.Cfg
+module Dominators = S4e_cfg.Dominators
+module Loops = S4e_cfg.Loops
+
+type word = int
+
+exception Unbounded_loop of word
+exception Irreducible
+exception Indirect_jump of word
+
+type result = {
+  wcet : int;
+  effective_costs : int array;
+  critical_block : int;
+}
+
+module Iset = Set.Make (Int)
+
+(* Longest path over the back-edge-free DAG restricted to [nodes],
+   starting at [start], with node weights [weight].  Returns the
+   distance array (-1 = unreachable within the restriction). *)
+let longest_paths g ~is_back_edge ~nodes ~start ~weight =
+  let n = Array.length g.Cfg.blocks in
+  let inside v = Iset.mem v nodes in
+  (* topological order by DFS over DAG edges *)
+  let mark = Array.make n 0 in
+  let topo = ref [] in
+  let rec dfs v =
+    if mark.(v) = 0 then begin
+      mark.(v) <- 1;
+      List.iter
+        (fun s -> if inside s && not (is_back_edge v s) then dfs s)
+        g.Cfg.succs.(v);
+      topo := v :: !topo
+    end
+  in
+  dfs start;
+  let dist = Array.make n (-1) in
+  dist.(start) <- weight start;
+  List.iter
+    (fun v ->
+      if dist.(v) >= 0 then
+        List.iter
+          (fun s ->
+            if inside s && not (is_back_edge v s) then begin
+              let cand = dist.(v) + weight s in
+              if cand > dist.(s) then dist.(s) <- cand
+            end)
+          g.Cfg.succs.(v))
+    !topo;
+  dist
+
+let function_wcet (g : Cfg.t) dom (loops : Loops.t) ~costs ~bounds =
+  if not (Loops.reducible g dom) then raise Irreducible;
+  (* reject reachable indirect jumps *)
+  Array.iter
+    (fun (b : Cfg.block) ->
+      match b.Cfg.terminator with
+      | Cfg.T_indirect when Dominators.reachable dom b.Cfg.id ->
+          raise (Indirect_jump b.Cfg.start_pc)
+      | _ -> ())
+    g.Cfg.blocks;
+  let all_back_edges =
+    Array.to_list g.Cfg.blocks
+    |> List.concat_map (fun (b : Cfg.block) ->
+           List.filter_map
+             (fun s ->
+               if Dominators.reachable dom b.Cfg.id
+                  && Dominators.dominates dom s b.Cfg.id
+               then Some (b.Cfg.id, s)
+               else None)
+             g.Cfg.succs.(b.Cfg.id))
+  in
+  let back_set = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace back_set e ()) all_back_edges;
+  let is_back_edge a b = Hashtbl.mem back_set (a, b) in
+  let n = Array.length g.Cfg.blocks in
+  let effective = Array.copy costs in
+  (* innermost-first: larger depth first *)
+  let order =
+    List.sort
+      (fun i j ->
+        compare loops.Loops.loops.(j).Loops.depth
+          loops.Loops.loops.(i).Loops.depth)
+      (List.init (Array.length loops.Loops.loops) Fun.id)
+  in
+  List.iter
+    (fun li ->
+      let loop = loops.Loops.loops.(li) in
+      let bound =
+        match Loop_bounds.bound_of bounds li with
+        | Some b -> b
+        | None ->
+            raise
+              (Unbounded_loop g.Cfg.blocks.(loop.Loops.header).Cfg.start_pc)
+      in
+      let body = Iset.of_list loop.Loops.body in
+      let dist =
+        longest_paths g ~is_back_edge ~nodes:body ~start:loop.Loops.header
+          ~weight:(fun v -> effective.(v))
+      in
+      let iter_cost =
+        List.fold_left
+          (fun acc (latch, _) -> max acc dist.(latch))
+          0 loop.Loops.back_edges
+      in
+      effective.(loop.Loops.header) <-
+        effective.(loop.Loops.header) + (bound * iter_cost))
+    order;
+  let everything = Iset.of_list (List.init n Fun.id) in
+  let dist =
+    longest_paths g ~is_back_edge ~nodes:everything ~start:g.Cfg.entry
+      ~weight:(fun v -> effective.(v))
+  in
+  let wcet = ref 0 and critical = ref g.Cfg.entry in
+  Array.iteri
+    (fun v d ->
+      if d > !wcet then begin
+        wcet := d;
+        critical := v
+      end)
+    dist;
+  { wcet = !wcet; effective_costs = effective; critical_block = !critical }

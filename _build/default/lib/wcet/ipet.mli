@@ -1,0 +1,36 @@
+(** Hierarchical longest-path WCET (IPET on a DAG).
+
+    The classic ILP-based implicit path enumeration is replaced by a
+    structural analysis that is exact on reducible graphs with loop
+    bounds (DESIGN.md decision 4): process loops innermost-first, charge
+    each loop header [bound x (longest header-to-latch path within the
+    body)] extra cycles, then take the longest path through the
+    back-edge-free DAG.  Sound because every execution path decomposes
+    into the DAG path plus complete loop iterations, each of which costs
+    at most the charged maximum. *)
+
+type word = S4e_bits.Bits.word
+
+(** Header pc of a loop with no bound. *)
+exception Unbounded_loop of word
+
+exception Irreducible
+
+(** Start pc of a reachable block ending in a computed jump. *)
+exception Indirect_jump of word
+
+type result = {
+  wcet : int;
+  effective_costs : int array;  (** per block id: cost + loop extras *)
+  critical_block : int;  (** block id where the longest path ends *)
+}
+
+val function_wcet :
+  S4e_cfg.Cfg.t ->
+  S4e_cfg.Dominators.t ->
+  S4e_cfg.Loops.t ->
+  costs:int array ->
+  bounds:Loop_bounds.t ->
+  result
+(** [costs] is per block id and must already include callee WCETs for
+    call blocks. *)

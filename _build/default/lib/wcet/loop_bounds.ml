@@ -1,0 +1,168 @@
+open S4e_isa.Instr
+module Bits = S4e_bits.Bits
+module Cfg = S4e_cfg.Cfg
+module Dominators = S4e_cfg.Dominators
+module Loops = S4e_cfg.Loops
+
+type word = int
+type source = Inferred | Annotated
+
+type t = {
+  bounds : (int * int * source) list;
+  unbounded : int list;
+}
+
+let max_inferred_iterations = 1 lsl 20
+
+module Iset = Set.Make (Int)
+
+(* How often and how is register [r] written inside the loop body?
+   Returns [`Never], [`Single_addi delta] when the only write is one
+   [addi r, r, delta] (in a block that runs every iteration), or
+   [`Other]. *)
+let counter_update (g : Cfg.t) dom body latches r =
+  let writes = ref [] in
+  Iset.iter
+    (fun bid ->
+      let b = g.Cfg.blocks.(bid) in
+      Array.iter
+        (fun (_, _, instr) ->
+          match destination instr with
+          | Some rd when rd = r && rd <> 0 -> writes := (bid, instr) :: !writes
+          | Some _ | None -> ())
+        b.Cfg.instrs;
+      (* calls clobber everything *)
+      match b.Cfg.terminator with
+      | Cfg.T_call _ -> writes := (bid, Ecall) :: !writes
+      | _ -> ())
+    body;
+  match !writes with
+  | [] -> `Never
+  | [ (bid, Op_imm (ADDI, rd, rs1, delta)) ] when rd = r && rs1 = r ->
+      (* the update must execute on every iteration: its block has to
+         dominate every latch *)
+      if List.for_all (fun l -> Dominators.dominates dom bid l) latches then
+        `Single_addi delta
+      else `Other
+  | _ -> `Other
+
+(* Initial value of [r] on loop entry: join of the out-states of the
+   header's predecessors that lie outside the loop. *)
+let entry_value (g : Cfg.t) entry_states body header r =
+  let outside_preds =
+    List.filter (fun p -> not (Iset.mem p body)) g.Cfg.preds.(header)
+  in
+  let values =
+    List.map
+      (fun p ->
+        let out = Constprop.transfer_block entry_states.(p) g.Cfg.blocks.(p) in
+        out.(r))
+      outside_preds
+  in
+  match values with
+  | [] -> None
+  | v :: rest ->
+      List.fold_left
+        (fun acc v ->
+          match (acc, v) with
+          | Some a, Some b when a = b -> Some a
+          | _ -> None)
+        v rest
+
+(* Is [r] invariant (never written) in the body, with a known constant
+   value at loop entry? *)
+let invariant_value g dom entry_states body latches header r =
+  if r = 0 then Some 0
+  else
+    match counter_update g dom body latches r with
+    | `Never -> entry_value g entry_states body header r
+    | `Single_addi _ | `Other -> None
+
+let eval_branch op a b =
+  match op with
+  | BEQ -> a = b
+  | BNE -> a <> b
+  | BLT -> Bits.lt_signed a b
+  | BGE -> Bits.ge_signed a b
+  | BLTU -> Bits.lt_unsigned a b
+  | BGEU -> Bits.ge_unsigned a b
+
+(* Smallest m >= 0 with exit condition true for counter value
+   v0 + m*delta, or None within the cap. *)
+let first_exit ~v0 ~delta ~exit_cond =
+  let rec go m v =
+    if m > max_inferred_iterations then None
+    else if exit_cond v then Some m
+    else go (m + 1) (Bits.add v (Bits.of_signed delta))
+  in
+  go 0 v0
+
+(* Try to bound the loop via one exit branch. *)
+let try_exit_branch (g : Cfg.t) dom entry_states (loop : Loops.loop) bid =
+  let body = Iset.of_list loop.Loops.body in
+  let latches = List.map fst loop.Loops.back_edges in
+  let b = g.Cfg.blocks.(bid) in
+  match b.Cfg.terminator with
+  | Cfg.T_branch { taken; fallthrough } -> (
+      let taken_id = Cfg.block_at g taken in
+      let fall_id = Cfg.block_at g fallthrough in
+      let outside id =
+        match id with Some i -> not (Iset.mem i body) | None -> true
+      in
+      let exit_on_taken = outside taken_id in
+      let exit_on_fall = outside fall_id in
+      if exit_on_taken = exit_on_fall then None (* not a loop exit test *)
+      else
+        (* the branch is the last instruction of the block *)
+        match b.Cfg.instrs.(Array.length b.Cfg.instrs - 1) with
+        | _, _, Branch (op, r1, r2, _) ->
+            let attempt counter bound ~counter_is_r1 =
+              match counter_update g dom body latches counter with
+              | `Single_addi delta when delta <> 0 -> (
+                  match
+                    ( entry_value g entry_states body loop.Loops.header counter,
+                      invariant_value g dom entry_states body latches
+                        loop.Loops.header bound )
+                  with
+                  | Some v0, Some vb ->
+                      let exit_cond v =
+                        let a, b = if counter_is_r1 then (v, vb) else (vb, v) in
+                        let cond = eval_branch op a b in
+                        if exit_on_taken then cond else not cond
+                      in
+                      (* +1 pads for update-before-test vs after. *)
+                      Option.map
+                        (fun m -> m + 1)
+                        (first_exit ~v0 ~delta ~exit_cond)
+                  | _, _ -> None)
+              | `Never | `Single_addi _ | `Other -> None
+            in
+            (match attempt r1 r2 ~counter_is_r1:true with
+            | Some n -> Some n
+            | None -> attempt r2 r1 ~counter_is_r1:false)
+        | _, _, _ -> None)
+  | Cfg.T_goto _ | Cfg.T_call _ | Cfg.T_ret | Cfg.T_indirect | Cfg.T_halt ->
+      None
+
+let infer_loop g dom entry_states (loop : Loops.loop) =
+  let candidates = List.map fst loop.Loops.exits |> List.sort_uniq compare in
+  let bounds = List.filter_map (try_exit_branch g dom entry_states loop) candidates in
+  match bounds with [] -> None | l -> Some (List.fold_left min max_int l)
+
+let infer g dom (loops : Loops.t) ~annotations =
+  let entry_states = Constprop.entry_states g in
+  let bounds = ref [] and unbounded = ref [] in
+  Array.iteri
+    (fun i (loop : Loops.loop) ->
+      let header_pc = g.Cfg.blocks.(loop.Loops.header).Cfg.start_pc in
+      match annotations header_pc with
+      | Some b -> bounds := (i, b, Annotated) :: !bounds
+      | None -> (
+          match infer_loop g dom entry_states loop with
+          | Some b -> bounds := (i, b, Inferred) :: !bounds
+          | None -> unbounded := i :: !unbounded))
+    loops.Loops.loops;
+  { bounds = List.rev !bounds; unbounded = List.rev !unbounded }
+
+let bound_of t i =
+  List.find_map (fun (j, b, _) -> if i = j then Some b else None) t.bounds

@@ -1,0 +1,38 @@
+(** Loop-bound inference — the ecosystem's stand-in for aiT's value
+    analysis.
+
+    For counted loops of the common compiled shape (a counter updated by
+    one [addi] per iteration, tested against a loop-invariant constant
+    by the exit branch), the bound is derived exactly by simulating the
+    counter against the branch condition; the result is then padded by
+    one iteration to stay sound regardless of whether the update
+    precedes or follows the test.  Anything else needs an annotation
+    (keyed by the loop-header address, usually supplied via a label).
+
+    A bound is the maximum number of times the loop header executes per
+    entry to the loop. *)
+
+type word = S4e_bits.Bits.word
+
+type source = Inferred | Annotated
+
+type t = {
+  bounds : (int * int * source) list;
+      (** (loop index, bound, provenance) for every bounded loop *)
+  unbounded : int list;  (** loop indices with no bound *)
+}
+
+val infer :
+  S4e_cfg.Cfg.t ->
+  S4e_cfg.Dominators.t ->
+  S4e_cfg.Loops.t ->
+  annotations:(word -> int option) ->
+  t
+(** [annotations header_pc] supplies a user bound for the loop headed at
+    that address; it wins over inference. *)
+
+val bound_of : t -> int -> int option
+(** Bound for a loop index. *)
+
+val max_inferred_iterations : int
+(** Simulation cap; loops running longer must be annotated. *)

@@ -1,0 +1,54 @@
+type t = {
+  table : (int, int) Hashtbl.t;
+  visited : (int, unit) Hashtbl.t;
+  mutable path_wcet : int;
+  mutable blocks_entered : int;
+  static_wcet : int;
+  mutable hook_id : S4e_cpu.Hooks.id option;
+}
+
+type report = {
+  path_wcet : int;
+  blocks_entered : int;
+  distinct_blocks : int;
+  static_wcet : int;
+}
+
+let attach (m : S4e_cpu.Machine.t) (acfg : Annotated_cfg.t) =
+  let t =
+    { table = Annotated_cfg.block_wcet_table acfg;
+      visited = Hashtbl.create 64;
+      path_wcet = 0;
+      blocks_entered = 0;
+      static_wcet = acfg.Annotated_cfg.program_wcet;
+      hook_id = None }
+  in
+  let id =
+    S4e_cpu.Hooks.on_insn m.S4e_cpu.Machine.hooks (fun pc _instr ->
+        match Hashtbl.find_opt t.table pc with
+        | Some wcet ->
+            t.path_wcet <- t.path_wcet + wcet;
+            t.blocks_entered <- t.blocks_entered + 1;
+            if not (Hashtbl.mem t.visited pc) then Hashtbl.replace t.visited pc ()
+        | None -> ())
+  in
+  t.hook_id <- Some id;
+  t
+
+let detach (m : S4e_cpu.Machine.t) t =
+  match t.hook_id with
+  | Some id ->
+      S4e_cpu.Hooks.unregister m.S4e_cpu.Machine.hooks id;
+      t.hook_id <- None
+  | None -> ()
+
+let reset (t : t) =
+  t.path_wcet <- 0;
+  t.blocks_entered <- 0;
+  Hashtbl.reset t.visited
+
+let report (t : t) =
+  { path_wcet = t.path_wcet;
+    blocks_entered = t.blocks_entered;
+    distinct_blocks = Hashtbl.length t.visited;
+    static_wcet = t.static_wcet }

@@ -1,0 +1,31 @@
+(** QTA co-simulation: replaying WCET annotations during emulation.
+
+    The QEMU Timing Analyzer loads a binary together with its
+    WCET-annotated CFG and simulates both: as the program executes, each
+    entered block contributes its statically computed worst-case cycles,
+    yielding the worst-case time of the *executed path*.  Three numbers
+    then satisfy, for every run (property-tested):
+
+    {v dynamic cycles <= path WCET <= static program WCET v}
+
+    The left inequality holds because every block's WCET bounds its
+    dynamic cost; the right because the static bound maximizes over all
+    paths.
+
+    Implementation: an instruction hook ({!S4e_cpu.Hooks.on_insn})
+    watches for block-start pcs, which is robust to the emulator's own
+    translation-block boundaries differing from CFG block boundaries. *)
+
+type t
+
+type report = {
+  path_wcet : int;  (** accumulated worst-case cycles of the executed path *)
+  blocks_entered : int;  (** block entries counted *)
+  distinct_blocks : int;
+  static_wcet : int;  (** the annotated CFG's program WCET *)
+}
+
+val attach : S4e_cpu.Machine.t -> Annotated_cfg.t -> t
+val detach : S4e_cpu.Machine.t -> t -> unit
+val reset : t -> unit
+val report : t -> report

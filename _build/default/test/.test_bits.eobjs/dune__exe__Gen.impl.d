@@ -1,0 +1,1 @@
+test/gen.ml: Instr QCheck S4e_isa

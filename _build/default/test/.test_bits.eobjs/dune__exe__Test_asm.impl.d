@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Bytes Decode Format Gen Instr List Printf QCheck QCheck_alcotest S4e_asm S4e_bits S4e_isa S4e_mem S4e_torture String

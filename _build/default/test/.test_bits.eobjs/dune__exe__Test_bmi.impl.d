@@ -1,0 +1,1 @@
+test/test_bmi.ml: Alcotest List Option QCheck QCheck_alcotest Random S4e_bits S4e_bmi S4e_core S4e_wcet

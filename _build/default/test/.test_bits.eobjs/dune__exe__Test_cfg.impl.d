@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Hashtbl List Option Printf QCheck QCheck_alcotest S4e_asm S4e_cfg S4e_cpu S4e_isa S4e_torture

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Array Csr Hashtbl Isa_module List S4e_asm S4e_core S4e_coverage S4e_cpu S4e_isa S4e_torture

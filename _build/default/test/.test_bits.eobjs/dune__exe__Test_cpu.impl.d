@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Array Csr Float Gen Instr Int32 Isa_module List Printf QCheck QCheck_alcotest S4e_asm S4e_bits S4e_cpu S4e_isa S4e_mem S4e_torture

@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Array Hashtbl List Option Printf QCheck QCheck_alcotest S4e_asm S4e_coverage S4e_cpu S4e_fault S4e_mem

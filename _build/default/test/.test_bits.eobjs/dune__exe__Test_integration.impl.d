@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Filename List Option S4e_asm S4e_core S4e_coverage S4e_cpu S4e_fault S4e_soc S4e_torture S4e_wcet Sys

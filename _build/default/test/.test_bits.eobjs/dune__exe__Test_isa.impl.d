@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Compressed Csr Decode Decodetree Encode Fields Gen Instr Isa_module List Option Printf QCheck QCheck_alcotest Reg S4e_isa String

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Char Gen List QCheck QCheck_alcotest S4e_mem String

@@ -1,0 +1,1 @@
+test/test_mutation.ml: Alcotest Decode Encode Gen Instr List Option QCheck QCheck_alcotest S4e_asm S4e_cpu S4e_isa S4e_mem S4e_mutation

@@ -1,0 +1,1 @@
+test/test_rtos.ml: Alcotest List Printf QCheck QCheck_alcotest S4e_asm S4e_rtos String

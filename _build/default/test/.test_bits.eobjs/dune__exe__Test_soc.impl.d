@@ -1,0 +1,1 @@
+test/test_soc.ml: Alcotest Buffer Char List S4e_mem S4e_soc String

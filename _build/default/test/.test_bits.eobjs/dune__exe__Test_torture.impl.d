@@ -1,0 +1,1 @@
+test/test_torture.ml: Alcotest Hashtbl Instr Isa_module List QCheck QCheck_alcotest S4e_asm S4e_cpu S4e_isa S4e_torture

@@ -1,0 +1,1 @@
+test/test_wcet.ml: Alcotest Array List Option Printf QCheck QCheck_alcotest S4e_asm S4e_cfg S4e_core S4e_cpu S4e_torture S4e_wcet

@@ -1,0 +1,98 @@
+(* Shared QCheck generators for the test suites. *)
+
+open S4e_isa
+open S4e_isa.Instr
+
+let reg = QCheck.Gen.int_bound 31
+let freg = QCheck.Gen.int_bound 31
+let imm12 = QCheck.Gen.int_range (-2048) 2047
+let imm20 = QCheck.Gen.int_bound 0xFFFFF
+let shamt = QCheck.Gen.int_bound 31
+
+(* even, 13-bit signed *)
+let branch_off = QCheck.Gen.map (fun i -> i * 2) (QCheck.Gen.int_range (-2048) 2047)
+
+(* even, 21-bit signed *)
+let jal_off =
+  QCheck.Gen.map (fun i -> i * 2) (QCheck.Gen.int_range (-524288) 524287)
+
+let op_r =
+  QCheck.Gen.oneofl
+    [ ADD; SUB; SLL; SLT; SLTU; XOR; SRL; SRA; OR; AND; MUL; MULH; MULHSU;
+      MULHU; DIV; DIVU; REM; REMU; ANDN; ORN; XNOR; ROL; ROR; MIN; MAX;
+      MINU; MAXU; BSET; BCLR; BINV; BEXT ]
+
+let op_i = QCheck.Gen.oneofl [ ADDI; SLTI; SLTIU; XORI; ORI; ANDI ]
+let op_shift =
+  QCheck.Gen.oneofl [ SLLI; SRLI; SRAI; RORI; BSETI; BCLRI; BINVI; BEXTI ]
+let op_load = QCheck.Gen.oneofl [ LB; LH; LW; LBU; LHU ]
+let op_store = QCheck.Gen.oneofl [ SB; SH; SW ]
+let op_branch = QCheck.Gen.oneofl [ BEQ; BNE; BLT; BGE; BLTU; BGEU ]
+
+let op_unary =
+  QCheck.Gen.oneofl [ CLZ; CTZ; CPOP; SEXT_B; SEXT_H; ZEXT_H; REV8; ORC_B ]
+
+let op_csr =
+  QCheck.Gen.oneofl [ CSRRW; CSRRS; CSRRC; CSRRWI; CSRRSI; CSRRCI ]
+
+let op_fp =
+  QCheck.Gen.oneofl [ FADD; FSUB; FMUL; FDIV; FMIN; FMAX; FSGNJ; FSGNJN; FSGNJX ]
+
+let op_fp_cmp = QCheck.Gen.oneofl [ FEQ; FLT; FLE ]
+
+let op_amo =
+  QCheck.Gen.oneofl
+    [ AMOSWAP; AMOADD; AMOXOR; AMOAND; AMOOR; AMOMIN; AMOMAX; AMOMINU;
+      AMOMAXU ]
+
+let csr_addr = QCheck.Gen.int_bound 0xFFF
+
+let instr_gen : Instr.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  oneof
+    [ map2 (fun rd imm -> Lui (rd, imm)) reg imm20;
+      map2 (fun rd imm -> Auipc (rd, imm)) reg imm20;
+      map2 (fun rd off -> Jal (rd, off)) reg jal_off;
+      map3 (fun rd rs1 imm -> Jalr (rd, rs1, imm)) reg reg imm12;
+      map3 (fun op (rs1, rs2) off -> Branch (op, rs1, rs2, off)) op_branch
+        (pair reg reg) branch_off;
+      map3 (fun op (rd, rs1) imm -> Load (op, rd, rs1, imm)) op_load
+        (pair reg reg) imm12;
+      map3 (fun op (src, base) imm -> Store (op, src, base, imm)) op_store
+        (pair reg reg) imm12;
+      map3 (fun op (rd, rs1) imm -> Op_imm (op, rd, rs1, imm)) op_i
+        (pair reg reg) imm12;
+      map3 (fun op (rd, rs1) sh -> Shift_imm (op, rd, rs1, sh)) op_shift
+        (pair reg reg) shamt;
+      map3 (fun op (rd, rs1) rs2 -> Op (op, rd, rs1, rs2)) op_r
+        (pair reg reg) reg;
+      map2 (fun op (rd, rs1) -> Unary (op, rd, rs1)) op_unary (pair reg reg);
+      oneofl [ Fence; Fence_i; Ecall; Ebreak; Mret; Wfi ];
+      map3 (fun op (rd, csr) src -> Csr (op, rd, csr, src)) op_csr
+        (pair reg csr_addr) reg;
+      map3 (fun frd base imm -> Flw (frd, base, imm)) freg reg imm12;
+      map3 (fun fsrc base imm -> Fsw (fsrc, base, imm)) freg reg imm12;
+      map3 (fun op (frd, frs1) frs2 -> Fp_op (op, frd, frs1, frs2)) op_fp
+        (pair freg freg) freg;
+      map3 (fun op (rd, frs1) frs2 -> Fp_cmp (op, rd, frs1, frs2)) op_fp_cmp
+        (pair reg freg) freg;
+      map2 (fun frd frs1 -> Fsqrt (frd, frs1)) freg freg;
+      map3 (fun rd frs1 u -> Fcvt_w_s (rd, frs1, u)) reg freg bool;
+      map3 (fun frd rs1 u -> Fcvt_s_w (frd, rs1, u)) freg reg bool;
+      map2 (fun rd frs1 -> Fmv_x_w (rd, frs1)) reg freg;
+      map2 (fun frd rs1 -> Fmv_w_x (frd, rs1)) freg reg;
+      map2 (fun rd rs1 -> Lr (rd, rs1)) reg reg;
+      map3 (fun rd src rs1 -> Sc (rd, src, rs1)) reg reg reg;
+      map3 (fun op (rd, src) rs1 -> Amo (op, rd, src, rs1)) op_amo
+        (pair reg reg) reg ]
+
+let instr =
+  QCheck.make ~print:Instr.to_string instr_gen
+
+let word32 = QCheck.map (fun i -> i land 0xFFFF_FFFF) QCheck.int
+
+(* A random word in the 32-bit encoding space (low bits = 11). *)
+let encoding_word = QCheck.map (fun w -> w lor 0x3) word32
+
+let halfword =
+  QCheck.map (fun i -> i land 0xFFFF) QCheck.int

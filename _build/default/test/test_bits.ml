@@ -1,0 +1,158 @@
+(* Unit and property tests for the 32-bit word layer.  Everything else
+   in the emulator leans on these semantics, so they get both directed
+   corner cases and algebraic property checks. *)
+
+module Bits = S4e_bits.Bits
+
+let check = Alcotest.(check int)
+let word32 = QCheck.map (fun i -> i land 0xFFFF_FFFF) QCheck.int
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count:500 gen f)
+
+(* ---------------- directed cases ---------------- *)
+
+let test_mask_and_sign () =
+  check "mask32 wraps" 0 (Bits.mask32 0x1_0000_0000);
+  check "mask32 id" 0xFFFF_FFFF (Bits.mask32 0xFFFF_FFFF);
+  check "to_signed max" 0x7FFF_FFFF (Bits.to_signed 0x7FFF_FFFF);
+  check "to_signed min" (-0x8000_0000) (Bits.to_signed 0x8000_0000);
+  check "to_signed -1" (-1) (Bits.to_signed 0xFFFF_FFFF);
+  check "of_signed -1" 0xFFFF_FFFF (Bits.of_signed (-1));
+  Alcotest.(check bool) "is_word hi" false (Bits.is_word 0x1_0000_0000);
+  Alcotest.(check bool) "is_word neg" false (Bits.is_word (-1))
+
+let test_arith_corners () =
+  check "add wrap" 0 (Bits.add 0xFFFF_FFFF 1);
+  check "sub wrap" 0xFFFF_FFFF (Bits.sub 0 1);
+  check "mul wrap" 1 (Bits.mul 0xFFFF_FFFF 0xFFFF_FFFF);
+  (* RISC-V division corner cases *)
+  check "div by zero" 0xFFFF_FFFF (Bits.div 5 0);
+  check "divu by zero" 0xFFFF_FFFF (Bits.divu 5 0);
+  check "rem by zero" 5 (Bits.rem 5 0);
+  check "remu by zero" 5 (Bits.remu 5 0);
+  check "div overflow" 0x8000_0000 (Bits.div 0x8000_0000 0xFFFF_FFFF);
+  check "rem overflow" 0 (Bits.rem 0x8000_0000 0xFFFF_FFFF);
+  check "div trunc" (Bits.of_signed (-2)) (Bits.div (Bits.of_signed (-7)) 3);
+  check "rem sign" (Bits.of_signed (-1)) (Bits.rem (Bits.of_signed (-7)) 3)
+
+let test_mulh_corners () =
+  check "mulh max*max" 0x3FFF_FFFF (Bits.mulh 0x7FFF_FFFF 0x7FFF_FFFF);
+  check "mulhu max" 0xFFFF_FFFE (Bits.mulhu 0xFFFF_FFFF 0xFFFF_FFFF);
+  check "mulh min*min" 0x4000_0000 (Bits.mulh 0x8000_0000 0x8000_0000);
+  check "mulhsu -1*max" 0xFFFF_FFFF (Bits.mulhsu 0xFFFF_FFFF 0xFFFF_FFFF);
+  check "mulh 0" 0 (Bits.mulh 0 0xFFFF_FFFF)
+
+let test_shifts () =
+  check "sll by 0" 5 (Bits.sll 5 0);
+  check "sll masks amount" 10 (Bits.sll 5 33);
+  check "srl sign-free" 0x7FFF_FFFF (Bits.srl 0xFFFF_FFFE 1);
+  check "sra keeps sign" 0xFFFF_FFFF (Bits.sra 0x8000_0000 31);
+  check "rol 1" 1 (Bits.rol 0x8000_0000 1);
+  check "ror 1" 0x8000_0000 (Bits.ror 1 1)
+
+let test_counting () =
+  check "popcount 0" 0 (Bits.popcount 0);
+  check "popcount ff" 8 (Bits.popcount 0xFF);
+  check "popcount all" 32 (Bits.popcount 0xFFFF_FFFF);
+  check "clz 0" 32 (Bits.clz 0);
+  check "clz 1" 31 (Bits.clz 1);
+  check "clz msb" 0 (Bits.clz 0x8000_0000);
+  check "ctz 0" 32 (Bits.ctz 0);
+  check "ctz msb" 31 (Bits.ctz 0x8000_0000);
+  check "ctz 1" 0 (Bits.ctz 1)
+
+let test_bytes () =
+  check "rev8" 0x78563412 (Bits.rev8 0x12345678);
+  check "orc_b" 0xFF0000FF (Bits.orc_b 0x12000034);
+  check "get_byte" 0x34 (Bits.get_byte 2 0x12345678);
+  check "set_byte" 0x12AA5678 (Bits.set_byte 2 0xAA 0x12345678)
+
+let test_fields () =
+  check "bits mid" 0x345 (Bits.bits ~hi:23 ~lo:12 0x12345678);
+  check "bit" 1 (Bits.bit 31 0x8000_0000);
+  check "set_bit on" 0x10 (Bits.set_bit 4 true 0);
+  check "set_bit off" 0 (Bits.set_bit 4 false 0x10);
+  check "flip twice" 42 (Bits.flip_bit 7 (Bits.flip_bit 7 42));
+  check "sext 8 pos" 0x7F (Bits.sext ~width:8 0x7F);
+  check "sext 8 neg" 0xFFFF_FF80 (Bits.sext ~width:8 0x80);
+  check "zext 16" 0xFFFF (Bits.zext ~width:16 0xFFFF_FFFF)
+
+(* ---------------- properties ---------------- *)
+
+let props =
+  [ prop "add produces canonical words" (QCheck.pair word32 word32)
+      (fun (a, b) -> Bits.is_word (Bits.add a b));
+    prop "sub inverse of add" (QCheck.pair word32 word32) (fun (a, b) ->
+        Bits.sub (Bits.add a b) b = a);
+    prop "to_signed/of_signed roundtrip" word32 (fun w ->
+        Bits.of_signed (Bits.to_signed w) = w);
+    prop "int32 roundtrip" word32 (fun w ->
+        Bits.of_int32 (Bits.to_int32 w) = w);
+    prop "mulhu/mulh against Int64" (QCheck.pair word32 word32)
+      (fun (a, b) ->
+        let p64 = Int64.mul (Int64.of_int a) (Int64.of_int b) in
+        let expect = Int64.to_int (Int64.shift_right_logical p64 32) in
+        Bits.mulhu a b = expect);
+    prop "mulh against exact product" (QCheck.pair word32 word32)
+      (fun (a, b) ->
+        (* (min, min) is the one pair whose 63-bit product overflows the
+           host int; it is covered by a directed test instead *)
+        QCheck.assume (not (a = 0x8000_0000 && b = 0x8000_0000));
+        let p = Bits.to_signed a * Bits.to_signed b in
+        Bits.mulh a b = Bits.mask32 (p asr 32));
+    prop "div*b + rem = a (signed, b<>0)" (QCheck.pair word32 word32)
+      (fun (a, b) ->
+        QCheck.assume (b <> 0);
+        let q = Bits.to_signed (Bits.div a b) in
+        let r = Bits.to_signed (Bits.rem a b) in
+        Bits.mask32 ((q * Bits.to_signed b) + r) = a);
+    prop "divu*b + remu = a (b<>0)" (QCheck.pair word32 word32)
+      (fun (a, b) ->
+        QCheck.assume (b <> 0);
+        Bits.mask32 ((Bits.divu a b * b) + Bits.remu a b) = a);
+    prop "rol/ror inverse" (QCheck.pair word32 QCheck.small_nat)
+      (fun (w, n) -> Bits.ror (Bits.rol w n) n = w);
+    prop "rol = ror of complement amount" (QCheck.pair word32 QCheck.small_nat)
+      (fun (w, n) ->
+        let n = n land 31 in
+        QCheck.assume (n <> 0);
+        Bits.rol w n = Bits.ror w (32 - n));
+    prop "popcount of complement" word32 (fun w ->
+        Bits.popcount w + Bits.popcount (Bits.lognot w) = 32);
+    prop "clz+ctz <= 32 for nonzero" word32 (fun w ->
+        QCheck.assume (w <> 0);
+        Bits.clz w + Bits.ctz w <= 31);
+    prop "clz via shifting" word32 (fun w ->
+        QCheck.assume (w <> 0);
+        Bits.sll w (Bits.clz w) land 0x8000_0000 <> 0);
+    prop "rev8 involutive" word32 (fun w -> Bits.rev8 (Bits.rev8 w) = w);
+    prop "andn definition" (QCheck.pair word32 word32) (fun (a, b) ->
+        Bits.andn a b = Bits.logand a (Bits.lognot b));
+    prop "orn definition" (QCheck.pair word32 word32) (fun (a, b) ->
+        Bits.orn a b = Bits.logor a (Bits.lognot b));
+    prop "xnor definition" (QCheck.pair word32 word32) (fun (a, b) ->
+        Bits.xnor a b = Bits.lognot (Bits.logxor a b));
+    prop "min/max partition" (QCheck.pair word32 word32) (fun (a, b) ->
+        let lo = Bits.min_signed a b and hi = Bits.max_signed a b in
+        (lo = a && hi = b) || (lo = b && hi = a));
+    prop "sra floors like arithmetic shift" (QCheck.pair word32 QCheck.small_nat)
+      (fun (w, n) ->
+        let n = n land 31 in
+        Bits.to_signed (Bits.sra w n) = Bits.to_signed w asr n);
+    prop "sext idempotent at same width" (QCheck.pair word32 QCheck.small_nat)
+      (fun (w, n) ->
+        let width = 1 + (n mod 32) in
+        let once = Bits.sext ~width w in
+        Bits.sext ~width once = once) ]
+
+let () =
+  Alcotest.run "bits"
+    [ ( "unit",
+        [ Alcotest.test_case "mask and sign" `Quick test_mask_and_sign;
+          Alcotest.test_case "arithmetic corners" `Quick test_arith_corners;
+          Alcotest.test_case "mulh corners" `Quick test_mulh_corners;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+          Alcotest.test_case "counting" `Quick test_counting;
+          Alcotest.test_case "bytes" `Quick test_bytes;
+          Alcotest.test_case "fields" `Quick test_fields ] );
+      ("properties", props) ]

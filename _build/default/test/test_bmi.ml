@@ -1,0 +1,134 @@
+(* BMI kernel tests: functional equivalence of the two dialects, the
+   expected speedup direction, and WCET-analyzability. *)
+
+module Kernels = S4e_bmi.Kernels
+
+let prop name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count:10 gen f)
+
+let seed_gen = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 10_000)
+
+let test_all_kernels_present () =
+  Alcotest.(check int) "seven kernels" 7 (List.length Kernels.all);
+  Alcotest.(check bool) "find works" true (Kernels.find "popcount" <> None);
+  Alcotest.(check bool) "find rejects" true (Kernels.find "nope" = None)
+
+let test_variants_agree_directed () =
+  List.iter
+    (fun k ->
+      let base = Kernels.measure k Kernels.Base ~n:64 ~seed:7 in
+      let bmi = Kernels.measure k Kernels.Bmi ~n:64 ~seed:7 in
+      Alcotest.(check int)
+        (k.Kernels.k_name ^ " same checksum")
+        base.Kernels.m_checksum bmi.Kernels.m_checksum;
+      Alcotest.(check bool)
+        (k.Kernels.k_name ^ " bmi uses fewer instructions")
+        true
+        (bmi.Kernels.m_instret < base.Kernels.m_instret))
+    Kernels.all
+
+let test_speedups_positive () =
+  List.iter
+    (fun k ->
+      let s = Kernels.speedup k ~n:128 ~seed:11 in
+      Alcotest.(check bool) (k.Kernels.k_name ^ " speedup > 1") true (s > 1.0))
+    Kernels.all
+
+let test_popcount_value () =
+  (* cross-validate the kernel against a host-side computation *)
+  let n = 32 and seed = 3 in
+  let rng = Random.State.make [| seed |] in
+  let rand32 () =
+    (Random.State.bits rng lor (Random.State.bits rng lsl 15)) land 0xFFFF_FFFF
+  in
+  let expected =
+    List.fold_left ( + ) 0
+      (List.init n (fun _ -> S4e_bits.Bits.popcount (rand32 ())))
+  in
+  let k = Option.get (Kernels.find "popcount") in
+  let m = Kernels.measure k Kernels.Bmi ~n ~seed in
+  Alcotest.(check int) "kernel matches host popcount" expected
+    m.Kernels.m_checksum
+
+let test_bytes_value () =
+  let n = 16 and seed = 9 in
+  let rng = Random.State.make [| seed |] in
+  let rand32 () =
+    (Random.State.bits rng lor (Random.State.bits rng lsl 15)) land 0xFFFF_FFFF
+  in
+  let expected =
+    List.fold_left
+      (fun acc v -> S4e_bits.Bits.logxor acc (S4e_bits.Bits.rev8 v))
+      0
+      (List.init n (fun _ -> rand32 ()))
+  in
+  let k = Option.get (Kernels.find "bytes") in
+  let m = Kernels.measure k Kernels.Bmi ~n ~seed in
+  Alcotest.(check int) "kernel matches host rev8 fold" expected
+    m.Kernels.m_checksum
+
+let test_kernels_wcet_analyzable () =
+  List.iter
+    (fun k ->
+      List.iter
+        (fun variant ->
+          let p = Kernels.program k variant ~n:32 ~seed:5 in
+          match S4e_wcet.Analysis.analyze p with
+          | Ok r ->
+              Alcotest.(check bool)
+                (k.Kernels.k_name ^ " has positive wcet")
+                true
+                (r.S4e_wcet.Analysis.program_wcet > 0)
+          | Error e ->
+              Alcotest.failf "%s/%s not analyzable: %s" k.Kernels.k_name
+                (match variant with Kernels.Base -> "base" | Kernels.Bmi -> "bmi")
+                (S4e_wcet.Analysis.describe_error e))
+        [ Kernels.Base; Kernels.Bmi ])
+    Kernels.all
+
+let test_wcet_bounds_dynamic_for_kernels () =
+  List.iter
+    (fun k ->
+      let p = Kernels.program k Kernels.Base ~n:32 ~seed:5 in
+      match S4e_core.Flows.wcet_flow p with
+      | Ok r ->
+          Alcotest.(check bool)
+            (k.Kernels.k_name ^ " dynamic <= static")
+            true
+            (r.S4e_core.Flows.wr_dynamic <= r.S4e_core.Flows.wr_static)
+      | Error e ->
+          Alcotest.failf "%s: %s" k.Kernels.k_name
+            (S4e_wcet.Analysis.describe_error e))
+    Kernels.all
+
+let props =
+  [ prop "variants agree for any seed"
+      (QCheck.pair seed_gen (QCheck.make QCheck.Gen.(int_range 1 100)))
+      (fun (seed, n) ->
+        List.for_all
+          (fun k ->
+            let b = Kernels.measure k Kernels.Base ~n ~seed in
+            let m = Kernels.measure k Kernels.Bmi ~n ~seed in
+            b.Kernels.m_checksum = m.Kernels.m_checksum)
+          Kernels.all);
+    prop "cycles scale with input size" seed_gen (fun seed ->
+        List.for_all
+          (fun k ->
+            let small = Kernels.measure k Kernels.Bmi ~n:16 ~seed in
+            let large = Kernels.measure k Kernels.Bmi ~n:64 ~seed in
+            large.Kernels.m_cycles > small.Kernels.m_cycles)
+          Kernels.all) ]
+
+let () =
+  Alcotest.run "bmi"
+    [ ( "kernels",
+        [ Alcotest.test_case "registry" `Quick test_all_kernels_present;
+          Alcotest.test_case "variants agree" `Quick test_variants_agree_directed;
+          Alcotest.test_case "speedups" `Quick test_speedups_positive;
+          Alcotest.test_case "popcount value" `Quick test_popcount_value;
+          Alcotest.test_case "bytes value" `Quick test_bytes_value;
+          Alcotest.test_case "wcet analyzable" `Quick
+            test_kernels_wcet_analyzable;
+          Alcotest.test_case "wcet bounds dynamic" `Quick
+            test_wcet_bounds_dynamic_for_kernels ] );
+      ("properties", props) ]

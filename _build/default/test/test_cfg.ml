@@ -1,0 +1,362 @@
+(* CFG reconstruction, dominators, loops, and call-graph tests —
+   including the structural invariants promised in cfg.mli. *)
+
+module Cfg = S4e_cfg.Cfg
+module Dom = S4e_cfg.Dominators
+module Loops = S4e_cfg.Loops
+module Callgraph = S4e_cfg.Callgraph
+
+let prop name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count:60 gen f)
+
+let cfg_of_asm src =
+  let p = S4e_asm.Assembler.assemble_exn src in
+  let decode = Cfg.decoder_of_program p in
+  (p, Cfg.build ~decode ~entry:p.S4e_asm.Program.entry)
+
+let diamond_src = {|
+_start:
+  li   a0, 5
+  beqz a0, else_arm
+  addi a1, a1, 1
+  j    join
+else_arm:
+  addi a1, a1, 2
+join:
+  ebreak
+|}
+
+let loop_src = {|
+_start:
+  li   a0, 0
+  li   a1, 10
+head:
+  addi a0, a0, 1
+  blt  a0, a1, head
+  ebreak
+|}
+
+let nested_loop_src = {|
+_start:
+  li   s0, 0
+  li   s1, 4
+outer:
+  li   s2, 0
+  li   s3, 3
+inner:
+  addi s2, s2, 1
+  blt  s2, s3, inner
+  addi s0, s0, 1
+  blt  s0, s1, outer
+  ebreak
+|}
+
+let call_src = {|
+_start:
+  call f
+  call g
+  ebreak
+f:
+  call g
+  ret
+g:
+  ret
+|}
+
+let test_diamond_shape () =
+  let _, g = cfg_of_asm diamond_src in
+  Alcotest.(check int) "blocks" 4 (Cfg.block_count g);
+  Alcotest.(check int) "edges" 4 (Cfg.edge_count g);
+  Alcotest.(check int) "entry succs" 2 (List.length g.Cfg.succs.(g.Cfg.entry))
+
+let test_terminators () =
+  let _, g = cfg_of_asm diamond_src in
+  let kinds =
+    Array.to_list g.Cfg.blocks
+    |> List.map (fun b ->
+           match b.Cfg.terminator with
+           | Cfg.T_branch _ -> "branch"
+           | Cfg.T_goto _ -> "goto"
+           | Cfg.T_call _ -> "call"
+           | Cfg.T_ret -> "ret"
+           | Cfg.T_indirect -> "indirect"
+           | Cfg.T_halt -> "halt")
+  in
+  Alcotest.(check (list string)) "kinds" [ "branch"; "goto"; "goto"; "halt" ]
+    kinds
+
+let test_dominators_diamond () =
+  let _, g = cfg_of_asm diamond_src in
+  let dom = Dom.compute g in
+  (* entry dominates everything *)
+  Array.iter
+    (fun (b : Cfg.block) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "entry dom %d" b.Cfg.id)
+        true
+        (Dom.dominates dom g.Cfg.entry b.Cfg.id))
+    g.Cfg.blocks;
+  (* neither arm dominates the join *)
+  let join = 3 in
+  Alcotest.(check bool) "then !dom join" false (Dom.dominates dom 1 join);
+  Alcotest.(check bool) "else !dom join" false (Dom.dominates dom 2 join);
+  Alcotest.(check int) "join idom is entry" g.Cfg.entry dom.Dom.idom.(join)
+
+let test_loop_detection () =
+  let _, g = cfg_of_asm loop_src in
+  let dom = Dom.compute g in
+  let loops = Loops.compute g dom in
+  Alcotest.(check int) "one loop" 1 (Array.length loops.Loops.loops);
+  let l = loops.Loops.loops.(0) in
+  Alcotest.(check (list int)) "body is header only" [ l.Loops.header ]
+    l.Loops.body;
+  Alcotest.(check int) "depth" 1 l.Loops.depth;
+  Alcotest.(check int) "one exit" 1 (List.length l.Loops.exits);
+  Alcotest.(check bool) "reducible" true (Loops.reducible g dom)
+
+let test_nested_loops () =
+  let _, g = cfg_of_asm nested_loop_src in
+  let dom = Dom.compute g in
+  let loops = Loops.compute g dom in
+  Alcotest.(check int) "two loops" 2 (Array.length loops.Loops.loops);
+  let depths =
+    Array.to_list loops.Loops.loops
+    |> List.map (fun l -> l.Loops.depth)
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "nesting depths" [ 1; 2 ] depths;
+  let inner =
+    Array.to_list loops.Loops.loops |> List.find (fun l -> l.Loops.depth = 2)
+  in
+  let outer =
+    Array.to_list loops.Loops.loops |> List.find (fun l -> l.Loops.depth = 1)
+  in
+  Alcotest.(check (option int)) "inner parent" (Some 0)
+    (Option.map
+       (fun p -> if loops.Loops.loops.(p) == outer then 0 else 1)
+       inner.Loops.parent);
+  Alcotest.(check bool) "inner body inside outer" true
+    (List.for_all (fun b -> List.mem b outer.Loops.body) inner.Loops.body)
+
+let test_callgraph () =
+  let p, _ = cfg_of_asm call_src in
+  let decode = Cfg.decoder_of_program p in
+  let cg = Callgraph.build ~decode ~entry:p.S4e_asm.Program.entry in
+  Alcotest.(check int) "three functions" 3
+    (List.length cg.Callgraph.functions);
+  Alcotest.(check bool) "not recursive" false (Callgraph.is_recursive cg);
+  let order = Callgraph.topological cg in
+  let f = Option.get (S4e_asm.Program.symbol p "f") in
+  let g = Option.get (S4e_asm.Program.symbol p "g") in
+  let pos x =
+    let rec go i = function
+      | [] -> -1
+      | y :: rest -> if x = y then i else go (i + 1) rest
+    in
+    go 0 order
+  in
+  Alcotest.(check bool) "g before f" true (pos g < pos f);
+  Alcotest.(check bool) "f before entry" true
+    (pos f < pos p.S4e_asm.Program.entry)
+
+let test_recursion_detected () =
+  let p, _ = cfg_of_asm {|
+_start:
+  call f
+  ebreak
+f:
+  call f
+  ret
+|} in
+  let decode = Cfg.decoder_of_program p in
+  let cg = Callgraph.build ~decode ~entry:p.S4e_asm.Program.entry in
+  Alcotest.(check bool) "recursive" true (Callgraph.is_recursive cg)
+
+let test_indirect_jump () =
+  let _, g = cfg_of_asm {|
+_start:
+  la   a0, _start
+  jalr zero, 0(a0)
+|} in
+  let has_indirect =
+    Array.exists (fun b -> b.Cfg.terminator = Cfg.T_indirect) g.Cfg.blocks
+  in
+  Alcotest.(check bool) "indirect terminator" true has_indirect
+
+(* ---------------- static stats (ANALISA) ---------------- *)
+
+module Stats = S4e_cfg.Static_stats
+
+let test_static_stats_directed () =
+  let p, _ = cfg_of_asm {|
+_start:
+  li   a0, 1
+  mul  a1, a0, a0
+  lw   a2, 0(sp)
+  sw   a2, 4(sp)
+  andn a3, a1, a2
+  beq  a0, a1, out
+  nop
+out:
+  ebreak
+|} in
+  let s = Stats.analyze p in
+  Alcotest.(check int) "eight instructions" 8 s.Stats.total;
+  Alcotest.(check int) "one load" 1 s.Stats.loads;
+  Alcotest.(check int) "one store" 1 s.Stats.stores;
+  Alcotest.(check (option int)) "mul counted" (Some 1)
+    (List.assoc_opt "mul" s.Stats.by_mnemonic);
+  let mods = Stats.required_modules s in
+  Alcotest.(check bool) "needs I" true (List.mem S4e_isa.Isa_module.I mods);
+  Alcotest.(check bool) "needs M" true (List.mem S4e_isa.Isa_module.M mods);
+  Alcotest.(check bool) "needs B" true (List.mem S4e_isa.Isa_module.B mods);
+  Alcotest.(check bool) "does not need F" false
+    (List.mem S4e_isa.Isa_module.F mods);
+  Alcotest.(check bool) "x20 unused" true (List.mem 20 (Stats.unused_gprs s))
+
+let test_static_stats_compressed () =
+  let p =
+    S4e_torture.Torture.generate
+      { S4e_torture.Torture.default_config with seed = 8; compress = true }
+  in
+  let s = Stats.analyze p in
+  Alcotest.(check bool) "compressed counted" true (s.Stats.compressed > 0);
+  Alcotest.(check bool) "C required" true
+    (List.mem S4e_isa.Isa_module.C (Stats.required_modules s))
+
+let stats_seed_gen =
+  QCheck.make
+    ~print:(fun seed -> Printf.sprintf "seed %d" seed)
+    QCheck.Gen.(int_bound 10_000)
+
+let static_stats_props =
+  [ prop "static totals bound dynamic mnemonics" stats_seed_gen (fun seed ->
+        (* every mnemonic the emulator executes must exist statically *)
+        let p =
+          S4e_torture.Torture.generate
+            { S4e_torture.Torture.default_config with seed; segments = 8 }
+        in
+        let s = Stats.analyze p in
+        let m = S4e_cpu.Machine.create () in
+        let seen = Hashtbl.create 32 in
+        let _ =
+          S4e_cpu.Hooks.on_insn m.S4e_cpu.Machine.hooks (fun _ i ->
+              Hashtbl.replace seen (S4e_isa.Instr.mnemonic i) ())
+        in
+        S4e_asm.Program.load_machine p m;
+        let _ = S4e_cpu.Machine.run m ~fuel:100_000 in
+        Hashtbl.fold
+          (fun name () acc ->
+            acc && List.mem_assoc name s.Stats.by_mnemonic)
+          seen true);
+    prop "histogram sums to total" stats_seed_gen (fun seed ->
+        let p =
+          S4e_torture.Torture.generate
+            { S4e_torture.Torture.default_config with seed; segments = 8 }
+        in
+        let s = Stats.analyze p in
+        List.fold_left (fun acc (_, n) -> acc + n) 0 s.Stats.by_mnemonic
+        = s.Stats.total
+        && List.fold_left (fun acc (_, n) -> acc + n) 0 s.Stats.by_module
+           = s.Stats.total) ]
+
+(* ---------------- invariants over random programs ---------------- *)
+
+let torture_cfg_gen =
+  QCheck.make
+    ~print:(fun seed -> Printf.sprintf "seed %d" seed)
+    QCheck.Gen.(int_bound 10_000)
+
+let build_torture seed =
+  let p =
+    S4e_torture.Torture.generate
+      { S4e_torture.Torture.default_config with seed; segments = 12 }
+  in
+  let decode = Cfg.decoder_of_program p in
+  Cfg.build ~decode ~entry:p.S4e_asm.Program.entry
+
+let invariant_props =
+  [ prop "blocks partition the instructions" torture_cfg_gen (fun seed ->
+        let g = build_torture seed in
+        let seen = Hashtbl.create 64 in
+        Array.for_all
+          (fun (b : Cfg.block) ->
+            Array.for_all
+              (fun (pc, _, _) ->
+                if Hashtbl.mem seen pc then false
+                else begin
+                  Hashtbl.replace seen pc ();
+                  true
+                end)
+              b.Cfg.instrs)
+          g.Cfg.blocks);
+    prop "edges target block starts" torture_cfg_gen (fun seed ->
+        let g = build_torture seed in
+        Array.for_all
+          (fun succs ->
+            List.for_all (fun s -> s >= 0 && s < Array.length g.Cfg.blocks)
+              succs)
+          g.Cfg.succs);
+    prop "preds mirror succs" torture_cfg_gen (fun seed ->
+        let g = build_torture seed in
+        let ok = ref true in
+        Array.iteri
+          (fun v succs ->
+            List.iter
+              (fun s -> if not (List.mem v g.Cfg.preds.(s)) then ok := false)
+              succs)
+          g.Cfg.succs;
+        !ok);
+    prop "entry dominates reachable blocks" torture_cfg_gen (fun seed ->
+        let g = build_torture seed in
+        let dom = Dom.compute g in
+        Array.for_all
+          (fun (b : Cfg.block) ->
+            (not (Dom.reachable dom b.Cfg.id))
+            || Dom.dominates dom g.Cfg.entry b.Cfg.id)
+          g.Cfg.blocks);
+    prop "torture programs are reducible" torture_cfg_gen (fun seed ->
+        let g = build_torture seed in
+        let dom = Dom.compute g in
+        Loops.reducible g dom);
+    prop "loop bodies contain their latches" torture_cfg_gen (fun seed ->
+        let g = build_torture seed in
+        let dom = Dom.compute g in
+        let loops = Loops.compute g dom in
+        Array.for_all
+          (fun (l : Loops.loop) ->
+            List.for_all
+              (fun (latch, header) ->
+                List.mem latch l.Loops.body && header = l.Loops.header)
+              l.Loops.back_edges)
+          loops.Loops.loops);
+    prop "dominator of v also dominates idom(v) chain" torture_cfg_gen
+      (fun seed ->
+        let g = build_torture seed in
+        let dom = Dom.compute g in
+        Array.for_all
+          (fun (b : Cfg.block) ->
+            let v = b.Cfg.id in
+            (not (Dom.reachable dom v))
+            || v = g.Cfg.entry
+            || Dom.dominates dom dom.Dom.idom.(v) v)
+          g.Cfg.blocks) ]
+
+let () =
+  Alcotest.run "cfg"
+    [ ( "structure",
+        [ Alcotest.test_case "diamond shape" `Quick test_diamond_shape;
+          Alcotest.test_case "terminators" `Quick test_terminators;
+          Alcotest.test_case "dominators diamond" `Quick
+            test_dominators_diamond;
+          Alcotest.test_case "loop detection" `Quick test_loop_detection;
+          Alcotest.test_case "nested loops" `Quick test_nested_loops;
+          Alcotest.test_case "callgraph" `Quick test_callgraph;
+          Alcotest.test_case "recursion detected" `Quick
+            test_recursion_detected;
+          Alcotest.test_case "indirect jump" `Quick test_indirect_jump ] );
+      ( "static-stats",
+        Alcotest.test_case "directed" `Quick test_static_stats_directed
+        :: Alcotest.test_case "compressed" `Quick test_static_stats_compressed
+        :: static_stats_props );
+      ("invariants", invariant_props) ]

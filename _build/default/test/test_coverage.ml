@@ -1,0 +1,148 @@
+(* Coverage metric tests: collection, combination, and the E1 shape. *)
+
+open S4e_isa
+module Machine = S4e_cpu.Machine
+module Report = S4e_coverage.Report
+module Collector = S4e_coverage.Collector
+
+let full_isa = Machine.default_config.Machine.isa
+
+let collect ?(isa = full_isa) src =
+  let p = S4e_asm.Assembler.assemble_exn src in
+  let m = Machine.create () in
+  let c = Collector.attach m ~isa () in
+  S4e_asm.Program.load_machine p m;
+  let _ = Machine.run m ~fuel:100_000 in
+  let rep = Collector.report c in
+  Collector.detach m c;
+  rep
+
+let test_instruction_recording () =
+  let rep =
+    collect {|
+_start:
+  addi a0, zero, 1
+  addi a0, a0, 1
+  mul  a1, a0, a0
+  ebreak
+|}
+  in
+  Alcotest.(check (option int)) "addi counted twice" (Some 2)
+    (Hashtbl.find_opt rep.Report.executed "addi");
+  Alcotest.(check (option int)) "mul once" (Some 1)
+    (Hashtbl.find_opt rep.Report.executed "mul");
+  Alcotest.(check int) "three + trap path" 3
+    (Hashtbl.fold (fun _ v acc -> acc + v) rep.Report.executed 0 - 1)
+
+let test_register_recording () =
+  let rep =
+    collect {|
+_start:
+  addi a0, zero, 1
+  add  a1, a0, a0
+  ebreak
+|}
+  in
+  Alcotest.(check bool) "a0 written" true rep.Report.gpr_written.(10);
+  Alcotest.(check bool) "a0 read" true rep.Report.gpr_read.(10);
+  Alcotest.(check bool) "a1 written" true rep.Report.gpr_written.(11);
+  Alcotest.(check bool) "x0 read" true rep.Report.gpr_read.(0);
+  Alcotest.(check bool) "s5 untouched" false
+    (rep.Report.gpr_read.(21) || rep.Report.gpr_written.(21))
+
+let test_csr_and_mem_recording () =
+  let rep =
+    collect {|
+_start:
+  csrw mscratch, a0
+  li   t0, 0x80001000
+  lw   a1, 0(t0)
+  sw   a1, 4(t0)
+  ebreak
+|}
+  in
+  Alcotest.(check bool) "mscratch accessed" true
+    (Hashtbl.mem rep.Report.csr_accessed Csr.mscratch);
+  Alcotest.(check int) "two data accesses" 2 rep.Report.mem_accesses;
+  Alcotest.(check int) "mem lo" 0x80001000 rep.Report.mem_lo;
+  Alcotest.(check int) "mem hi" 0x80001008 rep.Report.mem_hi
+
+let test_metrics_and_missed () =
+  let rep = collect "_start:\n  addi a0, zero, 1\n  ebreak\n" in
+  let universe = Isa_module.universe full_isa in
+  Alcotest.(check bool) "tiny instruction coverage" true
+    (Report.instruction_coverage rep < 0.1);
+  Alcotest.(check int) "missed count" (List.length universe - 2)
+    (List.length (Report.missed_instructions rep));
+  Alcotest.(check bool) "gpr partial" true
+    (Report.gpr_coverage rep > 0.0 && Report.gpr_coverage rep < 0.2)
+
+let test_combine_is_union () =
+  let a = collect "_start:\n  addi a0, zero, 1\n  ebreak\n" in
+  let b = collect "_start:\n  mul a1, a2, a3\n  ebreak\n" in
+  let u = Report.combine a b in
+  Alcotest.(check bool) "addi in union" true (Hashtbl.mem u.Report.executed "addi");
+  Alcotest.(check bool) "mul in union" true (Hashtbl.mem u.Report.executed "mul");
+  Alcotest.(check bool) "coverage monotone vs a" true
+    (Report.instruction_coverage u >= Report.instruction_coverage a);
+  Alcotest.(check bool) "coverage monotone vs b" true
+    (Report.instruction_coverage u >= Report.instruction_coverage b);
+  Alcotest.(check bool) "gpr union" true
+    (u.Report.gpr_written.(10) && u.Report.gpr_written.(11))
+
+let test_detach_stops_recording () =
+  let p = S4e_asm.Assembler.assemble_exn "_start:\n  addi a0, zero, 1\n  ebreak\n" in
+  let m = Machine.create () in
+  let c = Collector.attach m () in
+  Collector.detach m c;
+  S4e_asm.Program.load_machine p m;
+  let _ = Machine.run m ~fuel:100 in
+  Alcotest.(check int) "nothing recorded" 0
+    (Report.executed_count (Collector.report c))
+
+(* the E1 experiment shape *)
+let test_unified_suite_shape () =
+  let isa = full_isa in
+  let suite name progs =
+    (name, S4e_core.Flows.coverage_of_suite ~fuel:S4e_torture.Suites.fuel progs)
+  in
+  let arch = suite "arch" (S4e_torture.Suites.arch_suite ~isa) in
+  let unit = suite "unit" (S4e_torture.Suites.unit_suite ~isa) in
+  let tort =
+    suite "torture" (S4e_torture.Suites.torture_suite ~isa ~seeds:[ 1; 2; 3 ])
+  in
+  (* each suite individually has gaps *)
+  Alcotest.(check bool) "arch misses registers" true
+    (Report.gpr_coverage (snd arch) < 1.0);
+  Alcotest.(check bool) "unit misses instructions" true
+    (Report.instruction_coverage (snd unit) < 0.5);
+  Alcotest.(check bool) "torture misses CSRs" true
+    (Report.csr_coverage (snd tort) < 1.0);
+  (* the union reaches full register coverage and high-90s instructions *)
+  let union =
+    List.fold_left
+      (fun acc (_, r) -> Report.combine acc r)
+      (Report.create ~isa)
+      [ arch; unit; tort ]
+  in
+  Alcotest.(check (float 0.001)) "100% GPR" 1.0 (Report.gpr_coverage union);
+  Alcotest.(check (float 0.001)) "100% FPR" 1.0 (Report.fpr_coverage union);
+  Alcotest.(check (float 0.001)) "100% CSR" 1.0 (Report.csr_coverage union);
+  let ic = Report.instruction_coverage union in
+  Alcotest.(check bool) "instruction coverage in the high 90s" true
+    (ic > 0.95 && ic < 1.0);
+  Alcotest.(check (list string)) "exactly wfi missing" [ "wfi" ]
+    (Report.missed_instructions union)
+
+let () =
+  Alcotest.run "coverage"
+    [ ( "collector",
+        [ Alcotest.test_case "instructions" `Quick test_instruction_recording;
+          Alcotest.test_case "registers" `Quick test_register_recording;
+          Alcotest.test_case "csr and memory" `Quick test_csr_and_mem_recording;
+          Alcotest.test_case "metrics" `Quick test_metrics_and_missed;
+          Alcotest.test_case "combine" `Quick test_combine_is_union;
+          Alcotest.test_case "detach" `Quick test_detach_stops_recording ] );
+      ( "experiment-shape",
+        [ Alcotest.test_case "unified suite (E1)" `Slow
+            test_unified_suite_shape ] ) ]

@@ -1,0 +1,274 @@
+(* Fault injection tests: injector mechanics, campaign classification,
+   coverage-guided generation, and determinism. *)
+
+module Machine = S4e_cpu.Machine
+module Fault = S4e_fault.Fault
+module Injector = S4e_fault.Injector
+module Campaign = S4e_fault.Campaign
+
+let prop ?(count = 20) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen f)
+
+let checksum_src = {|
+_start:
+  li   a0, 0
+  li   a1, 1
+  li   a2, 20
+l:
+  add  a0, a0, a1
+  addi a1, a1, 1
+  blt  a1, a2, l
+  li   t1, 0x00100000
+  sw   a0, 0(t1)
+  ebreak
+|}
+
+let program () = S4e_asm.Assembler.assemble_exn checksum_src
+
+let test_golden_signature () =
+  let sg, cov = Campaign.golden ~fuel:10_000 (program ()) in
+  Alcotest.(check (option int)) "exit is sum 1..19" (Some 190)
+    sg.Campaign.sig_exit;
+  Alcotest.(check bool) "instret recorded" true (sg.Campaign.sig_instret > 30);
+  Alcotest.(check bool) "coverage collected" true
+    (S4e_coverage.Report.executed_count cov > 0)
+
+let test_code_flip_changes_memory () =
+  let m = Machine.create () in
+  S4e_asm.Program.load_machine (program ()) m;
+  let before = S4e_mem.Sparse_mem.read32 (S4e_mem.Bus.ram m.Machine.bus) 0x8000_0000 in
+  let _ = Injector.arm m { Fault.loc = Fault.Code (0x8000_0000, 5); kind = Fault.Permanent } in
+  let after = S4e_mem.Sparse_mem.read32 (S4e_mem.Bus.ram m.Machine.bus) 0x8000_0000 in
+  Alcotest.(check int) "exactly one bit flipped" (1 lsl 5) (before lxor after)
+
+let test_transient_gpr_flip () =
+  (* flip bit 0 of the accumulator a0 exactly once -> off-by-one sdc *)
+  let p = program () in
+  let golden, _ = Campaign.golden ~fuel:10_000 p in
+  let fault =
+    { Fault.loc = Fault.Gpr (10, 0); kind = Fault.Transient 20 }
+  in
+  let outcome = Campaign.run_one ~fuel:10_000 p ~golden fault in
+  Alcotest.(check string) "classified sdc" "sdc" (Campaign.outcome_name outcome)
+
+let test_x0_fault_masked () =
+  (* x0 is hardwired: injecting into it must always be masked *)
+  let p = program () in
+  let golden, _ = Campaign.golden ~fuel:10_000 p in
+  List.iter
+    (fun kind ->
+      let outcome =
+        Campaign.run_one ~fuel:10_000 p ~golden
+          { Fault.loc = Fault.Gpr (0, 7); kind }
+      in
+      Alcotest.(check string) "masked" "masked" (Campaign.outcome_name outcome))
+    [ Fault.Permanent; Fault.Transient 5 ]
+
+let test_unused_register_masked () =
+  (* s5 is never touched by the program: any fault there is masked *)
+  let p = program () in
+  let golden, _ = Campaign.golden ~fuel:10_000 p in
+  let outcome =
+    Campaign.run_one ~fuel:10_000 p ~golden
+      { Fault.loc = Fault.Gpr (21, 13); kind = Fault.Permanent }
+  in
+  Alcotest.(check string) "masked" "masked" (Campaign.outcome_name outcome)
+
+let test_opcode_corruption_crashes () =
+  (* flipping a high opcode bit of the first instruction usually makes
+     an illegal/strange instruction; flip into the unused encoding *)
+  let p = program () in
+  let golden, _ = Campaign.golden ~fuel:10_000 p in
+  (* turn addi (0x13) into an undefined opcode by flipping bit 2 -> 0x17?
+     that is auipc.  Use bit 6 -> 0x53 = OP-FP funct7=0 rm... decodes.
+     Flip bit 3: 0x13 -> 0x1B which is RV64 OP-IMM-32: undecodable. *)
+  let outcome =
+    Campaign.run_one ~fuel:10_000 p ~golden
+      { Fault.loc = Fault.Code (0x8000_0000, 3); kind = Fault.Permanent }
+  in
+  Alcotest.(check string) "crashed" "crashed" (Campaign.outcome_name outcome)
+
+let test_branch_corruption_can_hang () =
+  (* flip the branch polarity bit: bne <-> beq style changes can spin *)
+  let p =
+    S4e_asm.Assembler.assemble_exn {|
+_start:
+  li   a0, 0
+  li   a1, 5
+l:
+  addi a0, a0, 1
+  bne  a0, a1, l
+  li   t1, 0x00100000
+  sw   a0, 0(t1)
+  ebreak
+|}
+  in
+  let golden, _ = Campaign.golden ~fuel:10_000 p in
+  (* corrupt the bound register so the equality is never met *)
+  let outcome =
+    Campaign.run_one ~fuel:10_000 p ~golden
+      { Fault.loc = Fault.Gpr (11, 31); kind = Fault.Permanent }
+  in
+  Alcotest.(check string) "hung" "hung" (Campaign.outcome_name outcome)
+
+let test_unexecuted_code_fault_masked () =
+  (* a flip in code past the exit store is never fetched *)
+  let p =
+    S4e_asm.Assembler.assemble_exn {|
+_start:
+  li   a0, 9
+  li   t1, 0x00100000
+  sw   a0, 0(t1)
+  ebreak
+dead:
+  addi a0, a0, 1
+|}
+  in
+  let golden, _ = Campaign.golden ~fuel:10_000 p in
+  let dead = Option.get (S4e_asm.Program.symbol p "dead") in
+  let outcome =
+    Campaign.run_one ~fuel:10_000 p ~golden
+      { Fault.loc = Fault.Code (dead, 11); kind = Fault.Permanent }
+  in
+  Alcotest.(check string) "dead code fault masked" "masked"
+    (Campaign.outcome_name outcome)
+
+let test_untouched_data_fault_masked () =
+  let p = program () in
+  let golden, _ = Campaign.golden ~fuel:10_000 p in
+  let outcome =
+    Campaign.run_one ~fuel:10_000 p ~golden
+      { Fault.loc = Fault.Data (0x8005_0000, 3); kind = Fault.Permanent }
+  in
+  Alcotest.(check string) "untouched data fault masked" "masked"
+    (Campaign.outcome_name outcome)
+
+let test_late_transient_masked () =
+  (* a transient scheduled after the program exits never fires *)
+  let p = program () in
+  let golden, _ = Campaign.golden ~fuel:10_000 p in
+  let outcome =
+    Campaign.run_one ~fuel:10_000 p ~golden
+      { Fault.loc = Fault.Gpr (10, 0);
+        kind = Fault.Transient (golden.Campaign.sig_instret + 100) }
+  in
+  Alcotest.(check string) "late transient masked" "masked"
+    (Campaign.outcome_name outcome)
+
+let test_generation_determinism () =
+  let p = program () in
+  let golden, cov = Campaign.golden ~fuel:10_000 p in
+  let gen () =
+    Campaign.generate ~seed:99 ~n:50 ~targets:[ `Gpr; `Code; `Data ]
+      ~kinds:[ `Permanent; `Transient ] ~coverage:cov
+      ~golden_instret:golden.Campaign.sig_instret
+  in
+  Alcotest.(check bool) "same seed, same faults" true (gen () = gen ());
+  let other =
+    Campaign.generate ~seed:100 ~n:50 ~targets:[ `Gpr; `Code; `Data ]
+      ~kinds:[ `Permanent; `Transient ] ~coverage:cov
+      ~golden_instret:golden.Campaign.sig_instret
+  in
+  Alcotest.(check bool) "different seed differs" true (gen () <> other)
+
+let test_guided_sites_are_covered () =
+  let p = program () in
+  let golden, cov = Campaign.golden ~fuel:10_000 p in
+  let faults =
+    Campaign.generate ~seed:5 ~n:100 ~targets:[ `Gpr; `Code ]
+      ~kinds:[ `Permanent ] ~coverage:cov
+      ~golden_instret:golden.Campaign.sig_instret
+  in
+  List.iter
+    (fun f ->
+      match f.Fault.loc with
+      | Fault.Gpr (r, _) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "reg %d accessed" r)
+            true
+            (cov.S4e_coverage.Report.gpr_read.(r)
+            || cov.S4e_coverage.Report.gpr_written.(r))
+      | Fault.Code (a, _) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "pc 0x%08x executed" a)
+            true
+            (Hashtbl.mem cov.S4e_coverage.Report.executed_pcs a)
+      | Fault.Fpr _ | Fault.Data _ -> Alcotest.fail "unexpected target")
+    faults
+
+let test_campaign_summary_adds_up () =
+  let p = program () in
+  let golden, cov = Campaign.golden ~fuel:10_000 p in
+  let faults =
+    Campaign.generate ~seed:3 ~n:40 ~targets:[ `Gpr; `Code; `Data ]
+      ~kinds:[ `Permanent; `Transient ] ~coverage:cov
+      ~golden_instret:golden.Campaign.sig_instret
+  in
+  let results = Campaign.run ~fuel:10_000 p ~golden faults in
+  let s = Campaign.summarize results in
+  Alcotest.(check int) "total" 40 s.Campaign.total;
+  Alcotest.(check int) "classes partition" s.Campaign.total
+    (s.Campaign.masked + s.Campaign.sdc + s.Campaign.crashed + s.Campaign.hung)
+
+let campaign_determinism =
+  prop ~count:5 "campaign outcome deterministic" (QCheck.int_bound 1000)
+    (fun seed ->
+      let p = program () in
+      let golden, cov = Campaign.golden ~fuel:10_000 p in
+      let faults =
+        Campaign.generate ~seed ~n:15 ~targets:[ `Gpr; `Code; `Data ]
+          ~kinds:[ `Permanent; `Transient ] ~coverage:cov
+          ~golden_instret:golden.Campaign.sig_instret
+      in
+      let r1 = Campaign.run ~fuel:10_000 p ~golden faults in
+      let r2 = Campaign.run ~fuel:10_000 p ~golden faults in
+      r1 = r2)
+
+let test_blind_generation () =
+  let p = program () in
+  let golden, _ = Campaign.golden ~fuel:10_000 p in
+  let faults =
+    Campaign.generate_blind ~seed:5 ~n:50 ~targets:[ `Gpr ]
+      ~kinds:[ `Permanent ] ~program:p
+      ~golden_instret:golden.Campaign.sig_instret
+  in
+  Alcotest.(check int) "fifty faults" 50 (List.length faults);
+  (* blind generation hits registers the program never uses *)
+  let unused =
+    List.exists
+      (fun f ->
+        match f.Fault.loc with
+        | Fault.Gpr (r, _) -> r >= 18 && r <= 27  (* s2..s11 untouched *)
+        | _ -> false)
+      faults
+  in
+  Alcotest.(check bool) "includes unused registers" true unused
+
+let () =
+  Alcotest.run "fault"
+    [ ( "injector",
+        [ Alcotest.test_case "golden signature" `Quick test_golden_signature;
+          Alcotest.test_case "code flip" `Quick test_code_flip_changes_memory;
+          Alcotest.test_case "transient gpr" `Quick test_transient_gpr_flip;
+          Alcotest.test_case "x0 masked" `Quick test_x0_fault_masked;
+          Alcotest.test_case "unused reg masked" `Quick
+            test_unused_register_masked;
+          Alcotest.test_case "opcode corruption crashes" `Quick
+            test_opcode_corruption_crashes;
+          Alcotest.test_case "bound corruption hangs" `Quick
+            test_branch_corruption_can_hang ] );
+      ( "campaign",
+        [ Alcotest.test_case "dead code masked" `Quick
+            test_unexecuted_code_fault_masked;
+          Alcotest.test_case "untouched data masked" `Quick
+            test_untouched_data_fault_masked;
+          Alcotest.test_case "late transient masked" `Quick
+            test_late_transient_masked;
+          Alcotest.test_case "generation determinism" `Quick
+            test_generation_determinism;
+          Alcotest.test_case "guided sites covered" `Quick
+            test_guided_sites_are_covered;
+          Alcotest.test_case "summary adds up" `Quick
+            test_campaign_summary_adds_up;
+          Alcotest.test_case "blind generation" `Quick test_blind_generation;
+          campaign_determinism ] ) ]

@@ -1,0 +1,163 @@
+(* Sparse memory and bus tests. *)
+
+module Mem = S4e_mem.Sparse_mem
+module Bus = S4e_mem.Bus
+
+let prop name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count:300 gen f)
+
+let addr_gen = QCheck.map (fun i -> i land 0xFFFF_FFFF) QCheck.int
+
+let test_rw_basic () =
+  let m = Mem.create () in
+  Alcotest.(check int) "untouched reads zero" 0 (Mem.read32 m 0x8000_0000);
+  Mem.write32 m 0x8000_0000 0xDEADBEEF;
+  Alcotest.(check int) "read32" 0xDEADBEEF (Mem.read32 m 0x8000_0000);
+  Alcotest.(check int) "read16 low" 0xBEEF (Mem.read16 m 0x8000_0000);
+  Alcotest.(check int) "read16 high" 0xDEAD (Mem.read16 m 0x8000_0002);
+  Alcotest.(check int) "read8" 0xEF (Mem.read8 m 0x8000_0000);
+  Alcotest.(check int) "read8 top" 0xDE (Mem.read8 m 0x8000_0003)
+
+let test_page_crossing () =
+  let m = Mem.create () in
+  let edge = 0x8000_0000 + Mem.page_size - 2 in
+  Mem.write32 m edge 0x11223344;
+  Alcotest.(check int) "cross-page read32" 0x11223344 (Mem.read32 m edge);
+  Alcotest.(check int) "upper half next page" 0x1122 (Mem.read16 m (edge + 2));
+  Mem.write16 m (0x8000_0000 + Mem.page_size - 1) 0xAABB;
+  Alcotest.(check int) "cross-page read16" 0xAABB
+    (Mem.read16 m (0x8000_0000 + Mem.page_size - 1))
+
+let test_bulk () =
+  let m = Mem.create () in
+  Mem.load_bytes m 0x1000 "hello world";
+  Alcotest.(check string) "dump" "hello world" (Mem.dump_bytes m 0x1000 11);
+  Alcotest.(check int) "byte of string" (Char.code 'w') (Mem.read8 m 0x1006)
+
+let test_copy_isolation () =
+  let m = Mem.create () in
+  Mem.write32 m 0x100 42;
+  let c = Mem.copy m in
+  Mem.write32 m 0x100 7;
+  Alcotest.(check int) "copy unaffected" 42 (Mem.read32 c 0x100);
+  Alcotest.(check int) "original updated" 7 (Mem.read32 m 0x100)
+
+let test_clear () =
+  let m = Mem.create () in
+  Mem.write32 m 0x100 1;
+  Alcotest.(check bool) "touched" true (Mem.touched_pages m > 0);
+  Mem.clear m;
+  Alcotest.(check int) "cleared" 0 (Mem.touched_pages m);
+  Alcotest.(check int) "reads zero" 0 (Mem.read32 m 0x100)
+
+(* ---------------- bus ---------------- *)
+
+let dummy_device name base =
+  let stored = ref 0 in
+  ( { Bus.dev_name = name; dev_base = base; dev_len = 0x10;
+      dev_read = (fun _ _ -> !stored);
+      dev_write = (fun _ _ v -> stored := v) },
+    stored )
+
+let test_bus_routing () =
+  let bus = Bus.create () in
+  let dev, stored = dummy_device "dev" 0x4000 in
+  Bus.attach bus dev;
+  Bus.write32 bus 0x4000 99;
+  Alcotest.(check int) "device write" 99 !stored;
+  Alcotest.(check int) "device read" 99 (Bus.read32 bus 0x4004);
+  Bus.write32 bus 0x8000 123;
+  Alcotest.(check int) "ram fallthrough" 123 (Bus.read32 bus 0x8000);
+  Alcotest.(check int) "ram direct" 123 (Mem.read32 (Bus.ram bus) 0x8000)
+
+let test_bus_overlap_rejected () =
+  let bus = Bus.create () in
+  let d1, _ = dummy_device "one" 0x4000 in
+  let d2, _ = dummy_device "two" 0x4008 in
+  Bus.attach bus d1;
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Bus.attach: two overlaps one") (fun () ->
+      Bus.attach bus d2)
+
+let test_bus_watcher () =
+  let bus = Bus.create () in
+  let dev, _ = dummy_device "dev" 0x4000 in
+  Bus.attach bus dev;
+  let seen = ref [] in
+  Bus.set_io_watcher bus (Some (fun a -> seen := a :: !seen));
+  Bus.write8 bus 0x4002 0xAB;
+  let _ = Bus.read16 bus 0x4000 in
+  (* RAM traffic must not reach the IO watcher *)
+  Bus.write32 bus 0x9000 1;
+  Alcotest.(check int) "two device events" 2 (List.length !seen);
+  (match !seen with
+  | [ rd; wr ] ->
+      Alcotest.(check bool) "write flag" true wr.Bus.io_is_write;
+      Alcotest.(check bool) "read flag" false rd.Bus.io_is_write;
+      Alcotest.(check string) "device name" "dev" wr.Bus.io_device;
+      Alcotest.(check int) "address" 0x4002 wr.Bus.io_addr
+  | _ -> Alcotest.fail "expected exactly two accesses");
+  Bus.set_io_watcher bus None;
+  Bus.write8 bus 0x4002 1;
+  Alcotest.(check int) "watcher removed" 2 (List.length !seen)
+
+let test_fetch_bypasses_devices () =
+  let bus = Bus.create () in
+  let dev, _ = dummy_device "dev" 0x4000 in
+  Bus.attach bus dev;
+  Bus.write32 bus 0x4000 77;
+  (* fetch reads RAM underneath the device, which is still zero *)
+  Alcotest.(check int) "fetch32 bypass" 0 (Bus.fetch32 bus 0x4000)
+
+let test_invalid_size () =
+  let bus = Bus.create () in
+  Alcotest.check_raises "read size"
+    (Invalid_argument "Bus.read: size must be 1, 2 or 4") (fun () ->
+      ignore (Bus.read bus 0 3));
+  Alcotest.check_raises "write size"
+    (Invalid_argument "Bus.write: size must be 1, 2 or 4") (fun () ->
+      Bus.write bus 0 3 0)
+
+let props =
+  [ prop "read32 after write32 roundtrips"
+      (QCheck.pair addr_gen Gen.word32)
+      (fun (a, v) ->
+        let m = Mem.create () in
+        Mem.write32 m a v;
+        Mem.read32 m a = v);
+    prop "byte decomposition of words" (QCheck.pair addr_gen Gen.word32)
+      (fun (a, v) ->
+        let m = Mem.create () in
+        Mem.write32 m a v;
+        Mem.read8 m a = v land 0xFF
+        && Mem.read8 m (a + 1) = (v lsr 8) land 0xFF
+        && Mem.read8 m (a + 2) = (v lsr 16) land 0xFF
+        && Mem.read8 m (a + 3) = (v lsr 24) land 0xFF);
+    prop "little-endian halves" (QCheck.pair addr_gen Gen.word32)
+      (fun (a, v) ->
+        let m = Mem.create () in
+        Mem.write32 m a v;
+        Mem.read16 m a lor (Mem.read16 m (a + 2) lsl 16) = v);
+    prop "load/dump roundtrip" (QCheck.pair addr_gen QCheck.string)
+      (fun (a, s) ->
+        QCheck.assume (a + String.length s < 0xFFFF_FFFF);
+        let m = Mem.create () in
+        Mem.load_bytes m a s;
+        Mem.dump_bytes m a (String.length s) = s) ]
+
+let () =
+  Alcotest.run "mem"
+    [ ( "sparse",
+        [ Alcotest.test_case "rw basic" `Quick test_rw_basic;
+          Alcotest.test_case "page crossing" `Quick test_page_crossing;
+          Alcotest.test_case "bulk" `Quick test_bulk;
+          Alcotest.test_case "copy isolation" `Quick test_copy_isolation;
+          Alcotest.test_case "clear" `Quick test_clear ] );
+      ( "bus",
+        [ Alcotest.test_case "routing" `Quick test_bus_routing;
+          Alcotest.test_case "overlap rejected" `Quick test_bus_overlap_rejected;
+          Alcotest.test_case "watcher" `Quick test_bus_watcher;
+          Alcotest.test_case "fetch bypasses devices" `Quick
+            test_fetch_bypasses_devices;
+          Alcotest.test_case "invalid size" `Quick test_invalid_size ] );
+      ("properties", props) ]

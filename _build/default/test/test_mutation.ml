@@ -1,0 +1,197 @@
+(* Mutation-testing framework tests (the XEMU companion). *)
+
+open S4e_isa
+module Mutop = S4e_mutation.Mutop
+module Mutant = S4e_mutation.Mutant
+module Score = S4e_mutation.Score
+
+let prop name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count:300 gen f)
+
+(* A small input-dependent program: reads 2 bytes from the UART,
+   computes a keyed comparison, answers over the UART and exits with a
+   classification. *)
+let target_src = {|
+  .equ UART, 0x10000000
+  .equ EXIT, 0x00100000
+_start:
+  li   s0, UART
+  lbu  a0, 0(s0)          # first byte
+  lbu  a1, 0(s0)          # second byte
+  slli a2, a0, 3
+  add  a2, a2, a1
+  addi a2, a2, -100
+  bltz a2, low
+  li   a3, 'H'
+  sb   a3, 0(s0)
+  li   a4, 1
+  j    finish
+low:
+  li   a3, 'L'
+  sb   a3, 0(s0)
+  li   a4, 0
+finish:
+  li   t1, EXIT
+  sw   a4, 0(t1)
+  ebreak
+|}
+
+let target () = S4e_asm.Assembler.assemble_exn target_src
+
+(* ---------------- operators ---------------- *)
+
+let test_operator_tables () =
+  let add = Instr.Op (ADD, 10, 11, 12) in
+  Alcotest.(check int) "AOR of add" 2 (List.length (Mutop.mutations Mutop.Aor add));
+  let beq = Instr.Branch (BEQ, 10, 11, 8) in
+  (match Mutop.mutations Mutop.Ror beq with
+  | [ Instr.Branch (BNE, 10, 11, 8) ] -> ()
+  | _ -> Alcotest.fail "ROR of beq should be bne");
+  let addi = Instr.Op_imm (ADDI, 10, 11, 5) in
+  Alcotest.(check int) "COR of addi" 3 (List.length (Mutop.mutations Mutop.Cor addi));
+  (* SDL never produces the nop from a nop *)
+  Alcotest.(check (list string)) "SDL of nop" []
+    (List.map Instr.to_string
+       (Mutop.mutations Mutop.Sdl (Instr.Op_imm (ADDI, 0, 0, 0))));
+  (* control flow is never deleted *)
+  Alcotest.(check (list string)) "SDL of jal" []
+    (List.map Instr.to_string (Mutop.mutations Mutop.Sdl (Instr.Jal (1, 8))))
+
+let mutation_props =
+  [ prop "mutations never include the original" Gen.instr (fun i ->
+        List.for_all
+          (fun op ->
+            List.for_all
+              (fun m -> not (Instr.equal m i))
+              (Mutop.mutations op i))
+          Mutop.all);
+    prop "mutations stay encodable" Gen.instr (fun i ->
+        List.for_all
+          (fun op ->
+            List.for_all
+              (fun m ->
+                match Decode.decode (Encode.encode m) with
+                | Some m' -> Instr.equal m m'
+                | None -> false)
+              (Mutop.mutations op i))
+          Mutop.all);
+    prop "mutations preserve byte width" Gen.instr (fun i ->
+        (* all our encodings are 32-bit; re-encoding must stay a valid
+           non-compressed word *)
+        List.for_all
+          (fun op ->
+            List.for_all
+              (fun m -> Encode.encode m land 0x3 = 0x3)
+              (Mutop.mutations op i))
+          Mutop.all) ]
+
+(* ---------------- enumeration ---------------- *)
+
+let test_generation () =
+  let p = target () in
+  let mutants = Mutant.generate p in
+  Alcotest.(check bool) "site list nonempty" true (List.length mutants > 20);
+  (* ids dense, addresses within the code range *)
+  let lo, hi = Option.get (S4e_asm.Program.code_range p) in
+  List.iteri
+    (fun i m ->
+      Alcotest.(check int) "dense ids" i m.Mutant.m_id;
+      Alcotest.(check bool) "in range" true
+        (m.Mutant.m_pc >= lo && m.Mutant.m_pc < hi))
+    mutants
+
+let test_generation_operator_filter () =
+  let p = target () in
+  let only_ror = Mutant.generate ~operators:[ Mutop.Ror ] p in
+  Alcotest.(check bool) "only ROR" true
+    (List.for_all (fun m -> m.Mutant.m_operator = Mutop.Ror) only_ror);
+  (* exactly one branch (bltz) in the target, with two ROR partners *)
+  Alcotest.(check int) "branch mutants" 2 (List.length only_ror)
+
+let test_coverage_guidance () =
+  let p = target () in
+  let all = Mutant.generate p in
+  (* restrict to the first instruction only *)
+  let lo, _ = Option.get (S4e_asm.Program.code_range p) in
+  let one = Mutant.generate ~covered:(fun pc -> pc = lo) p in
+  Alcotest.(check bool) "filtered smaller" true
+    (List.length one < List.length all);
+  Alcotest.(check bool) "all at site" true
+    (List.for_all (fun m -> m.Mutant.m_pc = lo) one)
+
+let test_apply_patches_one_word () =
+  let p = target () in
+  let m = S4e_cpu.Machine.create () in
+  S4e_asm.Program.load_machine p m;
+  let mutants = Mutant.generate p in
+  let mu = List.hd mutants in
+  let before =
+    S4e_mem.Sparse_mem.read32 (S4e_mem.Bus.ram m.S4e_cpu.Machine.bus) mu.Mutant.m_pc
+  in
+  Mutant.apply mu m;
+  let after =
+    S4e_mem.Sparse_mem.read32 (S4e_mem.Bus.ram m.S4e_cpu.Machine.bus) mu.Mutant.m_pc
+  in
+  Alcotest.(check bool) "word changed" true (before <> after);
+  Alcotest.(check int) "is the mutated encoding"
+    (Encode.encode mu.Mutant.m_mutated) after
+
+(* ---------------- scoring ---------------- *)
+
+let tests_weak = [ Score.test ~name:"t-low" "\x01\x01" ]
+
+let tests_strong =
+  [ Score.test ~name:"t-low" "\x01\x01";
+    Score.test ~name:"t-high" "\x20\x10";
+    Score.test ~name:"t-boundary" "\x0c\x04" ]
+
+let test_scores_improve_with_tests () =
+  let p = target () in
+  let mutants = Mutant.generate p in
+  let weak = Score.summarize (Score.run p ~tests:tests_weak ~mutants) in
+  let strong = Score.summarize (Score.run p ~tests:tests_strong ~mutants) in
+  Alcotest.(check bool) "weak kills some" true (weak.Score.s_killed > 0);
+  Alcotest.(check bool) "strong kills more" true
+    (strong.Score.s_killed > weak.Score.s_killed);
+  Alcotest.(check bool) "score in range" true
+    (strong.Score.s_score > 0.0 && strong.Score.s_score <= 1.0);
+  Alcotest.(check int) "partition" strong.Score.s_total
+    (strong.Score.s_killed + strong.Score.s_survived);
+  (* per-operator counts add up to the totals *)
+  let op_total =
+    List.fold_left (fun acc (_, _, t) -> acc + t) 0 strong.Score.s_per_operator
+  in
+  Alcotest.(check int) "per-operator total" strong.Score.s_total op_total
+
+let test_survivors_reported () =
+  let p = target () in
+  let mutants = Mutant.generate p in
+  let results = Score.run p ~tests:tests_weak ~mutants in
+  let survivors = Score.survivors results in
+  Alcotest.(check int) "killed + survivors = total" (List.length mutants)
+    (List.length survivors
+    + (Score.summarize results).Score.s_killed)
+
+let test_deterministic_scoring () =
+  let p = target () in
+  let mutants = Mutant.generate ~operators:[ Mutop.Aor; Mutop.Ror ] p in
+  let r1 = Score.run p ~tests:tests_strong ~mutants in
+  let r2 = Score.run p ~tests:tests_strong ~mutants in
+  Alcotest.(check bool) "same verdicts" true (r1 = r2)
+
+let () =
+  Alcotest.run "mutation"
+    [ ( "operators",
+        Alcotest.test_case "tables" `Quick test_operator_tables
+        :: mutation_props );
+      ( "enumeration",
+        [ Alcotest.test_case "generation" `Quick test_generation;
+          Alcotest.test_case "operator filter" `Quick
+            test_generation_operator_filter;
+          Alcotest.test_case "coverage guidance" `Quick test_coverage_guidance;
+          Alcotest.test_case "apply" `Quick test_apply_patches_one_word ] );
+      ( "scoring",
+        [ Alcotest.test_case "more tests, higher score" `Quick
+            test_scores_improve_with_tests;
+          Alcotest.test_case "survivors" `Quick test_survivors_reported;
+          Alcotest.test_case "deterministic" `Quick test_deterministic_scoring ] ) ]

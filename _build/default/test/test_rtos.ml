@@ -1,0 +1,229 @@
+(* Response-time analysis tests: textbook task sets with known results,
+   structural properties, and the WCET-to-RTA bridge. *)
+
+module Rta = S4e_rtos.Rta
+
+let prop ?(count = 100) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen f)
+
+let t = Rta.task
+
+(* The classic three-task example (Burns & Wellings): C/T =
+   (1,4) (1,5)... use a standard instance with hand-computed responses. *)
+let textbook =
+  [ t ~name:"t1" ~wcet:1 ~period:4 ();
+    t ~name:"t2" ~wcet:2 ~period:6 ();
+    t ~name:"t3" ~wcet:3 ~period:13 () ]
+
+let test_textbook_responses () =
+  let a = Rta.analyze textbook in
+  (* R1 = 1; R2 = 2 + ceil(3/4)*1 = 3; R3: 3 + I -> fixed point:
+     r=3: 3 + ceil(3/4)+... iterate: start 3 ->
+       3 + ceil(3/4)*1 + ceil(3/6)*2 = 3+1+2 = 6
+       3 + ceil(6/4)*1 + ceil(6/6)*2 = 3+2+2 = 7
+       3 + ceil(7/4)*1 + ceil(7/6)*2 = 3+2+4 = 9
+       3 + ceil(9/4)*1 + ceil(9/6)*2 = 3+3+4 = 10
+       3 + ceil(10/4)*1 + ceil(10/6)*2 = 3+3+4 = 10  (fixed) *)
+  let responses =
+    List.map (fun v -> (v.Rta.v_task.Rta.tk_name, v.Rta.v_response)) a.Rta.a_verdicts
+  in
+  Alcotest.(check (list (pair string (option int))))
+    "hand-computed fixed points"
+    [ ("t1", Some 1); ("t2", Some 3); ("t3", Some 10) ]
+    responses;
+  Alcotest.(check bool) "schedulable" true a.Rta.a_schedulable
+
+let test_unschedulable_detected () =
+  let overloaded =
+    [ t ~name:"hog" ~wcet:5 ~period:8 ();
+      t ~name:"victim" ~wcet:4 ~period:10 () ]
+  in
+  let a = Rta.analyze overloaded in
+  Alcotest.(check bool) "not schedulable" false a.Rta.a_schedulable;
+  (* the high-priority task itself is fine *)
+  (match a.Rta.a_verdicts with
+  | hog :: victim :: [] ->
+      Alcotest.(check (option int)) "hog response" (Some 5) hog.Rta.v_response;
+      Alcotest.(check (option int)) "victim misses" None victim.Rta.v_response
+  | _ -> Alcotest.fail "two verdicts expected");
+  Alcotest.(check bool) "overloaded utilization" true
+    (a.Rta.a_utilization > 1.0)
+
+let test_rate_monotonic_ordering () =
+  let tasks =
+    [ t ~name:"slow" ~wcet:1 ~period:100 ();
+      t ~name:"fast" ~wcet:1 ~period:10 () ]
+  in
+  let a = Rta.analyze tasks in
+  (match a.Rta.a_verdicts with
+  | first :: _ ->
+      Alcotest.(check string) "short period first" "fast"
+        first.Rta.v_task.Rta.tk_name
+  | [] -> Alcotest.fail "no verdicts");
+  (* explicit priority order is preserved when rate_monotonic is off *)
+  let b = Rta.analyze ~rate_monotonic:false tasks in
+  match b.Rta.a_verdicts with
+  | first :: _ ->
+      Alcotest.(check string) "list order kept" "slow"
+        first.Rta.v_task.Rta.tk_name
+  | [] -> Alcotest.fail "no verdicts"
+
+let test_validation () =
+  Alcotest.check_raises "empty set"
+    (Invalid_argument "Rta.analyze: empty task set") (fun () ->
+      ignore (Rta.analyze []));
+  Alcotest.check_raises "zero wcet"
+    (Invalid_argument "Rta.analyze: bad has a non-positive parameter")
+    (fun () -> ignore (Rta.analyze [ t ~name:"bad" ~wcet:0 ~period:5 () ]));
+  Alcotest.check_raises "D > T"
+    (Invalid_argument
+       "Rta.analyze: late has D > T (only constrained deadlines are supported)")
+    (fun () ->
+      ignore (Rta.analyze [ t ~deadline:9 ~name:"late" ~wcet:1 ~period:5 () ]))
+
+let test_liu_layland () =
+  Alcotest.(check (float 1e-9)) "n=1" 1.0 (Rta.liu_layland_bound 1);
+  Alcotest.(check (float 1e-4)) "n=2" 0.8284 (Rta.liu_layland_bound 2);
+  Alcotest.(check bool) "decreasing toward ln 2" true
+    (Rta.liu_layland_bound 100 > 0.693
+    && Rta.liu_layland_bound 100 < Rta.liu_layland_bound 2)
+
+(* random constrained task sets *)
+let task_set_gen =
+  let open QCheck.Gen in
+  let task_gen i =
+    let* period = int_range 10 1000 in
+    let* wcet = int_range 1 (max 1 (period / 4)) in
+    return (t ~name:(Printf.sprintf "t%d" i) ~wcet ~period ())
+  in
+  let* n = int_range 1 6 in
+  let rec build i =
+    if i >= n then return []
+    else
+      let* tk = task_gen i in
+      let* rest = build (i + 1) in
+      return (tk :: rest)
+  in
+  build 0
+
+let task_set =
+  QCheck.make
+    ~print:(fun ts ->
+      String.concat "; "
+        (List.map
+           (fun tk -> Printf.sprintf "%s C=%d T=%d" tk.Rta.tk_name tk.Rta.tk_wcet tk.Rta.tk_period)
+           ts))
+    task_set_gen
+
+let props =
+  [ prop "responses bound deadlines and dominate WCETs" task_set (fun ts ->
+        let a = Rta.analyze ts in
+        List.for_all
+          (fun v ->
+            match v.Rta.v_response with
+            | Some r ->
+                r >= v.Rta.v_task.Rta.tk_wcet && r <= v.Rta.v_task.Rta.tk_deadline
+            | None -> true)
+          a.Rta.a_verdicts);
+    prop "utilization below Liu-Layland implies schedulable" task_set
+      (fun ts ->
+        let a = Rta.analyze ts in
+        (not (a.Rta.a_utilization <= a.Rta.a_ll_bound)) || a.Rta.a_schedulable);
+    prop "highest priority task always meets C = R" task_set (fun ts ->
+        let a = Rta.analyze ts in
+        match a.Rta.a_verdicts with
+        | v :: _ -> v.Rta.v_response = Some v.Rta.v_task.Rta.tk_wcet
+        | [] -> false);
+    prop "inflating a WCET never shrinks responses" task_set (fun ts ->
+        let a = Rta.analyze ts in
+        let inflated =
+          match ts with
+          | first :: rest -> { first with Rta.tk_wcet = first.Rta.tk_wcet } :: rest
+          | [] -> []
+        in
+        (* inflate the shortest-period task by 1 where it stays valid *)
+        let inflated =
+          List.map
+            (fun tk ->
+              if tk.Rta.tk_wcet + 1 <= tk.Rta.tk_deadline then
+                { tk with Rta.tk_wcet = tk.Rta.tk_wcet + 1 }
+              else tk)
+            inflated
+        in
+        let b = Rta.analyze inflated in
+        List.for_all2
+          (fun va vb ->
+            match (va.Rta.v_response, vb.Rta.v_response) with
+            | Some ra, Some rb -> rb >= ra
+            | _, None -> true
+            | None, Some _ -> false)
+          a.Rta.a_verdicts b.Rta.a_verdicts) ]
+
+(* the QTA-to-RTA bridge *)
+let test_of_program () =
+  let p =
+    S4e_asm.Assembler.assemble_exn {|
+_start:
+  ebreak
+task_fast:
+  li   a0, 0
+  li   a1, 4
+tf_loop:
+  addi a0, a0, 1
+  blt  a0, a1, tf_loop
+  mret
+task_slow:
+  li   a0, 0
+  li   a1, 40
+ts_loop:
+  addi a0, a0, 1
+  blt  a0, a1, ts_loop
+  mret
+|}
+  in
+  match
+    Rta.of_program p ~tasks:[ ("task_fast", 400); ("task_slow", 4000) ]
+  with
+  | Error m -> Alcotest.failf "bridge failed: %s" m
+  | Ok tasks ->
+      let a = Rta.analyze tasks in
+      Alcotest.(check bool) "bridge schedulable" true a.Rta.a_schedulable;
+      List.iter
+        (fun tk ->
+          Alcotest.(check bool)
+            (tk.Rta.tk_name ^ " has analyzer-derived wcet")
+            true (tk.Rta.tk_wcet > 0))
+        tasks;
+      (* the slow task runs ten times the iterations: its bound must
+         be substantially larger *)
+      (match tasks with
+      | [ fast; slow ] ->
+          Alcotest.(check bool) "slow >> fast" true
+            (slow.Rta.tk_wcet > 3 * fast.Rta.tk_wcet)
+      | _ -> Alcotest.fail "two tasks");
+      ()
+
+let test_of_program_missing_symbol () =
+  let p = S4e_asm.Assembler.assemble_exn "_start:\n  ebreak\n" in
+  match Rta.of_program p ~tasks:[ ("nope", 100) ] with
+  | Error m ->
+      Alcotest.(check bool) "mentions the symbol" true
+        (String.length m > 0)
+  | Ok _ -> Alcotest.fail "missing symbol must error"
+
+let () =
+  Alcotest.run "rtos"
+    [ ( "rta",
+        [ Alcotest.test_case "textbook responses" `Quick
+            test_textbook_responses;
+          Alcotest.test_case "unschedulable detected" `Quick
+            test_unschedulable_detected;
+          Alcotest.test_case "rate-monotonic ordering" `Quick
+            test_rate_monotonic_ordering;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "liu-layland" `Quick test_liu_layland ] );
+      ("properties", props);
+      ( "wcet-bridge",
+        [ Alcotest.test_case "of_program" `Quick test_of_program;
+          Alcotest.test_case "missing symbol" `Quick
+            test_of_program_missing_symbol ] ) ]

