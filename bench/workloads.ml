@@ -294,6 +294,94 @@ mix_in:
   ret
 |} }
 
+(* A dhrystone-flavoured synthetic: a long loop of string copy, string
+   compare, call-heavy integer mixing, and array updates.  At ~35k
+   retired instructions it is the campaign-engine workload of E12 (long
+   golden runs make snapshot forking and early exit measurable); it is
+   deliberately NOT in [all] (E4/E9 expect small WCET-annotated
+   kernels). *)
+let dhrystone =
+  { w_name = "dhrystone";
+    w_expect = None;
+    w_annotations = [ ("dhry_loop", 120) ];
+    w_source =
+      {|
+_start:
+  li   sp, 0x80040000
+  li   s0, 0            # iteration
+  li   s1, 120          # runs
+  li   s5, 0            # checksum
+dhry_loop:
+  la   a0, src_str
+  la   a1, dst_str
+  li   a2, 16
+  call str_copy
+  la   a0, src_str
+  la   a1, dst_str
+  li   a2, 16
+  call str_cmp
+  add  s5, s5, a0
+  mv   a0, s0
+  call int_mix
+  add  s5, s5, a0
+  la   a3, arr
+  andi a4, s0, 15
+  slli a4, a4, 2
+  add  a3, a3, a4
+  lw   a5, 0(a3)
+  add  a5, a5, s5
+  sw   a5, 0(a3)
+  addi s0, s0, 1
+  blt  s0, s1, dhry_loop
+|}
+      ^ exit_with "s5"
+      ^ {|
+# copy a2 bytes from a0 to a1
+str_copy:
+  li   t0, 0
+sc_loop:
+  add  t1, a0, t0
+  lbu  t2, 0(t1)
+  add  t3, a1, t0
+  sb   t2, 0(t3)
+  addi t0, t0, 1
+  blt  t0, a2, sc_loop
+  ret
+# a0 <- 1 if the first a2 bytes of a0/a1 match
+str_cmp:
+  li   t0, 0
+  li   t4, 1
+scm_loop:
+  add  t1, a0, t0
+  lbu  t2, 0(t1)
+  add  t3, a1, t0
+  lbu  t5, 0(t3)
+  beq  t2, t5, scm_ok
+  li   t4, 0
+scm_ok:
+  addi t0, t0, 1
+  blt  t0, a2, scm_loop
+  mv   a0, t4
+  ret
+# a0 <- mix(a0)
+int_mix:
+  slli t0, a0, 2
+  add  t0, t0, a0
+  li   t5, 42
+  xor  t0, t0, t5
+  andi a0, t0, 255
+  ret
+|}
+      ^ {|
+  .data
+src_str:
+  .ascii "DHRYSTONE PROGRAM!!!"
+dst_str:
+  .space 20
+arr:
+  .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+|} }
+
 let all = [ bubble_sort; matmul; crc32; fib; search; calls ]
 
 let program w = S4e_asm.Assembler.assemble_exn w.w_source

@@ -41,6 +41,12 @@ let fuel_arg =
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
+let jobs_arg =
+  Arg.(value & opt int (S4e_par.Par_pool.default_jobs ())
+       & info [ "j"; "jobs" ] ~docv:"JOBS"
+           ~doc:"Worker domains to simulate with (default: the number of \
+                 cores). Results are identical for every value.")
+
 (* ---------------- run ---------------- *)
 
 let run_cmd =
@@ -300,7 +306,7 @@ let coverage_cmd =
     Arg.(value & opt int 5 & info [ "torture-programs" ] ~docv:"N"
            ~doc:"Number of random torture programs in the third suite.")
   in
-  let action torture_n =
+  let action torture_n jobs =
     let isa = S4e_cpu.Machine.default_config.S4e_cpu.Machine.isa in
     let suites =
       [ ("architectural", S4e_torture.Suites.arch_suite ~isa);
@@ -311,7 +317,8 @@ let coverage_cmd =
     in
     let reports =
       List.map
-        (fun (name, progs) -> (name, S4e_core.Flows.coverage_of_suite progs))
+        (fun (name, progs) ->
+          (name, S4e_core.Flows.coverage_of_suite ~jobs progs))
         suites
     in
     List.iter
@@ -329,7 +336,7 @@ let coverage_cmd =
   Cmd.v
     (Cmd.info "coverage"
        ~doc:"Instruction and register coverage of the three test suites.")
-    Term.(const action $ torture_n)
+    Term.(const action $ torture_n $ jobs_arg)
 
 (* ---------------- fault ---------------- *)
 
@@ -342,14 +349,35 @@ let fault_cmd =
     Arg.(value & flag & info [ "blind" ]
            ~doc:"Ignore coverage guidance when choosing injection sites.")
   in
-  let action file mutants seed blind fuel =
+  let rerun_arg =
+    Arg.(value & flag & info [ "rerun" ]
+           ~doc:"Use the naive engine (every mutant re-runs from reset, no \
+                 snapshot forking or early exit).")
+  in
+  let fault_fuel_arg =
+    Arg.(value & opt (some int) None & info [ "fuel" ] ~docv:"N"
+           ~doc:"Per-run instruction budget (golden run and every mutant). \
+                 Default: 10 million for the golden run, 3x the golden \
+                 instruction count per mutant (hang detection).")
+  in
+  let action file mutants seed blind rerun fuel jobs =
     let p = assemble_file file in
+    let engine =
+      if rerun then S4e_fault.Campaign.rerun_engine
+      else S4e_fault.Campaign.default_engine
+    in
     let cfg =
       { S4e_core.Flows.default_fault_config with
         S4e_core.Flows.ff_seed = seed; ff_mutants = mutants;
-        ff_blind = blind; ff_fuel = fuel }
+        ff_blind = blind;
+        ff_fuel = Option.value fuel ~default:10_000_000;
+        ff_hang_budget =
+          (match fuel with
+          | Some _ -> S4e_core.Flows.Hang_fuel
+          | None -> S4e_core.Flows.Hang_auto);
+        ff_engine = engine }
     in
-    let r = S4e_core.Flows.fault_flow cfg p in
+    let r = S4e_core.Flows.fault_flow ~jobs cfg p in
     Format.printf "%a@." S4e_fault.Campaign.pp_summary r.S4e_core.Flows.ff_summary;
     List.iter
       (fun (f, o) ->
@@ -361,7 +389,8 @@ let fault_cmd =
   in
   Cmd.v
     (Cmd.info "fault" ~doc:"Coverage-guided bit-flip fault campaign.")
-    Term.(const action $ file_arg $ mutants_arg $ seed_arg $ blind_arg $ fuel_arg)
+    Term.(const action $ file_arg $ mutants_arg $ seed_arg $ blind_arg
+          $ rerun_arg $ fault_fuel_arg $ jobs_arg)
 
 (* ---------------- torture ---------------- *)
 
@@ -377,25 +406,49 @@ let torture_cmd =
     Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"OUT.bin"
            ~doc:"Also save the generated program as a binary image.")
   in
-  let action seed segments compress out =
-    let cfg =
+  let count_arg =
+    Arg.(value & opt int 1 & info [ "count" ] ~docv:"N"
+           ~doc:"Generate and run N programs with seeds SEED..SEED+N-1 \
+                 (domain-parallel with --jobs).")
+  in
+  let action seed segments compress out count jobs =
+    let cfg_of seed =
       { S4e_torture.Torture.default_config with
         S4e_torture.Torture.seed; segments; compress }
     in
-    let p = S4e_torture.Torture.generate cfg in
-    (match out with
-    | Some path -> S4e_asm.Program.save p path
-    | None -> ());
-    let r =
-      S4e_core.Flows.run ~fuel:(S4e_torture.Torture.fuel_bound cfg) p
-    in
-    Format.printf "torture seed=%d: %a; %d instructions@." seed
-      S4e_cpu.Machine.pp_stop_reason r.S4e_core.Flows.rr_stop
-      r.S4e_core.Flows.rr_instret
+    if count <= 1 then begin
+      let cfg = cfg_of seed in
+      let p = S4e_torture.Torture.generate cfg in
+      (match out with
+      | Some path -> S4e_asm.Program.save p path
+      | None -> ());
+      let r =
+        S4e_core.Flows.run ~fuel:(S4e_torture.Torture.fuel_bound cfg) p
+      in
+      Format.printf "torture seed=%d: %a; %d instructions@." seed
+        S4e_cpu.Machine.pp_stop_reason r.S4e_core.Flows.rr_stop
+        r.S4e_core.Flows.rr_instret
+    end
+    else begin
+      let fuel = S4e_torture.Torture.fuel_bound (cfg_of seed) in
+      let suite =
+        List.init count (fun i ->
+            let s = seed + i in
+            (string_of_int s, S4e_torture.Torture.generate (cfg_of s)))
+      in
+      let results = S4e_core.Flows.run_suite ~fuel ~jobs suite in
+      List.iter
+        (fun (name, r) ->
+          Format.printf "torture seed=%s: %a; %d instructions@." name
+            S4e_cpu.Machine.pp_stop_reason r.S4e_core.Flows.rr_stop
+            r.S4e_core.Flows.rr_instret)
+        results
+    end
   in
   Cmd.v
-    (Cmd.info "torture" ~doc:"Generate and run a random test program.")
-    Term.(const action $ seed_arg $ segments_arg $ compress_arg $ out_arg)
+    (Cmd.info "torture" ~doc:"Generate and run random test programs.")
+    Term.(const action $ seed_arg $ segments_arg $ compress_arg $ out_arg
+          $ count_arg $ jobs_arg)
 
 (* ---------------- bmi ---------------- *)
 

@@ -21,23 +21,49 @@ let run ?config ?(fuel = default_fuel) p =
     rr_cycles = Machine.cycles m;
     rr_uart = Machine.uart_output m }
 
-let coverage_of_suite ?config ?(fuel = default_fuel) suite =
+let coverage_of_program ?config ~fuel p =
+  let m = Machine.create ?config () in
+  let collector = S4e_coverage.Collector.attach m () in
+  Program.load_machine p m;
+  let (_ : Machine.stop_reason) = Machine.run m ~fuel in
+  let rep = S4e_coverage.Collector.report collector in
+  S4e_coverage.Collector.detach m collector;
+  rep
+
+let coverage_of_suite ?config ?(fuel = default_fuel) ?(jobs = 1) suite =
   let isa =
     match config with
     | Some c -> c.Machine.isa
     | None -> Machine.default_config.Machine.isa
   in
-  List.fold_left
-    (fun acc (_, p) ->
-      let m = Machine.create ?config () in
-      let collector = S4e_coverage.Collector.attach m () in
-      Program.load_machine p m;
-      let (_ : Machine.stop_reason) = Machine.run m ~fuel in
-      let rep = S4e_coverage.Collector.report collector in
-      S4e_coverage.Collector.detach m collector;
-      S4e_coverage.Report.combine acc rep)
+  let reports =
+    if jobs <= 1 || List.length suite <= 1 then
+      List.map (fun (_, p) -> coverage_of_program ?config ~fuel p) suite
+    else begin
+      (* force the shared decoder tables before domains race on them *)
+      ignore (Machine.create ?config () : Machine.t);
+      S4e_par.Par_pool.with_pool ~jobs (fun pool ->
+          S4e_par.Par_pool.map_chunked ~chunk:1 pool
+            (fun (_, p) -> coverage_of_program ?config ~fuel p)
+            suite)
+    end
+  in
+  (* [map_chunked] preserves input order, so the combine below folds the
+     suite in the same order regardless of [jobs] *)
+  List.fold_left S4e_coverage.Report.combine
     (S4e_coverage.Report.create ~isa)
-    suite
+    reports
+
+let run_suite ?config ?fuel ?(jobs = 1) suite =
+  if jobs <= 1 || List.length suite <= 1 then
+    List.map (fun (name, p) -> (name, run ?config ?fuel p)) suite
+  else begin
+    ignore (Machine.create ?config () : Machine.t);
+    S4e_par.Par_pool.with_pool ~jobs (fun pool ->
+        S4e_par.Par_pool.map_chunked ~chunk:1 pool
+          (fun (name, p) -> (name, run ?config ?fuel p))
+          suite)
+  end
 
 type wcet_result = {
   wr_static : int;
@@ -72,19 +98,24 @@ let wcet_flow ?config ?(model = S4e_cpu.Timing_model.default)
               wr_report = report;
               wr_stop = stop })
 
+type hang_budget = Hang_fuel | Hang_auto | Hang_insns of int
+
 type fault_flow_config = {
   ff_seed : int;
   ff_mutants : int;
   ff_targets : S4e_fault.Campaign.target list;
   ff_kinds : S4e_fault.Campaign.kind_choice list;
   ff_fuel : int;
+  ff_hang_budget : hang_budget;
   ff_blind : bool;
+  ff_engine : S4e_fault.Campaign.engine;
 }
 
 let default_fault_config =
   { ff_seed = 1; ff_mutants = 100; ff_targets = [ `Gpr; `Code; `Data ];
     ff_kinds = [ `Permanent; `Transient ]; ff_fuel = 1_000_000;
-    ff_blind = false }
+    ff_hang_budget = Hang_fuel; ff_blind = false;
+    ff_engine = S4e_fault.Campaign.default_engine }
 
 type fault_flow_result = {
   ff_summary : S4e_fault.Campaign.summary;
@@ -92,7 +123,7 @@ type fault_flow_result = {
   ff_golden : S4e_fault.Campaign.signature;
 }
 
-let fault_flow ?config cfg p =
+let fault_flow ?config ?jobs cfg p =
   let golden, coverage = S4e_fault.Campaign.golden ?config ~fuel:cfg.ff_fuel p in
   let golden_instret = golden.S4e_fault.Campaign.sig_instret in
   let faults =
@@ -103,7 +134,16 @@ let fault_flow ?config cfg p =
       S4e_fault.Campaign.generate ~seed:cfg.ff_seed ~n:cfg.ff_mutants
         ~targets:cfg.ff_targets ~kinds:cfg.ff_kinds ~coverage ~golden_instret
   in
-  let results = S4e_fault.Campaign.run ?config ~fuel:cfg.ff_fuel p ~golden faults in
+  let budget =
+    match cfg.ff_hang_budget with
+    | Hang_fuel -> cfg.ff_fuel
+    | Hang_insns b -> b
+    | Hang_auto -> min cfg.ff_fuel (max 10_000 (3 * golden_instret))
+  in
+  let results =
+    S4e_fault.Campaign.run ?config ~engine:cfg.ff_engine ?jobs
+      ~fuel:budget p ~golden faults
+  in
   { ff_summary = S4e_fault.Campaign.summarize results;
     ff_results = results;
     ff_golden = golden }

@@ -26,10 +26,22 @@ val run :
 val coverage_of_suite :
   ?config:S4e_cpu.Machine.config ->
   ?fuel:int ->
+  ?jobs:int ->
   (string * S4e_asm.Program.t) list ->
   S4e_coverage.Report.t
 (** Runs every program of the suite on a fresh machine and combines the
-    reports. *)
+    reports.  With [jobs > 1] the programs run on a
+    {!S4e_par.Par_pool}; reports are still combined in suite order, so
+    the result is independent of [jobs]. *)
+
+val run_suite :
+  ?config:S4e_cpu.Machine.config ->
+  ?fuel:int ->
+  ?jobs:int ->
+  (string * S4e_asm.Program.t) list ->
+  (string * run_result) list
+(** [run] over a whole suite, optionally domain-parallel; results keep
+    suite order. *)
 
 (** {1 WCET (the QTA flow)} *)
 
@@ -54,17 +66,36 @@ val wcet_flow :
 
 (** {1 Fault campaigns} *)
 
+type hang_budget =
+  | Hang_fuel  (** per-mutant budget = [ff_fuel] *)
+  | Hang_auto
+      (** 3x the golden run's instruction count, clamped to
+          [\[10_000, ff_fuel\]] — a mutant that runs 3x longer than the
+          healthy program is declared hung without burning the rest of
+          [ff_fuel] *)
+  | Hang_insns of int  (** explicit per-mutant budget *)
+
 type fault_flow_config = {
   ff_seed : int;
   ff_mutants : int;
   ff_targets : S4e_fault.Campaign.target list;
   ff_kinds : S4e_fault.Campaign.kind_choice list;
-  ff_fuel : int;
+  ff_fuel : int;  (** fuel for the golden run *)
+  ff_hang_budget : hang_budget;
+      (** per-mutant instruction budget — the hang-detection timeout.
+          Mutants that exhaust it are classified [Hung], including a
+          faulty run that would eventually terminate with more fuel;
+          tightening the budget trades a sharper masked/crashed split
+          on such slow mutants for not simulating every hung mutant to
+          the full [ff_fuel].  [Hang_fuel] keeps the exhaustive
+          behaviour. *)
   ff_blind : bool;  (** ablation: ignore coverage guidance *)
+  ff_engine : S4e_fault.Campaign.engine;  (** execution strategy *)
 }
 
 val default_fault_config : fault_flow_config
-(** seed 1, 100 mutants, GPR+code+data, both kinds, fuel 1M, guided. *)
+(** seed 1, 100 mutants, GPR+code+data, both kinds, fuel 1M,
+    [Hang_fuel], guided, {!S4e_fault.Campaign.default_engine}. *)
 
 type fault_flow_result = {
   ff_summary : S4e_fault.Campaign.summary;
@@ -74,6 +105,9 @@ type fault_flow_result = {
 
 val fault_flow :
   ?config:S4e_cpu.Machine.config ->
+  ?jobs:int ->
   fault_flow_config ->
   S4e_asm.Program.t ->
   fault_flow_result
+(** [jobs] overrides [cfg.ff_engine.eng_jobs]; outcomes are identical
+    for every [jobs] value. *)

@@ -1,0 +1,122 @@
+(* A small domain-backed worker pool (stdlib Domain + Mutex/Condition,
+   no dependencies).
+
+   The pool keeps [jobs - 1] worker domains parked on a condition
+   variable; the submitting domain always participates in its own
+   [map_chunked], so [jobs = 1] degenerates to a plain [List.map] with
+   zero synchronization.  Work distribution is dynamic (an atomic
+   chunk cursor), result placement is by index, so output order always
+   equals input order regardless of scheduling. *)
+
+type job = unit -> unit
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t;
+  queue : job Queue.t;
+  mutable live : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && t.live do
+    Condition.wait t.work t.mutex
+  done;
+  match Queue.take_opt t.queue with
+  | None ->
+      (* queue empty and the pool is shutting down *)
+      Mutex.unlock t.mutex
+  | Some job ->
+      Mutex.unlock t.mutex;
+      job ();
+      worker_loop t
+
+let create ?jobs () =
+  let jobs = max 1 (Option.value jobs ~default:(default_jobs ())) in
+  let t =
+    { jobs; mutex = Mutex.create (); work = Condition.create ();
+      queue = Queue.create (); live = true; workers = [||] }
+  in
+  if jobs > 1 then
+    t.workers <-
+      Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.live <- false;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let map_chunked ?chunk t f xs =
+  match xs with
+  | [] -> []
+  | xs when t.jobs = 1 || t.workers = [||] -> List.map f xs
+  | xs ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let chunk =
+        max 1
+          (match chunk with
+          | Some c -> c
+          | None -> (n + (4 * t.jobs) - 1) / (4 * t.jobs))
+      in
+      let n_chunks = (n + chunk - 1) / chunk in
+      let out = Array.make n None in
+      let next = Atomic.make 0 in
+      let done_m = Mutex.create () in
+      let done_c = Condition.create () in
+      let finished = ref 0 in
+      let failed = ref None in
+      let run_chunk ci =
+        (try
+           let lo = ci * chunk in
+           let hi = min n (lo + chunk) in
+           for i = lo to hi - 1 do
+             out.(i) <- Some (f arr.(i))
+           done
+         with e ->
+           Mutex.lock done_m;
+           if !failed = None then failed := Some e;
+           Mutex.unlock done_m);
+        Mutex.lock done_m;
+        incr finished;
+        if !finished = n_chunks then Condition.signal done_c;
+        Mutex.unlock done_m
+      in
+      (* Each puller drains the shared chunk cursor until exhausted; a
+         puller queued behind a long-running job from an earlier call
+         simply finds the cursor spent and returns. *)
+      let rec puller () =
+        let ci = Atomic.fetch_and_add next 1 in
+        if ci < n_chunks then begin
+          run_chunk ci;
+          puller ()
+        end
+      in
+      Mutex.lock t.mutex;
+      for _ = 1 to min (t.jobs - 1) n_chunks do
+        Queue.push puller t.queue
+      done;
+      Condition.broadcast t.work;
+      Mutex.unlock t.mutex;
+      puller ();
+      Mutex.lock done_m;
+      while !finished < n_chunks do
+        Condition.wait done_c done_m
+      done;
+      Mutex.unlock done_m;
+      (match !failed with Some e -> raise e | None -> ());
+      Array.to_list (Array.map Option.get out)

@@ -1,0 +1,35 @@
+(** Domain-parallel worker pool for embarrassingly parallel workloads
+    (fault campaigns, coverage suites, torture sweeps).
+
+    Built on stdlib [Domain] + [Mutex]/[Condition] only.  A pool with
+    [jobs = n] owns [n - 1] parked worker domains; the caller's domain
+    is the n-th worker during {!map_chunked}.  Results are placed by
+    index, so every map preserves input order and is deterministic
+    whenever [f] is — parallelism never reorders or changes results.
+
+    Tasks must not share mutable state: each machine/simulation must be
+    confined to the task that created it. *)
+
+type t
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1. *)
+
+val create : ?jobs:int -> unit -> t
+(** Spawns the worker domains.  [jobs] defaults to {!default_jobs};
+    values [<= 1] yield a pool that runs everything on the caller. *)
+
+val jobs : t -> int
+
+val map_chunked : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_chunked pool f xs] is [List.map f xs] computed by all workers.
+    Elements are handed out in contiguous chunks of [chunk] (default:
+    [length / (4 * jobs)], at least 1) through a dynamic cursor, so
+    irregular per-element cost still balances.  The first exception
+    raised by [f] is re-raised in the caller after all workers drain. *)
+
+val shutdown : t -> unit
+(** Joins the worker domains.  The pool must not be used afterwards. *)
+
+val with_pool : ?jobs:int -> (t -> 'b) -> 'b
+(** [with_pool f] creates a pool, runs [f], and always shuts down. *)

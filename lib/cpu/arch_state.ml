@@ -166,3 +166,20 @@ let copy t =
   in
   c.time_source <- (fun () -> c.cycle);
   c
+
+let restore dst src =
+  Array.blit src.regs 0 dst.regs 0 32;
+  Array.blit src.fregs 0 dst.fregs 0 32;
+  dst.pc <- src.pc;
+  dst.mstatus <- src.mstatus;
+  dst.mie <- src.mie;
+  dst.mip <- src.mip;
+  dst.mtvec <- src.mtvec;
+  dst.mscratch <- src.mscratch;
+  dst.mepc <- src.mepc;
+  dst.mcause <- src.mcause;
+  dst.mtval <- src.mtval;
+  dst.fcsr <- src.fcsr;
+  dst.cycle <- src.cycle;
+  dst.instret <- src.instret;
+  dst.reservation <- src.reservation

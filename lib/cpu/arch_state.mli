@@ -56,3 +56,8 @@ val csr_write : t -> S4e_isa.Csr.t -> word -> unit option
 
 val copy : t -> t
 (** Deep copy (snapshot for fault campaigns and differential runs). *)
+
+val restore : t -> t -> unit
+(** [restore dst src] copies every architectural field of [src] into
+    [dst] in place.  [dst.time_source] is deliberately left untouched
+    so a machine's CLINT wiring survives the rewind. *)

@@ -42,6 +42,7 @@ type t = {
   config : config;
   decode32 : word -> Instr.t option;
   tb : Tb_cache.t;
+  mutable last_load : (bool * int) option;
 }
 
 module Sset = Set.Make (String)
@@ -99,13 +100,14 @@ let create ?(config = default_config) () =
       ~fetch16:(Bus.fetch16 bus) ()
   in
   { state; bus; uart; clint; gpio; syscon; hooks = Hooks.create ();
-    config; decode32; tb }
+    config; decode32; tb; last_load = None }
 
 let reset t ~pc =
   Arch_state.reset t.state ~pc;
   Soc.Clint.reset t.clint;
   Soc.Syscon.reset t.syscon;
-  Soc.Uart.clear_output t.uart
+  Soc.Uart.clear_output t.uart;
+  t.last_load <- None
 
 (* Interrupt pending bits in mip. *)
 let msip_bit = 1 lsl 3
@@ -190,25 +192,23 @@ let run t ~fuel =
   let compressed = List.mem Isa_module.C t.config.isa in
   let remaining = ref fuel in
   let on_mem ev =
-    if ev.Hooks.mem_is_store then begin
+    if ev.Hooks.mem_is_store then
       Tb_cache.notify_store t.tb ev.Hooks.mem_addr;
-      (* Reflect CLINT writes (e.g. mtimecmp) immediately. *)
-      ()
-    end;
     if Hooks.has_mem t.hooks then Hooks.fire_mem t.hooks ev
   in
   (* Load-use hazard tracking: the destination of the previous
-     instruction when it was a load (kind distinguishes GPR/FPR). *)
+     instruction when it was a load (kind distinguishes GPR/FPR).
+     Lives on the machine so a run split by snapshot/resume charges the
+     same stalls as one uninterrupted run. *)
   let hazard = timing.Timing_model.load_use_hazard in
-  let last_load : (bool * int) option ref = ref None in
   let hazard_stall instr =
-    match !last_load with
+    match t.last_load with
     | Some (false, d) when List.mem d (Instr.sources instr) -> hazard
     | Some (true, d) when List.mem d (Instr.fp_sources instr) -> hazard
     | Some _ | None -> 0
   in
   let update_last_load instr =
-    last_load :=
+    t.last_load <-
       (match instr with
       | Instr.Load (_, rd, _, _) -> Some (false, rd)
       | Instr.Flw (frd, _, _) -> Some (true, frd)
@@ -228,7 +228,7 @@ let run t ~fuel =
        state.cycle <- state.cycle + c;
        Soc.Clint.tick t.clint c
      with Trap.Exn cause -> (
-       last_load := None;
+       t.last_load <- None;
        match enter_exception t cause ipc with
        | Some stop -> raise (Stop stop)
        | None ->
@@ -263,7 +263,7 @@ let run t ~fuel =
       (match pending_interrupt t with
       | Some irq ->
           enter_interrupt t irq;
-          last_load := None
+          t.last_load <- None
       | None -> ());
       let pc = state.pc in
       if misaligned_pc t pc then begin
@@ -311,3 +311,66 @@ let run t ~fuel =
     done;
     Out_of_fuel
   with Stop reason -> reason
+
+(* ---------------- snapshot / restore ---------------- *)
+
+type snapshot = {
+  snap_state : Arch_state.t;
+  snap_mem : S4e_mem.Sparse_mem.snapshot;
+  snap_uart : Soc.Uart.snapshot;
+  snap_clint : Soc.Clint.snapshot;
+  snap_gpio : Soc.Gpio.snapshot;
+  snap_syscon : Soc.Syscon.snapshot;
+  snap_last_load : (bool * int) option;
+}
+
+let snapshot t =
+  { snap_state = Arch_state.copy t.state;
+    snap_mem = S4e_mem.Sparse_mem.snapshot (Bus.ram t.bus);
+    snap_uart = Soc.Uart.snapshot t.uart;
+    snap_clint = Soc.Clint.snapshot t.clint;
+    snap_gpio = Soc.Gpio.snapshot t.gpio;
+    snap_syscon = Soc.Syscon.snapshot t.syscon;
+    snap_last_load = t.last_load }
+
+let restore t s =
+  Arch_state.restore t.state s.snap_state;
+  S4e_mem.Sparse_mem.restore (Bus.ram t.bus) s.snap_mem;
+  Soc.Uart.restore t.uart s.snap_uart;
+  Soc.Clint.restore t.clint s.snap_clint;
+  Soc.Gpio.restore t.gpio s.snap_gpio;
+  Soc.Syscon.restore t.syscon s.snap_syscon;
+  t.last_load <- s.snap_last_load;
+  (* Restored memory may hold different code than what was translated. *)
+  Tb_cache.flush t.tb
+
+let state_digest ?(include_time = true) t =
+  let st = t.state in
+  let b = Buffer.create 1024 in
+  let add v =
+    Buffer.add_string b (string_of_int v);
+    Buffer.add_char b ';'
+  in
+  Array.iter add st.Arch_state.regs;
+  Array.iter add st.Arch_state.fregs;
+  add st.Arch_state.pc;
+  add st.Arch_state.mstatus;
+  add st.Arch_state.mie;
+  add st.Arch_state.mip;
+  add st.Arch_state.mtvec;
+  add st.Arch_state.mscratch;
+  add st.Arch_state.mepc;
+  add st.Arch_state.mcause;
+  add st.Arch_state.mtval;
+  add st.Arch_state.fcsr;
+  if include_time then add st.Arch_state.cycle;
+  add st.Arch_state.instret;
+  (match st.Arch_state.reservation with None -> add (-1) | Some a -> add a);
+  if include_time then add (Soc.Clint.time t.clint);
+  add (Soc.Clint.timecmp t.clint);
+  add (if Soc.Clint.software_pending t.clint then 1 else 0);
+  add (Soc.Gpio.output t.gpio);
+  Buffer.add_string b (Soc.Uart.output t.uart);
+  Buffer.add_char b ';';
+  Buffer.add_string b (S4e_mem.Sparse_mem.digest (Bus.ram t.bus));
+  Digest.string (Buffer.contents b)

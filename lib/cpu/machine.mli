@@ -42,6 +42,10 @@ type t = {
   config : config;
   decode32 : word -> S4e_isa.Instr.t option;
   tb : Tb_cache.t;
+  mutable last_load : (bool * int) option;
+      (** load-use hazard window (kind, destination) of the previous
+          retired instruction; persists across [run] calls so resumed
+          executions charge the same stalls as uninterrupted ones *)
 }
 
 val create : ?config:config -> unit -> t
@@ -64,3 +68,39 @@ val load_word : t -> word -> word -> unit
     devices and hooks) and invalidates affected translation blocks. *)
 
 val load_string : t -> word -> string -> unit
+
+(** {1 Snapshot / restore}
+
+    A snapshot captures everything a resumed [run] depends on:
+    architectural state, RAM (page copies), UART/CLINT/GPIO/syscon
+    device state, and the microarchitectural hazard window.  Hooks and
+    the TB cache are deliberately excluded: hooks belong to the
+    instrumentation layer, and the TB cache is flushed on restore
+    because restored memory may hold different code.
+
+    The fault campaign uses this to fork faulty runs off a golden
+    prefix instead of re-executing every mutant from reset. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** O(touched pages + registers); the snapshot is fully detached from
+    the machine and can be restored any number of times. *)
+
+val restore : t -> snapshot -> unit
+(** Rewinds the machine to the captured instant and flushes the TB
+    cache.  [run] can then resume as if execution had never left the
+    snapshot point. *)
+
+val state_digest : ?include_time:bool -> t -> string
+(** Digest of the complete snapshot-visible state (registers, CSRs,
+    cycle/instret, RAM, UART output, CLINT, GPIO).  Two machines with
+    equal digests behave identically from this point on (absent hook
+    interference) — the fault campaign's early-convergence check.
+
+    [~include_time:false] omits the cycle counter and the CLINT mtime
+    register.  Two machines with equal relaxed digests then execute the
+    same instruction stream from this point on {e provided} neither run
+    ever observes time (reads a cycle/time CSR, sleeps on WFI, takes a
+    timer interrupt or loads from the CLINT window) — the caller is
+    responsible for establishing that.  Defaults to [true]. *)

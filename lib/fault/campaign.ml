@@ -1,6 +1,9 @@
 module Machine = S4e_cpu.Machine
+module Arch_state = S4e_cpu.Arch_state
+module Hooks = S4e_cpu.Hooks
 module Program = S4e_asm.Program
 module Report = S4e_coverage.Report
+module Par_pool = S4e_par.Par_pool
 
 type outcome = Masked | Sdc | Crashed | Hung
 
@@ -47,7 +50,16 @@ let golden ?config ~fuel program =
 
 (* ---------------- fault-list generation ---------------- *)
 
-let keys_of table = Hashtbl.fold (fun k () acc -> k :: acc) table []
+(* Injection-site pools are always derived by sorted extraction so the
+   pool an index picks is a function of the key set alone, never of
+   hash-table internals. *)
+let sorted_sites ?(keep = fun _ -> true) table =
+  let arr =
+    Array.of_list
+      (Hashtbl.fold (fun k () acc -> if keep k then k :: acc else acc) table [])
+  in
+  Array.sort compare arr;
+  arr
 
 let pick rng arr = arr.(Random.State.int rng (Array.length arr))
 
@@ -94,20 +106,12 @@ let generate ~seed ~n ~targets ~kinds ~coverage ~golden_instret =
   let rep = (coverage : Report.t) in
   let gpr_pool = accessed_regs rep.Report.gpr_read rep.Report.gpr_written in
   let fpr_pool = accessed_regs rep.Report.fpr_read rep.Report.fpr_written in
-  let code_pool = Array.of_list (keys_of rep.Report.executed_pcs) in
-  Array.sort compare code_pool;
+  let code_pool = sorted_sites rep.Report.executed_pcs in
   let data_pool =
     (* exact touched addresses, excluding device windows: a data fault
        only makes sense where the program actually keeps state *)
-    let keys =
-      Hashtbl.fold
-        (fun k () acc ->
-          if k >= S4e_soc.Memory_map.ram_base then k :: acc else acc)
-        rep.Report.touched_data []
-    in
-    let arr = Array.of_list keys in
-    Array.sort compare arr;
-    arr
+    sorted_sites rep.Report.touched_data
+      ~keep:(fun k -> k >= S4e_soc.Memory_map.ram_base)
   in
   gen_with rng ~targets ~kinds ~golden_instret ~gpr_pool ~fpr_pool ~code_pool
     ~data_pool n
@@ -156,8 +160,333 @@ let run_one ?config ~fuel program ~golden fault =
   Injector.disarm m armed;
   classify ~golden m stop
 
-let run ?config ~fuel program ~golden faults =
-  List.map (fun f -> (f, run_one ?config ~fuel program ~golden f)) faults
+(* ---------------- the campaign engine ---------------- *)
+
+type engine = {
+  eng_jobs : int;
+  eng_fork : bool;
+  eng_checkpoint : int;
+  eng_escape : bool;
+}
+
+let default_engine =
+  { eng_jobs = 1; eng_fork = true; eng_checkpoint = 1024; eng_escape = false }
+
+let rerun_engine =
+  { eng_jobs = 1; eng_fork = false; eng_checkpoint = 0; eng_escape = false }
+
+(* A cheap O(registers) fingerprint used to reject non-matching
+   checkpoints before paying for the full memory digest.  Collisions
+   are harmless: a fingerprint match only gates the exact
+   [Machine.state_digest] comparison. *)
+let cheap_fingerprint (m : Machine.t) =
+  let st = m.Machine.state in
+  let h = ref 0 in
+  let mix v = h := ((!h * 31) + v) land max_int in
+  Array.iter mix st.Arch_state.regs;
+  Array.iter mix st.Arch_state.fregs;
+  mix st.Arch_state.pc;
+  mix st.Arch_state.mstatus;
+  !h
+
+(* A program is time-observable when its outcome can depend on the
+   cycle counter or the CLINT timer: it reads a time CSR, sleeps on
+   WFI, enables an interrupt source, or touches the CLINT window.  For
+   everything else the cycle/mtime counters are write-only telemetry
+   and can be excluded from the convergence check — which matters,
+   because a single perturbed branch leaves the cycle counter skewed
+   forever even after the architectural state reconverges. *)
+let is_time_csr c =
+  let open S4e_isa.Csr in
+  c = cycle || c = time || c = mcycle || c = cycleh || c = timeh
+
+let clint_lo = S4e_soc.Memory_map.clint_base
+let clint_hi = S4e_soc.Memory_map.clint_base + 0x10000
+
+(* The golden run's checkpoint trace: state digests at every [interval]
+   retired instructions, the executed-pc range, and the golden run's
+   own classification (what a run that never diverges must be).  Each
+   checkpoint keeps the time-dependent counters next to the relaxed
+   digest so the guard can apply either strictness. *)
+type trace = {
+  tr_interval : int;
+  tr_digests : (int, int * string * int * int) Hashtbl.t;
+      (** instret -> (cheap fingerprint, time-relaxed state digest,
+          cycle, CLINT mtime) *)
+  tr_code_lo : int;
+  tr_code_hi : int;
+  tr_strict : bool;
+      (** the golden run observes time, so convergence must also match
+          cycle and mtime *)
+  tr_outcome : outcome;
+}
+
+let collect_trace ?config ~fuel ~interval ~golden program =
+  let m = run_machine ?config program in
+  let st = m.Machine.state in
+  let digests = Hashtbl.create 64 in
+  let lo = ref max_int in
+  let hi = ref 0 in
+  let timed = ref false in
+  let mem_id =
+    Hooks.on_mem m.Machine.hooks (fun ev ->
+        let a = ev.Hooks.mem_addr in
+        if a >= clint_lo && a < clint_hi then timed := true)
+  in
+  let id =
+    Hooks.on_insn m.Machine.hooks (fun pc instr ->
+        if pc < !lo then lo := pc;
+        if pc + 4 > !hi then hi := pc + 4;
+        (match instr with
+        | S4e_isa.Instr.Wfi -> timed := true
+        | S4e_isa.Instr.Csr (_, _, csr, _) when is_time_csr csr ->
+            timed := true
+        | _ -> ());
+        if st.Arch_state.mie <> 0 then timed := true;
+        let ir = Machine.instret m in
+        if ir > 0 && ir mod interval = 0 && not (Hashtbl.mem digests ir) then
+          Hashtbl.replace digests ir
+            ( cheap_fingerprint m,
+              Machine.state_digest ~include_time:false m,
+              st.Arch_state.cycle,
+              S4e_soc.Clint.time m.Machine.clint ))
+  in
+  let stop = Machine.run m ~fuel in
+  Hooks.unregister m.Machine.hooks id;
+  Hooks.unregister m.Machine.hooks mem_id;
+  { tr_interval = interval;
+    tr_digests = digests;
+    tr_code_lo = (if !lo = max_int then 0 else !lo);
+    tr_code_hi = !hi;
+    tr_strict = !timed;
+    tr_outcome = classify ~golden m stop }
+
+(* Instret (absolute) after which the armed fault is fully applied and
+   its hooks are inert, i.e. state equality with the golden trace
+   implies an identical future.  Stuck-at register faults re-assert on
+   every instruction, so they never qualify. *)
+let inert_after f =
+  match (f.Fault.kind, f.Fault.loc) with
+  | Fault.Transient n, _ -> max 1 n
+  | Fault.Permanent, (Fault.Code _ | Fault.Data _) -> 0
+  | Fault.Permanent, (Fault.Gpr _ | Fault.Fpr _) -> max_int
+
+(* Golden instructions guaranteed identical before the fault can act. *)
+let golden_prefix f =
+  match f.Fault.kind with
+  | Fault.Transient n -> max 0 (n - 1)
+  | Fault.Permanent -> 0
+
+let shift_transient at f =
+  match f.Fault.kind with
+  | Fault.Transient n -> { f with Fault.kind = Fault.Transient (n - at) }
+  | Fault.Permanent -> f
+
+(* One worker task: a private machine, a reset snapshot, and a golden
+   cursor that advances monotonically through the chunk's injection
+   points so the golden prefix executes once per chunk, not once per
+   fault. *)
+let run_task ?config ~engine ~fuel ~golden ~trace program chunk =
+  let m = run_machine ?config program in
+  let st = m.Machine.state in
+  let out = Array.map (fun (i, _) -> (i, Masked)) chunk in
+  (* Convergence test at a checkpoint boundary ([st.instret] a multiple
+     of the trace interval).  The cheap fingerprint is checked every
+     time, but the full digest (an MD5 over memory, ~20us) is
+     throttled: a run whose registers reconverge while its memory stays
+     corrupted — a flipped byte in never-rewritten data, say — would
+     otherwise pay the full digest at every checkpoint until its budget
+     runs out.  Each miss doubles the stride between full-digest probes
+     (capped, so a late memory reconvergence is still caught within a
+     few intervals). *)
+  let probe tr ~next_full ~stride =
+    let ir = st.Arch_state.instret in
+    match Hashtbl.find_opt tr.tr_digests ir with
+    | Some (ck, d, cyc, mtime)
+      when ck = cheap_fingerprint m
+           && ((not tr.tr_strict)
+              || (cyc = st.Arch_state.cycle
+                 && mtime = S4e_soc.Clint.time m.Machine.clint))
+           && ir >= !next_full ->
+        if String.equal d (Machine.state_digest ~include_time:false m) then
+          true
+        else begin
+          next_full := ir + (!stride * tr.tr_interval);
+          stride := min 16 (2 * !stride);
+          false
+        end
+    | _ -> false
+  in
+  (* Run a faulty suffix in checkpoint-sized bursts, testing for
+     reconvergence with the golden trace at every boundary past
+     [inert_at].  The pauses piggyback on [Machine.run]'s fuel
+     accounting, so the guard costs nothing per instruction and an
+     unhooked run stays on the translation-block fast path. *)
+  let run_guarded tr ~budget ~inert_at =
+    let interval = tr.tr_interval in
+    let next_full = ref 0 in
+    let stride = ref 1 in
+    let escaped () =
+      engine.eng_escape
+      && st.Arch_state.mtvec = 0
+      && (st.Arch_state.pc < tr.tr_code_lo
+         || st.Arch_state.pc >= tr.tr_code_hi)
+    in
+    let rec go budget =
+      let ir = st.Arch_state.instret in
+      if budget <= 0 then classify ~golden m Machine.Out_of_fuel
+      else if
+        ir >= inert_at
+        && ir mod interval = 0
+        && probe tr ~next_full ~stride
+      then tr.tr_outcome
+      else if escaped () then Crashed
+      else begin
+        let next_ck =
+          let c = ((ir / interval) + 1) * interval in
+          if c >= inert_at then c
+          else (inert_at + interval - 1) / interval * interval
+        in
+        let step = min budget (next_ck - ir) in
+        match Machine.run m ~fuel:step with
+        | Machine.Out_of_fuel -> go (budget - step)
+        | stop -> classify ~golden m stop
+      end
+    in
+    go budget
+  in
+  let run_faulty ~slot ~budget ~inert_at fault =
+    (* The convergence guard only applies to transients: stuck-at
+       faults are never inert, and a permanent code/data flip persists
+       in the digested memory image, so neither can ever reconverge. *)
+    let guarded budget =
+      match (trace, fault.Fault.kind) with
+      | Some tr, Fault.Transient _ -> run_guarded tr ~budget ~inert_at
+      | _ -> classify ~golden m (Machine.run m ~fuel:budget)
+    in
+    let o =
+      match fault.Fault.kind with
+      | Fault.Transient n when engine.eng_fork && n < budget ->
+          (* Keep the injector's counting hook only until the flip
+             lands, then drop it: the suffix — the bulk of the run —
+             executes unhooked on the fast path. *)
+          let armed = Injector.arm m fault in
+          let r = Machine.run m ~fuel:n in
+          Injector.disarm m armed;
+          (match r with
+          | Machine.Out_of_fuel -> guarded (budget - n)
+          | stop -> classify ~golden m stop)
+      | _ ->
+          let armed = Injector.arm m fault in
+          let o = guarded budget in
+          Injector.disarm m armed;
+          o
+    in
+    out.(slot) <- (fst out.(slot), o)
+  in
+  let reset_snap = Machine.snapshot m in
+  let immediate, deferred =
+    let im = ref [] and de = ref [] in
+    Array.iteri
+      (fun slot (_, f) ->
+        if engine.eng_fork && golden_prefix f > 0 then de := (slot, f) :: !de
+        else im := (slot, f) :: !im)
+      chunk;
+    (List.rev !im, List.rev !de)
+  in
+  List.iter
+    (fun (slot, f) ->
+      Machine.restore m reset_snap;
+      run_faulty ~slot ~budget:fuel ~inert_at:(inert_after f) f)
+    immediate;
+  (* Deferred transients, by injection time: fork each off a snapshot
+     of the golden run at [n - 1] and simulate only the suffix. *)
+  let deferred =
+    List.sort
+      (fun (s1, f1) (s2, f2) ->
+        match compare (golden_prefix f1) (golden_prefix f2) with
+        | 0 -> compare s1 s2
+        | c -> c)
+      deferred
+  in
+  let snap = ref reset_snap in
+  let at = ref 0 in
+  let golden_ended = ref None in
+  List.iter
+    (fun (slot, f) ->
+      match !golden_ended with
+      | Some o -> out.(slot) <- (fst out.(slot), o)
+      | None ->
+          let pre = min (golden_prefix f) fuel in
+          let advanced =
+            if pre <= !at then true
+            else begin
+              Machine.restore m !snap;
+              match Machine.run m ~fuel:(pre - !at) with
+              | Machine.Out_of_fuel ->
+                  at := pre;
+                  snap := Machine.snapshot m;
+                  true
+              | stop ->
+                  (* the golden run ends before this (and so before any
+                     later) injection point: every remaining fault
+                     replays the golden run verbatim *)
+                  let o = classify ~golden m stop in
+                  golden_ended := Some o;
+                  out.(slot) <- (fst out.(slot), o);
+                  false
+            end
+          in
+          if advanced then begin
+            Machine.restore m !snap;
+            run_faulty ~slot ~budget:(fuel - !at)
+              ~inert_at:(inert_after f)
+              (shift_transient !at f)
+          end)
+    deferred;
+  out
+
+(* Chunking is a function of the fault list only — never of [jobs] —
+   so every degree of parallelism produces bit-identical results. *)
+let task_chunks = 16
+
+let run ?config ?(engine = default_engine) ?jobs ~fuel program ~golden faults =
+  let jobs = max 1 (Option.value jobs ~default:engine.eng_jobs) in
+  match faults with
+  | [] -> []
+  | _ ->
+      let trace =
+        if engine.eng_checkpoint > 0 then
+          Some
+            (collect_trace ?config ~fuel ~interval:engine.eng_checkpoint
+               ~golden program)
+        else None
+      in
+      let arr = Array.of_list faults in
+      let n = Array.length arr in
+      let n_chunks = min n task_chunks in
+      let chunk_size = (n + n_chunks - 1) / n_chunks in
+      let chunks =
+        List.init n_chunks (fun c ->
+            let lo = c * chunk_size in
+            let hi = min n (lo + chunk_size) in
+            Array.init (max 0 (hi - lo)) (fun k -> (lo + k, arr.(lo + k))))
+        |> List.filter (fun c -> Array.length c > 0)
+      in
+      let task = run_task ?config ~engine ~fuel ~golden ~trace program in
+      let results =
+        if jobs = 1 || List.length chunks = 1 then List.map task chunks
+        else begin
+          (* touch the shared decoder tables once before worker domains
+             could race on their lazy initialization *)
+          ignore (Machine.create ?config () : Machine.t);
+          Par_pool.with_pool ~jobs (fun pool ->
+              Par_pool.map_chunked ~chunk:1 pool task chunks)
+        end
+      in
+      let out = Array.make n Masked in
+      List.iter (Array.iter (fun (i, o) -> out.(i) <- o)) results;
+      List.mapi (fun i f -> (f, out.(i))) faults
 
 let summarize results =
   List.fold_left

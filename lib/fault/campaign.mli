@@ -66,10 +66,84 @@ val generate_blind :
 val run_one :
   ?config:S4e_cpu.Machine.config -> fuel:int -> S4e_asm.Program.t ->
   golden:signature -> Fault.t -> outcome
+(** Exact reference semantics: fresh machine, run from reset with the
+    fault armed for the whole fuel budget.  The engine below must agree
+    with this for interrupt-free programs. *)
+
+(** {1 The campaign engine}
+
+    [run] executes a whole fault list through a tunable engine that is
+    fast along three independent axes:
+
+    - {b domain parallelism} ([eng_jobs] / [?jobs]): the fault list is
+      split into a fixed number of chunks (a function of the list only,
+      never of [jobs]) executed by a {!S4e_par.Par_pool}, each chunk on
+      a private machine.  Results are reassembled in input order, so
+      any [jobs] value produces bit-identical output.
+    - {b snapshot forking} ([eng_fork]): within a chunk, transient
+      faults are sorted by injection time; the golden prefix executes
+      once per chunk and each mutant is forked off a
+      {!S4e_cpu.Machine.snapshot} at [n - 1] retired instructions,
+      simulating only the suffix.  The injector's counting hook is
+      dropped as soon as the flip lands, so the suffix runs unhooked on
+      the translation-block fast path.  Stuck-at faults capture their
+      value at arm time and still run from reset.
+    - {b early-divergence exit} ([eng_checkpoint]): a golden checkpoint
+      trace (instret → state digest, every [eng_checkpoint]
+      instructions) lets a faulty run stop as soon as its state digest
+      matches the golden trace after the fault is inert — the remainder
+      of the run is then provably identical to the golden run.  The
+      faulty run executes in checkpoint-sized bursts and compares
+      digests at the pauses, so the check costs nothing per
+      instruction.  When the golden run never observes time (no
+      cycle/time CSR reads, no WFI, no interrupt enables, no CLINT
+      access) the comparison ignores the cycle and mtime counters:
+      a reconverged run whose only residue is a skewed cycle counter —
+      the common case after a perturbed branch — still exits early.
+      [eng_escape] additionally classifies a run as [Crashed] when a
+      checkpoint pause finds the pc outside the golden code range with
+      trap handling uninstalled ([mtvec = 0]); this is a heuristic
+      (such a run could in principle wander back) and is therefore off
+      by default.
+
+    Caveat: forking, burst pauses, and early exit change where
+    interrupts are sampled (translation-block boundaries shift at
+    snapshot/checkpoint seams), so they are exact only for programs
+    whose outcome does not depend on asynchronous-interrupt timing —
+    true of every workload in this repository, and trivially of any
+    program that never enables interrupts.  Use {!rerun_engine} for the
+    literal re-run-from-reset semantics of {!run_one}. *)
+
+type engine = {
+  eng_jobs : int;  (** worker domains; overridden by [?jobs] *)
+  eng_fork : bool;  (** fork transients off golden snapshots *)
+  eng_checkpoint : int;
+      (** golden digest interval in retired instructions; [0] disables
+          the trace and with it all early exits *)
+  eng_escape : bool;
+      (** heuristic early [Crashed] when pc escapes the golden code
+          range with [mtvec = 0]; requires [eng_checkpoint > 0] *)
+}
+
+val default_engine : engine
+(** [jobs = 1], fork on, checkpoint every 1024 instructions, escape
+    heuristic off. *)
+
+val rerun_engine : engine
+(** The naive baseline: every fault re-runs from reset with no trace —
+    exactly {!run_one} per fault (modulo machine reuse). *)
 
 val run :
-  ?config:S4e_cpu.Machine.config -> fuel:int -> S4e_asm.Program.t ->
-  golden:signature -> Fault.t list -> (Fault.t * outcome) list
+  ?config:S4e_cpu.Machine.config ->
+  ?engine:engine ->
+  ?jobs:int ->
+  fuel:int ->
+  S4e_asm.Program.t ->
+  golden:signature ->
+  Fault.t list ->
+  (Fault.t * outcome) list
+(** Simulates every fault and pairs it with its outcome, in input
+    order.  [?jobs] overrides [engine.eng_jobs]. *)
 
 val summarize : (Fault.t * outcome) list -> summary
 

@@ -93,6 +93,42 @@ let copy m =
   Hashtbl.iter (fun k p -> Hashtbl.replace pages k (Bytes.copy p)) m.pages;
   { pages }
 
+type snapshot = (int, Bytes.t) Hashtbl.t
+
+let snapshot m =
+  let s = Hashtbl.create (max 16 (Hashtbl.length m.pages)) in
+  Hashtbl.iter (fun k p -> Hashtbl.replace s k (Bytes.copy p)) m.pages;
+  s
+
+let restore m s =
+  (* Drop pages born after the snapshot, then blit the saved contents
+     into the surviving page buffers (reuse avoids reallocation when the
+     same snapshot is restored many times, as fault campaigns do). *)
+  let stale =
+    Hashtbl.fold
+      (fun k _ acc -> if Hashtbl.mem s k then acc else k :: acc)
+      m.pages []
+  in
+  List.iter (Hashtbl.remove m.pages) stale;
+  Hashtbl.iter
+    (fun k p ->
+      match Hashtbl.find_opt m.pages k with
+      | Some dst -> Bytes.blit p 0 dst 0 page_size
+      | None -> Hashtbl.replace m.pages k (Bytes.copy p))
+    s
+
+let digest m =
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) m.pages [] in
+  let keys = List.sort compare keys in
+  let b = Buffer.create (24 * (List.length keys + 1)) in
+  List.iter
+    (fun k ->
+      Buffer.add_string b (string_of_int k);
+      Buffer.add_char b ':';
+      Buffer.add_string b (Digest.bytes (Hashtbl.find m.pages k)))
+    keys;
+  Digest.string (Buffer.contents b)
+
 let touched_pages m = Hashtbl.length m.pages
 
 let iter_touched m f = Hashtbl.iter (fun k _ -> f (k lsl page_bits)) m.pages

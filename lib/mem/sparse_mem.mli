@@ -34,6 +34,24 @@ val clear : t -> unit
 val copy : t -> t
 (** Deep copy; used to snapshot the golden state for fault campaigns. *)
 
+type snapshot
+(** A detached page-copy image of the memory at one instant. *)
+
+val snapshot : t -> snapshot
+(** [snapshot m] captures the current contents.  O(touched pages). *)
+
+val restore : t -> snapshot -> unit
+(** [restore m s] rewinds [m] to the captured contents.  A snapshot can
+    be restored any number of times; page buffers still live in [m] are
+    reused in place, so repeated restores do not churn the heap. *)
+
+val digest : t -> string
+(** Order-independent digest of every allocated page (page base + MD5
+    of its bytes).  Two memories with identical allocated pages and
+    contents digest equally; an all-zero page digests differently from
+    an absent one, which is safe for the fault campaign's convergence
+    check (a spurious mismatch only costs the early exit). *)
+
 val touched_pages : t -> int
 (** Number of pages allocated so far. *)
 

@@ -42,3 +42,13 @@ let reset t =
   t.mtime <- 0;
   t.mtimecmp <- max_int;
   t.msip <- false
+
+type snapshot = { snap_mtime : int; snap_mtimecmp : int; snap_msip : bool }
+
+let snapshot t =
+  { snap_mtime = t.mtime; snap_mtimecmp = t.mtimecmp; snap_msip = t.msip }
+
+let restore t s =
+  t.mtime <- s.snap_mtime;
+  t.mtimecmp <- s.snap_mtimecmp;
+  t.msip <- s.snap_msip

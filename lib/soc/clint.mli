@@ -27,3 +27,7 @@ val timecmp : t -> int
 val timer_pending : t -> bool
 val software_pending : t -> bool
 val reset : t -> unit
+
+type snapshot
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit

@@ -28,3 +28,13 @@ let device t ~base =
 let output t = t.out_latch
 let set_input t v = t.in_pins <- v land 0xFFFF_FFFF
 let input t = t.in_pins
+
+type snapshot = { snap_out : int; snap_in : int }
+
+let snapshot t = { snap_out = t.out_latch; snap_in = t.in_pins }
+
+(* Restore rewinds the latch silently: the [on_output] callback is an
+   observer of program behavior, not of simulator bookkeeping. *)
+let restore t s =
+  t.out_latch <- s.snap_out;
+  t.in_pins <- s.snap_in

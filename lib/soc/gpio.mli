@@ -14,3 +14,8 @@ val device : t -> base:S4e_bits.Bits.word -> S4e_mem.Bus.device
 val output : t -> S4e_bits.Bits.word
 val set_input : t -> S4e_bits.Bits.word -> unit
 val input : t -> S4e_bits.Bits.word
+
+type snapshot
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+(** Restoring does not fire the [on_output] callback. *)

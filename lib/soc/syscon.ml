@@ -10,3 +10,8 @@ let device t ~base =
 
 let exit_code t = t.code
 let reset t = t.code <- None
+
+type snapshot = int option
+
+let snapshot t = t.code
+let restore t s = t.code <- s

@@ -17,3 +17,7 @@ val exit_code : t -> int option
 (** [Some code] once software has written the EXIT register. *)
 
 val reset : t -> unit
+
+type snapshot
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit

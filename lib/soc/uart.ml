@@ -30,3 +30,15 @@ let device t ~base =
 let feed t s = String.iter (fun c -> Queue.add c t.rx) s
 let output t = Buffer.contents t.tx
 let clear_output t = Buffer.clear t.tx
+
+type snapshot = { snap_tx : string; snap_rx : string }
+
+let snapshot t =
+  { snap_tx = Buffer.contents t.tx;
+    snap_rx = String.of_seq (Queue.to_seq t.rx) }
+
+let restore t s =
+  Buffer.clear t.tx;
+  Buffer.add_string t.tx s.snap_tx;
+  Queue.clear t.rx;
+  String.iter (fun c -> Queue.add c t.rx) s.snap_rx

@@ -27,3 +27,10 @@ val clear_output : t -> unit
 
 val data_offset : int
 val status_offset : int
+
+type snapshot
+(** Captured transmit buffer and receive queue. *)
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+(** Restoring does not replay the [on_tx] callback. *)

@@ -896,6 +896,54 @@ buf:
   Alcotest.(check int) "detached: no further counting" before
     (C.icache_stats caches).C.st_accesses
 
+(* snapshot -> run k -> restore -> run k must replay identically:
+   the campaign engine's fork correctness rests on this *)
+let snapshot_replay_prop =
+  let src = {|
+_start:
+  li   s0, 0
+  li   s1, 300
+  la   s2, buf
+lp:
+  andi a0, s0, 15
+  slli a0, a0, 2
+  add  a1, s2, a0
+  sw   s0, 0(a1)
+  lw   a2, 0(a1)
+  mul  a3, a2, s0
+  xor  s3, s3, a3
+  addi s0, s0, 1
+  blt  s0, s1, lp
+  li   t1, 0x00100000
+  sw   zero, 0(t1)
+  ebreak
+  .data
+buf:
+  .space 64
+|}
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"snapshot/restore replays identically" ~count:40
+       QCheck.(pair (int_bound 600) (int_bound 600))
+       (fun (k, j) ->
+         let p = S4e_asm.Assembler.assemble_exn src in
+         let m = Machine.create () in
+         S4e_asm.Program.load_machine p m;
+         ignore (Machine.run m ~fuel:k);
+         let snap = Machine.snapshot m in
+         let obs stop =
+           ( stop,
+             m.Machine.state.State.pc,
+             Machine.instret m,
+             m.Machine.state.State.cycle,
+             Machine.uart_output m,
+             Machine.state_digest m )
+         in
+         let o1 = obs (Machine.run m ~fuel:(j + 1)) in
+         Machine.restore m snap;
+         let o2 = obs (Machine.run m ~fuel:(j + 1)) in
+         o1 = o2))
+
 let test_mret_restores_mie () =
   let st = State.create () in
   State.set_mie_bit st false;
@@ -950,4 +998,5 @@ let () =
             test_sc_wrong_address_fails;
           Alcotest.test_case "cache model unit" `Quick test_cache_model_unit;
           Alcotest.test_case "cache model attached" `Quick
-            test_cache_model_attached ] ) ]
+            test_cache_model_attached;
+          snapshot_replay_prop ] ) ]

@@ -224,6 +224,102 @@ let campaign_determinism =
       let r2 = Campaign.run ~fuel:10_000 p ~golden faults in
       r1 = r2)
 
+let test_generation_regression () =
+  (* Exact expected fault list for a pinned seed: fails if pool
+     derivation, rng consumption order, or site sorting ever changes
+     silently.  Regenerate with Campaign.generate ~seed:42 ~n:6 on the
+     checksum program if the change is intentional. *)
+  let p = program () in
+  let golden, cov = Campaign.golden ~fuel:10_000 p in
+  Alcotest.(check int) "golden instret" 63 golden.Campaign.sig_instret;
+  let faults =
+    Campaign.generate ~seed:42 ~n:6 ~targets:[ `Gpr; `Code; `Data ]
+      ~kinds:[ `Permanent; `Transient ] ~coverage:cov
+      ~golden_instret:golden.Campaign.sig_instret
+  in
+  let expected =
+    [ { Fault.loc = Fault.Gpr (10, 24); kind = Fault.Permanent };
+      { Fault.loc = Fault.Gpr (10, 31); kind = Fault.Permanent };
+      { Fault.loc = Fault.Gpr (6, 2); kind = Fault.Transient 43 };
+      { Fault.loc = Fault.Gpr (12, 27); kind = Fault.Transient 37 };
+      { Fault.loc = Fault.Gpr (10, 19); kind = Fault.Permanent };
+      { Fault.loc = Fault.Gpr (6, 11); kind = Fault.Transient 15 } ]
+  in
+  Alcotest.(check bool) "exact fault list" true (faults = expected)
+
+(* A longer workload than the checksum loop so engine shortcuts
+   (forking, early exit) have room to act. *)
+let engine_src = {|
+_start:
+  li   s0, 0
+  li   s1, 0
+  li   s2, 120
+  li   s3, 0x80001000
+outer:
+  li   t0, 0
+  li   t1, 13
+inner:
+  mul  t2, t0, s1
+  add  s0, s0, t2
+  xor  s0, s0, t0
+  sw   s0, 0(s3)
+  lw   t3, 0(s3)
+  add  s0, s0, t3
+  addi t0, t0, 1
+  blt  t0, t1, inner
+  addi s1, s1, 1
+  blt  s1, s2, outer
+  andi a0, s0, 0xff
+  li   t1, 0x00100000
+  sw   a0, 0(t1)
+  ebreak
+|}
+
+let engine_campaign ?config ?engine ?jobs () =
+  let p = S4e_asm.Assembler.assemble_exn engine_src in
+  let golden, cov = Campaign.golden ?config ~fuel:100_000 p in
+  let faults =
+    Campaign.generate ~seed:11 ~n:200 ~targets:[ `Gpr; `Data ]
+      ~kinds:[ `Permanent; `Transient ] ~coverage:cov
+      ~golden_instret:golden.Campaign.sig_instret
+  in
+  Campaign.run ?config ?engine ?jobs ~fuel:100_000 p ~golden faults
+
+let test_jobs_deterministic () =
+  (* acceptance: a 200-fault campaign at -j 4 is byte-identical to the
+     sequential run, including fault order *)
+  let seq = engine_campaign ~jobs:1 () in
+  let par = engine_campaign ~jobs:4 () in
+  Alcotest.(check bool) "jobs=4 identical to jobs=1" true (seq = par);
+  Alcotest.(check bool) "summaries equal" true
+    (Campaign.summarize seq = Campaign.summarize par)
+
+let test_engine_matches_rerun () =
+  (* With per-instruction decode (no TB cache) the engine's snapshot
+     seams cannot shift translation-block boundaries, so fork + early
+     exit must reproduce the naive rerun classification exactly. *)
+  let config =
+    { Machine.default_config with Machine.use_tb_cache = false }
+  in
+  let fast = engine_campaign ~config ~engine:Campaign.default_engine () in
+  let naive = engine_campaign ~config ~engine:Campaign.rerun_engine () in
+  Alcotest.(check bool) "engine = naive rerun" true (fast = naive);
+  let s = Campaign.summarize fast in
+  Alcotest.(check int) "all faults classified" 200 s.Campaign.total
+
+let test_engine_axes_agree () =
+  (* every axis combination classifies identically on the default
+     config for register/data faults *)
+  let base = engine_campaign ~engine:Campaign.rerun_engine () in
+  List.iter
+    (fun engine ->
+      Alcotest.(check bool) "axis combination agrees" true
+        (engine_campaign ~engine () = base))
+    [ Campaign.default_engine;
+      { Campaign.default_engine with Campaign.eng_fork = false };
+      { Campaign.default_engine with Campaign.eng_checkpoint = 0 };
+      { Campaign.default_engine with Campaign.eng_checkpoint = 256 } ]
+
 let test_blind_generation () =
   let p = program () in
   let golden, _ = Campaign.golden ~fuel:10_000 p in
@@ -271,4 +367,13 @@ let () =
           Alcotest.test_case "summary adds up" `Quick
             test_campaign_summary_adds_up;
           Alcotest.test_case "blind generation" `Quick test_blind_generation;
-          campaign_determinism ] ) ]
+          campaign_determinism ] );
+      ( "engine",
+        [ Alcotest.test_case "generation regression" `Quick
+            test_generation_regression;
+          Alcotest.test_case "jobs deterministic" `Quick
+            test_jobs_deterministic;
+          Alcotest.test_case "engine matches rerun" `Quick
+            test_engine_matches_rerun;
+          Alcotest.test_case "engine axes agree" `Quick
+            test_engine_axes_agree ] ) ]

@@ -1,0 +1,72 @@
+(* Worker-pool tests: order preservation, determinism across jobs,
+   chunking, and exception propagation. *)
+
+module Pool = S4e_par.Par_pool
+
+let prop ?(count = 30) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen f)
+
+let test_map_preserves_order () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let xs = List.init 100 Fun.id in
+      Alcotest.(check (list int))
+        "same as List.map" (List.map succ xs)
+        (Pool.map_chunked pool succ xs))
+
+let test_map_empty_and_singleton () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      Alcotest.(check (list int)) "empty" [] (Pool.map_chunked pool succ []);
+      Alcotest.(check (list int)) "singleton" [ 8 ]
+        (Pool.map_chunked pool succ [ 7 ]))
+
+let test_jobs_clamped () =
+  Pool.with_pool ~jobs:0 (fun pool ->
+      Alcotest.(check int) "jobs >= 1" 1 (Pool.jobs pool);
+      Alcotest.(check (list int)) "still maps" [ 2; 3 ]
+        (Pool.map_chunked pool succ [ 1; 2 ]))
+
+let test_exception_propagates () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let boom x = if x = 37 then failwith "boom" else x in
+      Alcotest.check_raises "first exception re-raised" (Failure "boom")
+        (fun () -> ignore (Pool.map_chunked pool boom (List.init 100 Fun.id)));
+      (* the pool survives a failed map *)
+      Alcotest.(check (list int)) "usable afterwards" [ 1; 2; 3 ]
+        (Pool.map_chunked pool succ [ 0; 1; 2 ]))
+
+let determinism =
+  prop "any jobs/chunk gives List.map"
+    QCheck.(triple (int_range 1 8) (int_range 1 17) (list_of_size Gen.(0 -- 50) int))
+    (fun (jobs, chunk, xs) ->
+      let f x = (x * 31) lxor 0x55 in
+      Pool.with_pool ~jobs (fun pool ->
+          Pool.map_chunked ~chunk pool f xs = List.map f xs))
+
+let uneven_cost =
+  prop ~count:10 "irregular per-element cost balances"
+    QCheck.(int_range 2 6)
+    (fun jobs ->
+      (* quadratic work on a few elements, trivial on the rest *)
+      let work x =
+        let n = if x mod 17 = 0 then 20_000 else 10 in
+        let acc = ref x in
+        for i = 1 to n do
+          acc := (!acc * 7) lxor i
+        done;
+        !acc
+      in
+      let xs = List.init 120 Fun.id in
+      Pool.with_pool ~jobs (fun pool ->
+          Pool.map_chunked ~chunk:1 pool work xs = List.map work xs))
+
+let () =
+  Alcotest.run "par"
+    [ ( "pool",
+        [ Alcotest.test_case "order preserved" `Quick test_map_preserves_order;
+          Alcotest.test_case "empty/singleton" `Quick
+            test_map_empty_and_singleton;
+          Alcotest.test_case "jobs clamped" `Quick test_jobs_clamped;
+          Alcotest.test_case "exception propagates" `Quick
+            test_exception_propagates;
+          determinism;
+          uneven_cost ] ) ]
