@@ -3,6 +3,8 @@ open S4e_isa.Instr
 module Bits = S4e_bits.Bits
 module Bus = S4e_mem.Bus
 
+type word = int
+
 (* Floating point: FPRs hold IEEE-754 single bit patterns; operations
    convert to OCaml doubles, compute, and round back to single.  For
    +, -, *, / and sqrt this double-precision detour is exactly rounded
@@ -206,6 +208,107 @@ let amo_op op old v =
 let load_size = function LB | LBU -> 1 | LH | LHU -> 2 | LW -> 4
 let store_size = function SB -> 1 | SH -> 2 | SW -> 4
 
+let fsqrt_bits st a_bits =
+  if is_nan_bits a_bits then begin
+    set_fflag st fflag_nv;
+    canonical_nan
+  end
+  else
+    let a = f32_of_bits a_bits in
+    if a < 0.0 then begin
+      set_fflag st fflag_nv;
+      canonical_nan
+    end
+    else bits_of_f32 (sqrt a)
+
+(* Translation-time operator selection: each [*_fn] resolves the
+   sub-opcode match once and returns the operation as a first-class
+   function, so lowered translation blocks pay the dispatch at
+   translate time instead of on every execution.  Each returned
+   function computes exactly what the corresponding [*_op] computes. *)
+
+let alu_fn = function
+  | ADD -> Bits.add
+  | SUB -> Bits.sub
+  | SLL -> Bits.sll
+  | SLT -> fun a b -> if Bits.lt_signed a b then 1 else 0
+  | SLTU -> fun a b -> if Bits.lt_unsigned a b then 1 else 0
+  | XOR -> Bits.logxor
+  | SRL -> Bits.srl
+  | SRA -> Bits.sra
+  | OR -> Bits.logor
+  | AND -> Bits.logand
+  | MUL -> Bits.mul
+  | MULH -> Bits.mulh
+  | MULHSU -> Bits.mulhsu
+  | MULHU -> Bits.mulhu
+  | DIV -> Bits.div
+  | DIVU -> Bits.divu
+  | REM -> Bits.rem
+  | REMU -> Bits.remu
+  | ANDN -> Bits.andn
+  | ORN -> Bits.orn
+  | XNOR -> Bits.xnor
+  | ROL -> Bits.rol
+  | ROR -> Bits.ror
+  | MIN -> Bits.min_signed
+  | MAX -> Bits.max_signed
+  | MINU -> Bits.min_unsigned
+  | MAXU -> Bits.max_unsigned
+  | BSET -> Bits.bset
+  | BCLR -> Bits.bclr
+  | BINV -> Bits.binv
+  | BEXT -> Bits.bext
+
+(* Takes the already sign-extended immediate ([Bits.of_signed imm]),
+   which lowering precomputes. *)
+let imm_fn = function
+  | ADDI -> Bits.add
+  | SLTI -> fun a b -> if Bits.lt_signed a b then 1 else 0
+  | SLTIU -> fun a b -> if Bits.lt_unsigned a b then 1 else 0
+  | XORI -> Bits.logxor
+  | ORI -> Bits.logor
+  | ANDI -> Bits.logand
+
+let shift_fn = function
+  | SLLI -> Bits.sll
+  | SRLI -> Bits.srl
+  | SRAI -> Bits.sra
+  | RORI -> Bits.ror
+  | BSETI -> Bits.bset
+  | BCLRI -> Bits.bclr
+  | BINVI -> Bits.binv
+  | BEXTI -> Bits.bext
+
+let unary_fn = function
+  | CLZ -> Bits.clz
+  | CTZ -> Bits.ctz
+  | CPOP -> Bits.popcount
+  | SEXT_B -> Bits.sext ~width:8
+  | SEXT_H -> Bits.sext ~width:16
+  | ZEXT_H -> Bits.zext ~width:16
+  | REV8 -> Bits.rev8
+  | ORC_B -> Bits.orc_b
+
+let branch_fn = function
+  | BEQ -> fun a b -> a = b
+  | BNE -> fun a b -> a <> b
+  | BLT -> Bits.lt_signed
+  | BGE -> Bits.ge_signed
+  | BLTU -> Bits.lt_unsigned
+  | BGEU -> Bits.ge_unsigned
+
+let amo_fn = function
+  | AMOSWAP -> fun _ v -> v
+  | AMOADD -> Bits.add
+  | AMOXOR -> Bits.logxor
+  | AMOAND -> Bits.logand
+  | AMOOR -> Bits.logor
+  | AMOMIN -> Bits.min_signed
+  | AMOMAX -> Bits.max_signed
+  | AMOMINU -> Bits.min_unsigned
+  | AMOMAXU -> Bits.max_unsigned
+
 let execute ?on_mem (st : Arch_state.t) bus ~size instr =
   let pc = st.pc in
   let next = Bits.mask32 (pc + size) in
@@ -324,21 +427,7 @@ let execute ?on_mem (st : Arch_state.t) bus ~size instr =
       set rd (fp_cmp st op (getf frs1) (getf frs2));
       st.pc <- next
   | Fsqrt (frd, frs1) ->
-      let a_bits = getf frs1 in
-      let r =
-        if is_nan_bits a_bits then begin
-          set_fflag st fflag_nv;
-          canonical_nan
-        end
-        else
-          let a = f32_of_bits a_bits in
-          if a < 0.0 then begin
-            set_fflag st fflag_nv;
-            canonical_nan
-          end
-          else bits_of_f32 (sqrt a)
-      in
-      setf frd r;
+      setf frd (fsqrt_bits st (getf frs1));
       st.pc <- next
   | Fcvt_w_s (rd, frs1, unsigned) ->
       set rd (fcvt_w_s st ~unsigned (getf frs1));

@@ -21,3 +21,36 @@ val execute :
   size:int ->
   S4e_isa.Instr.t ->
   bool
+
+(** {1 Lowering support}
+
+    The block-lowering pipeline ({!Lower}) compiles decoded
+    instructions into closures at translate time.  The helpers below
+    expose the executor's per-format semantics so the lowered closures
+    compute bit-identical results; the [*_fn] selectors resolve the
+    sub-opcode dispatch once and return the operation as a first-class
+    function. *)
+
+type word = int
+
+val alu_fn : S4e_isa.Instr.op_r -> word -> word -> word
+val imm_fn : S4e_isa.Instr.op_i -> word -> word -> word
+(** Second argument is the sign-extended immediate
+    ([Bits.of_signed imm]). *)
+
+val shift_fn : S4e_isa.Instr.op_shift -> word -> int -> word
+val unary_fn : S4e_isa.Instr.op_unary -> word -> word
+val branch_fn : S4e_isa.Instr.op_branch -> word -> word -> bool
+val amo_fn : S4e_isa.Instr.op_amo -> word -> word -> word
+
+val load_value : S4e_mem.Bus.t -> S4e_isa.Instr.op_load -> word -> word
+(** Raises {!Trap.Exn} on misalignment. *)
+
+val load_size : S4e_isa.Instr.op_load -> int
+val store_size : S4e_isa.Instr.op_store -> int
+
+val fp_op : Arch_state.t -> S4e_isa.Instr.op_fp -> word -> word -> word
+val fp_cmp : Arch_state.t -> S4e_isa.Instr.op_fp_cmp -> word -> word -> word
+val fsqrt_bits : Arch_state.t -> word -> word
+val fcvt_w_s : Arch_state.t -> unsigned:bool -> word -> word
+val fcvt_s_w : unsigned:bool -> word -> word

@@ -50,6 +50,12 @@ val has_insn : t -> bool
 val has_mem : t -> bool
 val has_block : t -> bool
 
+val is_empty : t -> bool
+(** No subscribers of any kind.  The machine uses this to select the
+    lowered (hook-free) translation-block path; any registration makes
+    it fall back to the generic path, so new subscribers see every
+    subsequent event. *)
+
 val fire_insn : t -> word -> S4e_isa.Instr.t -> unit
 val fire_mem : t -> mem_event -> unit
 val fire_block : t -> word -> int -> unit

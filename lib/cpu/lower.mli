@@ -1,0 +1,45 @@
+(** Translation-block lowering — compiles decoded instructions into
+    µop closures.
+
+    Where the generic interpreter re-dispatches on the {!S4e_isa.Instr.t}
+    AST, re-matches the timing model, and re-derives hazard sources on
+    every execution, [lower_entry] does all of it once per translation:
+
+    - the executor dispatch (including sub-opcode selection, immediate
+      sign-extension, and branch/jump target arithmetic) is resolved
+      into a closure per instruction;
+    - the {!Timing_model} cost is precomputed for both branch outcomes;
+    - the load-use hazard source set is baked into an int bitmask
+      ({!S4e_isa.Instr.source_mask});
+    - hook dispatch is specialized away entirely — the machine only
+      runs lowered blocks while {!Hooks.is_empty} holds, falling back
+      to the generic path the moment a tracer / coverage / cache-model
+      / fault-monitor client registers.
+
+    Cycle charges are returned by each µop and batched by the machine;
+    µops that can observe time (CSR accesses and device-space bus
+    accesses) call [lx_flush_time] first, which keeps batched ticking
+    observationally identical to per-instruction ticking.
+
+    The lowered engine must stay byte-identical to {!Exec.execute} on
+    every instruction — enforced by the differential property tests. *)
+
+type word = int
+
+type ctx = {
+  lx_state : Arch_state.t;
+  lx_bus : S4e_mem.Bus.t;
+  lx_timing : Timing_model.t;
+  lx_flush_time : unit -> unit;
+      (** apply batched cycles to [cycle]/CLINT before time-observing ops *)
+  lx_notify_store : word -> unit;
+      (** translation-cache invalidation on stores *)
+  lx_dev_limit : word;
+      (** bus addresses below this may reach a device (and hence observe
+          or mutate time): flush batched cycles first *)
+}
+
+val lower_instr :
+  ctx -> pc:word -> size:int -> S4e_isa.Instr.t -> Tb_cache.uop
+
+val lower_entry : ctx -> Tb_cache.entry -> Tb_cache.uop array

@@ -11,12 +11,14 @@ type config = {
   timing : Timing_model.t;
   use_tb_cache : bool;
   decoder : decoder_kind;
+  lower_blocks : bool;
+  chain_blocks : bool;
 }
 
 let default_config =
   { isa = [ Isa_module.I; M; A; F; C; Zicsr; B ];
     timing = Timing_model.default; use_tb_cache = true;
-    decoder = Decodetree_decoder }
+    decoder = Decodetree_decoder; lower_blocks = true; chain_blocks = true }
 
 type stop_reason =
   | Exited of int
@@ -42,7 +44,13 @@ type t = {
   config : config;
   decode32 : word -> Instr.t option;
   tb : Tb_cache.t;
-  mutable last_load : (bool * int) option;
+  mutable last_load_mask : int;
+  pending_ticks : int ref;
+  seg_idx : int ref;
+  seg_base : int ref;
+  fuel_left : int ref;
+  exit_dirty : bool ref;
+  lower_ctx : Lower.ctx;
 }
 
 module Sset = Set.Make (String)
@@ -99,15 +107,50 @@ let create ?(config = default_config) () =
     Tb_cache.create ~decode32 ~decode16 ~fetch32:(Bus.fetch32 bus)
       ~fetch16:(Bus.fetch16 bus) ()
   in
+  let pending_ticks = ref 0 in
+  (* Per-block retire accounting for the lowered engine: [seg_idx] is
+     the µop index of the running block segment, [seg_base] the index
+     up to which instret/fuel have been credited.  Draining both in the
+     flush keeps [minstret] exact at every observation point while the
+     hot loop carries no per-µop bookkeeping. *)
+  let seg_idx = ref 0 in
+  let seg_base = ref 0 in
+  let fuel_left = ref 0 in
+  let exit_dirty = ref false in
+  Soc.Syscon.set_notify syscon (fun () -> exit_dirty := true);
+  let lower_ctx =
+    { Lower.lx_state = state; lx_bus = bus; lx_timing = config.timing;
+      lx_flush_time =
+        (fun () ->
+          let p = !pending_ticks in
+          if p <> 0 then begin
+            state.cycle <- state.cycle + p;
+            Soc.Clint.tick clint p;
+            pending_ticks := 0
+          end;
+          let d = !seg_idx - !seg_base in
+          if d > 0 then begin
+            state.instret <- state.instret + d;
+            fuel_left := !fuel_left - d;
+            seg_base := !seg_idx
+          end);
+      lx_notify_store = (fun addr -> Tb_cache.notify_store tb addr);
+      lx_dev_limit = Soc.Memory_map.ram_base }
+  in
   { state; bus; uart; clint; gpio; syscon; hooks = Hooks.create ();
-    config; decode32; tb; last_load = None }
+    config; decode32; tb; last_load_mask = 0; pending_ticks; seg_idx;
+    seg_base; fuel_left; exit_dirty; lower_ctx }
 
 let reset t ~pc =
   Arch_state.reset t.state ~pc;
   Soc.Clint.reset t.clint;
   Soc.Syscon.reset t.syscon;
   Soc.Uart.clear_output t.uart;
-  t.last_load <- None
+  t.last_load_mask <- 0;
+  t.pending_ticks := 0;
+  t.seg_idx := 0;
+  t.seg_base := 0;
+  t.exit_dirty := false
 
 (* Interrupt pending bits in mip. *)
 let msip_bit = 1 lsl 3
@@ -190,45 +233,53 @@ let run t ~fuel =
   let state = t.state in
   let timing = t.config.timing in
   let compressed = List.mem Isa_module.C t.config.isa in
-  let remaining = ref fuel in
+  let remaining = t.fuel_left in
+  remaining := fuel;
+  let exit_dirty = t.exit_dirty in
+  let pending = t.pending_ticks in
+  (* drains batched cycles AND the segment's uncredited instret/fuel *)
+  let flush_time = t.lower_ctx.Lower.lx_flush_time in
   let on_mem ev =
     if ev.Hooks.mem_is_store then
       Tb_cache.notify_store t.tb ev.Hooks.mem_addr;
     if Hooks.has_mem t.hooks then Hooks.fire_mem t.hooks ev
   in
   (* Load-use hazard tracking: the destination of the previous
-     instruction when it was a load (kind distinguishes GPR/FPR).
-     Lives on the machine so a run split by snapshot/resume charges the
-     same stalls as one uninterrupted run. *)
+     instruction when it was a load, as a {!Instr.source_mask}-encoded
+     bitmask (0 = no hazard window).  Lives on the machine so a run
+     split by snapshot/resume charges the same stalls as one
+     uninterrupted run. *)
   let hazard = timing.Timing_model.load_use_hazard in
-  let hazard_stall instr =
-    match t.last_load with
-    | Some (false, d) when List.mem d (Instr.sources instr) -> hazard
-    | Some (true, d) when List.mem d (Instr.fp_sources instr) -> hazard
-    | Some _ | None -> 0
+  (* Stop on a pending syscon exit code; the dirty flag is set by the
+     device write itself, so the hot path never polls the device. *)
+  let check_exit () =
+    if !exit_dirty then begin
+      match Soc.Syscon.exit_code t.syscon with
+      | Some code -> raise (Stop (Exited code))
+      | None -> exit_dirty := false
+    end
   in
-  let update_last_load instr =
-    t.last_load <-
-      (match instr with
-      | Instr.Load (_, rd, _, _) -> Some (false, rd)
-      | Instr.Flw (frd, _, _) -> Some (true, frd)
-      | _ -> None)
-  in
-  (* Execute one decoded instruction; raises Stop on exit conditions. *)
+  (* Execute one decoded instruction (generic interpreter); raises Stop
+     on exit conditions. *)
   let exec_one ipc size instr =
     if Hooks.has_insn t.hooks then Hooks.fire_insn t.hooks ipc instr;
     (match instr with
     | Instr.Fence_i -> Tb_cache.flush t.tb
     | _ -> ());
     (try
-       let stall = if hazard > 0 then hazard_stall instr else 0 in
+       let stall =
+         if hazard > 0
+            && t.last_load_mask land Instr.source_mask instr <> 0
+         then hazard
+         else 0
+       in
        let taken = Exec.execute ~on_mem state t.bus ~size instr in
-       if hazard > 0 then update_last_load instr;
+       if hazard > 0 then t.last_load_mask <- Instr.load_dest_mask instr;
        let c = Timing_model.cost timing instr ~taken + stall in
        state.cycle <- state.cycle + c;
        Soc.Clint.tick t.clint c
      with Trap.Exn cause -> (
-       t.last_load <- None;
+       t.last_load_mask <- 0;
        match enter_exception t cause ipc with
        | Some stop -> raise (Stop stop)
        | None ->
@@ -236,13 +287,90 @@ let run t ~fuel =
            Soc.Clint.tick t.clint timing.Timing_model.system));
     state.instret <- state.instret + 1;
     decr remaining;
-    (match Soc.Syscon.exit_code t.syscon with
-    | Some code -> raise (Stop (Exited code))
-    | None -> ());
+    check_exit ();
     match instr with
     | Instr.Wfi ->
         if not (wfi_resume t) then raise (Stop Wfi_halt)
     | _ -> ()
+  in
+  (* Execute a lowered (µop) block: no hook dispatch, no AST
+     re-interpretation, cycle/CLINT updates batched until the block
+     boundary (or until a µop that observes time flushes them).  The
+     batch never crosses an interrupt-sampling point — blocks are where
+     interrupts are sampled — so it can never defer a timer past the
+     latency the generic path already has. *)
+  let exec_lowered (entry : Tb_cache.entry) n =
+    let uops =
+      match entry.Tb_cache.lowered with
+      | Some u -> u
+      | None ->
+          let u = Lower.lower_entry t.lower_ctx entry in
+          entry.Tb_cache.lowered <- Some u;
+          u
+    in
+    let i = t.seg_idx and base = t.seg_base in
+    i := 0;
+    base := 0;
+    (* [lim] caps the block at the remaining fuel.  Invariant: the
+       credited position plus remaining fuel ([!base + !remaining]) is
+       constant across flushes and trap credits, so [lim] never needs
+       recomputation. *)
+    let lim = if n <= !remaining then n else !remaining in
+    let quit = ref false in
+    (* the exception frame is per resumed segment, not per µop — the
+       inner loop is the trap-free hot path and carries no per-µop
+       instret/fuel bookkeeping (credited by [flush_time]) *)
+    try
+      while (not !quit) && !i < lim do
+        (try
+           while !i < lim do
+             let u = Array.unsafe_get uops !i in
+             if u.Tb_cache.u_fence_i then Tb_cache.flush t.tb;
+             let stall =
+               if hazard > 0
+                  && t.last_load_mask land u.Tb_cache.u_src_mask <> 0
+               then hazard
+               else 0
+             in
+             let c = u.Tb_cache.u_exec () + stall in
+             if hazard > 0 then
+               t.last_load_mask <- u.Tb_cache.u_load_dest_mask;
+             pending := !pending + c;
+             incr i;
+             check_exit ();
+             if u.Tb_cache.u_wfi then begin
+               flush_time ();
+               if not (wfi_resume t) then raise (Stop Wfi_halt)
+             end
+           done
+         with Trap.Exn cause ->
+           let u = Array.unsafe_get uops !i in
+           flush_time ();
+           t.last_load_mask <- 0;
+           (match enter_exception t cause u.Tb_cache.u_pc with
+           | Some stop -> raise (Stop stop)
+           | None ->
+               state.cycle <- state.cycle + timing.Timing_model.system;
+               Soc.Clint.tick t.clint timing.Timing_model.system);
+           (* the trapping µop retires (manually credited: the flush
+              above only covered its predecessors) *)
+           state.instret <- state.instret + 1;
+           incr i;
+           base := !i;
+           decr remaining;
+           check_exit ();
+           (* the generic path only continues a block when the trap
+              handler happens to be the next instruction *)
+           if
+             not
+               (!i < lim
+               && state.pc = (Array.unsafe_get uops !i).Tb_cache.u_pc)
+           then quit := true)
+      done;
+      flush_time ()
+    with e ->
+      flush_time ();
+      raise e
   in
   let decode_single pc =
     let half = Bus.fetch16 t.bus pc in
@@ -257,22 +385,50 @@ let run t ~fuel =
       | Some i -> Some (4, i)
       | None -> None
   in
+  let use_tb = t.config.use_tb_cache in
+  (* Hoisted per [run] call: hooks cannot appear mid-run when none are
+     installed (no user code executes), and a hook that unregisters
+     itself mid-run only makes this conservative (we stay on the
+     generic path until the next [run]). *)
+  let lowered_ok =
+    use_tb && t.config.lower_blocks && Hooks.is_empty t.hooks
+  in
+  let chained = t.config.chain_blocks in
+  (* Single-step mode replays the TB path's block-boundary semantics:
+     interrupts are sampled only where a translation block would start
+     (after control flow / wfi / fence.i / a trap / max_block_len
+     instructions / an undecodable word), so runs with
+     [use_tb_cache:false] are cycle-identical to cached runs.  A fresh
+     [run] call always starts at a boundary, exactly like the TB
+     dispatch loop. *)
+  let at_boundary = ref true in
+  let block_len = ref 0 in
+  let prev = ref None in
   try
     while !remaining > 0 do
-      update_mip t;
-      (match pending_interrupt t with
-      | Some irq ->
-          enter_interrupt t irq;
-          t.last_load <- None
-      | None -> ());
+      if use_tb || !at_boundary then begin
+        update_mip t;
+        (match pending_interrupt t with
+        | Some irq ->
+            enter_interrupt t irq;
+            t.last_load_mask <- 0
+        | None -> ());
+        at_boundary := false;
+        block_len := 0
+      end;
       let pc = state.pc in
       if misaligned_pc t pc then begin
+        at_boundary := true;
         match enter_exception t Trap.Misaligned_fetch pc with
         | Some stop -> raise (Stop stop)
         | None -> ()
       end
-      else if t.config.use_tb_cache then begin
-        let entry = Tb_cache.lookup t.tb pc in
+      else if use_tb then begin
+        let entry =
+          if chained then Tb_cache.next t.tb !prev pc
+          else Tb_cache.lookup t.tb pc
+        in
+        prev := Some entry;
         let n = Array.length entry.Tb_cache.instrs in
         if n = 0 then begin
           let word = Bus.fetch32 t.bus pc in
@@ -280,6 +436,7 @@ let run t ~fuel =
           | Some stop -> raise (Stop stop)
           | None -> ()
         end
+        else if lowered_ok then exec_lowered entry n
         else begin
           if Hooks.has_block t.hooks then Hooks.fire_block t.hooks pc n;
           (* Execute the block; stop early if a trap redirected the pc
@@ -300,13 +457,27 @@ let run t ~fuel =
       else begin
         match decode_single pc with
         | None ->
-            let word = Bus.fetch32 t.bus pc in
-            (match enter_exception t (Trap.Illegal_instruction word) pc with
-            | Some stop -> raise (Stop stop)
-            | None -> ())
+            if !block_len > 0 then
+              (* the TB path ends a block just before an undecodable
+                 word and re-samples interrupts before trapping *)
+              at_boundary := true
+            else begin
+              let word = Bus.fetch32 t.bus pc in
+              at_boundary := true;
+              match enter_exception t (Trap.Illegal_instruction word) pc with
+              | Some stop -> raise (Stop stop)
+              | None -> ()
+            end
         | Some (size, instr) ->
             if Hooks.has_block t.hooks then Hooks.fire_block t.hooks pc 1;
-            exec_one pc size instr
+            exec_one pc size instr;
+            incr block_len;
+            if
+              Instr.is_control_flow instr
+              || instr = Instr.Wfi || instr = Instr.Fence_i
+              || !block_len >= Tb_cache.max_block_len
+              || state.pc <> S4e_bits.Bits.mask32 (pc + size)
+            then at_boundary := true
       end
     done;
     Out_of_fuel
@@ -321,7 +492,7 @@ type snapshot = {
   snap_clint : Soc.Clint.snapshot;
   snap_gpio : Soc.Gpio.snapshot;
   snap_syscon : Soc.Syscon.snapshot;
-  snap_last_load : (bool * int) option;
+  snap_last_load_mask : int;
 }
 
 let snapshot t =
@@ -331,7 +502,7 @@ let snapshot t =
     snap_clint = Soc.Clint.snapshot t.clint;
     snap_gpio = Soc.Gpio.snapshot t.gpio;
     snap_syscon = Soc.Syscon.snapshot t.syscon;
-    snap_last_load = t.last_load }
+    snap_last_load_mask = t.last_load_mask }
 
 let restore t s =
   Arch_state.restore t.state s.snap_state;
@@ -340,7 +511,11 @@ let restore t s =
   Soc.Clint.restore t.clint s.snap_clint;
   Soc.Gpio.restore t.gpio s.snap_gpio;
   Soc.Syscon.restore t.syscon s.snap_syscon;
-  t.last_load <- s.snap_last_load;
+  t.last_load_mask <- s.snap_last_load_mask;
+  t.pending_ticks := 0;
+  t.seg_idx := 0;
+  t.seg_base := 0;
+  t.exit_dirty := Soc.Syscon.exit_code t.syscon <> None;
   (* Restored memory may hold different code than what was translated. *)
   Tb_cache.flush t.tb
 

@@ -5,7 +5,21 @@
     the instrumentation {!Hooks}, a configurable decoder, the
     translation-block cache, and the timing model.  [run] executes until
     software exits through the syscon, a fatal trap occurs, fuel runs
-    out, or the hart would sleep forever in WFI. *)
+    out, or the hart would sleep forever in WFI.
+
+    Three execution engines share one observable semantics (identical
+    {!state_digest} traces, enforced by differential tests):
+
+    - {b lowered} (default): translation blocks compiled to µop closure
+      arrays ([Lower]) with block chaining, batched cycle/CLINT ticking,
+      and hook dispatch specialized away.  Selected per block while no
+      hooks are installed.
+    - {b generic TB}: the decoded-array interpreter; used whenever hooks
+      are present or [lower_blocks] is off.
+    - {b single-step} ([use_tb_cache:false]): decode-dispatch per
+      instruction, with interrupt sampling gated to the same block
+      boundaries the TB path produces, so it is cycle-identical to the
+      cached engines. *)
 
 type word = S4e_bits.Bits.word
 
@@ -16,10 +30,16 @@ type config = {
   timing : Timing_model.t;
   use_tb_cache : bool;
   decoder : decoder_kind;
+  lower_blocks : bool;
+      (** compile hook-free blocks to µop closures (requires
+          [use_tb_cache]) *)
+  chain_blocks : bool;
+      (** patch direct successor links between blocks ({!Tb_cache.next}) *)
 }
 
 val default_config : config
-(** RV32IMFC + Zicsr + B, default timing, TB cache on, DecodeTree. *)
+(** RV32IMFC + Zicsr + B, default timing, TB cache on, DecodeTree,
+    lowering and chaining on. *)
 
 type stop_reason =
   | Exited of int  (** software wrote the syscon EXIT register *)
@@ -42,10 +62,26 @@ type t = {
   config : config;
   decode32 : word -> S4e_isa.Instr.t option;
   tb : Tb_cache.t;
-  mutable last_load : (bool * int) option;
-      (** load-use hazard window (kind, destination) of the previous
-          retired instruction; persists across [run] calls so resumed
-          executions charge the same stalls as uninterrupted ones *)
+  mutable last_load_mask : int;
+      (** load-use hazard window of the previous retired instruction as
+          an {!S4e_isa.Instr.source_mask}-encoded destination bitmask
+          (0 = none); persists across [run] calls so resumed executions
+          charge the same stalls as uninterrupted ones *)
+  pending_ticks : int ref;
+      (** cycles batched by the lowered engine, not yet applied to
+          [state.cycle] / the CLINT; always 0 outside [run] *)
+  seg_idx : int ref;
+      (** lowered engine: µop index within the running block segment *)
+  seg_base : int ref;
+      (** lowered engine: µop index up to which instret/fuel are
+          credited; equals [seg_idx] outside [run] *)
+  fuel_left : int ref;
+      (** the running [run] call's remaining fuel (drained lazily by the
+          lowered engine); meaningless outside [run] *)
+  exit_dirty : bool ref;
+      (** set by the syscon write notifier; [run] polls the device's
+          exit code only when this is set *)
+  lower_ctx : Lower.ctx;
 }
 
 val create : ?config:config -> unit -> t
@@ -56,7 +92,8 @@ val reset : t -> pc:word -> unit
 
 val run : t -> fuel:int -> stop_reason
 (** Executes at most [fuel] instructions.  Interrupts are sampled at
-    translation-block boundaries (as in QEMU). *)
+    translation-block boundaries (as in QEMU) on every engine —
+    including single-step mode, which reconstructs the boundaries. *)
 
 val instret : t -> int
 val cycles : t -> int

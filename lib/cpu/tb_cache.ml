@@ -1,13 +1,42 @@
 type word = int
 
+(* A lowered micro-op: one decoded instruction compiled (by [Lower])
+   into a closure with every per-instruction decision hoisted to
+   translate time.  [u_exec] performs the architectural step and
+   returns the cycle charge (branch closures pick the taken /
+   not-taken cost themselves); hazard stalls are added by the machine
+   from the precomputed masks. *)
+type uop = {
+  u_pc : word;
+  u_size : int;
+  u_src_mask : int;  (** {!S4e_isa.Instr.source_mask} *)
+  u_load_dest_mask : int;  (** {!S4e_isa.Instr.load_dest_mask} *)
+  u_wfi : bool;
+  u_fence_i : bool;
+  u_exec : unit -> int;
+}
+
 type entry = {
   block_pc : word;
   instrs : (word * int * S4e_isa.Instr.t) array;
   total_size : int;
+  mutable lowered : uop array option;
+  mutable dead : bool;
+  (* QEMU-style direct block chaining: up to two successor links,
+     patched on first successor lookup.  [link_*_pc] is the successor's
+     entry pc (-1 when empty); [incoming] records entries whose links
+     may point here so invalidation can sever them. *)
+  mutable link_a : entry option;
+  mutable link_a_pc : word;
+  mutable link_b : entry option;
+  mutable link_b_pc : word;
+  mutable incoming : entry list;
 }
 
 type t = {
   table : (word, entry) Hashtbl.t;
+  pages : (int, entry list ref) Hashtbl.t;
+      (* page index (addr lsr page_shift) -> blocks overlapping it *)
   decode32 : word -> S4e_isa.Instr.t option;
   decode16 : (int -> S4e_isa.Instr.t option) option;
   fetch32 : word -> word;
@@ -16,13 +45,22 @@ type t = {
   mutable code_hi : word;  (* exclusive *)
   mutable hits : int;
   mutable misses : int;
+  mutable chain_hits : int;
+  mutable invalidations : int;
 }
 
 let max_block_len = 64
 
+(* Invalidation granularity.  256-byte pages keep the per-store lookup
+   cheap while bounding collateral invalidation to a few blocks (a
+   block spans at most [4 * max_block_len] bytes = 2 pages, plus one
+   for misalignment). *)
+let page_shift = 8
+
 let create ~decode32 ~decode16 ~fetch32 ~fetch16 () =
-  { table = Hashtbl.create 1024; decode32; decode16; fetch32; fetch16;
-    code_lo = max_int; code_hi = 0; hits = 0; misses = 0 }
+  { table = Hashtbl.create 1024; pages = Hashtbl.create 256; decode32;
+    decode16; fetch32; fetch16; code_lo = max_int; code_hi = 0; hits = 0;
+    misses = 0; chain_hits = 0; invalidations = 0 }
 
 (* Decode one instruction at [pc]: compressed halfwords expand via
    decode16; otherwise a full word via decode32. *)
@@ -57,7 +95,66 @@ let translate t pc =
   let total_size =
     Array.fold_left (fun acc (_, size, _) -> acc + size) 0 instrs
   in
-  { block_pc = pc; instrs; total_size }
+  { block_pc = pc; instrs; total_size; lowered = None; dead = false;
+    link_a = None; link_a_pc = -1; link_b = None; link_b_pc = -1;
+    incoming = [] }
+
+(* Every entry covers at least one word, so a store over an entry that
+   failed to decode (empty [instrs]) still invalidates it and the new
+   code gets retranslated. *)
+let span e = max e.total_size 4
+
+let register_pages t e =
+  let lo = e.block_pc lsr page_shift
+  and hi = (e.block_pc + span e - 1) lsr page_shift in
+  for p = lo to hi do
+    match Hashtbl.find_opt t.pages p with
+    | Some l -> l := e :: !l
+    | None -> Hashtbl.replace t.pages p (ref [ e ])
+  done
+
+let unregister_pages t e =
+  let lo = e.block_pc lsr page_shift
+  and hi = (e.block_pc + span e - 1) lsr page_shift in
+  for p = lo to hi do
+    match Hashtbl.find_opt t.pages p with
+    | Some l -> l := List.filter (fun x -> not (x == e)) !l
+    | None -> ()
+  done
+
+let sever_incoming e =
+  List.iter
+    (fun src ->
+      (match src.link_a with
+      | Some x when x == e ->
+          src.link_a <- None;
+          src.link_a_pc <- -1
+      | _ -> ());
+      match src.link_b with
+      | Some x when x == e ->
+          src.link_b <- None;
+          src.link_b_pc <- -1
+      | _ -> ())
+    e.incoming;
+  e.incoming <- []
+
+(* Kill one block: drop it from the table and page index, cut its
+   outgoing links, and sever every chain link pointing at it so the
+   dispatch loop can never reach the stale code by chaining. *)
+let kill t e =
+  if not e.dead then begin
+    e.dead <- true;
+    t.invalidations <- t.invalidations + 1;
+    (match Hashtbl.find_opt t.table e.block_pc with
+    | Some cur when cur == e -> Hashtbl.remove t.table e.block_pc
+    | Some _ | None -> ());
+    unregister_pages t e;
+    e.link_a <- None;
+    e.link_a_pc <- -1;
+    e.link_b <- None;
+    e.link_b_pc <- -1;
+    sever_incoming e
+  end
 
 let lookup t pc =
   match Hashtbl.find_opt t.table pc with
@@ -68,18 +165,76 @@ let lookup t pc =
       t.misses <- t.misses + 1;
       let e = translate t pc in
       Hashtbl.replace t.table pc e;
-      if e.total_size > 0 then begin
-        if pc < t.code_lo then t.code_lo <- pc;
-        if pc + e.total_size > t.code_hi then t.code_hi <- pc + e.total_size
-      end;
+      register_pages t e;
+      if pc < t.code_lo then t.code_lo <- pc;
+      if pc + span e > t.code_hi then t.code_hi <- pc + span e;
       e
 
+(* Chained successor lookup: follow [prev]'s direct links before
+   touching the hashtable; patch the link on a miss.  Links are only
+   followed from (and patched on) live entries, so an invalidation
+   during [prev]'s execution safely degrades to a table lookup. *)
+let next t prev pc =
+  match prev with
+  | Some p when not p.dead ->
+      if p.link_a_pc = pc then begin
+        match p.link_a with
+        | Some e ->
+            t.chain_hits <- t.chain_hits + 1;
+            e
+        | None -> lookup t pc
+      end
+      else if p.link_b_pc = pc then begin
+        match p.link_b with
+        | Some e ->
+            t.chain_hits <- t.chain_hits + 1;
+            e
+        | None -> lookup t pc
+      end
+      else begin
+        let e = lookup t pc in
+        (if not e.dead then
+           if p.link_a = None then begin
+             p.link_a <- Some e;
+             p.link_a_pc <- pc;
+             e.incoming <- p :: e.incoming
+           end
+           else begin
+             (* keep slot a (typically the loop back-edge seen first),
+                recycle slot b *)
+             p.link_b <- Some e;
+             p.link_b_pc <- pc;
+             e.incoming <- p :: e.incoming
+           end);
+        e
+      end
+  | Some _ | None -> lookup t pc
+
 let flush t =
+  Hashtbl.iter (fun _ e -> e.dead <- true) t.table;
   Hashtbl.reset t.table;
+  Hashtbl.reset t.pages;
   t.code_lo <- max_int;
   t.code_hi <- 0
 
+(* Page-granular store invalidation: only blocks overlapping the
+   written word die (a store writes at most 4 bytes).  The common case
+   — a store outside the cached code range — is two compares. *)
 let notify_store t addr =
-  if addr >= t.code_lo - 3 && addr < t.code_hi then flush t
+  if addr >= t.code_lo - 3 && addr < t.code_hi then begin
+    let lo = addr lsr page_shift and hi = (addr + 3) lsr page_shift in
+    for p = lo to hi do
+      match Hashtbl.find_opt t.pages p with
+      | Some l ->
+          List.iter
+            (fun e ->
+              if e.block_pc < addr + 4 && addr < e.block_pc + span e then
+                kill t e)
+            !l
+      | None -> ()
+    done
+  end
 
 let stats t = (Hashtbl.length t.table, t.hits, t.misses)
+let chain_hits t = t.chain_hits
+let invalidations t = t.invalidations

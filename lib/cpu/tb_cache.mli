@@ -2,21 +2,54 @@
 
     Fetch-and-decode is the dominant cost of a switch interpreter; this
     cache decodes a straight-line run of instructions (a translation
-    block) once and replays the decoded array on subsequent visits.
-    Blocks end at control-flow instructions, at {!max_block_len}, or
-    just before an undecodable word.
+    block) once and replays it on subsequent visits.  Blocks end at
+    control-flow instructions, at {!max_block_len}, or just before an
+    undecodable word.
 
-    Stores into the address range covered by cached blocks invalidate
-    the whole cache (coarse but correct); [fence.i] does the same.
-    Ablated in experiment E9. *)
+    Two accelerations sit on top of the decoded arrays:
+
+    - {b Lowering}: the machine compiles a block's instructions into an
+      array of closures ({!uop}) with dispatch, timing, and hazard
+      metadata resolved at translate time (see [Lower]); the compiled
+      form is cached on the entry.
+    - {b Chaining}: each entry carries up to two direct links to
+      successor entries, patched on first successor lookup ({!next}),
+      so straight-line and loop code bypasses the hashtable.
+
+    Stores into cached code invalidate at page granularity: only blocks
+    overlapping the written word die, and every chain link pointing at
+    a dead block is severed.  [fence.i] and {!flush} invalidate
+    everything.  Ablated in experiments E9 and E13. *)
 
 type word = S4e_bits.Bits.word
+
+(** One lowered micro-op: the architectural step as a closure returning
+    its cycle charge, with the hazard source/destination bitmasks and
+    the block-control flags it needs hoisted next to it.  Built by
+    [Lower.lower_entry]. *)
+type uop = {
+  u_pc : word;
+  u_size : int;
+  u_src_mask : int;
+  u_load_dest_mask : int;
+  u_wfi : bool;
+  u_fence_i : bool;
+  u_exec : unit -> int;
+}
 
 type entry = {
   block_pc : word;
   instrs : (word * int * S4e_isa.Instr.t) array;
       (** (pc, size-in-bytes, instruction) triples *)
   total_size : int;  (** bytes covered *)
+  mutable lowered : uop array option;
+      (** lazily compiled µop form (hook-free fast path) *)
+  mutable dead : bool;  (** invalidated; never executed or linked again *)
+  mutable link_a : entry option;
+  mutable link_a_pc : word;
+  mutable link_b : entry option;
+  mutable link_b_pc : word;
+  mutable incoming : entry list;
 }
 
 type t
@@ -38,10 +71,27 @@ val lookup : t -> word -> entry
     word at [pc] does not decode (the machine raises an illegal
     instruction trap). *)
 
+val next : t -> entry option -> word -> entry
+(** [next t prev pc] is [lookup t pc] accelerated by block chaining:
+    if [prev] (the block just executed) already links to [pc] the
+    hashtable is bypassed; otherwise the link is patched after the
+    lookup.  Passing [None] — or a [prev] invalidated mid-execution —
+    degrades to a plain lookup. *)
+
 val notify_store : t -> word -> unit
-(** Invalidate if [addr] may fall inside cached code. *)
+(** Invalidate the blocks overlapping the (at most 4-byte) store at
+    [addr], severing chain links into them.  Blocks elsewhere stay
+    cached. *)
 
 val flush : t -> unit
 
 val stats : t -> int * int * int
 (** (cached blocks, hits, misses). *)
+
+val chain_hits : t -> int
+(** Successor lookups answered by a direct link (subset of hits that
+    skipped the hashtable). *)
+
+val invalidations : t -> int
+(** Blocks individually killed by {!notify_store} (flushes not
+    counted). *)

@@ -59,3 +59,7 @@ let cost m instr ~taken =
   | Amo _ -> m.load + m.store
 
 let worst_cost m instr = cost m instr ~taken:true
+
+(* Both branch outcomes at once, so block lowering can precompute the
+   cycle charge per instruction instead of re-matching at run time. *)
+let costs m instr = (cost m instr ~taken:false, cost m instr ~taken:true)

@@ -47,3 +47,7 @@ val worst_cost : t -> S4e_isa.Instr.t -> int
 
 val without_hazards : t -> t
 (** The same model with [load_use_hazard = 0] (ablations). *)
+
+val costs : t -> S4e_isa.Instr.t -> int * int
+(** [(not_taken, taken)] cost pair, equal for non-branches — evaluated
+    once at translation time by the block-lowering pipeline. *)

@@ -260,3 +260,41 @@ let fp_destination = function
   | Op_imm _ | Shift_imm _ | Op _ | Unary _ | Fence | Fence_i | Ecall
   | Ebreak | Mret | Wfi | Csr _ | Fsw _ | Fp_cmp _ | Fcvt_w_s _
   | Fmv_x_w _ | Lr _ | Sc _ | Amo _ -> None
+
+(* Source-register bitmasks for hazard detection: GPR sources occupy
+   bits 0..31, FPR sources bits 32..63, so one [land] against the
+   previous load's destination mask replaces two [List.mem] scans over
+   freshly allocated [sources]/[fp_sources] lists on the hot path. *)
+
+let gpr_bit r = 1 lsl r
+let fpr_bit r = 1 lsl (32 + r)
+
+let source_mask = function
+  | Lui _ | Auipc _ | Jal _ | Fence | Fence_i | Ecall | Ebreak | Mret | Wfi
+    -> 0
+  | Jalr (_, rs1, _)
+  | Load (_, _, rs1, _)
+  | Op_imm (_, _, rs1, _)
+  | Shift_imm (_, _, rs1, _)
+  | Unary (_, _, rs1)
+  | Fcvt_s_w (_, rs1, _)
+  | Fmv_w_x (_, rs1)
+  | Lr (_, rs1) -> gpr_bit rs1
+  | Flw (_, rs1, _) -> gpr_bit rs1
+  | Fsw (fsrc, rs1, _) -> gpr_bit rs1 lor fpr_bit fsrc
+  | Sc (_, src, rs1) | Amo (_, _, src, rs1) -> gpr_bit src lor gpr_bit rs1
+  | Branch (_, rs1, rs2, _) | Store (_, rs2, rs1, _) | Op (_, _, rs1, rs2)
+    -> gpr_bit rs1 lor gpr_bit rs2
+  | Csr (op, _, _, src) -> (
+      match op with
+      | CSRRW | CSRRS | CSRRC -> gpr_bit src
+      | CSRRWI | CSRRSI | CSRRCI -> 0)
+  | Fp_op (_, _, frs1, frs2) | Fp_cmp (_, _, frs1, frs2) ->
+      fpr_bit frs1 lor fpr_bit frs2
+  | Fsqrt (_, frs1) | Fcvt_w_s (_, frs1, _) | Fmv_x_w (_, frs1) ->
+      fpr_bit frs1
+
+let load_dest_mask = function
+  | Load (_, rd, _, _) -> gpr_bit rd
+  | Flw (frd, _, _) -> fpr_bit frd
+  | _ -> 0

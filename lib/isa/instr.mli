@@ -110,3 +110,15 @@ val fp_sources : t -> reg list
 
 val fp_destination : t -> reg option
 (** FPR written, if any. *)
+
+val source_mask : t -> int
+(** Register-read set as a bitmask: GPR [r] at bit [r], FPR [f] at bit
+    [32 + f].  Agrees with {!sources} / {!fp_sources} (including [x0]),
+    but allocation-free — built for the emulator's load-use hazard
+    check. *)
+
+val load_dest_mask : t -> int
+(** The destination of a load in {!source_mask} encoding ([Load] sets a
+    GPR bit, [Flw] an FPR bit), 0 for every other instruction.  A
+    load-use hazard exists iff
+    [load_dest_mask prev land source_mask cur <> 0]. *)

@@ -1,14 +1,19 @@
-type t = { mutable code : int option }
+type t = { mutable code : int option; mutable notify : unit -> unit }
 
-let create () = { code = None }
+let create () = { code = None; notify = ignore }
 
-let write t offset _size v = if offset = 0x00 then t.code <- Some v
+let write t offset _size v =
+  if offset = 0x00 then begin
+    t.code <- Some v;
+    t.notify ()
+  end
 
 let device t ~base =
   { S4e_mem.Bus.dev_name = "syscon"; dev_base = base; dev_len = 0x10;
     dev_read = (fun _ _ -> 0); dev_write = write t }
 
 let exit_code t = t.code
+let set_notify t f = t.notify <- f
 let reset t = t.code <- None
 
 type snapshot = int option

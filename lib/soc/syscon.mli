@@ -16,6 +16,12 @@ val device : t -> base:S4e_bits.Bits.word -> S4e_mem.Bus.device
 val exit_code : t -> int option
 (** [Some code] once software has written the EXIT register. *)
 
+val set_notify : t -> (unit -> unit) -> unit
+(** Callback invoked on every EXIT store.  The machine uses it to set a
+    dirty flag so the run loop stops polling {!exit_code} on the
+    per-instruction path.  [restore] does not invoke it; callers that
+    restore a snapshot must re-derive their flag from {!exit_code}. *)
+
 val reset : t -> unit
 
 type snapshot

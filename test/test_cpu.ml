@@ -583,6 +583,43 @@ patch_site:
   in
   Alcotest.(check int) "patched code executed" 1 (exit_code stop)
 
+let test_page_granular_invalidation () =
+  (* self-modifying code with NO fence.i: the store alone must kill the
+     already-cached block it overwrites (page-granular invalidation),
+     while unrelated cached blocks survive.  The slot runs twice: the
+     first pass executes the original addi+1, then patches itself to
+     addi+99, so exit code 100 proves the second pass saw fresh code. *)
+  let m, stop =
+    run_asm {|
+_start:
+  li   s0, 2
+  li   a0, 0
+  la   t0, patch
+  lw   t1, 0(t0)
+loop:
+slot:
+  addi a0, a0, 1
+  addi s0, s0, -1
+  beqz s0, done
+  la   t2, slot
+  sw   t1, 0(t2)
+  j    loop
+done:
+  li   t3, 0x00100000
+  sw   a0, 0(t3)
+patch:
+  addi a0, a0, 99
+|}
+  in
+  Alcotest.(check int) "patched code executed without fence.i" 100
+    (exit_code stop);
+  let tb = m.Machine.tb in
+  (* exactly the block overlapping the stored word died; no flush *)
+  Alcotest.(check int) "one block invalidated"
+    1 (S4e_cpu.Tb_cache.invalidations tb);
+  let blocks, _, _ = S4e_cpu.Tb_cache.stats tb in
+  Alcotest.(check bool) "unrelated blocks survive" true (blocks >= 2)
+
 let test_decoder_configs_agree () =
   (* the same torture program must produce identical results under all
      four decoder/TB-cache configurations *)
@@ -653,8 +690,11 @@ loop:
   S4e_asm.Program.load_machine p m;
   let _ = Machine.run m ~fuel:10_000 in
   let blocks, hits, misses = S4e_cpu.Tb_cache.stats m.Machine.tb in
+  (* chained successor lookups bypass the hashtable entirely *)
+  let chained = S4e_cpu.Tb_cache.chain_hits m.Machine.tb in
   Alcotest.(check bool) "few blocks" true (blocks <= 5);
-  Alcotest.(check bool) "mostly hits" true (hits > misses * 10)
+  Alcotest.(check bool) "mostly hits" true (hits + chained > misses * 10);
+  Alcotest.(check bool) "chaining engaged" true (chained > 0)
 
 let test_atomics () =
   (* lr/sc success and failure, and a representative amo *)
@@ -984,6 +1024,8 @@ let () =
           Alcotest.test_case "out of fuel" `Quick test_machine_out_of_fuel;
           Alcotest.test_case "fence.i self-modifying" `Quick
             test_fence_i_self_modifying;
+          Alcotest.test_case "page-granular invalidation" `Quick
+            test_page_granular_invalidation;
           Alcotest.test_case "decoder configs agree" `Quick
             test_decoder_configs_agree;
           Alcotest.test_case "restricted ISA traps" `Quick

@@ -1,0 +1,317 @@
+(* Differential tests for the lowered (µop) execution engine.
+
+   The machine has three engines — lowered translation blocks (with and
+   without chaining), the generic decoded-array interpreter, and
+   single-step decode-dispatch — that must be observationally
+   indistinguishable: same stop reason, same instruction and cycle
+   counts, and byte-identical [Machine.state_digest ~include_time:true]
+   on every program, including ones that trap, take timer interrupts,
+   sleep in WFI, rewrite their own code, and run compressed.  These
+   tests drive all engines over hand-written corner cases and random
+   torture programs and compare. *)
+
+module Machine = S4e_cpu.Machine
+module Torture = S4e_torture.Torture
+
+let prop ?(count = 25) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen f)
+
+let seed_gen = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100_000)
+
+(* The four engines under comparison.  [lowered] is the default config. *)
+let engines =
+  [ ("lowered", Machine.default_config);
+    ("unchained", { Machine.default_config with Machine.chain_blocks = false });
+    ("generic-tb", { Machine.default_config with Machine.lower_blocks = false });
+    ("single-step", { Machine.default_config with Machine.use_tb_cache = false })
+  ]
+
+type outcome = {
+  o_stop : string;
+  o_digest : string;
+  o_instret : int;
+  o_cycles : int;
+}
+
+let outcome_of m stop =
+  { o_stop = Format.asprintf "%a" Machine.pp_stop_reason stop;
+    o_digest = Digest.to_hex (Machine.state_digest ~include_time:true m);
+    o_instret = Machine.instret m;
+    o_cycles = Machine.cycles m }
+
+let run_program ?(fuel = 200_000) config p =
+  let m = Machine.create ~config () in
+  S4e_asm.Program.load_machine p m;
+  outcome_of m (Machine.run m ~fuel)
+
+let check_engines_agree ?fuel p =
+  match engines with
+  | [] -> assert false
+  | (ref_name, ref_config) :: rest ->
+      let reference = run_program ?fuel ref_config p in
+      List.iter
+        (fun (name, config) ->
+          let o = run_program ?fuel config p in
+          Alcotest.(check string)
+            (Printf.sprintf "%s vs %s: stop" name ref_name)
+            reference.o_stop o.o_stop;
+          Alcotest.(check int)
+            (Printf.sprintf "%s vs %s: instret" name ref_name)
+            reference.o_instret o.o_instret;
+          Alcotest.(check int)
+            (Printf.sprintf "%s vs %s: cycles" name ref_name)
+            reference.o_cycles o.o_cycles;
+          Alcotest.(check string)
+            (Printf.sprintf "%s vs %s: digest" name ref_name)
+            reference.o_digest o.o_digest)
+        rest
+
+let differential_asm ?fuel src =
+  check_engines_agree ?fuel (S4e_asm.Assembler.assemble_exn src)
+
+(* ---------------- hand-written corner cases ---------------- *)
+
+(* Traps raised from the middle of a translation block: the handler
+   skips the trapping instruction, so execution re-enters the block
+   body at a non-entry pc. *)
+let test_traps_mid_block () =
+  differential_asm {|
+_start:
+  la   t0, handler
+  csrw mtvec, t0
+  li   s0, 0
+  li   s1, 50
+tloop:
+  ecall
+  ebreak
+  addi s0, s0, 7
+  addi s1, s1, -1
+  bnez s1, tloop
+  li   t1, 0x00100000
+  sw   s0, 0(t1)
+handler:
+  addi s0, s0, 1
+  csrr t2, mepc
+  addi t2, t2, 4
+  csrw mepc, t2
+  mret
+|}
+
+(* mtvec pointing at the instruction right after the trap: the generic
+   driver keeps executing the same block (pc happens to match), and the
+   lowered driver must reproduce that. *)
+let test_trap_continues_block () =
+  differential_asm {|
+_start:
+  la   t0, after
+  csrw mtvec, t0
+  li   s0, 11
+  ecall
+after:
+  addi s0, s0, 22
+  li   t1, 0x00100000
+  sw   s0, 0(t1)
+|}
+
+(* Timer interrupts landing in the middle of a compute loop; the
+   handler pushes mtimecmp forward so several fire over the run.  Cycle
+   equality here proves interrupt latency is identical across engines
+   (batched ticking never defers a timer past a sampling point, and
+   single-step samples at the same block boundaries the TB path does). *)
+let test_timer_interrupts_during_loop () =
+  differential_asm {|
+  .equ CLINT, 0x02000000
+_start:
+  la   t0, handler
+  csrw mtvec, t0
+  li   t1, CLINT + 0x4000
+  li   t2, 40
+  sw   t2, 0(t1)          # mtimecmp = 40
+  sw   zero, 4(t1)
+  li   t3, 0x80
+  csrw mie, t3
+  csrrsi zero, mstatus, 8
+  li   s0, 0
+  li   s1, 2000
+loop:
+  addi s0, s0, 3
+  xor  s2, s0, s1
+  addi s1, s1, -1
+  bnez s1, loop
+  add  s0, s0, s3
+  li   t4, 0x00100000
+  sw   s0, 0(t4)
+handler:
+  addi s3, s3, 1          # count interrupts
+  li   t5, CLINT + 0x4000
+  lw   t6, 0(t5)
+  addi t6, t6, 97
+  sw   t6, 0(t5)
+  mret
+|}
+
+let test_wfi_wakeup_and_halt () =
+  (* timer-driven wakeups, then a final WFI with interrupts disabled
+     halts the hart; digests must agree on the halt as well *)
+  differential_asm {|
+  .equ CLINT, 0x02000000
+_start:
+  la   t0, handler
+  csrw mtvec, t0
+  li   t1, CLINT + 0x4000
+  li   t2, 30
+  sw   t2, 0(t1)
+  sw   zero, 4(t1)
+  li   t3, 0x80
+  csrw mie, t3
+  csrrsi zero, mstatus, 8
+  li   s1, 3
+wait:
+  wfi
+  bnez s1, wait
+  csrw mie, zero          # no wake source left
+  wfi                     # -> Wfi_halt
+handler:
+  addi s1, s1, -1
+  li   t5, CLINT + 0x4000
+  lw   t6, 0(t5)
+  addi t6, t6, 50
+  sw   t6, 0(t5)
+  mret
+|}
+
+(* Reading the cycle and time CSRs from inside hot blocks: forces the
+   lowered engine to flush its batched ticks at the observation point. *)
+let test_time_observed_mid_block () =
+  differential_asm {|
+_start:
+  li   s1, 300
+loop:
+  csrr t0, cycle
+  csrr t1, time
+  add  s0, t0, t1
+  addi s1, s1, -1
+  bnez s1, loop
+  li   t2, 0x00100000
+  sw   s0, 0(t2)
+|}
+
+let test_fatal_traps_agree () =
+  differential_asm {|
+_start:
+  li  s0, 5
+  .word 0x00000057
+|};
+  differential_asm {|
+_start:
+  li  t0, 0x80000001
+  lw  t1, 0(t0)           # misaligned load, no handler
+|}
+
+(* Self-modifying code without fence.i: a store into an already-cached
+   block must invalidate it (page-granular) so the next entry
+   retranslates.  First pass adds 1, the patched second pass adds 99. *)
+let smc_src = {|
+_start:
+  li   s0, 2
+  li   a0, 0
+  la   t0, patch
+  lw   t1, 0(t0)
+loop:
+slot:
+  addi a0, a0, 1
+  addi s0, s0, -1
+  beqz s0, done
+  la   t2, slot
+  sw   t1, 0(t2)
+  j    loop
+done:
+  li   t3, 0x00100000
+  sw   a0, 0(t3)
+patch:
+  addi a0, a0, 99
+|}
+
+let test_self_modifying_differential () = differential_asm smc_src
+
+(* ---------------- hooks attach/detach mid-run ---------------- *)
+
+(* The lowered path is only taken while no hooks are installed;
+   attaching one mid-run must transparently fall back to the generic
+   engine (observing every subsequent event) and detaching must return
+   to the lowered path — with no observable difference in the
+   architectural trace. *)
+let test_hooks_attach_detach_mid_run () =
+  let p =
+    S4e_asm.Assembler.assemble_exn {|
+_start:
+  li   s1, 400
+loop:
+  addi s0, s0, 3
+  xor  s2, s0, s1
+  addi s1, s1, -1
+  bnez s1, loop
+  li   t0, 0x00100000
+  sw   s0, 0(t0)
+|}
+  in
+  let staged hooked =
+    let m = Machine.create () in
+    S4e_asm.Program.load_machine p m;
+    (* identical fuel staging in both runs so block segmentation and
+       interrupt sampling line up *)
+    let r1 = Machine.run m ~fuel:100 in
+    assert (r1 = Machine.Out_of_fuel);
+    let count = ref 0 in
+    let id =
+      if hooked then
+        Some (S4e_cpu.Hooks.on_insn m.Machine.hooks (fun _ _ -> incr count))
+      else None
+    in
+    let r2 = Machine.run m ~fuel:100 in
+    assert (r2 = Machine.Out_of_fuel);
+    (match id with
+    | Some id ->
+        Alcotest.(check int) "hook saw every staged instruction" 100 !count;
+        S4e_cpu.Hooks.unregister m.Machine.hooks id
+    | None -> ());
+    let stop = Machine.run m ~fuel:100_000 in
+    (Format.asprintf "%a" Machine.pp_stop_reason stop,
+     Digest.to_hex (Machine.state_digest ~include_time:true m),
+     Machine.cycles m)
+  in
+  let plain = staged false and hooked = staged true in
+  Alcotest.(check bool) "hooked run identical to plain run" true
+    (plain = hooked)
+
+(* ---------------- random torture programs ---------------- *)
+
+let torture_agrees ~compress seed =
+  let cfg = { Torture.default_config with Torture.seed; compress } in
+  let p = Torture.generate cfg in
+  check_engines_agree ~fuel:(Torture.fuel_bound cfg) p;
+  true
+
+let props =
+  [ prop "torture: engines agree" seed_gen (torture_agrees ~compress:false);
+    prop ~count:15 "torture (compressed): engines agree" seed_gen
+      (torture_agrees ~compress:true) ]
+
+let () =
+  Alcotest.run "lowered"
+    [ ("differential",
+       [ Alcotest.test_case "traps mid-block" `Quick test_traps_mid_block;
+         Alcotest.test_case "trap continues block" `Quick
+           test_trap_continues_block;
+         Alcotest.test_case "timer interrupts during loop" `Quick
+           test_timer_interrupts_during_loop;
+         Alcotest.test_case "wfi wakeup and halt" `Quick
+           test_wfi_wakeup_and_halt;
+         Alcotest.test_case "time observed mid-block" `Quick
+           test_time_observed_mid_block;
+         Alcotest.test_case "fatal traps agree" `Quick test_fatal_traps_agree;
+         Alcotest.test_case "self-modifying code" `Quick
+           test_self_modifying_differential;
+         Alcotest.test_case "hooks attach/detach mid-run" `Quick
+           test_hooks_attach_detach_mid_run ]);
+      ("torture", props) ]
