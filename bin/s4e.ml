@@ -61,9 +61,20 @@ let run_cmd =
   in
   let cache_arg =
     Arg.(value & flag & info [ "cache-stats" ]
-           ~doc:"Model 4 KiB 2-way I/D caches and report hit rates.")
+           ~doc:"Model 4 KiB 2-way I/D caches and report hit rates (plus \
+                 translation-block cache statistics).")
   in
-  let action file fuel trace input cache_stats =
+  let profile_arg =
+    Arg.(value & flag & info [ "profile" ]
+           ~doc:"Attach the hot-spot profiler and print the ranked \
+                 hot-block/hot-function report after the run.")
+  in
+  let metrics_arg =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write a metrics-registry snapshot (JSON) to FILE after the \
+                 run; '-' for stdout.")
+  in
+  let action file fuel trace input cache_stats profile metrics =
     let p = assemble_file file in
     let m = S4e_cpu.Machine.create () in
     let tracer =
@@ -73,6 +84,24 @@ let run_cmd =
     in
     let caches =
       if cache_stats then Some (S4e_cpu.Cache_model.attach m) else None
+    in
+    let reg =
+      Option.map
+        (fun _ ->
+          let reg = S4e_obs.Metrics.create () in
+          S4e_cpu.Machine.register_metrics m reg;
+          Option.iter (fun c -> S4e_cpu.Cache_model.register_metrics c reg)
+            caches;
+          reg)
+        metrics
+    in
+    let prof =
+      if profile then begin
+        let prof = S4e_obs.Profile.create () in
+        S4e_cpu.Machine.set_profiler m (Some prof);
+        Some prof
+      end
+      else None
     in
     S4e_asm.Program.load_machine p m;
     (match input with
@@ -92,7 +121,25 @@ let run_cmd =
             (100.0 *. S4e_cpu.Cache_model.hit_rate s)
         in
         pr "icache" (S4e_cpu.Cache_model.icache_stats c);
-        pr "dcache" (S4e_cpu.Cache_model.dcache_stats c));
+        pr "dcache" (S4e_cpu.Cache_model.dcache_stats c);
+        let ts = S4e_cpu.Tb_cache.stats m.S4e_cpu.Machine.tb in
+        Format.printf
+          "tb cache: %d blocks, %d hits, %d misses, %d chain hits, %d \
+           invalidations@."
+          ts.S4e_cpu.Tb_cache.st_blocks ts.S4e_cpu.Tb_cache.st_hits
+          ts.S4e_cpu.Tb_cache.st_misses ts.S4e_cpu.Tb_cache.st_chain_hits
+          ts.S4e_cpu.Tb_cache.st_invalidations);
+    (match prof with
+    | None -> ()
+    | Some prof ->
+        let symbolize =
+          S4e_obs.Profile.symbolizer_of_symbols p.S4e_asm.Program.symbols
+        in
+        Format.printf "%a" (S4e_obs.Profile.pp_report ~top:10 ~symbolize)
+          prof);
+    (match (reg, metrics) with
+    | Some reg, Some path -> S4e_obs.Metrics.write_json reg path
+    | _ -> ());
     match tracer with
     | None -> ()
     | Some t ->
@@ -105,7 +152,50 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Assemble and execute a program on the virtual prototype.")
-    Term.(const action $ file_arg $ fuel_arg $ trace_arg $ input_arg $ cache_arg)
+    Term.(const action $ file_arg $ fuel_arg $ trace_arg $ input_arg
+          $ cache_arg $ profile_arg $ metrics_arg)
+
+(* ---------------- profile ---------------- *)
+
+let profile_cmd =
+  let top_arg =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N"
+           ~doc:"Rows in the hot-block and hot-function tables.")
+  in
+  let disas_arg =
+    Arg.(value & flag & info [ "disas" ]
+           ~doc:"Also disassemble the hottest block.")
+  in
+  let action file fuel top disas =
+    let p = assemble_file file in
+    let r = S4e_core.Flows.profile_flow ~fuel p in
+    let prof = r.S4e_core.Flows.pf_profile in
+    Format.printf "-- %a; %d instructions, %d cycles@."
+      S4e_cpu.Machine.pp_stop_reason r.S4e_core.Flows.pf_stop
+      (S4e_cpu.Machine.instret r.S4e_core.Flows.pf_machine)
+      (S4e_cpu.Machine.cycles r.S4e_core.Flows.pf_machine);
+    Format.printf "%a"
+      (S4e_obs.Profile.pp_report ~top
+         ~symbolize:r.S4e_core.Flows.pf_symbolize)
+      prof;
+    if disas then
+      match S4e_obs.Profile.ranked prof with
+      | [] -> ()
+      | b :: _ ->
+          Format.printf "hottest block @@ 0x%08x:@."
+            b.S4e_obs.Profile.bl_pc;
+          List.iter
+            (fun l -> Format.printf "  %a@." S4e_asm.Disasm.pp_line l)
+            (S4e_asm.Disasm.disassemble_range
+               ~mem:(S4e_mem.Bus.ram r.S4e_core.Flows.pf_machine.S4e_cpu.Machine.bus)
+               ~start:b.S4e_obs.Profile.bl_pc
+               ~len:(max 4 b.S4e_obs.Profile.bl_bytes) ())
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run a program with the hot-spot profiler and print the ranked \
+             hot-block/hot-function report.")
+    Term.(const action $ file_arg $ fuel_arg $ top_arg $ disas_arg)
 
 (* ---------------- mutate ---------------- *)
 
@@ -360,7 +450,24 @@ let fault_cmd =
                  Default: 10 million for the golden run, 3x the golden \
                  instruction count per mutant (hang detection).")
   in
-  let action file mutants seed blind rerun fuel jobs =
+  let trace_events_arg =
+    Arg.(value & opt (some string) None & info [ "trace-events" ]
+           ~docv:"FILE"
+           ~doc:"Write a Chrome trace_event JSON of the campaign (one lane \
+                 per worker domain) to FILE; load it in Perfetto or \
+                 chrome://tracing.")
+  in
+  let metrics_arg =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write the campaign metrics snapshot (JSON) to FILE; '-' \
+                 for stdout.")
+  in
+  let progress_arg =
+    Arg.(value & flag & info [ "progress" ]
+           ~doc:"Live mutants/sec + ETA meter on stderr.")
+  in
+  let action file mutants seed blind rerun fuel jobs trace_events metrics
+      progress =
     let p = assemble_file file in
     let engine =
       if rerun then S4e_fault.Campaign.rerun_engine
@@ -377,7 +484,11 @@ let fault_cmd =
           | None -> S4e_core.Flows.Hang_auto);
         ff_engine = engine }
     in
-    let r = S4e_core.Flows.fault_flow ~jobs cfg p in
+    let sink = Option.map (fun _ -> S4e_obs.Trace_events.create ()) trace_events in
+    let reg = Option.map (fun _ -> S4e_obs.Metrics.create ()) metrics in
+    let r =
+      S4e_core.Flows.fault_flow ~jobs ?metrics:reg ?trace:sink ~progress cfg p
+    in
     Format.printf "%a@." S4e_fault.Campaign.pp_summary r.S4e_core.Flows.ff_summary;
     List.iter
       (fun (f, o) ->
@@ -385,12 +496,23 @@ let fault_cmd =
           Format.printf "  %-8s %a@."
             (S4e_fault.Campaign.outcome_name o)
             S4e_fault.Fault.pp f)
-      r.S4e_core.Flows.ff_results
+      r.S4e_core.Flows.ff_results;
+    (match (sink, trace_events) with
+    | Some s, Some path ->
+        S4e_obs.Trace_events.write s path;
+        Format.printf "wrote %d trace events to %s@."
+          (S4e_obs.Trace_events.events s)
+          path
+    | _ -> ());
+    match (reg, metrics) with
+    | Some reg, Some path -> S4e_obs.Metrics.write_json reg path
+    | _ -> ()
   in
   Cmd.v
     (Cmd.info "fault" ~doc:"Coverage-guided bit-flip fault campaign.")
     Term.(const action $ file_arg $ mutants_arg $ seed_arg $ blind_arg
-          $ rerun_arg $ fault_fuel_arg $ jobs_arg)
+          $ rerun_arg $ fault_fuel_arg $ jobs_arg $ trace_events_arg
+          $ metrics_arg $ progress_arg)
 
 (* ---------------- torture ---------------- *)
 
@@ -481,6 +603,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; asm_cmd; dis_cmd; cfg_cmd; stats_cmd; wcet_cmd;
-            qta_export_cmd; coverage_cmd; fault_cmd; mutate_cmd;
+          [ run_cmd; profile_cmd; asm_cmd; dis_cmd; cfg_cmd; stats_cmd;
+            wcet_cmd; qta_export_cmd; coverage_cmd; fault_cmd; mutate_cmd;
             torture_cmd; bmi_cmd ]))

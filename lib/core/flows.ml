@@ -123,16 +123,52 @@ type fault_flow_result = {
   ff_golden : S4e_fault.Campaign.signature;
 }
 
-let fault_flow ?config ?jobs cfg p =
-  let golden, coverage = S4e_fault.Campaign.golden ?config ~fuel:cfg.ff_fuel p in
+(* A mutants/sec + ETA meter on stderr, rate-limited so per-mutant
+   callbacks from fast campaigns don't turn into terminal spam.  The
+   callback arrives from whichever domain classified the mutant, hence
+   the mutex. *)
+let progress_meter () =
+  let mu = Mutex.create () in
+  let t0 = Unix.gettimeofday () in
+  let last = ref 0.0 in
+  fun done_ total ->
+    Mutex.lock mu;
+    let now = Unix.gettimeofday () in
+    if done_ = total || now -. !last >= 0.25 then begin
+      last := now;
+      let dt = now -. t0 in
+      let rate = if dt > 0.0 then float_of_int done_ /. dt else 0.0 in
+      let eta =
+        if rate > 0.0 then float_of_int (total - done_) /. rate else 0.0
+      in
+      Printf.eprintf "\r%d/%d mutants  %.0f/s  eta %.1fs " done_ total rate
+        eta;
+      if done_ = total then prerr_newline ();
+      flush stderr
+    end;
+    Mutex.unlock mu
+
+let fault_flow ?config ?jobs ?metrics ?trace ?(progress = false) cfg p =
+  let span name f =
+    match trace with
+    | Some s -> S4e_obs.Trace_events.span s ~name ~cat:"flow" f
+    | None -> f ()
+  in
+  let golden, coverage =
+    span "golden+coverage" (fun () ->
+        S4e_fault.Campaign.golden ?config ~fuel:cfg.ff_fuel p)
+  in
   let golden_instret = golden.S4e_fault.Campaign.sig_instret in
   let faults =
-    if cfg.ff_blind then
-      S4e_fault.Campaign.generate_blind ~seed:cfg.ff_seed ~n:cfg.ff_mutants
-        ~targets:cfg.ff_targets ~kinds:cfg.ff_kinds ~program:p ~golden_instret
-    else
-      S4e_fault.Campaign.generate ~seed:cfg.ff_seed ~n:cfg.ff_mutants
-        ~targets:cfg.ff_targets ~kinds:cfg.ff_kinds ~coverage ~golden_instret
+    span "generate" (fun () ->
+        if cfg.ff_blind then
+          S4e_fault.Campaign.generate_blind ~seed:cfg.ff_seed
+            ~n:cfg.ff_mutants ~targets:cfg.ff_targets ~kinds:cfg.ff_kinds
+            ~program:p ~golden_instret
+        else
+          S4e_fault.Campaign.generate ~seed:cfg.ff_seed ~n:cfg.ff_mutants
+            ~targets:cfg.ff_targets ~kinds:cfg.ff_kinds ~coverage
+            ~golden_instret)
   in
   let budget =
     match cfg.ff_hang_budget with
@@ -140,10 +176,30 @@ let fault_flow ?config ?jobs cfg p =
     | Hang_insns b -> b
     | Hang_auto -> min cfg.ff_fuel (max 10_000 (3 * golden_instret))
   in
+  let on_progress = if progress then Some (progress_meter ()) else None in
   let results =
-    S4e_fault.Campaign.run ?config ~engine:cfg.ff_engine ?jobs
-      ~fuel:budget p ~golden faults
+    span "campaign" (fun () ->
+        S4e_fault.Campaign.run ?config ~engine:cfg.ff_engine ?jobs ?metrics
+          ?trace ?on_progress ~fuel:budget p ~golden faults)
   in
   { ff_summary = S4e_fault.Campaign.summarize results;
     ff_results = results;
     ff_golden = golden }
+
+(* ---------------- profiling ---------------- *)
+
+type profile_result = {
+  pf_stop : Machine.stop_reason;
+  pf_machine : Machine.t;
+  pf_profile : S4e_obs.Profile.t;
+  pf_symbolize : S4e_obs.Profile.symbolizer;
+}
+
+let profile_flow ?config ?(fuel = default_fuel) p =
+  let m = Machine.create ?config () in
+  let prof = S4e_obs.Profile.create () in
+  Machine.set_profiler m (Some prof);
+  Program.load_machine p m;
+  let stop = Machine.run m ~fuel in
+  { pf_stop = stop; pf_machine = m; pf_profile = prof;
+    pf_symbolize = S4e_obs.Profile.symbolizer_of_symbols p.Program.symbols }

@@ -106,8 +106,35 @@ type fault_flow_result = {
 val fault_flow :
   ?config:S4e_cpu.Machine.config ->
   ?jobs:int ->
+  ?metrics:S4e_obs.Metrics.t ->
+  ?trace:S4e_obs.Trace_events.t ->
+  ?progress:bool ->
   fault_flow_config ->
   S4e_asm.Program.t ->
   fault_flow_result
 (** [jobs] overrides [cfg.ff_engine.eng_jobs]; outcomes are identical
-    for every [jobs] value. *)
+    for every [jobs] value and unaffected by any telemetry option.
+    [metrics]/[trace] are forwarded to {!S4e_fault.Campaign.run} (the
+    flow adds [golden+coverage], [generate], and [campaign] spans
+    around the campaign's own events).  [progress] (default off) prints
+    a live [done/total  mutants/sec  eta] meter to stderr, updated at
+    most four times a second. *)
+
+(** {1 Hot-spot profiling} *)
+
+type profile_result = {
+  pf_stop : S4e_cpu.Machine.stop_reason;
+  pf_machine : S4e_cpu.Machine.t;  (** for post-run inspection/disasm *)
+  pf_profile : S4e_obs.Profile.t;
+  pf_symbolize : S4e_obs.Profile.symbolizer;
+      (** nearest-label-below-pc over the program's symbol table *)
+}
+
+val profile_flow :
+  ?config:S4e_cpu.Machine.config ->
+  ?fuel:int ->
+  S4e_asm.Program.t ->
+  profile_result
+(** Runs the program with a {!S4e_obs.Profile} attached (the lowered
+    fast path is preserved — profiling does not change execution) and
+    returns the per-block attribution plus a symbolizer for reports. *)

@@ -6,9 +6,18 @@
    [map_chunked], so [jobs = 1] degenerates to a plain [List.map] with
    zero synchronization.  Work distribution is dynamic (an atomic
    chunk cursor), result placement is by index, so output order always
-   equals input order regardless of scheduling. *)
+   equals input order regardless of scheduling.
 
-type job = unit -> unit
+   Telemetry: each worker slot (0 = the submitting domain, 1.. = the
+   spawned domains) owns a private stats record — chunks executed,
+   seconds spent parked on the condition variable.  Slots are written
+   only by their owning domain; reads from another domain are
+   monitoring-grade (unsynchronized but each field is a single word). *)
+
+type job = int -> unit
+(* a queued job receives the executing worker's slot index *)
+
+type wstat = { mutable chunks : int; mutable idle_s : float }
 
 type t = {
   jobs : int;
@@ -17,36 +26,66 @@ type t = {
   queue : job Queue.t;
   mutable live : bool;
   mutable workers : unit Domain.t array;
+  wstats : wstat array;  (* length [jobs]; slot 0 = submitter *)
 }
+
+type worker_stats = { ws_chunks : int; ws_idle_s : float }
 
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
-let rec worker_loop t =
+let rec worker_loop t slot =
   Mutex.lock t.mutex;
-  while Queue.is_empty t.queue && t.live do
-    Condition.wait t.work t.mutex
-  done;
+  (if Queue.is_empty t.queue && t.live then begin
+     let t0 = Unix.gettimeofday () in
+     while Queue.is_empty t.queue && t.live do
+       Condition.wait t.work t.mutex
+     done;
+     let w = t.wstats.(slot) in
+     w.idle_s <- w.idle_s +. (Unix.gettimeofday () -. t0)
+   end);
   match Queue.take_opt t.queue with
   | None ->
       (* queue empty and the pool is shutting down *)
       Mutex.unlock t.mutex
   | Some job ->
       Mutex.unlock t.mutex;
-      job ();
-      worker_loop t
+      job slot;
+      worker_loop t slot
 
 let create ?jobs () =
   let jobs = max 1 (Option.value jobs ~default:(default_jobs ())) in
   let t =
     { jobs; mutex = Mutex.create (); work = Condition.create ();
-      queue = Queue.create (); live = true; workers = [||] }
+      queue = Queue.create (); live = true; workers = [||];
+      wstats = Array.init jobs (fun _ -> { chunks = 0; idle_s = 0.0 }) }
   in
   if jobs > 1 then
     t.workers <-
-      Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+      Array.init (jobs - 1)
+        (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1)));
   t
 
 let jobs t = t.jobs
+
+let stats t =
+  Array.map
+    (fun w -> { ws_chunks = w.chunks; ws_idle_s = w.idle_s })
+    t.wstats
+
+let register_metrics ?(prefix = "pool.") t reg =
+  let module M = S4e_obs.Metrics in
+  M.gauge_int reg (prefix ^ "workers") (fun () -> t.jobs);
+  M.gauge_int reg (prefix ^ "chunks") (fun () ->
+      Array.fold_left (fun a w -> a + w.chunks) 0 t.wstats);
+  M.gauge_float reg (prefix ^ "idle_s") (fun () ->
+      Array.fold_left (fun a w -> a +. w.idle_s) 0.0 t.wstats);
+  Array.iteri
+    (fun i w ->
+      M.gauge_int reg (Printf.sprintf "%sw%d.chunks" prefix i) (fun () ->
+          w.chunks);
+      M.gauge_float reg (Printf.sprintf "%sw%d.idle_s" prefix i) (fun () ->
+          w.idle_s))
+    t.wstats
 
 let shutdown t =
   Mutex.lock t.mutex;
@@ -63,7 +102,9 @@ let with_pool ?jobs f =
 let map_chunked ?chunk t f xs =
   match xs with
   | [] -> []
-  | xs when t.jobs = 1 || t.workers = [||] -> List.map f xs
+  | xs when t.jobs = 1 || t.workers = [||] ->
+      t.wstats.(0).chunks <- t.wstats.(0).chunks + 1;
+      List.map f xs
   | xs ->
       let arr = Array.of_list xs in
       let n = Array.length arr in
@@ -80,7 +121,8 @@ let map_chunked ?chunk t f xs =
       let done_c = Condition.create () in
       let finished = ref 0 in
       let failed = ref None in
-      let run_chunk ci =
+      let run_chunk slot ci =
+        t.wstats.(slot).chunks <- t.wstats.(slot).chunks + 1;
         (try
            let lo = ci * chunk in
            let hi = min n (lo + chunk) in
@@ -99,11 +141,11 @@ let map_chunked ?chunk t f xs =
       (* Each puller drains the shared chunk cursor until exhausted; a
          puller queued behind a long-running job from an earlier call
          simply finds the cursor spent and returns. *)
-      let rec puller () =
+      let rec puller slot =
         let ci = Atomic.fetch_and_add next 1 in
         if ci < n_chunks then begin
-          run_chunk ci;
-          puller ()
+          run_chunk slot ci;
+          puller slot
         end
       in
       Mutex.lock t.mutex;
@@ -112,7 +154,7 @@ let map_chunked ?chunk t f xs =
       done;
       Condition.broadcast t.work;
       Mutex.unlock t.mutex;
-      puller ();
+      puller 0;
       Mutex.lock done_m;
       while !finished < n_chunks do
         Condition.wait done_c done_m

@@ -28,6 +28,20 @@ val map_chunked : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
     irregular per-element cost still balances.  The first exception
     raised by [f] is re-raised in the caller after all workers drain. *)
 
+type worker_stats = {
+  ws_chunks : int;  (** chunks this slot executed *)
+  ws_idle_s : float;  (** seconds parked waiting for work *)
+}
+
+val stats : t -> worker_stats array
+(** One entry per worker slot; slot 0 is the submitting domain (which
+    never parks, so its idle time is 0).  Reading while a map is in
+    flight yields monitoring-grade (possibly slightly stale) values. *)
+
+val register_metrics : ?prefix:string -> t -> S4e_obs.Metrics.t -> unit
+(** Gauges [<prefix>workers], [chunks], [idle_s], and per-slot
+    [w<i>.chunks] / [w<i>.idle_s] (prefix default ["pool."]). *)
+
 val shutdown : t -> unit
 (** Joins the worker domains.  The pool must not be used afterwards. *)
 

@@ -114,3 +114,13 @@ let detach (m : Machine.t) a =
 
 let icache_stats a = stats a.ic
 let dcache_stats a = stats a.dc
+
+let register_metrics ?(prefix = "cache.") a reg =
+  let g name f = S4e_obs.Metrics.gauge_int reg (prefix ^ name) f in
+  let each tag c =
+    g (tag ^ ".accesses") (fun () -> c.accesses);
+    g (tag ^ ".hits") (fun () -> c.hits);
+    g (tag ^ ".misses") (fun () -> c.accesses - c.hits)
+  in
+  each "icache" a.ic;
+  each "dcache" a.dc

@@ -58,3 +58,8 @@ val detach : Machine.t -> attached -> unit
 
 val icache_stats : attached -> stats
 val dcache_stats : attached -> stats
+
+val register_metrics : ?prefix:string -> attached -> S4e_obs.Metrics.t -> unit
+(** Gauges [<prefix>icache.accesses/hits/misses] and the [dcache]
+    triple (prefix default ["cache."]); read-on-demand, no hot-path
+    cost beyond the hooks the attachment already owns. *)

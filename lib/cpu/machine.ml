@@ -51,6 +51,7 @@ type t = {
   fuel_left : int ref;
   exit_dirty : bool ref;
   lower_ctx : Lower.ctx;
+  mutable profiler : S4e_obs.Profile.t option;
 }
 
 module Sset = Set.Make (String)
@@ -139,7 +140,21 @@ let create ?(config = default_config) () =
   in
   { state; bus; uart; clint; gpio; syscon; hooks = Hooks.create ();
     config; decode32; tb; last_load_mask = 0; pending_ticks; seg_idx;
-    seg_base; fuel_left; exit_dirty; lower_ctx }
+    seg_base; fuel_left; exit_dirty; lower_ctx; profiler = None }
+
+let set_profiler t p = t.profiler <- p
+let profiler t = t.profiler
+
+let register_metrics ?(prefix = "machine.") t reg =
+  let g name f = S4e_obs.Metrics.gauge_int reg (prefix ^ name) f in
+  g "instret" (fun () -> t.state.Arch_state.instret);
+  g "cycles" (fun () -> t.state.Arch_state.cycle);
+  g "tb.blocks" (fun () -> (Tb_cache.stats t.tb).Tb_cache.st_blocks);
+  g "tb.hits" (fun () -> (Tb_cache.stats t.tb).Tb_cache.st_hits);
+  g "tb.misses" (fun () -> (Tb_cache.stats t.tb).Tb_cache.st_misses);
+  g "tb.chain_hits" (fun () -> (Tb_cache.stats t.tb).Tb_cache.st_chain_hits);
+  g "tb.invalidations" (fun () ->
+      (Tb_cache.stats t.tb).Tb_cache.st_invalidations)
 
 let reset t ~pc =
   Arch_state.reset t.state ~pc;
@@ -385,6 +400,23 @@ let run t ~fuel =
       | Some i -> Some (4, i)
       | None -> None
   in
+  (* Generic (decoded-array) block execution; stops early if a trap
+     redirected the pc or fuel ran out. *)
+  let exec_generic (entry : Tb_cache.entry) n =
+    if Hooks.has_block t.hooks then
+      Hooks.fire_block t.hooks entry.Tb_cache.block_pc n;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue && !i < n do
+      let ipc, size, instr = Array.unsafe_get entry.Tb_cache.instrs !i in
+      if state.pc <> ipc then continue := false
+      else begin
+        exec_one ipc size instr;
+        incr i;
+        if !remaining <= 0 then continue := false
+      end
+    done
+  in
   let use_tb = t.config.use_tb_cache in
   (* Hoisted per [run] call: hooks cannot appear mid-run when none are
      installed (no user code executes), and a hook that unregisters
@@ -393,6 +425,9 @@ let run t ~fuel =
   let lowered_ok =
     use_tb && t.config.lower_blocks && Hooks.is_empty t.hooks
   in
+  (* Hoisted likewise; an unprofiled run pays one pointer test per
+     block dispatch and keeps the lowered fast path. *)
+  let prof = t.profiler in
   let chained = t.config.chain_blocks in
   (* Single-step mode replays the TB path's block-boundary semantics:
      interrupts are sampled only where a translation block would start
@@ -436,22 +471,27 @@ let run t ~fuel =
           | Some stop -> raise (Stop stop)
           | None -> ()
         end
-        else if lowered_ok then exec_lowered entry n
         else begin
-          if Hooks.has_block t.hooks then Hooks.fire_block t.hooks pc n;
-          (* Execute the block; stop early if a trap redirected the pc
-             or fuel ran out. *)
-          let i = ref 0 in
-          let continue = ref true in
-          while !continue && !i < n do
-            let ipc, size, instr = Array.unsafe_get entry.Tb_cache.instrs !i in
-            if state.pc <> ipc then continue := false
-            else begin
-              exec_one ipc size instr;
-              incr i;
-              if !remaining <= 0 then continue := false
-            end
-          done
+          match prof with
+          | None ->
+              if lowered_ok then exec_lowered entry n else exec_generic entry n
+          | Some p ->
+              (* Block-granular attribution.  The instret/cycle deltas
+                 are exact at every exit from either engine: the lowered
+                 path drains its batched counters ([flush_time]) on all
+                 paths out of [exec_lowered], including exceptions. *)
+              let i0 = state.instret and c0 = state.cycle in
+              let note () =
+                S4e_obs.Profile.note p ~pc ~bytes:entry.Tb_cache.total_size
+                  ~instrs:(state.instret - i0) ~cycles:(state.cycle - c0)
+              in
+              (try
+                 if lowered_ok then exec_lowered entry n
+                 else exec_generic entry n
+               with e ->
+                 note ();
+                 raise e);
+              note ()
         end
       end
       else begin

@@ -82,9 +82,29 @@ type t = {
       (** set by the syscon write notifier; [run] polls the device's
           exit code only when this is set *)
   lower_ctx : Lower.ctx;
+  mutable profiler : S4e_obs.Profile.t option;
+      (** per-block hot-spot attribution; prefer {!set_profiler} *)
 }
 
 val create : ?config:config -> unit -> t
+
+val set_profiler : t -> S4e_obs.Profile.t option -> unit
+(** Attaches (or detaches) a hot-spot profiler.  [run] then feeds it
+    one {!S4e_obs.Profile.note} per dispatched translation block with
+    the block's instret/cycle deltas.  Unlike hooks, a profiler keeps
+    the lowered fast path: attribution reads the counters the engines
+    already drain at block exits, so it does not perturb execution
+    (state digests are identical with and without — enforced by
+    differential tests).  Only TB dispatch is attributed; single-step
+    runs ([use_tb_cache = false]) record nothing. *)
+
+val profiler : t -> S4e_obs.Profile.t option
+
+val register_metrics : ?prefix:string -> t -> S4e_obs.Metrics.t -> unit
+(** Registers gauges over the machine's existing counters —
+    [<prefix>instret], [cycles], [tb.blocks], [tb.hits], [tb.misses],
+    [tb.chain_hits], [tb.invalidations] (prefix default ["machine."]).
+    Gauges are read-on-demand probes: the hot path is untouched. *)
 
 val reset : t -> pc:word -> unit
 (** Architectural reset (registers, CSRs, CLINT, syscon); memory, the

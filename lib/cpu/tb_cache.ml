@@ -235,6 +235,17 @@ let notify_store t addr =
     done
   end
 
-let stats t = (Hashtbl.length t.table, t.hits, t.misses)
-let chain_hits t = t.chain_hits
-let invalidations t = t.invalidations
+type stats = {
+  st_blocks : int;
+  st_hits : int;
+  st_misses : int;
+  st_chain_hits : int;
+  st_invalidations : int;
+}
+
+let stats t =
+  { st_blocks = Hashtbl.length t.table;
+    st_hits = t.hits;
+    st_misses = t.misses;
+    st_chain_hits = t.chain_hits;
+    st_invalidations = t.invalidations }

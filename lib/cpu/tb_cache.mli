@@ -85,13 +85,17 @@ val notify_store : t -> word -> unit
 
 val flush : t -> unit
 
-val stats : t -> int * int * int
-(** (cached blocks, hits, misses). *)
+type stats = {
+  st_blocks : int;  (** blocks currently cached *)
+  st_hits : int;  (** hashtable lookups answered from the cache *)
+  st_misses : int;  (** lookups that translated a new block *)
+  st_chain_hits : int;
+      (** successor lookups answered by a direct link — these bypass
+          the hashtable entirely and are {e not} included in
+          [st_hits] *)
+  st_invalidations : int;
+      (** blocks individually killed by {!notify_store} (flushes not
+          counted) *)
+}
 
-val chain_hits : t -> int
-(** Successor lookups answered by a direct link (subset of hits that
-    skipped the hashtable). *)
-
-val invalidations : t -> int
-(** Blocks individually killed by {!notify_store} (flushes not
-    counted). *)
+val stats : t -> stats

@@ -4,6 +4,7 @@ module Hooks = S4e_cpu.Hooks
 module Program = S4e_asm.Program
 module Report = S4e_coverage.Report
 module Par_pool = S4e_par.Par_pool
+module Obs = S4e_obs
 
 type outcome = Masked | Sdc | Crashed | Hung
 
@@ -282,11 +283,27 @@ let shift_transient at f =
   | Fault.Transient n -> { f with Fault.kind = Fault.Transient (n - at) }
   | Fault.Permanent -> f
 
+(* Optional campaign telemetry, threaded into every worker task.  The
+   counters are {!Obs.Metrics} atomics, so per-mutant bumps from
+   concurrent worker domains need no lock; the trace sink serializes
+   internally.  [tel_progress] fires once per classified mutant. *)
+type telemetry = {
+  tel_sink : Obs.Trace_events.t option;
+  tel_mutants : Obs.Metrics.counter option;
+  tel_hangs : Obs.Metrics.counter option;
+  tel_early : Obs.Metrics.counter option;
+  tel_forks : Obs.Metrics.counter option;
+  tel_insns : Obs.Metrics.histogram option;
+  tel_progress : (unit -> unit) option;
+}
+
+let bump = Option.iter Obs.Metrics.incr
+
 (* One worker task: a private machine, a reset snapshot, and a golden
    cursor that advances monotonically through the chunk's injection
    points so the golden prefix executes once per chunk, not once per
    fault. *)
-let run_task ?config ~engine ~fuel ~golden ~trace program chunk =
+let run_task_body ?config ~engine ~fuel ~golden ~trace ~tel program chunk =
   let m = run_machine ?config program in
   let st = m.Machine.state in
   let out = Array.map (fun (i, _) -> (i, Masked)) chunk in
@@ -339,7 +356,10 @@ let run_task ?config ~engine ~fuel ~golden ~trace program chunk =
         ir >= inert_at
         && ir mod interval = 0
         && probe tr ~next_full ~stride
-      then tr.tr_outcome
+      then begin
+        bump tel.tel_early;
+        tr.tr_outcome
+      end
       else if escaped () then Crashed
       else begin
         let next_ck =
@@ -355,6 +375,13 @@ let run_task ?config ~engine ~fuel ~golden ~trace program chunk =
     in
     go budget
   in
+  (* Record one classified mutant: result slot, counters, progress. *)
+  let finish slot o =
+    out.(slot) <- (fst out.(slot), o);
+    bump tel.tel_mutants;
+    if o = Hung then bump tel.tel_hangs;
+    Option.iter (fun f -> f ()) tel.tel_progress
+  in
   let run_faulty ~slot ~budget ~inert_at fault =
     (* The convergence guard only applies to transients: stuck-at
        faults are never inert, and a permanent code/data flip persists
@@ -363,6 +390,12 @@ let run_task ?config ~engine ~fuel ~golden ~trace program chunk =
       match (trace, fault.Fault.kind) with
       | Some tr, Fault.Transient _ -> run_guarded tr ~budget ~inert_at
       | _ -> classify ~golden m (Machine.run m ~fuel:budget)
+    in
+    let i0 = st.Arch_state.instret in
+    let ts =
+      match tel.tel_sink with
+      | Some s -> Obs.Trace_events.now_us s
+      | None -> 0.0
     in
     let o =
       match fault.Fault.kind with
@@ -382,7 +415,19 @@ let run_task ?config ~engine ~fuel ~golden ~trace program chunk =
           Injector.disarm m armed;
           o
     in
-    out.(slot) <- (fst out.(slot), o)
+    (match tel.tel_insns with
+    | Some h -> Obs.Metrics.observe h (st.Arch_state.instret - i0)
+    | None -> ());
+    (match tel.tel_sink with
+    | Some s ->
+        Obs.Trace_events.complete s ~name:(outcome_name o) ~cat:"mutant"
+          ~args:[ ("fault", Format.asprintf "%a" Fault.pp fault) ]
+          ~tid:(Domain.self () :> int)
+          ~ts_us:ts
+          ~dur_us:(Obs.Trace_events.now_us s -. ts)
+          ()
+    | None -> ());
+    finish slot o
   in
   let reset_snap = Machine.snapshot m in
   let immediate, deferred =
@@ -415,7 +460,7 @@ let run_task ?config ~engine ~fuel ~golden ~trace program chunk =
   List.iter
     (fun (slot, f) ->
       match !golden_ended with
-      | Some o -> out.(slot) <- (fst out.(slot), o)
+      | Some o -> finish slot o
       | None ->
           let pre = min (golden_prefix f) fuel in
           let advanced =
@@ -433,11 +478,14 @@ let run_task ?config ~engine ~fuel ~golden ~trace program chunk =
                      replays the golden run verbatim *)
                   let o = classify ~golden m stop in
                   golden_ended := Some o;
-                  out.(slot) <- (fst out.(slot), o);
+                  finish slot o;
                   false
             end
           in
           if advanced then begin
+            (* each deferred fault replays from the shared snapshot
+               instead of re-executing the golden prefix *)
+            bump tel.tel_forks;
             Machine.restore m !snap;
             run_faulty ~slot ~budget:(fuel - !at)
               ~inert_at:(inert_after f)
@@ -446,20 +494,61 @@ let run_task ?config ~engine ~fuel ~golden ~trace program chunk =
     deferred;
   out
 
+let run_task ?config ~engine ~fuel ~golden ~trace ~tel program chunk =
+  let body () =
+    run_task_body ?config ~engine ~fuel ~golden ~trace ~tel program chunk
+  in
+  match tel.tel_sink with
+  | None -> body ()
+  | Some s ->
+      let tid = (Domain.self () :> int) in
+      Obs.Trace_events.thread_name s ~tid (Printf.sprintf "domain %d" tid);
+      Obs.Trace_events.span s ~name:"chunk" ~cat:"campaign" ~tid
+        ~args:[ ("faults", string_of_int (Array.length chunk)) ]
+        body
+
 (* Chunking is a function of the fault list only — never of [jobs] —
    so every degree of parallelism produces bit-identical results. *)
 let task_chunks = 16
 
-let run ?config ?(engine = default_engine) ?jobs ~fuel program ~golden faults =
+let run ?config ?(engine = default_engine) ?jobs ?metrics ?trace:sink
+    ?on_progress ~fuel program ~golden faults =
   let jobs = max 1 (Option.value jobs ~default:engine.eng_jobs) in
   match faults with
   | [] -> []
   | _ ->
+      let total = List.length faults in
+      let tel =
+        let c name = Option.map (fun m -> Obs.Metrics.counter m name) metrics in
+        { tel_sink = sink;
+          tel_mutants = c "campaign.mutants";
+          tel_hangs = c "campaign.hangs";
+          tel_early = c "campaign.early_exits";
+          tel_forks = c "campaign.snapshot_forks";
+          tel_insns =
+            Option.map
+              (fun m ->
+                Obs.Metrics.histogram m "campaign.mutant_insns"
+                  ~bounds:[| 100; 1_000; 10_000; 100_000; 1_000_000 |])
+              metrics;
+          tel_progress =
+            Option.map
+              (fun f ->
+                let done_ = Atomic.make 0 in
+                fun () -> f (Atomic.fetch_and_add done_ 1 + 1) total)
+              on_progress }
+      in
+      let in_span name f =
+        match sink with
+        | Some s -> Obs.Trace_events.span s ~name ~cat:"campaign" f
+        | None -> f ()
+      in
       let trace =
         if engine.eng_checkpoint > 0 then
           Some
-            (collect_trace ?config ~fuel ~interval:engine.eng_checkpoint
-               ~golden program)
+            (in_span "golden-trace" (fun () ->
+                 collect_trace ?config ~fuel ~interval:engine.eng_checkpoint
+                   ~golden program))
         else None
       in
       let arr = Array.of_list faults in
@@ -473,7 +562,7 @@ let run ?config ?(engine = default_engine) ?jobs ~fuel program ~golden faults =
             Array.init (max 0 (hi - lo)) (fun k -> (lo + k, arr.(lo + k))))
         |> List.filter (fun c -> Array.length c > 0)
       in
-      let task = run_task ?config ~engine ~fuel ~golden ~trace program in
+      let task = run_task ?config ~engine ~fuel ~golden ~trace ~tel program in
       let results =
         if jobs = 1 || List.length chunks = 1 then List.map task chunks
         else begin
@@ -481,6 +570,7 @@ let run ?config ?(engine = default_engine) ?jobs ~fuel program ~golden faults =
              could race on their lazy initialization *)
           ignore (Machine.create ?config () : Machine.t);
           Par_pool.with_pool ~jobs (fun pool ->
+              Option.iter (fun m -> Par_pool.register_metrics pool m) metrics;
               Par_pool.map_chunked ~chunk:1 pool task chunks)
         end
       in

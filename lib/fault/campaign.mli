@@ -137,13 +137,29 @@ val run :
   ?config:S4e_cpu.Machine.config ->
   ?engine:engine ->
   ?jobs:int ->
+  ?metrics:S4e_obs.Metrics.t ->
+  ?trace:S4e_obs.Trace_events.t ->
+  ?on_progress:(int -> int -> unit) ->
   fuel:int ->
   S4e_asm.Program.t ->
   golden:signature ->
   Fault.t list ->
   (Fault.t * outcome) list
 (** Simulates every fault and pairs it with its outcome, in input
-    order.  [?jobs] overrides [engine.eng_jobs]. *)
+    order.  [?jobs] overrides [engine.eng_jobs].
+
+    Telemetry (all optional, none changes outcomes):
+    - [metrics] receives the counters [campaign.mutants],
+      [campaign.hangs] (hang-budget kills), [campaign.early_exits],
+      [campaign.snapshot_forks], the [campaign.mutant_insns] histogram
+      (instructions simulated per mutant), and — when the pool runs —
+      the [pool.*] worker gauges.
+    - [trace] receives Chrome trace events: a [golden-trace] span, one
+      [chunk] span per worker task (tid = the executing domain, so
+      Perfetto shows one lane per domain), and one span per mutant
+      named by its outcome.
+    - [on_progress done total] fires once per classified mutant, from
+      whichever domain classified it. *)
 
 val summarize : (Fault.t * outcome) list -> summary
 

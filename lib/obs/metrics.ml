@@ -1,0 +1,138 @@
+type value = Int of int | Float of float
+
+type counter = { c_name : string; c_cell : int Atomic.t }
+
+type histogram = {
+  h_name : string;
+  h_bounds : int array;
+  h_counts : int Atomic.t array;  (* length = bounds + 1 (overflow) *)
+  h_sum : int Atomic.t;
+}
+
+type entry =
+  | Counter of counter
+  | Gauge of (unit -> value)
+  | Histogram of histogram
+
+type t = {
+  mutex : Mutex.t;
+  tbl : (string, entry) Hashtbl.t;
+}
+
+let create () = { mutex = Mutex.create (); tbl = Hashtbl.create 32 }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let shape_error name =
+  invalid_arg (Printf.sprintf "Metrics: %s already bound to another shape" name)
+
+let counter t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (Counter c) -> c
+      | Some _ -> shape_error name
+      | None ->
+          let c = { c_name = name; c_cell = Atomic.make 0 } in
+          Hashtbl.replace t.tbl name (Counter c);
+          c)
+
+let incr c = ignore (Atomic.fetch_and_add c.c_cell 1)
+let add c n = ignore (Atomic.fetch_and_add c.c_cell n)
+let value c = Atomic.get c.c_cell
+
+let gauge t name probe =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (Counter _ | Histogram _) -> shape_error name
+      | Some (Gauge _) | None -> Hashtbl.replace t.tbl name (Gauge probe))
+
+let gauge_int t name f = gauge t name (fun () -> Int (f ()))
+let gauge_float t name f = gauge t name (fun () -> Float (f ()))
+
+let histogram t name ~bounds =
+  let sorted = ref true in
+  Array.iteri
+    (fun i b -> if i > 0 && b <= bounds.(i - 1) then sorted := false)
+    bounds;
+  if not !sorted then
+    invalid_arg (Printf.sprintf "Metrics: %s: bounds must be ascending" name);
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (Histogram h) when h.h_bounds = bounds -> h
+      | Some _ -> shape_error name
+      | None ->
+          let h =
+            { h_name = name;
+              h_bounds = Array.copy bounds;
+              h_counts =
+                Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
+              h_sum = Atomic.make 0 }
+          in
+          Hashtbl.replace t.tbl name (Histogram h);
+          h)
+
+let observe h v =
+  let n = Array.length h.h_bounds in
+  let rec bucket i = if i >= n || v <= h.h_bounds.(i) then i else bucket (i + 1) in
+  ignore (Atomic.fetch_and_add h.h_counts.(bucket 0) 1);
+  ignore (Atomic.fetch_and_add h.h_sum v)
+
+let snapshot t =
+  let entries =
+    locked t (fun () -> Hashtbl.fold (fun k e acc -> (k, e) :: acc) t.tbl [])
+  in
+  let rows =
+    List.concat_map
+      (fun (name, e) ->
+        match e with
+        | Counter c -> [ (name, Int (value c)) ]
+        | Gauge probe -> [ (name, probe ()) ]
+        | Histogram h ->
+            let buckets =
+              Array.to_list
+                (Array.mapi
+                   (fun i cell ->
+                     let label =
+                       if i < Array.length h.h_bounds then
+                         Printf.sprintf "%s.le_%d" name h.h_bounds.(i)
+                       else name ^ ".le_inf"
+                     in
+                     (label, Int (Atomic.get cell)))
+                   h.h_counts)
+            in
+            let count =
+              Array.fold_left (fun a c -> a + Atomic.get c) 0 h.h_counts
+            in
+            buckets
+            @ [ (name ^ ".count", Int count);
+                (name ^ ".sum", Int (Atomic.get h.h_sum)) ])
+      entries
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) rows
+
+let string_of_value = function
+  | Int v -> string_of_int v
+  | Float f ->
+      if Float.is_finite f then Printf.sprintf "%.6g" f else "0"
+
+let to_json t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{\n";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b (Printf.sprintf "  %S: %s" name (string_of_value v)))
+    (snapshot t);
+  Buffer.add_string b "\n}\n";
+  Buffer.contents b
+
+let write_json t path =
+  let s = to_json t in
+  if path = "-" then print_string s
+  else begin
+    let oc = open_out path in
+    output_string oc s;
+    close_out oc
+  end

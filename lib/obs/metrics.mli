@@ -1,0 +1,72 @@
+(** Metrics registry — the runtime's self-observation substrate.
+
+    A registry holds named instruments of three shapes:
+
+    - {b counters}: monotonically increasing event counts, backed by an
+      [Atomic.t] so campaign workers on different domains can bump them
+      without a lock.  Counter handles are cheap to keep in a closure:
+      the hot path is one [Atomic.fetch_and_add].
+    - {b gauges}: read-on-demand probes ([unit -> value]).  The probed
+      code pays {e nothing} — a gauge wraps a counter the hot path
+      already maintains (e.g. [Tb_cache] hit counts, [state.instret]),
+      and the read happens only at {!snapshot} time.  This is how the
+      emulator's per-block batched counters are exposed without adding
+      work at the TB flush points.
+    - {b histograms}: fixed upper-bound buckets with atomic counts, for
+      cross-domain distributions (per-mutant retired instructions).
+
+    Registration is idempotent by name: asking for an existing counter
+    or histogram returns the same instrument, so independent layers can
+    wire the same registry without coordination.  All registry
+    operations are thread-safe. *)
+
+type t
+
+type value = Int of int | Float of float
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : t -> string -> counter
+(** Registers (or retrieves) the counter named [name].
+    @raise Invalid_argument if the name is bound to another shape. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+(** {1 Gauges} *)
+
+val gauge : t -> string -> (unit -> value) -> unit
+(** Registers (or replaces) a probe.  The closure runs at {!snapshot}
+    time; it must be cheap and must not raise. *)
+
+val gauge_int : t -> string -> (unit -> int) -> unit
+val gauge_float : t -> string -> (unit -> float) -> unit
+
+(** {1 Histograms} *)
+
+type histogram
+
+val histogram : t -> string -> bounds:int array -> histogram
+(** Fixed buckets: [bounds] are inclusive upper bounds, ascending; an
+    implicit overflow bucket catches the rest.
+    @raise Invalid_argument on unsorted bounds or a shape conflict. *)
+
+val observe : histogram -> int -> unit
+
+(** {1 Export} *)
+
+val snapshot : t -> (string * value) list
+(** Every instrument flattened to (name, value) pairs, sorted by name.
+    A histogram [h] expands to [h.le_B] per bound, [h.le_inf],
+    [h.count], and [h.sum]. *)
+
+val to_json : t -> string
+(** The snapshot as one JSON object keyed by metric name. *)
+
+val write_json : t -> string -> unit
+(** [write_json t path] writes {!to_json} to [path]; ["-"] is stdout. *)

@@ -1,0 +1,132 @@
+type block = {
+  bl_pc : int;
+  mutable bl_bytes : int;
+  mutable bl_execs : int;
+  mutable bl_instrs : int;
+  mutable bl_cycles : int;
+}
+
+type t = { tbl : (int, block) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 256 }
+
+let note t ~pc ~bytes ~instrs ~cycles =
+  match Hashtbl.find_opt t.tbl pc with
+  | Some b ->
+      b.bl_execs <- b.bl_execs + 1;
+      b.bl_instrs <- b.bl_instrs + instrs;
+      b.bl_cycles <- b.bl_cycles + cycles;
+      if bytes > b.bl_bytes then b.bl_bytes <- bytes
+  | None ->
+      Hashtbl.replace t.tbl pc
+        { bl_pc = pc; bl_bytes = bytes; bl_execs = 1; bl_instrs = instrs;
+          bl_cycles = cycles }
+
+let blocks t = Hashtbl.fold (fun _ b acc -> b :: acc) t.tbl []
+
+let total_execs t = Hashtbl.fold (fun _ b a -> a + b.bl_execs) t.tbl 0
+let total_instrs t = Hashtbl.fold (fun _ b a -> a + b.bl_instrs) t.tbl 0
+let total_cycles t = Hashtbl.fold (fun _ b a -> a + b.bl_cycles) t.tbl 0
+
+let ranked t =
+  List.sort
+    (fun a b ->
+      match compare b.bl_cycles a.bl_cycles with
+      | 0 -> compare a.bl_pc b.bl_pc
+      | c -> c)
+    (blocks t)
+
+type symbolizer = int -> (string * int) option
+
+let symbolizer_of_symbols syms =
+  let arr = Array.of_list syms in
+  (* sort by address; within one address the later definition wins *)
+  Array.sort (fun (_, a) (_, b) -> compare a b) arr;
+  let n = Array.length arr in
+  fun pc ->
+    (* greatest symbol address <= pc *)
+    let rec search lo hi best =
+      if lo > hi then best
+      else
+        let mid = (lo + hi) / 2 in
+        let _, addr = arr.(mid) in
+        if addr <= pc then search (mid + 1) hi (Some mid)
+        else search lo (mid - 1) best
+    in
+    match search 0 (n - 1) None with
+    | None -> None
+    | Some i ->
+        let name, addr = arr.(i) in
+        Some (name, pc - addr)
+
+let sym_label symbolize pc =
+  match symbolize pc with
+  | Some (name, 0) -> name
+  | Some (name, off) -> Printf.sprintf "%s+0x%x" name off
+  | None -> Printf.sprintf "0x%08x" pc
+
+type fn_row = {
+  f_name : string;
+  f_blocks : int;
+  f_instrs : int;
+  f_cycles : int;
+  f_share : float;
+}
+
+let functions ~symbolize t =
+  let by_fn = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ b ->
+      let name =
+        match symbolize b.bl_pc with
+        | Some (n, _) -> n
+        | None -> Printf.sprintf "0x%08x" b.bl_pc
+      in
+      let blocks, instrs, cycles =
+        Option.value (Hashtbl.find_opt by_fn name) ~default:(0, 0, 0)
+      in
+      Hashtbl.replace by_fn name
+        (blocks + 1, instrs + b.bl_instrs, cycles + b.bl_cycles))
+    t.tbl;
+  let total = max 1 (total_cycles t) in
+  Hashtbl.fold
+    (fun name (blocks, instrs, cycles) acc ->
+      { f_name = name; f_blocks = blocks; f_instrs = instrs;
+        f_cycles = cycles;
+        f_share = float_of_int cycles /. float_of_int total }
+      :: acc)
+    by_fn []
+  |> List.sort (fun a b ->
+         match compare b.f_cycles a.f_cycles with
+         | 0 -> compare a.f_name b.f_name
+         | c -> c)
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+let pp_report ?(top = 10) ?symbolize fmt t =
+  let total = max 1 (total_cycles t) in
+  let label pc =
+    match symbolize with
+    | Some s -> sym_label s pc
+    | None -> Printf.sprintf "0x%08x" pc
+  in
+  Format.fprintf fmt "hot blocks (by cycles):@.";
+  Format.fprintf fmt "  %-10s %-20s %10s %12s %12s %7s@." "pc" "symbol"
+    "execs" "instrs" "cycles" "share";
+  List.iter
+    (fun b ->
+      Format.fprintf fmt "  0x%08x %-20s %10d %12d %12d %6.1f%%@." b.bl_pc
+        (label b.bl_pc) b.bl_execs b.bl_instrs b.bl_cycles
+        (100.0 *. float_of_int b.bl_cycles /. float_of_int total))
+    (take top (ranked t));
+  match symbolize with
+  | None -> ()
+  | Some s ->
+      Format.fprintf fmt "hot functions:@.";
+      Format.fprintf fmt "  %-20s %8s %12s %12s %7s@." "symbol" "blocks"
+        "instrs" "cycles" "share";
+      List.iter
+        (fun f ->
+          Format.fprintf fmt "  %-20s %8d %12d %12d %6.1f%%@." f.f_name
+            f.f_blocks f.f_instrs f.f_cycles (100.0 *. f.f_share))
+        (take top (functions ~symbolize:s t))

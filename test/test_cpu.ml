@@ -616,8 +616,8 @@ patch:
   let tb = m.Machine.tb in
   (* exactly the block overlapping the stored word died; no flush *)
   Alcotest.(check int) "one block invalidated"
-    1 (S4e_cpu.Tb_cache.invalidations tb);
-  let blocks, _, _ = S4e_cpu.Tb_cache.stats tb in
+    1 (S4e_cpu.Tb_cache.stats tb).S4e_cpu.Tb_cache.st_invalidations;
+  let blocks = (S4e_cpu.Tb_cache.stats tb).S4e_cpu.Tb_cache.st_blocks in
   Alcotest.(check bool) "unrelated blocks survive" true (blocks >= 2)
 
 let test_decoder_configs_agree () =
@@ -689,11 +689,13 @@ loop:
   in
   S4e_asm.Program.load_machine p m;
   let _ = Machine.run m ~fuel:10_000 in
-  let blocks, hits, misses = S4e_cpu.Tb_cache.stats m.Machine.tb in
+  let ts = S4e_cpu.Tb_cache.stats m.Machine.tb in
   (* chained successor lookups bypass the hashtable entirely *)
-  let chained = S4e_cpu.Tb_cache.chain_hits m.Machine.tb in
-  Alcotest.(check bool) "few blocks" true (blocks <= 5);
-  Alcotest.(check bool) "mostly hits" true (hits + chained > misses * 10);
+  let chained = ts.S4e_cpu.Tb_cache.st_chain_hits in
+  Alcotest.(check bool) "few blocks" true (ts.S4e_cpu.Tb_cache.st_blocks <= 5);
+  Alcotest.(check bool) "mostly hits" true
+    (ts.S4e_cpu.Tb_cache.st_hits + chained
+    > ts.S4e_cpu.Tb_cache.st_misses * 10);
   Alcotest.(check bool) "chaining engaged" true (chained > 0)
 
 let test_atomics () =

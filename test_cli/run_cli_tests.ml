@@ -161,6 +161,40 @@ let () =
     (Printf.sprintf "%s torture --seed 12" s4e)
     ~expect_code:0
     ~expect_substrings:[ "torture seed=12: exited with code" ];
+  check "run --profile ranks the hot loop"
+    (Printf.sprintf "%s run %s --profile" s4e loop)
+    ~expect_code:0
+    ~expect_substrings:[ "hot blocks (by cycles):"; "again" ];
+  check "run --metrics - dumps the registry"
+    (Printf.sprintf "%s run %s --metrics -" s4e loop)
+    ~expect_code:0
+    ~expect_substrings:
+      [ "\"machine.instret\""; "\"machine.tb.blocks\"" ];
+  check "run --cache-stats labels chain hits"
+    (Printf.sprintf "%s run %s --cache-stats" s4e loop)
+    ~expect_code:0
+    ~expect_substrings:[ "chain hits"; "invalidations" ];
+  check "profile subcommand prints the ranked report"
+    (Printf.sprintf "%s profile %s" s4e loop)
+    ~expect_code:0
+    ~expect_substrings:
+      [ "hot blocks (by cycles):"; "hot functions:"; "again" ];
+  check "profile --disas disassembles the hottest block"
+    (Printf.sprintf "%s profile %s --disas" s4e loop)
+    ~expect_code:0
+    ~expect_substrings:[ "hottest block"; "addi a0, a0, 1" ];
+  (let trace = Filename.concat dir "trace.json" in
+   check "fault --trace-events writes a trace"
+     (Printf.sprintf
+        "{ %s fault %s -n 25 --fuel 100000 --trace-events %s && head -2 \
+         %s; }"
+        s4e loop trace trace)
+     ~expect_code:0
+     ~expect_substrings:[ "trace events"; "\"ph\"" ]);
+  check "fault --metrics - reports campaign counters"
+    (Printf.sprintf "%s fault %s -n 25 --fuel 100000 --metrics -" s4e loop)
+    ~expect_code:0
+    ~expect_substrings:[ "\"campaign.mutants\": 25"; "\"campaign.hangs\"" ];
 
   if !failures > 0 then begin
     Printf.printf "%d CLI test(s) failed\n" !failures;
