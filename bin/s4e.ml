@@ -466,13 +466,50 @@ let fault_cmd =
     Arg.(value & flag & info [ "progress" ]
            ~doc:"Live mutants/sec + ETA meter on stderr.")
   in
+  let journal_arg =
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE"
+           ~doc:"Record every classified mutant to a JSONL journal at FILE \
+                 (truncated first) so an interrupted campaign can be resumed \
+                 with --resume.")
+  in
+  let resume_arg =
+    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE"
+           ~doc:"Resume from the journal at FILE: mutants it already \
+                 classified are skipped and new records are appended in \
+                 place. The journal must belong to this exact campaign \
+                 (same program, seed, mutant count, and shard).")
+  in
+  let shard_arg =
+    let parse s =
+      match String.split_on_char '/' s with
+      | [ i; n ] -> (
+          match (int_of_string_opt i, int_of_string_opt n) with
+          | Some i, Some n when n > 0 && i >= 0 && i < n -> Ok (i, n)
+          | _ -> Error (`Msg ("expected I/N with 0 <= I < N, got " ^ s)))
+      | _ -> Error (`Msg ("expected I/N, got " ^ s))
+    in
+    let print fmt (i, n) = Format.fprintf fmt "%d/%d" i n in
+    Arg.(value & opt (some (conv (parse, print))) None
+         & info [ "shard" ] ~docv:"I/N"
+             ~doc:"Run only shard I of N (mutant indices congruent to I mod \
+                   N). All N shard journals merge back into one campaign \
+                   with 's4e merge-journals'.")
+  in
+  let timeout_arg =
+    Arg.(value & opt float 0.0 & info [ "timeout" ] ~docv:"SECS"
+           ~doc:"Wall-clock budget per mutant (a second hang defense behind \
+                 the instruction budget); mutants over it are classified \
+                 hung. 0 disables it. Note: makes borderline outcomes \
+                 machine-dependent.")
+  in
   let action file mutants seed blind rerun fuel jobs trace_events metrics
-      progress =
+      progress journal resume shard timeout =
     let p = assemble_file file in
     let engine =
       if rerun then S4e_fault.Campaign.rerun_engine
       else S4e_fault.Campaign.default_engine
     in
+    let engine = { engine with S4e_fault.Campaign.eng_timeout_s = timeout } in
     let cfg =
       { S4e_core.Flows.default_fault_config with
         S4e_core.Flows.ff_seed = seed; ff_mutants = mutants;
@@ -486,10 +523,34 @@ let fault_cmd =
     in
     let sink = Option.map (fun _ -> S4e_obs.Trace_events.create ()) trace_events in
     let reg = Option.map (fun _ -> S4e_obs.Metrics.create ()) metrics in
+    (* Cooperative SIGINT: workers finish their in-flight mutants, the
+       journal is flushed, and the partial summary still prints.  A
+       second ^C force-quits. *)
+    let stop = Atomic.make false in
+    Sys.set_signal Sys.sigint
+      (Sys.Signal_handle
+         (fun _ ->
+           if Atomic.get stop then Stdlib.exit 130;
+           Atomic.set stop true;
+           prerr_endline
+             "\ninterrupt: finishing in-flight mutants (^C again to force \
+              quit)"));
     let r =
-      S4e_core.Flows.fault_flow ~jobs ?metrics:reg ?trace:sink ~progress cfg p
+      match
+        S4e_core.Flows.fault_campaign ~jobs ?metrics:reg ?trace:sink
+          ~progress ?journal ?resume ?shard
+          ~cancelled:(fun () -> Atomic.get stop)
+          cfg p
+      with
+      | Ok r -> r
+      | Error e ->
+          Format.eprintf "fault: %s@." e;
+          exit 1
     in
     Format.printf "%a@." S4e_fault.Campaign.pp_summary r.S4e_core.Flows.ff_summary;
+    if r.S4e_core.Flows.ff_resumed > 0 then
+      Format.printf "resumed: %d mutants already classified in the journal@."
+        r.S4e_core.Flows.ff_resumed;
     List.iter
       (fun (f, o) ->
         if o <> S4e_fault.Campaign.Masked then
@@ -504,15 +565,89 @@ let fault_cmd =
           (S4e_obs.Trace_events.events s)
           path
     | _ -> ());
-    match (reg, metrics) with
+    (match (reg, metrics) with
     | Some reg, Some path -> S4e_obs.Metrics.write_json reg path
-    | _ -> ()
+    | _ -> ());
+    if not r.S4e_core.Flows.ff_complete then begin
+      (match (journal, resume) with
+      | Some f, _ | None, Some f ->
+          Format.printf "interrupted: %d mutants classified; continue with \
+                         --resume %s@."
+            r.S4e_core.Flows.ff_summary.S4e_fault.Campaign.total f
+      | None, None ->
+          Format.printf "interrupted: %d mutants classified (no journal - \
+                         rerun from scratch)@."
+            r.S4e_core.Flows.ff_summary.S4e_fault.Campaign.total);
+      exit 130
+    end
   in
   Cmd.v
     (Cmd.info "fault" ~doc:"Coverage-guided bit-flip fault campaign.")
     Term.(const action $ file_arg $ mutants_arg $ seed_arg $ blind_arg
           $ rerun_arg $ fault_fuel_arg $ jobs_arg $ trace_events_arg
-          $ metrics_arg $ progress_arg)
+          $ metrics_arg $ progress_arg $ journal_arg $ resume_arg
+          $ shard_arg $ timeout_arg)
+
+(* ---------------- merge-journals ---------------- *)
+
+let merge_journals_cmd =
+  let files_arg =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"JOURNAL"
+           ~doc:"Shard journal files of one campaign.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT"
+           ~doc:"Also write the merged records as a single unsharded journal \
+                 to OUT.")
+  in
+  let action files out =
+    let inputs =
+      List.map
+        (fun path ->
+          match S4e_fault.Journal.read path with
+          | Ok j -> j
+          | Error e ->
+              Format.eprintf "merge-journals: %s: %s@." path e;
+              exit 1)
+        files
+    in
+    match S4e_fault.Journal.merge inputs with
+    | Error e ->
+        Format.eprintf "merge-journals: %s@." e;
+        exit 1
+    | Ok (h, records) ->
+        let results =
+          List.map
+            (fun r ->
+              (r.S4e_fault.Journal.r_fault, r.S4e_fault.Journal.r_outcome))
+            records
+        in
+        Format.printf "%a@." S4e_fault.Campaign.pp_summary
+          (S4e_fault.Campaign.summarize results);
+        (match out with
+        | None -> ()
+        | Some path -> (
+            match S4e_fault.Journal.create ~path h with
+            | Error e ->
+                Format.eprintf "merge-journals: %s: %s@." path e;
+                exit 1
+            | Ok w ->
+                List.iter (S4e_fault.Journal.write w) records;
+                S4e_fault.Journal.close w;
+                Format.printf "wrote %d records to %s@." (List.length records)
+                  path));
+        if not (S4e_fault.Journal.is_complete h records) then begin
+          Format.eprintf
+            "merge-journals: incomplete campaign: %d/%d mutants classified@."
+            (List.length records) h.S4e_fault.Journal.j_total;
+          exit 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "merge-journals"
+       ~doc:"Merge the journals of a sharded fault campaign and print the \
+             combined summary.")
+    Term.(const action $ files_arg $ out_arg)
 
 (* ---------------- torture ---------------- *)
 
@@ -604,5 +739,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; profile_cmd; asm_cmd; dis_cmd; cfg_cmd; stats_cmd;
-            wcet_cmd; qta_export_cmd; coverage_cmd; fault_cmd; mutate_cmd;
-            torture_cmd; bmi_cmd ]))
+            wcet_cmd; qta_export_cmd; coverage_cmd; fault_cmd;
+            merge_journals_cmd; mutate_cmd; torture_cmd; bmi_cmd ]))

@@ -121,6 +121,8 @@ type fault_flow_result = {
   ff_summary : S4e_fault.Campaign.summary;
   ff_results : (S4e_fault.Fault.t * S4e_fault.Campaign.outcome) list;
   ff_golden : S4e_fault.Campaign.signature;
+  ff_resumed : int;
+  ff_complete : bool;
 }
 
 (* A mutants/sec + ETA meter on stderr, rate-limited so per-mutant
@@ -148,27 +150,123 @@ let progress_meter () =
     end;
     Mutex.unlock mu
 
-let fault_flow ?config ?jobs ?metrics ?trace ?(progress = false) cfg p =
+let ( let* ) = Result.bind
+
+module Campaign = S4e_fault.Campaign
+module Journal = S4e_fault.Journal
+
+let fault_campaign ?config ?jobs ?metrics ?trace ?(progress = false) ?journal
+    ?resume ?shard:shard_spec ?cancelled cfg p =
   let span name f =
     match trace with
     | Some s -> S4e_obs.Trace_events.span s ~name ~cat:"flow" f
     | None -> f ()
   in
   let golden, coverage =
-    span "golden+coverage" (fun () ->
-        S4e_fault.Campaign.golden ?config ~fuel:cfg.ff_fuel p)
+    span "golden+coverage" (fun () -> Campaign.golden ?config ~fuel:cfg.ff_fuel p)
   in
-  let golden_instret = golden.S4e_fault.Campaign.sig_instret in
+  let golden_instret = golden.Campaign.sig_instret in
   let faults =
     span "generate" (fun () ->
         if cfg.ff_blind then
-          S4e_fault.Campaign.generate_blind ~seed:cfg.ff_seed
-            ~n:cfg.ff_mutants ~targets:cfg.ff_targets ~kinds:cfg.ff_kinds
-            ~program:p ~golden_instret
+          Campaign.generate_blind ~seed:cfg.ff_seed ~n:cfg.ff_mutants
+            ~targets:cfg.ff_targets ~kinds:cfg.ff_kinds ~program:p
+            ~golden_instret
         else
-          S4e_fault.Campaign.generate ~seed:cfg.ff_seed ~n:cfg.ff_mutants
+          Campaign.generate ~seed:cfg.ff_seed ~n:cfg.ff_mutants
             ~targets:cfg.ff_targets ~kinds:cfg.ff_kinds ~coverage
             ~golden_instret)
+  in
+  let total = List.length faults in
+  let by_index = Array.of_list faults in
+  let ifaults = List.mapi (fun i f -> (i, f)) faults in
+  let scoped =
+    match shard_spec with
+    | None -> ifaults
+    | Some (index, count) -> Campaign.shard ~index ~count ifaults
+  in
+  let header =
+    Journal.header_of
+      ?shard:shard_spec
+      ~seed:cfg.ff_seed ~total p
+  in
+  (* Records that survive in the resume journal must describe this
+     exact campaign: same header, and every recorded fault must equal
+     the regenerated fault at its index — anything else means the
+     journal belongs to a different run and resuming would fabricate
+     results. *)
+  let* resumed_from =
+    match resume with
+    | None -> Ok None
+    | Some path ->
+        let* w, records = Journal.append_to ?sink:trace ~path header in
+        let in_scope i =
+          match shard_spec with
+          | None -> true
+          | Some (index, count) -> i mod count = index
+        in
+        let check =
+          List.fold_left
+            (fun acc r ->
+              let* () = acc in
+              let i = r.Journal.r_index in
+              if i < 0 || i >= total || not (in_scope i) then
+                Error
+                  (Printf.sprintf "journal: record index %d out of scope" i)
+              else if S4e_fault.Fault.compare r.Journal.r_fault by_index.(i) <> 0
+              then
+                Error
+                  (Printf.sprintf
+                     "journal: record %d does not match the regenerated fault \
+                      list (journal for a different campaign?)"
+                     i)
+              else Ok ())
+            (Ok ()) records
+        in
+        (match check with
+        | Error e -> Journal.close w; Error e
+        | Ok () -> Ok (Some (w, records)))
+  in
+  let prior = match resumed_from with None -> [] | Some (_, r) -> r in
+  let classified = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace classified r.Journal.r_index ()) prior;
+  let remaining =
+    List.filter (fun (i, _) -> not (Hashtbl.mem classified i)) scoped
+  in
+  let resumed = List.length scoped - List.length remaining in
+  if resumed > 0 then
+    Option.iter
+      (fun m ->
+        S4e_obs.Metrics.add
+          (S4e_obs.Metrics.counter m "campaign.resumed_skips")
+          resumed)
+      metrics;
+  (* The journal being written: [--resume f] appends to [f] in place;
+     an explicit [--journal g] with [g <> f] starts [g] fresh and
+     carries the already-known records over, so [g] alone is enough for
+     the next resume. *)
+  let* writer =
+    match (journal, resumed_from) with
+    | None, None -> Ok None
+    | Some j, Some (w, _) when Some j <> resume -> (
+        Journal.close w;
+        match Journal.create ?sink:trace ~path:j header with
+        | Error e -> Error e
+        | Ok w ->
+            List.iter (Journal.write w) prior;
+            Journal.flush w;
+            Ok (Some w))
+    | _, Some (w, _) -> Ok (Some w)
+    | Some j, None ->
+        let* w = Journal.create ?sink:trace ~path:j header in
+        Ok (Some w)
+  in
+  let on_result =
+    Option.map
+      (fun w i fault outcome ->
+        Journal.write w
+          { Journal.r_index = i; r_fault = fault; r_outcome = outcome })
+      writer
   in
   let budget =
     match cfg.ff_hang_budget with
@@ -177,14 +275,33 @@ let fault_flow ?config ?jobs ?metrics ?trace ?(progress = false) cfg p =
     | Hang_auto -> min cfg.ff_fuel (max 10_000 (3 * golden_instret))
   in
   let on_progress = if progress then Some (progress_meter ()) else None in
-  let results =
+  let fresh =
     span "campaign" (fun () ->
-        S4e_fault.Campaign.run ?config ~engine:cfg.ff_engine ?jobs ?metrics
-          ?trace ?on_progress ~fuel:budget p ~golden faults)
+        Campaign.run_indexed ?config ~engine:cfg.ff_engine ?jobs ?metrics
+          ?trace ?on_progress ?on_result ?cancelled ~fuel:budget p ~golden
+          remaining)
   in
-  { ff_summary = S4e_fault.Campaign.summarize results;
-    ff_results = results;
-    ff_golden = golden }
+  Option.iter Journal.close writer;
+  let all =
+    List.map
+      (fun r -> (r.Journal.r_index, r.Journal.r_fault, r.Journal.r_outcome))
+      prior
+    @ fresh
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  let results = List.map (fun (_, f, o) -> (f, o)) all in
+  Ok
+    { ff_summary = Campaign.summarize results;
+      ff_results = results;
+      ff_golden = golden;
+      ff_resumed = resumed;
+      ff_complete = List.length all = List.length scoped }
+
+let fault_flow ?config ?jobs ?metrics ?trace ?progress cfg p =
+  (* without journal/resume/shard options the campaign cannot fail *)
+  match fault_campaign ?config ?jobs ?metrics ?trace ?progress cfg p with
+  | Ok r -> r
+  | Error e -> failwith e
 
 (* ---------------- profiling ---------------- *)
 

@@ -100,8 +100,50 @@ val default_fault_config : fault_flow_config
 type fault_flow_result = {
   ff_summary : S4e_fault.Campaign.summary;
   ff_results : (S4e_fault.Fault.t * S4e_fault.Campaign.outcome) list;
+      (** classified mutants only, in stable-index order: a cancelled
+          run simply has fewer entries *)
   ff_golden : S4e_fault.Campaign.signature;
+  ff_resumed : int;  (** mutants skipped because a resume journal
+                         already classified them *)
+  ff_complete : bool;
+      (** every mutant in scope (the shard, or the whole list)
+          classified — [false] after a cancellation *)
 }
+
+val fault_campaign :
+  ?config:S4e_cpu.Machine.config ->
+  ?jobs:int ->
+  ?metrics:S4e_obs.Metrics.t ->
+  ?trace:S4e_obs.Trace_events.t ->
+  ?progress:bool ->
+  ?journal:string ->
+  ?resume:string ->
+  ?shard:int * int ->
+  ?cancelled:(unit -> bool) ->
+  fault_flow_config ->
+  S4e_asm.Program.t ->
+  (fault_flow_result, string) result
+(** {!fault_flow} plus crash tolerance:
+
+    - [journal] records every classified mutant to a fresh JSONL
+      journal ({!S4e_fault.Journal}) as the campaign runs.
+    - [resume] reads a journal from an earlier (interrupted) run of the
+      {e same} campaign — validated against the regenerated fault list,
+      not trusted — skips everything it already classified, and appends
+      the rest in place.  [ff_summary] afterwards is identical to an
+      uninterrupted run's.  With both options and [journal <> resume],
+      the known records are carried into the fresh [journal] file and
+      only that file is written.
+    - [shard (i, n)] restricts the run to
+      {!S4e_fault.Campaign.shard}[ ~index:i ~count:n]; the journals of
+      all [n] shards merge into the full campaign
+      ([s4e merge-journals]).
+    - [cancelled] is polled between mutants; once true the campaign
+      stops classifying, flushes the journal, and returns the partial
+      (valid, resumable) result with [ff_complete = false].
+
+    Errors are user errors (unreadable or mismatched journal, bad
+    shard), never partial states: the journal on disk stays valid. *)
 
 val fault_flow :
   ?config:S4e_cpu.Machine.config ->

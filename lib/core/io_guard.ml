@@ -20,6 +20,11 @@ type t = {
   policies : (string * ((word * word) list * restriction)) list;
   mutable violation_list : violation list;  (* reverse order *)
   mutable access_count : int;
+  (* the watcher this guard installed (for identity on detach) and the
+     one it displaced (restored on detach, forwarded to while attached
+     so stacked guards all keep observing) *)
+  mutable self_watcher : (S4e_mem.Bus.io_access -> unit) option;
+  mutable prev_watcher : (S4e_mem.Bus.io_access -> unit) option;
 }
 
 let attach (m : S4e_cpu.Machine.t) policies =
@@ -27,7 +32,9 @@ let attach (m : S4e_cpu.Machine.t) policies =
     { policies =
         List.map (fun p -> (p.p_device, (p.p_allowed, p.p_restrict))) policies;
       violation_list = [];
-      access_count = 0 }
+      access_count = 0;
+      self_watcher = None;
+      prev_watcher = S4e_mem.Bus.io_watcher m.S4e_cpu.Machine.bus }
   in
   let watcher (a : S4e_mem.Bus.io_access) =
     t.access_count <- t.access_count + 1;
@@ -53,11 +60,25 @@ let attach (m : S4e_cpu.Machine.t) policies =
               v_instret = S4e_cpu.Machine.instret m }
             :: t.violation_list
   in
+  (* chain to the displaced watcher so a guard stacked on top of
+     another (or on any foreign observer) doesn't silence it *)
+  let watcher a =
+    watcher a;
+    match t.prev_watcher with Some f -> f a | None -> ()
+  in
+  t.self_watcher <- Some watcher;
   S4e_mem.Bus.set_io_watcher m.S4e_cpu.Machine.bus (Some watcher);
   t
 
-let detach (m : S4e_cpu.Machine.t) _t =
-  S4e_mem.Bus.set_io_watcher m.S4e_cpu.Machine.bus None
+let detach (m : S4e_cpu.Machine.t) t =
+  (* Only unhook if our watcher is still the installed one: blindly
+     clearing would destroy a watcher installed after this guard.  A
+     guard that is no longer on top stays chained until the watcher
+     above it is detached. *)
+  match (S4e_mem.Bus.io_watcher m.S4e_cpu.Machine.bus, t.self_watcher) with
+  | Some cur, Some self when cur == self ->
+      S4e_mem.Bus.set_io_watcher m.S4e_cpu.Machine.bus t.prev_watcher
+  | _ -> ()
 
 let violations t = List.rev t.violation_list
 let accesses t = t.access_count

@@ -33,9 +33,13 @@ type t
 
 val attach : S4e_cpu.Machine.t -> policy list -> t
 (** Installs the bus watcher.  Devices without a policy are
-    unrestricted.  Replaces any previously installed IO watcher. *)
+    unrestricted.  Any previously installed IO watcher is saved and
+    chained to (it keeps observing every access), so guards stack. *)
 
 val detach : S4e_cpu.Machine.t -> t -> unit
+(** Restores the watcher that was installed before {!attach}.  A no-op
+    when the currently installed watcher isn't this guard's (i.e.
+    something else was attached on top and is still live). *)
 
 val violations : t -> violation list
 (** In occurrence order. *)

@@ -35,14 +35,16 @@ let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
 let rec worker_loop t slot =
   Mutex.lock t.mutex;
-  (if Queue.is_empty t.queue && t.live then begin
-     let t0 = Unix.gettimeofday () in
-     while Queue.is_empty t.queue && t.live do
-       Condition.wait t.work t.mutex
-     done;
-     let w = t.wstats.(slot) in
-     w.idle_s <- w.idle_s +. (Unix.gettimeofday () -. t0)
-   end);
+  (* The idle clock brackets every [Condition.wait] individually: a
+     worker that parks again after a spurious wakeup (or after losing
+     the race for the queued job) keeps accumulating idle time, where
+     timing only the first park would under-report [pool.w*.idle_s]. *)
+  let w = t.wstats.(slot) in
+  while Queue.is_empty t.queue && t.live do
+    let t0 = Unix.gettimeofday () in
+    Condition.wait t.work t.mutex;
+    w.idle_s <- w.idle_s +. (Unix.gettimeofday () -. t0)
+  done;
   match Queue.take_opt t.queue with
   | None ->
       (* queue empty and the pool is shutting down *)
@@ -99,6 +101,74 @@ let with_pool ?jobs f =
   let t = create ?jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
+(* The shared chunked scheduler behind both map modes.  [apply i]
+   processes element [i] entirely, including storing its result.  An
+   exception escaping [apply] poisons the run: the first one is saved
+   and the scheduler fails fast — in-flight chunks stop at their next
+   element boundary, and chunks not yet started are skipped instead of
+   executed.  Returns the poisoning exception, if any, once every chunk
+   has been executed or skipped. *)
+let run_chunked ?chunk t ~apply n =
+  let chunk =
+    max 1
+      (match chunk with
+      | Some c -> c
+      | None -> (n + (4 * t.jobs) - 1) / (4 * t.jobs))
+  in
+  let n_chunks = (n + chunk - 1) / chunk in
+  let next = Atomic.make 0 in
+  let done_m = Mutex.create () in
+  let done_c = Condition.create () in
+  let finished = ref 0 in
+  let failed = Atomic.make None in
+  let finish_chunk () =
+    Mutex.lock done_m;
+    incr finished;
+    if !finished = n_chunks then Condition.signal done_c;
+    Mutex.unlock done_m
+  in
+  let run_chunk slot ci =
+    t.wstats.(slot).chunks <- t.wstats.(slot).chunks + 1;
+    (try
+       let lo = ci * chunk in
+       let hi = min n (lo + chunk) in
+       let i = ref lo in
+       while !i < hi && Atomic.get failed = None do
+         apply !i;
+         incr i
+       done
+     with e -> ignore (Atomic.compare_and_set failed None (Some e)));
+    finish_chunk ()
+  in
+  (* Each puller drains the shared chunk cursor until exhausted; a
+     puller queued behind a long-running job from an earlier call
+     simply finds the cursor spent and returns.  Once a chunk has
+     failed, the cursor is still drained (the completion count must
+     reach [n_chunks]) but the remaining chunks are skipped, so a
+     poisoned map stops early instead of burning through the rest of
+     the input. *)
+  let rec puller slot =
+    let ci = Atomic.fetch_and_add next 1 in
+    if ci < n_chunks then begin
+      if Atomic.get failed = None then run_chunk slot ci
+      else finish_chunk ();
+      puller slot
+    end
+  in
+  Mutex.lock t.mutex;
+  for _ = 1 to min (t.jobs - 1) n_chunks do
+    Queue.push puller t.queue
+  done;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  puller 0;
+  Mutex.lock done_m;
+  while !finished < n_chunks do
+    Condition.wait done_c done_m
+  done;
+  Mutex.unlock done_m;
+  Atomic.get failed
+
 let map_chunked ?chunk t f xs =
   match xs with
   | [] -> []
@@ -108,57 +178,31 @@ let map_chunked ?chunk t f xs =
   | xs ->
       let arr = Array.of_list xs in
       let n = Array.length arr in
-      let chunk =
-        max 1
-          (match chunk with
-          | Some c -> c
-          | None -> (n + (4 * t.jobs) - 1) / (4 * t.jobs))
-      in
-      let n_chunks = (n + chunk - 1) / chunk in
       let out = Array.make n None in
-      let next = Atomic.make 0 in
-      let done_m = Mutex.create () in
-      let done_c = Condition.create () in
-      let finished = ref 0 in
-      let failed = ref None in
-      let run_chunk slot ci =
-        t.wstats.(slot).chunks <- t.wstats.(slot).chunks + 1;
-        (try
-           let lo = ci * chunk in
-           let hi = min n (lo + chunk) in
-           for i = lo to hi - 1 do
-             out.(i) <- Some (f arr.(i))
-           done
-         with e ->
-           Mutex.lock done_m;
-           if !failed = None then failed := Some e;
-           Mutex.unlock done_m);
-        Mutex.lock done_m;
-        incr finished;
-        if !finished = n_chunks then Condition.signal done_c;
-        Mutex.unlock done_m
-      in
-      (* Each puller drains the shared chunk cursor until exhausted; a
-         puller queued behind a long-running job from an earlier call
-         simply finds the cursor spent and returns. *)
-      let rec puller slot =
-        let ci = Atomic.fetch_and_add next 1 in
-        if ci < n_chunks then begin
-          run_chunk slot ci;
-          puller slot
-        end
-      in
-      Mutex.lock t.mutex;
-      for _ = 1 to min (t.jobs - 1) n_chunks do
-        Queue.push puller t.queue
-      done;
-      Condition.broadcast t.work;
-      Mutex.unlock t.mutex;
-      puller 0;
-      Mutex.lock done_m;
-      while !finished < n_chunks do
-        Condition.wait done_c done_m
-      done;
-      Mutex.unlock done_m;
-      (match !failed with Some e -> raise e | None -> ());
+      (match
+         run_chunked ?chunk t n ~apply:(fun i -> out.(i) <- Some (f arr.(i)))
+       with
+      | Some e -> raise e
+      | None -> ());
+      Array.to_list (Array.map Option.get out)
+
+let map_chunked_result ?chunk t f xs =
+  let guard x = match f x with v -> Ok v | exception e -> Error e in
+  match xs with
+  | [] -> []
+  | xs when t.jobs = 1 || t.workers = [||] ->
+      t.wstats.(0).chunks <- t.wstats.(0).chunks + 1;
+      List.map guard xs
+  | xs ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let out = Array.make n None in
+      (* [apply] never raises — every per-element exception is captured
+         in its slot — so the scheduler's fail-fast path stays inert and
+         all elements are attempted. *)
+      (match
+         run_chunked ?chunk t n ~apply:(fun i -> out.(i) <- Some (guard arr.(i)))
+       with
+      | Some e -> raise e
+      | None -> ());
       Array.to_list (Array.map Option.get out)

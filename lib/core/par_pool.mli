@@ -26,7 +26,18 @@ val map_chunked : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
     Elements are handed out in contiguous chunks of [chunk] (default:
     [length / (4 * jobs)], at least 1) through a dynamic cursor, so
     irregular per-element cost still balances.  The first exception
-    raised by [f] is re-raised in the caller after all workers drain. *)
+    raised by [f] is re-raised in the caller after all workers drain;
+    the map fails fast — once any element has raised, in-flight chunks
+    stop at their next element boundary and unstarted chunks are
+    skipped rather than executed. *)
+
+val map_chunked_result :
+  ?chunk:int -> t -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** Error-isolating variant of {!map_chunked}: every element is
+    attempted, and an element whose [f] raises yields [Error exn] in
+    its slot instead of poisoning the whole map.  Order, chunking, and
+    determinism match {!map_chunked}; the call itself never raises on
+    account of [f]. *)
 
 type worker_stats = {
   ws_chunks : int;  (** chunks this slot executed *)

@@ -6,13 +6,14 @@ module Report = S4e_coverage.Report
 module Par_pool = S4e_par.Par_pool
 module Obs = S4e_obs
 
-type outcome = Masked | Sdc | Crashed | Hung
+type outcome = Masked | Sdc | Crashed | Hung | Errored of string
 
 let outcome_name = function
   | Masked -> "masked"
   | Sdc -> "sdc"
   | Crashed -> "crashed"
   | Hung -> "hung"
+  | Errored _ -> "errored"
 
 type signature = {
   sig_exit : int option;
@@ -25,6 +26,7 @@ type summary = {
   sdc : int;
   crashed : int;
   hung : int;
+  errors : int;
   total : int;
 }
 
@@ -168,13 +170,28 @@ type engine = {
   eng_fork : bool;
   eng_checkpoint : int;
   eng_escape : bool;
+  eng_timeout_s : float;
 }
 
 let default_engine =
-  { eng_jobs = 1; eng_fork = true; eng_checkpoint = 1024; eng_escape = false }
+  { eng_jobs = 1; eng_fork = true; eng_checkpoint = 1024; eng_escape = false;
+    eng_timeout_s = 0.0 }
 
 let rerun_engine =
-  { eng_jobs = 1; eng_fork = false; eng_checkpoint = 0; eng_escape = false }
+  { eng_jobs = 1; eng_fork = false; eng_checkpoint = 0; eng_escape = false;
+    eng_timeout_s = 0.0 }
+
+(* ---------------- sharding ---------------- *)
+
+(* Stable round-robin partition of an indexed fault list: element [i]
+   belongs to shard [i mod count].  A function of the indices alone, so
+   [count] cooperating processes (or machines) cover the list exactly
+   once and the union over shards is the whole list. *)
+let shard ~index ~count ifaults =
+  if count <= 0 || index < 0 || index >= count then
+    invalid_arg
+      (Printf.sprintf "Campaign.shard: bad shard %d/%d" index count);
+  List.filter (fun (i, _) -> i mod count = index) ifaults
 
 (* A cheap O(registers) fingerprint used to reject non-matching
    checkpoints before paying for the full memory digest.  Collisions
@@ -293,6 +310,9 @@ type telemetry = {
   tel_hangs : Obs.Metrics.counter option;
   tel_early : Obs.Metrics.counter option;
   tel_forks : Obs.Metrics.counter option;
+  tel_errors : Obs.Metrics.counter option;
+  tel_retries : Obs.Metrics.counter option;
+  tel_timeouts : Obs.Metrics.counter option;
   tel_insns : Obs.Metrics.histogram option;
   tel_progress : (unit -> unit) option;
 }
@@ -303,10 +323,41 @@ let bump = Option.iter Obs.Metrics.incr
    cursor that advances monotonically through the chunk's injection
    points so the golden prefix executes once per chunk, not once per
    fault. *)
-let run_task_body ?config ~engine ~fuel ~golden ~trace ~tel program chunk =
+let run_task_body ?config ~engine ~fuel ~golden ~trace ~tel ~cancelled
+    ~on_result program chunk =
   let m = run_machine ?config program in
   let st = m.Machine.state in
-  let out = Array.map (fun (i, _) -> (i, Masked)) chunk in
+  (* [None] = not classified: a mutant skipped because the campaign was
+     cancelled mid-chunk stays [None] and is simply absent from the
+     results, never silently defaulted. *)
+  let out = Array.map (fun (i, _) -> (i, None)) chunk in
+  (* Wall-clock hang defense: an absolute deadline per mutant, checked
+     at burst boundaries.  [None] (the default) disables it; outcomes
+     then depend only on the instruction budget and stay deterministic. *)
+  let deadline () =
+    if engine.eng_timeout_s > 0.0 then
+      Some (Unix.gettimeofday () +. engine.eng_timeout_s)
+    else None
+  in
+  let deadline_hit = function
+    | None -> false
+    | Some d -> Unix.gettimeofday () >= d
+  in
+  (* [Machine.run] in bounded slices so the deadline is polled even on
+     engines that never pause for checkpoints. *)
+  let rec run_deadline m ~dl ~fuel =
+    match dl with
+    | None -> Machine.run m ~fuel
+    | Some _ when deadline_hit dl ->
+        bump tel.tel_timeouts;
+        Machine.Out_of_fuel
+    | Some _ ->
+        let step = min fuel 65_536 in
+        (match Machine.run m ~fuel:step with
+        | Machine.Out_of_fuel when step < fuel ->
+            run_deadline m ~dl ~fuel:(fuel - step)
+        | stop -> stop)
+  in
   (* Convergence test at a checkpoint boundary ([st.instret] a multiple
      of the trace interval).  The cheap fingerprint is checked every
      time, but the full digest (an MD5 over memory, ~20us) is
@@ -339,7 +390,7 @@ let run_task_body ?config ~engine ~fuel ~golden ~trace ~tel program chunk =
      [inert_at].  The pauses piggyback on [Machine.run]'s fuel
      accounting, so the guard costs nothing per instruction and an
      unhooked run stays on the translation-block fast path. *)
-  let run_guarded tr ~budget ~inert_at =
+  let run_guarded tr ~budget ~inert_at ~dl =
     let interval = tr.tr_interval in
     let next_full = ref 0 in
     let stride = ref 1 in
@@ -352,6 +403,10 @@ let run_task_body ?config ~engine ~fuel ~golden ~trace ~tel program chunk =
     let rec go budget =
       let ir = st.Arch_state.instret in
       if budget <= 0 then classify ~golden m Machine.Out_of_fuel
+      else if deadline_hit dl then begin
+        bump tel.tel_timeouts;
+        classify ~golden m Machine.Out_of_fuel
+      end
       else if
         ir >= inert_at
         && ir mod interval = 0
@@ -375,21 +430,39 @@ let run_task_body ?config ~engine ~fuel ~golden ~trace ~tel program chunk =
     in
     go budget
   in
-  (* Record one classified mutant: result slot, counters, progress. *)
+  (* Record one classified mutant: result slot, counters, journal. *)
   let finish slot o =
-    out.(slot) <- (fst out.(slot), o);
+    out.(slot) <- (fst out.(slot), Some o);
     bump tel.tel_mutants;
     if o = Hung then bump tel.tel_hangs;
+    (match o with Errored _ -> bump tel.tel_errors | _ -> ());
+    on_result (fst out.(slot)) o;
     Option.iter (fun f -> f ()) tel.tel_progress
   in
-  let run_faulty ~slot ~budget ~inert_at fault =
+  (* Second-chance rerun on a private machine with the naive
+     from-reset semantics: an exception out of the engine path (a
+     malformed fault, a snapshot seam gone wrong) must not cost the
+     mutant its classification if the plain path still works. *)
+  let retry_naive fault =
+    let dl = deadline () in
+    let m2 = run_machine ?config program in
+    let armed = Injector.arm m2 fault in
+    let stop =
+      Fun.protect
+        ~finally:(fun () -> Injector.disarm m2 armed)
+        (fun () -> run_deadline m2 ~dl ~fuel)
+    in
+    classify ~golden m2 stop
+  in
+  let run_faulty ~slot ~budget ~inert_at ~orig fault =
     (* The convergence guard only applies to transients: stuck-at
        faults are never inert, and a permanent code/data flip persists
        in the digested memory image, so neither can ever reconverge. *)
+    let dl = deadline () in
     let guarded budget =
       match (trace, fault.Fault.kind) with
-      | Some tr, Fault.Transient _ -> run_guarded tr ~budget ~inert_at
-      | _ -> classify ~golden m (Machine.run m ~fuel:budget)
+      | Some tr, Fault.Transient _ -> run_guarded tr ~budget ~inert_at ~dl
+      | _ -> classify ~golden m (run_deadline m ~dl ~fuel:budget)
     in
     let i0 = st.Arch_state.instret in
     let ts =
@@ -397,23 +470,39 @@ let run_task_body ?config ~engine ~fuel ~golden ~trace ~tel program chunk =
       | Some s -> Obs.Trace_events.now_us s
       | None -> 0.0
     in
-    let o =
+    (* the machine's hooks must come back clean even when the run
+       raises: a leaked injector hook would corrupt every later mutant
+       in the chunk *)
+    let with_armed f run =
+      let armed = Injector.arm m f in
+      Fun.protect ~finally:(fun () -> Injector.disarm m armed) run
+    in
+    let compute () =
       match fault.Fault.kind with
       | Fault.Transient n when engine.eng_fork && n < budget ->
           (* Keep the injector's counting hook only until the flip
              lands, then drop it: the suffix — the bulk of the run —
              executes unhooked on the fast path. *)
-          let armed = Injector.arm m fault in
-          let r = Machine.run m ~fuel:n in
-          Injector.disarm m armed;
+          let r = with_armed fault (fun () -> run_deadline m ~dl ~fuel:n) in
           (match r with
           | Machine.Out_of_fuel -> guarded (budget - n)
           | stop -> classify ~golden m stop)
-      | _ ->
-          let armed = Injector.arm m fault in
-          let o = guarded budget in
-          Injector.disarm m armed;
-          o
+      | _ -> with_armed fault (fun () -> guarded budget)
+    in
+    (* Per-mutant error isolation: a raising mutant is retried once on
+       the naive path (with the original, unshifted fault), and only if
+       that also raises is it classified [Errored] — either way the
+       campaign keeps going and the mutant is counted. *)
+    let o =
+      match compute () with
+      | o -> o
+      | exception e ->
+          bump tel.tel_retries;
+          (match retry_naive orig with
+          | o -> o
+          | exception e2 ->
+              ignore e;
+              Errored (Printexc.to_string e2))
     in
     (match tel.tel_insns with
     | Some h -> Obs.Metrics.observe h (st.Arch_state.instret - i0)
@@ -441,8 +530,10 @@ let run_task_body ?config ~engine ~fuel ~golden ~trace ~tel program chunk =
   in
   List.iter
     (fun (slot, f) ->
-      Machine.restore m reset_snap;
-      run_faulty ~slot ~budget:fuel ~inert_at:(inert_after f) f)
+      if not (cancelled ()) then begin
+        Machine.restore m reset_snap;
+        run_faulty ~slot ~budget:fuel ~inert_at:(inert_after f) ~orig:f f
+      end)
     immediate;
   (* Deferred transients, by injection time: fork each off a snapshot
      of the golden run at [n - 1] and simulate only the suffix. *)
@@ -460,6 +551,7 @@ let run_task_body ?config ~engine ~fuel ~golden ~trace ~tel program chunk =
   List.iter
     (fun (slot, f) ->
       match !golden_ended with
+      | _ when cancelled () -> ()
       | Some o -> finish slot o
       | None ->
           let pre = min (golden_prefix f) fuel in
@@ -488,15 +580,17 @@ let run_task_body ?config ~engine ~fuel ~golden ~trace ~tel program chunk =
             bump tel.tel_forks;
             Machine.restore m !snap;
             run_faulty ~slot ~budget:(fuel - !at)
-              ~inert_at:(inert_after f)
+              ~inert_at:(inert_after f) ~orig:f
               (shift_transient !at f)
           end)
     deferred;
   out
 
-let run_task ?config ~engine ~fuel ~golden ~trace ~tel program chunk =
+let run_task ?config ~engine ~fuel ~golden ~trace ~tel ~cancelled ~on_result
+    program chunk =
   let body () =
-    run_task_body ?config ~engine ~fuel ~golden ~trace ~tel program chunk
+    run_task_body ?config ~engine ~fuel ~golden ~trace ~tel ~cancelled
+      ~on_result program chunk
   in
   match tel.tel_sink with
   | None -> body ()
@@ -511,13 +605,34 @@ let run_task ?config ~engine ~fuel ~golden ~trace ~tel program chunk =
    so every degree of parallelism produces bit-identical results. *)
 let task_chunks = 16
 
-let run ?config ?(engine = default_engine) ?jobs ?metrics ?trace:sink
-    ?on_progress ~fuel program ~golden faults =
+(* Core entry point over an {e indexed} fault list: every fault keeps
+   its stable position in the full campaign, so a shard or a resumed
+   remainder classifies exactly the same mutants (same indices, same
+   chunk grouping is irrelevant — outcomes are per-mutant deterministic)
+   as the corresponding slice of a full run.  Returns only the mutants
+   actually classified: cancellation skips are absent, never
+   defaulted. *)
+let run_indexed ?config ?(engine = default_engine) ?jobs ?metrics ?trace:sink
+    ?on_progress ?on_result ?cancelled ~fuel program ~golden ifaults =
   let jobs = max 1 (Option.value jobs ~default:engine.eng_jobs) in
-  match faults with
+  match ifaults with
   | [] -> []
   | _ ->
-      let total = List.length faults in
+      let total = List.length ifaults in
+      let cancelled = Option.value cancelled ~default:(fun () -> false) in
+      let on_result =
+        match on_result with
+        | None -> fun _ _ _ -> ()
+        | Some f ->
+            (* journal writers &c. may be called from worker domains
+               concurrently; serialize so callers need no lock *)
+            let mu = Mutex.create () in
+            fun i fl o ->
+              Mutex.lock mu;
+              Fun.protect
+                ~finally:(fun () -> Mutex.unlock mu)
+                (fun () -> f i fl o)
+      in
       let tel =
         let c name = Option.map (fun m -> Obs.Metrics.counter m name) metrics in
         { tel_sink = sink;
@@ -525,6 +640,9 @@ let run ?config ?(engine = default_engine) ?jobs ?metrics ?trace:sink
           tel_hangs = c "campaign.hangs";
           tel_early = c "campaign.early_exits";
           tel_forks = c "campaign.snapshot_forks";
+          tel_errors = c "campaign.errors";
+          tel_retries = c "campaign.retries";
+          tel_timeouts = c "campaign.timeouts";
           tel_insns =
             Option.map
               (fun m ->
@@ -551,18 +669,24 @@ let run ?config ?(engine = default_engine) ?jobs ?metrics ?trace:sink
                    ~golden program))
         else None
       in
-      let arr = Array.of_list faults in
+      let arr = Array.of_list ifaults in
       let n = Array.length arr in
+      let by_index = Hashtbl.create n in
+      Array.iter (fun (i, f) -> Hashtbl.replace by_index i f) arr;
+      let on_result i o = on_result i (Hashtbl.find by_index i) o in
       let n_chunks = min n task_chunks in
       let chunk_size = (n + n_chunks - 1) / n_chunks in
       let chunks =
         List.init n_chunks (fun c ->
             let lo = c * chunk_size in
             let hi = min n (lo + chunk_size) in
-            Array.init (max 0 (hi - lo)) (fun k -> (lo + k, arr.(lo + k))))
+            Array.init (max 0 (hi - lo)) (fun k -> arr.(lo + k)))
         |> List.filter (fun c -> Array.length c > 0)
       in
-      let task = run_task ?config ~engine ~fuel ~golden ~trace ~tel program in
+      let task =
+        run_task ?config ~engine ~fuel ~golden ~trace ~tel ~cancelled
+          ~on_result program
+      in
       let results =
         if jobs = 1 || List.length chunks = 1 then List.map task chunks
         else begin
@@ -574,9 +698,19 @@ let run ?config ?(engine = default_engine) ?jobs ?metrics ?trace:sink
               Par_pool.map_chunked ~chunk:1 pool task chunks)
         end
       in
-      let out = Array.make n Masked in
-      List.iter (Array.iter (fun (i, o) -> out.(i) <- o)) results;
-      List.mapi (fun i f -> (f, out.(i))) faults
+      List.concat_map
+        (fun chunk ->
+          Array.to_list chunk
+          |> List.filter_map (fun (i, o) ->
+                 Option.map (fun o -> (i, Hashtbl.find by_index i, o)) o))
+        results
+
+let run ?config ?engine ?jobs ?metrics ?trace ?on_progress ~fuel program
+    ~golden faults =
+  run_indexed ?config ?engine ?jobs ?metrics ?trace ?on_progress ~fuel program
+    ~golden
+    (List.mapi (fun i f -> (i, f)) faults)
+  |> List.map (fun (_, f, o) -> (f, o))
 
 let summarize results =
   List.fold_left
@@ -585,11 +719,12 @@ let summarize results =
       | Masked -> { acc with masked = acc.masked + 1; total = acc.total + 1 }
       | Sdc -> { acc with sdc = acc.sdc + 1; total = acc.total + 1 }
       | Crashed -> { acc with crashed = acc.crashed + 1; total = acc.total + 1 }
-      | Hung -> { acc with hung = acc.hung + 1; total = acc.total + 1 })
-    { masked = 0; sdc = 0; crashed = 0; hung = 0; total = 0 }
+      | Hung -> { acc with hung = acc.hung + 1; total = acc.total + 1 }
+      | Errored _ -> { acc with errors = acc.errors + 1; total = acc.total + 1 })
+    { masked = 0; sdc = 0; crashed = 0; hung = 0; errors = 0; total = 0 }
     results
 
 let pp_summary fmt s =
   Format.fprintf fmt
-    "total=%d masked=%d sdc=%d crashed=%d hung=%d" s.total s.masked s.sdc
-    s.crashed s.hung
+    "total=%d masked=%d sdc=%d crashed=%d hung=%d errored=%d" s.total s.masked
+    s.sdc s.crashed s.hung s.errors

@@ -11,9 +11,12 @@
       output (the paper's "normal termination though executed on a
       faulty hardware model" — silent data corruption);
     - [Crashed]: ends in a fatal trap;
-    - [Hung]: exhausts its fuel or sleeps forever. *)
+    - [Hung]: exhausts its fuel or sleeps forever;
+    - [Errored]: the {e simulator} raised while running the mutant
+      (malformed fault, engine defect) — the exception text is kept so
+      a campaign is never aborted by a single bad mutant. *)
 
-type outcome = Masked | Sdc | Crashed | Hung
+type outcome = Masked | Sdc | Crashed | Hung | Errored of string
 
 val outcome_name : outcome -> string
 
@@ -28,6 +31,7 @@ type summary = {
   sdc : int;
   crashed : int;
   hung : int;
+  errors : int;
   total : int;
 }
 
@@ -123,15 +127,58 @@ type engine = {
   eng_escape : bool;
       (** heuristic early [Crashed] when pc escapes the golden code
           range with [mtvec = 0]; requires [eng_checkpoint > 0] *)
+  eng_timeout_s : float;
+      (** wall-clock budget per mutant, a second hang defense behind the
+          fuel budget; a mutant over its deadline is classified like
+          fuel exhaustion ([Hung]).  [0.0] (the default) disables it —
+          note that a wall-clock cutoff makes borderline outcomes
+          machine-dependent, so leave it off when bit-identical results
+          across hosts matter. *)
 }
 
 val default_engine : engine
 (** [jobs = 1], fork on, checkpoint every 1024 instructions, escape
-    heuristic off. *)
+    heuristic off, no wall-clock timeout. *)
 
 val rerun_engine : engine
 (** The naive baseline: every fault re-runs from reset with no trace —
     exactly {!run_one} per fault (modulo machine reuse). *)
+
+val shard : index:int -> count:int -> (int * Fault.t) list -> (int * Fault.t) list
+(** Stable round-robin partition of an indexed fault list: keeps the
+    elements whose index [i] satisfies [i mod count = index].  A pure
+    function of the indices, so [count] cooperating processes cover the
+    list exactly once and the union of all shards is the whole list.
+    @raise Invalid_argument unless [0 <= index < count]. *)
+
+val run_indexed :
+  ?config:S4e_cpu.Machine.config ->
+  ?engine:engine ->
+  ?jobs:int ->
+  ?metrics:S4e_obs.Metrics.t ->
+  ?trace:S4e_obs.Trace_events.t ->
+  ?on_progress:(int -> int -> unit) ->
+  ?on_result:(int -> Fault.t -> outcome -> unit) ->
+  ?cancelled:(unit -> bool) ->
+  fuel:int ->
+  S4e_asm.Program.t ->
+  golden:signature ->
+  (int * Fault.t) list ->
+  (int * Fault.t * outcome) list
+(** Core entry point over an {e indexed} fault list — each fault keeps
+    its stable position in the full campaign, so a {!shard} or the
+    unclassified remainder of an interrupted run (journaled resume)
+    classifies exactly the same mutants as the corresponding slice of a
+    full run.  Returns only the mutants actually classified, in input
+    order; mutants skipped by cancellation are absent, never defaulted.
+
+    - [on_result i fault outcome] fires once per classified mutant,
+      serialized under an internal lock (safe to write a journal from),
+      before the corresponding [on_progress] tick.
+    - [cancelled ()] is polled between mutants on every worker;
+      once it returns [true], workers finish their current mutant and
+      classify nothing further.  Cooperative, so a SIGINT handler only
+      needs to set a flag. *)
 
 val run :
   ?config:S4e_cpu.Machine.config ->
@@ -146,14 +193,18 @@ val run :
   Fault.t list ->
   (Fault.t * outcome) list
 (** Simulates every fault and pairs it with its outcome, in input
-    order.  [?jobs] overrides [engine.eng_jobs].
+    order ({!run_indexed} over [List.mapi]).  [?jobs] overrides
+    [engine.eng_jobs].
 
     Telemetry (all optional, none changes outcomes):
     - [metrics] receives the counters [campaign.mutants],
       [campaign.hangs] (hang-budget kills), [campaign.early_exits],
-      [campaign.snapshot_forks], the [campaign.mutant_insns] histogram
-      (instructions simulated per mutant), and — when the pool runs —
-      the [pool.*] worker gauges.
+      [campaign.snapshot_forks], [campaign.errors] (mutants classified
+      [Errored]), [campaign.retries] (per-mutant second-chance reruns
+      after an exception), [campaign.timeouts] (wall-clock deadline
+      hits), the [campaign.mutant_insns] histogram (instructions
+      simulated per mutant), and — when the pool runs — the [pool.*]
+      worker gauges.
     - [trace] receives Chrome trace events: a [golden-trace] span, one
       [chunk] span per worker task (tid = the executing domain, so
       Perfetto shows one lane per domain), and one span per mutant

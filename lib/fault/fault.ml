@@ -25,3 +25,43 @@ let describe t =
 let pp fmt t = Format.pp_print_string fmt (describe t)
 
 let compare = Stdlib.compare
+
+(* Stable textual form used by campaign journals: colon-separated, one
+   token per field, addresses in hex.  [of_string] must accept exactly
+   what [to_string] emits — journals written by one build are resumed
+   by another. *)
+let to_string t =
+  let loc =
+    match t.loc with
+    | Gpr (r, b) -> Printf.sprintf "gpr:%d:%d" r b
+    | Fpr (r, b) -> Printf.sprintf "fpr:%d:%d" r b
+    | Code (a, b) -> Printf.sprintf "code:0x%x:%d" a b
+    | Data (a, b) -> Printf.sprintf "data:0x%x:%d" a b
+  in
+  match t.kind with
+  | Permanent -> loc ^ ":perm"
+  | Transient n -> Printf.sprintf "%s:trans:%d" loc n
+
+let of_string s =
+  let int v = int_of_string_opt v in
+  let loc tag a b =
+    match (int a, int b) with
+    | Some a, Some b -> (
+        match tag with
+        | "gpr" -> Some (Gpr (a, b))
+        | "fpr" -> Some (Fpr (a, b))
+        | "code" -> Some (Code (a, b))
+        | "data" -> Some (Data (a, b))
+        | _ -> None)
+    | _ -> None
+  in
+  let make l kind =
+    match l with Some l -> Ok { loc = l; kind } | None -> Error ("bad fault: " ^ s)
+  in
+  match String.split_on_char ':' s with
+  | [ tag; a; b; "perm" ] -> make (loc tag a b) Permanent
+  | [ tag; a; b; "trans"; n ] -> (
+      match int n with
+      | Some n -> make (loc tag a b) (Transient n)
+      | None -> Error ("bad fault: " ^ s))
+  | _ -> Error ("bad fault: " ^ s)

@@ -25,3 +25,10 @@ val describe : t -> string
 val pp : Format.formatter -> t -> unit
 
 val compare : t -> t -> int
+
+val to_string : t -> string
+(** Stable machine-readable form, e.g. ["gpr:10:24:perm"] or
+    ["code:0x80000000:3:trans:43"].  Used in campaign journal records. *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}. *)

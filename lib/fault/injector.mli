@@ -10,6 +10,10 @@
 type armed
 
 val arm : S4e_cpu.Machine.t -> Fault.t -> armed
+(** @raise Invalid_argument on a malformed fault (register or bit out
+    of range, negative address, non-positive transient time) — the
+    register paths use unchecked indexing, so this is the only line of
+    defense for hand-written fault lists. *)
 
 val disarm : S4e_cpu.Machine.t -> armed -> unit
 (** Removes hooks; memory flips are not undone (discard the machine). *)

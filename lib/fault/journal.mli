@@ -1,0 +1,80 @@
+(** Append-only campaign journals: one JSONL file per campaign run.
+
+    The first line is a header binding the journal to its campaign
+    (fault-list seed, mutant count, shard, and an MD5 of the program
+    image); every following line records one classified mutant.  The
+    writer appends records as the engine classifies them and fsyncs in
+    small batches, so after a crash or SIGINT at most a batch of
+    classifications needs re-running — {!append_to} reads the survivors
+    back, drops a torn final line, and resumes appending in place.
+
+    Journals written by shards of the same campaign ([--shard i/n])
+    {!merge} into one record set, which must be conflict-free: the
+    engine is deterministic per mutant, so two journals disagreeing on
+    an outcome means they were not the same campaign.
+
+    See [docs/CAMPAIGNS.md] for the on-disk format. *)
+
+type header = {
+  j_seed : int;  (** fault-list generation seed *)
+  j_total : int;  (** mutants in the {e full} campaign, across shards *)
+  j_shard : int * int;  (** [(index, count)]; [(0, 1)] = unsharded *)
+  j_program : string;  (** MD5 (hex) of the serialized program image *)
+}
+
+type record = {
+  r_index : int;  (** stable index in the full fault list *)
+  r_fault : Fault.t;
+  r_outcome : Campaign.outcome;
+}
+
+val header_of :
+  ?shard:int * int -> seed:int -> total:int -> S4e_asm.Program.t -> header
+
+val expected_count : header -> int
+(** Mutants this journal's shard is responsible for. *)
+
+val is_complete : header -> record list -> bool
+
+(** {1 Writing} *)
+
+type writer
+
+val create :
+  ?sink:S4e_obs.Trace_events.t -> path:string -> header ->
+  (writer, string) result
+(** Truncates [path] and writes the header (synced immediately). *)
+
+val append_to :
+  ?sink:S4e_obs.Trace_events.t -> path:string -> header ->
+  (writer * record list, string) result
+(** Reopens an existing journal for resume: validates that its header
+    matches [header] exactly, returns the records already present
+    (deduplicated by index, sorted), and positions the writer after the
+    last {e complete} line — a torn final line from the interrupted run
+    is overwritten. *)
+
+val write : writer -> record -> unit
+(** Appends one record.  Thread-safe; fsyncs every 64 records (each
+    flush wrapped in a [journal-flush] trace span when [sink] is
+    given). *)
+
+val flush : writer -> unit
+(** Flush and fsync now — call from a signal-triggered shutdown path. *)
+
+val close : writer -> unit
+
+(** {1 Reading} *)
+
+val read : string -> (header * record list, string) result
+(** Records come back deduplicated by index (last write wins) and
+    sorted.  A torn final line is dropped silently; a malformed
+    {e terminated} line is corruption and an error. *)
+
+val merge :
+  (header * record list) list ->
+  (header * record list, string) result
+(** Combines shard journals of one campaign into a single unsharded
+    record set.  Errors if the headers disagree on seed, total, or
+    program, or if two journals classify the same mutant index
+    differently (same-outcome overlap is tolerated). *)

@@ -42,6 +42,7 @@ let device_ranges t =
     (Array.map (fun d -> (d.dev_name, d.dev_base, d.dev_len)) t.devices)
 
 let set_io_watcher t w = t.watcher <- w
+let io_watcher t = t.watcher
 
 let find_device t addr =
   let n = Array.length t.devices in

@@ -43,6 +43,11 @@ val device_ranges : t -> (string * word * int) list
 val set_io_watcher : t -> (io_access -> unit) option -> unit
 (** Installs (or clears) the observer called after every device access. *)
 
+val io_watcher : t -> (io_access -> unit) option
+(** The currently installed observer.  Lets a layer that stacks its own
+    watcher (e.g. {!S4e_core.Io_guard}) save the previous one on attach
+    and restore it on detach instead of clobbering it. *)
+
 val read : t -> word -> int -> word
 (** [read bus addr size] with [size] in {1, 2, 4}.  Unclaimed addresses
     fall through to RAM. *)

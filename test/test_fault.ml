@@ -208,7 +208,8 @@ let test_campaign_summary_adds_up () =
   let s = Campaign.summarize results in
   Alcotest.(check int) "total" 40 s.Campaign.total;
   Alcotest.(check int) "classes partition" s.Campaign.total
-    (s.Campaign.masked + s.Campaign.sdc + s.Campaign.crashed + s.Campaign.hung)
+    (s.Campaign.masked + s.Campaign.sdc + s.Campaign.crashed + s.Campaign.hung
+    + s.Campaign.errors)
 
 let campaign_determinism =
   prop ~count:5 "campaign outcome deterministic" (QCheck.int_bound 1000)
@@ -320,6 +321,269 @@ let test_engine_axes_agree () =
       { Campaign.default_engine with Campaign.eng_checkpoint = 0 };
       { Campaign.default_engine with Campaign.eng_checkpoint = 256 } ]
 
+(* ---------------- hardening: errors, journals, shards ---------------- *)
+
+module Journal = S4e_fault.Journal
+module Flows = S4e_core.Flows
+
+let gen_faults ~seed ~n _p golden cov =
+  Campaign.generate ~seed ~n ~targets:[ `Gpr; `Code; `Data ]
+    ~kinds:[ `Permanent; `Transient ] ~coverage:cov
+    ~golden_instret:golden.Campaign.sig_instret
+
+let fault_string_roundtrip =
+  prop ~count:100 "fault to_string/of_string roundtrip"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let p = program () in
+      let golden, cov = Campaign.golden ~fuel:10_000 p in
+      List.for_all
+        (fun f -> Fault.of_string (Fault.to_string f) = Ok f)
+        (gen_faults ~seed ~n:20 p golden cov))
+
+let test_malformed_fault_errored () =
+  (* A fault the injector rejects must not abort the campaign: the
+     mutant is classified Errored (after one retry), the rest of the
+     list classifies normally, and the counters record it. *)
+  let p = program () in
+  let golden, cov = Campaign.golden ~fuel:10_000 p in
+  let good = gen_faults ~seed:7 ~n:4 p golden cov in
+  let bad = { Fault.loc = Fault.Gpr (33, 0); kind = Fault.Permanent } in
+  let faults = List.concat [ [ List.hd good ]; [ bad ]; List.tl good ] in
+  let reg = S4e_obs.Metrics.create () in
+  let results = Campaign.run ~metrics:reg ~fuel:10_000 p ~golden faults in
+  Alcotest.(check int) "all classified" 5 (List.length results);
+  let outcomes = List.map (fun (_, o) -> Campaign.outcome_name o) results in
+  Alcotest.(check string) "bad mutant errored" "errored" (List.nth outcomes 1);
+  List.iteri
+    (fun i o ->
+      if i <> 1 then
+        Alcotest.(check bool) "good mutants unaffected" false (o = "errored"))
+    outcomes;
+  (match List.nth results 1 with
+  | _, Campaign.Errored msg ->
+      Alcotest.(check bool) "exception text kept" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "expected Errored");
+  let v name = S4e_obs.Metrics.value (S4e_obs.Metrics.counter reg name) in
+  Alcotest.(check int) "campaign.errors" 1 (v "campaign.errors");
+  Alcotest.(check int) "campaign.retries" 1 (v "campaign.retries");
+  let s = Campaign.summarize results in
+  Alcotest.(check int) "summary counts it" 1 s.Campaign.errors
+
+let test_wallclock_timeout () =
+  (* With an (absurdly) tiny wall-clock budget every mutant hits its
+     deadline before its first burst and classifies like fuel
+     exhaustion. *)
+  let p = program () in
+  let golden, cov = Campaign.golden ~fuel:10_000 p in
+  let faults = gen_faults ~seed:9 ~n:8 p golden cov in
+  let engine =
+    { Campaign.default_engine with Campaign.eng_timeout_s = 1e-9 }
+  in
+  let reg = S4e_obs.Metrics.create () in
+  let results = Campaign.run ~engine ~metrics:reg ~fuel:10_000 p ~golden faults in
+  List.iter
+    (fun (_, o) ->
+      Alcotest.(check string) "deadline -> hung" "hung"
+        (Campaign.outcome_name o))
+    results;
+  Alcotest.(check bool) "timeouts counted" true
+    (S4e_obs.Metrics.value (S4e_obs.Metrics.counter reg "campaign.timeouts")
+    >= 8)
+
+let shard_completeness =
+  prop ~count:50 "shards partition the fault list"
+    QCheck.(pair (int_range 1 7) (int_range 0 40))
+    (fun (count, n) ->
+      let ifaults =
+        List.init n (fun i ->
+            (i, { Fault.loc = Fault.Gpr (i mod 32, 0); kind = Fault.Permanent }))
+      in
+      let shards =
+        List.init count (fun index -> Campaign.shard ~index ~count ifaults)
+      in
+      let union = List.concat shards in
+      List.length union = n
+      && List.sort compare union = ifaults
+      && List.for_all
+           (fun s ->
+             List.for_all (fun (i, _) -> List.mem_assoc i ifaults) s)
+           shards)
+
+let with_tmp f =
+  let path = Filename.temp_file "s4e_journal" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let flow_cfg ~seed ~n =
+  { Flows.default_fault_config with
+    Flows.ff_seed = seed; ff_mutants = n; ff_fuel = 100_000;
+    ff_hang_budget = Flows.Hang_fuel }
+
+let engine_program () = S4e_asm.Assembler.assemble_exn engine_src
+
+let test_journal_roundtrip_and_torn_tail () =
+  let p = engine_program () in
+  with_tmp (fun path ->
+      let r =
+        match Flows.fault_campaign ~journal:path (flow_cfg ~seed:11 ~n:30) p with
+        | Ok r -> r
+        | Error e -> Alcotest.fail e
+      in
+      Alcotest.(check bool) "complete" true r.Flows.ff_complete;
+      let h, records =
+        match Journal.read path with
+        | Ok x -> x
+        | Error e -> Alcotest.fail e
+      in
+      Alcotest.(check int) "header total" 30 h.Journal.j_total;
+      Alcotest.(check int) "one record per mutant" 30 (List.length records);
+      Alcotest.(check bool) "journal reproduces the summary" true
+        (Campaign.summarize
+           (List.map (fun r -> (r.Journal.r_fault, r.Journal.r_outcome)) records)
+        = r.Flows.ff_summary);
+      (* a torn final line (crash mid-write) is dropped on read *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "{\"i\":99,\"fau";
+      close_out oc;
+      match Journal.read path with
+      | Ok (_, records') ->
+          Alcotest.(check int) "torn tail dropped" 30 (List.length records')
+      | Error e -> Alcotest.fail ("torn tail should be tolerated: " ^ e))
+
+let resume_differential =
+  prop ~count:4 "interrupted-at-k + resume = full run"
+    QCheck.(triple (int_bound 1000) (int_range 0 29) (int_range 1 4))
+    (fun (seed, k, jobs) ->
+      let p = engine_program () in
+      let cfg = flow_cfg ~seed ~n:30 in
+      with_tmp (fun j_full ->
+          with_tmp (fun j_part ->
+              let full =
+                match Flows.fault_campaign ~jobs ~journal:j_full cfg p with
+                | Ok r -> r
+                | Error e -> Alcotest.fail e
+              in
+              let header, records =
+                match Journal.read j_full with
+                | Ok x -> x
+                | Error e -> Alcotest.fail e
+              in
+              (* reconstruct the journal of a run interrupted after k
+                 classifications, then resume it *)
+              let w =
+                match Journal.create ~path:j_part header with
+                | Ok w -> w
+                | Error e -> Alcotest.fail e
+              in
+              List.iteri (fun i r -> if i < k then Journal.write w r) records;
+              Journal.close w;
+              let resumed =
+                match Flows.fault_campaign ~jobs ~resume:j_part cfg p with
+                | Ok r -> r
+                | Error e -> Alcotest.fail e
+              in
+              resumed.Flows.ff_resumed = k
+              && resumed.Flows.ff_complete
+              && resumed.Flows.ff_summary = full.Flows.ff_summary
+              && resumed.Flows.ff_results = full.Flows.ff_results)))
+
+let test_resume_rejects_other_campaign () =
+  let p = engine_program () in
+  with_tmp (fun path ->
+      (match Flows.fault_campaign ~journal:path (flow_cfg ~seed:3 ~n:10) p with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e);
+      match Flows.fault_campaign ~resume:path (flow_cfg ~seed:4 ~n:10) p with
+      | Ok _ -> Alcotest.fail "resume with a different seed must be rejected"
+      | Error _ -> ())
+
+let test_shard_merge_equals_full () =
+  let p = engine_program () in
+  let cfg = flow_cfg ~seed:17 ~n:24 in
+  let full =
+    match Flows.fault_campaign cfg p with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let count = 3 in
+  let journals =
+    List.init count (fun index ->
+        let path =
+          Filename.temp_file (Printf.sprintf "s4e_shard%d" index) ".jsonl"
+        in
+        (match
+           Flows.fault_campaign ~journal:path ~shard:(index, count) cfg p
+         with
+        | Ok r -> Alcotest.(check bool) "shard complete" true r.Flows.ff_complete
+        | Error e -> Alcotest.fail e);
+        path)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) journals)
+    (fun () ->
+      let inputs =
+        List.map
+          (fun path ->
+            match Journal.read path with
+            | Ok x -> x
+            | Error e -> Alcotest.fail e)
+          journals
+      in
+      match Journal.merge inputs with
+      | Error e -> Alcotest.fail e
+      | Ok (h, records) ->
+          Alcotest.(check bool) "merged complete" true
+            (Journal.is_complete h records);
+          Alcotest.(check bool) "merged summary = full summary" true
+            (Campaign.summarize
+               (List.map
+                  (fun r -> (r.Journal.r_fault, r.Journal.r_outcome))
+                  records)
+            = full.Flows.ff_summary);
+          Alcotest.(check bool) "merged results = full results" true
+            (List.map (fun r -> (r.Journal.r_fault, r.Journal.r_outcome)) records
+            = full.Flows.ff_results))
+
+let test_cancellation_partial_then_resume () =
+  (* cancel after ~half the mutants classify: the partial result is
+     valid and resumable, and the resumed run completes the campaign *)
+  let p = engine_program () in
+  let cfg = flow_cfg ~seed:23 ~n:20 in
+  let full =
+    match Flows.fault_campaign cfg p with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  with_tmp (fun path ->
+      (* the campaign's own mutants counter tracks classifications, so
+         the cancellation callback can poll it like a SIGINT flag *)
+      let reg = S4e_obs.Metrics.create () in
+      let mutants = S4e_obs.Metrics.counter reg "campaign.mutants" in
+      let partial =
+        match
+          Flows.fault_campaign ~metrics:reg ~journal:path
+            ~cancelled:(fun () -> S4e_obs.Metrics.value mutants >= 10)
+            cfg p
+        with
+        | Ok r -> r
+        | Error e -> Alcotest.fail e
+      in
+      Alcotest.(check bool) "partial run incomplete" true
+        (not partial.Flows.ff_complete);
+      Alcotest.(check bool) "partial run classified a prefix" true
+        (partial.Flows.ff_summary.Campaign.total < 20);
+      let resumed =
+        match Flows.fault_campaign ~resume:path cfg p with
+        | Ok r -> r
+        | Error e -> Alcotest.fail e
+      in
+      Alcotest.(check bool) "resumed run completes" true
+        resumed.Flows.ff_complete;
+      Alcotest.(check bool) "summary identical to uninterrupted" true
+        (resumed.Flows.ff_summary = full.Flows.ff_summary))
+
 let test_blind_generation () =
   let p = program () in
   let golden, _ = Campaign.golden ~fuel:10_000 p in
@@ -376,4 +640,20 @@ let () =
           Alcotest.test_case "engine matches rerun" `Quick
             test_engine_matches_rerun;
           Alcotest.test_case "engine axes agree" `Quick
-            test_engine_axes_agree ] ) ]
+            test_engine_axes_agree ] );
+      ( "hardening",
+        [ fault_string_roundtrip;
+          Alcotest.test_case "malformed fault errored" `Quick
+            test_malformed_fault_errored;
+          Alcotest.test_case "wall-clock timeout" `Quick
+            test_wallclock_timeout;
+          shard_completeness;
+          Alcotest.test_case "journal roundtrip + torn tail" `Quick
+            test_journal_roundtrip_and_torn_tail;
+          resume_differential;
+          Alcotest.test_case "resume rejects other campaign" `Quick
+            test_resume_rejects_other_campaign;
+          Alcotest.test_case "shard merge equals full" `Quick
+            test_shard_merge_equals_full;
+          Alcotest.test_case "cancel then resume" `Quick
+            test_cancellation_partial_then_resume ] ) ]

@@ -165,6 +165,60 @@ driver:
   Alcotest.(check (list string)) "no violations" []
     (List.map (fun v -> v.Io_guard.v_device) (Io_guard.violations guard))
 
+let test_io_guard_stacking () =
+  (* Two stacked guards: attaching the second must not silence the
+     first (the displaced watcher is chained to), and detaching must
+     restore the displaced watcher instead of unconditionally clearing
+     the bus hook. *)
+  let p =
+    assemble {|
+  .equ UART, 0x10000000
+_start:
+  li   s0, UART
+  lbu  a0, 0(s0)
+  sb   a0, 0(s0)
+  li   t1, 0x00100000
+  sw   zero, 0(t1)
+  ebreak
+|}
+  in
+  let m = Machine.create () in
+  let g1 =
+    Io_guard.attach m
+      [ { Io_guard.p_device = "uart"; p_allowed = [];
+          p_restrict = Io_guard.Restrict_writes } ]
+  in
+  let g2 =
+    Io_guard.attach m
+      [ { Io_guard.p_device = "uart"; p_allowed = [];
+          p_restrict = Io_guard.Restrict_all } ]
+  in
+  let run () =
+    S4e_asm.Program.load_machine p m;
+    ignore (Machine.run m ~fuel:1_000 : Machine.stop_reason)
+  in
+  run ();
+  (* uart read + uart write + syscon exit store, seen by both guards *)
+  Alcotest.(check int) "inner guard observes through the outer" 3
+    (Io_guard.accesses g1);
+  Alcotest.(check int) "outer guard observes" 3 (Io_guard.accesses g2);
+  Alcotest.(check int) "inner flags the write" 1
+    (List.length (Io_guard.violations g1));
+  Alcotest.(check int) "outer flags read and write" 2
+    (List.length (Io_guard.violations g2));
+  (* detaching the inner guard while it is not on top is a no-op: the
+     outer guard (and the chain through the inner) keeps observing *)
+  Io_guard.detach m g1;
+  run ();
+  Alcotest.(check int) "outer unaffected by inner detach" 6
+    (Io_guard.accesses g2);
+  Alcotest.(check int) "inner still chained below" 6 (Io_guard.accesses g1);
+  (* popping the outer guard reinstates the watcher it displaced *)
+  Io_guard.detach m g2;
+  run ();
+  Alcotest.(check int) "outer detached" 6 (Io_guard.accesses g2);
+  Alcotest.(check int) "displaced watcher restored" 9 (Io_guard.accesses g1)
+
 let test_wcet_flow_on_control_task () =
   let p =
     assemble {|
@@ -375,4 +429,5 @@ let () =
       ( "io-guard",
         [ Alcotest.test_case "write policy" `Quick test_io_guard_write_policy;
           Alcotest.test_case "restrict all" `Quick test_io_guard_restrict_all;
-          Alcotest.test_case "allowed range" `Quick test_io_guard_allowed_range ] ) ]
+          Alcotest.test_case "allowed range" `Quick test_io_guard_allowed_range;
+          Alcotest.test_case "stacked guards" `Quick test_io_guard_stacking ] ) ]

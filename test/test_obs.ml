@@ -346,6 +346,38 @@ let test_pool_stats () =
       Alcotest.(check bool) "pool.chunks totalled" true
         (List.assoc "pool.chunks" snap = Metrics.Int 20))
 
+let test_pool_idle_monotone () =
+  (* Idle time is accumulated around every Condition.wait, so it must
+     be (a) monotone across maps and (b) strictly positive once workers
+     have blocked waiting for work — a spurious-wakeup-tolerant
+     accounting would under-report but never decrease. *)
+  S4e_par.Par_pool.with_pool ~jobs:3 (fun pool ->
+      let idle () =
+        Array.map
+          (fun w -> w.S4e_par.Par_pool.ws_idle_s)
+          (S4e_par.Par_pool.stats pool)
+      in
+      let work x =
+        if x = 0 then Unix.sleepf 0.005;
+        x * 2
+      in
+      let before = ref (idle ()) in
+      let grew = ref false in
+      for _ = 1 to 3 do
+        ignore
+          (S4e_par.Par_pool.map_chunked ~chunk:1 pool work
+             (List.init 20 Fun.id));
+        let after = idle () in
+        Array.iteri
+          (fun i b ->
+            Alcotest.(check bool) "idle monotone per worker" true
+              (after.(i) >= b);
+            if after.(i) > b then grew := true)
+          !before;
+        before := after
+      done;
+      Alcotest.(check bool) "idle time accumulates across maps" true !grew)
+
 let () =
   Alcotest.run "obs"
     [ ( "metrics",
@@ -370,4 +402,6 @@ let () =
       ( "campaign",
         [ Alcotest.test_case "metrics + trace" `Quick
             test_campaign_metrics_and_trace;
-          Alcotest.test_case "pool stats" `Quick test_pool_stats ] ) ]
+          Alcotest.test_case "pool stats" `Quick test_pool_stats;
+          Alcotest.test_case "pool idle monotone" `Quick
+            test_pool_idle_monotone ] ) ]

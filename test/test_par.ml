@@ -34,6 +34,53 @@ let test_exception_propagates () =
       Alcotest.(check (list int)) "usable afterwards" [ 1; 2; 3 ]
         (Pool.map_chunked pool succ [ 0; 1; 2 ]))
 
+let test_fail_fast () =
+  (* One poisoned element at the front; every other element sleeps.  If
+     pullers kept pulling chunks after the failure, (almost) all 400
+     elements would execute; fail-fast means the executed count stays
+     far below that. *)
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let executed = Atomic.make 0 in
+      let work x =
+        if x = 0 then failwith "boom"
+        else begin
+          Unix.sleepf 0.001;
+          ignore (Atomic.fetch_and_add executed 1);
+          x
+        end
+      in
+      Alcotest.check_raises "first exception re-raised" (Failure "boom")
+        (fun () ->
+          ignore (Pool.map_chunked ~chunk:1 pool work (List.init 400 Fun.id)));
+      Alcotest.(check bool)
+        (Printf.sprintf "stopped early (executed %d)" (Atomic.get executed))
+        true
+        (Atomic.get executed < 100))
+
+let test_map_chunked_result () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let work x = if x mod 10 = 3 then failwith (string_of_int x) else x * 2 in
+      let rs = Pool.map_chunked_result ~chunk:3 pool work (List.init 50 Fun.id) in
+      Alcotest.(check int) "one result per input" 50 (List.length rs);
+      List.iteri
+        (fun i r ->
+          match r with
+          | Ok v -> Alcotest.(check int) "ok value" (i * 2) v
+          | Error (Failure m) ->
+              Alcotest.(check string) "error keeps the exception"
+                (string_of_int i) m;
+              Alcotest.(check bool) "only poisoned items fail" true
+                (i mod 10 = 3)
+          | Error e -> raise e)
+        rs;
+      (* jobs=1 shortcut agrees *)
+      Pool.with_pool ~jobs:1 (fun p1 ->
+          let ok r = match r with Ok v -> Some v | Error _ -> None in
+          Alcotest.(check (list (option int)))
+            "sequential agrees with parallel"
+            (List.map ok (Pool.map_chunked_result p1 work (List.init 50 Fun.id)))
+            (List.map ok rs)))
+
 let determinism =
   prop "any jobs/chunk gives List.map"
     QCheck.(triple (int_range 1 8) (int_range 1 17) (list_of_size Gen.(0 -- 50) int))
@@ -68,5 +115,8 @@ let () =
           Alcotest.test_case "jobs clamped" `Quick test_jobs_clamped;
           Alcotest.test_case "exception propagates" `Quick
             test_exception_propagates;
+          Alcotest.test_case "fail fast" `Quick test_fail_fast;
+          Alcotest.test_case "map_chunked_result" `Quick
+            test_map_chunked_result;
           determinism;
           uneven_cost ] ) ]

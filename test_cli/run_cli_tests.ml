@@ -45,6 +45,35 @@ again:
   ebreak
 |}
 
+(* A nested loop doing enough work (~45k instructions) that a rerun
+   campaign over a few hundred mutants takes seconds, leaving a window
+   to deliver SIGINT mid-run for the kill-and-resume check. *)
+let slow_src = {|
+_start:
+  li   s0, 0
+  li   s1, 0
+  li   s2, 400
+  li   s3, 0x80001000
+outer:
+  li   t0, 0
+  li   t1, 13
+inner:
+  mul  t2, t0, s1
+  add  s0, s0, t2
+  xor  s0, s0, t0
+  sw   s0, 0(s3)
+  lw   t3, 0(s3)
+  add  s0, s0, t3
+  addi t0, t0, 1
+  blt  t0, t1, inner
+  addi s1, s1, 1
+  blt  s1, s2, outer
+  andi a0, s0, 0xff
+  li   t1, 0x00100000
+  sw   a0, 0(t1)
+  ebreak
+|}
+
 (* Run a command, capture stdout+stderr, return (exit code, output). *)
 let run_capture cmd =
   let out = Filename.temp_file "s4e_cli" ".out" in
@@ -88,9 +117,11 @@ let () =
   let image = Filename.concat dir "hello.bin" in
   let qta = Filename.concat dir "hello.qta" in
   let bad = Filename.concat dir "bad.s" in
+  let slow = Filename.concat dir "slow.s" in
   write_file hello hello_src;
   write_file loop loop_src;
   write_file bad "_start:\n  frobnicate a0\n";
+  write_file slow slow_src;
   Printf.printf "cli tests (%s):\n" s4e;
 
   check "run prints the UART output"
@@ -195,6 +226,59 @@ let () =
     (Printf.sprintf "%s fault %s -n 25 --fuel 100000 --metrics -" s4e loop)
     ~expect_code:0
     ~expect_substrings:[ "\"campaign.mutants\": 25"; "\"campaign.hangs\"" ];
+  (let j = Filename.concat dir "campaign.jsonl" in
+   check "fault --journal records every outcome"
+     (Printf.sprintf
+        "{ %s fault %s -n 25 --fuel 100000 --journal %s && head -1 %s; }" s4e
+        loop j j)
+     ~expect_code:0
+     ~expect_substrings:[ "total=25"; "\"s4e_journal\":1"; "\"total\":25" ];
+   check "fault --resume skips already-classified mutants"
+     (Printf.sprintf "%s fault %s -n 25 --fuel 100000 --resume %s" s4e loop j)
+     ~expect_code:0
+     ~expect_substrings:
+       [ "total=25"; "resumed: 25 mutants already classified" ];
+   check "fault --resume rejects a mismatched campaign"
+     (Printf.sprintf "%s fault %s -n 25 --fuel 100000 --seed 9 --resume %s"
+        s4e loop j)
+     ~expect_code:1
+     ~expect_substrings:[ "fault:" ]);
+  (let s0 = Filename.concat dir "shard0.jsonl" in
+   let s1 = Filename.concat dir "shard1.jsonl" in
+   let merged = Filename.concat dir "merged.jsonl" in
+   check "fault --shard runs a deterministic slice"
+     (Printf.sprintf
+        "%s fault %s -n 25 --fuel 100000 --shard 0/2 --journal %s" s4e loop
+        s0)
+     ~expect_code:0
+     ~expect_substrings:[ "total=13" ];
+   check "merge-journals flags an incomplete campaign"
+     (Printf.sprintf "%s merge-journals %s" s4e s0)
+     ~expect_code:1
+     ~expect_substrings:[ "incomplete campaign: 13/25" ];
+   check "merge-journals combines complementary shards"
+     (Printf.sprintf
+        "{ %s fault %s -n 25 --fuel 100000 --shard 1/2 --journal %s && %s \
+         merge-journals %s %s -o %s && head -1 %s; }"
+        s4e loop s1 s4e s0 s1 merged merged)
+     ~expect_code:0
+     ~expect_substrings:[ "total=25"; "\"s4e_journal\":1" ]);
+  (let j = Filename.concat dir "killed.jsonl" in
+   let part = Filename.concat dir "killed.out" in
+   let args =
+     Printf.sprintf "fault %s -n 400 --fuel 200000 --rerun -j 2" slow
+   in
+   (* Interrupt a campaign mid-run, then resume it from the journal and
+      compare the final summary against an uninterrupted reference. *)
+   check "SIGINT journals progress and --resume completes it"
+     (Printf.sprintf
+        "{ ref=$(%s %s | head -1); %s %s --journal %s > %s 2>&1 & pid=$!; \
+         sleep 0.7; kill -INT $pid 2>/dev/null; wait $pid; echo exit=$?; \
+         grep interrupted %s; res=$(%s %s --resume %s | head -1); [ \
+         \"$ref\" = \"$res\" ] && echo SUMMARIES-MATCH; }"
+        s4e args s4e args j part part s4e args j)
+     ~expect_code:0
+     ~expect_substrings:[ "exit=130"; "interrupted:"; "SUMMARIES-MATCH" ]);
 
   if !failures > 0 then begin
     Printf.printf "%d CLI test(s) failed\n" !failures;
