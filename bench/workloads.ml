@@ -382,6 +382,112 @@ arr:
   .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
 |} }
 
+(* STREAM-style copy + checksum: word loads and stores dominate, with
+   almost no compute between them — the worst case for per-access
+   routing cost and the headline workload for the memory fast path
+   (E15).  Deliberately NOT in [all]: E4's no-annotation WCET runs are
+   pinned to the historical workload set. *)
+let stream =
+  { w_name = "stream";
+    w_expect = Some 1;
+    w_annotations = [];
+    w_source =
+      {|
+_start:
+  la   a0, src          # fill the source buffer
+  li   s2, 0
+  li   s3, 256
+  li   a2, 8
+fill:
+  sw   a2, 0(a0)
+  addi a0, a0, 4
+  addi s2, s2, 1
+  blt  s2, s3, fill
+  li   s0, 0            # pass
+  li   s1, 40           # passes
+  li   s5, 0            # checksum
+pass:
+  la   a0, src
+  la   a1, dst
+  li   s2, 0            # i
+  li   s3, 256          # words per pass
+copy:
+  lw   a2, 0(a0)
+  sw   a2, 0(a1)
+  add  s5, s5, a2
+  lw   a3, 4(a0)
+  sw   a3, 4(a1)
+  add  s5, s5, a3
+  addi a0, a0, 8
+  addi a1, a1, 8
+  addi s2, s2, 2
+  blt  s2, s3, copy
+  addi s0, s0, 1
+  blt  s0, s1, pass
+  # every pass sums the same 256 words: 40 * (8 * 256) = 81920
+  li   a0, 0
+  li   a1, 81920
+  bne  s5, a1, done
+  li   a0, 1
+done:
+|}
+      ^ exit_with "a0"
+      ^ {|
+  .data
+src:
+  .space 1024
+dst:
+  .space 1024
+|} }
+
+(* Pointer chase over a 64-node ring (16-byte stride): dependent word
+   loads with almost no compute — memory latency in its purest form.
+   Like [stream], used by E15 and kept out of [all]. *)
+let pchase =
+  { w_name = "pchase";
+    w_expect = Some 1;
+    w_annotations = [];
+    w_source =
+      {|
+_start:
+  la   a0, ring         # build the ring: node i -> node i+1
+  li   s2, 0
+  li   s3, 63
+init:
+  slli a1, s2, 4
+  add  a1, a1, a0
+  addi a2, s2, 1
+  slli a2, a2, 4
+  add  a2, a2, a0
+  sw   a2, 0(a1)
+  addi s2, s2, 1
+  blt  s2, s3, init
+  slli a1, s3, 4        # close the ring: node 63 -> node 0
+  add  a1, a1, a0
+  sw   a0, 0(a1)
+  la   s4, ring         # chase 25600 steps (multiple of 64)
+  li   s2, 0
+  li   s3, 25600
+chase:
+  lw   s4, 0(s4)
+  lw   s4, 0(s4)
+  lw   s4, 0(s4)
+  lw   s4, 0(s4)
+  addi s2, s2, 4
+  blt  s2, s3, chase
+  la   a1, ring         # a full multiple of the ring ends at node 0
+  li   a0, 0
+  bne  s4, a1, done
+  li   a0, 1
+done:
+|}
+      ^ exit_with "a0"
+      ^ {|
+  .data
+ring:
+  .space 1024
+|} }
+
 let all = [ bubble_sort; matmul; crc32; fib; search; calls ]
 
 let program w = S4e_asm.Assembler.assemble_exn w.w_source

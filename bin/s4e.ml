@@ -47,6 +47,12 @@ let jobs_arg =
            ~doc:"Worker domains to simulate with (default: the number of \
                  cores). Results are identical for every value.")
 
+let no_mem_tlb_arg =
+  Arg.(value & flag & info [ "no-mem-tlb" ]
+       ~doc:"Disable the bus's software TLB (direct page pointers for \
+             loads/stores/fetch). Observable behavior is identical; this \
+             is the escape hatch / benchmarking knob.")
+
 (* ---------------- run ---------------- *)
 
 let run_cmd =
@@ -74,9 +80,13 @@ let run_cmd =
            ~doc:"Write a metrics-registry snapshot (JSON) to FILE after the \
                  run; '-' for stdout.")
   in
-  let action file fuel trace input cache_stats profile metrics =
+  let action file fuel trace input cache_stats profile metrics no_mem_tlb =
     let p = assemble_file file in
-    let m = S4e_cpu.Machine.create () in
+    let config =
+      { S4e_cpu.Machine.default_config with
+        S4e_cpu.Machine.mem_tlb = not no_mem_tlb }
+    in
+    let m = S4e_cpu.Machine.create ~config () in
     let tracer =
       Option.map
         (fun depth -> S4e_cpu.Tracer.attach m.S4e_cpu.Machine.hooks ~depth)
@@ -128,7 +138,16 @@ let run_cmd =
            invalidations@."
           ts.S4e_cpu.Tb_cache.st_blocks ts.S4e_cpu.Tb_cache.st_hits
           ts.S4e_cpu.Tb_cache.st_misses ts.S4e_cpu.Tb_cache.st_chain_hits
-          ts.S4e_cpu.Tb_cache.st_invalidations);
+          ts.S4e_cpu.Tb_cache.st_invalidations;
+        let ms = S4e_mem.Bus.tlb_stats m.S4e_cpu.Machine.bus in
+        let total = ms.S4e_mem.Bus.tlb_hits + ms.S4e_mem.Bus.tlb_misses in
+        Format.printf
+          "mem tlb: %d hits, %d misses, %d flushes (%.1f%% hits)@."
+          ms.S4e_mem.Bus.tlb_hits ms.S4e_mem.Bus.tlb_misses
+          ms.S4e_mem.Bus.tlb_flushes
+          (if total = 0 then 0.0
+           else 100.0 *. float_of_int ms.S4e_mem.Bus.tlb_hits
+                /. float_of_int total));
     (match prof with
     | None -> ()
     | Some prof ->
@@ -153,7 +172,7 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Assemble and execute a program on the virtual prototype.")
     Term.(const action $ file_arg $ fuel_arg $ trace_arg $ input_arg
-          $ cache_arg $ profile_arg $ metrics_arg)
+          $ cache_arg $ profile_arg $ metrics_arg $ no_mem_tlb_arg)
 
 (* ---------------- profile ---------------- *)
 
@@ -668,7 +687,8 @@ let torture_cmd =
            ~doc:"Generate and run N programs with seeds SEED..SEED+N-1 \
                  (domain-parallel with --jobs).")
   in
-  let action seed segments compress out count jobs =
+  let action seed segments compress out count jobs no_mem_tlb =
+    let mem_tlb = not no_mem_tlb in
     let cfg_of seed =
       { S4e_torture.Torture.default_config with
         S4e_torture.Torture.seed; segments; compress }
@@ -680,7 +700,8 @@ let torture_cmd =
       | Some path -> S4e_asm.Program.save p path
       | None -> ());
       let r =
-        S4e_core.Flows.run ~fuel:(S4e_torture.Torture.fuel_bound cfg) p
+        S4e_core.Flows.run ~mem_tlb ~fuel:(S4e_torture.Torture.fuel_bound cfg)
+          p
       in
       Format.printf "torture seed=%d: %a; %d instructions@." seed
         S4e_cpu.Machine.pp_stop_reason r.S4e_core.Flows.rr_stop
@@ -693,7 +714,7 @@ let torture_cmd =
             let s = seed + i in
             (string_of_int s, S4e_torture.Torture.generate (cfg_of s)))
       in
-      let results = S4e_core.Flows.run_suite ~fuel ~jobs suite in
+      let results = S4e_core.Flows.run_suite ~mem_tlb ~fuel ~jobs suite in
       List.iter
         (fun (name, r) ->
           Format.printf "torture seed=%s: %a; %d instructions@." name
@@ -705,7 +726,7 @@ let torture_cmd =
   Cmd.v
     (Cmd.info "torture" ~doc:"Generate and run random test programs.")
     Term.(const action $ seed_arg $ segments_arg $ compress_arg $ out_arg
-          $ count_arg $ jobs_arg)
+          $ count_arg $ jobs_arg $ no_mem_tlb_arg)
 
 (* ---------------- bmi ---------------- *)
 

@@ -12,7 +12,17 @@ type run_result = {
 
 let default_fuel = 10_000_000
 
-let run ?config ?(fuel = default_fuel) p =
+(* [?mem_tlb] overrides the config's TLB knob without the caller having
+   to spell out a whole config record (the CLI's --no-mem-tlb flag). *)
+let apply_mem_tlb mem_tlb config =
+  match mem_tlb with
+  | None -> config
+  | Some on ->
+      let base = Option.value config ~default:Machine.default_config in
+      Some { base with Machine.mem_tlb = on }
+
+let run ?config ?mem_tlb ?(fuel = default_fuel) p =
+  let config = apply_mem_tlb mem_tlb config in
   let m = Machine.create ?config () in
   Program.load_machine p m;
   let stop = Machine.run m ~fuel in
@@ -54,7 +64,8 @@ let coverage_of_suite ?config ?(fuel = default_fuel) ?(jobs = 1) suite =
     (S4e_coverage.Report.create ~isa)
     reports
 
-let run_suite ?config ?fuel ?(jobs = 1) suite =
+let run_suite ?config ?mem_tlb ?fuel ?(jobs = 1) suite =
+  let config = apply_mem_tlb mem_tlb config in
   if jobs <= 1 || List.length suite <= 1 then
     List.map (fun (name, p) -> (name, run ?config ?fuel p)) suite
   else begin

@@ -13,12 +13,14 @@ type config = {
   decoder : decoder_kind;
   lower_blocks : bool;
   chain_blocks : bool;
+  mem_tlb : bool;
 }
 
 let default_config =
   { isa = [ Isa_module.I; M; A; F; C; Zicsr; B ];
     timing = Timing_model.default; use_tb_cache = true;
-    decoder = Decodetree_decoder; lower_blocks = true; chain_blocks = true }
+    decoder = Decodetree_decoder; lower_blocks = true; chain_blocks = true;
+    mem_tlb = true }
 
 type stop_reason =
   | Exited of int
@@ -97,6 +99,7 @@ let create ?(config = default_config) () =
   Bus.attach bus (Soc.Clint.device clint ~base:Soc.Memory_map.clint_base);
   Bus.attach bus (Soc.Gpio.device gpio ~base:Soc.Memory_map.gpio_base);
   Bus.attach bus (Soc.Syscon.device syscon ~base:Soc.Memory_map.syscon_base);
+  if not config.mem_tlb then Bus.set_tlb_enabled bus false;
   let state = Arch_state.create ~pc:Soc.Memory_map.ram_base () in
   state.time_source <- (fun () -> Soc.Clint.time clint);
   let decode32 = make_decoder config in
@@ -154,7 +157,10 @@ let register_metrics ?(prefix = "machine.") t reg =
   g "tb.misses" (fun () -> (Tb_cache.stats t.tb).Tb_cache.st_misses);
   g "tb.chain_hits" (fun () -> (Tb_cache.stats t.tb).Tb_cache.st_chain_hits);
   g "tb.invalidations" (fun () ->
-      (Tb_cache.stats t.tb).Tb_cache.st_invalidations)
+      (Tb_cache.stats t.tb).Tb_cache.st_invalidations);
+  g "mem.tlb_hits" (fun () -> (Bus.tlb_stats t.bus).Bus.tlb_hits);
+  g "mem.tlb_misses" (fun () -> (Bus.tlb_stats t.bus).Bus.tlb_misses);
+  g "mem.tlb_flushes" (fun () -> (Bus.tlb_stats t.bus).Bus.tlb_flushes)
 
 let reset t ~pc =
   Arch_state.reset t.state ~pc;
@@ -556,7 +562,9 @@ let restore t s =
   t.seg_idx := 0;
   t.seg_base := 0;
   t.exit_dirty := Soc.Syscon.exit_code t.syscon <> None;
-  (* Restored memory may hold different code than what was translated. *)
+  (* Restored memory may hold different code than what was translated.
+     The bus TLB is already flushed by this point: [Sparse_mem.restore]
+     fires the change hook that [Bus.create] installed. *)
   Tb_cache.flush t.tb
 
 let state_digest ?(include_time = true) t =

@@ -35,11 +35,17 @@ type config = {
           [use_tb_cache]) *)
   chain_blocks : bool;
       (** patch direct successor links between blocks ({!Tb_cache.next}) *)
+  mem_tlb : bool;
+      (** enable the bus's software TLB of direct page pointers
+          ({!S4e_mem.Bus}); off forces every access through the full
+          device-routing path.  Observable behavior is identical either
+          way (enforced by differential tests) — the knob exists as an
+          escape hatch and for benchmarking the fast path. *)
 }
 
 val default_config : config
 (** RV32IMFC + Zicsr + B, default timing, TB cache on, DecodeTree,
-    lowering and chaining on. *)
+    lowering, chaining and the memory TLB on. *)
 
 type stop_reason =
   | Exited of int  (** software wrote the syscon EXIT register *)
@@ -103,7 +109,8 @@ val profiler : t -> S4e_obs.Profile.t option
 val register_metrics : ?prefix:string -> t -> S4e_obs.Metrics.t -> unit
 (** Registers gauges over the machine's existing counters —
     [<prefix>instret], [cycles], [tb.blocks], [tb.hits], [tb.misses],
-    [tb.chain_hits], [tb.invalidations] (prefix default ["machine."]).
+    [tb.chain_hits], [tb.invalidations], [mem.tlb_hits],
+    [mem.tlb_misses], [mem.tlb_flushes] (prefix default ["machine."]).
     Gauges are read-on-demand probes: the hot path is untouched. *)
 
 val reset : t -> pc:word -> unit

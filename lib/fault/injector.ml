@@ -10,12 +10,18 @@ let flip_code m addr bit =
   let base = addr land lnot 3 in
   let w = S4e_mem.Sparse_mem.read32 ram base in
   S4e_mem.Sparse_mem.write32 ram base (Bits.flip_bit bit w);
-  S4e_cpu.Tb_cache.notify_store m.Machine.tb base
+  S4e_cpu.Tb_cache.notify_store m.Machine.tb base;
+  (* Writing through [Sparse_mem] mutates page buffers in place, so the
+     bus TLB stays content-coherent — but an injector write is exactly
+     the kind of behind-the-bus mutation the TLB contract does not
+     cover, so flush rather than rely on that implementation detail. *)
+  S4e_mem.Bus.tlb_flush m.Machine.bus
 
 let flip_data m addr bit =
   let ram = S4e_mem.Bus.ram m.Machine.bus in
   let b = S4e_mem.Sparse_mem.read8 ram addr in
-  S4e_mem.Sparse_mem.write8 ram addr (b lxor (1 lsl (bit land 7)))
+  S4e_mem.Sparse_mem.write8 ram addr (b lxor (1 lsl (bit land 7)));
+  S4e_mem.Bus.tlb_flush m.Machine.bus
 
 let flip_gpr st r bit =
   let v = S4e_cpu.Arch_state.get_reg st r in

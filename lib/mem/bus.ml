@@ -16,14 +16,73 @@ type device = {
   dev_write : int -> int -> word -> unit;
 }
 
+(* Software TLB (QEMU softmmu style): a direct-mapped table from page
+   number to the backing RAM page buffer.  A hit turns a load/store into
+   a tag compare plus direct [Bytes] access — no device scan, no
+   [Hashtbl.find_opt] (which also allocates a [Some] per call).  Misses
+   take the full routing path, which refills the entry when the page is
+   plain RAM.  Separate read/write views: read fills must never allocate
+   a page (absent pages digest differently from all-zero ones), while
+   write fills allocate exactly as a RAM store always has. *)
+let tlb_bits = 8
+let tlb_size = 1 lsl tlb_bits
+let tlb_mask = tlb_size - 1
+
+(* Placeholder buffer for empty slots; tags are reset to -1 (never a
+   valid page number) so the placeholder is never dereferenced. *)
+let no_page = Bytes.create 0
+
+type tlb_stats = { tlb_hits : int; tlb_misses : int; tlb_flushes : int }
+
 type t = {
   mem : Sparse_mem.t;
-  mutable devices : device array;
+  mutable devices : device array; (* sorted by dev_base *)
   mutable watcher : (io_access -> unit) option;
+  mutable tlb_on : bool;
+  rtag : int array;
+  rbuf : Bytes.t array;
+  wtag : int array;
+  wbuf : Bytes.t array;
+  mutable hits : int;
+  mutable misses : int;
+  mutable flushes : int;
 }
 
-let create () = { mem = Sparse_mem.create (); devices = [||]; watcher = None }
+let tlb_flush t =
+  Array.fill t.rtag 0 tlb_size (-1);
+  Array.fill t.wtag 0 tlb_size (-1);
+  Array.fill t.rbuf 0 tlb_size no_page;
+  Array.fill t.wbuf 0 tlb_size no_page;
+  t.flushes <- t.flushes + 1
+
+let create () =
+  let t =
+    { mem = Sparse_mem.create ();
+      devices = [||];
+      watcher = None;
+      tlb_on = true;
+      rtag = Array.make tlb_size (-1);
+      rbuf = Array.make tlb_size no_page;
+      wtag = Array.make tlb_size (-1);
+      wbuf = Array.make tlb_size no_page;
+      hits = 0;
+      misses = 0;
+      flushes = 0 }
+  in
+  (* Any structural change to RAM (clear, snapshot restore, bulk load)
+     invalidates cached page pointers. *)
+  Sparse_mem.set_change_hook t.mem (fun () -> tlb_flush t);
+  t
+
 let ram t = t.mem
+
+let set_tlb_enabled t on =
+  t.tlb_on <- on;
+  if not on then tlb_flush t
+
+let tlb_enabled t = t.tlb_on
+let tlb_stats t = { tlb_hits = t.hits; tlb_misses = t.misses;
+                    tlb_flushes = t.flushes }
 
 let overlaps a b =
   a.dev_base < b.dev_base + b.dev_len && b.dev_base < a.dev_base + a.dev_len
@@ -35,25 +94,48 @@ let attach t dev =
         invalid_arg
           (Printf.sprintf "Bus.attach: %s overlaps %s" dev.dev_name d.dev_name))
     t.devices;
-  t.devices <- Array.append t.devices [| dev |]
+  let devices = Array.append t.devices [| dev |] in
+  Array.sort (fun a b -> compare a.dev_base b.dev_base) devices;
+  t.devices <- devices;
+  (* the new device's pages may be cached as plain RAM *)
+  tlb_flush t
 
 let device_ranges t =
   Array.to_list
     (Array.map (fun d -> (d.dev_name, d.dev_base, d.dev_len)) t.devices)
 
-let set_io_watcher t w = t.watcher <- w
+let set_io_watcher t w =
+  t.watcher <- w;
+  (* While a watcher is installed nothing fills the TLB (conservative:
+     the IO-access analysis must stay non-invasive and exact), and
+     entries filled before it arrived must not let accesses bypass the
+     routing that the watcher observes-adjacent state depends on. *)
+  tlb_flush t
+
 let io_watcher t = t.watcher
 
+(* Binary search over the base-sorted device array: find the rightmost
+   device with [dev_base <= addr], then range-check it.  Devices are
+   attached a handful of times and consulted on every non-cached access. *)
 let find_device t addr =
-  let n = Array.length t.devices in
-  let rec go i =
-    if i >= n then None
+  let devs = t.devices in
+  let n = Array.length devs in
+  if n = 0 then None
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) and found = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      if (Array.unsafe_get devs mid).dev_base <= addr then begin
+        found := mid;
+        lo := mid + 1
+      end
+      else hi := mid - 1
+    done;
+    if !found < 0 then None
     else
-      let d = Array.unsafe_get t.devices i in
-      if addr >= d.dev_base && addr < d.dev_base + d.dev_len then Some d
-      else go (i + 1)
-  in
-  go 0
+      let d = Array.unsafe_get devs !found in
+      if addr < d.dev_base + d.dev_len then Some d else None
+  end
 
 let notify t d addr size value is_write =
   match t.watcher with
@@ -62,37 +144,226 @@ let notify t d addr size value is_write =
       f { io_addr = addr; io_size = size; io_value = value;
           io_is_write = is_write; io_device = d.dev_name }
 
-let read t addr size =
+(* A page is cacheable when no device claims any byte of it, so a TLB
+   hit is guaranteed to route exactly where the slow path would. *)
+let page_cacheable t pn =
+  let base = pn lsl Sparse_mem.page_bits in
+  let limit = base + Sparse_mem.page_size in
+  let devs = t.devices in
+  let n = Array.length devs in
+  let rec free i =
+    if i >= n then true
+    else
+      let d = Array.unsafe_get devs i in
+      if d.dev_base < limit && base < d.dev_base + d.dev_len then false
+      else free (i + 1)
+  in
+  free 0
+
+let may_fill t pn = t.tlb_on && t.watcher = None && page_cacheable t pn
+
+(* Read fill only caches pages that already exist: materialising a page
+   on a read would make read traffic observable in [Sparse_mem.digest]. *)
+let fill_read t pn =
+  if may_fill t pn then
+    match Sparse_mem.find_page t.mem pn with
+    | Some p ->
+        let i = pn land tlb_mask in
+        Array.unsafe_set t.rtag i pn;
+        Array.unsafe_set t.rbuf i p
+    | None -> ()
+
+(* Write fill allocates (a RAM store always did); the page now exists,
+   so it is valid for the read view too. *)
+let fill_write t pn =
+  if may_fill t pn then begin
+    let p = Sparse_mem.get_page t.mem pn in
+    let i = pn land tlb_mask in
+    Array.unsafe_set t.wtag i pn;
+    Array.unsafe_set t.wbuf i p;
+    Array.unsafe_set t.rtag i pn;
+    Array.unsafe_set t.rbuf i p
+  end
+
+let page_bits = Sparse_mem.page_bits
+let page_mask = Sparse_mem.page_mask
+
+let read8_slow t addr =
+  t.misses <- t.misses + 1;
   match find_device t addr with
   | Some d ->
-      let v = d.dev_read (addr - d.dev_base) size in
-      notify t d addr size v false;
+      let v = d.dev_read (addr - d.dev_base) 1 in
+      notify t d addr 1 v false;
       v
-  | None -> (
-      match size with
-      | 1 -> Sparse_mem.read8 t.mem addr
-      | 2 -> Sparse_mem.read16 t.mem addr
-      | 4 -> Sparse_mem.read32 t.mem addr
-      | _ -> invalid_arg "Bus.read: size must be 1, 2 or 4")
+  | None ->
+      fill_read t (addr lsr page_bits);
+      Sparse_mem.read8 t.mem addr
+
+(* Hit-path tag compares below fold the page match and the "access lies
+   wholly inside the page" condition into ONE compare: the entry at
+   index [i] can only ever hold a page number congruent to [i] modulo
+   [tlb_size] (that is how it was filled), so comparing the tag against
+   [(addr + width - 1) lsr page_bits] — which belongs to the NEXT
+   index class when the access crosses the page edge — can never
+   falsely match; cross-page accesses always fall to the slow path. *)
+
+let read8 t addr =
+  let addr = addr land 0xFFFF_FFFF in
+  let pn = addr lsr page_bits in
+  let i = pn land tlb_mask in
+  if Array.unsafe_get t.rtag i = pn then begin
+    t.hits <- t.hits + 1;
+    Char.code (Bytes.unsafe_get (Array.unsafe_get t.rbuf i) (addr land page_mask))
+  end
+  else read8_slow t addr
+
+let read16_slow t addr =
+  t.misses <- t.misses + 1;
+  match find_device t addr with
+  | Some d ->
+      let v = d.dev_read (addr - d.dev_base) 2 in
+      notify t d addr 2 v false;
+      v
+  | None ->
+      fill_read t (addr lsr page_bits);
+      Sparse_mem.read16 t.mem addr
+
+let read16 t addr =
+  let addr = addr land 0xFFFF_FFFF in
+  let i = (addr lsr page_bits) land tlb_mask in
+  if Array.unsafe_get t.rtag i = (addr + 1) lsr page_bits then begin
+    t.hits <- t.hits + 1;
+    Bytes.get_uint16_le (Array.unsafe_get t.rbuf i) (addr land page_mask)
+  end
+  else read16_slow t addr
+
+let read32_slow t addr =
+  t.misses <- t.misses + 1;
+  match find_device t addr with
+  | Some d ->
+      let v = d.dev_read (addr - d.dev_base) 4 in
+      notify t d addr 4 v false;
+      v
+  | None ->
+      fill_read t (addr lsr page_bits);
+      Sparse_mem.read32 t.mem addr
+
+let read32 t addr =
+  let addr = addr land 0xFFFF_FFFF in
+  let i = (addr lsr page_bits) land tlb_mask in
+  if Array.unsafe_get t.rtag i = (addr + 3) lsr page_bits then begin
+    t.hits <- t.hits + 1;
+    Int32.to_int
+      (Bytes.get_int32_le (Array.unsafe_get t.rbuf i) (addr land page_mask))
+    land 0xFFFF_FFFF
+  end
+  else read32_slow t addr
+
+let write8_slow t addr v =
+  t.misses <- t.misses + 1;
+  match find_device t addr with
+  | Some d ->
+      d.dev_write (addr - d.dev_base) 1 v;
+      notify t d addr 1 v true
+  | None ->
+      fill_write t (addr lsr page_bits);
+      Sparse_mem.write8 t.mem addr v
+
+let write8 t addr v =
+  let addr = addr land 0xFFFF_FFFF in
+  let pn = addr lsr page_bits in
+  let i = pn land tlb_mask in
+  if Array.unsafe_get t.wtag i = pn then begin
+    t.hits <- t.hits + 1;
+    Bytes.unsafe_set (Array.unsafe_get t.wbuf i) (addr land page_mask)
+      (Char.chr (v land 0xFF))
+  end
+  else write8_slow t addr v
+
+let write16_slow t addr v =
+  t.misses <- t.misses + 1;
+  match find_device t addr with
+  | Some d ->
+      d.dev_write (addr - d.dev_base) 2 v;
+      notify t d addr 2 v true
+  | None ->
+      fill_write t (addr lsr page_bits);
+      Sparse_mem.write16 t.mem addr v
+
+let write16 t addr v =
+  let addr = addr land 0xFFFF_FFFF in
+  let i = (addr lsr page_bits) land tlb_mask in
+  if Array.unsafe_get t.wtag i = (addr + 1) lsr page_bits then begin
+    t.hits <- t.hits + 1;
+    Bytes.set_uint16_le (Array.unsafe_get t.wbuf i) (addr land page_mask)
+      (v land 0xFFFF)
+  end
+  else write16_slow t addr v
+
+let write32_slow t addr v =
+  t.misses <- t.misses + 1;
+  match find_device t addr with
+  | Some d ->
+      d.dev_write (addr - d.dev_base) 4 v;
+      notify t d addr 4 v true
+  | None ->
+      fill_write t (addr lsr page_bits);
+      Sparse_mem.write32 t.mem addr v
+
+let write32 t addr v =
+  let addr = addr land 0xFFFF_FFFF in
+  let i = (addr lsr page_bits) land tlb_mask in
+  if Array.unsafe_get t.wtag i = (addr + 3) lsr page_bits then begin
+    t.hits <- t.hits + 1;
+    Bytes.set_int32_le (Array.unsafe_get t.wbuf i) (addr land page_mask)
+      (Int32.of_int v)
+  end
+  else write32_slow t addr v
+
+let read t addr size =
+  match size with
+  | 1 -> read8 t addr
+  | 2 -> read16 t addr
+  | 4 -> read32 t addr
+  | _ -> invalid_arg "Bus.read: size must be 1, 2 or 4"
 
 let write t addr size v =
-  match find_device t addr with
-  | Some d ->
-      d.dev_write (addr - d.dev_base) size v;
-      notify t d addr size v true
-  | None -> (
-      match size with
-      | 1 -> Sparse_mem.write8 t.mem addr v
-      | 2 -> Sparse_mem.write16 t.mem addr v
-      | 4 -> Sparse_mem.write32 t.mem addr v
-      | _ -> invalid_arg "Bus.write: size must be 1, 2 or 4")
+  match size with
+  | 1 -> write8 t addr v
+  | 2 -> write16 t addr v
+  | 4 -> write32 t addr v
+  | _ -> invalid_arg "Bus.write: size must be 1, 2 or 4"
 
-let read32 t addr = read t addr 4
-let read16 t addr = read t addr 2
-let read8 t addr = read t addr 1
-let write32 t addr v = write t addr 4 v
-let write16 t addr v = write t addr 2 v
-let write8 t addr v = write t addr 1 v
+(* Instruction fetch always reads RAM — never devices, never the
+   watcher — so the miss path goes straight to [Sparse_mem], but it
+   shares the read view: translation warms the same entries the load
+   fast path uses.  [fill_read] refuses device pages, preserving the
+   bypass (a fetch from a device-claimed page must not make later loads
+   to that page skip the device). *)
+let fetch32 t addr =
+  let addr = addr land 0xFFFF_FFFF in
+  let i = (addr lsr page_bits) land tlb_mask in
+  if Array.unsafe_get t.rtag i = (addr + 3) lsr page_bits then begin
+    t.hits <- t.hits + 1;
+    Int32.to_int
+      (Bytes.get_int32_le (Array.unsafe_get t.rbuf i) (addr land page_mask))
+    land 0xFFFF_FFFF
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    fill_read t (addr lsr page_bits);
+    Sparse_mem.read32 t.mem addr
+  end
 
-let fetch32 t addr = Sparse_mem.read32 t.mem addr
-let fetch16 t addr = Sparse_mem.read16 t.mem addr
+let fetch16 t addr =
+  let addr = addr land 0xFFFF_FFFF in
+  let i = (addr lsr page_bits) land tlb_mask in
+  if Array.unsafe_get t.rtag i = (addr + 1) lsr page_bits then begin
+    t.hits <- t.hits + 1;
+    Bytes.get_uint16_le (Array.unsafe_get t.rbuf i) (addr land page_mask)
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    fill_read t (addr lsr page_bits);
+    Sparse_mem.read16 t.mem addr
+  end

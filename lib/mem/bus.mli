@@ -1,10 +1,20 @@
-(** System bus: RAM plus memory-mapped devices.
+(** System bus: RAM plus memory-mapped devices, with a software TLB.
 
     The bus routes each access either to a registered device (by address
     range) or to the backing {!Sparse_mem}.  Device accesses can be
     observed through {!set_io_watcher}, which is the substrate for the
     ecosystem's non-invasive IO access analysis (MBMV 2019): watchers
-    see every device touch without the software being instrumented. *)
+    see every device touch without the software being instrumented.
+
+    Routing is accelerated by a QEMU-style software TLB: a direct-mapped
+    table of direct page pointers into RAM (separate read and write
+    views).  A hit is a tag compare plus a [Bytes] access — no device
+    scan, no hash lookup, no allocation.  Only pages free of devices are
+    ever cached, and nothing is cached while an IO watcher is installed,
+    so TLB hits are observationally identical to the slow path.  The TLB
+    is flushed on {!attach}, {!set_io_watcher}, and every structural
+    RAM change ([Sparse_mem.clear]/[restore]/[load_bytes], via the
+    sparse memory's change hook). *)
 
 type word = S4e_bits.Bits.word
 
@@ -63,6 +73,30 @@ val write8 : t -> word -> word -> unit
 
 val fetch32 : t -> word -> word
 (** Instruction fetch: always from RAM, never from devices, and not
-    reported to the IO watcher. *)
+    reported to the IO watcher.  Shares the TLB's read view with the
+    load path, so translation warms the same entries. *)
 
 val fetch16 : t -> word -> word
+
+(** {1 Software TLB control} *)
+
+val set_tlb_enabled : t -> bool -> unit
+(** Enables or disables the software TLB (enabled by default).
+    Disabling flushes it, so every access takes the full routing path —
+    the escape hatch behind the [mem_tlb] machine-config knob. *)
+
+val tlb_enabled : t -> bool
+
+val tlb_flush : t -> unit
+(** Drops every cached page pointer.  Called internally at every
+    mutation point (device attach, watcher install, RAM clear/restore/
+    bulk load); exposed for callers that mutate RAM behind the bus's
+    back and want to be explicit (e.g. fault injectors). *)
+
+type tlb_stats = {
+  tlb_hits : int;      (** accesses served by a cached page pointer *)
+  tlb_misses : int;    (** accesses that took the full routing path *)
+  tlb_flushes : int;   (** whole-table invalidations *)
+}
+
+val tlb_stats : t -> tlb_stats

@@ -2,18 +2,31 @@ let page_bits = 12
 let page_size = 1 lsl page_bits
 let page_mask = page_size - 1
 
-type t = { pages : (int, Bytes.t) Hashtbl.t }
+type t = {
+  pages : (int, Bytes.t) Hashtbl.t;
+  (* Fired whenever the page-number -> buffer mapping itself changes
+     (clear/restore/bulk load), i.e. whenever a raw page pointer handed
+     out earlier may no longer be the backing store.  The bus hangs its
+     TLB flush here so every structural mutation invalidates cached
+     page pointers without the mutator knowing a TLB exists. *)
+  mutable on_change : unit -> unit;
+}
 
-let create () = { pages = Hashtbl.create 64 }
+let create () = { pages = Hashtbl.create 64; on_change = (fun () -> ()) }
 
-let page_for m addr =
-  let key = addr lsr page_bits in
+let set_change_hook m f = m.on_change <- f
+
+let find_page m key = Hashtbl.find_opt m.pages key
+
+let get_page m key =
   match Hashtbl.find_opt m.pages key with
   | Some p -> p
   | None ->
       let p = Bytes.make page_size '\000' in
       Hashtbl.replace m.pages key p;
       p
+
+let page_for m addr = get_page m (addr lsr page_bits)
 
 let read8 m addr =
   let addr = addr land 0xFFFF_FFFF in
@@ -81,17 +94,23 @@ let write32 m addr v =
   end
 
 let load_bytes m addr s =
-  String.iteri (fun i c -> write8 m (addr + i) (Char.code c)) s
+  String.iteri (fun i c -> write8 m (addr + i) (Char.code c)) s;
+  (* byte writes keep existing buffers, but a bulk load is a natural
+     world-changed boundary (new image, new pages) — re-fill lazily *)
+  m.on_change ()
 
 let dump_bytes m addr len =
   String.init len (fun i -> Char.chr (read8 m (addr + i)))
 
-let clear m = Hashtbl.reset m.pages
+let clear m =
+  Hashtbl.reset m.pages;
+  m.on_change ()
 
 let copy m =
   let pages = Hashtbl.create (Hashtbl.length m.pages) in
   Hashtbl.iter (fun k p -> Hashtbl.replace pages k (Bytes.copy p)) m.pages;
-  { pages }
+  (* the copy is detached: nobody holds page pointers into it yet *)
+  { pages; on_change = (fun () -> ()) }
 
 type snapshot = (int, Bytes.t) Hashtbl.t
 
@@ -115,7 +134,8 @@ let restore m s =
       match Hashtbl.find_opt m.pages k with
       | Some dst -> Bytes.blit p 0 dst 0 page_size
       | None -> Hashtbl.replace m.pages k (Bytes.copy p))
-    s
+    s;
+  m.on_change ()
 
 let digest m =
   let keys = Hashtbl.fold (fun k _ acc -> k :: acc) m.pages [] in

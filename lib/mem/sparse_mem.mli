@@ -9,7 +9,32 @@ type t
 val page_size : int
 (** Bytes per page (a power of two). *)
 
+val page_bits : int
+(** [log2 page_size]; an address's page number is [addr lsr page_bits]. *)
+
+val page_mask : int
+(** [page_size - 1]; an address's in-page offset is [addr land page_mask]. *)
+
 val create : unit -> t
+
+val find_page : t -> int -> Bytes.t option
+(** [find_page m pn] is the backing buffer of page number [pn], or
+    [None] if that page was never touched.  Never allocates: absent
+    pages must stay absent so {!digest} (which distinguishes absent from
+    all-zero pages) is unaffected by read traffic. *)
+
+val get_page : t -> int -> Bytes.t
+(** [get_page m pn] is the backing buffer of page number [pn],
+    allocating a zero-filled page on first touch (same semantics as a
+    write to that page). *)
+
+val set_change_hook : t -> (unit -> unit) -> unit
+(** [set_change_hook m f] installs [f] to be called after every
+    operation that may change the page-number → buffer mapping
+    ({!clear}, {!restore}, {!load_bytes}).  Page buffers obtained from
+    {!find_page}/{!get_page} before the hook fires must be considered
+    stale afterwards.  A single hook; installing replaces the previous
+    one ({!Bus.create} owns it for TLB invalidation). *)
 
 val read8 : t -> int -> int
 (** [read8 m addr] reads one byte; untouched memory reads as zero. *)
@@ -32,7 +57,8 @@ val clear : t -> unit
 (** Drops every page. *)
 
 val copy : t -> t
-(** Deep copy; used to snapshot the golden state for fault campaigns. *)
+(** Deep copy; used to snapshot the golden state for fault campaigns.
+    The copy starts with no change hook installed. *)
 
 type snapshot
 (** A detached page-copy image of the memory at one instant. *)

@@ -986,6 +986,79 @@ buf:
          let o2 = obs (Machine.run m ~fuel:(j + 1)) in
          o1 = o2))
 
+(* TLB invalidation corners at machine level: the same phased scenario —
+   warm-up, an Io_guard stacked mid-run (installs/uninstalls the bus
+   watcher), snapshot/restore, and injector writes — must be
+   digest-identical with the software TLB on and off.  Any stale page
+   pointer surviving one of those mutation points diverges the digest. *)
+let tlb_corner_scenario mem_tlb (k1, k2, k3) =
+  let src = {|
+_start:
+  li   s0, 0
+  li   s1, 100000
+  la   s2, buf
+  li   s3, 0x10000000
+lp:
+  andi a0, s0, 63
+  add  a1, s2, a0
+  sb   s0, 0(a1)
+  lbu  a2, 0(a1)
+  xor  s4, s4, a2
+  andi a3, s0, 1023
+  bnez a3, nouart
+  li   a4, 46
+  sw   a4, 0(s3)
+nouart:
+  addi s0, s0, 1
+  blt  s0, s1, lp
+  li   t1, 0x00100000
+  sw   zero, 0(t1)
+  ebreak
+  .data
+buf:
+  .space 64
+|}
+  in
+  let p = S4e_asm.Assembler.assemble_exn src in
+  let config = { Machine.default_config with Machine.mem_tlb } in
+  let m = Machine.create ~config () in
+  S4e_asm.Program.load_machine p m;
+  (* phase 1: warm the TLB *)
+  ignore (Machine.run m ~fuel:(k1 + 1));
+  (* phase 2: stack an IO guard mid-run (watcher install must flush) *)
+  let guard =
+    S4e_core.Io_guard.attach m
+      [ { S4e_core.Io_guard.p_device = "uart"; p_allowed = [];
+          p_restrict = S4e_core.Io_guard.Restrict_writes } ]
+  in
+  ignore (Machine.run m ~fuel:(k2 + 1));
+  let violations = List.length (S4e_core.Io_guard.violations guard) in
+  S4e_core.Io_guard.detach m guard;
+  (* phase 3: snapshot, diverge, restore (restore must flush) *)
+  let snap = Machine.snapshot m in
+  ignore (Machine.run m ~fuel:(k3 + 1));
+  let diverged = Machine.state_digest m in
+  Machine.restore m snap;
+  (* phase 4: injector writes behind the bus — into the buffer the loop
+     keeps reading, so a stale read-view entry would alter the xor
+     stream — then run to completion *)
+  let buf = List.assoc "buf" p.S4e_asm.Program.symbols in
+  let armed =
+    S4e_fault.Injector.arm m
+      { S4e_fault.Fault.loc = S4e_fault.Fault.Data (buf + 7, 3);
+        kind = S4e_fault.Fault.Permanent }
+  in
+  S4e_fault.Injector.disarm m armed;
+  let stop = Machine.run m ~fuel:2_000_000 in
+  (stop, violations, diverged, Machine.uart_output m, Machine.state_digest m)
+
+let tlb_corners_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"TLB on/off agree across invalidation corners"
+       ~count:20
+       QCheck.(triple (int_bound 5_000) (int_bound 5_000) (int_bound 5_000))
+       (fun ks -> tlb_corner_scenario true ks = tlb_corner_scenario false ks))
+
 let test_mret_restores_mie () =
   let st = State.create () in
   State.set_mie_bit st false;
@@ -1043,4 +1116,5 @@ let () =
           Alcotest.test_case "cache model unit" `Quick test_cache_model_unit;
           Alcotest.test_case "cache model attached" `Quick
             test_cache_model_attached;
-          snapshot_replay_prop ] ) ]
+          snapshot_replay_prop;
+          tlb_corners_prop ] ) ]

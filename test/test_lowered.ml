@@ -8,7 +8,9 @@
    on every program, including ones that trap, take timer interrupts,
    sleep in WFI, rewrite their own code, and run compressed.  These
    tests drive all engines over hand-written corner cases and random
-   torture programs and compare. *)
+   torture programs and compare.  A TLB-off variant of the default
+   engine rides along so the same cases also pin down the bus's
+   software TLB (lib/mem/bus.ml). *)
 
 module Machine = S4e_cpu.Machine
 module Torture = S4e_torture.Torture
@@ -18,12 +20,16 @@ let prop ?(count = 25) name gen f =
 
 let seed_gen = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100_000)
 
-(* The four engines under comparison.  [lowered] is the default config. *)
+(* The engines under comparison.  [lowered] is the default config;
+   [tlb-off] is the default engine with the bus's software TLB disabled,
+   so every differential case also proves the memory fast path is
+   observationally inert. *)
 let engines =
   [ ("lowered", Machine.default_config);
     ("unchained", { Machine.default_config with Machine.chain_blocks = false });
     ("generic-tb", { Machine.default_config with Machine.lower_blocks = false });
-    ("single-step", { Machine.default_config with Machine.use_tb_cache = false })
+    ("single-step", { Machine.default_config with Machine.use_tb_cache = false });
+    ("tlb-off", { Machine.default_config with Machine.mem_tlb = false })
   ]
 
 type outcome = {

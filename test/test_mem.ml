@@ -118,6 +118,220 @@ let test_invalid_size () =
     (Invalid_argument "Bus.write: size must be 1, 2 or 4") (fun () ->
       Bus.write bus 0 3 0)
 
+let test_find_device_sorted () =
+  (* Attach in unsorted base order; the binary search must route every
+     boundary of every device correctly. *)
+  let bus = Bus.create () in
+  let bases = [ 0x9000; 0x2000; 0x6000; 0x4000; 0x8000 ] in
+  let devs = List.map (fun b -> (b, dummy_device (Printf.sprintf "d%x" b) b)) bases in
+  List.iter (fun (_, (d, _)) -> Bus.attach bus d) devs;
+  List.iter
+    (fun (base, (_, stored)) ->
+      stored := base lor 1;
+      Alcotest.(check int) "first byte routes" (base lor 1) (Bus.read32 bus base);
+      Alcotest.(check int) "last byte routes" (base lor 1)
+        (Bus.read8 bus (base + 0xF));
+      (* one past the end is RAM, reads as zero *)
+      Alcotest.(check int) "past end is ram" 0 (Bus.read8 bus (base + 0x10));
+      Alcotest.(check int) "before start is ram" 0 (Bus.read8 bus (base - 1)))
+    devs
+
+(* ---------------- software TLB ---------------- *)
+
+let test_tlb_hit_miss_counting () =
+  let bus = Bus.create () in
+  Bus.write32 bus 0x8000_0000 7;
+  let s1 = Bus.tlb_stats bus in
+  Alcotest.(check int) "first write misses" 0 s1.Bus.tlb_hits;
+  Bus.write32 bus 0x8000_0004 8;
+  ignore (Bus.read32 bus 0x8000_0000);
+  let s2 = Bus.tlb_stats bus in
+  Alcotest.(check bool) "warm accesses hit" true (s2.Bus.tlb_hits >= 2);
+  Bus.tlb_flush bus;
+  let f = (Bus.tlb_stats bus).Bus.tlb_flushes in
+  ignore (Bus.read32 bus 0x8000_0000);
+  let s3 = Bus.tlb_stats bus in
+  Alcotest.(check int) "flush counted" f s3.Bus.tlb_flushes;
+  Alcotest.(check bool) "post-flush access misses" true
+    (s3.Bus.tlb_misses > s2.Bus.tlb_misses)
+
+let test_tlb_disabled_never_hits () =
+  let bus = Bus.create () in
+  Bus.set_tlb_enabled bus false;
+  Alcotest.(check bool) "reports disabled" false (Bus.tlb_enabled bus);
+  Bus.write32 bus 0x8000_0000 7;
+  ignore (Bus.read32 bus 0x8000_0000);
+  ignore (Bus.read32 bus 0x8000_0000);
+  Alcotest.(check int) "no hits" 0 (Bus.tlb_stats bus).Bus.tlb_hits
+
+let test_tlb_read_never_allocates () =
+  (* Read traffic must not materialise pages: [Sparse_mem.digest]
+     distinguishes absent from all-zero pages, and campaign convergence
+     checks compare digests of machines with different read histories. *)
+  let bus = Bus.create () in
+  let d0 = Mem.digest (Bus.ram bus) in
+  for i = 0 to 99 do
+    ignore (Bus.read32 bus (0x8000_0000 + (i * 4)));
+    ignore (Bus.read32 bus (0x8000_0000 + (i * 4)))
+  done;
+  Alcotest.(check int) "no pages allocated" 0 (Mem.touched_pages (Bus.ram bus));
+  Alcotest.(check string) "digest unchanged" d0 (Mem.digest (Bus.ram bus))
+
+let test_tlb_attach_invalidates () =
+  (* Warm the TLB on a page, then attach a device covering it: cached
+     page pointers must not let accesses bypass the new device. *)
+  let bus = Bus.create () in
+  Bus.write32 bus 0x4000 123;
+  Alcotest.(check int) "warm read" 123 (Bus.read32 bus 0x4000);
+  let dev, stored = dummy_device "late" 0x4000 in
+  Bus.attach bus dev;
+  stored := 777;
+  Alcotest.(check int) "read routes to late device" 777 (Bus.read32 bus 0x4000);
+  Bus.write32 bus 0x4000 555;
+  Alcotest.(check int) "write routes to late device" 555 !stored;
+  Alcotest.(check int) "ram under device untouched" 123
+    (Mem.read32 (Bus.ram bus) 0x4000)
+
+let test_tlb_watcher_blocks_caching () =
+  (* While an IO watcher is installed nothing may be cached; installing
+     one must also drop existing entries. *)
+  let bus = Bus.create () in
+  Bus.write32 bus 0x8000_0000 1;
+  ignore (Bus.read32 bus 0x8000_0000);
+  Bus.set_io_watcher bus (Some (fun _ -> ()));
+  let s1 = Bus.tlb_stats bus in
+  ignore (Bus.read32 bus 0x8000_0000);
+  ignore (Bus.read32 bus 0x8000_0000);
+  let s2 = Bus.tlb_stats bus in
+  Alcotest.(check int) "no hits while watched" s1.Bus.tlb_hits s2.Bus.tlb_hits;
+  Bus.set_io_watcher bus None;
+  ignore (Bus.read32 bus 0x8000_0000);
+  ignore (Bus.read32 bus 0x8000_0000);
+  let s3 = Bus.tlb_stats bus in
+  Alcotest.(check bool) "hits resume after detach" true
+    (s3.Bus.tlb_hits > s2.Bus.tlb_hits)
+
+let test_tlb_restore_invalidates () =
+  (* Snapshot restore swaps page contents (and possibly buffers) behind
+     the bus; the change hook must flush cached pointers. *)
+  let bus = Bus.create () in
+  Bus.write32 bus 0x8000_0000 1;
+  let snap = Mem.snapshot (Bus.ram bus) in
+  Bus.write32 bus 0x8000_0000 2;
+  Bus.write32 bus 0x9000_0000 3;
+  ignore (Bus.read32 bus 0x9000_0000);
+  Mem.restore (Bus.ram bus) snap;
+  Alcotest.(check int) "restored value visible" 1 (Bus.read32 bus 0x8000_0000);
+  Alcotest.(check int) "post-snapshot page gone" 0 (Bus.read32 bus 0x9000_0000);
+  Alcotest.(check int) "page count rewound" 1 (Mem.touched_pages (Bus.ram bus))
+
+(* Differential: a TLB-on bus and a TLB-off bus fed the same operation
+   stream must return the same values and end with digest-identical RAM.
+   Addresses mix page boundaries, the device window, its surrounding
+   page, and the 32-bit wrap. *)
+let tlb_ops_gen =
+  let open QCheck.Gen in
+  let addr =
+    frequency
+      [ (2, oneofl
+             [ 0x0; 0xFFE; 0xFFF; 0x3FFC; 0x4000; 0x4008; 0x400F; 0x4010;
+               0x4FFF; 0x8000_0FFE; 0x8000_0FFF; 0xFFFF_FFFE; 0xFFFF_FFFF ]);
+        (4, map (fun i -> 0x8000_0000 lor (i land 0x3FFF)) int);
+        (1, map (fun i -> i land 0xFFFF_FFFF) int) ]
+  in
+  let op = triple (int_bound 5) addr (map (fun i -> i land 0xFFFF_FFFF) int) in
+  list_size (int_range 1 120) op
+
+let tlb_ops_print ops =
+  String.concat ";"
+    (List.map (fun (k, a, v) -> Printf.sprintf "(%d,0x%x,0x%x)" k a v) ops)
+
+let size_of_kind k = match k mod 3 with 0 -> 1 | 1 -> 2 | _ -> 4
+
+let run_ops bus ops =
+  List.map
+    (fun (k, a, v) ->
+      let size = size_of_kind k in
+      if k < 3 then Bus.read bus a size
+      else begin
+        Bus.write bus a size v;
+        0
+      end)
+    ops
+
+let tlb_differential =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"bus: TLB on/off differential" ~count:300
+       (QCheck.make ~print:tlb_ops_print tlb_ops_gen)
+       (fun ops ->
+         let mk on =
+           let bus = Bus.create () in
+           Bus.set_tlb_enabled bus on;
+           let dev, stored = dummy_device "dev" 0x4000 in
+           Bus.attach bus dev;
+           (bus, stored)
+         in
+         let bus_on, st_on = mk true in
+         let bus_off, st_off = mk false in
+         let r_on = run_ops bus_on ops in
+         let r_off = run_ops bus_off ops in
+         r_on = r_off && !st_on = !st_off
+         && Mem.digest (Bus.ram bus_on) = Mem.digest (Bus.ram bus_off)))
+
+(* ---------------- sparse memory vs. byte-at-a-time model ---------------- *)
+
+(* Reference model: a plain [addr -> byte] table.  Every multi-byte
+   access of the real memory must equal composing byte accesses at
+   [(addr + i) land 0xFFFF_FFFF] — including across page boundaries and
+   the 32-bit wrap at 0xFFFF_FFFE. *)
+let ref_read8 tbl a =
+  match Hashtbl.find_opt tbl (a land 0xFFFF_FFFF) with
+  | Some b -> b
+  | None -> 0
+
+let ref_write8 tbl a v = Hashtbl.replace tbl (a land 0xFFFF_FFFF) (v land 0xFF)
+
+let ref_read tbl a size =
+  let r = ref 0 in
+  for i = size - 1 downto 0 do
+    r := (!r lsl 8) lor ref_read8 tbl (a + i)
+  done;
+  !r
+
+let ref_write tbl a size v =
+  for i = 0 to size - 1 do
+    ref_write8 tbl (a + i) ((v lsr (8 * i)) land 0xFF)
+  done
+
+let sparse_model_differential =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"sparse: matches byte-at-a-time model" ~count:300
+       (QCheck.make ~print:tlb_ops_print tlb_ops_gen)
+       (fun ops ->
+         let m = Mem.create () in
+         let tbl = Hashtbl.create 64 in
+         List.for_all
+           (fun (k, a, v) ->
+             let size = size_of_kind k in
+             if k < 3 then begin
+               let got =
+                 match size with
+                 | 1 -> Mem.read8 m a
+                 | 2 -> Mem.read16 m a
+                 | _ -> Mem.read32 m a
+               in
+               got = ref_read tbl a size
+             end
+             else begin
+               (match size with
+               | 1 -> Mem.write8 m a v
+               | 2 -> Mem.write16 m a v
+               | _ -> Mem.write32 m a v);
+               ref_write tbl a size v;
+               true
+             end)
+           ops))
+
 let props =
   [ prop "read32 after write32 roundtrips"
       (QCheck.pair addr_gen Gen.word32)
@@ -159,5 +373,21 @@ let () =
           Alcotest.test_case "watcher" `Quick test_bus_watcher;
           Alcotest.test_case "fetch bypasses devices" `Quick
             test_fetch_bypasses_devices;
-          Alcotest.test_case "invalid size" `Quick test_invalid_size ] );
-      ("properties", props) ]
+          Alcotest.test_case "invalid size" `Quick test_invalid_size;
+          Alcotest.test_case "find_device binary search" `Quick
+            test_find_device_sorted ] );
+      ( "tlb",
+        [ Alcotest.test_case "hit/miss/flush counting" `Quick
+            test_tlb_hit_miss_counting;
+          Alcotest.test_case "disabled never hits" `Quick
+            test_tlb_disabled_never_hits;
+          Alcotest.test_case "reads never allocate pages" `Quick
+            test_tlb_read_never_allocates;
+          Alcotest.test_case "device attach invalidates" `Quick
+            test_tlb_attach_invalidates;
+          Alcotest.test_case "io watcher blocks caching" `Quick
+            test_tlb_watcher_blocks_caching;
+          Alcotest.test_case "snapshot restore invalidates" `Quick
+            test_tlb_restore_invalidates;
+          tlb_differential ] );
+      ("properties", sparse_model_differential :: props) ]

@@ -205,6 +205,34 @@ let () =
     (Printf.sprintf "%s run %s --cache-stats" s4e loop)
     ~expect_code:0
     ~expect_substrings:[ "chain hits"; "invalidations" ];
+  check "run --cache-stats reports the memory TLB"
+    (Printf.sprintf "%s run %s --cache-stats" s4e loop)
+    ~expect_code:0
+    ~expect_substrings:[ "mem tlb:"; "flushes" ];
+  check "run --no-mem-tlb matches the default output"
+    (Printf.sprintf
+       "{ a=$(%s run %s); b=$(%s run %s --no-mem-tlb); [ \"$a\" = \"$b\" ] \
+        && echo TLB-OUTPUT-MATCH; }"
+       s4e hello s4e hello)
+    ~expect_code:0
+    ~expect_substrings:[ "TLB-OUTPUT-MATCH" ];
+  check "run --no-mem-tlb --cache-stats shows a cold TLB"
+    (Printf.sprintf "%s run %s --no-mem-tlb --cache-stats" s4e loop)
+    ~expect_code:0
+    ~expect_substrings:[ "mem tlb: 0 hits" ];
+  check "run --metrics includes TLB gauges"
+    (Printf.sprintf "%s run %s --metrics -" s4e loop)
+    ~expect_code:0
+    ~expect_substrings:
+      [ "\"machine.mem.tlb_hits\""; "\"machine.mem.tlb_flushes\"" ];
+  check "torture --no-mem-tlb agrees with the default"
+    (Printf.sprintf
+       "{ a=$(%s torture --seed 3 --count 4); b=$(%s torture --seed 3 \
+        --count 4 --no-mem-tlb); [ \"$a\" = \"$b\" ] && echo \
+        TORTURE-TLB-MATCH; }"
+       s4e s4e)
+    ~expect_code:0
+    ~expect_substrings:[ "TORTURE-TLB-MATCH" ];
   check "profile subcommand prints the ranked report"
     (Printf.sprintf "%s profile %s" s4e loop)
     ~expect_code:0
