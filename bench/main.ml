@@ -1,5 +1,5 @@
 (* The experiment harness: regenerates every table and figure of the
-   reproduction (E1..E13, see DESIGN.md for the per-experiment index and
+   reproduction (E1..E16, see DESIGN.md for the per-experiment index and
    EXPERIMENTS.md for paper-vs-measured).
 
    Usage:  dune exec bench/main.exe                    # all experiments
@@ -829,13 +829,19 @@ let e13 () =
   section "E13"
     "closure-lowered translation blocks: lowering, chaining, batching";
   let fuel = 1_000_000 in
+  (* superblocks pinned off in every arm: this experiment isolates the
+     lowering and chaining axes; the trace layer on top is E16's *)
   let generic_cfg =
-    { Machine.default_config with Machine.lower_blocks = false }
+    { Machine.default_config with
+      Machine.lower_blocks = false; superblocks = false }
   in
   let lowered_cfg =
-    { Machine.default_config with Machine.chain_blocks = false }
+    { Machine.default_config with
+      Machine.chain_blocks = false; superblocks = false }
   in
-  let chained_cfg = Machine.default_config in
+  let chained_cfg =
+    { Machine.default_config with Machine.superblocks = false }
+  in
   let finish p config =
     let m = Machine.create ~config () in
     S4e_asm.Program.load_machine p m;
@@ -1205,10 +1211,148 @@ let e15 () =
      device scan, no hash lookup, no allocation; digest-identical to \
      the TLB-off run on every engine — asserted above)\n"
 
+(* ------------------------------------------------------------------ *)
+(* E16: profile-guided superblock traces over the chained engine        *)
+
+let e16 () =
+  section "E16"
+    "superblock traces: hot chained paths recompiled as guarded traces";
+  let fuel = 2_000_000 in
+  let on_cfg = Machine.default_config in
+  let off_cfg = { Machine.default_config with Machine.superblocks = false } in
+  (* min-of-3 wall clock, as in E13 *)
+  let time f =
+    let once () =
+      let t0 = Unix.gettimeofday () in
+      f ();
+      Unix.gettimeofday () -. t0
+    in
+    let t1 = once () in
+    let t2 = once () in
+    let t3 = once () in
+    List.fold_left min t1 [ t2; t3 ]
+  in
+  (* the compute/branchy suite: loop-dominated kernels whose hot paths
+     chain (the trace layer's target); branchy is the adversarial case
+     with biased condition ladders and side paths *)
+  let programs =
+    [ Workloads.branchy; Workloads.mix; Workloads.dhrystone;
+      Workloads.bubble_sort; Workloads.matmul; Workloads.crc32 ]
+    |> List.map (fun w -> (w.Workloads.w_name, Workloads.program w))
+  in
+  Printf.printf "%-10s %10s %9s %9s %7s %7s %8s %7s %7s\n" "workload"
+    "instrs" "sb-off" "sb-on" "traces" "traced%" "bail%" "ins/run" "speedup";
+  Printf.printf "%-10s %10s %9s %9s %7s %7s %8s %7s %7s\n" "" "" "(MIPS)"
+    "(MIPS)" "" "" "" "" "";
+  let ratios =
+    List.map
+      (fun (name, p) ->
+        (* correctness gate before timing: traces on must be
+           digest-identical (cycles and mtime included) to every other
+           engine configuration *)
+        let finish config =
+          let m = Machine.create ~config () in
+          S4e_asm.Program.load_machine p m;
+          ignore (Machine.run m ~fuel);
+          m
+        in
+        let m_ref = finish on_cfg in
+        let d_ref = Machine.state_digest ~include_time:true m_ref in
+        List.iter
+          (fun (ename, config) ->
+            let m = finish config in
+            if Machine.state_digest ~include_time:true m <> d_ref then
+              failwith
+                (Printf.sprintf "E16: %s digest mismatch on %s" ename name))
+          [ ("sb-off", off_cfg);
+            ("sb-off tlb-off", { off_cfg with Machine.mem_tlb = false });
+            ("unchained", { off_cfg with Machine.chain_blocks = false });
+            ("generic-tb", { off_cfg with Machine.lower_blocks = false });
+            ("single-step", { off_cfg with Machine.use_tb_cache = false }) ];
+        let n1 = Machine.instret m_ref in
+        (* steady-state rep sizing, as in E13: reset keeps RAM and the
+           warm TB cache — and with it the promoted traces *)
+        let reps = max 1 (200_000 / max n1 1) in
+        let run config () =
+          let m = Machine.create ~config () in
+          S4e_asm.Program.load_machine p m;
+          let entry = m.Machine.state.S4e_cpu.Arch_state.pc in
+          ignore (Machine.run m ~fuel);
+          for _ = 2 to reps do
+            Machine.reset m ~pc:entry;
+            ignore (Machine.run m ~fuel)
+          done;
+          m
+        in
+        let n =
+          let m = Machine.create ~config:on_cfg () in
+          S4e_asm.Program.load_machine p m;
+          let entry = m.Machine.state.S4e_cpu.Arch_state.pc in
+          let tot = ref 0 in
+          ignore (Machine.run m ~fuel);
+          tot := !tot + Machine.instret m;
+          for _ = 2 to reps do
+            Machine.reset m ~pc:entry;
+            ignore (Machine.run m ~fuel);
+            tot := !tot + Machine.instret m
+          done;
+          !tot
+        in
+        let mips t = float_of_int n /. t /. 1e6 in
+        let t_off = time (fun () -> ignore (run off_cfg ())) in
+        let t_on = time (fun () -> ignore (run on_cfg ())) in
+        (* trace behavior over the same rep sequence *)
+        let m_on = run on_cfg () in
+        let st = Option.get (Machine.trace_stats m_on) in
+        let traced_pct =
+          pct (float_of_int st.S4e_cpu.Superblock.sb_instrs
+               /. float_of_int (max 1 n))
+        in
+        let bail_pct =
+          pct
+            (float_of_int
+               (st.S4e_cpu.Superblock.sb_execs
+               - st.S4e_cpu.Superblock.sb_completions)
+            /. float_of_int (max 1 st.S4e_cpu.Superblock.sb_execs))
+        in
+        let per_run =
+          float_of_int st.S4e_cpu.Superblock.sb_instrs
+          /. float_of_int (max 1 st.S4e_cpu.Superblock.sb_execs)
+        in
+        let speedup = t_off /. t_on in
+        Printf.printf
+          "%-10s %10d %9.2f %9.2f %7d %6.1f%% %7.1f%% %7.1f %6.2fx\n" name n
+          (mips t_off) (mips t_on) st.S4e_cpu.Superblock.sb_promotions
+          traced_pct bail_pct per_run speedup;
+        record ~exp:"e16" ~name:(name ^ "/sb-off-mips") ~value:(mips t_off)
+          ~unit_:"MIPS";
+        record ~exp:"e16" ~name:(name ^ "/sb-on-mips") ~value:(mips t_on)
+          ~unit_:"MIPS";
+        record ~exp:"e16" ~name:(name ^ "/traced-instr-share")
+          ~value:traced_pct ~unit_:"%";
+        record ~exp:"e16" ~name:(name ^ "/speedup") ~value:speedup
+          ~unit_:"ratio";
+        speedup)
+      programs
+  in
+  let geomean =
+    exp (List.fold_left (fun a r -> a +. log r) 0.0 ratios
+         /. float_of_int (List.length ratios))
+  in
+  record ~exp:"e16" ~name:"geomean-speedup" ~value:geomean ~unit_:"ratio";
+  Printf.printf
+    "geomean speedup (superblock traces over the chained engine): %.2fx\n"
+    geomean;
+  Printf.printf
+    "(hot chain edges recompiled into guarded cross-block traces: fused \
+     address constants and compare+branch pairs, batched accounting; \
+     side exits restore exact architectural state — digest-identical \
+     to every other engine, asserted above)\n"
+
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15) ]
+    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16) ]
 
 let () =
   let rec parse json names = function

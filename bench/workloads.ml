@@ -488,6 +488,52 @@ ring:
   .space 1024
 |} }
 
+(* Branch-dense hot loop: a ladder of mostly-one-way conditions
+   (biased taken/not-taken), lui/addi-built data addresses, and a rare
+   store-reload — the shape superblock traces target.  Used by E16 and
+   kept out of [all] (like [stream]/[pchase]: a throughput workload,
+   not a WCET kernel). *)
+let branchy =
+  { w_name = "branchy";
+    w_expect = Some 217795364;
+    w_annotations = [];
+    w_source =
+      {|
+_start:
+  li   s0, 0            # main accumulator
+  li   s1, 0            # rare-path accumulator
+  li   s2, 100000       # saturation threshold
+  li   t0, 60000
+loop:
+  andi t1, t0, 7
+  beqz t1, rare         # 1-in-8 side path
+  addi s0, s0, 3
+  j    join
+rare:
+  addi s1, s1, 5
+join:
+  andi t2, t0, 1
+  bnez t2, odd          # alternating condition
+  xori s0, s0, 0x55
+odd:
+  andi t3, t0, 15
+  bnez t3, nostore      # 1-in-16 store-reload round trip
+  lui  t4, 0x00200
+  addi t4, t4, 0x180
+  sw   s0, 0(t4)
+  lw   t5, 0(t4)
+  add  s1, s1, t5
+nostore:
+  slt  t4, s0, s2       # saturation guard, almost always passes
+  bnez t4, next
+  srai s0, s0, 1
+next:
+  addi t0, t0, -1
+  bnez t0, loop
+  add  a0, s0, s1
+|}
+      ^ exit_with "a0" }
+
 let all = [ bubble_sort; matmul; crc32; fib; search; calls ]
 
 let program w = S4e_asm.Assembler.assemble_exn w.w_source

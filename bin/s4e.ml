@@ -80,11 +80,25 @@ let run_cmd =
            ~doc:"Write a metrics-registry snapshot (JSON) to FILE after the \
                  run; '-' for stdout.")
   in
-  let action file fuel trace input cache_stats profile metrics no_mem_tlb =
+  let no_superblocks_arg =
+    Arg.(value & flag & info [ "no-superblocks" ]
+           ~doc:"Disable superblock trace promotion (hot chained paths \
+                 recompiled into guarded cross-block traces). Observable \
+                 behavior is identical; this is the escape hatch / \
+                 benchmarking knob.")
+  in
+  let trace_stats_arg =
+    Arg.(value & flag & info [ "trace-stats" ]
+           ~doc:"Report superblock trace statistics (promotions, \
+                 completions, bail-out breakdown) after the run.")
+  in
+  let action file fuel trace input cache_stats profile metrics no_mem_tlb
+      no_superblocks trace_stats =
     let p = assemble_file file in
     let config =
       { S4e_cpu.Machine.default_config with
-        S4e_cpu.Machine.mem_tlb = not no_mem_tlb }
+        S4e_cpu.Machine.mem_tlb = not no_mem_tlb;
+        superblocks = not no_superblocks }
     in
     let m = S4e_cpu.Machine.create ~config () in
     let tracer =
@@ -139,6 +153,16 @@ let run_cmd =
           ts.S4e_cpu.Tb_cache.st_blocks ts.S4e_cpu.Tb_cache.st_hits
           ts.S4e_cpu.Tb_cache.st_misses ts.S4e_cpu.Tb_cache.st_chain_hits
           ts.S4e_cpu.Tb_cache.st_invalidations;
+        (match S4e_cpu.Tb_cache.hot_edges m.S4e_cpu.Machine.tb with
+        | [] -> ()
+        | edges ->
+            Format.printf "hot chain edges:@.";
+            List.iteri
+              (fun i (src, dst, hits) ->
+                if i < 10 then
+                  Format.printf "  0x%08x -> 0x%08x %10d traversals@." src
+                    dst hits)
+              edges);
         let ms = S4e_mem.Bus.tlb_stats m.S4e_cpu.Machine.bus in
         let total = ms.S4e_mem.Bus.tlb_hits + ms.S4e_mem.Bus.tlb_misses in
         Format.printf
@@ -148,6 +172,26 @@ let run_cmd =
           (if total = 0 then 0.0
            else 100.0 *. float_of_int ms.S4e_mem.Bus.tlb_hits
                 /. float_of_int total));
+    (if trace_stats then
+       match S4e_cpu.Machine.trace_stats m with
+       | None ->
+           Format.printf "superblocks: disabled (engine config)@."
+       | Some s ->
+           Format.printf
+             "superblocks: %d live traces, %d promotions, %d invalidations@."
+             s.S4e_cpu.Superblock.sb_live s.S4e_cpu.Superblock.sb_promotions
+             s.S4e_cpu.Superblock.sb_invalidations;
+           Format.printf
+             "trace runs: %d (%d completed), %d instructions inside traces@."
+             s.S4e_cpu.Superblock.sb_execs
+             s.S4e_cpu.Superblock.sb_completions
+             s.S4e_cpu.Superblock.sb_instrs;
+           Format.printf
+             "bail-outs: %d guard, %d irq, %d invalidated, %d trap@."
+             s.S4e_cpu.Superblock.sb_bail_guard
+             s.S4e_cpu.Superblock.sb_bail_irq
+             s.S4e_cpu.Superblock.sb_bail_dead
+             s.S4e_cpu.Superblock.sb_bail_trap);
     (match prof with
     | None -> ()
     | Some prof ->
@@ -172,7 +216,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Assemble and execute a program on the virtual prototype.")
     Term.(const action $ file_arg $ fuel_arg $ trace_arg $ input_arg
-          $ cache_arg $ profile_arg $ metrics_arg $ no_mem_tlb_arg)
+          $ cache_arg $ profile_arg $ metrics_arg $ no_mem_tlb_arg
+          $ no_superblocks_arg $ trace_stats_arg)
 
 (* ---------------- profile ---------------- *)
 
@@ -687,8 +732,13 @@ let torture_cmd =
            ~doc:"Generate and run N programs with seeds SEED..SEED+N-1 \
                  (domain-parallel with --jobs).")
   in
-  let action seed segments compress out count jobs no_mem_tlb =
+  let no_sb_arg =
+    Arg.(value & flag & info [ "no-superblocks" ]
+           ~doc:"Disable superblock trace promotion for the runs.")
+  in
+  let action seed segments compress out count jobs no_mem_tlb no_sb =
     let mem_tlb = not no_mem_tlb in
+    let superblocks = not no_sb in
     let cfg_of seed =
       { S4e_torture.Torture.default_config with
         S4e_torture.Torture.seed; segments; compress }
@@ -700,8 +750,8 @@ let torture_cmd =
       | Some path -> S4e_asm.Program.save p path
       | None -> ());
       let r =
-        S4e_core.Flows.run ~mem_tlb ~fuel:(S4e_torture.Torture.fuel_bound cfg)
-          p
+        S4e_core.Flows.run ~mem_tlb ~superblocks
+          ~fuel:(S4e_torture.Torture.fuel_bound cfg) p
       in
       Format.printf "torture seed=%d: %a; %d instructions@." seed
         S4e_cpu.Machine.pp_stop_reason r.S4e_core.Flows.rr_stop
@@ -714,7 +764,9 @@ let torture_cmd =
             let s = seed + i in
             (string_of_int s, S4e_torture.Torture.generate (cfg_of s)))
       in
-      let results = S4e_core.Flows.run_suite ~mem_tlb ~fuel ~jobs suite in
+      let results =
+        S4e_core.Flows.run_suite ~mem_tlb ~superblocks ~fuel ~jobs suite
+      in
       List.iter
         (fun (name, r) ->
           Format.printf "torture seed=%s: %a; %d instructions@." name
@@ -726,7 +778,7 @@ let torture_cmd =
   Cmd.v
     (Cmd.info "torture" ~doc:"Generate and run random test programs.")
     Term.(const action $ seed_arg $ segments_arg $ compress_arg $ out_arg
-          $ count_arg $ jobs_arg $ no_mem_tlb_arg)
+          $ count_arg $ jobs_arg $ no_mem_tlb_arg $ no_sb_arg)
 
 (* ---------------- bmi ---------------- *)
 

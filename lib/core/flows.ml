@@ -12,17 +12,22 @@ type run_result = {
 
 let default_fuel = 10_000_000
 
-(* [?mem_tlb] overrides the config's TLB knob without the caller having
-   to spell out a whole config record (the CLI's --no-mem-tlb flag). *)
-let apply_mem_tlb mem_tlb config =
-  match mem_tlb with
+(* [?mem_tlb] / [?superblocks] override single config knobs without the
+   caller having to spell out a whole config record (the CLI's
+   --no-mem-tlb / --no-superblocks flags). *)
+let apply_knob knob set config =
+  match knob with
   | None -> config
   | Some on ->
       let base = Option.value config ~default:Machine.default_config in
-      Some { base with Machine.mem_tlb = on }
+      Some (set base on)
 
-let run ?config ?mem_tlb ?(fuel = default_fuel) p =
-  let config = apply_mem_tlb mem_tlb config in
+let apply_knobs mem_tlb superblocks config =
+  apply_knob mem_tlb (fun c on -> { c with Machine.mem_tlb = on }) config
+  |> apply_knob superblocks (fun c on -> { c with Machine.superblocks = on })
+
+let run ?config ?mem_tlb ?superblocks ?(fuel = default_fuel) p =
+  let config = apply_knobs mem_tlb superblocks config in
   let m = Machine.create ?config () in
   Program.load_machine p m;
   let stop = Machine.run m ~fuel in
@@ -64,8 +69,8 @@ let coverage_of_suite ?config ?(fuel = default_fuel) ?(jobs = 1) suite =
     (S4e_coverage.Report.create ~isa)
     reports
 
-let run_suite ?config ?mem_tlb ?fuel ?(jobs = 1) suite =
-  let config = apply_mem_tlb mem_tlb config in
+let run_suite ?config ?mem_tlb ?superblocks ?fuel ?(jobs = 1) suite =
+  let config = apply_knobs mem_tlb superblocks config in
   if jobs <= 1 || List.length suite <= 1 then
     List.map (fun (name, p) -> (name, run ?config ?fuel p)) suite
   else begin

@@ -17,11 +17,12 @@ type run_result = {
 }
 
 val run :
-  ?config:S4e_cpu.Machine.config -> ?mem_tlb:bool -> ?fuel:int ->
-  S4e_asm.Program.t -> run_result
-(** Default fuel: 10 million instructions.  [mem_tlb] overrides the
-    config's software-TLB knob (see {!S4e_cpu.Machine.config}) without
-    the caller having to build a config record. *)
+  ?config:S4e_cpu.Machine.config -> ?mem_tlb:bool -> ?superblocks:bool ->
+  ?fuel:int -> S4e_asm.Program.t -> run_result
+(** Default fuel: 10 million instructions.  [mem_tlb] and [superblocks]
+    override the config's software-TLB / superblock-trace knobs (see
+    {!S4e_cpu.Machine.config}) without the caller having to build a
+    config record. *)
 
 (** {1 Coverage} *)
 
@@ -39,12 +40,13 @@ val coverage_of_suite :
 val run_suite :
   ?config:S4e_cpu.Machine.config ->
   ?mem_tlb:bool ->
+  ?superblocks:bool ->
   ?fuel:int ->
   ?jobs:int ->
   (string * S4e_asm.Program.t) list ->
   (string * run_result) list
 (** [run] over a whole suite, optionally domain-parallel; results keep
-    suite order.  [mem_tlb] as in {!run}. *)
+    suite order.  [mem_tlb] and [superblocks] as in {!run}. *)
 
 (** {1 WCET (the QTA flow)} *)
 

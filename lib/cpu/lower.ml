@@ -20,6 +20,38 @@ type ctx = {
   lx_dev_limit : word;
 }
 
+(* Width/sign dispatch for loads and stores, hoisted to translate
+   time.  Shared with the superblock trace compiler so both engines
+   trap and truncate identically. *)
+let load_fn bus op =
+  match op with
+  | LB -> fun addr -> Bits.sext ~width:8 (Bus.read8 bus addr)
+  | LBU -> Bus.read8 bus
+  | LH ->
+      fun addr ->
+        if addr land 1 <> 0 then raise (Trap.Exn (Trap.Misaligned_load addr));
+        Bits.sext ~width:16 (Bus.read16 bus addr)
+  | LHU ->
+      fun addr ->
+        if addr land 1 <> 0 then raise (Trap.Exn (Trap.Misaligned_load addr));
+        Bus.read16 bus addr
+  | LW ->
+      fun addr ->
+        if addr land 3 <> 0 then raise (Trap.Exn (Trap.Misaligned_load addr));
+        Bus.read32 bus addr
+
+let store_fn bus op =
+  match op with
+  | SB -> Bus.write8 bus
+  | SH ->
+      fun addr v ->
+        if addr land 1 <> 0 then raise (Trap.Exn (Trap.Misaligned_store addr));
+        Bus.write16 bus addr v
+  | SW ->
+      fun addr v ->
+        if addr land 3 <> 0 then raise (Trap.Exn (Trap.Misaligned_store addr));
+        Bus.write32 bus addr v
+
 let lower_instr ctx ~pc ~size instr =
   let st = ctx.lx_state in
   let bus = ctx.lx_bus in
@@ -76,27 +108,7 @@ let lower_instr ctx ~pc ~size instr =
           end
     | Load (op, rd, base, imm) ->
         let b = Bits.of_signed imm in
-        (* width/sign selection hoisted to translate time *)
-        let load =
-          match op with
-          | LB -> fun addr -> Bits.sext ~width:8 (Bus.read8 bus addr)
-          | LBU -> Bus.read8 bus
-          | LH ->
-              fun addr ->
-                if addr land 1 <> 0 then
-                  raise (Trap.Exn (Trap.Misaligned_load addr));
-                Bits.sext ~width:16 (Bus.read16 bus addr)
-          | LHU ->
-              fun addr ->
-                if addr land 1 <> 0 then
-                  raise (Trap.Exn (Trap.Misaligned_load addr));
-                Bus.read16 bus addr
-          | LW ->
-              fun addr ->
-                if addr land 3 <> 0 then
-                  raise (Trap.Exn (Trap.Misaligned_load addr));
-                Bus.read32 bus addr
-        in
+        let load = load_fn bus op in
         fun () ->
           let addr = Bits.add (get base) b in
           if addr < dev_limit then flush_time ();
@@ -105,20 +117,7 @@ let lower_instr ctx ~pc ~size instr =
           cn
     | Store (op, src, base, imm) ->
         let b = Bits.of_signed imm in
-        let write =
-          match op with
-          | SB -> Bus.write8 bus
-          | SH ->
-              fun addr v ->
-                if addr land 1 <> 0 then
-                  raise (Trap.Exn (Trap.Misaligned_store addr));
-                Bus.write16 bus addr v
-          | SW ->
-              fun addr v ->
-                if addr land 3 <> 0 then
-                  raise (Trap.Exn (Trap.Misaligned_store addr));
-                Bus.write32 bus addr v
-        in
+        let write = store_fn bus op in
         fun () ->
           let addr = Bits.add (get base) b in
           if addr < dev_limit then flush_time ();

@@ -14,13 +14,16 @@ type config = {
   lower_blocks : bool;
   chain_blocks : bool;
   mem_tlb : bool;
+  superblocks : bool;
+      (* promote hot chained paths into cross-block traces; requires
+         the lowered+chained engine to do anything *)
 }
 
 let default_config =
   { isa = [ Isa_module.I; M; A; F; C; Zicsr; B ];
     timing = Timing_model.default; use_tb_cache = true;
     decoder = Decodetree_decoder; lower_blocks = true; chain_blocks = true;
-    mem_tlb = true }
+    mem_tlb = true; superblocks = true }
 
 type stop_reason =
   | Exited of int
@@ -53,8 +56,12 @@ type t = {
   fuel_left : int ref;
   exit_dirty : bool ref;
   lower_ctx : Lower.ctx;
+  mutable sb : Superblock.t option;
+      (* superblock trace engine; [None] when disabled by config *)
   mutable profiler : S4e_obs.Profile.t option;
 }
+
+exception Stop of stop_reason
 
 module Sset = Set.Make (String)
 
@@ -88,6 +95,31 @@ let make_decoder config =
           match base w with
           | Some i when Sset.mem (Instr.mnemonic i) allowed -> Some i
           | Some _ | None -> None
+
+(* Interrupt pending bits in mip. *)
+let msip_bit = 1 lsl 3
+let mtip_bit = 1 lsl 7
+
+let update_mip t =
+  let mip = ref 0 in
+  if Soc.Clint.timer_pending t.clint then mip := !mip lor mtip_bit;
+  if Soc.Clint.software_pending t.clint then mip := !mip lor msip_bit;
+  t.state.mip <- !mip
+
+(* Trap entry.  Returns [Some stop] when the trap is fatal (no handler
+   installed). *)
+let enter_exception t cause pc =
+  Hooks.fire_trap t.hooks cause pc;
+  if t.state.mtvec = 0 then Some (Fatal_trap (cause, pc))
+  else begin
+    t.state.mepc <- pc;
+    t.state.mcause <- Trap.mcause_of_exception cause;
+    t.state.mtval <- Trap.tval_of cause;
+    Arch_state.set_mpie_bit t.state (Arch_state.mie_bit t.state);
+    Arch_state.set_mie_bit t.state false;
+    t.state.pc <- t.state.mtvec;
+    None
+  end
 
 let create ?(config = default_config) () =
   let bus = Bus.create () in
@@ -141,12 +173,82 @@ let create ?(config = default_config) () =
       lx_notify_store = (fun addr -> Tb_cache.notify_store tb addr);
       lx_dev_limit = Soc.Memory_map.ram_base }
   in
-  { state; bus; uart; clint; gpio; syscon; hooks = Hooks.create ();
-    config; decode32; tb; last_load_mask = 0; pending_ticks; seg_idx;
-    seg_base; fuel_left; exit_dirty; lower_ctx; profiler = None }
+  let m =
+    { state; bus; uart; clint; gpio; syscon; hooks = Hooks.create ();
+      config; decode32; tb; last_load_mask = 0; pending_ticks; seg_idx;
+      seg_base; fuel_left; exit_dirty; lower_ctx; sb = None;
+      profiler = None }
+  in
+  (* The superblock engine only runs where the lowered+chained engine
+     runs (chain-edge heat drives promotion), so don't even install the
+     invalidation hooks elsewhere. *)
+  if config.superblocks && config.use_tb_cache && config.lower_blocks then begin
+    let timing = config.timing in
+    let flush_cycles () =
+      let p = !pending_ticks in
+      if p <> 0 then begin
+        state.cycle <- state.cycle + p;
+        Soc.Clint.tick clint p;
+        pending_ticks := 0
+      end
+    in
+    let sx =
+      { Superblock.sx_state = state; sx_bus = bus; sx_timing = timing;
+        sx_pending = pending_ticks; sx_exit_dirty = exit_dirty;
+        sx_flush = flush_cycles;
+        sx_retire =
+          (fun n ->
+            state.instret <- state.instret + n;
+            fuel_left := !fuel_left - n);
+        sx_exit_code = (fun () -> Soc.Syscon.exit_code syscon);
+        sx_raise_exited = (fun code -> raise (Stop (Exited code)));
+        sx_trap =
+          (fun cause pc pred ->
+            (* mirror [exec_lowered]'s trap path: flush, credit the
+               already-executed predecessors, enter the exception
+               (fatal traps stop before the trapping instruction
+               retires), charge system cycles, retire it, re-check the
+               exit latch *)
+            flush_cycles ();
+            m.last_load_mask <- 0;
+            state.instret <- state.instret + pred;
+            fuel_left := !fuel_left - pred;
+            (match enter_exception m cause pc with
+            | Some stop -> raise (Stop stop)
+            | None ->
+                state.cycle <- state.cycle + timing.Timing_model.system;
+                Soc.Clint.tick clint timing.Timing_model.system);
+            state.instret <- state.instret + 1;
+            fuel_left := !fuel_left - 1;
+            if !exit_dirty then begin
+              match Soc.Syscon.exit_code syscon with
+              | Some code -> raise (Stop (Exited code))
+              | None -> exit_dirty := false
+            end);
+        sx_irq =
+          (fun () ->
+            (* the dispatch loop's between-block [update_mip] +
+               deliverability test, with the batched-but-unapplied
+               cycles folded into the timer comparison so the sampled
+               mip matches a per-block flushing run exactly *)
+            let now = Soc.Clint.time clint + !pending_ticks in
+            let mip = ref 0 in
+            if now >= Soc.Clint.timecmp clint then mip := !mip lor mtip_bit;
+            if Soc.Clint.software_pending clint then mip := !mip lor msip_bit;
+            state.mip <- !mip;
+            Arch_state.mie_bit state && state.mie land !mip <> 0);
+        sx_notify_store = (fun addr -> Tb_cache.notify_store tb addr);
+        sx_get_llm = (fun () -> m.last_load_mask);
+        sx_set_llm = (fun v -> m.last_load_mask <- v);
+        sx_dev_limit = Soc.Memory_map.ram_base }
+    in
+    m.sb <- Some (Superblock.create sx tb)
+  end;
+  m
 
 let set_profiler t p = t.profiler <- p
 let profiler t = t.profiler
+let trace_stats t = Option.map Superblock.stats t.sb
 
 let register_metrics ?(prefix = "machine.") t reg =
   let g name f = S4e_obs.Metrics.gauge_int reg (prefix ^ name) f in
@@ -160,7 +262,18 @@ let register_metrics ?(prefix = "machine.") t reg =
       (Tb_cache.stats t.tb).Tb_cache.st_invalidations);
   g "mem.tlb_hits" (fun () -> (Bus.tlb_stats t.bus).Bus.tlb_hits);
   g "mem.tlb_misses" (fun () -> (Bus.tlb_stats t.bus).Bus.tlb_misses);
-  g "mem.tlb_flushes" (fun () -> (Bus.tlb_stats t.bus).Bus.tlb_flushes)
+  g "mem.tlb_flushes" (fun () -> (Bus.tlb_stats t.bus).Bus.tlb_flushes);
+  match t.sb with
+  | Some s ->
+      g "sb.traces" (fun () -> (Superblock.stats s).Superblock.sb_live);
+      g "sb.promotions" (fun () -> (Superblock.stats s).Superblock.sb_promotions);
+      g "sb.invalidations" (fun () ->
+          (Superblock.stats s).Superblock.sb_invalidations);
+      g "sb.execs" (fun () -> (Superblock.stats s).Superblock.sb_execs);
+      g "sb.completions" (fun () ->
+          (Superblock.stats s).Superblock.sb_completions);
+      g "sb.instrs" (fun () -> (Superblock.stats s).Superblock.sb_instrs)
+  | None -> ()
 
 let reset t ~pc =
   Arch_state.reset t.state ~pc;
@@ -172,31 +285,6 @@ let reset t ~pc =
   t.seg_idx := 0;
   t.seg_base := 0;
   t.exit_dirty := false
-
-(* Interrupt pending bits in mip. *)
-let msip_bit = 1 lsl 3
-let mtip_bit = 1 lsl 7
-
-let update_mip t =
-  let mip = ref 0 in
-  if Soc.Clint.timer_pending t.clint then mip := !mip lor mtip_bit;
-  if Soc.Clint.software_pending t.clint then mip := !mip lor msip_bit;
-  t.state.mip <- !mip
-
-(* Trap entry.  Returns [Some stop] when the trap is fatal (no handler
-   installed). *)
-let enter_exception t cause pc =
-  Hooks.fire_trap t.hooks cause pc;
-  if t.state.mtvec = 0 then Some (Fatal_trap (cause, pc))
-  else begin
-    t.state.mepc <- pc;
-    t.state.mcause <- Trap.mcause_of_exception cause;
-    t.state.mtval <- Trap.tval_of cause;
-    Arch_state.set_mpie_bit t.state (Arch_state.mie_bit t.state);
-    Arch_state.set_mie_bit t.state false;
-    t.state.pc <- t.state.mtvec;
-    None
-  end
 
 let enter_interrupt t irq =
   t.state.mepc <- t.state.pc;
@@ -247,8 +335,6 @@ let load_string t addr s =
 let misaligned_pc t pc =
   if List.mem Isa_module.C t.config.isa then pc land 1 <> 0
   else pc land 3 <> 0
-
-exception Stop of stop_reason
 
 let run t ~fuel =
   let state = t.state in
@@ -435,6 +521,17 @@ let run t ~fuel =
      block dispatch and keeps the lowered fast path. *)
   let prof = t.profiler in
   let chained = t.config.chain_blocks in
+  (* Superblock traces ride on the unprofiled lowered engine only: a
+     profiler needs per-block attribution, and hooks (lowered_ok)
+     need per-instruction visibility.  Both fall back transparently. *)
+  let sb =
+    match (t.sb, prof) with
+    | Some s, None when lowered_ok -> Some s
+    | _ -> None
+  in
+  let promote_mask =
+    match sb with Some s -> Superblock.promote_period s - 1 | None -> 0
+  in
   (* Single-step mode replays the TB path's block-boundary semantics:
      interrupts are sampled only where a translation block would start
      (after control flow / wfi / fence.i / a trap / max_block_len
@@ -479,8 +576,28 @@ let run t ~fuel =
         end
         else begin
           match prof with
-          | None ->
-              if lowered_ok then exec_lowered entry n else exec_generic entry n
+          | None -> (
+              match sb with
+              | Some s when lowered_ok -> (
+                  let c = entry.Tb_cache.exec_count + 1 in
+                  entry.Tb_cache.exec_count <- c;
+                  match entry.Tb_cache.attach with
+                  | Superblock.Trace_head tr
+                    when (not !(tr.Superblock.tr_dead))
+                         && tr.Superblock.tr_instrs <= !remaining
+                         && not !exit_dirty ->
+                      Superblock.exec s tr;
+                      (* the trace left the chain path; don't patch a
+                         bogus head -> exit-target link *)
+                      prev := None
+                  | Tb_cache.No_attachment ->
+                      if c land promote_mask = 0 then
+                        Superblock.maybe_promote s entry;
+                      exec_lowered entry n
+                  | _ -> exec_lowered entry n)
+              | _ ->
+                  if lowered_ok then exec_lowered entry n
+                  else exec_generic entry n)
           | Some p ->
               (* Block-granular attribution.  The instret/cycle deltas
                  are exact at every exit from either engine: the lowered

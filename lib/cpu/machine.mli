@@ -41,11 +41,16 @@ type config = {
           device-routing path.  Observable behavior is identical either
           way (enforced by differential tests) — the knob exists as an
           escape hatch and for benchmarking the fast path. *)
+  superblocks : bool;
+      (** promote hot chained paths into cross-block guarded traces
+          ({!Superblock}); only effective on the lowered engine.
+          Observable behavior is identical either way (enforced by
+          differential tests). *)
 }
 
 val default_config : config
 (** RV32IMFC + Zicsr + B, default timing, TB cache on, DecodeTree,
-    lowering, chaining and the memory TLB on. *)
+    lowering, chaining, the memory TLB, and superblock traces on. *)
 
 type stop_reason =
   | Exited of int  (** software wrote the syscon EXIT register *)
@@ -88,6 +93,9 @@ type t = {
       (** set by the syscon write notifier; [run] polls the device's
           exit code only when this is set *)
   lower_ctx : Lower.ctx;
+  mutable sb : Superblock.t option;
+      (** the superblock trace engine; [None] when [config.superblocks]
+          is off (or the lowered engine is unavailable) *)
   mutable profiler : S4e_obs.Profile.t option;
       (** per-block hot-spot attribution; prefer {!set_profiler} *)
 }
@@ -106,11 +114,16 @@ val set_profiler : t -> S4e_obs.Profile.t option -> unit
 
 val profiler : t -> S4e_obs.Profile.t option
 
+val trace_stats : t -> Superblock.stats option
+(** Superblock trace engine counters; [None] when disabled. *)
+
 val register_metrics : ?prefix:string -> t -> S4e_obs.Metrics.t -> unit
 (** Registers gauges over the machine's existing counters —
     [<prefix>instret], [cycles], [tb.blocks], [tb.hits], [tb.misses],
     [tb.chain_hits], [tb.invalidations], [mem.tlb_hits],
-    [mem.tlb_misses], [mem.tlb_flushes] (prefix default ["machine."]).
+    [mem.tlb_misses], [mem.tlb_flushes], and (when superblocks are on)
+    [sb.traces], [sb.promotions], [sb.invalidations], [sb.execs],
+    [sb.completions], [sb.instrs] (prefix default ["machine."]).
     Gauges are read-on-demand probes: the hot path is untouched. *)
 
 val reset : t -> pc:word -> unit

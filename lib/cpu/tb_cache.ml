@@ -16,6 +16,12 @@ type uop = {
   u_exec : unit -> int;
 }
 
+(* Open slot for a higher layer (the superblock trace engine) to hang
+   per-entry data off the cache without this module depending on it.
+   An extensible variant keeps the hot-path test a single tag match. *)
+type attachment = ..
+type attachment += No_attachment
+
 type entry = {
   block_pc : word;
   instrs : (word * int * S4e_isa.Instr.t) array;
@@ -25,12 +31,18 @@ type entry = {
   (* QEMU-style direct block chaining: up to two successor links,
      patched on first successor lookup.  [link_*_pc] is the successor's
      entry pc (-1 when empty); [incoming] records entries whose links
-     may point here so invalidation can sever them. *)
+     may point here so invalidation can sever them.  [link_*_hits]
+     count traversals of each link so trace promotion can follow real
+     edge heat rather than the global chain-hit total. *)
   mutable link_a : entry option;
   mutable link_a_pc : word;
   mutable link_b : entry option;
   mutable link_b_pc : word;
+  mutable link_a_hits : int;
+  mutable link_b_hits : int;
   mutable incoming : entry list;
+  mutable exec_count : int;  (* dispatches; drives trace promotion *)
+  mutable attach : attachment;
 }
 
 type t = {
@@ -47,6 +59,12 @@ type t = {
   mutable misses : int;
   mutable chain_hits : int;
   mutable invalidations : int;
+  (* invalidation callbacks for attached trace state: [on_kill] fires
+     once per individually killed entry (before its links are cut, so
+     the attachment is still readable), [on_flush] once per full
+     flush. *)
+  mutable on_kill : entry -> unit;
+  mutable on_flush : unit -> unit;
 }
 
 let max_block_len = 64
@@ -60,7 +78,12 @@ let page_shift = 8
 let create ~decode32 ~decode16 ~fetch32 ~fetch16 () =
   { table = Hashtbl.create 1024; pages = Hashtbl.create 256; decode32;
     decode16; fetch32; fetch16; code_lo = max_int; code_hi = 0; hits = 0;
-    misses = 0; chain_hits = 0; invalidations = 0 }
+    misses = 0; chain_hits = 0; invalidations = 0;
+    on_kill = (fun _ -> ()); on_flush = (fun () -> ()) }
+
+let set_invalidate_hooks t ~on_kill ~on_flush =
+  t.on_kill <- on_kill;
+  t.on_flush <- on_flush
 
 (* Decode one instruction at [pc]: compressed halfwords expand via
    decode16; otherwise a full word via decode32. *)
@@ -97,7 +120,8 @@ let translate t pc =
   in
   { block_pc = pc; instrs; total_size; lowered = None; dead = false;
     link_a = None; link_a_pc = -1; link_b = None; link_b_pc = -1;
-    incoming = [] }
+    link_a_hits = 0; link_b_hits = 0; incoming = []; exec_count = 0;
+    attach = No_attachment }
 
 (* Every entry covers at least one word, so a store over an entry that
    failed to decode (empty [instrs]) still invalidates it and the new
@@ -145,6 +169,8 @@ let kill t e =
   if not e.dead then begin
     e.dead <- true;
     t.invalidations <- t.invalidations + 1;
+    t.on_kill e;
+    e.attach <- No_attachment;
     (match Hashtbl.find_opt t.table e.block_pc with
     | Some cur when cur == e -> Hashtbl.remove t.table e.block_pc
     | Some _ | None -> ());
@@ -181,6 +207,7 @@ let next t prev pc =
         match p.link_a with
         | Some e ->
             t.chain_hits <- t.chain_hits + 1;
+            p.link_a_hits <- p.link_a_hits + 1;
             e
         | None -> lookup t pc
       end
@@ -188,6 +215,7 @@ let next t prev pc =
         match p.link_b with
         | Some e ->
             t.chain_hits <- t.chain_hits + 1;
+            p.link_b_hits <- p.link_b_hits + 1;
             e
         | None -> lookup t pc
       end
@@ -197,6 +225,7 @@ let next t prev pc =
            if p.link_a = None then begin
              p.link_a <- Some e;
              p.link_a_pc <- pc;
+             p.link_a_hits <- 0;
              e.incoming <- p :: e.incoming
            end
            else begin
@@ -204,6 +233,7 @@ let next t prev pc =
                 recycle slot b *)
              p.link_b <- Some e;
              p.link_b_pc <- pc;
+             p.link_b_hits <- 0;
              e.incoming <- p :: e.incoming
            end);
         e
@@ -211,7 +241,12 @@ let next t prev pc =
   | Some _ | None -> lookup t pc
 
 let flush t =
-  Hashtbl.iter (fun _ e -> e.dead <- true) t.table;
+  t.on_flush ();
+  Hashtbl.iter
+    (fun _ e ->
+      e.dead <- true;
+      e.attach <- No_attachment)
+    t.table;
   Hashtbl.reset t.table;
   Hashtbl.reset t.pages;
   t.code_lo <- max_int;
@@ -249,3 +284,25 @@ let stats t =
     st_misses = t.misses;
     st_chain_hits = t.chain_hits;
     st_invalidations = t.invalidations }
+
+(* Live chain edges ranked by traversal count — promotion input and
+   the [--cache-stats] edge listing. *)
+let hot_edges ?(min_hits = 1) t =
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun _ e ->
+      (match e.link_a with
+      | Some dst when e.link_a_hits >= min_hits ->
+          acc := (e.block_pc, dst.block_pc, e.link_a_hits) :: !acc
+      | _ -> ());
+      match e.link_b with
+      | Some dst when e.link_b_hits >= min_hits ->
+          acc := (e.block_pc, dst.block_pc, e.link_b_hits) :: !acc
+      | _ -> ())
+    t.table;
+  List.sort
+    (fun (sa, da, ha) (sb, db, hb) ->
+      match compare hb ha with
+      | 0 -> compare (sa, da) (sb, db)
+      | c -> c)
+    !acc

@@ -37,6 +37,13 @@ type uop = {
   u_exec : unit -> int;
 }
 
+type attachment = ..
+(** Open slot for a higher layer (the superblock trace engine) to hang
+    per-entry data off the cache without a dependency cycle.  The
+    dispatcher reads it with one tag match per block. *)
+
+type attachment += No_attachment
+
 type entry = {
   block_pc : word;
   instrs : (word * int * S4e_isa.Instr.t) array;
@@ -49,7 +56,13 @@ type entry = {
   mutable link_a_pc : word;
   mutable link_b : entry option;
   mutable link_b_pc : word;
+  mutable link_a_hits : int;  (** traversals of link a ({!next} chain hits) *)
+  mutable link_b_hits : int;  (** traversals of link b *)
   mutable incoming : entry list;
+  mutable exec_count : int;
+      (** dispatches of this block; the superblock promotion driver's
+          heat counter *)
+  mutable attach : attachment;  (** reset to {!No_attachment} on kill *)
 }
 
 type t
@@ -84,6 +97,18 @@ val notify_store : t -> word -> unit
     cached. *)
 
 val flush : t -> unit
+
+val set_invalidate_hooks :
+  t -> on_kill:(entry -> unit) -> on_flush:(unit -> unit) -> unit
+(** Invalidation callbacks for attached trace state.  [on_kill] fires
+    once per individually killed entry, before its links and
+    [attach] field are cleared (so the attachment is still readable);
+    [on_flush] fires once at the start of a full {!flush}. *)
+
+val hot_edges : ?min_hits:int -> t -> (word * word * int) list
+(** Live chain edges as [(src_pc, dst_pc, traversals)], hottest first
+    (ties ordered by pc for determinism).  Edges colder than
+    [min_hits] (default 1) are dropped. *)
 
 type stats = {
   st_blocks : int;  (** blocks currently cached *)

@@ -59,11 +59,15 @@ let symbolizer_of_symbols syms =
         let name, addr = arr.(i) in
         Some (name, pc - addr)
 
+(* A symbolizer may resolve to a symbol with an empty name (stripped or
+   anonymous table entries); labels must never silently vanish, so fall
+   back to the resolved base address in that case. *)
 let sym_label symbolize pc =
   match symbolize pc with
-  | Some (name, 0) -> name
-  | Some (name, off) -> Printf.sprintf "%s+0x%x" name off
-  | None -> Printf.sprintf "0x%08x" pc
+  | Some (name, 0) when name <> "" -> name
+  | Some (name, off) when name <> "" -> Printf.sprintf "%s+0x%x" name off
+  | Some (_, off) when off <> 0 -> Printf.sprintf "0x%08x+0x%x" (pc - off) off
+  | Some _ | None -> Printf.sprintf "0x%08x" pc
 
 type fn_row = {
   f_name : string;
@@ -79,7 +83,8 @@ let functions ~symbolize t =
     (fun _ b ->
       let name =
         match symbolize b.bl_pc with
-        | Some (n, _) -> n
+        | Some (n, _) when n <> "" -> n
+        | Some (_, off) -> Printf.sprintf "0x%08x" (b.bl_pc - off)
         | None -> Printf.sprintf "0x%08x" b.bl_pc
       in
       let blocks, instrs, cycles =

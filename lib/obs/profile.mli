@@ -43,7 +43,9 @@ val symbolizer_of_symbols : (string * int) list -> symbolizer
 (** Nearest-symbol-below-pc over a (name, address) table. *)
 
 val sym_label : symbolizer -> int -> string
-(** ["name"], ["name+0x1c"], or ["0x%08x"] when unknown. *)
+(** ["name"], ["name+0x1c"], or ["0x%08x"] when unknown.  A symbol that
+    resolves with an empty name (stripped / anonymous entries) falls
+    back to ["0x<base>+0x<off>"] instead of an empty label. *)
 
 type fn_row = {
   f_name : string;

@@ -30,6 +30,29 @@ _start:
   Alcotest.(check bool) "cycles >= instret" true
     (r.Flows.rr_cycles >= r.Flows.rr_instret)
 
+(* the superblocks knob (CLI --no-superblocks) must be behaviorally
+   invisible: same stop, counters, and output on a trace-hot loop *)
+let test_run_flow_superblocks_knob () =
+  let p =
+    assemble {|
+  li   a0, 0
+  li   t0, 50000
+loop:
+  addi a0, a0, 3
+  addi t0, t0, -1
+  bnez t0, loop
+  li   t1, 0x00100000
+  sw   a0, 0(t1)
+  ebreak
+|}
+  in
+  let on = Flows.run p in
+  let off = Flows.run ~superblocks:false p in
+  Alcotest.(check bool) "same stop" true (on.Flows.rr_stop = off.Flows.rr_stop);
+  Alcotest.(check int) "same instret" off.Flows.rr_instret on.Flows.rr_instret;
+  Alcotest.(check int) "same cycles" off.Flows.rr_cycles on.Flows.rr_cycles;
+  Alcotest.(check string) "same uart" off.Flows.rr_uart on.Flows.rr_uart
+
 let test_uart_echo_roundtrip () =
   (* target program echoes everything it receives until NUL *)
   let p =
@@ -411,6 +434,8 @@ let () =
   Alcotest.run "integration"
     [ ( "flows",
         [ Alcotest.test_case "run flow" `Quick test_run_flow;
+          Alcotest.test_case "superblocks knob invisible" `Quick
+            test_run_flow_superblocks_knob;
           Alcotest.test_case "uart echo" `Quick test_uart_echo_roundtrip;
           Alcotest.test_case "gpio actuation" `Quick test_gpio_actuation;
           Alcotest.test_case "wcet flow" `Quick test_wcet_flow_on_control_task;

@@ -20,16 +20,20 @@ let prop ?(count = 25) name gen f =
 
 let seed_gen = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100_000)
 
-(* The engines under comparison.  [lowered] is the default config;
-   [tlb-off] is the default engine with the bus's software TLB disabled,
-   so every differential case also proves the memory fast path is
-   observationally inert. *)
+(* The engines under comparison.  [lowered] is the block engine with
+   superblock traces pinned off (the stable reference); [superblocks]
+   is the full default config, so every differential case also drives
+   the trace engine.  [tlb-off] rides along likewise to prove the
+   memory fast path observationally inert. *)
+let sb_off c = { c with Machine.superblocks = false }
+
 let engines =
-  [ ("lowered", Machine.default_config);
-    ("unchained", { Machine.default_config with Machine.chain_blocks = false });
-    ("generic-tb", { Machine.default_config with Machine.lower_blocks = false });
-    ("single-step", { Machine.default_config with Machine.use_tb_cache = false });
-    ("tlb-off", { Machine.default_config with Machine.mem_tlb = false })
+  [ ("lowered", sb_off Machine.default_config);
+    ("unchained", sb_off { Machine.default_config with Machine.chain_blocks = false });
+    ("generic-tb", sb_off { Machine.default_config with Machine.lower_blocks = false });
+    ("single-step", sb_off { Machine.default_config with Machine.use_tb_cache = false });
+    ("tlb-off", sb_off { Machine.default_config with Machine.mem_tlb = false });
+    ("superblocks", Machine.default_config)
   ]
 
 type outcome = {
@@ -290,6 +294,125 @@ loop:
   Alcotest.(check bool) "hooked run identical to plain run" true
     (plain = hooked)
 
+(* ---------------- superblock trace invalidation ---------------- *)
+
+(* A hot self-patching loop: runs long enough for the trace engine to
+   promote the loop body (promotion needs ~64 block dispatches plus hot
+   chain edges), then periodically rewrites an instruction {e inside
+   the promoted trace} from within it — the store's invalidation must
+   kill the running trace, which bails at the next block boundary with
+   exact architectural state.  [mask] sets the patch period; the store
+   target alternates branchlessly between a data word and the loop's
+   own code. *)
+let smc_hot_loop ~iters ~mask =
+  Printf.sprintf {|
+_start:
+  li   s3, 0x00200000
+  la   s4, site
+  sub  s4, s4, s3
+  li   t0, %d
+  li   s1, 0
+loop:
+  addi s1, s1, 1
+  andi t1, t0, %d
+  seqz t1, t1
+  neg  t1, t1
+  and  t1, t1, s4
+  add  t2, s3, t1
+  lw   t3, 0(t2)
+  sw   t3, 0(t2)
+site:
+  addi t0, t0, -1
+  bnez t0, loop
+  li   t6, 0x00100000
+  sw   s1, 0(t6)
+  ebreak
+|} iters mask
+
+let test_smc_kills_running_trace () =
+  (* directed variant with stats assertions: the trace must have been
+     promoted, executed, and then invalidated by the in-trace store *)
+  let p = S4e_asm.Assembler.assemble_exn (smc_hot_loop ~iters:10_000 ~mask:255) in
+  check_engines_agree p;
+  let m = Machine.create () in
+  S4e_asm.Program.load_machine p m;
+  (match Machine.run m ~fuel:200_000 with
+  | Machine.Exited _ -> ()
+  | stop ->
+      Alcotest.failf "smc loop did not exit: %a" Machine.pp_stop_reason stop);
+  match Machine.trace_stats m with
+  | None -> Alcotest.fail "superblocks disabled in default config"
+  | Some s ->
+      Alcotest.(check bool) "traces promoted" true
+        (s.S4e_cpu.Superblock.sb_promotions > 0);
+      Alcotest.(check bool) "traces completed" true
+        (s.S4e_cpu.Superblock.sb_completions > 0);
+      Alcotest.(check bool) "in-trace SMC store invalidated traces" true
+        (s.S4e_cpu.Superblock.sb_invalidations > 0);
+      Alcotest.(check bool) "invalidated trace bailed mid-run" true
+        (s.S4e_cpu.Superblock.sb_bail_dead > 0)
+
+let smc_trace_agrees seed =
+  let iters = 300 + (seed mod 4000) in
+  let mask = [| 127; 255; 511 |].(seed mod 3) in
+  check_engines_agree (S4e_asm.Assembler.assemble_exn (smc_hot_loop ~iters ~mask));
+  true
+
+(* Fault-injector writes landing in promoted trace code: arm a
+   permanent code flip after the loop is hot (traces promoted and
+   running), then finish the run.  The flip goes through
+   [Tb_cache.notify_store], so it must kill the overlapping blocks AND
+   their traces; both engines then execute the mutated code. *)
+let injector_mid_trace_agrees seed =
+  let iters = 4_000 + (seed mod 4_000) in
+  let src = Printf.sprintf {|
+_start:
+  li   t0, %d
+  li   s1, 0
+loop:
+  addi s1, s1, 1
+  xori s1, s1, 21
+slot:
+  addi s1, s1, 3
+  addi t0, t0, -1
+  bnez t0, loop
+  li   t6, 0x00100000
+  sw   s1, 0(t6)
+  ebreak
+|} iters
+  in
+  let p = S4e_asm.Assembler.assemble_exn src in
+  let slot =
+    match S4e_asm.Program.symbol p "slot" with
+    | Some a -> a
+    | None -> Alcotest.fail "no slot symbol"
+  in
+  (* flip a bit of slot's immediate: stays a decodable addi, so the
+     run completes with a different checksum on both engines *)
+  let bit = 20 + (seed mod 12) in
+  let fault =
+    { S4e_fault.Fault.loc = S4e_fault.Fault.Code (slot, bit);
+      kind = S4e_fault.Fault.Permanent }
+  in
+  let staged config =
+    let m = Machine.create ~config () in
+    S4e_asm.Program.load_machine p m;
+    let r1 = Machine.run m ~fuel:2_000 in
+    assert (r1 = Machine.Out_of_fuel);
+    let _armed = S4e_fault.Injector.arm m fault in
+    let stop = Machine.run m ~fuel:1_000_000 in
+    (outcome_of m stop, Machine.trace_stats m)
+  in
+  let on, st = staged Machine.default_config in
+  let off, _ = staged (sb_off Machine.default_config) in
+  (match st with
+  | Some s ->
+      (* non-vacuity: the loop was hot enough to promote before the flip *)
+      if s.S4e_cpu.Superblock.sb_promotions = 0 then
+        QCheck.Test.fail_report "no trace promoted before injector write"
+  | None -> QCheck.Test.fail_report "superblocks disabled");
+  on = off
+
 (* ---------------- random torture programs ---------------- *)
 
 let torture_agrees ~compress seed =
@@ -302,6 +425,11 @@ let props =
   [ prop "torture: engines agree" seed_gen (torture_agrees ~compress:false);
     prop ~count:15 "torture (compressed): engines agree" seed_gen
       (torture_agrees ~compress:true) ]
+
+let sb_props =
+  [ prop ~count:15 "smc in hot trace: engines agree" seed_gen smc_trace_agrees;
+    prop ~count:10 "injector write mid-trace: engines agree" seed_gen
+      injector_mid_trace_agrees ]
 
 let () =
   Alcotest.run "lowered"
@@ -320,4 +448,8 @@ let () =
            test_self_modifying_differential;
          Alcotest.test_case "hooks attach/detach mid-run" `Quick
            test_hooks_attach_detach_mid_run ]);
+      ("superblocks",
+       Alcotest.test_case "smc kills running trace" `Quick
+         test_smc_kills_running_trace
+       :: sb_props);
       ("torture", props) ]

@@ -220,6 +220,30 @@ let prop_metrics_match_tracer =
         = Metrics.Int ts.S4e_cpu.Tracer.st_instructions
       && Profile.total_instrs prof = ts.S4e_cpu.Tracer.st_instructions)
 
+(* symbol labels must never be empty: anonymous / stripped table
+   entries fall back to the resolved base address *)
+let test_sym_label_empty_names () =
+  let s =
+    Profile.symbolizer_of_symbols
+      [ ("", 0x1000); ("known", 0x2000); ("", 0x3000) ]
+  in
+  Alcotest.(check string) "empty name at offset" "0x00001000+0x1c"
+    (Profile.sym_label s 0x101c);
+  Alcotest.(check string) "empty name at base" "0x00001000"
+    (Profile.sym_label s 0x1000);
+  Alcotest.(check string) "named symbol unaffected" "known+0x8"
+    (Profile.sym_label s 0x2008);
+  Alcotest.(check string) "below first symbol" "0x00000040"
+    (Profile.sym_label s 0x40);
+  (* [functions] aggregation takes the same fallback *)
+  let prof = Profile.create () in
+  Profile.note prof ~pc:0x3010 ~bytes:8 ~instrs:2 ~cycles:4;
+  match Profile.functions ~symbolize:s prof with
+  | [ row ] ->
+      Alcotest.(check string) "aggregated under base label" "0x00003000"
+        row.Profile.f_name
+  | rows -> Alcotest.failf "expected one row, got %d" (List.length rows)
+
 (* the acceptance criterion: on a known loop workload the profiler must
    rank the loop body's block first, attributed to the loop symbol *)
 let test_hot_loop_ranked_first () =
@@ -396,6 +420,8 @@ let () =
             test_trace_span_on_exception ] );
       ( "profiler",
         [ prop_profiler_inert; prop_profiler_totals;
+          Alcotest.test_case "sym label empty names" `Quick
+            test_sym_label_empty_names;
           prop_metrics_match_tracer;
           Alcotest.test_case "hot loop ranked first" `Quick
             test_hot_loop_ranked_first ] );
