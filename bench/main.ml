@@ -1349,10 +1349,173 @@ let e16 () =
      side exits restore exact architectural state — digest-identical \
      to every other engine, asserted above)\n"
 
+(* ------------------------------------------------------------------ *)
+(* E17: device-plane throughput — DMA bursts vs per-byte MMIO           *)
+
+let e17 () =
+  section "E17"
+    "device plane: DMA-burst vs PIO throughput over the event wheel";
+  let fuel = 10_000_000 in
+  let time f =
+    let once () =
+      let t0 = Unix.gettimeofday () in
+      f ();
+      Unix.gettimeofday () -. t0
+    in
+    let t1 = once () in
+    let t2 = once () in
+    let t3 = once () in
+    List.fold_left min t1 [ t2; t3 ]
+  in
+  let on_cfg = Machine.default_config in
+  (* the I/O workloads: identical 32 KiB payload moved as 8 DMA bursts
+     (interrupt-driven) vs 32768 per-byte RXDATA reads, plus the vnet
+     rx driver as the mixed ring-service case *)
+  let programs =
+    [ (Workloads.dma_irq, 32768); (Workloads.mmio_copy, 32768);
+      (Workloads.vnet_rx, 64 * 192) ]
+    |> List.map (fun (w, bytes) ->
+           Workloads.validate w;
+           (w.Workloads.w_name, Workloads.program w, bytes))
+  in
+  Printf.printf "%-10s %9s %8s %9s %10s %8s %9s\n" "workload" "instrs"
+    "(MIPS)" "payload" "MB/s" "wheel" "idle-skip";
+  let rates =
+    List.map
+      (fun (name, p, bytes) ->
+        (* correctness gate before timing: the device plane must be
+           digest-identical (cycles and mtime included) on every
+           engine configuration *)
+        let finish config =
+          let m = Machine.create ~config () in
+          S4e_asm.Program.load_machine p m;
+          ignore (Machine.run m ~fuel);
+          m
+        in
+        let m_ref = finish on_cfg in
+        let d_ref = Machine.state_digest ~include_time:true m_ref in
+        let off_cfg = { on_cfg with Machine.superblocks = false } in
+        List.iter
+          (fun (ename, config) ->
+            let m = finish config in
+            if Machine.state_digest ~include_time:true m <> d_ref then
+              failwith
+                (Printf.sprintf "E17: %s digest mismatch on %s" ename name))
+          [ ("sb-off", off_cfg);
+            ("sb-off tlb-off", { off_cfg with Machine.mem_tlb = false });
+            ("unchained", { off_cfg with Machine.chain_blocks = false });
+            ("generic-tb", { off_cfg with Machine.lower_blocks = false });
+            ("single-step", { off_cfg with Machine.use_tb_cache = false }) ];
+        let n1 = Machine.instret m_ref in
+        let reps = max 1 (400_000 / max n1 1) in
+        let run () =
+          let m = Machine.create ~config:on_cfg () in
+          S4e_asm.Program.load_machine p m;
+          let entry = m.Machine.state.S4e_cpu.Arch_state.pc in
+          ignore (Machine.run m ~fuel);
+          for _ = 2 to reps do
+            Machine.reset m ~pc:entry;
+            ignore (Machine.run m ~fuel)
+          done;
+          m
+        in
+        let t = time (fun () -> ignore (run ())) in
+        let m = run () in
+        let ws = S4e_soc.Event_wheel.stats m.Machine.wheel in
+        let n = n1 * reps in
+        let mips = float_of_int n /. t /. 1e6 in
+        let rate = float_of_int (bytes * reps) /. t in
+        Printf.printf "%-10s %9d %8.2f %8dB %10.2f %8d %9d\n" name n1 mips
+          bytes (rate /. 1e6) ws.S4e_soc.Event_wheel.ws_fired
+          ws.S4e_soc.Event_wheel.ws_idle_skips;
+        record ~exp:"e17" ~name:(name ^ "/mips") ~value:mips ~unit_:"MIPS";
+        record ~exp:"e17" ~name:(name ^ "/throughput") ~value:rate
+          ~unit_:"B/s";
+        (name, rate))
+      programs
+  in
+  let rate_of n = List.assoc n rates in
+  let ratio = rate_of "dma_irq" /. rate_of "mmio_copy" in
+  record ~exp:"e17" ~name:"dma-vs-pio-ratio" ~value:ratio ~unit_:"ratio";
+  Printf.printf "DMA-burst throughput over per-byte MMIO: %.1fx\n" ratio;
+  if ratio < 10.0 then
+    failwith
+      (Printf.sprintf "E17: DMA/PIO throughput ratio %.1fx below 10x" ratio);
+  (* compute guard: attaching the device plane (two extra devices, the
+     wheel consulted at every block exit) must not tax pure compute —
+     the E16 suite with the plane on vs off *)
+  let compute =
+    [ Workloads.branchy; Workloads.mix; Workloads.dhrystone;
+      Workloads.bubble_sort; Workloads.matmul; Workloads.crc32 ]
+    |> List.map (fun w -> (w.Workloads.w_name, Workloads.program w))
+  in
+  let off_cfg = { on_cfg with Machine.device_plane = false } in
+  let ratios =
+    List.map
+      (fun (name, p) ->
+        let m0 = Machine.create ~config:on_cfg () in
+        S4e_asm.Program.load_machine p m0;
+        ignore (Machine.run m0 ~fuel);
+        let n1 = Machine.instret m0 in
+        (* larger sample than the throughput table: the guard compares
+           two runs that should differ by under 2%, so each measurement
+           must sit well above timer/scheduler noise *)
+        let reps = max 2 (2_000_000 / max n1 1) in
+        let run config () =
+          let m = Machine.create ~config () in
+          S4e_asm.Program.load_machine p m;
+          let entry = m.Machine.state.S4e_cpu.Arch_state.pc in
+          ignore (Machine.run m ~fuel);
+          for _ = 2 to reps do
+            Machine.reset m ~pc:entry;
+            ignore (Machine.run m ~fuel)
+          done
+        in
+        (* best-of-3 per arm, samples interleaved: the two runs differ
+           by under 2% when the host is quiet, so a single 40ms sample
+           grazing a scheduler hiccup — or a host-speed drift between
+           the off block and the on block — can swing the ratio past
+           the 10% hard gate below *)
+        let t_off = ref infinity and t_on = ref infinity in
+        for _ = 1 to 3 do
+          t_off := Float.min !t_off (time (run off_cfg));
+          t_on := Float.min !t_on (time (run on_cfg))
+        done;
+        let r = !t_off /. !t_on in
+        record ~exp:"e17" ~name:(name ^ "/devplane-mips-ratio") ~value:r
+          ~unit_:"ratio";
+        r)
+      compute
+  in
+  let geomean =
+    exp (List.fold_left (fun a r -> a +. log r) 0.0 ratios
+         /. float_of_int (List.length ratios))
+  in
+  record ~exp:"e17" ~name:"compute-guard-geomean" ~value:geomean
+    ~unit_:"ratio";
+  Printf.printf
+    "compute guard: device plane on/off geomean MIPS ratio %.3f \
+     (1.0 = free; target >= 0.98 on a quiet machine)\n" geomean;
+  (* hard gate only on gross regression: sub-0.9 cannot be explained by
+     host timing noise and means the idle wheel leaked into the hot
+     path; the precise <=2% target is judged from the recorded metric
+     on a quiet machine *)
+  if geomean < 0.90 then
+    failwith
+      (Printf.sprintf
+         "E17: device plane costs %.1f%% on pure compute (budget 10%%)"
+         ((1.0 -. geomean) *. 100.0));
+  Printf.printf
+    "(one next-deadline compare per block exit when idle; DMA bursts \
+     move pages with host memcpy and invalidate translation blocks \
+     only in the written range — digest-identical on every engine, \
+     asserted above)\n"
+
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16) ]
+    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
+    ("e17", e17) ]
 
 let () =
   let rec parse json names = function

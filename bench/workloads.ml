@@ -534,6 +534,250 @@ next:
 |}
       ^ exit_with "a0" }
 
+(* ------------------------------------------------------------------ *)
+(* Device-plane workloads (E17).  Not WCET kernels — interrupt-driven
+   I/O drivers — so they stay out of [all] like [stream]/[pchase].     *)
+
+(* Total payload moved by [dma_irq] and [mmio_copy]: same byte count,
+   so the E17 throughput ratio is a direct bytes/s comparison. *)
+let device_bytes = 32768
+
+(* Per-byte PIO baseline: drain [device_bytes] bytes of the vnet's
+   synthetic stream through the RXDATA tap — one full MMIO device-read
+   per byte — into a RAM buffer, checksumming as it goes. *)
+let mmio_copy_seed = 5
+
+let mmio_copy =
+  { w_name = "mmio_copy";
+    w_expect =
+      Some
+        (let s = ref 0 in
+         for i = 0 to device_bytes - 1 do
+           s := !s + S4e_soc.Vnet.stream_byte mmio_copy_seed i
+         done;
+         !s land 0xFFFF_FFFF);
+    w_annotations = [];
+    w_source =
+      Printf.sprintf {|
+  .equ VNET, 0x10030000
+_start:
+  li   s0, VNET
+  li   t0, %d
+  sw   t0, 0x2C(s0)     # GEN_SEED
+  la   s1, buf
+  li   s2, 0
+  li   s3, %d
+  li   s5, 0            # checksum
+copy:
+  lw   a0, 0x50(s0)     # RXDATA: one stream byte per MMIO read
+  sb   a0, 0(s1)
+  add  s5, s5, a0
+  addi s1, s1, 1
+  addi s2, s2, 1
+  blt  s2, s3, copy
+  mv   a0, s5
+|} mmio_copy_seed device_bytes
+      ^ exit_with "a0"
+      ^ {|
+  .data
+buf:
+  .space 32768
+|} }
+
+(* DMA-burst counterpart: the same 32 KiB moved as 8 descriptor-ring
+   bursts of 4 KiB, driven by completion interrupts and WFI.  The guest
+   fills a 4 KiB source pattern, posts 8 descriptors, rings the tail
+   doorbell once, and sleeps; the handler just acknowledges.  Exits
+   with the burst count after verifying the byte counter and the last
+   word of every destination buffer. *)
+let dma_irq =
+  { w_name = "dma_irq";
+    w_expect = Some 8;
+    w_annotations = [];
+    w_source =
+      {|
+  .equ DMA, 0x10020000
+  .equ DST, 0x80040000
+_start:
+  la   t0, dma_handler
+  csrw mtvec, t0
+  li   t0, 0x800        # MEIE
+  csrw mie, t0
+  csrrsi zero, mstatus, 8
+  # fill the 4 KiB source: word i holds i
+  la   a0, src
+  li   t1, 0
+  li   t2, 1024
+fill:
+  sw   t1, 0(a0)
+  addi a0, a0, 4
+  addi t1, t1, 1
+  blt  t1, t2, fill
+  # 8 descriptors: src -> DST + i*4096, 4096 bytes, IRQ on completion
+  la   a0, ring
+  la   a1, src
+  li   a2, DST
+  li   t1, 0
+  li   t2, 8
+mkdesc:
+  sw   a1, 0(a0)
+  sw   a2, 4(a0)
+  li   t3, 4096
+  sw   t3, 8(a0)
+  li   t3, 1            # FLAG_IRQ
+  sw   t3, 12(a0)
+  addi a0, a0, 16
+  li   t3, 4096
+  add  a2, a2, t3
+  addi t1, t1, 1
+  blt  t1, t2, mkdesc
+  li   s0, DMA
+  la   t0, ring
+  sw   t0, 0x00(s0)     # RING
+  li   t0, 8
+  sw   t0, 0x04(s0)     # COUNT
+  li   t0, 1
+  sw   t0, 0x14(s0)     # IRQ_ENABLE
+  li   t0, 8
+  sw   t0, 0x08(s0)     # TAIL doorbell: all 8 bursts
+  li   s1, 8
+wait:
+  lw   t0, 0x20(s0)     # BURSTS
+  bge  t0, s1, copied
+  wfi
+  j    wait
+copied:
+  li   a0, 0
+  lw   t0, 0x24(s0)     # BYTES
+  li   t1, 32768
+  bne  t0, t1, done
+  li   a1, DST
+  li   t2, 4092
+  add  a1, a1, t2       # last word of buffer 0
+  li   t1, 0
+  li   t3, 8
+  li   t4, 1023
+check:
+  lw   t5, 0(a1)
+  bne  t5, t4, done
+  li   t6, 4096
+  add  a1, a1, t6
+  addi t1, t1, 1
+  blt  t1, t3, check
+  li   a0, 8
+done:
+|}
+      ^ exit_with "a0"
+      ^ {|
+dma_handler:
+  li   t5, DMA
+  lw   t4, 0x10(t5)     # IRQ_STATUS
+  sw   t4, 0x10(t5)     # W1C
+  mret
+
+  .data
+ring:
+  .space 128
+src:
+  .space 4096
+|} }
+
+(* Interrupt-driven vnet rx driver: 16 posted buffers, a 64-packet
+   generator burst, and a handler that acknowledges and re-posts the
+   full ring window.  Exits with the delivered count (drops zero the
+   result) plus the first payload byte, so delivery order, payload
+   bytes, and the refill protocol are all architecturally checked. *)
+let vnet_rx_seed = 5
+let vnet_rx_pkts = 64
+let vnet_rx_len = 192
+
+let vnet_rx =
+  { w_name = "vnet_rx";
+    w_expect =
+      (* slot 0 is recycled: with a 16-deep ring the last packet landing
+         in [bufs] is number 48, and payload byte j of packet k is
+         [stream_byte seed (k lsl 16 lor j)] *)
+      Some
+        (vnet_rx_pkts
+        + (S4e_soc.Vnet.stream_byte vnet_rx_seed (48 lsl 16) lsl 8));
+    w_annotations = [];
+    w_source =
+      Printf.sprintf {|
+  .equ VNET, 0x10030000
+_start:
+  la   t0, rx_handler
+  csrw mtvec, t0
+  li   t0, 0x800        # MEIE
+  csrw mie, t0
+  csrrsi zero, mstatus, 8
+  # 16 rx descriptors with 256-byte buffers
+  la   a0, ring
+  la   a1, bufs
+  li   t1, 0
+  li   t2, 16
+mk:
+  sw   a1, 0(a0)
+  li   t3, 256
+  sw   t3, 8(a0)
+  sw   zero, 12(a0)
+  addi a0, a0, 16
+  addi a1, a1, 256
+  addi t1, t1, 1
+  blt  t1, t2, mk
+  li   s0, VNET
+  li   t0, 1
+  sw   t0, 0x00(s0)     # CTRL: enable
+  la   t0, ring
+  sw   t0, 0x0C(s0)     # RX_BASE
+  li   t0, 16
+  sw   t0, 0x10(s0)     # RX_COUNT
+  sw   t0, 0x14(s0)     # RX_TAIL: 16 buffers posted
+  li   t0, 1
+  sw   t0, 0x08(s0)     # IRQ_ENABLE: rx
+  li   t0, %d
+  sw   t0, 0x2C(s0)     # GEN_SEED
+  li   t0, 96
+  sw   t0, 0x30(s0)     # GEN_RATE
+  li   t0, 2
+  sw   t0, 0x34(s0)     # GEN_BURST
+  li   t0, %d
+  sw   t0, 0x38(s0)     # GEN_LEN
+  li   t0, %d
+  sw   t0, 0x3C(s0)     # GEN_COUNT: arm the burst
+wait:
+  lw   t0, 0x3C(s0)     # packets still to emit
+  beqz t0, drain
+  wfi
+  j    wait
+drain:
+  lw   a0, 0x40(s0)     # RX_DELIVERED
+  lw   t0, 0x44(s0)     # RX_DROPPED
+  beqz t0, nodrop
+  li   a0, 0
+nodrop:
+  la   a1, bufs
+  lbu  t1, 0(a1)        # first payload byte of packet 0
+  slli t1, t1, 8
+  add  a0, a0, t1
+|} vnet_rx_seed vnet_rx_len vnet_rx_pkts
+      ^ exit_with "a0"
+      ^ {|
+rx_handler:
+  li   t5, VNET
+  lw   t4, 0x04(t5)     # IRQ_STATUS
+  sw   t4, 0x04(t5)     # W1C
+  lw   t4, 0x18(t5)     # RX_HEAD
+  addi t4, t4, 16       # keep the full window posted
+  sw   t4, 0x14(t5)     # RX_TAIL
+  mret
+
+  .data
+ring:
+  .space 256
+bufs:
+  .space 4096
+|} }
+
 let all = [ bubble_sort; matmul; crc32; fib; search; calls ]
 
 let program w = S4e_asm.Assembler.assemble_exn w.w_source

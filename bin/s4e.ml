@@ -92,8 +92,15 @@ let run_cmd =
            ~doc:"Report superblock trace statistics (promotions, \
                  completions, bail-out breakdown) after the run.")
   in
+  let trace_events_arg =
+    Arg.(value & opt (some string) None & info [ "trace-events" ]
+           ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event JSON file with one instant \
+                 event per device-plane event (DMA bursts, vnet \
+                 deliveries/drops/sends) after the run.")
+  in
   let action file fuel trace input cache_stats profile metrics no_mem_tlb
-      no_superblocks trace_stats =
+      no_superblocks trace_stats trace_events =
     let p = assemble_file file in
     let config =
       { S4e_cpu.Machine.default_config with
@@ -127,6 +134,12 @@ let run_cmd =
       end
       else None
     in
+    let tev =
+      Option.map (fun _ -> S4e_obs.Trace_events.create ()) trace_events
+    in
+    (match (reg, tev) with
+    | None, None -> ()
+    | _ -> S4e_cpu.Machine.observe_devices ?metrics:reg ?trace:tev m);
     S4e_asm.Program.load_machine p m;
     (match input with
     | Some s -> S4e_soc.Uart.feed m.S4e_cpu.Machine.uart s
@@ -171,7 +184,21 @@ let run_cmd =
           ms.S4e_mem.Bus.tlb_flushes
           (if total = 0 then 0.0
            else 100.0 *. float_of_int ms.S4e_mem.Bus.tlb_hits
-                /. float_of_int total));
+                /. float_of_int total);
+        (match S4e_mem.Bus.access_counts m.S4e_cpu.Machine.bus with
+        | [] -> ()
+        | counts ->
+            Format.printf "device mmio:";
+            List.iter
+              (fun (name, n) -> Format.printf " %s=%d" name n)
+              counts;
+            Format.printf "@.");
+        let ws = S4e_soc.Event_wheel.stats m.S4e_cpu.Machine.wheel in
+        Format.printf
+          "event wheel: %d fired, %d idle skips, %d live@."
+          ws.S4e_soc.Event_wheel.ws_fired
+          ws.S4e_soc.Event_wheel.ws_idle_skips
+          ws.S4e_soc.Event_wheel.ws_live);
     (if trace_stats then
        match S4e_cpu.Machine.trace_stats m with
        | None ->
@@ -203,6 +230,9 @@ let run_cmd =
     (match (reg, metrics) with
     | Some reg, Some path -> S4e_obs.Metrics.write_json reg path
     | _ -> ());
+    (match (tev, trace_events) with
+    | Some t, Some path -> S4e_obs.Trace_events.write t path
+    | _ -> ());
     match tracer with
     | None -> ()
     | Some t ->
@@ -217,7 +247,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Assemble and execute a program on the virtual prototype.")
     Term.(const action $ file_arg $ fuel_arg $ trace_arg $ input_arg
           $ cache_arg $ profile_arg $ metrics_arg $ no_mem_tlb_arg
-          $ no_superblocks_arg $ trace_stats_arg)
+          $ no_superblocks_arg $ trace_stats_arg $ trace_events_arg)
 
 (* ---------------- profile ---------------- *)
 
@@ -736,12 +766,24 @@ let torture_cmd =
     Arg.(value & flag & info [ "no-superblocks" ]
            ~doc:"Disable superblock trace promotion for the runs.")
   in
-  let action seed segments compress out count jobs no_mem_tlb no_sb =
+  let device_plane_arg =
+    Arg.(value & flag & info [ "device-plane" ]
+           ~doc:"Arm the deterministic device-traffic rig (vnet generator \
+                 burst + delayed DMA descriptors) concurrently with each \
+                 run and append a device/digest summary to the result \
+                 line. The summary is engine-independent: it must match \
+                 across --no-mem-tlb / --no-superblocks.")
+  in
+  let action seed segments compress out count jobs no_mem_tlb no_sb dev =
     let mem_tlb = not no_mem_tlb in
     let superblocks = not no_sb in
     let cfg_of seed =
       { S4e_torture.Torture.default_config with
         S4e_torture.Torture.seed; segments; compress }
+    in
+    let pp_dev ppf = function
+      | Some s -> Format.fprintf ppf "; %s" s
+      | None -> ()
     in
     if count <= 1 then begin
       let cfg = cfg_of seed in
@@ -750,12 +792,12 @@ let torture_cmd =
       | Some path -> S4e_asm.Program.save p path
       | None -> ());
       let r =
-        S4e_core.Flows.run ~mem_tlb ~superblocks
+        S4e_core.Flows.run ~mem_tlb ~superblocks ~device_traffic:dev
           ~fuel:(S4e_torture.Torture.fuel_bound cfg) p
       in
-      Format.printf "torture seed=%d: %a; %d instructions@." seed
+      Format.printf "torture seed=%d: %a; %d instructions%a@." seed
         S4e_cpu.Machine.pp_stop_reason r.S4e_core.Flows.rr_stop
-        r.S4e_core.Flows.rr_instret
+        r.S4e_core.Flows.rr_instret pp_dev r.S4e_core.Flows.rr_dev
     end
     else begin
       let fuel = S4e_torture.Torture.fuel_bound (cfg_of seed) in
@@ -765,20 +807,22 @@ let torture_cmd =
             (string_of_int s, S4e_torture.Torture.generate (cfg_of s)))
       in
       let results =
-        S4e_core.Flows.run_suite ~mem_tlb ~superblocks ~fuel ~jobs suite
+        S4e_core.Flows.run_suite ~mem_tlb ~superblocks ~device_traffic:dev
+          ~fuel ~jobs suite
       in
       List.iter
         (fun (name, r) ->
-          Format.printf "torture seed=%s: %a; %d instructions@." name
+          Format.printf "torture seed=%s: %a; %d instructions%a@." name
             S4e_cpu.Machine.pp_stop_reason r.S4e_core.Flows.rr_stop
-            r.S4e_core.Flows.rr_instret)
+            r.S4e_core.Flows.rr_instret pp_dev r.S4e_core.Flows.rr_dev)
         results
     end
   in
   Cmd.v
     (Cmd.info "torture" ~doc:"Generate and run random test programs.")
     Term.(const action $ seed_arg $ segments_arg $ compress_arg $ out_arg
-          $ count_arg $ jobs_arg $ no_mem_tlb_arg $ no_sb_arg)
+          $ count_arg $ jobs_arg $ no_mem_tlb_arg $ no_sb_arg
+          $ device_plane_arg)
 
 (* ---------------- bmi ---------------- *)
 

@@ -8,9 +8,65 @@ type run_result = {
   rr_instret : int;
   rr_cycles : int;
   rr_uart : string;
+  rr_dev : string option;
 }
 
 let default_fuel = 10_000_000
+
+(* Device-plane exercise rig: a host-armed traffic pattern that runs
+   CONCURRENTLY with whatever program is executing, so torture programs
+   are stressed by DMA writes, vnet deliveries and MEIP assertions they
+   never asked for.  Everything is deterministic (fixed seed/cadence,
+   event-wheel ordering), so cross-engine digest comparisons stay
+   exact.  The rig lives well above the torture data window. *)
+let rig_base = S4e_soc.Memory_map.ram_base + 0x30_0000
+
+let arm_device_rig ?(seed = 7) m =
+  let bus = m.Machine.bus in
+  let w32 = S4e_mem.Bus.write32 bus in
+  let desc = S4e_soc.Dma.desc_size in
+  (* rx ring: 32 descriptors, one 256-byte buffer each *)
+  let rx_ring = rig_base and rx_bufs = rig_base + 0x1000 in
+  for i = 0 to 31 do
+    w32 (rx_ring + (i * desc)) (rx_bufs + (i * 256));
+    w32 (rx_ring + (i * desc) + 8) 256;
+    w32 (rx_ring + (i * desc) + 12) 0
+  done;
+  let vnet = S4e_soc.Memory_map.vnet_base in
+  w32 (vnet + 0x00) 1 (* CTRL: enable *);
+  w32 (vnet + 0x0C) rx_ring;
+  w32 (vnet + 0x10) 32;
+  w32 (vnet + 0x14) 32 (* all 32 buffers posted *);
+  w32 (vnet + 0x2C) seed;
+  w32 (vnet + 0x30) 128 (* rate *);
+  w32 (vnet + 0x34) 4 (* burst *);
+  w32 (vnet + 0x38) 128 (* payload length *);
+  w32 (vnet + 0x3C) 256 (* arm: 256 packets *);
+  (* DMA: 4 descriptors copying the torture data window into the rig
+     area, spread out by DELAY so copies land mid-run and snapshot
+     moving state — a cross-engine timing probe. *)
+  let dma_ring = rig_base + 0x4000 and dma_dst = rig_base + 0x5000 in
+  let data = S4e_soc.Memory_map.ram_base + 0x20000 in
+  for i = 0 to 3 do
+    w32 (dma_ring + (i * desc)) data;
+    w32 (dma_ring + (i * desc) + 4) (dma_dst + (i * 0x400));
+    w32 (dma_ring + (i * desc) + 8) 1024;
+    w32 (dma_ring + (i * desc) + 12) 0
+  done;
+  let dma = S4e_soc.Memory_map.dma_base in
+  w32 (dma + 0x00) dma_ring;
+  w32 (dma + 0x04) 4;
+  w32 (dma + 0x1C) 100 (* DELAY: spread completions across the run *);
+  w32 (dma + 0x08) 4 (* doorbell *)
+
+let device_summary m =
+  let vn = S4e_soc.Vnet.stats m.Machine.vnet in
+  let dm = S4e_soc.Dma.stats m.Machine.dma in
+  let ws = S4e_soc.Event_wheel.stats m.Machine.wheel in
+  Printf.sprintf "vnet rx=%d drop=%d dma=%dB wheel=%d digest=%s"
+    vn.S4e_soc.Vnet.vn_rx_delivered vn.S4e_soc.Vnet.vn_rx_dropped
+    dm.S4e_soc.Dma.dma_bytes ws.S4e_soc.Event_wheel.ws_fired
+    (String.sub (Digest.to_hex (Machine.state_digest m)) 0 12)
 
 (* [?mem_tlb] / [?superblocks] override single config knobs without the
    caller having to spell out a whole config record (the CLI's
@@ -26,15 +82,18 @@ let apply_knobs mem_tlb superblocks config =
   apply_knob mem_tlb (fun c on -> { c with Machine.mem_tlb = on }) config
   |> apply_knob superblocks (fun c on -> { c with Machine.superblocks = on })
 
-let run ?config ?mem_tlb ?superblocks ?(fuel = default_fuel) p =
+let run ?config ?mem_tlb ?superblocks ?(device_traffic = false)
+    ?(fuel = default_fuel) p =
   let config = apply_knobs mem_tlb superblocks config in
   let m = Machine.create ?config () in
   Program.load_machine p m;
+  if device_traffic then arm_device_rig m;
   let stop = Machine.run m ~fuel in
   { rr_stop = stop;
     rr_instret = Machine.instret m;
     rr_cycles = Machine.cycles m;
-    rr_uart = Machine.uart_output m }
+    rr_uart = Machine.uart_output m;
+    rr_dev = (if device_traffic then Some (device_summary m) else None) }
 
 let coverage_of_program ?config ~fuel p =
   let m = Machine.create ?config () in
@@ -69,15 +128,17 @@ let coverage_of_suite ?config ?(fuel = default_fuel) ?(jobs = 1) suite =
     (S4e_coverage.Report.create ~isa)
     reports
 
-let run_suite ?config ?mem_tlb ?superblocks ?fuel ?(jobs = 1) suite =
+let run_suite ?config ?mem_tlb ?superblocks ?device_traffic ?fuel
+    ?(jobs = 1) suite =
   let config = apply_knobs mem_tlb superblocks config in
   if jobs <= 1 || List.length suite <= 1 then
-    List.map (fun (name, p) -> (name, run ?config ?fuel p)) suite
+    List.map (fun (name, p) -> (name, run ?config ?device_traffic ?fuel p))
+      suite
   else begin
     ignore (Machine.create ?config () : Machine.t);
     S4e_par.Par_pool.with_pool ~jobs (fun pool ->
         S4e_par.Par_pool.map_chunked ~chunk:1 pool
-          (fun (name, p) -> (name, run ?config ?fuel p))
+          (fun (name, p) -> (name, run ?config ?device_traffic ?fuel p))
           suite)
   end
 

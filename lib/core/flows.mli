@@ -14,15 +14,29 @@ type run_result = {
   rr_instret : int;
   rr_cycles : int;
   rr_uart : string;
+  rr_dev : string option;
+      (** device-plane summary line when the run was armed with
+          [~device_traffic:true]; [None] otherwise *)
 }
 
 val run :
   ?config:S4e_cpu.Machine.config -> ?mem_tlb:bool -> ?superblocks:bool ->
-  ?fuel:int -> S4e_asm.Program.t -> run_result
+  ?device_traffic:bool -> ?fuel:int -> S4e_asm.Program.t -> run_result
 (** Default fuel: 10 million instructions.  [mem_tlb] and [superblocks]
     override the config's software-TLB / superblock-trace knobs (see
     {!S4e_cpu.Machine.config}) without the caller having to build a
-    config record. *)
+    config record.  [device_traffic] (default false) arms
+    {!arm_device_rig} before running, and fills [rr_dev] with a
+    deterministic device/digest summary afterwards. *)
+
+val arm_device_rig : ?seed:int -> S4e_cpu.Machine.t -> unit
+(** Host-arms a deterministic device-plane exercise pattern on an
+    already-loaded machine: 32 posted vnet rx buffers plus a 256-packet
+    generator burst (rate 128, burst 4, 128-byte payloads), and 4
+    delayed 1 KiB DMA descriptors copying the torture data window.
+    The traffic then runs concurrently with guest execution, stressing
+    DMA invalidation, MEIP sampling, and the event wheel, while staying
+    digest-identical across engines. *)
 
 (** {1 Coverage} *)
 
@@ -41,12 +55,14 @@ val run_suite :
   ?config:S4e_cpu.Machine.config ->
   ?mem_tlb:bool ->
   ?superblocks:bool ->
+  ?device_traffic:bool ->
   ?fuel:int ->
   ?jobs:int ->
   (string * S4e_asm.Program.t) list ->
   (string * run_result) list
 (** [run] over a whole suite, optionally domain-parallel; results keep
-    suite order.  [mem_tlb] and [superblocks] as in {!run}. *)
+    suite order.  [mem_tlb], [superblocks] and [device_traffic] as in
+    {!run}. *)
 
 (** {1 WCET (the QTA flow)} *)
 

@@ -17,13 +17,17 @@ type config = {
   superblocks : bool;
       (* promote hot chained paths into cross-block traces; requires
          the lowered+chained engine to do anything *)
+  device_plane : bool;
+      (* attach the event-driven devices (DMA engine, vnet) and route
+         the CLINT deadline through the event wheel; off reverts to the
+         four-device platform with direct timer polling *)
 }
 
 let default_config =
   { isa = [ Isa_module.I; M; A; F; C; Zicsr; B ];
     timing = Timing_model.default; use_tb_cache = true;
     decoder = Decodetree_decoder; lower_blocks = true; chain_blocks = true;
-    mem_tlb = true; superblocks = true }
+    mem_tlb = true; superblocks = true; device_plane = true }
 
 type stop_reason =
   | Exited of int
@@ -45,6 +49,9 @@ type t = {
   clint : Soc.Clint.t;
   gpio : Soc.Gpio.t;
   syscon : Soc.Syscon.t;
+  wheel : Soc.Event_wheel.t;
+  dma : Soc.Dma.t;
+  vnet : Soc.Vnet.t;
   hooks : Hooks.t;
   config : config;
   decode32 : word -> Instr.t option;
@@ -99,11 +106,41 @@ let make_decoder config =
 (* Interrupt pending bits in mip. *)
 let msip_bit = 1 lsl 3
 let mtip_bit = 1 lsl 7
+let meip_bit = 1 lsl 11
 
-let update_mip t =
+(* Level-sampled mip from the interrupt sources: the CLINT compares
+   (recomputed eagerly — mtimecmp may move in either direction) and the
+   wheel's aggregated device lines as MEIP. *)
+let compute_mip t =
   let mip = ref 0 in
   if Soc.Clint.timer_pending t.clint then mip := !mip lor mtip_bit;
   if Soc.Clint.software_pending t.clint then mip := !mip lor msip_bit;
+  if t.config.device_plane && Soc.Event_wheel.irq_pending t.wheel <> 0 then
+    mip := !mip lor meip_bit;
+  t.state.mip <- !mip
+
+(* Interrupt sampling point (block boundaries, wfi): consult the
+   wheel's single [next_deadline] word, run any due device events —
+   after draining batched cycles, so devices observe exact time — then
+   recompute mip.  An idle device plane costs one compare here, so the
+   whole sample is one pass over the already-loaded CLINT fields
+   (batched cycles are always drained before a boundary, making [now]
+   the exact mtime). *)
+let update_mip t =
+  let clint = t.clint in
+  let now = Soc.Clint.time clint + !(t.pending_ticks) in
+  let mip = ref 0 in
+  if t.config.device_plane then begin
+    let w = t.wheel in
+    if now >= Soc.Event_wheel.next_deadline w then begin
+      t.lower_ctx.Lower.lx_flush_time ();
+      Soc.Event_wheel.run_due w ~now
+    end
+    else Soc.Event_wheel.note_idle_skip w;
+    if Soc.Event_wheel.irq_pending w <> 0 then mip := !mip lor meip_bit
+  end;
+  if now >= Soc.Clint.timecmp clint then mip := !mip lor mtip_bit;
+  if Soc.Clint.software_pending clint then mip := !mip lor msip_bit;
   t.state.mip <- !mip
 
 (* Trap entry.  Returns [Some stop] when the trap is fatal (no handler
@@ -127,6 +164,7 @@ let create ?(config = default_config) () =
   let clint = Soc.Clint.create () in
   let gpio = Soc.Gpio.create () in
   let syscon = Soc.Syscon.create () in
+  let wheel = Soc.Event_wheel.create () in
   Bus.attach bus (Soc.Uart.device uart ~base:Soc.Memory_map.uart_base);
   Bus.attach bus (Soc.Clint.device clint ~base:Soc.Memory_map.clint_base);
   Bus.attach bus (Soc.Gpio.device gpio ~base:Soc.Memory_map.gpio_base);
@@ -144,6 +182,32 @@ let create ?(config = default_config) () =
       ~fetch16:(Bus.fetch16 bus) ()
   in
   let pending_ticks = ref 0 in
+  (* DMA masters see virtual time with the lowered engine's batched
+     cycles folded in, and invalidate translated code over the exact
+     written ranges, so device activity is engine-invisible. *)
+  let dev_now () = Soc.Clint.time clint + !pending_ticks in
+  let dev_notify addr len = Tb_cache.notify_range tb addr len in
+  let dma =
+    Soc.Dma.create ~mem:(Bus.ram bus) ~wheel ~now:dev_now ~notify:dev_notify ()
+  in
+  let vnet =
+    Soc.Vnet.create ~mem:(Bus.ram bus) ~wheel ~now:dev_now ~notify:dev_notify ()
+  in
+  if config.device_plane then begin
+    Bus.attach bus (Soc.Dma.device dma ~base:Soc.Memory_map.dma_base);
+    Bus.attach bus (Soc.Vnet.device vnet ~base:Soc.Memory_map.vnet_base);
+    (* CLINT as a wheel client: a no-op event advertises the MTIMECMP
+       deadline so [next_deadline] is the platform's single
+       next-interesting-time word (MTIP itself stays level-sampled in
+       [compute_mip]).  Re-armed on every MTIMECMP change, including
+       reset/restore. *)
+    let clint_ev = ref (-1) in
+    Soc.Clint.set_on_timecmp clint (fun cmp ->
+        if !clint_ev >= 0 then Soc.Event_wheel.cancel wheel !clint_ev;
+        clint_ev :=
+          (if cmp = max_int then -1
+           else Soc.Event_wheel.schedule wheel ~at:cmp (fun _ -> ())))
+  end;
   (* Per-block retire accounting for the lowered engine: [seg_idx] is
      the µop index of the running block segment, [seg_base] the index
      up to which instret/fuel have been credited.  Draining both in the
@@ -174,10 +238,10 @@ let create ?(config = default_config) () =
       lx_dev_limit = Soc.Memory_map.ram_base }
   in
   let m =
-    { state; bus; uart; clint; gpio; syscon; hooks = Hooks.create ();
-      config; decode32; tb; last_load_mask = 0; pending_ticks; seg_idx;
-      seg_base; fuel_left; exit_dirty; lower_ctx; sb = None;
-      profiler = None }
+    { state; bus; uart; clint; gpio; syscon; wheel; dma; vnet;
+      hooks = Hooks.create (); config; decode32; tb; last_load_mask = 0;
+      pending_ticks; seg_idx; seg_base; fuel_left; exit_dirty; lower_ctx;
+      sb = None; profiler = None }
   in
   (* The superblock engine only runs where the lowered+chained engine
      runs (chain-edge heat drives promotion), so don't even install the
@@ -230,13 +294,32 @@ let create ?(config = default_config) () =
             (* the dispatch loop's between-block [update_mip] +
                deliverability test, with the batched-but-unapplied
                cycles folded into the timer comparison so the sampled
-               mip matches a per-block flushing run exactly *)
+               mip matches a per-block flushing run exactly.  When
+               device events fire the trace bails even without a
+               deliverable interrupt: an event may have invalidated a
+               member of the very trace being executed (DMA into code),
+               and only a bail re-establishes exact state and
+               retranslates. *)
             let now = Soc.Clint.time clint + !pending_ticks in
+            let fired =
+              config.device_plane
+              && now >= Soc.Event_wheel.next_deadline wheel
+              && begin
+                   flush_cycles ();
+                   Soc.Event_wheel.run_due wheel ~now;
+                   true
+                 end
+            in
+            if config.device_plane && not fired then
+              Soc.Event_wheel.note_idle_skip wheel;
             let mip = ref 0 in
             if now >= Soc.Clint.timecmp clint then mip := !mip lor mtip_bit;
             if Soc.Clint.software_pending clint then mip := !mip lor msip_bit;
+            if config.device_plane
+               && Soc.Event_wheel.irq_pending wheel <> 0
+            then mip := !mip lor meip_bit;
             state.mip <- !mip;
-            Arch_state.mie_bit state && state.mie land !mip <> 0);
+            fired || (Arch_state.mie_bit state && state.mie land !mip <> 0));
         sx_notify_store = (fun addr -> Tb_cache.notify_store tb addr);
         sx_get_llm = (fun () -> m.last_load_mask);
         sx_set_llm = (fun v -> m.last_load_mask <- v);
@@ -263,6 +346,19 @@ let register_metrics ?(prefix = "machine.") t reg =
   g "mem.tlb_hits" (fun () -> (Bus.tlb_stats t.bus).Bus.tlb_hits);
   g "mem.tlb_misses" (fun () -> (Bus.tlb_stats t.bus).Bus.tlb_misses);
   g "mem.tlb_flushes" (fun () -> (Bus.tlb_stats t.bus).Bus.tlb_flushes);
+  g "wheel.fired" (fun () ->
+      (Soc.Event_wheel.stats t.wheel).Soc.Event_wheel.ws_fired);
+  g "wheel.idle_skips" (fun () ->
+      (Soc.Event_wheel.stats t.wheel).Soc.Event_wheel.ws_idle_skips);
+  g "wheel.live" (fun () ->
+      (Soc.Event_wheel.stats t.wheel).Soc.Event_wheel.ws_live);
+  g "dma.bursts" (fun () -> (Soc.Dma.stats t.dma).Soc.Dma.dma_bursts);
+  g "dma.bytes" (fun () -> (Soc.Dma.stats t.dma).Soc.Dma.dma_bytes);
+  g "vnet.rx_delivered" (fun () ->
+      (Soc.Vnet.stats t.vnet).Soc.Vnet.vn_rx_delivered);
+  g "vnet.rx_dropped" (fun () ->
+      (Soc.Vnet.stats t.vnet).Soc.Vnet.vn_rx_dropped);
+  g "vnet.tx_sent" (fun () -> (Soc.Vnet.stats t.vnet).Soc.Vnet.vn_tx_sent);
   match t.sb with
   | Some s ->
       g "sb.traces" (fun () -> (Superblock.stats s).Superblock.sb_live);
@@ -275,8 +371,61 @@ let register_metrics ?(prefix = "machine.") t reg =
       g "sb.instrs" (fun () -> (Superblock.stats s).Superblock.sb_instrs)
   | None -> ()
 
+(* Wire telemetry observers into the device plane: queue-depth and
+   burst-size histograms plus per-event trace instants.  Single-slot
+   closures on the devices — the hot path without observers pays one
+   [None] test per completed event, and nothing per guest instruction. *)
+let observe_devices ?metrics ?trace t =
+  let dma_h, rx_h =
+    match metrics with
+    | Some reg ->
+        ( Some
+            (S4e_obs.Metrics.histogram reg "dma.burst_bytes"
+               ~bounds:[| 64; 256; 1024; 4096; 16384 |]),
+          Some
+            (S4e_obs.Metrics.histogram reg "vnet.rx_queue_depth"
+               ~bounds:[| 0; 1; 2; 4; 8; 16; 32; 64 |]) )
+    | None -> (None, None)
+  in
+  let emit name bytes depth =
+    match trace with
+    | Some tr ->
+        S4e_obs.Trace_events.instant tr
+          ~args:
+            [ ("bytes", string_of_int bytes); ("depth", string_of_int depth) ]
+          ~name ~cat:"device" ~tid:0 ()
+    | None -> ()
+  in
+  if metrics = None && trace = None then begin
+    Soc.Dma.set_observer t.dma None;
+    Soc.Vnet.set_observer t.vnet None
+  end
+  else begin
+    Soc.Dma.set_observer t.dma
+      (Some
+         (fun ~bytes ~depth ->
+           (match dma_h with
+           | Some h -> S4e_obs.Metrics.observe h bytes
+           | None -> ());
+           emit "dma.burst" bytes depth));
+    Soc.Vnet.set_observer t.vnet
+      (Some
+         (fun ~kind ~bytes ~depth ->
+           (match rx_h with
+           | Some h when kind <> "tx" -> S4e_obs.Metrics.observe h depth
+           | _ -> ());
+           emit ("vnet." ^ kind) bytes depth))
+  end
+
+let set_uart_sink t sink = Soc.Uart.set_sink t.uart sink
+
 let reset t ~pc =
   Arch_state.reset t.state ~pc;
+  (* wheel first: device resets cancel into an already-empty wheel, and
+     the CLINT reset re-arms its deadline client through its hook *)
+  Soc.Event_wheel.clear t.wheel;
+  Soc.Dma.reset t.dma;
+  Soc.Vnet.reset t.vnet;
   Soc.Clint.reset t.clint;
   Soc.Syscon.reset t.syscon;
   Soc.Uart.clear_output t.uart;
@@ -300,25 +449,51 @@ let pending_interrupt t =
   else
     let active = t.state.mie land t.state.mip in
     if active = 0 then None
+    else if active land meip_bit <> 0 then Some Trap.External
     else if active land msip_bit <> 0 then Some Trap.Software
     else Some Trap.Timer
 
-(* WFI: wake if an interrupt can arrive; fast-forward the timer when a
-   future timer interrupt is the only wake source. *)
+(* Deterministic cap on WFI event fast-forwarding: a device plane that
+   keeps generating non-waking events (e.g. a traffic generator with
+   interrupts masked) must not spin here forever. *)
+let wfi_event_budget = 65536
+
+(* WFI: wake if an interrupt can arrive; fast-forward virtual time to
+   the next event-wheel deadline (which includes the CLINT MTIMECMP via
+   its wheel client) until an enabled interrupt becomes pending.  With
+   the device plane off this degrades to the classic timer skip. *)
 let wfi_resume t =
   update_mip t;
   if t.state.mie land t.state.mip <> 0 then true
-  else if t.state.mie land mtip_bit <> 0 then begin
-    let now = Soc.Clint.time t.clint in
-    let cmp = Soc.Clint.timecmp t.clint in
-    if cmp = max_int then false
-    else begin
-      if cmp > now then Soc.Clint.tick t.clint (cmp - now);
-      update_mip t;
-      true
+  else if not t.config.device_plane then
+    if t.state.mie land mtip_bit <> 0 then begin
+      let now = Soc.Clint.time t.clint in
+      let cmp = Soc.Clint.timecmp t.clint in
+      if cmp = max_int then false
+      else begin
+        if cmp > now then Soc.Clint.tick t.clint (cmp - now);
+        update_mip t;
+        true
+      end
     end
+    else false
+  else begin
+    let budget = ref wfi_event_budget in
+    let woken = ref false and give_up = ref false in
+    while (not !woken) && not !give_up do
+      let next = Soc.Event_wheel.next_deadline t.wheel in
+      if next = max_int || !budget <= 0 then give_up := true
+      else begin
+        decr budget;
+        let now = Soc.Clint.time t.clint in
+        if next > now then Soc.Clint.tick t.clint (next - now);
+        Soc.Event_wheel.run_due t.wheel ~now:(Soc.Clint.time t.clint);
+        compute_mip t;
+        if t.state.mie land t.state.mip <> 0 then woken := true
+      end
+    done;
+    !woken
   end
-  else false
 
 let instret t = t.state.instret
 let cycles t = t.state.cycle
@@ -542,6 +717,18 @@ let run t ~fuel =
   let at_boundary = ref true in
   let block_len = ref 0 in
   let prev = ref None in
+  (* Traps raised at dispatch (misaligned pc, undecodable word) consume
+     fuel like any attempted instruction even though nothing retires: a
+     corrupted mtvec pointing at untranslatable memory re-traps
+     immediately, and without the charge that loop would never
+     terminate.  Shared by every engine config, so fuel consumption
+     stays engine-identical. *)
+  let fetch_trap_or_stop cause pc =
+    decr remaining;
+    match enter_exception t cause pc with
+    | Some stop -> raise (Stop stop)
+    | None -> ()
+  in
   try
     while !remaining > 0 do
       if use_tb || !at_boundary then begin
@@ -557,9 +744,7 @@ let run t ~fuel =
       let pc = state.pc in
       if misaligned_pc t pc then begin
         at_boundary := true;
-        match enter_exception t Trap.Misaligned_fetch pc with
-        | Some stop -> raise (Stop stop)
-        | None -> ()
+        fetch_trap_or_stop Trap.Misaligned_fetch pc
       end
       else if use_tb then begin
         let entry =
@@ -570,9 +755,7 @@ let run t ~fuel =
         let n = Array.length entry.Tb_cache.instrs in
         if n = 0 then begin
           let word = Bus.fetch32 t.bus pc in
-          match enter_exception t (Trap.Illegal_instruction word) pc with
-          | Some stop -> raise (Stop stop)
-          | None -> ()
+          fetch_trap_or_stop (Trap.Illegal_instruction word) pc
         end
         else begin
           match prof with
@@ -627,9 +810,7 @@ let run t ~fuel =
             else begin
               let word = Bus.fetch32 t.bus pc in
               at_boundary := true;
-              match enter_exception t (Trap.Illegal_instruction word) pc with
-              | Some stop -> raise (Stop stop)
-              | None -> ()
+              fetch_trap_or_stop (Trap.Illegal_instruction word) pc
             end
         | Some (size, instr) ->
             if Hooks.has_block t.hooks then Hooks.fire_block t.hooks pc 1;
@@ -643,8 +824,11 @@ let run t ~fuel =
             then at_boundary := true
       end
     done;
+    Soc.Uart.flush_host t.uart;
     Out_of_fuel
-  with Stop reason -> reason
+  with Stop reason ->
+    Soc.Uart.flush_host t.uart;
+    reason
 
 (* ---------------- snapshot / restore ---------------- *)
 
@@ -655,6 +839,8 @@ type snapshot = {
   snap_clint : Soc.Clint.snapshot;
   snap_gpio : Soc.Gpio.snapshot;
   snap_syscon : Soc.Syscon.snapshot;
+  snap_dma : Soc.Dma.snapshot;
+  snap_vnet : Soc.Vnet.snapshot;
   snap_last_load_mask : int;
 }
 
@@ -665,15 +851,23 @@ let snapshot t =
     snap_clint = Soc.Clint.snapshot t.clint;
     snap_gpio = Soc.Gpio.snapshot t.gpio;
     snap_syscon = Soc.Syscon.snapshot t.syscon;
+    snap_dma = Soc.Dma.snapshot t.dma;
+    snap_vnet = Soc.Vnet.snapshot t.vnet;
     snap_last_load_mask = t.last_load_mask }
 
 let restore t s =
   Arch_state.restore t.state s.snap_state;
   S4e_mem.Sparse_mem.restore (Bus.ram t.bus) s.snap_mem;
   Soc.Uart.restore t.uart s.snap_uart;
+  (* the wheel holds closures, which a snapshot cannot capture: clear
+     it, then let each client re-arm from its restored register state
+     (the CLINT through its MTIMECMP hook, DMA/vnet in [restore]) *)
+  Soc.Event_wheel.clear t.wheel;
   Soc.Clint.restore t.clint s.snap_clint;
   Soc.Gpio.restore t.gpio s.snap_gpio;
   Soc.Syscon.restore t.syscon s.snap_syscon;
+  Soc.Dma.restore t.dma s.snap_dma;
+  Soc.Vnet.restore t.vnet s.snap_vnet;
   t.last_load_mask <- s.snap_last_load_mask;
   t.pending_ticks := 0;
   t.seg_idx := 0;
@@ -710,6 +904,10 @@ let state_digest ?(include_time = true) t =
   add (Soc.Clint.timecmp t.clint);
   add (if Soc.Clint.software_pending t.clint then 1 else 0);
   add (Soc.Gpio.output t.gpio);
+  Buffer.add_string b (Soc.Dma.digest ~include_time t.dma);
+  Buffer.add_char b ';';
+  Buffer.add_string b (Soc.Vnet.digest ~include_time t.vnet);
+  Buffer.add_char b ';';
   Buffer.add_string b (Soc.Uart.output t.uart);
   Buffer.add_char b ';';
   Buffer.add_string b (S4e_mem.Sparse_mem.digest (Bus.ram t.bus));

@@ -46,6 +46,13 @@ type config = {
           ({!Superblock}); only effective on the lowered engine.
           Observable behavior is identical either way (enforced by
           differential tests). *)
+  device_plane : bool;
+      (** attach the event-driven device plane — the DMA engine and the
+          vnet device at {!S4e_soc.Memory_map.dma_base}/[vnet_base],
+          with the CLINT deadline routed through the
+          {!S4e_soc.Event_wheel} and device interrupts delivered as
+          [mip.MEIP].  Off reverts to the four-device platform with
+          direct timer polling (the E17 compute-guard baseline). *)
 }
 
 val default_config : config
@@ -69,6 +76,11 @@ type t = {
   clint : S4e_soc.Clint.t;
   gpio : S4e_soc.Gpio.t;
   syscon : S4e_soc.Syscon.t;
+  wheel : S4e_soc.Event_wheel.t;
+      (** the device event scheduler; always constructed, only consulted
+          at interrupt-sampling points when [config.device_plane] *)
+  dma : S4e_soc.Dma.t;
+  vnet : S4e_soc.Vnet.t;
   hooks : Hooks.t;
   config : config;
   decode32 : word -> S4e_isa.Instr.t option;
@@ -121,10 +133,25 @@ val register_metrics : ?prefix:string -> t -> S4e_obs.Metrics.t -> unit
 (** Registers gauges over the machine's existing counters —
     [<prefix>instret], [cycles], [tb.blocks], [tb.hits], [tb.misses],
     [tb.chain_hits], [tb.invalidations], [mem.tlb_hits],
-    [mem.tlb_misses], [mem.tlb_flushes], and (when superblocks are on)
-    [sb.traces], [sb.promotions], [sb.invalidations], [sb.execs],
-    [sb.completions], [sb.instrs] (prefix default ["machine."]).
-    Gauges are read-on-demand probes: the hot path is untouched. *)
+    [mem.tlb_misses], [mem.tlb_flushes], [wheel.fired],
+    [wheel.idle_skips], [wheel.live], [dma.bursts], [dma.bytes],
+    [vnet.rx_delivered], [vnet.rx_dropped], [vnet.tx_sent], and (when
+    superblocks are on) [sb.traces], [sb.promotions],
+    [sb.invalidations], [sb.execs], [sb.completions], [sb.instrs]
+    (prefix default ["machine."]).  Gauges are read-on-demand probes:
+    the hot path is untouched. *)
+
+val observe_devices :
+  ?metrics:S4e_obs.Metrics.t -> ?trace:S4e_obs.Trace_events.t -> t -> unit
+(** Wires telemetry observers into the device plane: a [dma.burst_bytes]
+    histogram per completed DMA burst, a [vnet.rx_queue_depth] histogram
+    per rx delivery/drop, and one Chrome-trace instant per device event
+    (cat ["device"]).  Calling with neither argument detaches the
+    observers.  Purely observational — digests are unchanged. *)
+
+val set_uart_sink : t -> (string -> unit) option -> unit
+(** Installs a batched host sink for UART output ({!S4e_soc.Uart.set_sink});
+    [run] flushes it at every stop. *)
 
 val reset : t -> pc:word -> unit
 (** Architectural reset (registers, CSRs, CLINT, syscon); memory, the

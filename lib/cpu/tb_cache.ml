@@ -270,6 +270,23 @@ let notify_store t addr =
     done
   end
 
+(* Same as [notify_store] for an arbitrary-length written range (DMA
+   bursts): one pass over the overlapped pages, not one call per word. *)
+let notify_range t addr len =
+  if len > 0 && addr + len > t.code_lo && addr < t.code_hi then begin
+    let lo = addr lsr page_shift and hi = (addr + len - 1) lsr page_shift in
+    for p = lo to hi do
+      match Hashtbl.find_opt t.pages p with
+      | Some l ->
+          List.iter
+            (fun e ->
+              if e.block_pc < addr + len && addr < e.block_pc + span e then
+                kill t e)
+            !l
+      | None -> ()
+    done
+  end
+
 type stats = {
   st_blocks : int;
   st_hits : int;

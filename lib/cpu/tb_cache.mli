@@ -96,6 +96,11 @@ val notify_store : t -> word -> unit
     [addr], severing chain links into them.  Blocks elsewhere stay
     cached. *)
 
+val notify_range : t -> word -> int -> unit
+(** [notify_range t addr len] — {!notify_store} for an arbitrary-length
+    written range (DMA bursts): invalidates exactly the blocks
+    overlapping [\[addr, addr+len)]. *)
+
 val flush : t -> unit
 
 val set_invalidate_hooks :

@@ -158,9 +158,30 @@ let classify ~(golden : signature) m stop =
 
 let run_one ?config ~fuel program ~golden fault =
   let m = run_machine ?config program in
-  let armed = Injector.arm m fault in
-  let stop = Machine.run m ~fuel in
-  Injector.disarm m armed;
+  let run_armed fuel =
+    let armed = Injector.arm m fault in
+    let stop = Machine.run m ~fuel in
+    Injector.disarm m armed;
+    stop
+  in
+  let stop =
+    match fault.Fault.kind with
+    | Fault.Transient n when n < fuel -> (
+        (* Segment the run at the injection instant.  A transient flip
+           into memory becomes architecturally visible at the next
+           translation-block boundary, and where that boundary falls
+           depends on block geometry: a continuous run lets a flip into
+           the currently-executing block go unseen until the block
+           ends, while the campaign engine's forked suffixes always
+           resume — and therefore re-decode — at exactly the injection
+           point.  Splitting the run here pins the visibility boundary
+           to the same instruction everywhere, which is what makes
+           engine and rerun classifications comparable at all. *)
+        match run_armed n with
+        | Machine.Out_of_fuel -> Machine.run m ~fuel:(fuel - n)
+        | stop -> stop)
+    | _ -> run_armed fuel
+  in
   classify ~golden m stop
 
 (* ---------------- the campaign engine ---------------- *)
@@ -446,11 +467,20 @@ let run_task_body ?config ~engine ~fuel ~golden ~trace ~tel ~cancelled
   let retry_naive fault =
     let dl = deadline () in
     let m2 = run_machine ?config program in
-    let armed = Injector.arm m2 fault in
-    let stop =
+    let run_armed budget =
+      let armed = Injector.arm m2 fault in
       Fun.protect
         ~finally:(fun () -> Injector.disarm m2 armed)
-        (fun () -> run_deadline m2 ~dl ~fuel)
+        (fun () -> run_deadline m2 ~dl ~fuel:budget)
+    in
+    let stop =
+      match fault.Fault.kind with
+      | Fault.Transient n when n < fuel -> (
+          (* same injection-boundary segmentation as [run_one] *)
+          match run_armed n with
+          | Machine.Out_of_fuel -> run_deadline m2 ~dl ~fuel:(fuel - n)
+          | stop -> stop)
+      | _ -> run_armed fuel
     in
     classify ~golden m2 stop
   in
@@ -479,10 +509,15 @@ let run_task_body ?config ~engine ~fuel ~golden ~trace ~tel ~cancelled
     in
     let compute () =
       match fault.Fault.kind with
-      | Fault.Transient n when engine.eng_fork && n < budget ->
+      | Fault.Transient n when n < budget ->
           (* Keep the injector's counting hook only until the flip
              lands, then drop it: the suffix — the bulk of the run —
-             executes unhooked on the fast path. *)
+             executes unhooked on the fast path.  Not fork-only: the
+             split also pins the flip's visibility boundary to the
+             injection instant (see [run_one]), so the rerun engine
+             must segment here too or a flip into the currently-
+             executing translation block would take effect at a
+             different instruction than in the forked engine. *)
           let r = with_armed fault (fun () -> run_deadline m ~dl ~fuel:n) in
           (match r with
           | Machine.Out_of_fuel -> guarded (budget - n)

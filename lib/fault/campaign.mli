@@ -70,9 +70,13 @@ val generate_blind :
 val run_one :
   ?config:S4e_cpu.Machine.config -> fuel:int -> S4e_asm.Program.t ->
   golden:signature -> Fault.t -> outcome
-(** Exact reference semantics: fresh machine, run from reset with the
-    fault armed for the whole fuel budget.  The engine below must agree
-    with this for interrupt-free programs. *)
+(** Reference semantics: fresh machine, run from reset.  For transient
+    faults the run is segmented at the injection instant, which pins
+    the instant a code/data flip becomes architecturally visible to
+    the next fetch (a flip into the currently-executing translation
+    block takes effect at that boundary, not at the block's end) —
+    the same contract the forked engine below realises, so the two
+    must agree on every workload. *)
 
 (** {1 The campaign engine}
 

@@ -37,6 +37,7 @@ type tlb_stats = { tlb_hits : int; tlb_misses : int; tlb_flushes : int }
 type t = {
   mem : Sparse_mem.t;
   mutable devices : device array; (* sorted by dev_base *)
+  mutable dev_counts : int array; (* MMIO accesses, parallel to devices *)
   mutable watcher : (io_access -> unit) option;
   mutable tlb_on : bool;
   rtag : int array;
@@ -59,6 +60,7 @@ let create () =
   let t =
     { mem = Sparse_mem.create ();
       devices = [||];
+      dev_counts = [||];
       watcher = None;
       tlb_on = true;
       rtag = Array.make tlb_size (-1);
@@ -94,15 +96,31 @@ let attach t dev =
         invalid_arg
           (Printf.sprintf "Bus.attach: %s overlaps %s" dev.dev_name d.dev_name))
     t.devices;
+  let old_devs = t.devices and old_counts = t.dev_counts in
   let devices = Array.append t.devices [| dev |] in
   Array.sort (fun a b -> compare a.dev_base b.dev_base) devices;
   t.devices <- devices;
+  (* carry each device's access count across the re-sort *)
+  t.dev_counts <-
+    Array.map
+      (fun d ->
+        let rec find i =
+          if i >= Array.length old_devs then 0
+          else if old_devs.(i) == d then old_counts.(i)
+          else find (i + 1)
+        in
+        find 0)
+      devices;
   (* the new device's pages may be cached as plain RAM *)
   tlb_flush t
 
 let device_ranges t =
   Array.to_list
     (Array.map (fun d -> (d.dev_name, d.dev_base, d.dev_len)) t.devices)
+
+let access_counts t =
+  Array.to_list
+    (Array.mapi (fun i d -> (d.dev_name, t.dev_counts.(i))) t.devices)
 
 let set_io_watcher t w =
   t.watcher <- w;
@@ -117,10 +135,10 @@ let io_watcher t = t.watcher
 (* Binary search over the base-sorted device array: find the rightmost
    device with [dev_base <= addr], then range-check it.  Devices are
    attached a handful of times and consulted on every non-cached access. *)
-let find_device t addr =
+let find_device_idx t addr =
   let devs = t.devices in
   let n = Array.length devs in
-  if n = 0 then None
+  if n = 0 then -1
   else begin
     let lo = ref 0 and hi = ref (n - 1) and found = ref (-1) in
     while !lo <= !hi do
@@ -131,11 +149,13 @@ let find_device t addr =
       end
       else hi := mid - 1
     done;
-    if !found < 0 then None
+    if !found < 0 then -1
     else
       let d = Array.unsafe_get devs !found in
-      if addr < d.dev_base + d.dev_len then Some d else None
+      if addr < d.dev_base + d.dev_len then !found else -1
   end
+
+let count_access t i = t.dev_counts.(i) <- t.dev_counts.(i) + 1
 
 let notify t d addr size value is_write =
   match t.watcher with
@@ -190,12 +210,14 @@ let page_mask = Sparse_mem.page_mask
 
 let read8_slow t addr =
   t.misses <- t.misses + 1;
-  match find_device t addr with
-  | Some d ->
+  match find_device_idx t addr with
+  | di when di >= 0 ->
+      let d = Array.unsafe_get t.devices di in
+      count_access t di;
       let v = d.dev_read (addr - d.dev_base) 1 in
       notify t d addr 1 v false;
       v
-  | None ->
+  | _ ->
       fill_read t (addr lsr page_bits);
       Sparse_mem.read8 t.mem addr
 
@@ -219,12 +241,14 @@ let read8 t addr =
 
 let read16_slow t addr =
   t.misses <- t.misses + 1;
-  match find_device t addr with
-  | Some d ->
+  match find_device_idx t addr with
+  | di when di >= 0 ->
+      let d = Array.unsafe_get t.devices di in
+      count_access t di;
       let v = d.dev_read (addr - d.dev_base) 2 in
       notify t d addr 2 v false;
       v
-  | None ->
+  | _ ->
       fill_read t (addr lsr page_bits);
       Sparse_mem.read16 t.mem addr
 
@@ -239,12 +263,14 @@ let read16 t addr =
 
 let read32_slow t addr =
   t.misses <- t.misses + 1;
-  match find_device t addr with
-  | Some d ->
+  match find_device_idx t addr with
+  | di when di >= 0 ->
+      let d = Array.unsafe_get t.devices di in
+      count_access t di;
       let v = d.dev_read (addr - d.dev_base) 4 in
       notify t d addr 4 v false;
       v
-  | None ->
+  | _ ->
       fill_read t (addr lsr page_bits);
       Sparse_mem.read32 t.mem addr
 
@@ -261,11 +287,13 @@ let read32 t addr =
 
 let write8_slow t addr v =
   t.misses <- t.misses + 1;
-  match find_device t addr with
-  | Some d ->
+  match find_device_idx t addr with
+  | di when di >= 0 ->
+      let d = Array.unsafe_get t.devices di in
+      count_access t di;
       d.dev_write (addr - d.dev_base) 1 v;
       notify t d addr 1 v true
-  | None ->
+  | _ ->
       fill_write t (addr lsr page_bits);
       Sparse_mem.write8 t.mem addr v
 
@@ -282,11 +310,13 @@ let write8 t addr v =
 
 let write16_slow t addr v =
   t.misses <- t.misses + 1;
-  match find_device t addr with
-  | Some d ->
+  match find_device_idx t addr with
+  | di when di >= 0 ->
+      let d = Array.unsafe_get t.devices di in
+      count_access t di;
       d.dev_write (addr - d.dev_base) 2 v;
       notify t d addr 2 v true
-  | None ->
+  | _ ->
       fill_write t (addr lsr page_bits);
       Sparse_mem.write16 t.mem addr v
 
@@ -302,11 +332,13 @@ let write16 t addr v =
 
 let write32_slow t addr v =
   t.misses <- t.misses + 1;
-  match find_device t addr with
-  | Some d ->
+  match find_device_idx t addr with
+  | di when di >= 0 ->
+      let d = Array.unsafe_get t.devices di in
+      count_access t di;
       d.dev_write (addr - d.dev_base) 4 v;
       notify t d addr 4 v true
-  | None ->
+  | _ ->
       fill_write t (addr lsr page_bits);
       Sparse_mem.write32 t.mem addr v
 

@@ -50,6 +50,11 @@ val attach : t -> device -> unit
 val device_ranges : t -> (string * word * int) list
 (** [(name, base, len)] of every attached device. *)
 
+val access_counts : t -> (string * int) list
+(** [(name, accesses)] per attached device, in base order: every MMIO
+    read or write routed to the device since bus creation (fetches and
+    RAM traffic excluded).  Surfaced by [run --cache-stats]. *)
+
 val set_io_watcher : t -> (io_access -> unit) option -> unit
 (** Installs (or clears) the observer called after every device access. *)
 

@@ -2,9 +2,15 @@ type t = {
   mutable mtime : int;
   mutable mtimecmp : int;
   mutable msip : bool;
+  (* fired on every MTIMECMP change with the new value, so the machine
+     can keep its event wheel's timer deadline in sync *)
+  mutable on_timecmp : int -> unit;
 }
 
-let create () = { mtime = 0; mtimecmp = max_int; msip = false }
+let create () =
+  { mtime = 0; mtimecmp = max_int; msip = false; on_timecmp = ignore }
+
+let set_on_timecmp t f = t.on_timecmp <- f
 
 let lo32 v = v land 0xFFFF_FFFF
 let hi32 v = (v lsr 32) land 0x7FFF_FFFF
@@ -21,8 +27,12 @@ let read t offset _size =
 let write t offset _size v =
   match offset with
   | 0x0000 -> t.msip <- v land 1 = 1
-  | 0x4000 -> t.mtimecmp <- (t.mtimecmp land lnot 0xFFFF_FFFF) lor lo32 v
-  | 0x4004 -> t.mtimecmp <- lo32 t.mtimecmp lor (lo32 v lsl 32)
+  | 0x4000 ->
+      t.mtimecmp <- (t.mtimecmp land lnot 0xFFFF_FFFF) lor lo32 v;
+      t.on_timecmp t.mtimecmp
+  | 0x4004 ->
+      t.mtimecmp <- lo32 t.mtimecmp lor (lo32 v lsl 32);
+      t.on_timecmp t.mtimecmp
   | 0xBFF8 -> t.mtime <- (t.mtime land lnot 0xFFFF_FFFF) lor lo32 v
   | 0xBFFC -> t.mtime <- lo32 t.mtime lor (lo32 v lsl 32)
   | _ -> ()
@@ -33,7 +43,9 @@ let device t ~base =
 
 let tick t n = t.mtime <- t.mtime + n
 let time t = t.mtime
-let set_timecmp t v = t.mtimecmp <- v
+let set_timecmp t v =
+  t.mtimecmp <- v;
+  t.on_timecmp v
 let timecmp t = t.mtimecmp
 let timer_pending t = t.mtime >= t.mtimecmp
 let software_pending t = t.msip
@@ -41,7 +53,8 @@ let software_pending t = t.msip
 let reset t =
   t.mtime <- 0;
   t.mtimecmp <- max_int;
-  t.msip <- false
+  t.msip <- false;
+  t.on_timecmp t.mtimecmp
 
 type snapshot = { snap_mtime : int; snap_mtimecmp : int; snap_msip : bool }
 
@@ -51,4 +64,5 @@ let snapshot t =
 let restore t s =
   t.mtime <- s.snap_mtime;
   t.mtimecmp <- s.snap_mtimecmp;
-  t.msip <- s.snap_msip
+  t.msip <- s.snap_msip;
+  t.on_timecmp t.mtimecmp

@@ -23,6 +23,12 @@ val time : t -> int
 (** Current MTIME (64-bit value in a native int). *)
 
 val set_timecmp : t -> int -> unit
+
+val set_on_timecmp : t -> (int -> unit) -> unit
+(** Hook fired with the new MTIMECMP after every change (MMIO write,
+    {!set_timecmp}, {!reset}, {!restore}); the machine uses it to keep
+    the event wheel's timer deadline in sync.  Default: [ignore]. *)
+
 val timecmp : t -> int
 val timer_pending : t -> bool
 val software_pending : t -> bool

@@ -1,0 +1,199 @@
+(* Hierarchical timer wheel for device events, keyed on MTIME-cycle
+   deadlines.
+
+   The near level is a 256-slot array of one-cycle buckets covering
+   [base, base + 256); because slot index is [deadline land 255] and the
+   window is exactly 256 cycles wide, every event in one slot shares one
+   deadline.  Deadlines at or beyond the horizon wait in [far], a list
+   kept ascending by (deadline, id), and are pulled into the near window
+   as the base advances past fired deadlines.
+
+   The whole structure hides behind one word: [next_deadline] caches the
+   earliest live deadline (max_int when idle), so the machine's batched
+   cycle-flush points pay a single compare when the device plane is
+   quiet.  Events fire in deadline order, ties broken by schedule order
+   (ids are monotonic), which keeps multi-device runs deterministic and
+   engine-independent. *)
+
+type event = { ev_id : int; ev_at : int; ev_fn : int -> unit }
+
+let near_bits = 8
+let near_size = 1 lsl near_bits
+let near_mask = near_size - 1
+
+type t = {
+  mutable base : int;  (* every live deadline is >= base *)
+  near : event list array;  (* slot (at land near_mask), unordered *)
+  mutable far : event list;  (* ascending (ev_at, ev_id) *)
+  mutable live : int;
+  mutable next : int;  (* cached earliest live deadline; max_int if none *)
+  mutable next_id : int;
+  index : (int, int) Hashtbl.t;  (* live id -> deadline, for cancel *)
+  mutable irq : int;  (* pending interrupt lines, one bit per line *)
+  mutable fired : int;
+  mutable idle_skips : int;
+  mutable scheduled : int;
+  mutable cancelled : int;
+}
+
+let create () =
+  { base = 0;
+    near = Array.make near_size [];
+    far = [];
+    live = 0;
+    next = max_int;
+    next_id = 0;
+    index = Hashtbl.create 16;
+    irq = 0;
+    fired = 0;
+    idle_skips = 0;
+    scheduled = 0;
+    cancelled = 0 }
+
+let next_deadline t = t.next
+let pending t = t.live
+
+let rec insert_far ev = function
+  | [] -> [ ev ]
+  | e :: _ as l when (e.ev_at, e.ev_id) > (ev.ev_at, ev.ev_id) -> ev :: l
+  | e :: tl -> e :: insert_far ev tl
+
+let schedule t ~at fn =
+  (* a deadline already in the past fires at the next consultation *)
+  let at = if at < t.base then t.base else at in
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let ev = { ev_id = id; ev_at = at; ev_fn = fn } in
+  if at - t.base < near_size then begin
+    let i = at land near_mask in
+    t.near.(i) <- ev :: t.near.(i)
+  end
+  else t.far <- insert_far ev t.far;
+  Hashtbl.replace t.index id at;
+  t.live <- t.live + 1;
+  t.scheduled <- t.scheduled + 1;
+  if at < t.next then t.next <- at;
+  id
+
+(* Earliest deadline across both levels.  Only runs after firing or
+   cancelling the cached minimum; the near scan is bounded by the window
+   size and the far head is already minimal. *)
+let recompute_next t =
+  if t.live = 0 then t.next <- max_int
+  else begin
+    let n = ref max_int in
+    let i = ref 0 in
+    while !n = max_int && !i < near_size do
+      (match t.near.((t.base + !i) land near_mask) with
+      | [] -> ()
+      | e :: _ -> n := e.ev_at);
+      incr i
+    done;
+    (match t.far with
+    | e :: _ when e.ev_at < !n -> n := e.ev_at
+    | _ -> ());
+    t.next <- !n
+  end
+
+let cancel t id =
+  match Hashtbl.find_opt t.index id with
+  | None -> ()  (* already fired or cancelled *)
+  | Some at ->
+      Hashtbl.remove t.index id;
+      t.live <- t.live - 1;
+      t.cancelled <- t.cancelled + 1;
+      let drop l = List.filter (fun e -> e.ev_id <> id) l in
+      if at - t.base < near_size then begin
+        let i = at land near_mask in
+        t.near.(i) <- drop t.near.(i)
+      end
+      else t.far <- drop t.far;
+      if at = t.next then recompute_next t
+
+(* Pull far events that now fit the near window. *)
+let promote t =
+  let horizon = t.base + near_size in
+  let rec go = function
+    | e :: tl when e.ev_at < horizon ->
+        let i = e.ev_at land near_mask in
+        t.near.(i) <- e :: t.near.(i);
+        go tl
+    | rest -> t.far <- rest
+  in
+  go t.far
+
+let run_due t ~now =
+  while t.live > 0 && t.next <= now do
+    let at = t.next in
+    let batch =
+      if at - t.base < near_size then begin
+        let i = at land near_mask in
+        let evs = t.near.(i) in
+        t.near.(i) <- [];
+        List.sort (fun a b -> compare a.ev_id b.ev_id) evs
+      end
+      else begin
+        let rec split acc = function
+          | e :: tl when e.ev_at = at -> split (e :: acc) tl
+          | rest -> (List.rev acc, rest)
+        in
+        let batch, rest = split [] t.far in
+        t.far <- rest;
+        batch
+      end
+    in
+    List.iter
+      (fun e ->
+        Hashtbl.remove t.index e.ev_id;
+        t.live <- t.live - 1;
+        t.fired <- t.fired + 1;
+        e.ev_fn now)
+      batch;
+    if at >= t.base then begin
+      t.base <- at + 1;
+      promote t
+    end;
+    recompute_next t
+  done;
+  if t.base <= now then begin
+    t.base <- now + 1;
+    promote t
+  end
+
+let note_idle_skip t = t.idle_skips <- t.idle_skips + 1
+
+(* ---------------- interrupt lines ---------------- *)
+
+let set_irq t line = t.irq <- t.irq lor (1 lsl line)
+let clear_irq t line = t.irq <- t.irq land lnot (1 lsl line)
+let irq_pending t = t.irq
+
+(* ---------------- stats / reset ---------------- *)
+
+type stats = {
+  ws_fired : int;
+  ws_idle_skips : int;
+  ws_scheduled : int;
+  ws_cancelled : int;
+  ws_live : int;
+}
+
+let stats t =
+  { ws_fired = t.fired;
+    ws_idle_skips = t.idle_skips;
+    ws_scheduled = t.scheduled;
+    ws_cancelled = t.cancelled;
+    ws_live = t.live }
+
+(* Drops every event and interrupt line (snapshot restore / reset path:
+   callbacks cannot be captured, so each wheel client re-arms from its
+   own restored state).  Counters survive — they are observability, not
+   architecture. *)
+let clear t =
+  Array.fill t.near 0 near_size [];
+  t.far <- [];
+  t.live <- 0;
+  t.next <- max_int;
+  t.base <- 0;
+  t.irq <- 0;
+  Hashtbl.reset t.index

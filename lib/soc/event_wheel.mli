@@ -1,0 +1,74 @@
+(** Device event scheduler: a hierarchical timer wheel keyed on
+    MTIME-cycle deadlines.
+
+    Devices register timestamped callbacks; the machine consults a
+    single {!next_deadline} word at its batched cycle-flush points and
+    calls {!run_due} only when the current time has reached it, so an
+    idle device plane costs one compare per block exit.  Events at the
+    same deadline fire in schedule order (ids are monotonic), and
+    deadlines always fire in ascending order, which keeps device
+    behavior deterministic and identical across execution engines.
+
+    The wheel also aggregates device interrupt lines into one pending
+    bitmask ({!irq_pending}), which the machine maps to [mip.MEIP].
+
+    Callbacks receive the consultation time (>= their deadline: events
+    are observed at the machine's interrupt-sampling points, which is
+    also when a per-block-flushing run would notice them).  A callback
+    may schedule further events, including at deadlines at or before the
+    current time — they fire within the same {!run_due} call. *)
+
+type t
+
+val create : unit -> t
+
+val schedule : t -> at:int -> (int -> unit) -> int
+(** [schedule t ~at fn] registers [fn] to fire at MTIME cycle [at]
+    (clamped to "now" if already past) and returns an id for
+    {!cancel}.  O(1) for deadlines within the 256-cycle near window,
+    O(pending far events) beyond it. *)
+
+val cancel : t -> int -> unit
+(** Unregisters an event; ignores ids that already fired. *)
+
+val next_deadline : t -> int
+(** Earliest live deadline, or [max_int] when the wheel is idle — the
+    one word the machine's flush points compare against. *)
+
+val run_due : t -> now:int -> unit
+(** Fires every event with deadline [<= now], in (deadline, id) order,
+    including events scheduled by the callbacks themselves. *)
+
+val note_idle_skip : t -> unit
+(** Records a flush point that consulted {!next_deadline} and found
+    nothing due (the fast-path outcome). *)
+
+val pending : t -> int
+(** Number of live (scheduled, unfired, uncancelled) events. *)
+
+(** {1 Interrupt lines} *)
+
+val set_irq : t -> int -> unit
+(** Asserts device interrupt line [line] (a small bit index). *)
+
+val clear_irq : t -> int -> unit
+
+val irq_pending : t -> int
+(** Bitmask of asserted lines; nonzero maps to [mip.MEIP]. *)
+
+(** {1 Stats / reset} *)
+
+type stats = {
+  ws_fired : int;  (** events fired *)
+  ws_idle_skips : int;  (** flush points with nothing due *)
+  ws_scheduled : int;
+  ws_cancelled : int;
+  ws_live : int;
+}
+
+val stats : t -> stats
+
+val clear : t -> unit
+(** Drops all events and interrupt lines and rewinds the wheel (reset /
+    snapshot-restore path; clients re-arm from their own state).
+    Cumulative counters are preserved. *)

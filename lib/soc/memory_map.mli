@@ -9,6 +9,8 @@ val clint_base : int
 val uart_base : int
 val syscon_base : int
 val gpio_base : int
+val dma_base : int
+val vnet_base : int
 
 val uart_data : int
 (** Absolute address of the UART DATA register. *)

@@ -2,12 +2,31 @@ type t = {
   tx : Buffer.t;
   rx : char Queue.t;
   on_tx : (char -> unit) option;
+  (* host sink: transmitted bytes accumulate in [pending] and reach the
+     sink in batches (newline or threshold), so console-heavy guests
+     don't pay one host write per byte *)
+  pending : Buffer.t;
+  mutable sink : (string -> unit) option;
 }
 
 let data_offset = 0x00
 let status_offset = 0x04
+let flush_threshold = 256
 
-let create ?on_tx () = { tx = Buffer.create 256; rx = Queue.create (); on_tx }
+let create ?on_tx () =
+  { tx = Buffer.create 256; rx = Queue.create (); on_tx;
+    pending = Buffer.create 256; sink = None }
+
+let flush_host t =
+  match t.sink with
+  | Some f when Buffer.length t.pending > 0 ->
+      f (Buffer.contents t.pending);
+      Buffer.clear t.pending
+  | _ -> Buffer.clear t.pending
+
+let set_sink t sink =
+  flush_host t;
+  t.sink <- sink
 
 let read t offset _size =
   if offset = data_offset then
@@ -20,6 +39,12 @@ let write t offset _size v =
   if offset = data_offset then begin
     let c = Char.chr (v land 0xFF) in
     Buffer.add_char t.tx c;
+    (match t.sink with
+    | Some _ ->
+        Buffer.add_char t.pending c;
+        if c = '\n' || Buffer.length t.pending >= flush_threshold then
+          flush_host t
+    | None -> ());
     match t.on_tx with Some f -> f c | None -> ()
   end
 
@@ -41,4 +66,5 @@ let restore t s =
   Buffer.clear t.tx;
   Buffer.add_string t.tx s.snap_tx;
   Queue.clear t.rx;
-  String.iter (fun c -> Queue.add c t.rx) s.snap_rx
+  String.iter (fun c -> Queue.add c t.rx) s.snap_rx;
+  Buffer.clear t.pending

@@ -25,6 +25,18 @@ val output : t -> string
 
 val clear_output : t -> unit
 
+val set_sink : t -> (string -> unit) option -> unit
+(** Installs a batched host-side output sink.  Transmitted bytes are
+    buffered and handed to the sink in chunks — on newline, when 256
+    bytes accumulate, or at {!flush_host} — so console-heavy guests
+    don't pay one host call per byte.  Flushes any pending bytes to the
+    outgoing sink first.  Independent of [on_tx], which stays
+    per-byte. *)
+
+val flush_host : t -> unit
+(** Pushes any buffered bytes to the sink now (the machine calls this
+    at run exit).  No-op without a sink. *)
+
 val data_offset : int
 val status_offset : int
 

@@ -1,0 +1,413 @@
+(* Virtio-style network device with a deterministic traffic generator.
+
+   Two descriptor rings in RAM (16-byte descriptors, same shape as
+   {!Dma}'s: {buf, _, len, flags}).  Software posts free rx buffers by
+   advancing RX_TAIL; the built-in generator delivers synthetic packets
+   into them in bursts via the shared DMA blit helpers, dropping packets
+   when the ring is empty (counted, as a real NIC would).  Software
+   posts tx packets by advancing the TX_TAIL doorbell; the device
+   consumes them at DMA burst cost, folding every payload byte into an
+   FNV-1a checksum register so transmitted data is architecturally
+   observable.  All activity is timestamped on the {!Event_wheel}; the
+   generator's cadence (seed/rate/burst/len/count) and payload bytes are
+   pure functions of the programmed registers, so runs are deterministic
+   and digest-identical across execution engines.
+
+   RXDATA (0x50) is a per-byte PIO tap of the same synthetic stream —
+   each read pops one byte — kept as the slow-path baseline that E17
+   measures DMA bursts against. *)
+
+module Mem = S4e_mem.Sparse_mem
+
+let irq_line = 1
+let irq_rx = 1
+let irq_tx = 2
+
+(* register offsets *)
+let reg_ctrl = 0x00
+let reg_irq_status = 0x04
+let reg_irq_enable = 0x08
+let reg_rx_base = 0x0C
+let reg_rx_count = 0x10
+let reg_rx_tail = 0x14
+let reg_rx_head = 0x18
+let reg_tx_base = 0x1C
+let reg_tx_count = 0x20
+let reg_tx_tail = 0x24
+let reg_tx_head = 0x28
+let reg_gen_seed = 0x2C
+let reg_gen_rate = 0x30
+let reg_gen_burst = 0x34
+let reg_gen_len = 0x38
+let reg_gen_count = 0x3C
+let reg_rx_delivered = 0x40
+let reg_rx_dropped = 0x44
+let reg_tx_sent = 0x48
+let reg_tx_csum = 0x4C
+let reg_rxdata = 0x50
+
+let mask32 a = a land 0xFFFF_FFFF
+
+(* Payload byte [i] of the synthetic stream for a given seed: a
+   splitmix-style hash, pure in (seed, index), so no generator state
+   needs snapshotting and any engine observing byte [i] sees the same
+   value. *)
+let stream_byte seed i =
+  let z = mask32 (seed + mask32 (i * 0x9E37_79B9)) in
+  let z = mask32 ((z lxor (z lsr 16)) * 0x85EB_CA6B) in
+  let z = mask32 ((z lxor (z lsr 13)) * 0xC2B2_AE35) in
+  (z lxor (z lsr 16)) land 0xFF
+
+type t = {
+  mem : Mem.t;
+  wheel : Event_wheel.t;
+  now : unit -> int;
+  notify : int -> int -> unit;
+  mutable ctrl : int;
+  mutable irq_status : int;
+  mutable irq_enable : int;
+  mutable rx_base : int;
+  mutable rx_count : int;
+  mutable rx_tail : int;
+  mutable rx_head : int;
+  mutable tx_base : int;
+  mutable tx_count : int;
+  mutable tx_tail : int;
+  mutable tx_head : int;
+  mutable gen_seed : int;
+  mutable gen_rate : int;
+  mutable gen_burst : int;
+  mutable gen_len : int;
+  mutable gen_left : int;  (* packets still to emit *)
+  mutable gen_next_at : int;  (* next generator deadline; max_int idle *)
+  mutable gen_ev : int;
+  mutable pkt_seq : int;  (* packets emitted so far (delivered + dropped) *)
+  mutable tx_busy : bool;
+  mutable tx_pending_at : int;
+  mutable tx_ev : int;
+  mutable rx_delivered : int;
+  mutable rx_dropped : int;
+  mutable tx_sent : int;
+  mutable tx_csum : int;
+  mutable pio_cursor : int;  (* RXDATA stream position *)
+  scratch : Bytes.t;  (* staging buffer for one rx payload *)
+  mutable observer : (kind:string -> bytes:int -> depth:int -> unit) option;
+}
+
+let max_pkt_len = 4096
+
+let create ~mem ~wheel ~now ~notify () =
+  { mem; wheel; now; notify;
+    ctrl = 0; irq_status = 0; irq_enable = 0;
+    rx_base = 0; rx_count = 0; rx_tail = 0; rx_head = 0;
+    tx_base = 0; tx_count = 0; tx_tail = 0; tx_head = 0;
+    gen_seed = 1; gen_rate = 1024; gen_burst = 1; gen_len = 64;
+    gen_left = 0; gen_next_at = max_int; gen_ev = -1; pkt_seq = 0;
+    tx_busy = false; tx_pending_at = max_int; tx_ev = -1;
+    rx_delivered = 0; rx_dropped = 0; tx_sent = 0;
+    tx_csum = 0x811C_9DC5; pio_cursor = 0;
+    scratch = Bytes.create max_pkt_len; observer = None }
+
+let set_observer t o = t.observer <- o
+
+let update_line t =
+  if t.irq_status land t.irq_enable <> 0 then
+    Event_wheel.set_irq t.wheel irq_line
+  else Event_wheel.clear_irq t.wheel irq_line
+
+let observe t kind bytes depth =
+  match t.observer with
+  | Some f -> f ~kind ~bytes ~depth
+  | None -> ()
+
+let rx_slot t i = mask32 (t.rx_base + (i mod max 1 t.rx_count) * Dma.desc_size)
+let tx_slot t i = mask32 (t.tx_base + (i mod max 1 t.tx_count) * Dma.desc_size)
+
+(* ---------------- rx: generator -> ring ---------------- *)
+
+(* Deliver one synthetic packet into the next free rx buffer, or drop it
+   if software hasn't posted one.  Payload byte [j] of packet [k] is
+   [stream_byte seed (k lsl 16 lor j)]. *)
+let deliver t =
+  let seq = t.pkt_seq in
+  t.pkt_seq <- seq + 1;
+  if t.rx_count = 0 || t.rx_head = t.rx_tail then begin
+    t.rx_dropped <- t.rx_dropped + 1;
+    observe t "rx-drop" 0 0
+  end
+  else begin
+    let da = rx_slot t t.rx_head in
+    let buf = Mem.read32 t.mem da in
+    let blen = Mem.read32 t.mem (da + 8) in
+    let plen = min (min t.gen_len blen) max_pkt_len in
+    if plen > 0 then begin
+      for j = 0 to plen - 1 do
+        Bytes.unsafe_set t.scratch j
+          (Char.unsafe_chr (stream_byte t.gen_seed ((seq lsl 16) lor j)))
+      done;
+      Dma.blit_in t.mem ~src:t.scratch ~src_off:0 ~dst:buf ~len:plen;
+      t.notify buf plen
+    end;
+    Mem.write32 t.mem (da + 12) (plen lor Dma.flag_done);
+    t.notify (da + 12) 4;
+    t.rx_head <- t.rx_head + 1;
+    t.rx_delivered <- t.rx_delivered + 1;
+    t.irq_status <- t.irq_status lor irq_rx;
+    observe t "rx" plen (t.rx_tail - t.rx_head)
+  end
+
+let rec gen_fire t _now =
+  let burst = min (max 1 t.gen_burst) t.gen_left in
+  for _ = 1 to burst do
+    deliver t
+  done;
+  t.gen_left <- t.gen_left - burst;
+  update_line t;
+  if t.gen_left > 0 then begin
+    (* cadence anchors on the deadline, not the fire time: no drift *)
+    t.gen_next_at <- t.gen_next_at + max 1 t.gen_rate;
+    t.gen_ev <- Event_wheel.schedule t.wheel ~at:t.gen_next_at (gen_fire t)
+  end
+  else begin
+    t.gen_next_at <- max_int;
+    t.gen_ev <- -1
+  end
+
+let gen_arm t count =
+  if t.gen_ev >= 0 then Event_wheel.cancel t.wheel t.gen_ev;
+  t.gen_left <- count;
+  if count > 0 && t.ctrl land 1 <> 0 then begin
+    t.gen_next_at <- t.now () + max 1 t.gen_rate;
+    t.gen_ev <- Event_wheel.schedule t.wheel ~at:t.gen_next_at (gen_fire t)
+  end
+  else begin
+    t.gen_left <- 0;
+    t.gen_next_at <- max_int;
+    t.gen_ev <- -1
+  end
+
+(* ---------------- tx: ring -> checksum ---------------- *)
+
+let rec tx_arm t ~now =
+  let da = tx_slot t t.tx_head in
+  let len = min (Mem.read32 t.mem (da + 8)) max_pkt_len in
+  t.tx_busy <- true;
+  t.tx_pending_at <- now + Dma.cost len;
+  t.tx_ev <- Event_wheel.schedule t.wheel ~at:t.tx_pending_at (tx_complete t)
+
+and tx_complete t fire_now =
+  let da = tx_slot t t.tx_head in
+  let buf = Mem.read32 t.mem da in
+  (* clamped like rx: a corrupted slot length must not fold gigabytes *)
+  let len = min (Mem.read32 t.mem (da + 8)) max_pkt_len in
+  let flags = Mem.read32 t.mem (da + 12) in
+  if len > 0 then t.tx_csum <- Dma.fnv_fold t.mem ~src:buf ~len t.tx_csum;
+  Mem.write32 t.mem (da + 12) (flags lor Dma.flag_done);
+  t.notify (da + 12) 4;
+  t.tx_head <- t.tx_head + 1;
+  t.tx_sent <- t.tx_sent + 1;
+  t.irq_status <- t.irq_status lor irq_tx;
+  update_line t;
+  observe t "tx" len (t.tx_tail - t.tx_head);
+  if t.tx_head <> t.tx_tail then tx_arm t ~now:fire_now
+  else begin
+    t.tx_busy <- false;
+    t.tx_pending_at <- max_int;
+    t.tx_ev <- -1
+  end
+
+(* ---------------- register file ---------------- *)
+
+let read t offset _size =
+  match offset with
+  | o when o = reg_ctrl -> t.ctrl
+  | o when o = reg_irq_status -> t.irq_status
+  | o when o = reg_irq_enable -> t.irq_enable
+  | o when o = reg_rx_base -> t.rx_base
+  | o when o = reg_rx_count -> t.rx_count
+  | o when o = reg_rx_tail -> t.rx_tail land 0xFFFF_FFFF
+  | o when o = reg_rx_head -> t.rx_head land 0xFFFF_FFFF
+  | o when o = reg_tx_base -> t.tx_base
+  | o when o = reg_tx_count -> t.tx_count
+  | o when o = reg_tx_tail -> t.tx_tail land 0xFFFF_FFFF
+  | o when o = reg_tx_head -> t.tx_head land 0xFFFF_FFFF
+  | o when o = reg_gen_seed -> t.gen_seed
+  | o when o = reg_gen_rate -> t.gen_rate
+  | o when o = reg_gen_burst -> t.gen_burst
+  | o when o = reg_gen_len -> t.gen_len
+  | o when o = reg_gen_count -> t.gen_left
+  | o when o = reg_rx_delivered -> t.rx_delivered land 0xFFFF_FFFF
+  | o when o = reg_rx_dropped -> t.rx_dropped land 0xFFFF_FFFF
+  | o when o = reg_tx_sent -> t.tx_sent land 0xFFFF_FFFF
+  | o when o = reg_tx_csum -> t.tx_csum
+  | o when o = reg_rxdata ->
+      (* per-byte PIO tap of the synthetic stream (the E17 baseline) *)
+      let b = stream_byte t.gen_seed t.pio_cursor in
+      t.pio_cursor <- t.pio_cursor + 1;
+      b
+  | _ -> 0
+
+let write t offset _size v =
+  match offset with
+  | o when o = reg_ctrl -> t.ctrl <- v land 1
+  | o when o = reg_irq_status ->
+      t.irq_status <- t.irq_status land lnot v;
+      update_line t
+  | o when o = reg_irq_enable ->
+      t.irq_enable <- v land (irq_rx lor irq_tx);
+      update_line t
+  | o when o = reg_rx_base -> t.rx_base <- mask32 v
+  | o when o = reg_rx_count -> t.rx_count <- v land 0xFFFF
+  | o when o = reg_rx_tail -> t.rx_tail <- mask32 v
+  | o when o = reg_tx_base -> t.tx_base <- mask32 v
+  | o when o = reg_tx_count -> t.tx_count <- v land 0xFFFF
+  | o when o = reg_tx_tail ->
+      t.tx_tail <- mask32 v;
+      if t.ctrl land 1 <> 0 && (not t.tx_busy) && t.tx_count > 0
+         && t.tx_head <> t.tx_tail
+      then tx_arm t ~now:(t.now ())
+  | o when o = reg_gen_seed -> t.gen_seed <- mask32 v
+  | o when o = reg_gen_rate -> t.gen_rate <- v land 0xFF_FFFF
+  | o when o = reg_gen_burst -> t.gen_burst <- v land 0xFFFF
+  | o when o = reg_gen_len -> t.gen_len <- min (v land 0xFFFF) max_pkt_len
+  | o when o = reg_gen_count -> gen_arm t (mask32 v)
+  | _ -> ()
+
+let device t ~base =
+  { S4e_mem.Bus.dev_name = "vnet"; dev_base = base; dev_len = 0x100;
+    dev_read = read t; dev_write = write t }
+
+type stats = {
+  vn_rx_delivered : int;
+  vn_rx_dropped : int;
+  vn_tx_sent : int;
+  vn_tx_csum : int;
+}
+
+let stats t =
+  { vn_rx_delivered = t.rx_delivered;
+    vn_rx_dropped = t.rx_dropped;
+    vn_tx_sent = t.tx_sent;
+    vn_tx_csum = t.tx_csum }
+
+let gen_active t = t.gen_left > 0
+
+let reset t =
+  if t.gen_ev >= 0 then Event_wheel.cancel t.wheel t.gen_ev;
+  if t.tx_ev >= 0 then Event_wheel.cancel t.wheel t.tx_ev;
+  t.ctrl <- 0;
+  t.irq_status <- 0;
+  t.irq_enable <- 0;
+  t.rx_base <- 0;
+  t.rx_count <- 0;
+  t.rx_tail <- 0;
+  t.rx_head <- 0;
+  t.tx_base <- 0;
+  t.tx_count <- 0;
+  t.tx_tail <- 0;
+  t.tx_head <- 0;
+  t.gen_seed <- 1;
+  t.gen_rate <- 1024;
+  t.gen_burst <- 1;
+  t.gen_len <- 64;
+  t.gen_left <- 0;
+  t.gen_next_at <- max_int;
+  t.gen_ev <- -1;
+  t.pkt_seq <- 0;
+  t.tx_busy <- false;
+  t.tx_pending_at <- max_int;
+  t.tx_ev <- -1;
+  t.rx_delivered <- 0;
+  t.rx_dropped <- 0;
+  t.tx_sent <- 0;
+  t.tx_csum <- 0x811C_9DC5;
+  t.pio_cursor <- 0;
+  update_line t
+
+type snapshot = {
+  snap_ctrl : int;
+  snap_irq_status : int;
+  snap_irq_enable : int;
+  snap_rx_base : int;
+  snap_rx_count : int;
+  snap_rx_tail : int;
+  snap_rx_head : int;
+  snap_tx_base : int;
+  snap_tx_count : int;
+  snap_tx_tail : int;
+  snap_tx_head : int;
+  snap_gen_seed : int;
+  snap_gen_rate : int;
+  snap_gen_burst : int;
+  snap_gen_len : int;
+  snap_gen_left : int;
+  snap_gen_next_at : int;
+  snap_pkt_seq : int;
+  snap_tx_busy : bool;
+  snap_tx_pending_at : int;
+  snap_rx_delivered : int;
+  snap_rx_dropped : int;
+  snap_tx_sent : int;
+  snap_tx_csum : int;
+  snap_pio_cursor : int;
+}
+
+let snapshot t =
+  { snap_ctrl = t.ctrl; snap_irq_status = t.irq_status;
+    snap_irq_enable = t.irq_enable; snap_rx_base = t.rx_base;
+    snap_rx_count = t.rx_count; snap_rx_tail = t.rx_tail;
+    snap_rx_head = t.rx_head; snap_tx_base = t.tx_base;
+    snap_tx_count = t.tx_count; snap_tx_tail = t.tx_tail;
+    snap_tx_head = t.tx_head; snap_gen_seed = t.gen_seed;
+    snap_gen_rate = t.gen_rate; snap_gen_burst = t.gen_burst;
+    snap_gen_len = t.gen_len; snap_gen_left = t.gen_left;
+    snap_gen_next_at = t.gen_next_at; snap_pkt_seq = t.pkt_seq;
+    snap_tx_busy = t.tx_busy; snap_tx_pending_at = t.tx_pending_at;
+    snap_rx_delivered = t.rx_delivered; snap_rx_dropped = t.rx_dropped;
+    snap_tx_sent = t.tx_sent; snap_tx_csum = t.tx_csum;
+    snap_pio_cursor = t.pio_cursor }
+
+let restore t s =
+  t.ctrl <- s.snap_ctrl;
+  t.irq_status <- s.snap_irq_status;
+  t.irq_enable <- s.snap_irq_enable;
+  t.rx_base <- s.snap_rx_base;
+  t.rx_count <- s.snap_rx_count;
+  t.rx_tail <- s.snap_rx_tail;
+  t.rx_head <- s.snap_rx_head;
+  t.tx_base <- s.snap_tx_base;
+  t.tx_count <- s.snap_tx_count;
+  t.tx_tail <- s.snap_tx_tail;
+  t.tx_head <- s.snap_tx_head;
+  t.gen_seed <- s.snap_gen_seed;
+  t.gen_rate <- s.snap_gen_rate;
+  t.gen_burst <- s.snap_gen_burst;
+  t.gen_len <- s.snap_gen_len;
+  t.gen_left <- s.snap_gen_left;
+  t.gen_next_at <- s.snap_gen_next_at;
+  t.pkt_seq <- s.snap_pkt_seq;
+  t.tx_busy <- s.snap_tx_busy;
+  t.tx_pending_at <- s.snap_tx_pending_at;
+  t.rx_delivered <- s.snap_rx_delivered;
+  t.rx_dropped <- s.snap_rx_dropped;
+  t.tx_sent <- s.snap_tx_sent;
+  t.tx_csum <- s.snap_tx_csum;
+  t.pio_cursor <- s.snap_pio_cursor;
+  t.gen_ev <-
+    (if s.snap_gen_left > 0 && s.snap_gen_next_at < max_int then
+       Event_wheel.schedule t.wheel ~at:s.snap_gen_next_at (gen_fire t)
+     else -1);
+  t.tx_ev <-
+    (if s.snap_tx_busy then
+       Event_wheel.schedule t.wheel ~at:s.snap_tx_pending_at (tx_complete t)
+     else -1);
+  update_line t
+
+let digest ~include_time t =
+  Printf.sprintf "%d;%d;%d;%d;%d;%d;%d;%d;%d;%d;%d;%d;%d;%d;%d;%d;%d;%d;%d;%d;%d;%b;%s;%s"
+    t.ctrl t.irq_status t.irq_enable t.rx_base t.rx_count t.rx_tail t.rx_head
+    t.tx_base t.tx_count t.tx_tail t.tx_head t.gen_seed t.gen_rate t.gen_burst
+    t.gen_len t.gen_left t.pkt_seq t.rx_delivered t.rx_dropped t.tx_sent
+    t.tx_csum t.tx_busy
+    (if include_time then string_of_int t.gen_next_at else "_")
+    (if include_time then string_of_int t.tx_pending_at else "_")

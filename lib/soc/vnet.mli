@@ -1,0 +1,89 @@
+(** Virtio-style network device with a deterministic traffic generator.
+
+    Rx and tx descriptor rings in RAM (16-byte descriptors
+    [{buf; _; len; flags}], as for {!Dma}).  Software posts free rx
+    buffers by advancing RX_TAIL; the built-in packet generator
+    delivers synthetic payloads into them in bursts through the shared
+    DMA blit path, dropping (and counting) packets when the ring is
+    empty.  Software posts tx packets via the TX_TAIL doorbell; the
+    device consumes them at DMA burst cost and folds every payload
+    byte into the TX_CSUM FNV-1a register.  All activity is
+    timestamped on the {!Event_wheel}; payload bytes are a pure
+    function of (GEN_SEED, stream index), so runs are deterministic
+    and digest-identical across execution engines.
+
+    Register file (32-bit, byte offsets):
+    {v
+      0x00 CTRL          bit0 = enable (gates generator arming and tx)
+      0x04 IRQ_STATUS    bit0 = rx, bit1 = tx (write 1 to clear)
+      0x08 IRQ_ENABLE
+      0x0C RX_BASE   0x10 RX_COUNT   0x14 RX_TAIL   0x18 RX_HEAD (RO)
+      0x1C TX_BASE   0x20 TX_COUNT   0x24 TX_TAIL   0x28 TX_HEAD (RO)
+      0x2C GEN_SEED  0x30 GEN_RATE   0x34 GEN_BURST 0x38 GEN_LEN
+      0x3C GEN_COUNT     write N > 0 arms the generator for N packets
+      0x40 RX_DELIVERED  0x44 RX_DROPPED  0x48 TX_SENT  0x4C TX_CSUM (RO)
+      0x50 RXDATA        per-byte PIO tap of the stream (the slow path)
+    v}
+
+    The generator emits bursts of GEN_BURST packets every GEN_RATE
+    cycles; the rx status word written back is [len lor flag_done]. *)
+
+type t
+
+val create :
+  mem:S4e_mem.Sparse_mem.t ->
+  wheel:Event_wheel.t ->
+  now:(unit -> int) ->
+  notify:(int -> int -> unit) ->
+  unit ->
+  t
+
+val device : t -> base:int -> S4e_mem.Bus.device
+
+val irq_line : int
+(** Wheel interrupt line this device asserts (1). *)
+
+val irq_rx : int
+val irq_tx : int
+
+val stream_byte : int -> int -> int
+(** [stream_byte seed i] — byte [i] of the synthetic stream (pure).
+    Packet [k]'s payload byte [j] is at index [(k lsl 16) lor j]; the
+    RXDATA PIO port walks indices 0, 1, 2, ... *)
+
+val max_pkt_len : int
+
+(** {1 Introspection} *)
+
+type stats = {
+  vn_rx_delivered : int;
+  vn_rx_dropped : int;
+  vn_tx_sent : int;
+  vn_tx_csum : int;
+}
+
+val stats : t -> stats
+
+val gen_active : t -> bool
+(** The generator still has packets to emit. *)
+
+val set_observer :
+  t -> (kind:string -> bytes:int -> depth:int -> unit) option -> unit
+(** Telemetry hook fired per event: kind is ["rx"], ["rx-drop"] or
+    ["tx"]; [depth] is the remaining ring occupancy after the event. *)
+
+(** {1 Reset / snapshot} *)
+
+val reset : t -> unit
+
+type snapshot
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Re-arms pending generator/tx events on the wheel; the caller must
+    have cleared the wheel first. *)
+
+val digest : include_time:bool -> t -> string
+(** Register-file state for {!S4e_cpu.Machine.state_digest}; pending
+    deadlines are included only when [include_time]. *)

@@ -1059,6 +1059,42 @@ let tlb_corners_prop =
        QCheck.(triple (int_bound 5_000) (int_bound 5_000) (int_bound 5_000))
        (fun ks -> tlb_corner_scenario true ks = tlb_corner_scenario false ks))
 
+(* DMA-active runs: torture programs with the device rig armed (vnet
+   generator bursts + delayed DMA descriptors mutating RAM behind the
+   hart's back).  The full observable outcome must be digest-identical
+   with the software TLB on and off — DMA writes bypass the bus, so a
+   page pointer cached across a burst would serve stale data — and a
+   mid-flight snapshot (DMA events pending, pages half-written) must
+   restore and replay to the same digest. *)
+let device_plane_scenario mem_tlb (seed, k) =
+  let p =
+    S4e_torture.Torture.generate
+      { S4e_torture.Torture.default_config with S4e_torture.Torture.seed }
+  in
+  let config = { Machine.default_config with Machine.mem_tlb } in
+  let m = Machine.create ~config () in
+  S4e_asm.Program.load_machine p m;
+  S4e_core.Flows.arm_device_rig m;
+  ignore (Machine.run m ~fuel:(k + 1));
+  let snap = Machine.snapshot m in
+  let stop1 = Machine.run m ~fuel:2_000_000 in
+  let final1 = Machine.state_digest m in
+  Machine.restore m snap;
+  let stop2 = Machine.run m ~fuel:2_000_000 in
+  let final2 = Machine.state_digest m in
+  if final1 <> final2 || stop1 <> stop2 then
+    QCheck.Test.fail_reportf
+      "snapshot replay diverged (mem_tlb=%b seed=%d k=%d)" mem_tlb seed k;
+  (stop1, final1, Machine.instret m, Machine.uart_output m)
+
+let device_plane_diff_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:"DMA-active runs: TLB on/off agree, snapshots replay" ~count:15
+       QCheck.(pair (int_range 1 10_000) (int_bound 1_500))
+       (fun sk ->
+         device_plane_scenario true sk = device_plane_scenario false sk))
+
 let test_mret_restores_mie () =
   let st = State.create () in
   State.set_mie_bit st false;
@@ -1117,4 +1153,5 @@ let () =
           Alcotest.test_case "cache model attached" `Quick
             test_cache_model_attached;
           snapshot_replay_prop;
-          tlb_corners_prop ] ) ]
+          tlb_corners_prop;
+          device_plane_diff_prop ] ) ]

@@ -321,6 +321,51 @@ let test_engine_axes_agree () =
       { Campaign.default_engine with Campaign.eng_checkpoint = 0 };
       { Campaign.default_engine with Campaign.eng_checkpoint = 256 } ]
 
+let test_midblock_code_flip_visibility () =
+  (* A transient code flip landing just AHEAD of the pc inside the
+     currently-executing translation block: every path must segment the
+     run at the injection instant, so the next fetch decodes the
+     flipped word.  A continuous hooked run would ride the stale
+     pre-decoded block to its end and miss the flip entirely —
+     classifying Masked where the engine's forked suffix (which
+     resumes, and re-decodes, at the injection point) sees Sdc. *)
+  let src = {|
+_start:
+  li   t2, 5
+  li   a0, 0
+warm:
+  addi t2, t2, -1
+  bnez t2, warm
+  addi a0, a0, 1
+  addi a0, a0, 1
+  addi a0, a0, 1
+  addi a0, a0, 1
+  addi a0, a0, 1
+  li   t1, 0x00100000
+  sw   a0, 0(t1)
+  ebreak
+|}
+  in
+  let p = S4e_asm.Assembler.assemble_exn src in
+  let golden, _ = Campaign.golden ~fuel:10_000 p in
+  Alcotest.(check (option int)) "golden exit" (Some 5) golden.Campaign.sig_exit;
+  (* straight-line block entered at instret 13 (after the warm loop);
+     flip bit 21 of the addi at 0x8000001c (imm 1 -> 3, instret 16)
+     at instret 14 — two slots ahead of the pc, same block *)
+  let fault =
+    { Fault.loc = Fault.Code (0x8000001c, 21); kind = Fault.Transient 14 }
+  in
+  Alcotest.(check string) "run_one sees the flip" "sdc"
+    (Campaign.outcome_name (Campaign.run_one ~fuel:10_000 p ~golden fault));
+  List.iter
+    (fun (name, engine) ->
+      match Campaign.run ~engine ~fuel:10_000 p ~golden [ fault ] with
+      | [ (_, o) ] ->
+          Alcotest.(check string) (name ^ " sees the flip") "sdc"
+            (Campaign.outcome_name o)
+      | _ -> Alcotest.fail (name ^ ": expected one classified mutant"))
+    [ ("engine", Campaign.default_engine); ("rerun", Campaign.rerun_engine) ]
+
 (* ---------------- hardening: errors, journals, shards ---------------- *)
 
 module Journal = S4e_fault.Journal
@@ -640,7 +685,9 @@ let () =
           Alcotest.test_case "engine matches rerun" `Quick
             test_engine_matches_rerun;
           Alcotest.test_case "engine axes agree" `Quick
-            test_engine_axes_agree ] );
+            test_engine_axes_agree;
+          Alcotest.test_case "mid-block code flip visibility" `Quick
+            test_midblock_code_flip_visibility ] );
       ( "hardening",
         [ fault_string_roundtrip;
           Alcotest.test_case "malformed fault errored" `Quick

@@ -242,6 +242,48 @@ _start:
   Alcotest.(check int) "outer detached" 6 (Io_guard.accesses g2);
   Alcotest.(check int) "displaced watcher restored" 9 (Io_guard.accesses g1)
 
+let test_io_guard_device_plane () =
+  (* the guard must see MMIO on the new device-plane peripherals: an
+     unvetted driver poking DMA and NIC doorbells is exactly the kind
+     of access the guard exists to flag *)
+  let p =
+    assemble {|
+  .equ DMA,  0x10020000
+  .equ VNET, 0x10030000
+_start:
+  li   s0, DMA
+  lw   a0, 0x18(s0)       # STATUS read: allowed under Restrict_writes
+  li   a1, 8
+  sw   a1, 0x08(s0)       # TAIL doorbell: violation
+  li   s1, VNET
+  li   a2, 1
+  sw   a2, 0x00(s1)       # CTRL enable: violation
+  li   t1, 0x00100000
+  sw   zero, 0(t1)
+  ebreak
+|}
+  in
+  let m = Machine.create () in
+  let guard =
+    Io_guard.attach m
+      [ { Io_guard.p_device = "dma"; p_allowed = [];
+          p_restrict = Io_guard.Restrict_writes };
+        { Io_guard.p_device = "vnet"; p_allowed = [];
+          p_restrict = Io_guard.Restrict_writes } ]
+  in
+  S4e_asm.Program.load_machine p m;
+  (match Machine.run m ~fuel:1_000 with
+  | Machine.Exited 0 -> ()
+  | stop -> Alcotest.failf "device run: %a" Machine.pp_stop_reason stop);
+  let vs = Io_guard.violations guard in
+  Alcotest.(check (list string)) "both doorbells flagged" [ "dma"; "vnet" ]
+    (List.map (fun v -> v.Io_guard.v_device) vs);
+  List.iter
+    (fun v -> Alcotest.(check bool) "is a write" true v.Io_guard.v_is_write)
+    vs;
+  (* dma read + dma write + vnet write + syscon exit store *)
+  Alcotest.(check int) "all accesses observed" 4 (Io_guard.accesses guard)
+
 let test_wcet_flow_on_control_task () =
   let p =
     assemble {|
@@ -455,4 +497,6 @@ let () =
         [ Alcotest.test_case "write policy" `Quick test_io_guard_write_policy;
           Alcotest.test_case "restrict all" `Quick test_io_guard_restrict_all;
           Alcotest.test_case "allowed range" `Quick test_io_guard_allowed_range;
+          Alcotest.test_case "device plane visibility" `Quick
+            test_io_guard_device_plane;
           Alcotest.test_case "stacked guards" `Quick test_io_guard_stacking ] ) ]

@@ -49,19 +49,24 @@ let outcome_of m stop =
     o_instret = Machine.instret m;
     o_cycles = Machine.cycles m }
 
-let run_program ?(fuel = 200_000) config p =
+(* [rig] arms the deterministic device-traffic rig (vnet generator +
+   delayed DMA bursts, {!S4e_core.Flows.arm_device_rig}) before the
+   run, so the differential also covers DMA invalidation, event-wheel
+   ordering, and MEIP sampling. *)
+let run_program ?(fuel = 200_000) ?(rig = false) config p =
   let m = Machine.create ~config () in
   S4e_asm.Program.load_machine p m;
+  if rig then S4e_core.Flows.arm_device_rig m;
   outcome_of m (Machine.run m ~fuel)
 
-let check_engines_agree ?fuel p =
+let check_engines_agree ?fuel ?rig p =
   match engines with
   | [] -> assert false
   | (ref_name, ref_config) :: rest ->
-      let reference = run_program ?fuel ref_config p in
+      let reference = run_program ?fuel ?rig ref_config p in
       List.iter
         (fun (name, config) ->
-          let o = run_program ?fuel config p in
+          let o = run_program ?fuel ?rig config p in
           Alcotest.(check string)
             (Printf.sprintf "%s vs %s: stop" name ref_name)
             reference.o_stop o.o_stop;
@@ -415,16 +420,88 @@ slot:
 
 (* ---------------- random torture programs ---------------- *)
 
-let torture_agrees ~compress seed =
+let torture_agrees ?rig ~compress seed =
   let cfg = { Torture.default_config with Torture.seed; compress } in
   let p = Torture.generate cfg in
-  check_engines_agree ~fuel:(Torture.fuel_bound cfg) p;
+  check_engines_agree ?rig ~fuel:(Torture.fuel_bound cfg) p;
   true
+
+(* A guest driver over the device plane: DMA burst with completion IRQ
+   serviced from WFI, then the per-byte PIO tap — every engine must
+   sample MEIP at the same boundaries and fast-forward WFI to the same
+   event deadlines. *)
+let test_device_driver_agrees () =
+  differential_asm {|
+  .equ DMA,  0x10020000
+  .equ VNET, 0x10030000
+_start:
+  la   t0, handler
+  csrw mtvec, t0
+  li   t0, 0x800
+  csrw mie, t0
+  csrrsi zero, mstatus, 8
+  # one 64-byte DMA burst out of the code-adjacent data area
+  la   a0, ring
+  la   a1, src
+  la   a2, dst
+  sw   a1, 0(a0)
+  sw   a2, 4(a0)
+  li   t1, 64
+  sw   t1, 8(a0)
+  li   t1, 1
+  sw   t1, 12(a0)
+  li   s0, DMA
+  sw   a0, 0x00(s0)
+  li   t1, 1
+  sw   t1, 0x04(s0)
+  sw   t1, 0x14(s0)
+  sw   t1, 0x08(s0)
+wait:
+  lw   t1, 0x20(s0)
+  beqz t1, sleep
+  j    drained
+sleep:
+  wfi
+  j    wait
+drained:
+  # drain 32 stream bytes through the PIO tap
+  li   s1, VNET
+  li   t2, 9
+  sw   t2, 0x2C(s1)
+  li   s2, 0
+  li   s3, 32
+  li   s4, 0
+pio:
+  lw   t3, 0x50(s1)
+  add  s4, s4, t3
+  addi s2, s2, 1
+  blt  s2, s3, pio
+  lw   t4, 0(a2)        # first copied word
+  add  a0, s4, t4
+  li   t6, 0x00100000
+  sw   a0, 0(t6)
+  ebreak
+handler:
+  li   t5, DMA
+  lw   t4, 0x10(t5)
+  sw   t4, 0x10(t5)
+  mret
+  .data
+ring:
+  .space 16
+src:
+  .word 0x11223344, 2, 3, 4, 5, 6, 7, 8
+  .space 32
+dst:
+  .space 64
+|}
 
 let props =
   [ prop "torture: engines agree" seed_gen (torture_agrees ~compress:false);
     prop ~count:15 "torture (compressed): engines agree" seed_gen
-      (torture_agrees ~compress:true) ]
+      (torture_agrees ~compress:true);
+    prop ~count:15 "torture + device rig: engines agree" seed_gen
+      (torture_agrees ~rig:true ~compress:false) ]
 
 let sb_props =
   [ prop ~count:15 "smc in hot trace: engines agree" seed_gen smc_trace_agrees;
@@ -447,7 +524,9 @@ let () =
          Alcotest.test_case "self-modifying code" `Quick
            test_self_modifying_differential;
          Alcotest.test_case "hooks attach/detach mid-run" `Quick
-           test_hooks_attach_detach_mid_run ]);
+           test_hooks_attach_detach_mid_run;
+         Alcotest.test_case "device driver (dma irq + pio)" `Quick
+           test_device_driver_agrees ]);
       ("superblocks",
        Alcotest.test_case "smc kills running trace" `Quick
          test_smc_kills_running_trace

@@ -1,4 +1,5 @@
-(* Device model tests: UART, CLINT, GPIO, syscon, memory map. *)
+(* Device model tests: UART, CLINT, GPIO, syscon, memory map, and the
+   event-driven device plane (wheel, DMA engine, vnet). *)
 
 module Uart = S4e_soc.Uart
 module Clint = S4e_soc.Clint
@@ -6,6 +7,10 @@ module Gpio = S4e_soc.Gpio
 module Syscon = S4e_soc.Syscon
 module Map = S4e_soc.Memory_map
 module Bus = S4e_mem.Bus
+module Mem = S4e_mem.Sparse_mem
+module Wheel = S4e_soc.Event_wheel
+module Dma = S4e_soc.Dma
+module Vnet = S4e_soc.Vnet
 
 let test_uart_tx () =
   let u = Uart.create () in
@@ -84,19 +89,373 @@ let test_syscon () =
   Syscon.reset s;
   Alcotest.(check (option int)) "reset" None (Syscon.exit_code s)
 
-let test_memory_map_disjoint () =
-  (* attaching all default devices must not overlap *)
+(* A full six-device platform on one bus, as Machine.create builds it. *)
+let full_bus () =
   let bus = Bus.create () in
+  let mem = Bus.ram bus in
+  let wheel = Wheel.create () in
+  let clint = Clint.create () in
+  let now () = Clint.time clint in
+  let notify _ _ = () in
+  let dma = Dma.create ~mem ~wheel ~now ~notify () in
+  let vnet = Vnet.create ~mem ~wheel ~now ~notify () in
   Bus.attach bus (Uart.device (Uart.create ()) ~base:Map.uart_base);
-  Bus.attach bus (Clint.device (Clint.create ()) ~base:Map.clint_base);
+  Bus.attach bus (Clint.device clint ~base:Map.clint_base);
   Bus.attach bus (Gpio.device (Gpio.create ()) ~base:Map.gpio_base);
   Bus.attach bus (Syscon.device (Syscon.create ()) ~base:Map.syscon_base);
-  Alcotest.(check int) "four devices" 4 (List.length (Bus.device_ranges bus));
+  Bus.attach bus (Dma.device dma ~base:Map.dma_base);
+  Bus.attach bus (Vnet.device vnet ~base:Map.vnet_base);
+  (bus, clint, wheel, dma, vnet)
+
+let test_memory_map_disjoint () =
+  (* attaching the full device plane must not overlap *)
+  let bus, _, _, _, _ = full_bus () in
+  Alcotest.(check int) "six devices" 6 (List.length (Bus.device_ranges bus));
   (* RAM base must not be claimed by any device *)
   List.iter
     (fun (_, base, len) ->
       Alcotest.(check bool) "below RAM" true (base + len <= Map.ram_base))
     (Bus.device_ranges bus)
+
+let test_bus_overlap_rejected () =
+  let bus, _, _, _, _ = full_bus () in
+  List.iter
+    (fun base ->
+      match
+        Bus.attach bus (Syscon.device (Syscon.create ()) ~base)
+      with
+      | () -> Alcotest.failf "overlap at 0x%08x accepted" base
+      | exception Invalid_argument _ -> ())
+    [ Map.uart_base; Map.dma_base; Map.vnet_base; Map.vnet_base + 0x80 ]
+
+let test_bus_access_counts () =
+  let bus, _, _, _, _ = full_bus () in
+  (* TLB off: every access takes the routed slow path and is counted *)
+  Bus.set_tlb_enabled bus false;
+  ignore (Bus.read32 bus Map.vnet_base);
+  ignore (Bus.read32 bus (Map.vnet_base + 0x40));
+  Bus.write32 bus (Map.dma_base + 0x1C) 5;
+  ignore (Bus.read8 bus Map.uart_base);
+  let counts = Bus.access_counts bus in
+  let count name = List.assoc name counts in
+  Alcotest.(check int) "vnet" 2 (count "vnet");
+  Alcotest.(check int) "dma" 1 (count "dma");
+  Alcotest.(check int) "uart" 1 (count "uart");
+  Alcotest.(check int) "gpio" 0 (count "gpio")
+
+(* ---------------- event wheel ---------------- *)
+
+let test_wheel_order () =
+  let w = Wheel.create () in
+  let fired = ref [] in
+  let ev tag _now = fired := tag :: !fired in
+  ignore (Wheel.schedule w ~at:50 (ev "b"));
+  ignore (Wheel.schedule w ~at:10 (ev "a"));
+  ignore (Wheel.schedule w ~at:50 (ev "c"));
+  (* far beyond the near window *)
+  ignore (Wheel.schedule w ~at:5000 (ev "e"));
+  ignore (Wheel.schedule w ~at:900 (ev "d"));
+  Alcotest.(check int) "next" 10 (Wheel.next_deadline w);
+  Wheel.run_due w ~now:9;
+  Alcotest.(check (list string)) "nothing early" [] !fired;
+  Wheel.run_due w ~now:60;
+  (* same-deadline events fire in schedule order *)
+  Alcotest.(check (list string)) "near order" [ "c"; "b"; "a" ] !fired;
+  Alcotest.(check int) "far next" 900 (Wheel.next_deadline w);
+  Wheel.run_due w ~now:6000;
+  Alcotest.(check (list string)) "all" [ "e"; "d"; "c"; "b"; "a" ] !fired;
+  Alcotest.(check int) "idle" max_int (Wheel.next_deadline w);
+  Alcotest.(check int) "none live" 0 (Wheel.pending w)
+
+let test_wheel_cancel_and_stats () =
+  let w = Wheel.create () in
+  let hits = ref 0 in
+  let id1 = Wheel.schedule w ~at:10 (fun _ -> incr hits) in
+  let id2 = Wheel.schedule w ~at:20 (fun _ -> incr hits) in
+  Wheel.cancel w id1;
+  Alcotest.(check int) "next after cancel" 20 (Wheel.next_deadline w);
+  Wheel.run_due w ~now:100;
+  Wheel.cancel w id2 (* already fired: ignored *);
+  Wheel.note_idle_skip w;
+  let s = Wheel.stats w in
+  Alcotest.(check int) "fired" 1 !hits;
+  Alcotest.(check int) "ws_fired" 1 s.Wheel.ws_fired;
+  Alcotest.(check int) "ws_scheduled" 2 s.Wheel.ws_scheduled;
+  Alcotest.(check int) "ws_cancelled" 1 s.Wheel.ws_cancelled;
+  Alcotest.(check int) "ws_idle_skips" 1 s.Wheel.ws_idle_skips;
+  Alcotest.(check int) "ws_live" 0 s.Wheel.ws_live
+
+let test_wheel_reschedule_from_callback () =
+  let w = Wheel.create () in
+  let fired = ref [] in
+  ignore
+    (Wheel.schedule w ~at:10 (fun now ->
+         fired := ("first", now) :: !fired;
+         (* at or before now: must fire within the same run_due *)
+         ignore
+           (Wheel.schedule w ~at:5 (fun now ->
+                fired := ("chained", now) :: !fired))));
+  Wheel.run_due w ~now:30;
+  Alcotest.(check (list (pair string int)))
+    "chained event fired at the consultation time"
+    [ ("chained", 30); ("first", 30) ]
+    !fired
+
+let test_wheel_irq_lines () =
+  let w = Wheel.create () in
+  Alcotest.(check int) "clear" 0 (Wheel.irq_pending w);
+  Wheel.set_irq w Dma.irq_line;
+  Wheel.set_irq w Vnet.irq_line;
+  Alcotest.(check int) "both" 0b11 (Wheel.irq_pending w);
+  Wheel.clear_irq w Dma.irq_line;
+  Alcotest.(check int) "vnet only" 0b10 (Wheel.irq_pending w);
+  Wheel.clear w;
+  Alcotest.(check int) "clear drops lines" 0 (Wheel.irq_pending w)
+
+(* ---------------- DMA engine ---------------- *)
+
+let ram = Map.ram_base
+
+let write_desc mem base ~src ~dst ~len ~flags =
+  Mem.write32 mem base src;
+  Mem.write32 mem (base + 4) dst;
+  Mem.write32 mem (base + 8) len;
+  Mem.write32 mem (base + 12) flags
+
+let test_dma_burst () =
+  let bus, clint, wheel, dma, _ = full_bus () in
+  let mem = Bus.ram bus in
+  let d = Dma.device dma ~base:0 in
+  (* 5000-byte source pattern crossing page boundaries *)
+  for i = 0 to 4999 do
+    Mem.write8 mem (ram + i) ((i * 7) land 0xFF)
+  done;
+  let ring = ram + 0x8000 and dst = ram + 0x10000 in
+  write_desc mem ring ~src:ram ~dst ~len:5000 ~flags:Dma.flag_irq;
+  d.Bus.dev_write 0x00 4 ring;
+  d.Bus.dev_write 0x04 4 4;
+  d.Bus.dev_write 0x14 4 1 (* IRQ_ENABLE *);
+  d.Bus.dev_write 0x08 4 1 (* TAIL doorbell *);
+  Alcotest.(check bool) "busy" true (Dma.busy dma);
+  Alcotest.(check int) "deadline = cost" (Dma.cost 5000)
+    (Wheel.next_deadline wheel);
+  (* nothing moved yet *)
+  Alcotest.(check int) "dst untouched" 0 (Mem.read8 mem dst);
+  Clint.tick clint (Dma.cost 5000);
+  Wheel.run_due wheel ~now:(Clint.time clint);
+  Alcotest.(check bool) "idle" false (Dma.busy dma);
+  Alcotest.(check int) "head" 1 (Dma.head dma);
+  for i = 0 to 4999 do
+    if Mem.read8 mem (dst + i) <> (i * 7) land 0xFF then
+      Alcotest.failf "byte %d mismatch" i
+  done;
+  Alcotest.(check int) "tail byte clean" 0 (Mem.read8 mem (dst + 5000));
+  Alcotest.(check int) "done flag"
+    (Dma.flag_irq lor Dma.flag_done)
+    (Mem.read32 mem (ring + 12));
+  Alcotest.(check int) "irq status" 1 (d.Bus.dev_read 0x10 4);
+  Alcotest.(check int) "line asserted" (1 lsl Dma.irq_line)
+    (Wheel.irq_pending wheel);
+  d.Bus.dev_write 0x10 4 1 (* W1C *);
+  Alcotest.(check int) "line dropped" 0 (Wheel.irq_pending wheel);
+  let s = Dma.stats dma in
+  Alcotest.(check int) "bursts" 1 s.Dma.dma_bursts;
+  Alcotest.(check int) "bytes" 5000 s.Dma.dma_bytes;
+  Alcotest.(check int) "bytes reg" 5000 (d.Bus.dev_read 0x24 4)
+
+let test_dma_chained_ring () =
+  let bus, clint, wheel, dma, _ = full_bus () in
+  let mem = Bus.ram bus in
+  let d = Dma.device dma ~base:0 in
+  Mem.write32 mem ram 0xDEAD;
+  Mem.write32 mem (ram + 4) 0xBEEF;
+  let ring = ram + 0x8000 in
+  write_desc mem ring ~src:ram ~dst:(ram + 0x1000) ~len:4 ~flags:0;
+  write_desc mem (ring + 16) ~src:(ram + 4) ~dst:(ram + 0x2000) ~len:4
+    ~flags:0;
+  d.Bus.dev_write 0x00 4 ring;
+  d.Bus.dev_write 0x04 4 2;
+  d.Bus.dev_write 0x08 4 2 (* both descriptors with one doorbell *);
+  (* first completion arms the second; drive the wheel step by step *)
+  Clint.tick clint (Dma.cost 4);
+  Wheel.run_due wheel ~now:(Clint.time clint);
+  Alcotest.(check int) "first copied" 0xDEAD (Mem.read32 mem (ram + 0x1000));
+  Alcotest.(check int) "second pending" 0 (Mem.read32 mem (ram + 0x2000));
+  Alcotest.(check bool) "still busy" true (Dma.busy dma);
+  Clint.tick clint (Dma.cost 4);
+  Wheel.run_due wheel ~now:(Clint.time clint);
+  Alcotest.(check int) "second copied" 0xBEEF (Mem.read32 mem (ram + 0x2000));
+  Alcotest.(check int) "head wrapped" 2 (Dma.head dma);
+  Alcotest.(check bool) "no irq requested" true (Dma.irq_status dma = 0)
+
+let test_dma_burst_len_clamped () =
+  (* a corrupted (e.g. bit-flipped) descriptor length must be clamped:
+     one completion event may not do gigabytes of host-side work *)
+  let bus, clint, wheel, dma, _ = full_bus () in
+  let mem = Bus.ram bus in
+  let d = Dma.device dma ~base:0 in
+  let ring = ram + 0x8000 in
+  write_desc mem ring ~src:ram ~dst:(ram + 0x10_0000) ~len:0x4000_0040
+    ~flags:0;
+  d.Bus.dev_write 0x00 4 ring;
+  d.Bus.dev_write 0x04 4 1;
+  d.Bus.dev_write 0x08 4 1;
+  Alcotest.(check int) "deadline uses the clamped cost"
+    (Dma.cost Dma.max_burst_len)
+    (Wheel.next_deadline wheel);
+  Clint.tick clint (Dma.cost Dma.max_burst_len);
+  Wheel.run_due wheel ~now:(Clint.time clint);
+  Alcotest.(check bool) "completed" false (Dma.busy dma);
+  let s = Dma.stats dma in
+  Alcotest.(check int) "bytes clamped" Dma.max_burst_len s.Dma.dma_bytes
+
+let test_dma_notify_range () =
+  (* DMA-written ranges must be reported for TB invalidation *)
+  let ranges = ref [] in
+  let mem = Mem.create () in
+  let wheel = Wheel.create () in
+  let t = ref 0 in
+  let dma =
+    Dma.create ~mem ~wheel ~now:(fun () -> !t)
+      ~notify:(fun a l -> ranges := (a, l) :: !ranges)
+      ()
+  in
+  let d = Dma.device dma ~base:0 in
+  let ring = ram + 0x100 in
+  write_desc mem ring ~src:ram ~dst:(ram + 0x40) ~len:8 ~flags:0;
+  d.Bus.dev_write 0x00 4 ring;
+  d.Bus.dev_write 0x04 4 1;
+  d.Bus.dev_write 0x08 4 1;
+  t := Dma.cost 8;
+  Wheel.run_due wheel ~now:!t;
+  (* the payload range and the written-back status word *)
+  Alcotest.(check bool) "payload notified" true
+    (List.mem (ram + 0x40, 8) !ranges);
+  Alcotest.(check bool) "status word notified" true
+    (List.mem (ring + 12, 4) !ranges)
+
+(* ---------------- vnet ---------------- *)
+
+let test_vnet_stream_pure () =
+  (* the payload stream is a pure function of (seed, index) *)
+  let a = List.init 64 (Vnet.stream_byte 7) in
+  let b = List.init 64 (Vnet.stream_byte 7) in
+  let c = List.init 64 (Vnet.stream_byte 8) in
+  Alcotest.(check (list int)) "deterministic" a b;
+  Alcotest.(check bool) "seed matters" true (a <> c);
+  List.iter
+    (fun v -> Alcotest.(check bool) "byte range" true (v >= 0 && v < 256))
+    a
+
+let test_vnet_rx_deliver_and_drop () =
+  let bus, clint, wheel, _, vnet = full_bus () in
+  let mem = Bus.ram bus in
+  let d = Vnet.device vnet ~base:0 in
+  let ring = ram + 0x8000 and buf = ram + 0x9000 in
+  write_desc mem ring ~src:buf ~dst:0 ~len:64 ~flags:0;
+  (* one posted buffer, three packets: 1 delivered, 2 dropped *)
+  d.Bus.dev_write 0x00 4 1 (* CTRL enable *);
+  d.Bus.dev_write 0x0C 4 ring;
+  d.Bus.dev_write 0x10 4 8 (* RX_COUNT *);
+  d.Bus.dev_write 0x14 4 1 (* RX_TAIL: one buffer *);
+  d.Bus.dev_write 0x08 4 Vnet.irq_rx;
+  d.Bus.dev_write 0x2C 4 42 (* seed *);
+  d.Bus.dev_write 0x30 4 10 (* rate *);
+  d.Bus.dev_write 0x34 4 3 (* burst *);
+  d.Bus.dev_write 0x38 4 48 (* gen len *);
+  d.Bus.dev_write 0x3C 4 3 (* arm 3 packets *);
+  Alcotest.(check int) "gen deadline" 10 (Wheel.next_deadline wheel);
+  Clint.tick clint 10;
+  Wheel.run_due wheel ~now:10;
+  let st = Vnet.stats vnet in
+  Alcotest.(check int) "delivered" 1 st.Vnet.vn_rx_delivered;
+  Alcotest.(check int) "dropped" 2 st.Vnet.vn_rx_dropped;
+  Alcotest.(check int) "head advanced" 1 (d.Bus.dev_read 0x18 4);
+  (* status word: min(gen_len, buf_len) with the done flag *)
+  Alcotest.(check int) "rx status" (48 lor Dma.flag_done)
+    (Mem.read32 mem (ring + 12));
+  (* payload bytes of packet 0 *)
+  for j = 0 to 47 do
+    if Mem.read8 mem (buf + j) <> Vnet.stream_byte 42 j then
+      Alcotest.failf "payload byte %d mismatch" j
+  done;
+  Alcotest.(check int) "rx irq" Vnet.irq_rx (d.Bus.dev_read 0x04 4);
+  Alcotest.(check int) "line" (1 lsl Vnet.irq_line)
+    (Wheel.irq_pending wheel);
+  Alcotest.(check bool) "generator exhausted" false (Vnet.gen_active vnet)
+
+let test_vnet_pio_stream () =
+  let _, _, _, _, vnet = full_bus () in
+  let d = Vnet.device vnet ~base:0 in
+  d.Bus.dev_write 0x2C 4 9 (* seed *);
+  for i = 0 to 99 do
+    Alcotest.(check int)
+      (Printf.sprintf "pio byte %d" i)
+      (Vnet.stream_byte 9 i)
+      (d.Bus.dev_read 0x50 4)
+  done
+
+let test_vnet_tx_checksum () =
+  let bus, clint, wheel, _, vnet = full_bus () in
+  let mem = Bus.ram bus in
+  let d = Vnet.device vnet ~base:0 in
+  let ring = ram + 0x8000 and buf = ram + 0x9000 in
+  let payload = "device plane tx checksum" in
+  String.iteri
+    (fun i c -> Mem.write8 mem (buf + i) (Char.code c))
+    payload;
+  let len = String.length payload in
+  write_desc mem ring ~src:buf ~dst:0 ~len ~flags:0;
+  d.Bus.dev_write 0x00 4 1 (* CTRL enable *);
+  d.Bus.dev_write 0x1C 4 ring;
+  d.Bus.dev_write 0x20 4 4 (* TX_COUNT *);
+  d.Bus.dev_write 0x24 4 1 (* TX_TAIL doorbell *);
+  Clint.tick clint (Dma.cost len);
+  Wheel.run_due wheel ~now:(Clint.time clint);
+  (* reference FNV-1a over the payload *)
+  let expect =
+    String.fold_left
+      (fun h c ->
+        ((h lxor Char.code c) * 0x0100_0193) land 0xFFFF_FFFF)
+      0x811C_9DC5 payload
+  in
+  Alcotest.(check int) "fnv-1a" expect (d.Bus.dev_read 0x4C 4);
+  Alcotest.(check int) "sent" 1 (d.Bus.dev_read 0x48 4);
+  Alcotest.(check int) "done flag" Dma.flag_done
+    (Mem.read32 mem (ring + 12))
+
+(* ---------------- uart host sink ---------------- *)
+
+let test_uart_sink_batching () =
+  let u = Uart.create () in
+  let d = Uart.device u ~base:0 in
+  let chunks = ref [] in
+  Uart.set_sink u (Some (fun s -> chunks := s :: !chunks));
+  let put c = d.Bus.dev_write Uart.data_offset 1 (Char.code c) in
+  String.iter put "partial";
+  Alcotest.(check (list string)) "buffered, not flushed" [] !chunks;
+  put '\n';
+  Alcotest.(check (list string)) "newline flushes" [ "partial\n" ] !chunks;
+  String.iter put "tail";
+  Uart.flush_host u;
+  Alcotest.(check (list string)) "explicit flush" [ "tail"; "partial\n" ]
+    !chunks;
+  Uart.flush_host u;
+  Alcotest.(check (list string)) "no empty chunks" [ "tail"; "partial\n" ]
+    !chunks;
+  (* the accumulated output view is unaffected by sink batching *)
+  Alcotest.(check string) "full output" "partial\ntail" (Uart.output u)
+
+let test_uart_sink_threshold () =
+  let u = Uart.create () in
+  let d = Uart.device u ~base:0 in
+  let chunks = ref [] in
+  Uart.set_sink u (Some (fun s -> chunks := s :: !chunks));
+  for _ = 1 to 256 do
+    d.Bus.dev_write Uart.data_offset 1 (Char.code 'x')
+  done;
+  Alcotest.(check int) "threshold flush" 1 (List.length !chunks);
+  Alcotest.(check int) "256 bytes" 256 (String.length (List.hd !chunks))
 
 let () =
   Alcotest.run "soc"
@@ -109,4 +468,31 @@ let () =
           Alcotest.test_case "gpio" `Quick test_gpio;
           Alcotest.test_case "syscon" `Quick test_syscon;
           Alcotest.test_case "memory map disjoint" `Quick
-            test_memory_map_disjoint ] ) ]
+            test_memory_map_disjoint;
+          Alcotest.test_case "bus overlap rejected" `Quick
+            test_bus_overlap_rejected;
+          Alcotest.test_case "bus access counts" `Quick
+            test_bus_access_counts;
+          Alcotest.test_case "uart sink batching" `Quick
+            test_uart_sink_batching;
+          Alcotest.test_case "uart sink threshold" `Quick
+            test_uart_sink_threshold ] );
+      ( "event wheel",
+        [ Alcotest.test_case "fire order" `Quick test_wheel_order;
+          Alcotest.test_case "cancel and stats" `Quick
+            test_wheel_cancel_and_stats;
+          Alcotest.test_case "reschedule from callback" `Quick
+            test_wheel_reschedule_from_callback;
+          Alcotest.test_case "irq lines" `Quick test_wheel_irq_lines ] );
+      ( "dma",
+        [ Alcotest.test_case "burst copy" `Quick test_dma_burst;
+          Alcotest.test_case "chained ring" `Quick test_dma_chained_ring;
+          Alcotest.test_case "burst length clamped" `Quick
+            test_dma_burst_len_clamped;
+          Alcotest.test_case "notify range" `Quick test_dma_notify_range ] );
+      ( "vnet",
+        [ Alcotest.test_case "stream pure" `Quick test_vnet_stream_pure;
+          Alcotest.test_case "rx deliver and drop" `Quick
+            test_vnet_rx_deliver_and_drop;
+          Alcotest.test_case "pio stream" `Quick test_vnet_pio_stream;
+          Alcotest.test_case "tx checksum" `Quick test_vnet_tx_checksum ] ) ]
