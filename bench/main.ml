@@ -1,5 +1,5 @@
 (* The experiment harness: regenerates every table and figure of the
-   reproduction (E1..E16, see DESIGN.md for the per-experiment index and
+   reproduction (E1..E18, see DESIGN.md for the per-experiment index and
    EXPERIMENTS.md for paper-vs-measured).
 
    Usage:  dune exec bench/main.exe                    # all experiments
@@ -1511,11 +1511,99 @@ let e17 () =
      only in the written range — digest-identical on every engine, \
      asserted above)\n"
 
+(* ------------------------------------------------------------------ *)
+(* E18: flight-recorder overhead and inertness                          *)
+
+let e18 () =
+  section "E18"
+    "flight recorder: armed overhead, unarmed fast path, inertness gate";
+  let module Obs = S4e_obs in
+  let fuel = 1_000_000 in
+  let cfg = Machine.default_config in
+  (* min-of-5 wall clock, as in E14: the unarmed delta in particular is
+     a single pointer test per block dispatch *)
+  let time f =
+    let once () =
+      let t0 = Unix.gettimeofday () in
+      f ();
+      Unix.gettimeofday () -. t0
+    in
+    let best = ref (once ()) in
+    for _ = 2 to 5 do
+      best := min !best (once ())
+    done;
+    !best
+  in
+  let programs =
+    [ Workloads.mix; Workloads.dhrystone ]
+    |> List.map (fun w -> (w.Workloads.w_name, Workloads.program w))
+  in
+  Printf.printf "%-10s %9s %9s %10s\n" "workload" "plain" "recorded"
+    "recorded";
+  Printf.printf "%-10s %9s %9s %10s\n" "" "(MIPS)" "(MIPS)" "(overhd)";
+  List.iter
+    (fun (name, p) ->
+      let n1 =
+        let m = Machine.create ~config:cfg () in
+        S4e_asm.Program.load_machine p m;
+        ignore (Machine.run m ~fuel);
+        Machine.instret m
+      in
+      let reps = max 1 (200_000 / max n1 1) in
+      let run instrument () =
+        let m = Machine.create ~config:cfg () in
+        instrument m;
+        S4e_asm.Program.load_machine p m;
+        let entry = m.Machine.state.S4e_cpu.Arch_state.pc in
+        ignore (Machine.run m ~fuel);
+        for _ = 2 to reps do
+          Machine.reset m ~pc:entry;
+          ignore (Machine.run m ~fuel)
+        done;
+        m
+      in
+      let n = reps * n1 in
+      let mips t = float_of_int n /. t /. 1e6 in
+      let with_recorder m =
+        Machine.set_recorder m (Some (Obs.Flight_recorder.create ()))
+      in
+      (* hard inertness gate: an armed recorder must be digest-identical
+         to the plain run (stop reason and counters are covered by the
+         differential tests; the digest covers the architectural state) *)
+      let d_plain =
+        Machine.state_digest ~include_time:true (run ignore ())
+      in
+      let m_rec = run with_recorder () in
+      if Machine.state_digest ~include_time:true m_rec <> d_plain then
+        failwith
+          (Printf.sprintf "E18: recorder digest mismatch on %s" name);
+      (match Machine.recorder m_rec with
+      | Some r when Obs.Flight_recorder.length r > 0 -> ()
+      | _ -> failwith "E18: armed recorder captured nothing");
+      let tp = time (fun () -> ignore (run ignore ())) in
+      let tr = time (fun () -> ignore (run with_recorder ())) in
+      let ovh = pct ((tr /. tp) -. 1.0) in
+      Printf.printf "%-10s %9.2f %9.2f %9.1f%%\n" name (mips tp) (mips tr)
+        ovh;
+      record ~exp:"e18" ~name:(name ^ "/plain-mips") ~value:(mips tp)
+        ~unit_:"MIPS";
+      record ~exp:"e18" ~name:(name ^ "/recorded-mips") ~value:(mips tr)
+        ~unit_:"MIPS";
+      record ~exp:"e18" ~name:(name ^ "/record-overhead") ~value:ovh
+        ~unit_:"%")
+    programs;
+  Printf.printf
+    "(unarmed runs pay one recorder-pointer test per block dispatch — \
+     the plain column IS the unarmed fast path, gated against E13's \
+     baseline by trend tracking; armed runs leave the superblock path \
+     and capture pc/opcode/writeback/effective-address per retire, \
+     digest-identical — asserted above)\n"
+
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
-    ("e17", e17) ]
+    ("e17", e17); ("e18", e18) ]
 
 let () =
   let rec parse json names = function

@@ -99,8 +99,17 @@ let run_cmd =
                  event per device-plane event (DMA bursts, vnet \
                  deliveries/drops/sends) after the run.")
   in
+  let record_arg =
+    Arg.(value & opt ~vopt:(Some 256) (some int) None & info [ "record" ]
+           ~docv:"N"
+           ~doc:"Arm the flight recorder with an N-record ring (default \
+                 256) and dump the disassembled recorder tail when the run \
+                 ends in a trap, fuel exhaustion, or a WFI halt. Unlike \
+                 --trace, recording keeps the lowered fast path and never \
+                 changes the run's outcome.")
+  in
   let action file fuel trace input cache_stats profile metrics no_mem_tlb
-      no_superblocks trace_stats trace_events =
+      no_superblocks trace_stats trace_events record =
     let p = assemble_file file in
     let config =
       { S4e_cpu.Machine.default_config with
@@ -137,6 +146,14 @@ let run_cmd =
     let tev =
       Option.map (fun _ -> S4e_obs.Trace_events.create ()) trace_events
     in
+    let rcd =
+      Option.map
+        (fun capacity ->
+          let r = S4e_obs.Flight_recorder.create ~capacity () in
+          S4e_cpu.Machine.set_recorder m (Some r);
+          r)
+        record
+    in
     (match (reg, tev) with
     | None, None -> ()
     | _ -> S4e_cpu.Machine.observe_devices ?metrics:reg ?trace:tev m);
@@ -149,6 +166,26 @@ let run_cmd =
     Format.printf "@.-- %a; %d instructions, %d cycles@."
       S4e_cpu.Machine.pp_stop_reason stop
       (S4e_cpu.Machine.instret m) (S4e_cpu.Machine.cycles m);
+    (match rcd with
+    | None -> ()
+    | Some r -> (
+        match stop with
+        | S4e_cpu.Machine.Exited _ -> ()
+        | _ ->
+            Format.printf "flight recorder tail (last %d of %d records):@."
+              (S4e_obs.Flight_recorder.length r)
+              (S4e_obs.Flight_recorder.seq r);
+            List.iter
+              (fun rc ->
+                Format.printf "  %a%s@." S4e_obs.Flight_recorder.pp_record rc
+                  (match rc.S4e_obs.Flight_recorder.r_kind with
+                  | S4e_obs.Flight_recorder.Retire
+                  | S4e_obs.Flight_recorder.Watch ->
+                      "  "
+                      ^ S4e_asm.Disasm.disassemble_word
+                          rc.S4e_obs.Flight_recorder.r_op
+                  | _ -> ""))
+              (S4e_obs.Flight_recorder.records r)));
     (match caches with
     | None -> ()
     | Some c ->
@@ -247,7 +284,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Assemble and execute a program on the virtual prototype.")
     Term.(const action $ file_arg $ fuel_arg $ trace_arg $ input_arg
           $ cache_arg $ profile_arg $ metrics_arg $ no_mem_tlb_arg
-          $ no_superblocks_arg $ trace_stats_arg $ trace_events_arg)
+          $ no_superblocks_arg $ trace_stats_arg $ trace_events_arg
+          $ record_arg)
 
 (* ---------------- profile ---------------- *)
 
@@ -596,8 +634,22 @@ let fault_cmd =
                  hung. 0 disables it. Note: makes borderline outcomes \
                  machine-dependent.")
   in
+  let triage_arg =
+    Arg.(value & opt ~vopt:(Some 8) (some int) None & info [ "triage" ]
+           ~docv:"K"
+           ~doc:"After the campaign, re-run up to K (default 8) of the \
+                 divergent mutants (sdc/crashed/hung) in lockstep against \
+                 a golden run with flight recorders armed, and report each \
+                 mutant's first architectural divergence (pc, instruction, \
+                 register/memory delta) plus the ranked top faulty sites.")
+  in
+  let triage_out_arg =
+    Arg.(value & opt (some string) None & info [ "triage-out" ] ~docv:"FILE"
+           ~doc:"Write the triage records produced by --triage to FILE as \
+                 JSONL (one object per triaged mutant).")
+  in
   let action file mutants seed blind rerun fuel jobs trace_events metrics
-      progress journal resume shard timeout =
+      progress journal resume shard timeout triage triage_out =
     let p = assemble_file file in
     let engine =
       if rerun then S4e_fault.Campaign.rerun_engine
@@ -617,14 +669,37 @@ let fault_cmd =
     in
     let sink = Option.map (fun _ -> S4e_obs.Trace_events.create ()) trace_events in
     let reg = Option.map (fun _ -> S4e_obs.Metrics.create ()) metrics in
+    (* Idempotent telemetry flush: the normal path and the force-quit
+       SIGINT path below both call it, so the trace/metrics files
+       survive even a second ^C (the campaign journal already has its
+       own crash-safe batching). *)
+    let flushed = Atomic.make false in
+    let flush_outputs () =
+      if not (Atomic.exchange flushed true) then begin
+        (match (sink, trace_events) with
+        | Some s, Some path ->
+            S4e_obs.Trace_events.write s path;
+            Format.printf "wrote %d trace events to %s@."
+              (S4e_obs.Trace_events.events s)
+              path
+        | _ -> ());
+        match (reg, metrics) with
+        | Some reg, Some path -> S4e_obs.Metrics.write_json reg path
+        | _ -> ()
+      end
+    in
     (* Cooperative SIGINT: workers finish their in-flight mutants, the
        journal is flushed, and the partial summary still prints.  A
-       second ^C force-quits. *)
+       second ^C force-quits - flushing the telemetry sinks on the way
+       out so an impatient interrupt doesn't lose the trace. *)
     let stop = Atomic.make false in
     Sys.set_signal Sys.sigint
       (Sys.Signal_handle
          (fun _ ->
-           if Atomic.get stop then Stdlib.exit 130;
+           if Atomic.get stop then begin
+             flush_outputs ();
+             Stdlib.exit 130
+           end;
            Atomic.set stop true;
            prerr_endline
              "\ninterrupt: finishing in-flight mutants (^C again to force \
@@ -652,16 +727,42 @@ let fault_cmd =
             (S4e_fault.Campaign.outcome_name o)
             S4e_fault.Fault.pp f)
       r.S4e_core.Flows.ff_results;
-    (match (sink, trace_events) with
-    | Some s, Some path ->
-        S4e_obs.Trace_events.write s path;
-        Format.printf "wrote %d trace events to %s@."
-          (S4e_obs.Trace_events.events s)
-          path
-    | _ -> ());
-    (match (reg, metrics) with
-    | Some reg, Some path -> S4e_obs.Metrics.write_json reg path
-    | _ -> ());
+    (match triage with
+    | Some sample when r.S4e_core.Flows.ff_complete ->
+        let recs = S4e_core.Flows.fault_triage ~sample cfg p r in
+        if recs = [] then Format.printf "triage: no divergent mutants@."
+        else begin
+          Format.printf "triage (%d mutants):@." (List.length recs);
+          List.iter
+            (fun t -> Format.printf "  %a@." S4e_fault.Campaign.pp_triage t)
+            recs;
+          match S4e_fault.Campaign.top_sites recs with
+          | [] -> ()
+          | sites ->
+              Format.printf "top faulty sites:@.";
+              List.iteri
+                (fun i (pc, c) ->
+                  if i < 8 then
+                    Format.printf "  0x%08x  %d mutant%s@." pc c
+                      (if c = 1 then "" else "s"))
+                sites
+        end;
+        (match triage_out with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            List.iter
+              (fun t ->
+                output_string oc (S4e_fault.Campaign.triage_to_json t);
+                output_char oc '\n')
+              recs;
+            close_out oc;
+            Format.printf "wrote %d triage records to %s@."
+              (List.length recs) path)
+    | Some _ ->
+        Format.printf "triage: skipped (campaign interrupted)@."
+    | None -> ());
+    flush_outputs ();
     if not r.S4e_core.Flows.ff_complete then begin
       (match (journal, resume) with
       | Some f, _ | None, Some f ->
@@ -680,7 +781,7 @@ let fault_cmd =
     Term.(const action $ file_arg $ mutants_arg $ seed_arg $ blind_arg
           $ rerun_arg $ fault_fuel_arg $ jobs_arg $ trace_events_arg
           $ metrics_arg $ progress_arg $ journal_arg $ resume_arg
-          $ shard_arg $ timeout_arg)
+          $ shard_arg $ timeout_arg $ triage_arg $ triage_out_arg)
 
 (* ---------------- merge-journals ---------------- *)
 

@@ -9,6 +9,7 @@ type run_result = {
   rr_cycles : int;
   rr_uart : string;
   rr_dev : string option;
+  rr_recorder : S4e_obs.Flight_recorder.t option;
 }
 
 let default_fuel = 10_000_000
@@ -82,18 +83,27 @@ let apply_knobs mem_tlb superblocks config =
   apply_knob mem_tlb (fun c on -> { c with Machine.mem_tlb = on }) config
   |> apply_knob superblocks (fun c on -> { c with Machine.superblocks = on })
 
-let run ?config ?mem_tlb ?superblocks ?(device_traffic = false)
+let run ?config ?mem_tlb ?superblocks ?(device_traffic = false) ?record
     ?(fuel = default_fuel) p =
   let config = apply_knobs mem_tlb superblocks config in
   let m = Machine.create ?config () in
   Program.load_machine p m;
   if device_traffic then arm_device_rig m;
+  let recorder =
+    match record with
+    | None -> None
+    | Some capacity ->
+        let r = S4e_obs.Flight_recorder.create ~capacity () in
+        Machine.set_recorder m (Some r);
+        Some r
+  in
   let stop = Machine.run m ~fuel in
   { rr_stop = stop;
     rr_instret = Machine.instret m;
     rr_cycles = Machine.cycles m;
     rr_uart = Machine.uart_output m;
-    rr_dev = (if device_traffic then Some (device_summary m) else None) }
+    rr_dev = (if device_traffic then Some (device_summary m) else None);
+    rr_recorder = recorder }
 
 let coverage_of_program ?config ~fuel p =
   let m = Machine.create ?config () in
@@ -197,6 +207,7 @@ let default_fault_config =
 type fault_flow_result = {
   ff_summary : S4e_fault.Campaign.summary;
   ff_results : (S4e_fault.Fault.t * S4e_fault.Campaign.outcome) list;
+  ff_indexed : (int * S4e_fault.Fault.t * S4e_fault.Campaign.outcome) list;
   ff_golden : S4e_fault.Campaign.signature;
   ff_resumed : int;
   ff_complete : bool;
@@ -231,6 +242,12 @@ let ( let* ) = Result.bind
 
 module Campaign = S4e_fault.Campaign
 module Journal = S4e_fault.Journal
+
+let hang_budget_insns hb ~fuel ~golden_instret =
+  match hb with
+  | Hang_fuel -> fuel
+  | Hang_insns b -> b
+  | Hang_auto -> min fuel (max 10_000 (3 * golden_instret))
 
 let fault_campaign ?config ?jobs ?metrics ?trace ?(progress = false) ?journal
     ?resume ?shard:shard_spec ?cancelled cfg p =
@@ -346,10 +363,7 @@ let fault_campaign ?config ?jobs ?metrics ?trace ?(progress = false) ?journal
       writer
   in
   let budget =
-    match cfg.ff_hang_budget with
-    | Hang_fuel -> cfg.ff_fuel
-    | Hang_insns b -> b
-    | Hang_auto -> min cfg.ff_fuel (max 10_000 (3 * golden_instret))
+    hang_budget_insns cfg.ff_hang_budget ~fuel:cfg.ff_fuel ~golden_instret
   in
   let on_progress = if progress then Some (progress_meter ()) else None in
   let fresh =
@@ -370,6 +384,7 @@ let fault_campaign ?config ?jobs ?metrics ?trace ?(progress = false) ?journal
   Ok
     { ff_summary = Campaign.summarize results;
       ff_results = results;
+      ff_indexed = all;
       ff_golden = golden;
       ff_resumed = resumed;
       ff_complete = List.length all = List.length scoped }
@@ -379,6 +394,16 @@ let fault_flow ?config ?jobs ?metrics ?trace ?progress cfg p =
   match fault_campaign ?config ?jobs ?metrics ?trace ?progress cfg p with
   | Ok r -> r
   | Error e -> failwith e
+
+let fault_triage ?config ?sample ?tail cfg p (r : fault_flow_result) =
+  (* triage mutants with the same per-mutant budget the campaign used,
+     so a Hung mutant's lockstep run covers the instants the campaign
+     actually simulated *)
+  let budget =
+    hang_budget_insns cfg.ff_hang_budget ~fuel:cfg.ff_fuel
+      ~golden_instret:r.ff_golden.Campaign.sig_instret
+  in
+  Campaign.triage ?config ?sample ?tail ~fuel:budget p r.ff_indexed
 
 (* ---------------- profiling ---------------- *)
 

@@ -17,17 +17,23 @@ type run_result = {
   rr_dev : string option;
       (** device-plane summary line when the run was armed with
           [~device_traffic:true]; [None] otherwise *)
+  rr_recorder : S4e_obs.Flight_recorder.t option;
+      (** the flight recorder armed by [?record], holding the run's
+          last records; [None] otherwise *)
 }
 
 val run :
   ?config:S4e_cpu.Machine.config -> ?mem_tlb:bool -> ?superblocks:bool ->
-  ?device_traffic:bool -> ?fuel:int -> S4e_asm.Program.t -> run_result
+  ?device_traffic:bool -> ?record:int -> ?fuel:int -> S4e_asm.Program.t ->
+  run_result
 (** Default fuel: 10 million instructions.  [mem_tlb] and [superblocks]
     override the config's software-TLB / superblock-trace knobs (see
     {!S4e_cpu.Machine.config}) without the caller having to build a
     config record.  [device_traffic] (default false) arms
     {!arm_device_rig} before running, and fills [rr_dev] with a
-    deterministic device/digest summary afterwards. *)
+    deterministic device/digest summary afterwards.  [record] arms a
+    {!S4e_obs.Flight_recorder} of that capacity (returned in
+    [rr_recorder]) — recording never changes the run's outcome. *)
 
 val arm_device_rig : ?seed:int -> S4e_cpu.Machine.t -> unit
 (** Host-arms a deterministic device-plane exercise pattern on an
@@ -123,6 +129,10 @@ type fault_flow_result = {
   ff_results : (S4e_fault.Fault.t * S4e_fault.Campaign.outcome) list;
       (** classified mutants only, in stable-index order: a cancelled
           run simply has fewer entries *)
+  ff_indexed : (int * S4e_fault.Fault.t * S4e_fault.Campaign.outcome) list;
+      (** the same results with their stable campaign indices — the
+          input {!fault_triage} and {!S4e_fault.Campaign.triage}
+          expect *)
   ff_golden : S4e_fault.Campaign.signature;
   ff_resumed : int;  (** mutants skipped because a resume journal
                          already classified them *)
@@ -182,6 +192,20 @@ val fault_flow :
     around the campaign's own events).  [progress] (default off) prints
     a live [done/total  mutants/sec  eta] meter to stderr, updated at
     most four times a second. *)
+
+val fault_triage :
+  ?config:S4e_cpu.Machine.config ->
+  ?sample:int ->
+  ?tail:int ->
+  fault_flow_config ->
+  S4e_asm.Program.t ->
+  fault_flow_result ->
+  S4e_fault.Campaign.triage_record list
+(** {!S4e_fault.Campaign.triage} over a flow result's divergent mutants
+    ([ff_indexed]), re-using the campaign's own per-mutant hang budget
+    as the lockstep fuel so Hung mutants are triaged over the instants
+    the campaign actually simulated.  Pass the same [config] the
+    campaign ran with. *)
 
 (** {1 Hot-spot profiling} *)
 

@@ -42,6 +42,16 @@ let pp_stop_reason fmt = function
   | Out_of_fuel -> Format.pp_print_string fmt "out of fuel"
   | Wfi_halt -> Format.pp_print_string fmt "halted in wfi"
 
+(* Address-range data probe, checked on the recording path (where
+   effective addresses are materialized).  [wp_hi] is exclusive. *)
+type watchpoint = {
+  wp_lo : word;
+  wp_hi : word;
+  wp_read : bool;
+  wp_write : bool;
+  mutable wp_hits : int;
+}
+
 type t = {
   state : Arch_state.t;
   bus : Bus.t;
@@ -66,6 +76,9 @@ type t = {
   mutable sb : Superblock.t option;
       (* superblock trace engine; [None] when disabled by config *)
   mutable profiler : S4e_obs.Profile.t option;
+  mutable recorder : S4e_obs.Flight_recorder.t option;
+  mutable watchpoints : watchpoint array;
+  mutable watch_trace : S4e_obs.Trace_events.t option;
 }
 
 exception Stop of stop_reason
@@ -134,7 +147,12 @@ let update_mip t =
     let w = t.wheel in
     if now >= Soc.Event_wheel.next_deadline w then begin
       t.lower_ctx.Lower.lx_flush_time ();
-      Soc.Event_wheel.run_due w ~now
+      Soc.Event_wheel.run_due w ~now;
+      match t.recorder with
+      | Some r ->
+          S4e_obs.Flight_recorder.event r S4e_obs.Flight_recorder.Dev
+            ~pc:t.state.pc ~info:(Soc.Event_wheel.irq_pending w)
+      | None -> ()
     end
     else Soc.Event_wheel.note_idle_skip w;
     if Soc.Event_wheel.irq_pending w <> 0 then mip := !mip lor meip_bit
@@ -147,6 +165,11 @@ let update_mip t =
    installed). *)
 let enter_exception t cause pc =
   Hooks.fire_trap t.hooks cause pc;
+  (match t.recorder with
+  | Some r ->
+      S4e_obs.Flight_recorder.event r S4e_obs.Flight_recorder.Trap ~pc
+        ~info:(Trap.mcause_of_exception cause)
+  | None -> ());
   if t.state.mtvec = 0 then Some (Fatal_trap (cause, pc))
   else begin
     t.state.mepc <- pc;
@@ -241,7 +264,8 @@ let create ?(config = default_config) () =
     { state; bus; uart; clint; gpio; syscon; wheel; dma; vnet;
       hooks = Hooks.create (); config; decode32; tb; last_load_mask = 0;
       pending_ticks; seg_idx; seg_base; fuel_left; exit_dirty; lower_ctx;
-      sb = None; profiler = None }
+      sb = None; profiler = None; recorder = None; watchpoints = [||];
+      watch_trace = None }
   in
   (* The superblock engine only runs where the lowered+chained engine
      runs (chain-edge heat drives promotion), so don't even install the
@@ -331,6 +355,11 @@ let create ?(config = default_config) () =
 
 let set_profiler t p = t.profiler <- p
 let profiler t = t.profiler
+let set_recorder t r = t.recorder <- r
+let recorder t = t.recorder
+let set_watchpoints t wps = t.watchpoints <- Array.of_list wps
+let watchpoints t = Array.to_list t.watchpoints
+let set_watch_trace t tr = t.watch_trace <- tr
 let trace_stats t = Option.map Superblock.stats t.sb
 
 let register_metrics ?(prefix = "machine.") t reg =
@@ -436,6 +465,11 @@ let reset t ~pc =
   t.exit_dirty := false
 
 let enter_interrupt t irq =
+  (match t.recorder with
+  | Some r ->
+      S4e_obs.Flight_recorder.event r S4e_obs.Flight_recorder.Irq
+        ~pc:t.state.pc ~info:(Trap.mcause_of_interrupt irq)
+  | None -> ());
   t.state.mepc <- t.state.pc;
   t.state.mcause <- Trap.mcause_of_interrupt irq;
   t.state.mtval <- 0;
@@ -541,6 +575,105 @@ let run t ~fuel =
       | None -> exit_dirty := false
     end
   in
+  (* Hoisted like the profiler: an unrecorded run pays one pointer test
+     per block dispatch (and none at all on the superblock path). *)
+  let rcd = t.recorder in
+  (* Recorder scratch for the pre-execution capture of a memory access:
+     [Exec] and the µop closures compute effective addresses
+     internally, and a load can clobber its own base register, so the
+     address is recomputed from pre-exec register state.  Plain refs —
+     recording is single-threaded with execution. *)
+  let rec_addr = ref (-1) and rec_width = ref 0 in
+  let rec_value = ref 0 and rec_store = ref false in
+  let pre_mem instr =
+    let regs = state.Arch_state.regs in
+    let ea base imm = S4e_bits.Bits.mask32 (regs.(base) + imm) in
+    match instr with
+    | Instr.Load (op, _, base, imm) ->
+        rec_addr := ea base imm;
+        rec_width := (match op with LB | LBU -> 1 | LH | LHU -> 2 | LW -> 4);
+        rec_store := false;
+        rec_value := 0
+    | Instr.Store (op, src, base, imm) ->
+        let w = match op with Instr.SB -> 1 | SH -> 2 | SW -> 4 in
+        rec_addr := ea base imm;
+        rec_width := w;
+        rec_store := true;
+        rec_value :=
+          (if w = 4 then regs.(src) else regs.(src) land ((1 lsl (w * 8)) - 1))
+    | Instr.Flw (_, base, imm) ->
+        rec_addr := ea base imm;
+        rec_width := 4;
+        rec_store := false;
+        rec_value := 0
+    | Instr.Fsw (fsrc, base, imm) ->
+        rec_addr := ea base imm;
+        rec_width := 4;
+        rec_store := true;
+        rec_value := state.Arch_state.fregs.(fsrc)
+    | Instr.Lr (_, rs1) ->
+        rec_addr := regs.(rs1);
+        rec_width := 4;
+        rec_store := false;
+        rec_value := 0
+    | Instr.Sc (_, src, rs1) | Instr.Amo (_, _, src, rs1) ->
+        rec_addr := regs.(rs1);
+        rec_width := 4;
+        rec_store := true;
+        rec_value := regs.(src)
+    | _ ->
+        rec_addr := -1;
+        rec_width := 0;
+        rec_store := false;
+        rec_value := 0
+  in
+  (* The recorded opcode word re-encodes the AST (compressed forms
+     expand to their 32-bit equivalent); never allowed to throw on the
+     recording path. *)
+  let encode_word instr =
+    match Encode.encode instr with w -> w | exception _ -> 0
+  in
+  let note_retire r pc instr =
+    let op = encode_word instr in
+    let rd, rd_val =
+      match Instr.destination instr with
+      | Some d -> (d, state.Arch_state.regs.(d))
+      | None -> (
+          match Instr.fp_destination instr with
+          | Some f -> (32 + f, state.Arch_state.fregs.(f))
+          | None -> (-1, 0))
+    in
+    let addr = !rec_addr and width = !rec_width and store = !rec_store in
+    (* the datum of a load is its post-extension writeback *)
+    let value = if addr >= 0 && (not store) && rd >= 0 then rd_val
+                else !rec_value in
+    S4e_obs.Flight_recorder.retire r ~pc ~op ~rd ~rd_val ~addr ~width ~value
+      ~store;
+    let wps = t.watchpoints in
+    if addr >= 0 && Array.length wps > 0 then
+      for k = 0 to Array.length wps - 1 do
+        let w = Array.unsafe_get wps k in
+        if
+          addr < w.wp_hi
+          && addr + width > w.wp_lo
+          && (if store then w.wp_write else w.wp_read)
+        then begin
+          w.wp_hits <- w.wp_hits + 1;
+          S4e_obs.Flight_recorder.watch_hit r ~pc ~op ~addr ~width ~value
+            ~store;
+          match t.watch_trace with
+          | Some tr ->
+              S4e_obs.Trace_events.instant tr
+                ~args:
+                  [ ("pc", Printf.sprintf "0x%08x" pc);
+                    ("addr", Printf.sprintf "0x%08x" addr);
+                    ("value", Printf.sprintf "0x%x" value);
+                    ("dir", if store then "w" else "r") ]
+                ~name:"watchpoint" ~cat:"watch" ~tid:0 ()
+          | None -> ()
+        end
+      done
+  in
   (* Execute one decoded instruction (generic interpreter); raises Stop
      on exit conditions. *)
   let exec_one ipc size instr =
@@ -555,11 +688,13 @@ let run t ~fuel =
          then hazard
          else 0
        in
+       (match rcd with Some _ -> pre_mem instr | None -> ());
        let taken = Exec.execute ~on_mem state t.bus ~size instr in
        if hazard > 0 then t.last_load_mask <- Instr.load_dest_mask instr;
        let c = Timing_model.cost timing instr ~taken + stall in
        state.cycle <- state.cycle + c;
-       Soc.Clint.tick t.clint c
+       Soc.Clint.tick t.clint c;
+       (match rcd with Some r -> note_retire r ipc instr | None -> ())
      with Trap.Exn cause -> (
        t.last_load_mask <- 0;
        match enter_exception t cause ipc with
@@ -654,6 +789,78 @@ let run t ~fuel =
       flush_time ();
       raise e
   in
+  (* Recording sibling of [exec_lowered]: identical µop execution, trap
+     handling, and batched accounting, plus one recorder append per
+     retired µop.  [entry.instrs] is index-parallel to the lowered µop
+     array, so the pre/post capture reads the decoded AST without
+     touching memory.  Selected per block when a recorder is attached —
+     the unarmed hot path above stays byte-identical. *)
+  let exec_lowered_rec r (entry : Tb_cache.entry) n =
+    let uops =
+      match entry.Tb_cache.lowered with
+      | Some u -> u
+      | None ->
+          let u = Lower.lower_entry t.lower_ctx entry in
+          entry.Tb_cache.lowered <- Some u;
+          u
+    in
+    let instrs = entry.Tb_cache.instrs in
+    let i = t.seg_idx and base = t.seg_base in
+    i := 0;
+    base := 0;
+    let lim = if n <= !remaining then n else !remaining in
+    let quit = ref false in
+    try
+      while (not !quit) && !i < lim do
+        (try
+           while !i < lim do
+             let u = Array.unsafe_get uops !i in
+             if u.Tb_cache.u_fence_i then Tb_cache.flush t.tb;
+             let stall =
+               if hazard > 0
+                  && t.last_load_mask land u.Tb_cache.u_src_mask <> 0
+               then hazard
+               else 0
+             in
+             let ipc, _, instr = Array.unsafe_get instrs !i in
+             pre_mem instr;
+             let c = u.Tb_cache.u_exec () + stall in
+             if hazard > 0 then
+               t.last_load_mask <- u.Tb_cache.u_load_dest_mask;
+             pending := !pending + c;
+             note_retire r ipc instr;
+             incr i;
+             check_exit ();
+             if u.Tb_cache.u_wfi then begin
+               flush_time ();
+               if not (wfi_resume t) then raise (Stop Wfi_halt)
+             end
+           done
+         with Trap.Exn cause ->
+           let u = Array.unsafe_get uops !i in
+           flush_time ();
+           t.last_load_mask <- 0;
+           (match enter_exception t cause u.Tb_cache.u_pc with
+           | Some stop -> raise (Stop stop)
+           | None ->
+               state.cycle <- state.cycle + timing.Timing_model.system;
+               Soc.Clint.tick t.clint timing.Timing_model.system);
+           state.instret <- state.instret + 1;
+           incr i;
+           base := !i;
+           decr remaining;
+           check_exit ();
+           if
+             not
+               (!i < lim
+               && state.pc = (Array.unsafe_get uops !i).Tb_cache.u_pc)
+           then quit := true)
+      done;
+      flush_time ()
+    with e ->
+      flush_time ();
+      raise e
+  in
   let decode_single pc =
     let half = Bus.fetch16 t.bus pc in
     if half land 0x3 <> 0x3 then
@@ -696,13 +903,23 @@ let run t ~fuel =
      block dispatch and keeps the lowered fast path. *)
   let prof = t.profiler in
   let chained = t.config.chain_blocks in
-  (* Superblock traces ride on the unprofiled lowered engine only: a
-     profiler needs per-block attribution, and hooks (lowered_ok)
-     need per-instruction visibility.  Both fall back transparently. *)
+  (* Superblock traces ride on the unprofiled, unrecorded lowered
+     engine only: a profiler needs per-block attribution, a recorder
+     per-instruction capture, and hooks (lowered_ok) per-instruction
+     visibility.  All fall back transparently. *)
   let sb =
-    match (t.sb, prof) with
-    | Some s, None when lowered_ok -> Some s
+    match (t.sb, prof, rcd) with
+    | Some s, None, None when lowered_ok -> Some s
     | _ -> None
+  in
+  (* Block execution for the non-superblock paths: the lowered engine
+     (recording sibling when armed) or the generic interpreter. *)
+  let exec_entry entry n =
+    if lowered_ok then
+      match rcd with
+      | Some r -> exec_lowered_rec r entry n
+      | None -> exec_lowered entry n
+    else exec_generic entry n
   in
   let promote_mask =
     match sb with Some s -> Superblock.promote_period s - 1 | None -> 0
@@ -778,9 +995,7 @@ let run t ~fuel =
                         Superblock.maybe_promote s entry;
                       exec_lowered entry n
                   | _ -> exec_lowered entry n)
-              | _ ->
-                  if lowered_ok then exec_lowered entry n
-                  else exec_generic entry n)
+              | _ -> exec_entry entry n)
           | Some p ->
               (* Block-granular attribution.  The instret/cycle deltas
                  are exact at every exit from either engine: the lowered
@@ -791,9 +1006,7 @@ let run t ~fuel =
                 S4e_obs.Profile.note p ~pc ~bytes:entry.Tb_cache.total_size
                   ~instrs:(state.instret - i0) ~cycles:(state.cycle - c0)
               in
-              (try
-                 if lowered_ok then exec_lowered entry n
-                 else exec_generic entry n
+              (try exec_entry entry n
                with e ->
                  note ();
                  raise e);
@@ -842,6 +1055,10 @@ type snapshot = {
   snap_dma : Soc.Dma.snapshot;
   snap_vnet : Soc.Vnet.snapshot;
   snap_last_load_mask : int;
+  snap_rec : S4e_obs.Flight_recorder.mark option;
+      (* recorder position at capture time; [restore] rewinds an
+         attached recorder to it so sequence numbers stay continuous
+         across campaign forks *)
 }
 
 let snapshot t =
@@ -853,7 +1070,8 @@ let snapshot t =
     snap_syscon = Soc.Syscon.snapshot t.syscon;
     snap_dma = Soc.Dma.snapshot t.dma;
     snap_vnet = Soc.Vnet.snapshot t.vnet;
-    snap_last_load_mask = t.last_load_mask }
+    snap_last_load_mask = t.last_load_mask;
+    snap_rec = Option.map S4e_obs.Flight_recorder.mark t.recorder }
 
 let restore t s =
   Arch_state.restore t.state s.snap_state;
@@ -869,6 +1087,9 @@ let restore t s =
   Soc.Dma.restore t.dma s.snap_dma;
   Soc.Vnet.restore t.vnet s.snap_vnet;
   t.last_load_mask <- s.snap_last_load_mask;
+  (match (t.recorder, s.snap_rec) with
+  | Some r, Some m -> S4e_obs.Flight_recorder.rewind r m
+  | _ -> ());
   t.pending_ticks := 0;
   t.seg_idx := 0;
   t.seg_base := 0;

@@ -69,6 +69,19 @@ type stop_reason =
 
 val pp_stop_reason : Format.formatter -> stop_reason -> unit
 
+(** Address-range data probe.  Hits are observed on the recording path
+    — where effective addresses are materialized — so watchpoints only
+    fire while a {!Flight_recorder} is attached ({!set_watchpoints}).
+    [wp_hi] is exclusive; an access [\[addr, addr+width)] hits when the
+    ranges overlap and the direction matches. *)
+type watchpoint = {
+  wp_lo : word;
+  wp_hi : word;
+  wp_read : bool;
+  wp_write : bool;
+  mutable wp_hits : int;
+}
+
 type t = {
   state : Arch_state.t;
   bus : S4e_mem.Bus.t;
@@ -110,6 +123,14 @@ type t = {
           is off (or the lowered engine is unavailable) *)
   mutable profiler : S4e_obs.Profile.t option;
       (** per-block hot-spot attribution; prefer {!set_profiler} *)
+  mutable recorder : S4e_obs.Flight_recorder.t option;
+      (** retired-instruction flight recorder; prefer {!set_recorder} *)
+  mutable watchpoints : watchpoint array;
+      (** address-range probes checked on the recording path; prefer
+          {!set_watchpoints} *)
+  mutable watch_trace : S4e_obs.Trace_events.t option;
+      (** optional trace sink for watchpoint-hit instants; prefer
+          {!set_watch_trace} *)
 }
 
 val create : ?config:config -> unit -> t
@@ -125,6 +146,34 @@ val set_profiler : t -> S4e_obs.Profile.t option -> unit
     runs ([use_tb_cache = false]) record nothing. *)
 
 val profiler : t -> S4e_obs.Profile.t option
+
+val set_recorder : t -> S4e_obs.Flight_recorder.t option -> unit
+(** Attaches (or detaches) a flight recorder.  [run] then appends one
+    {!S4e_obs.Flight_recorder.retire} record per retired instruction
+    (pc, opcode word, register writeback, effective address / width /
+    value for memory accesses) plus trap / interrupt / device-event
+    markers.  Like the profiler, an unarmed run pays one pointer test
+    per block dispatch; an armed run leaves the superblock path (the
+    lowered recording sibling captures per instruction) but never
+    perturbs execution — state digests, stop reasons, and cycle counts
+    are identical armed vs. unarmed on every engine config (enforced by
+    differential tests).  {!snapshot} captures the recorder's position
+    and {!restore} rewinds to it, so sequence numbers stay continuous
+    across campaign forks. *)
+
+val recorder : t -> S4e_obs.Flight_recorder.t option
+
+val set_watchpoints : t -> watchpoint list -> unit
+(** Installs address-range read/write probes.  A hit bumps the
+    watchpoint's [wp_hits], appends a [Watch] record to the attached
+    recorder, and (with {!set_watch_trace}) emits a Chrome-trace
+    instant (cat ["watch"]).  Watchpoints live on the recording path:
+    they observe nothing unless a recorder is attached, and they never
+    perturb digests. *)
+
+val watchpoints : t -> watchpoint list
+
+val set_watch_trace : t -> S4e_obs.Trace_events.t option -> unit
 
 val trace_stats : t -> Superblock.stats option
 (** Superblock trace engine counters; [None] when disabled. *)

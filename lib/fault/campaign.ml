@@ -763,3 +763,319 @@ let pp_summary fmt s =
   Format.fprintf fmt
     "total=%d masked=%d sdc=%d crashed=%d hung=%d errored=%d" s.total s.masked
     s.sdc s.crashed s.hung s.errors
+
+(* ---------------- divergence triage ---------------- *)
+
+type reg_diff = { rd_name : string; rd_golden : int; rd_mutant : int }
+
+type triage_record = {
+  tg_index : int;
+  tg_fault : Fault.t;
+  tg_outcome : outcome;
+  tg_diverged : bool;
+  tg_instret : int;
+  tg_golden_pc : int;
+  tg_mutant_pc : int;
+  tg_insn : string;
+  tg_reg_diffs : reg_diff list;
+  tg_mem_diff : bool;
+  tg_mip_golden : int;
+  tg_mip_mutant : int;
+  tg_tail : string list;
+}
+
+(* Lockstep burst length.  Bursts never cross a transient's injection
+   instant, so the flip always lands exactly at a burst boundary — the
+   same segmentation contract as [run_one]. *)
+let triage_burst = 256
+
+let render_record rc =
+  let open Obs.Flight_recorder in
+  let base = Format.asprintf "%a" pp_record rc in
+  match rc.r_kind with
+  | Retire | Watch -> base ^ "  " ^ S4e_asm.Disasm.disassemble_word rc.r_op
+  | Trap | Irq | Dev -> base
+
+let recorder_tail ?(limit = max_int) r =
+  let recs = Obs.Flight_recorder.records r in
+  let len = List.length recs in
+  List.filteri (fun i _ -> i >= len - limit) recs |> List.map render_record
+
+(* Architectural register/CSR diff between two machines, GPRs first.
+   Capped — a wildly diverged mutant differs everywhere, and the first
+   few registers already name the corruption. *)
+let reg_diffs ?(limit = 12) (g : Machine.t) (m : Machine.t) =
+  let gs = g.Machine.state and ms = m.Machine.state in
+  let out = ref [] in
+  let diff name a b =
+    if a <> b then out := { rd_name = name; rd_golden = a; rd_mutant = b } :: !out
+  in
+  diff "mtval" gs.Arch_state.mtval ms.Arch_state.mtval;
+  diff "mcause" gs.Arch_state.mcause ms.Arch_state.mcause;
+  diff "mepc" gs.Arch_state.mepc ms.Arch_state.mepc;
+  diff "mie" gs.Arch_state.mie ms.Arch_state.mie;
+  diff "mstatus" gs.Arch_state.mstatus ms.Arch_state.mstatus;
+  for i = 31 downto 0 do
+    diff (Printf.sprintf "f%d" i) gs.Arch_state.fregs.(i)
+      ms.Arch_state.fregs.(i)
+  done;
+  for i = 31 downto 0 do
+    diff (S4e_isa.Reg.abi_name i) gs.Arch_state.regs.(i)
+      ms.Arch_state.regs.(i)
+  done;
+  List.filteri (fun i _ -> i < limit) !out
+
+let mem_differs g m =
+  S4e_mem.Sparse_mem.digest (S4e_mem.Bus.ram g.Machine.bus)
+  <> S4e_mem.Sparse_mem.digest (S4e_mem.Bus.ram m.Machine.bus)
+
+(* Triage one divergent mutant: run a golden and a faulty machine in
+   instret-lockstep bursts with flight recorders armed on both, and
+   compare the recorded retire/marker streams after every burst.  The
+   first differing record is the first architectural delta; the burst
+   is then replayed from its pre-burst snapshots up to that record so
+   the register/memory/mip diffs are taken at the divergence instant
+   (the snapshots carry recorder marks, so the replayed tails line up).
+   The one burst that cannot be replayed is a transient's flip burst —
+   the injector's counting hook does not rewind with a snapshot — but
+   there the only possible mismatch is the burst's final record, whose
+   post-state is exactly the end-of-burst state already in hand. *)
+let triage_one ?config ~tail ~fuel program (index, fault, outcome) =
+  let capacity = max 1024 (2 * tail) in
+  let g = run_machine ?config program in
+  let m = run_machine ?config program in
+  let rg = Obs.Flight_recorder.create ~capacity () in
+  let rm = Obs.Flight_recorder.create ~capacity () in
+  Machine.set_recorder g (Some rg);
+  Machine.set_recorder m (Some rm);
+  let inject_at =
+    match fault.Fault.kind with
+    | Fault.Transient n -> min n fuel
+    | Fault.Permanent -> 0
+  in
+  let armed = ref (Some (Injector.arm m fault)) in
+  let disarm () =
+    match !armed with
+    | Some a ->
+        Injector.disarm m a;
+        armed := None
+    | None -> ()
+  in
+  Fun.protect ~finally:disarm (fun () ->
+      let recs_since r q0 =
+        List.filter
+          (fun rc -> rc.Obs.Flight_recorder.r_seq >= q0)
+          (Obs.Flight_recorder.records r)
+      in
+      let rec first_mismatch j gr mr =
+        match (gr, mr) with
+        | [], [] -> None
+        | [], _ | _, [] -> Some j
+        | a :: gr', b :: mr' ->
+            if a = b then first_mismatch (j + 1) gr' mr' else Some j
+      in
+      let finish ?tail_lines ~diverged ~insn () =
+        { tg_index = index;
+          tg_fault = fault;
+          tg_outcome = outcome;
+          tg_diverged = diverged;
+          tg_instret = Machine.instret m;
+          tg_golden_pc = g.Machine.state.Arch_state.pc;
+          tg_mutant_pc = m.Machine.state.Arch_state.pc;
+          tg_insn = insn;
+          tg_reg_diffs = reg_diffs g m;
+          tg_mem_diff = mem_differs g m;
+          tg_mip_golden = g.Machine.state.Arch_state.mip;
+          tg_mip_mutant = m.Machine.state.Arch_state.mip;
+          tg_tail =
+            (match tail_lines with
+            | Some l -> l
+            | None -> recorder_tail ~limit:tail rm) }
+      in
+      let budget = ref fuel in
+      let gstop = ref None and mstop = ref None in
+      let result = ref None in
+      while
+        !result = None && !budget > 0 && !gstop = None && !mstop = None
+      do
+        let ir0 = Machine.instret m in
+        let step =
+          let s = min triage_burst !budget in
+          if inject_at > ir0 && inject_at - ir0 < s then inject_at - ir0
+          else s
+        in
+        let sg = Machine.snapshot g and sm = Machine.snapshot m in
+        let q0g = Obs.Flight_recorder.seq rg in
+        let q0m = Obs.Flight_recorder.seq rm in
+        (match Machine.run g ~fuel:step with
+        | Machine.Out_of_fuel -> ()
+        | st -> gstop := Some st);
+        (match Machine.run m ~fuel:step with
+        | Machine.Out_of_fuel -> ()
+        | st -> mstop := Some st);
+        budget := !budget - step;
+        (match fault.Fault.kind with
+        | Fault.Transient _ when Machine.instret m >= inject_at -> disarm ()
+        | _ -> ());
+        let gr = recs_since rg q0g and mr = recs_since rm q0m in
+        match first_mismatch 0 gr mr with
+        | Some j ->
+            let prefix = List.filteri (fun i _ -> i < j) gr in
+            let retires_before =
+              List.length
+                (List.filter
+                   (fun rc ->
+                     rc.Obs.Flight_recorder.r_kind = Obs.Flight_recorder.Retire)
+                   prefix)
+            in
+            let at_j =
+              match (List.nth_opt mr j, List.nth_opt gr j) with
+              | (Some rc, _ | None, Some rc) -> Some rc
+              | None, None -> None
+            in
+            let is_retire =
+              match at_j with
+              | Some rc ->
+                  rc.Obs.Flight_recorder.r_kind = Obs.Flight_recorder.Retire
+              | None -> false
+            in
+            let insn =
+              match at_j with
+              | Some rc -> render_record rc
+              | None -> ""
+            in
+            (* capture the mutant's tail up to the diverging record now
+               — a replay below rewinds the recorder past it *)
+            let div_seq = q0m + j in
+            let tail_lines =
+              List.filter
+                (fun rc -> rc.Obs.Flight_recorder.r_seq <= div_seq)
+                (Obs.Flight_recorder.records rm)
+              |> List.map render_record
+              |> fun l ->
+              let len = List.length l in
+              List.filteri (fun i _ -> i >= len - tail) l
+            in
+            let can_replay =
+              match fault.Fault.kind with
+              | Fault.Transient _ -> ir0 >= inject_at
+              | Fault.Permanent -> true
+            in
+            if can_replay then begin
+              Machine.restore g sg;
+              Machine.restore m sm;
+              let k = retires_before + if is_retire then 1 else 0 in
+              if k > 0 then begin
+                ignore (Machine.run g ~fuel:k : Machine.stop_reason);
+                ignore (Machine.run m ~fuel:k : Machine.stop_reason)
+              end
+            end;
+            result := Some (finish ~tail_lines ~diverged:true ~insn ())
+        | None -> (
+            match (!gstop, !mstop) with
+            | None, None -> ()
+            | Some a, Some b when a = b -> ()
+            | _ ->
+                (* identical streams but different stop conditions: the
+                   divergence is the stop itself *)
+                let insn =
+                  match (!mstop, !gstop) with
+                  | Some st, _ ->
+                      Format.asprintf "mutant stop: %a" Machine.pp_stop_reason
+                        st
+                  | None, Some st ->
+                      Format.asprintf "golden stop: %a" Machine.pp_stop_reason
+                        st
+                  | None, None -> ""
+                in
+                result := Some (finish ~diverged:true ~insn ()))
+      done;
+      match !result with
+      | Some r -> r
+      | None -> finish ~diverged:false ~insn:"" ())
+
+let triage ?config ?(sample = 8) ?(tail = 16) ~fuel program results =
+  let candidates =
+    List.filter
+      (fun (_, _, o) -> match o with Sdc | Crashed | Hung -> true | _ -> false)
+      results
+  in
+  let n = List.length candidates in
+  let picked =
+    if n <= sample then candidates
+    else begin
+      (* deterministic stride sample spread across the whole campaign *)
+      let arr = Array.of_list candidates in
+      List.init sample (fun k -> arr.(k * n / sample))
+    end
+  in
+  List.map (triage_one ?config ~tail ~fuel program) picked
+
+let top_sites records =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun t ->
+      if t.tg_diverged then
+        let k = t.tg_mutant_pc in
+        Hashtbl.replace tbl k
+          (1 + Option.value (Hashtbl.find_opt tbl k) ~default:0))
+    records;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (p1, c1) (p2, c2) ->
+         match compare c2 c1 with 0 -> compare p1 p2 | c -> c)
+
+(* JSONL rendering, same hand-rolled discipline as {!Journal}: one
+   object per line, escapes that cover everything the disassembler and
+   [Fault.to_string] can produce. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let triage_to_json t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"index\":%d,\"fault\":\"%s\",\"outcome\":\"%s\",\"diverged\":%b,\
+        \"instret\":%d,\"golden_pc\":\"0x%08x\",\"mutant_pc\":\"0x%08x\",\
+        \"insn\":\"%s\",\"reg_diffs\":["
+       t.tg_index
+       (json_escape (Fault.to_string t.tg_fault))
+       (outcome_name t.tg_outcome) t.tg_diverged t.tg_instret t.tg_golden_pc
+       t.tg_mutant_pc (json_escape t.tg_insn));
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"reg\":\"%s\",\"golden\":\"0x%x\",\"mutant\":\"0x%x\"}"
+           (json_escape d.rd_name) d.rd_golden d.rd_mutant))
+    t.tg_reg_diffs;
+  Buffer.add_string b
+    (Printf.sprintf "],\"mem_diff\":%b,\"mip_golden\":%d,\"mip_mutant\":%d,\"tail\":["
+       t.tg_mem_diff t.tg_mip_golden t.tg_mip_mutant);
+  List.iteri
+    (fun i line ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '"';
+      Buffer.add_string b (json_escape line);
+      Buffer.add_char b '"')
+    t.tg_tail;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let pp_triage fmt t =
+  Format.fprintf fmt "#%d %s -> %s: %s at instret=%d pc=0x%08x (%s)"
+    t.tg_index (Fault.describe t.tg_fault) (outcome_name t.tg_outcome)
+    (if t.tg_diverged then "first divergence" else "no divergence located")
+    t.tg_instret t.tg_mutant_pc t.tg_insn

@@ -219,3 +219,79 @@ val run :
 val summarize : (Fault.t * outcome) list -> summary
 
 val pp_summary : Format.formatter -> summary -> unit
+
+(** {1 Divergence triage}
+
+    A campaign names {e what} went wrong (sdc / crashed / hung);
+    triage names {e where}.  [triage] re-runs a sampled subset of the
+    divergent mutants with a {!S4e_obs.Flight_recorder} armed on both a
+    golden and a faulty machine, runs the pair in instret-lockstep
+    bursts, and locates the first record where the two recordings
+    disagree — the first architectural delta.  The burst containing the
+    divergence is replayed from its pre-burst snapshots up to that
+    record, so the reported register / memory / pending-interrupt diffs
+    are taken {e at} the divergence instant, not at the end of the run.
+
+    Triage is a diagnostic pass over an already-classified campaign: it
+    re-simulates [2 × sample] runs with recording on, so it costs a few
+    golden-run equivalents — cheap next to the campaign itself, but not
+    free, hence the sampling. *)
+
+type reg_diff = { rd_name : string; rd_golden : int; rd_mutant : int }
+(** One architectural register (ABI name, [f0..f31], or CSR) whose
+    value differs between the golden and the faulty machine. *)
+
+type triage_record = {
+  tg_index : int;  (** the mutant's stable campaign index *)
+  tg_fault : Fault.t;
+  tg_outcome : outcome;
+  tg_diverged : bool;
+      (** [false] when no architectural divergence was located within
+          the fuel budget (e.g. a [Hung] mutant that executes the
+          golden instruction stream forever) *)
+  tg_instret : int;  (** mutant instret at the divergence instant *)
+  tg_golden_pc : int;
+  tg_mutant_pc : int;
+  tg_insn : string;
+      (** rendering of the first diverging record — disassembled
+          instruction for a retire, marker description otherwise, or
+          the differing stop reason when the streams never disagree *)
+  tg_reg_diffs : reg_diff list;  (** capped at 12, GPRs first *)
+  tg_mem_diff : bool;  (** RAM digests differ at the divergence *)
+  tg_mip_golden : int;  (** pending-interrupt (mip) CSRs at divergence *)
+  tg_mip_mutant : int;
+  tg_tail : string list;
+      (** the mutant recorder's last records (up to [tail]), rendered
+          with the disassembler — the flight-recorder tail dump *)
+}
+
+val triage :
+  ?config:S4e_cpu.Machine.config ->
+  ?sample:int ->
+  ?tail:int ->
+  fuel:int ->
+  S4e_asm.Program.t ->
+  (int * Fault.t * outcome) list ->
+  triage_record list
+(** Triage of an indexed campaign result.  Candidates are the [Sdc],
+    [Crashed], and [Hung] mutants; when there are more than [sample]
+    (default 8), a deterministic stride over the candidate list picks
+    [sample] of them spread across the campaign.  [tail] (default 16)
+    bounds [tg_tail].  One record per sampled mutant, in campaign
+    order.  Purely diagnostic: runs fresh machines, never touches the
+    campaign's results. *)
+
+val top_sites : triage_record list -> (int * int) list
+(** Ranked "top faulty sites": divergence pcs with their counts,
+    most frequent first (ties broken by ascending pc). *)
+
+val triage_to_json : triage_record -> string
+(** One JSON object on one line (JSONL), schema:
+    [{"index":int, "fault":string, "outcome":string, "diverged":bool,
+    "instret":int, "golden_pc":"0x…", "mutant_pc":"0x…", "insn":string,
+    "reg_diffs":[{"reg":string,"golden":"0x…","mutant":"0x…"}],
+    "mem_diff":bool, "mip_golden":int, "mip_mutant":int,
+    "tail":[string]}]. *)
+
+val pp_triage : Format.formatter -> triage_record -> unit
+(** One-line human summary of a triage record. *)

@@ -117,12 +117,19 @@ let string_of_value = function
   | Float f ->
       if Float.is_finite f then Printf.sprintf "%.6g" f else "0"
 
+(* Bumped whenever the export's shape changes (key naming, histogram
+   expansion, value rendering), so downstream dashboards can detect a
+   snapshot they were not written for. *)
+let schema_version = 1
+
 let to_json t =
   let b = Buffer.create 512 in
   Buffer.add_string b "{\n";
-  List.iteri
-    (fun i (name, v) ->
-      if i > 0 then Buffer.add_string b ",\n";
+  Buffer.add_string b
+    (Printf.sprintf "  %S: %d" "s4e_metrics_schema" schema_version);
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string b ",\n";
       Buffer.add_string b (Printf.sprintf "  %S: %s" name (string_of_value v)))
     (snapshot t);
   Buffer.add_string b "\n}\n";

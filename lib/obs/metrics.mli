@@ -65,8 +65,14 @@ val snapshot : t -> (string * value) list
     A histogram [h] expands to [h.le_B] per bound, [h.le_inf],
     [h.count], and [h.sum]. *)
 
+val schema_version : int
+(** Version of the JSON export's shape; bumped on any change to key
+    naming, histogram expansion, or value rendering. *)
+
 val to_json : t -> string
-(** The snapshot as one JSON object keyed by metric name. *)
+(** The snapshot as one JSON object keyed by metric name, prefixed with
+    an [s4e_metrics_schema] field carrying {!schema_version} so
+    consumers can detect exports they were not written for. *)
 
 val write_json : t -> string -> unit
 (** [write_json t path] writes {!to_json} to [path]; ["-"] is stdout. *)

@@ -649,6 +649,187 @@ let test_blind_generation () =
   in
   Alcotest.(check bool) "includes unused registers" true unused
 
+(* ---------------- divergence triage ---------------- *)
+
+(* Strict single-value JSON validator: triage JSONL lines must be
+   parseable by any off-the-shelf consumer, so validate the grammar,
+   not just the fields we happen to read back. *)
+let json_valid s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let fail () = raise Exit in
+  let adv () = incr pos in
+  let rec skip_ws () =
+    match peek () with Some (' ' | '\t') -> adv (); skip_ws () | _ -> ()
+  in
+  let expect c = if peek () = Some c then adv () else fail () in
+  let lit w =
+    let m = String.length w in
+    if !pos + m <= n && String.sub s !pos m = w then pos := !pos + m
+    else fail ()
+  in
+  let number () =
+    if peek () = Some '-' then adv ();
+    let start = !pos in
+    while (match peek () with Some '0' .. '9' -> true | _ -> false) do
+      adv ()
+    done;
+    if !pos = start then fail ()
+  in
+  let str () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> fail ()
+      | Some '"' -> adv ()
+      | Some '\\' -> (
+          adv ();
+          match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+              adv (); go ()
+          | Some 'u' ->
+              adv ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> adv ()
+                | _ -> fail ()
+              done;
+              go ()
+          | _ -> fail ())
+      | Some c when Char.code c < 0x20 -> fail ()
+      | Some _ -> adv (); go ()
+    in
+    go ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> str ()
+    | Some 't' -> lit "true"
+    | Some 'f' -> lit "false"
+    | Some 'n' -> lit "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> fail ()
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then adv ()
+    else
+      let rec members () =
+        skip_ws (); str (); skip_ws (); expect ':'; value (); skip_ws ();
+        match peek () with
+        | Some ',' -> adv (); members ()
+        | Some '}' -> adv ()
+        | _ -> fail ()
+      in
+      members ()
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then adv ()
+    else
+      let rec elems () =
+        value (); skip_ws ();
+        match peek () with
+        | Some ',' -> adv (); elems ()
+        | Some ']' -> adv ()
+        | _ -> fail ()
+      in
+      elems ()
+  in
+  match value (); skip_ws (); !pos = n with
+  | r -> r
+  | exception Exit -> false
+
+let test_triage_locates_divergence () =
+  let p = program () in
+  let golden, _ = Campaign.golden ~fuel:10_000 p in
+  let faults =
+    [ { Fault.loc = Fault.Gpr (10, 0); kind = Fault.Transient 20 };
+      { Fault.loc = Fault.Code (0x8000_0000, 3); kind = Fault.Permanent } ]
+  in
+  let results =
+    List.mapi
+      (fun i f -> (i, f, Campaign.run_one ~fuel:10_000 p ~golden f))
+      faults
+  in
+  let recs = Campaign.triage ~fuel:10_000 p results in
+  Alcotest.(check int) "one record per divergent mutant" 2 (List.length recs);
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) "diverged" true t.Campaign.tg_diverged;
+      Alcotest.(check bool) "diverging site named" true
+        (String.length t.Campaign.tg_insn > 0);
+      Alcotest.(check bool) "architectural diff present" true
+        (t.Campaign.tg_reg_diffs <> [] || t.Campaign.tg_mem_diff
+        || t.Campaign.tg_golden_pc <> t.Campaign.tg_mutant_pc);
+      Alcotest.(check bool) "tail dump present" true
+        (t.Campaign.tg_tail <> []))
+    recs;
+  (* the transient flips a0 right before its 20th instruction retires,
+     so the first differing record cannot come earlier *)
+  let t0 = List.hd recs in
+  Alcotest.(check bool) "transient diverges at/after injection" true
+    (t0.Campaign.tg_instret >= 20);
+  (* the permanent code flip turns the first instruction undecodable:
+     the mutant's first record is the trap marker *)
+  let t1 = List.nth recs 1 in
+  Alcotest.(check int) "code flip diverges at the first instruction" 0
+    t1.Campaign.tg_instret;
+  Alcotest.(check bool) "code flip is a memory diff" true
+    t1.Campaign.tg_mem_diff
+
+let test_triage_flow_jsonl_and_top_sites () =
+  let p = engine_program () in
+  let cfg = flow_cfg ~seed:23 ~n:40 in
+  let r = Flows.fault_flow cfg p in
+  let divergent =
+    List.filter
+      (fun (_, _, o) ->
+        match o with
+        | Campaign.Sdc | Campaign.Crashed | Campaign.Hung -> true
+        | _ -> false)
+      r.Flows.ff_indexed
+  in
+  let sample = 4 in
+  let expected = min sample (List.length divergent) in
+  Alcotest.(check bool) "campaign produced divergent mutants" true
+    (expected > 0);
+  let recs = Flows.fault_triage ~sample cfg p r in
+  Alcotest.(check int) "one triage record per sampled mutant" expected
+    (List.length recs);
+  List.iter
+    (fun t ->
+      let line = Campaign.triage_to_json t in
+      Alcotest.(check bool) "jsonl: single line" false
+        (String.contains line '\n');
+      Alcotest.(check bool) "jsonl: valid JSON" true (json_valid line);
+      Alcotest.(check bool) "diverged with a named site" true
+        (t.Campaign.tg_diverged && String.length t.Campaign.tg_insn > 0))
+    recs;
+  let sites = Campaign.top_sites recs in
+  let total = List.fold_left (fun a (_, c) -> a + c) 0 sites in
+  let ndiv =
+    List.length (List.filter (fun t -> t.Campaign.tg_diverged) recs)
+  in
+  Alcotest.(check int) "site counts cover diverged records" ndiv total;
+  let rec descending = function
+    | (_, a) :: ((_, b) :: _ as tl) -> a >= b && descending tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "sites ranked by count" true (descending sites)
+
+let test_triage_deterministic () =
+  let p = engine_program () in
+  let cfg = flow_cfg ~seed:23 ~n:40 in
+  let r = Flows.fault_flow cfg p in
+  let a = Flows.fault_triage ~sample:3 cfg p r in
+  let b = Flows.fault_triage ~sample:3 cfg p r in
+  Alcotest.(check bool) "triage is deterministic" true (a = b)
+
 let () =
   Alcotest.run "fault"
     [ ( "injector",
@@ -703,4 +884,11 @@ let () =
           Alcotest.test_case "shard merge equals full" `Quick
             test_shard_merge_equals_full;
           Alcotest.test_case "cancel then resume" `Quick
-            test_cancellation_partial_then_resume ] ) ]
+            test_cancellation_partial_then_resume ] );
+      ( "triage",
+        [ Alcotest.test_case "locates first divergence" `Quick
+            test_triage_locates_divergence;
+          Alcotest.test_case "flow + jsonl + top sites" `Quick
+            test_triage_flow_jsonl_and_top_sites;
+          Alcotest.test_case "deterministic" `Quick
+            test_triage_deterministic ] ) ]

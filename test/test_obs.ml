@@ -105,6 +105,8 @@ let test_json_export () =
     (String.length json > 2 && json.[0] = '{');
   check_infix "json" json "\"events\": 3";
   check_infix "json" json "\"ratio\": 0.25";
+  check_infix "json" json
+    (Printf.sprintf "\"s4e_metrics_schema\": %d" Metrics.schema_version);
   (* non-finite probe values are clamped so the JSON stays parseable *)
   check_infix "json" json "\"bad_probe\": 0";
   Alcotest.(check bool) "no nan literal" false (contains json ~affix:"nan")
@@ -219,6 +221,167 @@ let prop_metrics_match_tracer =
       List.assoc "machine.instret" snap
         = Metrics.Int ts.S4e_cpu.Tracer.st_instructions
       && Profile.total_instrs prof = ts.S4e_cpu.Tracer.st_instructions)
+
+(* ---------------- flight recorder ---------------- *)
+
+module Flight_recorder = S4e_obs.Flight_recorder
+
+let rec_sb_off c = { c with Machine.superblocks = false }
+
+(* the six engine configs the lowered differential suite exercises *)
+let rec_engines =
+  [ ("lowered", rec_sb_off Machine.default_config);
+    ("unchained",
+     rec_sb_off { Machine.default_config with Machine.chain_blocks = false });
+    ("generic-tb",
+     rec_sb_off { Machine.default_config with Machine.lower_blocks = false });
+    ("single-step",
+     rec_sb_off { Machine.default_config with Machine.use_tb_cache = false });
+    ("tlb-off",
+     rec_sb_off { Machine.default_config with Machine.mem_tlb = false });
+    ("superblocks", Machine.default_config) ]
+
+let rec_outcome_of ?config ?recorder p =
+  let m = Machine.create ?config () in
+  (match recorder with
+  | Some r -> Machine.set_recorder m (Some r)
+  | None -> ());
+  S4e_asm.Program.load_machine p m;
+  let stop = Machine.run m ~fuel:200_000 in
+  ( Format.asprintf "%a" Machine.pp_stop_reason stop,
+    Digest.to_hex (Machine.state_digest ~include_time:true m),
+    Machine.instret m,
+    Machine.cycles m )
+
+(* tentpole invariant: an armed recorder is observationally inert on
+   every engine config — identical digest, stop reason, instret, and
+   cycle count *)
+let prop_recorder_inert =
+  prop ~count:8 "recorder armed vs unarmed: identical run on every engine"
+    seed_gen (fun seed ->
+      let p =
+        Torture.generate { Torture.default_config with Torture.seed }
+      in
+      List.for_all
+        (fun (_, config) ->
+          let plain = rec_outcome_of ~config p in
+          let r = Flight_recorder.create ~capacity:64 () in
+          let recorded = rec_outcome_of ~config ~recorder:r p in
+          plain = recorded && Flight_recorder.seq r > 0)
+        rec_engines)
+
+(* arming and disarming mid-run (between run calls) is equally inert;
+   both runs use identical fuel segmentation so the recorder is the
+   only difference *)
+let prop_recorder_arm_disarm_inert =
+  prop ~count:8 "mid-run arm/disarm: identical run" seed_gen (fun seed ->
+      let p =
+        Torture.generate { Torture.default_config with Torture.seed }
+      in
+      let segmented arm =
+        let m = Machine.create () in
+        S4e_asm.Program.load_machine p m;
+        let stop = ref (Machine.run m ~fuel:1_000) in
+        if !stop = Machine.Out_of_fuel then begin
+          if arm then
+            Machine.set_recorder m
+              (Some (Flight_recorder.create ~capacity:128 ()));
+          stop := Machine.run m ~fuel:1_000
+        end;
+        if !stop = Machine.Out_of_fuel then begin
+          Machine.set_recorder m None;
+          stop := Machine.run m ~fuel:198_000
+        end;
+        ( Format.asprintf "%a" Machine.pp_stop_reason !stop,
+          Digest.to_hex (Machine.state_digest ~include_time:true m),
+          Machine.instret m,
+          Machine.cycles m )
+      in
+      segmented false = segmented true)
+
+let push_retire r i =
+  Flight_recorder.retire r ~pc:i ~op:i ~rd:(-1) ~rd_val:0 ~addr:(-1)
+    ~width:0 ~value:0 ~store:false
+
+let rec_seqs r =
+  List.map (fun rc -> rc.Flight_recorder.r_seq) (Flight_recorder.records r)
+
+let test_ring_wraparound () =
+  let r = Flight_recorder.create ~capacity:4 () in
+  for i = 0 to 9 do
+    push_retire r i
+  done;
+  Alcotest.(check int) "seq counts every record" 10 (Flight_recorder.seq r);
+  Alcotest.(check int) "length capped at capacity" 4
+    (Flight_recorder.length r);
+  Alcotest.(check (list int)) "newest survive, oldest first" [ 6; 7; 8; 9 ]
+    (rec_seqs r);
+  Alcotest.(check (list int)) "slots hold their own payloads" [ 6; 7; 8; 9 ]
+    (List.map
+       (fun rc -> rc.Flight_recorder.r_pc)
+       (Flight_recorder.records r));
+  Flight_recorder.clear r;
+  Alcotest.(check int) "clear empties" 0 (Flight_recorder.length r);
+  Alcotest.(check int) "clear resets numbering" 0 (Flight_recorder.seq r)
+
+let test_mark_rewind () =
+  let r = Flight_recorder.create ~capacity:4 () in
+  push_retire r 0;
+  push_retire r 1;
+  let m = Flight_recorder.mark r in
+  push_retire r 2;
+  push_retire r 3;
+  Flight_recorder.rewind r m;
+  Alcotest.(check int) "seq restored" 2 (Flight_recorder.seq r);
+  Alcotest.(check (list int)) "pre-mark records intact" [ 0; 1 ]
+    (rec_seqs r);
+  (* write far enough past the mark to clobber the pre-mark slots *)
+  for i = 2 to 6 do
+    push_retire r i
+  done;
+  Alcotest.(check (list int)) "ring wrapped past the mark" [ 3; 4; 5; 6 ]
+    (rec_seqs r);
+  Flight_recorder.rewind r m;
+  Alcotest.(check int) "seq restored exactly" 2 (Flight_recorder.seq r);
+  (* the overwritten pre-mark records are gone; the rewound window must
+     not fabricate them *)
+  Alcotest.(check (list int)) "no fabricated records" [] (rec_seqs r)
+
+(* machine snapshot/restore carries the recorder mark: a campaign fork
+   rewinds the recording and replays it with continuous, identical
+   sequence numbering *)
+let test_recorder_snapshot_restore () =
+  let p =
+    S4e_asm.Assembler.assemble_exn
+      {|
+_start:
+  li   a0, 0
+  li   a1, 4000
+again:
+  addi a0, a0, 1
+  bne  a0, a1, again
+  ebreak
+|}
+  in
+  let m = Machine.create () in
+  let r = Flight_recorder.create ~capacity:512 () in
+  Machine.set_recorder m (Some r);
+  S4e_asm.Program.load_machine p m;
+  let (_ : Machine.stop_reason) = Machine.run m ~fuel:100 in
+  let seq0 = Flight_recorder.seq r in
+  let snap = Machine.snapshot m in
+  let (_ : Machine.stop_reason) = Machine.run m ~fuel:50 in
+  let seq1 = Flight_recorder.seq r in
+  let recs1 = Flight_recorder.records r in
+  Alcotest.(check bool) "recording advanced" true (seq1 > seq0);
+  Machine.restore m snap;
+  Alcotest.(check int) "restore rewinds the recorder" seq0
+    (Flight_recorder.seq r);
+  let (_ : Machine.stop_reason) = Machine.run m ~fuel:50 in
+  Alcotest.(check int) "replay re-records the same window" seq1
+    (Flight_recorder.seq r);
+  Alcotest.(check bool) "replayed records identical" true
+    (Flight_recorder.records r = recs1)
 
 (* symbol labels must never be empty: anonymous / stripped table
    entries fall back to the resolved base address *)
@@ -425,6 +588,12 @@ let () =
           prop_metrics_match_tracer;
           Alcotest.test_case "hot loop ranked first" `Quick
             test_hot_loop_ranked_first ] );
+      ( "flight-recorder",
+        [ prop_recorder_inert; prop_recorder_arm_disarm_inert;
+          Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "mark/rewind" `Quick test_mark_rewind;
+          Alcotest.test_case "snapshot/restore continuity" `Quick
+            test_recorder_snapshot_restore ] );
       ( "campaign",
         [ Alcotest.test_case "metrics + trace" `Quick
             test_campaign_metrics_and_trace;
