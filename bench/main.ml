@@ -1599,11 +1599,162 @@ let e18 () =
      and capture pc/opcode/writeback/effective-address per retire, \
      digest-identical — asserted above)\n"
 
+(* ------------------------------------------------------------------ *)
+(* E19: SMP machine — determinism gates and scaling                     *)
+
+let e19 () =
+  section "E19"
+    "SMP: single-hart no-regression, cross-engine/cross-slice digests, \
+     scaling";
+  let module Smp = S4e_torture.Smp in
+  let module Torture = S4e_torture.Torture in
+  let sb_off c = { c with Machine.superblocks = false } in
+  let engines =
+    [ ("lowered", sb_off Machine.default_config);
+      ("unchained", sb_off { Machine.default_config with
+                             Machine.chain_blocks = false });
+      ("generic-tb", sb_off { Machine.default_config with
+                              Machine.lower_blocks = false });
+      ("single-step", sb_off { Machine.default_config with
+                               Machine.use_tb_cache = false });
+      ("tlb-off", sb_off { Machine.default_config with
+                           Machine.mem_tlb = false });
+      ("superblocks", Machine.default_config) ]
+  in
+  let digest_of ?(include_time = true) ?(include_instret = true) config p
+      ~fuel =
+    let m = Machine.create ~config () in
+    S4e_asm.Program.load_machine p m;
+    (match Machine.run m ~fuel with
+    | Machine.Exited _ -> ()
+    | stop ->
+        failwith
+          (Format.asprintf "E19: unexpected stop: %a" Machine.pp_stop_reason
+             stop));
+    ( Digest.to_hex (Machine.state_digest ~include_time ~include_instret m),
+      Machine.instret m )
+  in
+  (* 1. single-hart anchor: a fixed torture program's full digest must
+     agree across every engine AND match the value recorded when the
+     multi-hart machine was introduced — the SMP machinery (per-hart
+     contexts, scheduler, PLIC) must be invisible at harts = 1.  The
+     anchor pins the serialized byte stream, so accidental format or
+     semantics drift fails here even if all engines drift together. *)
+  let golden = "eec064a6561fdec58438cc2bf2bc983b" in
+  let anchor_cfg = Torture.default_config in
+  let anchor = Torture.generate anchor_cfg in
+  let anchor_fuel = Torture.fuel_bound anchor_cfg in
+  List.iter
+    (fun (name, config) ->
+      let d, _ = digest_of config anchor ~fuel:anchor_fuel in
+      if d <> golden then
+        failwith
+          (Printf.sprintf "E19: single-hart digest drift on %s: %s <> %s"
+             name d golden))
+    engines;
+  Printf.printf "single-hart anchor: %s on all %d engines\n" golden
+    (List.length engines);
+  (* 2. SMP digest gates at 2 and 4 harts: every engine agrees on the
+     full digest at the default slice, and the digest is invariant
+     under the scheduler's slice size (full digest for the IPI ring,
+     time/instret-masked for the spinlock, whose spin counts legitimately
+     depend on the interleaving). *)
+  let slices = [ 64; 256; 1024; 4096 ] in
+  List.iter
+    (fun harts ->
+      let fuel = Smp.fuel ~harts ~rounds:8 in
+      List.iter
+        (fun (wname, p) ->
+          let with_harts ?(slice = 1024) config =
+            { config with Machine.harts; Machine.hart_slice = slice }
+          in
+          let reference, _ =
+            digest_of (with_harts (snd (List.hd engines))) p ~fuel
+          in
+          List.iter
+            (fun (name, config) ->
+              let d, _ = digest_of (with_harts config) p ~fuel in
+              if d <> reference then
+                failwith
+                  (Printf.sprintf "E19: %s@%d harts: engine %s diverges"
+                     wname harts name))
+            (List.tl engines);
+          let relaxed = String.length wname >= 8
+                        && String.sub wname 0 8 = "smp-spin" in
+          let rd slice =
+            let d, _ =
+              digest_of
+                ~include_time:(not relaxed) ~include_instret:(not relaxed)
+                (with_harts ~slice Machine.default_config) p ~fuel
+            in
+            d
+          in
+          let r0 = rd (List.hd slices) in
+          List.iter
+            (fun slice ->
+              if rd slice <> r0 then
+                failwith
+                  (Printf.sprintf "E19: %s@%d harts: slice %d diverges"
+                     wname harts slice))
+            (List.tl slices);
+          Printf.printf
+            "%-18s %d harts: engine-invariant, slice-invariant%s\n" wname
+            harts (if relaxed then " (time/instret masked)" else ""))
+        (Smp.suite ~harts ~rounds:8))
+    [ 2; 4 ];
+  (* 3. scaling: aggregate simulated MIPS of the spinlock workload as
+     hart count grows (the host is one thread; this measures scheduler
+     and coherence overhead, not parallel speedup) *)
+  let time f =
+    let once () =
+      let t0 = Unix.gettimeofday () in
+      f ();
+      Unix.gettimeofday () -. t0
+    in
+    let best = ref (once ()) in
+    for _ = 2 to 5 do
+      best := min !best (once ())
+    done;
+    !best
+  in
+  Printf.printf "%-10s %12s %10s\n" "harts" "instructions" "MIPS";
+  List.iter
+    (fun harts ->
+      let rounds = 256 in
+      let _, p = Smp.spinlock ~harts ~rounds in
+      let fuel = Smp.fuel ~harts ~rounds in
+      let config =
+        { Machine.default_config with Machine.harts }
+      in
+      let run () =
+        let m = Machine.create ~config () in
+        S4e_asm.Program.load_machine p m;
+        (match Machine.run m ~fuel with
+        | Machine.Exited 0 -> ()
+        | stop ->
+            failwith
+              (Format.asprintf "E19: scaling run stopped: %a"
+                 Machine.pp_stop_reason stop));
+        Machine.instret m
+      in
+      let n = run () in
+      let t = time (fun () -> ignore (run ())) in
+      let mips = float_of_int n /. t /. 1e6 in
+      Printf.printf "%-10d %12d %10.2f\n" harts n mips;
+      record ~exp:"e19"
+        ~name:(Printf.sprintf "spinlock-%d-harts/mips" harts) ~value:mips
+        ~unit_:"MIPS")
+    [ 1; 2; 4 ];
+  Printf.printf
+    "(deterministic round-robin over fuel slices; stores invalidate \
+     translated code on every hart and break other harts' reservations; \
+     digests gated above)\n"
+
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
-    ("e17", e17); ("e18", e18) ]
+    ("e17", e17); ("e18", e18); ("e19", e19) ]
 
 let () =
   let rec parse json names = function

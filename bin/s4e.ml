@@ -108,13 +108,20 @@ let run_cmd =
                  --trace, recording keeps the lowered fast path and never \
                  changes the run's outcome.")
   in
+  let harts_arg =
+    Arg.(value & opt int 1 & info [ "harts" ] ~docv:"N"
+           ~doc:"Number of harts. All harts start at the entry point; \
+                 software branches on mhartid. Scheduling is deterministic \
+                 round-robin over fuel slices.")
+  in
   let action file fuel trace input cache_stats profile metrics no_mem_tlb
-      no_superblocks trace_stats trace_events record =
+      no_superblocks trace_stats trace_events record harts =
     let p = assemble_file file in
     let config =
       { S4e_cpu.Machine.default_config with
         S4e_cpu.Machine.mem_tlb = not no_mem_tlb;
-        superblocks = not no_superblocks }
+        superblocks = not no_superblocks;
+        harts = max 1 harts }
     in
     let m = S4e_cpu.Machine.create ~config () in
     let tracer =
@@ -285,7 +292,7 @@ let run_cmd =
     Term.(const action $ file_arg $ fuel_arg $ trace_arg $ input_arg
           $ cache_arg $ profile_arg $ metrics_arg $ no_mem_tlb_arg
           $ no_superblocks_arg $ trace_stats_arg $ trace_events_arg
-          $ record_arg)
+          $ record_arg $ harts_arg)
 
 (* ---------------- profile ---------------- *)
 
@@ -875,7 +882,15 @@ let torture_cmd =
                  line. The summary is engine-independent: it must match \
                  across --no-mem-tlb / --no-superblocks.")
   in
-  let action seed segments compress out count jobs no_mem_tlb no_sb dev =
+  let harts_arg =
+    Arg.(value & opt int 1 & info [ "harts" ] ~docv:"N"
+           ~doc:"With N > 1, run the deterministic SMP workloads (spinlock \
+                 and IPI ring, lib/torture/smp.ml) on an N-hart machine \
+                 instead of random programs, and print each final state \
+                 digest. The digests are engine-independent: they must \
+                 match across --no-mem-tlb / --no-superblocks.")
+  in
+  let action seed segments compress out count jobs no_mem_tlb no_sb dev harts =
     let mem_tlb = not no_mem_tlb in
     let superblocks = not no_sb in
     let cfg_of seed =
@@ -886,7 +901,26 @@ let torture_cmd =
       | Some s -> Format.fprintf ppf "; %s" s
       | None -> ()
     in
-    if count <= 1 then begin
+    if harts > 1 then begin
+      let rounds = 8 in
+      List.iter
+        (fun (name, p) ->
+          let config =
+            { S4e_cpu.Machine.default_config with
+              S4e_cpu.Machine.mem_tlb; superblocks; harts }
+          in
+          let m = S4e_cpu.Machine.create ~config () in
+          S4e_asm.Program.load_machine p m;
+          let stop =
+            S4e_cpu.Machine.run m ~fuel:(S4e_torture.Smp.fuel ~harts ~rounds)
+          in
+          Format.printf "smp %s: %a; %d instructions; digest %s@." name
+            S4e_cpu.Machine.pp_stop_reason stop
+            (S4e_cpu.Machine.instret m)
+            (Digest.to_hex (S4e_cpu.Machine.state_digest m)))
+        (S4e_torture.Smp.suite ~harts ~rounds)
+    end
+    else if count <= 1 then begin
       let cfg = cfg_of seed in
       let p = S4e_torture.Torture.generate cfg in
       (match out with
@@ -923,7 +957,7 @@ let torture_cmd =
     (Cmd.info "torture" ~doc:"Generate and run random test programs.")
     Term.(const action $ seed_arg $ segments_arg $ compress_arg $ out_arg
           $ count_arg $ jobs_arg $ no_mem_tlb_arg $ no_sb_arg
-          $ device_plane_arg)
+          $ device_plane_arg $ harts_arg)
 
 (* ---------------- bmi ---------------- *)
 

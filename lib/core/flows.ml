@@ -69,23 +69,25 @@ let device_summary m =
     dm.S4e_soc.Dma.dma_bytes ws.S4e_soc.Event_wheel.ws_fired
     (String.sub (Digest.to_hex (Machine.state_digest m)) 0 12)
 
-(* [?mem_tlb] / [?superblocks] override single config knobs without the
-   caller having to spell out a whole config record (the CLI's
-   --no-mem-tlb / --no-superblocks flags). *)
+(* [?mem_tlb] / [?superblocks] / [?harts] override single config knobs
+   without the caller having to spell out a whole config record (the
+   CLI's --no-mem-tlb / --no-superblocks / --harts flags). *)
 let apply_knob knob set config =
   match knob with
   | None -> config
-  | Some on ->
+  | Some v ->
       let base = Option.value config ~default:Machine.default_config in
-      Some (set base on)
+      Some (set base v)
 
-let apply_knobs mem_tlb superblocks config =
+let apply_knobs ?harts ?hart_slice mem_tlb superblocks config =
   apply_knob mem_tlb (fun c on -> { c with Machine.mem_tlb = on }) config
   |> apply_knob superblocks (fun c on -> { c with Machine.superblocks = on })
+  |> apply_knob harts (fun c n -> { c with Machine.harts = n })
+  |> apply_knob hart_slice (fun c n -> { c with Machine.hart_slice = n })
 
-let run ?config ?mem_tlb ?superblocks ?(device_traffic = false) ?record
-    ?(fuel = default_fuel) p =
-  let config = apply_knobs mem_tlb superblocks config in
+let run ?config ?mem_tlb ?superblocks ?harts ?hart_slice
+    ?(device_traffic = false) ?record ?(fuel = default_fuel) p =
+  let config = apply_knobs ?harts ?hart_slice mem_tlb superblocks config in
   let m = Machine.create ?config () in
   Program.load_machine p m;
   if device_traffic then arm_device_rig m;

@@ -24,12 +24,12 @@ type run_result = {
 
 val run :
   ?config:S4e_cpu.Machine.config -> ?mem_tlb:bool -> ?superblocks:bool ->
-  ?device_traffic:bool -> ?record:int -> ?fuel:int -> S4e_asm.Program.t ->
-  run_result
-(** Default fuel: 10 million instructions.  [mem_tlb] and [superblocks]
-    override the config's software-TLB / superblock-trace knobs (see
-    {!S4e_cpu.Machine.config}) without the caller having to build a
-    config record.  [device_traffic] (default false) arms
+  ?harts:int -> ?hart_slice:int -> ?device_traffic:bool -> ?record:int ->
+  ?fuel:int -> S4e_asm.Program.t -> run_result
+(** Default fuel: 10 million instructions.  [mem_tlb], [superblocks],
+    [harts], and [hart_slice] override the corresponding config knobs
+    (see {!S4e_cpu.Machine.config}) without the caller having to build
+    a config record.  [device_traffic] (default false) arms
     {!arm_device_rig} before running, and fills [rr_dev] with a
     deterministic device/digest summary afterwards.  [record] arms a
     {!S4e_obs.Flight_recorder} of that capacity (returned in

@@ -3,6 +3,8 @@ open S4e_isa
 type word = int
 
 type t = {
+  mutable hartid : int;
+  mutable misa : word;
   regs : word array;
   fregs : word array;
   mutable pc : word;
@@ -24,9 +26,15 @@ type t = {
 (* Reset value of mstatus: MPP = 11 (machine), everything else clear. *)
 let mstatus_reset = 0x0000_1800
 
-let create ?(pc = 0) () =
+(* RV32IMAFC + B-as-X: base 32 (bits 31:30 = 01), letters A I M F C. *)
+let misa_default =
+  0x4000_0000 lor (1 lsl 8) lor (1 lsl 12) lor (1 lsl 5) lor (1 lsl 2)
+  lor (1 lsl 0)
+
+let create ?(pc = 0) ?(hartid = 0) () =
   let t =
-    { regs = Array.make 32 0; fregs = Array.make 32 0; pc;
+    { hartid; misa = misa_default;
+      regs = Array.make 32 0; fregs = Array.make 32 0; pc;
       mstatus = mstatus_reset; mie = 0; mip = 0; mtvec = 0; mscratch = 0;
       mepc = 0; mcause = 0; mtval = 0; fcsr = 0; cycle = 0; instret = 0;
       time_source = (fun () -> 0); reservation = None }
@@ -81,10 +89,7 @@ let csr_read t a =
   else if a = Csr.frm then Some ((t.fcsr lsr 5) land 0x7)
   else if a = Csr.fcsr then Some (t.fcsr land 0xFF)
   else if a = Csr.mstatus then Some t.mstatus
-  else if a = Csr.misa then
-    (* RV32IMAFC + B-as-X: base 32 (bits 31:30 = 01), letters A I M F C. *)
-    Some (0x4000_0000 lor (1 lsl 8) lor (1 lsl 12) lor (1 lsl 5) lor (1 lsl 2)
-          lor (1 lsl 0))
+  else if a = Csr.misa then Some t.misa
   else if a = Csr.mie then Some t.mie
   else if a = Csr.mip then Some t.mip
   else if a = Csr.mtvec then Some t.mtvec
@@ -92,8 +97,8 @@ let csr_read t a =
   else if a = Csr.mepc then Some t.mepc
   else if a = Csr.mcause then Some t.mcause
   else if a = Csr.mtval then Some t.mtval
-  else if a = Csr.mvendorid || a = Csr.marchid || a = Csr.mimpid
-          || a = Csr.mhartid then Some 0
+  else if a = Csr.mhartid then Some t.hartid
+  else if a = Csr.mvendorid || a = Csr.marchid || a = Csr.mimpid then Some 0
   else if a = Csr.mcycle || a = Csr.cycle then Some (lo32 t.cycle)
   else if a = Csr.cycleh then Some (hi32 t.cycle)
   else if a = Csr.minstret || a = Csr.instret then Some (lo32 t.instret)
@@ -167,6 +172,9 @@ let copy t =
   c.time_source <- (fun () -> c.cycle);
   c
 
+(* [hartid]/[misa] are structural (set once at machine construction),
+   not architectural: a rewind must not re-number the hart it lands
+   on, so like [time_source] they are left untouched. *)
 let restore dst src =
   Array.blit src.regs 0 dst.regs 0 32;
   Array.blit src.fregs 0 dst.fregs 0 32;

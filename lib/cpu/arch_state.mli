@@ -6,6 +6,13 @@
 type word = S4e_bits.Bits.word
 
 type t = {
+  mutable hartid : int;
+      (** Value of the [mhartid] CSR.  Structural (assigned at machine
+          construction), untouched by {!reset} and {!restore}. *)
+  mutable misa : word;
+      (** Value of the [misa] CSR; the machine derives it from its ISA
+          configuration so restricted-ISA machines advertise accurately.
+          Structural, like [hartid]. *)
   regs : word array;  (** 32 GPRs; [regs.(0)] is kept at 0 *)
   fregs : word array;  (** 32 FPRs as IEEE-754 single bit patterns *)
   mutable pc : word;
@@ -24,10 +31,12 @@ type t = {
       (** Reads platform time for the [time] CSR; the machine points
           this at the CLINT. *)
   mutable reservation : word option;
-      (** LR/SC reservation address (A extension, single hart). *)
+      (** LR/SC reservation address (A extension).  Cleared by [SC],
+          reset, and trap/interrupt entry; another hart's store to the
+          reserved word also breaks it (machine coherence hook). *)
 }
 
-val create : ?pc:word -> unit -> t
+val create : ?pc:word -> ?hartid:int -> unit -> t
 val reset : t -> pc:word -> unit
 
 val get_reg : t -> S4e_isa.Reg.t -> word
@@ -59,5 +68,8 @@ val copy : t -> t
 
 val restore : t -> t -> unit
 (** [restore dst src] copies every architectural field of [src] into
-    [dst] in place.  [dst.time_source] is deliberately left untouched
-    so a machine's CLINT wiring survives the rewind. *)
+    [dst] in place (including the LR/SC reservation, so forked campaign
+    mutants resume with the same reservation the golden run held).
+    [dst.time_source], [dst.hartid], and [dst.misa] are deliberately
+    left untouched so a machine's CLINT wiring and hart identity
+    survive the rewind. *)

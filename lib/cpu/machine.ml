@@ -21,13 +21,20 @@ type config = {
       (* attach the event-driven devices (DMA engine, vnet) and route
          the CLINT deadline through the event wheel; off reverts to the
          four-device platform with direct timer polling *)
+  harts : int;
+      (* number of harts; 1 keeps the exact pre-SMP execution path *)
+  hart_slice : int;
+      (* round-robin fuel quantum per hart (SMP only).  Part of the
+         machine's deterministic semantics: the same slice yields the
+         same interleaving on every engine. *)
 }
 
 let default_config =
   { isa = [ Isa_module.I; M; A; F; C; Zicsr; B ];
     timing = Timing_model.default; use_tb_cache = true;
     decoder = Decodetree_decoder; lower_blocks = true; chain_blocks = true;
-    mem_tlb = true; superblocks = true; device_plane = true }
+    mem_tlb = true; superblocks = true; device_plane = true;
+    harts = 1; hart_slice = 1024 }
 
 type stop_reason =
   | Exited of int
@@ -52,8 +59,29 @@ type watchpoint = {
   mutable wp_hits : int;
 }
 
+(* One hart's private execution context: architectural state plus the
+   translation machinery bound to it.  Lowered µop closures capture
+   their [Arch_state.t] at translate time, so translated code is
+   hart-bound — each hart gets its own TB cache, lowering context, and
+   superblock engine over the shared bus. *)
+type hart = {
+  hx_id : int;
+  hx_state : Arch_state.t;
+  hx_tb : Tb_cache.t;
+  mutable hx_lower : Lower.ctx;
+  mutable hx_sb : Superblock.t option;
+  mutable hx_llm : int;
+      (* saved load-use hazard window while the hart is descheduled *)
+  mutable hx_parked : bool;
+      (* parked in WFI (pc already past it); the scheduler wakes the
+         hart when an enabled interrupt becomes pending *)
+}
+
 type t = {
-  state : Arch_state.t;
+  (* [state]/[tb]/[lower_ctx]/[sb]/[last_load_mask] alias the current
+     hart's fields ([harts.(cur)]); [switch_to] keeps them in sync.  On
+     a single-hart machine they are constant, as before the SMP work. *)
+  mutable state : Arch_state.t;
   bus : Bus.t;
   uart : Soc.Uart.t;
   clint : Soc.Clint.t;
@@ -62,19 +90,27 @@ type t = {
   wheel : Soc.Event_wheel.t;
   dma : Soc.Dma.t;
   vnet : Soc.Vnet.t;
+  plic : Soc.Plic.t;
   hooks : Hooks.t;
   config : config;
   decode32 : word -> Instr.t option;
-  tb : Tb_cache.t;
+  mutable tb : Tb_cache.t;
   mutable last_load_mask : int;
   pending_ticks : int ref;
   seg_idx : int ref;
   seg_base : int ref;
   fuel_left : int ref;
   exit_dirty : bool ref;
-  lower_ctx : Lower.ctx;
+  mutable lower_ctx : Lower.ctx;
   mutable sb : Superblock.t option;
       (* superblock trace engine; [None] when disabled by config *)
+  harts : hart array;
+  mutable cur : int;
+      (* index of the hart the alias fields track *)
+  mutable rr : int;
+      (* round-robin scheduling pointer: next hart to consider.
+         Persists across [run] calls so staged-fuel runs interleave
+         exactly like uninterrupted ones. *)
   mutable profiler : S4e_obs.Profile.t option;
   mutable recorder : S4e_obs.Flight_recorder.t option;
   mutable watchpoints : watchpoint array;
@@ -121,16 +157,30 @@ let msip_bit = 1 lsl 3
 let mtip_bit = 1 lsl 7
 let meip_bit = 1 lsl 11
 
+(* External-interrupt pending for one hart.  While the guest leaves the
+   PLIC unconfigured the wheel's lines feed hart 0's MEIP directly (the
+   pre-SMP wiring, preserving single-hart digests); once any source is
+   enabled the PLIC owns the routing for every hart. *)
+let meip_now t hid =
+  t.config.device_plane
+  &&
+  if Soc.Plic.routed t.plic then Soc.Plic.meip t.plic hid
+  else hid = 0 && Soc.Event_wheel.irq_pending t.wheel <> 0
+
+(* Level-sampled mip for an arbitrary hart, valid at block boundaries
+   (batched cycles drained). *)
+let mip_bits t hid =
+  let mip = ref 0 in
+  if Soc.Clint.timer_pending ~hart:hid t.clint then mip := !mip lor mtip_bit;
+  if Soc.Clint.software_pending ~hart:hid t.clint then
+    mip := !mip lor msip_bit;
+  if meip_now t hid then mip := !mip lor meip_bit;
+  !mip
+
 (* Level-sampled mip from the interrupt sources: the CLINT compares
    (recomputed eagerly — mtimecmp may move in either direction) and the
    wheel's aggregated device lines as MEIP. *)
-let compute_mip t =
-  let mip = ref 0 in
-  if Soc.Clint.timer_pending t.clint then mip := !mip lor mtip_bit;
-  if Soc.Clint.software_pending t.clint then mip := !mip lor msip_bit;
-  if t.config.device_plane && Soc.Event_wheel.irq_pending t.wheel <> 0 then
-    mip := !mip lor meip_bit;
-  t.state.mip <- !mip
+let compute_mip t = t.state.mip <- mip_bits t t.cur
 
 (* Interrupt sampling point (block boundaries, wfi): consult the
    wheel's single [next_deadline] word, run any due device events —
@@ -155,10 +205,11 @@ let update_mip t =
       | None -> ()
     end
     else Soc.Event_wheel.note_idle_skip w;
-    if Soc.Event_wheel.irq_pending w <> 0 then mip := !mip lor meip_bit
+    if meip_now t t.cur then mip := !mip lor meip_bit
   end;
-  if now >= Soc.Clint.timecmp clint then mip := !mip lor mtip_bit;
-  if Soc.Clint.software_pending clint then mip := !mip lor msip_bit;
+  if now >= Soc.Clint.timecmp ~hart:t.cur clint then mip := !mip lor mtip_bit;
+  if Soc.Clint.software_pending ~hart:t.cur clint then
+    mip := !mip lor msip_bit;
   t.state.mip <- !mip
 
 (* Trap entry.  Returns [Some stop] when the trap is fatal (no handler
@@ -177,39 +228,80 @@ let enter_exception t cause pc =
     t.state.mtval <- Trap.tval_of cause;
     Arch_state.set_mpie_bit t.state (Arch_state.mie_bit t.state);
     Arch_state.set_mie_bit t.state false;
+    (* trap entry invalidates any LR reservation: the handler's stores
+       must not let a later SC pair with a pre-trap LR *)
+    t.state.reservation <- None;
     t.state.pc <- t.state.mtvec;
     None
   end
 
+(* ISA letter bits for misa: accurate for restricted configurations
+   (the B extension rides as nonstandard, like the pre-SMP constant). *)
+let misa_of_isa isa =
+  let bit m b = if List.mem m isa then 1 lsl b else 0 in
+  0x4000_0000 lor (1 lsl 8) (* RV32I *)
+  lor bit Isa_module.M 12 lor bit Isa_module.A 0 lor bit Isa_module.F 5
+  lor bit Isa_module.C 2
+
 let create ?(config = default_config) () =
+  let nharts = max 1 config.harts in
   let bus = Bus.create () in
   let uart = Soc.Uart.create () in
-  let clint = Soc.Clint.create () in
+  let clint = Soc.Clint.create ~harts:nharts () in
   let gpio = Soc.Gpio.create () in
   let syscon = Soc.Syscon.create () in
   let wheel = Soc.Event_wheel.create () in
+  let plic = Soc.Plic.create ~harts:nharts () in
+  Soc.Plic.set_line_source plic (fun () -> Soc.Event_wheel.irq_pending wheel);
   Bus.attach bus (Soc.Uart.device uart ~base:Soc.Memory_map.uart_base);
   Bus.attach bus (Soc.Clint.device clint ~base:Soc.Memory_map.clint_base);
   Bus.attach bus (Soc.Gpio.device gpio ~base:Soc.Memory_map.gpio_base);
   Bus.attach bus (Soc.Syscon.device syscon ~base:Soc.Memory_map.syscon_base);
   if not config.mem_tlb then Bus.set_tlb_enabled bus false;
-  let state = Arch_state.create ~pc:Soc.Memory_map.ram_base () in
-  state.time_source <- (fun () -> Soc.Clint.time clint);
+  let misa = misa_of_isa config.isa in
   let decode32 = make_decoder config in
   let decode16 =
     if List.mem Isa_module.C config.isa then Some Compressed.decode16
     else None
   in
-  let tb =
-    Tb_cache.create ~decode32 ~decode16 ~fetch32:(Bus.fetch32 bus)
-      ~fetch16:(Bus.fetch16 bus) ()
-  in
   let pending_ticks = ref 0 in
+  (* Cross-hart store coherence, shared by every store notification
+     path (µop closures, generic interpreter, superblocks, DMA): any
+     hart's store invalidates translated code on every hart and breaks
+     other harts' LR reservations on the written word.  The writing
+     hart's own reservation is left to the architectural SC/trap rules,
+     which also keeps single-hart behavior bit-identical. *)
+  let harts_cell = ref [||] in
+  let notify_store_from hid addr =
+    let hs = !harts_cell in
+    for j = 0 to Array.length hs - 1 do
+      let h = Array.unsafe_get hs j in
+      Tb_cache.notify_store h.hx_tb addr;
+      if j <> hid then
+        match h.hx_state.Arch_state.reservation with
+        | Some r when r land lnot 3 = addr land lnot 3 ->
+            h.hx_state.Arch_state.reservation <- None
+        | _ -> ()
+    done
+  in
   (* DMA masters see virtual time with the lowered engine's batched
      cycles folded in, and invalidate translated code over the exact
-     written ranges, so device activity is engine-invisible. *)
+     written ranges, so device activity is engine-invisible.  On SMP a
+     device write also breaks every hart's reservation in the range (a
+     single-hart machine keeps the pre-SMP semantics). *)
   let dev_now () = Soc.Clint.time clint + !pending_ticks in
-  let dev_notify addr len = Tb_cache.notify_range tb addr len in
+  let dev_notify addr len =
+    let hs = !harts_cell in
+    for j = 0 to Array.length hs - 1 do
+      let h = Array.unsafe_get hs j in
+      Tb_cache.notify_range h.hx_tb addr len;
+      if nharts > 1 then
+        match h.hx_state.Arch_state.reservation with
+        | Some r when r land lnot 3 >= addr land lnot 3 && r < addr + len ->
+            h.hx_state.Arch_state.reservation <- None
+        | _ -> ()
+    done
+  in
   let dma =
     Soc.Dma.create ~mem:(Bus.ram bus) ~wheel ~now:dev_now ~notify:dev_notify ()
   in
@@ -219,6 +311,7 @@ let create ?(config = default_config) () =
   if config.device_plane then begin
     Bus.attach bus (Soc.Dma.device dma ~base:Soc.Memory_map.dma_base);
     Bus.attach bus (Soc.Vnet.device vnet ~base:Soc.Memory_map.vnet_base);
+    Bus.attach bus (Soc.Plic.device plic ~base:Soc.Memory_map.plic_base);
     (* CLINT as a wheel client: a no-op event advertises the MTIMECMP
        deadline so [next_deadline] is the platform's single
        next-interesting-time word (MTIP itself stays level-sampled in
@@ -241,117 +334,167 @@ let create ?(config = default_config) () =
   let fuel_left = ref 0 in
   let exit_dirty = ref false in
   Soc.Syscon.set_notify syscon (fun () -> exit_dirty := true);
-  let lower_ctx =
-    { Lower.lx_state = state; lx_bus = bus; lx_timing = config.timing;
-      lx_flush_time =
-        (fun () ->
-          let p = !pending_ticks in
-          if p <> 0 then begin
-            state.cycle <- state.cycle + p;
-            Soc.Clint.tick clint p;
-            pending_ticks := 0
-          end;
-          let d = !seg_idx - !seg_base in
-          if d > 0 then begin
-            state.instret <- state.instret + d;
-            fuel_left := !fuel_left - d;
-            seg_base := !seg_idx
-          end);
-      lx_notify_store = (fun addr -> Tb_cache.notify_store tb addr);
-      lx_dev_limit = Soc.Memory_map.ram_base }
+  (* One execution context per hart: private Arch_state, TB cache, and
+     lowering context (µop closures capture the state they were
+     translated against).  The batching refs stay shared — only one
+     hart runs at a time and they are drained at every boundary, where
+     hart switches happen. *)
+  let mk_hart i =
+    let state = Arch_state.create ~pc:Soc.Memory_map.ram_base ~hartid:i () in
+    state.Arch_state.misa <- misa;
+    state.Arch_state.time_source <- (fun () -> Soc.Clint.time clint);
+    let tb =
+      Tb_cache.create ~decode32 ~decode16 ~fetch32:(Bus.fetch32 bus)
+        ~fetch16:(Bus.fetch16 bus) ()
+    in
+    let notify_store =
+      if nharts = 1 then fun addr -> Tb_cache.notify_store tb addr
+      else notify_store_from i
+    in
+    let lower_ctx =
+      { Lower.lx_state = state; lx_bus = bus; lx_timing = config.timing;
+        lx_flush_time =
+          (fun () ->
+            let p = !pending_ticks in
+            if p <> 0 then begin
+              state.Arch_state.cycle <- state.Arch_state.cycle + p;
+              Soc.Clint.tick clint p;
+              pending_ticks := 0
+            end;
+            let d = !seg_idx - !seg_base in
+            if d > 0 then begin
+              state.Arch_state.instret <- state.Arch_state.instret + d;
+              fuel_left := !fuel_left - d;
+              seg_base := !seg_idx
+            end);
+        lx_notify_store = notify_store;
+        lx_dev_limit = Soc.Memory_map.ram_base }
+    in
+    { hx_id = i; hx_state = state; hx_tb = tb; hx_lower = lower_ctx;
+      hx_sb = None; hx_llm = 0; hx_parked = false }
   in
+  let harts = Array.init nharts mk_hart in
+  harts_cell := harts;
+  let h0 = harts.(0) in
   let m =
-    { state; bus; uart; clint; gpio; syscon; wheel; dma; vnet;
-      hooks = Hooks.create (); config; decode32; tb; last_load_mask = 0;
-      pending_ticks; seg_idx; seg_base; fuel_left; exit_dirty; lower_ctx;
-      sb = None; profiler = None; recorder = None; watchpoints = [||];
+    { state = h0.hx_state; bus; uart; clint; gpio; syscon; wheel; dma; vnet;
+      plic; hooks = Hooks.create (); config; decode32; tb = h0.hx_tb;
+      last_load_mask = 0; pending_ticks; seg_idx; seg_base; fuel_left;
+      exit_dirty; lower_ctx = h0.hx_lower; sb = None; harts; cur = 0;
+      rr = 0; profiler = None; recorder = None; watchpoints = [||];
       watch_trace = None }
   in
   (* The superblock engine only runs where the lowered+chained engine
      runs (chain-edge heat drives promotion), so don't even install the
-     invalidation hooks elsewhere. *)
+     invalidation hooks elsewhere.  Each hart gets its own trace engine
+     over its own TB cache; the closures below only execute while their
+     hart is current, so the [m.last_load_mask] alias is always
+     theirs. *)
   if config.superblocks && config.use_tb_cache && config.lower_blocks then begin
     let timing = config.timing in
-    let flush_cycles () =
-      let p = !pending_ticks in
-      if p <> 0 then begin
-        state.cycle <- state.cycle + p;
-        Soc.Clint.tick clint p;
-        pending_ticks := 0
-      end
-    in
-    let sx =
-      { Superblock.sx_state = state; sx_bus = bus; sx_timing = timing;
-        sx_pending = pending_ticks; sx_exit_dirty = exit_dirty;
-        sx_flush = flush_cycles;
-        sx_retire =
-          (fun n ->
-            state.instret <- state.instret + n;
-            fuel_left := !fuel_left - n);
-        sx_exit_code = (fun () -> Soc.Syscon.exit_code syscon);
-        sx_raise_exited = (fun code -> raise (Stop (Exited code)));
-        sx_trap =
-          (fun cause pc pred ->
-            (* mirror [exec_lowered]'s trap path: flush, credit the
-               already-executed predecessors, enter the exception
-               (fatal traps stop before the trapping instruction
-               retires), charge system cycles, retire it, re-check the
-               exit latch *)
-            flush_cycles ();
-            m.last_load_mask <- 0;
-            state.instret <- state.instret + pred;
-            fuel_left := !fuel_left - pred;
-            (match enter_exception m cause pc with
-            | Some stop -> raise (Stop stop)
-            | None ->
-                state.cycle <- state.cycle + timing.Timing_model.system;
-                Soc.Clint.tick clint timing.Timing_model.system);
-            state.instret <- state.instret + 1;
-            fuel_left := !fuel_left - 1;
-            if !exit_dirty then begin
-              match Soc.Syscon.exit_code syscon with
-              | Some code -> raise (Stop (Exited code))
-              | None -> exit_dirty := false
-            end);
-        sx_irq =
-          (fun () ->
-            (* the dispatch loop's between-block [update_mip] +
-               deliverability test, with the batched-but-unapplied
-               cycles folded into the timer comparison so the sampled
-               mip matches a per-block flushing run exactly.  When
-               device events fire the trace bails even without a
-               deliverable interrupt: an event may have invalidated a
-               member of the very trace being executed (DMA into code),
-               and only a bail re-establishes exact state and
-               retranslates. *)
-            let now = Soc.Clint.time clint + !pending_ticks in
-            let fired =
-              config.device_plane
-              && now >= Soc.Event_wheel.next_deadline wheel
-              && begin
-                   flush_cycles ();
-                   Soc.Event_wheel.run_due wheel ~now;
-                   true
-                 end
-            in
-            if config.device_plane && not fired then
-              Soc.Event_wheel.note_idle_skip wheel;
-            let mip = ref 0 in
-            if now >= Soc.Clint.timecmp clint then mip := !mip lor mtip_bit;
-            if Soc.Clint.software_pending clint then mip := !mip lor msip_bit;
-            if config.device_plane
-               && Soc.Event_wheel.irq_pending wheel <> 0
-            then mip := !mip lor meip_bit;
-            state.mip <- !mip;
-            fired || (Arch_state.mie_bit state && state.mie land !mip <> 0));
-        sx_notify_store = (fun addr -> Tb_cache.notify_store tb addr);
-        sx_get_llm = (fun () -> m.last_load_mask);
-        sx_set_llm = (fun v -> m.last_load_mask <- v);
-        sx_dev_limit = Soc.Memory_map.ram_base }
-    in
-    m.sb <- Some (Superblock.create sx tb)
+    Array.iter
+      (fun h ->
+        let state = h.hx_state in
+        let flush_cycles () =
+          let p = !pending_ticks in
+          if p <> 0 then begin
+            state.Arch_state.cycle <- state.Arch_state.cycle + p;
+            Soc.Clint.tick clint p;
+            pending_ticks := 0
+          end
+        in
+        let sx =
+          { Superblock.sx_state = state; sx_bus = bus; sx_timing = timing;
+            sx_pending = pending_ticks; sx_exit_dirty = exit_dirty;
+            sx_flush = flush_cycles;
+            sx_retire =
+              (fun n ->
+                state.Arch_state.instret <- state.Arch_state.instret + n;
+                fuel_left := !fuel_left - n);
+            sx_exit_code = (fun () -> Soc.Syscon.exit_code syscon);
+            sx_raise_exited = (fun code -> raise (Stop (Exited code)));
+            sx_trap =
+              (fun cause pc pred ->
+                (* mirror [exec_lowered]'s trap path: flush, credit the
+                   already-executed predecessors, enter the exception
+                   (fatal traps stop before the trapping instruction
+                   retires), charge system cycles, retire it, re-check
+                   the exit latch *)
+                flush_cycles ();
+                m.last_load_mask <- 0;
+                state.Arch_state.instret <- state.Arch_state.instret + pred;
+                fuel_left := !fuel_left - pred;
+                (match enter_exception m cause pc with
+                | Some stop -> raise (Stop stop)
+                | None ->
+                    state.Arch_state.cycle <-
+                      state.Arch_state.cycle + timing.Timing_model.system;
+                    Soc.Clint.tick clint timing.Timing_model.system);
+                state.Arch_state.instret <- state.Arch_state.instret + 1;
+                fuel_left := !fuel_left - 1;
+                if !exit_dirty then begin
+                  match Soc.Syscon.exit_code syscon with
+                  | Some code -> raise (Stop (Exited code))
+                  | None -> exit_dirty := false
+                end);
+            sx_irq =
+              (fun () ->
+                (* the dispatch loop's between-block [update_mip] +
+                   deliverability test, with the batched-but-unapplied
+                   cycles folded into the timer comparison so the
+                   sampled mip matches a per-block flushing run
+                   exactly.  When device events fire the trace bails
+                   even without a deliverable interrupt: an event may
+                   have invalidated a member of the very trace being
+                   executed (DMA into code), and only a bail
+                   re-establishes exact state and retranslates. *)
+                let now = Soc.Clint.time clint + !pending_ticks in
+                let fired =
+                  config.device_plane
+                  && now >= Soc.Event_wheel.next_deadline wheel
+                  && begin
+                       flush_cycles ();
+                       Soc.Event_wheel.run_due wheel ~now;
+                       true
+                     end
+                in
+                if config.device_plane && not fired then
+                  Soc.Event_wheel.note_idle_skip wheel;
+                let mip = ref 0 in
+                if now >= Soc.Clint.timecmp ~hart:h.hx_id clint then
+                  mip := !mip lor mtip_bit;
+                if Soc.Clint.software_pending ~hart:h.hx_id clint then
+                  mip := !mip lor msip_bit;
+                if meip_now m h.hx_id then mip := !mip lor meip_bit;
+                state.Arch_state.mip <- !mip;
+                fired
+                || Arch_state.mie_bit state
+                   && state.Arch_state.mie land !mip <> 0);
+            sx_notify_store = h.hx_lower.Lower.lx_notify_store;
+            sx_get_llm = (fun () -> m.last_load_mask);
+            sx_set_llm = (fun v -> m.last_load_mask <- v);
+            sx_dev_limit = Soc.Memory_map.ram_base }
+        in
+        h.hx_sb <- Some (Superblock.create sx h.hx_tb))
+      harts;
+    m.sb <- h0.hx_sb
   end;
   m
+
+(* Point the alias fields at hart [i], saving the outgoing hart's
+   hazard window.  Only legal at block boundaries with the batching
+   refs drained (the scheduler's rotation points). *)
+let switch_to t i =
+  if i <> t.cur then begin
+    t.harts.(t.cur).hx_llm <- t.last_load_mask;
+    let h = t.harts.(i) in
+    t.cur <- i;
+    t.state <- h.hx_state;
+    t.tb <- h.hx_tb;
+    t.lower_ctx <- h.hx_lower;
+    t.sb <- h.hx_sb;
+    t.last_load_mask <- h.hx_llm
+  end
 
 let set_profiler t p = t.profiler <- p
 let profiler t = t.profiler
@@ -364,8 +507,9 @@ let trace_stats t = Option.map Superblock.stats t.sb
 
 let register_metrics ?(prefix = "machine.") t reg =
   let g name f = S4e_obs.Metrics.gauge_int reg (prefix ^ name) f in
-  g "instret" (fun () -> t.state.Arch_state.instret);
-  g "cycles" (fun () -> t.state.Arch_state.cycle);
+  let sum f () = Array.fold_left (fun a h -> a + f h) 0 t.harts in
+  g "instret" (sum (fun h -> h.hx_state.Arch_state.instret));
+  g "cycles" (sum (fun h -> h.hx_state.Arch_state.cycle));
   g "tb.blocks" (fun () -> (Tb_cache.stats t.tb).Tb_cache.st_blocks);
   g "tb.hits" (fun () -> (Tb_cache.stats t.tb).Tb_cache.st_hits);
   g "tb.misses" (fun () -> (Tb_cache.stats t.tb).Tb_cache.st_misses);
@@ -449,13 +593,23 @@ let observe_devices ?metrics ?trace t =
 let set_uart_sink t sink = Soc.Uart.set_sink t.uart sink
 
 let reset t ~pc =
-  Arch_state.reset t.state ~pc;
+  (* every hart restarts at the entry point; SMP guests branch on
+     mhartid (there is no boot hand-off protocol in this platform) *)
+  Array.iter
+    (fun h ->
+      Arch_state.reset h.hx_state ~pc;
+      h.hx_llm <- 0;
+      h.hx_parked <- false)
+    t.harts;
+  switch_to t 0;
+  t.rr <- 0;
   (* wheel first: device resets cancel into an already-empty wheel, and
      the CLINT reset re-arms its deadline client through its hook *)
   Soc.Event_wheel.clear t.wheel;
   Soc.Dma.reset t.dma;
   Soc.Vnet.reset t.vnet;
   Soc.Clint.reset t.clint;
+  Soc.Plic.reset t.plic;
   Soc.Syscon.reset t.syscon;
   Soc.Uart.clear_output t.uart;
   t.last_load_mask <- 0;
@@ -475,6 +629,8 @@ let enter_interrupt t irq =
   t.state.mtval <- 0;
   Arch_state.set_mpie_bit t.state (Arch_state.mie_bit t.state);
   Arch_state.set_mie_bit t.state false;
+  (* interrupt entry invalidates any LR reservation, like a trap *)
+  t.state.reservation <- None;
   t.state.pc <- t.state.mtvec
 
 (* Priority order per the privileged spec: external, software, timer. *)
@@ -495,8 +651,19 @@ let wfi_event_budget = 65536
 (* WFI: wake if an interrupt can arrive; fast-forward virtual time to
    the next event-wheel deadline (which includes the CLINT MTIMECMP via
    its wheel client) until an enabled interrupt becomes pending.  With
-   the device plane off this degrades to the classic timer skip. *)
+   the device plane off this degrades to the classic timer skip.
+
+   On an SMP machine time must NOT be fast-forwarded while other harts
+   can still run — the hart parks instead (pc already past the wfi) and
+   the scheduler wakes it when an enabled interrupt (e.g. a cross-hart
+   MSIP IPI) becomes pending, fast-forwarding only once every hart is
+   parked. *)
 let wfi_resume t =
+  if Array.length t.harts > 1 then begin
+    update_mip t;
+    t.state.mie land t.state.mip <> 0
+  end
+  else begin
   update_mip t;
   if t.state.mie land t.state.mip <> 0 then true
   else if not t.config.device_plane then
@@ -528,24 +695,37 @@ let wfi_resume t =
     done;
     !woken
   end
+  end
 
-let instret t = t.state.instret
-let cycles t = t.state.cycle
+let hart_count t = Array.length t.harts
+
+(* Aggregates over all harts (the sum is the single hart's counter on
+   a one-hart machine). *)
+let instret t =
+  Array.fold_left (fun a h -> a + h.hx_state.Arch_state.instret) 0 t.harts
+
+let cycles t =
+  Array.fold_left (fun a h -> a + h.hx_state.Arch_state.cycle) 0 t.harts
+
 let uart_output t = Soc.Uart.output t.uart
 
 let load_word t addr w =
   S4e_mem.Sparse_mem.write32 (Bus.ram t.bus) addr w;
-  Tb_cache.notify_store t.tb addr
+  Array.iter (fun h -> Tb_cache.notify_store h.hx_tb addr) t.harts
 
 let load_string t addr s =
   S4e_mem.Sparse_mem.load_bytes (Bus.ram t.bus) addr s;
-  Tb_cache.flush t.tb
+  Array.iter (fun h -> Tb_cache.flush h.hx_tb) t.harts
 
 let misaligned_pc t pc =
   if List.mem Isa_module.C t.config.isa then pc land 1 <> 0
   else pc land 3 <> 0
 
-let run t ~fuel =
+(* Execute at most [fuel] instructions on the CURRENT hart.  This is
+   the whole pre-SMP [run] — a single-hart machine calls it directly
+   with the full fuel, so that path is unchanged; the SMP scheduler
+   below feeds it one slice at a time. *)
+let run_slice t ~fuel =
   let state = t.state in
   let timing = t.config.timing in
   let compressed = List.mem Isa_module.C t.config.isa in
@@ -555,9 +735,12 @@ let run t ~fuel =
   let pending = t.pending_ticks in
   (* drains batched cycles AND the segment's uncredited instret/fuel *)
   let flush_time = t.lower_ctx.Lower.lx_flush_time in
+  (* per-hart closure: invalidates every hart's translated code and
+     breaks other harts' reservations (plain single-TB notify on a
+     one-hart machine) *)
+  let notify_store = t.lower_ctx.Lower.lx_notify_store in
   let on_mem ev =
-    if ev.Hooks.mem_is_store then
-      Tb_cache.notify_store t.tb ev.Hooks.mem_addr;
+    if ev.Hooks.mem_is_store then notify_store ev.Hooks.mem_addr;
     if Hooks.has_mem t.hooks then Hooks.fire_mem t.hooks ev
   in
   (* Load-use hazard tracking: the destination of the previous
@@ -1043,10 +1226,108 @@ let run t ~fuel =
     Soc.Uart.flush_host t.uart;
     reason
 
+(* ---------------- SMP hart scheduler ---------------- *)
+
+(* Is the hart schedulable?  A parked hart re-samples its interrupt
+   lines (cheap pure reads — the batching refs are drained between
+   slices) and wakes when an enabled interrupt is pending, exactly the
+   WFI wake condition.  This is what lets a WFI-parked hart wake on a
+   cross-hart MSIP IPI instead of halting. *)
+let hart_runnable t h =
+  (not h.hx_parked)
+  ||
+  let bits = mip_bits t h.hx_id in
+  h.hx_state.Arch_state.mip <- bits;
+  if h.hx_state.Arch_state.mie land bits <> 0 then begin
+    h.hx_parked <- false;
+    true
+  end
+  else false
+
+(* Every hart is parked in WFI: fast-forward virtual time — to the
+   next event-wheel deadline (device plane), or to the next strictly
+   future MTIMECMP — until some hart's wake condition holds.  Bounded
+   by the same deterministic budget as the single-hart WFI skip. *)
+let advance_all_parked t =
+  let budget = ref wfi_event_budget in
+  let woken = ref false and give_up = ref false in
+  let any_wakeable () =
+    let w = ref false in
+    Array.iter (fun h -> if hart_runnable t h then w := true) t.harts;
+    !w
+  in
+  while (not !woken) && not !give_up do
+    let now = Soc.Clint.time t.clint in
+    let next =
+      if t.config.device_plane then Soc.Event_wheel.next_deadline t.wheel
+      else begin
+        let acc = ref max_int in
+        for hid = 0 to Array.length t.harts - 1 do
+          let c = Soc.Clint.timecmp ~hart:hid t.clint in
+          if c > now && c < !acc then acc := c
+        done;
+        !acc
+      end
+    in
+    if next = max_int || !budget <= 0 then give_up := true
+    else begin
+      decr budget;
+      if next > now then Soc.Clint.tick t.clint (next - now);
+      if t.config.device_plane then
+        Soc.Event_wheel.run_due t.wheel ~now:(Soc.Clint.time t.clint);
+      if any_wakeable () then woken := true
+    end
+  done;
+  !woken
+
+(* Deterministic round-robin over the harts in fuel quanta of
+   [config.hart_slice].  Fuel is the unit every engine accounts
+   identically (enforced by the differential tests), so the
+   interleaving — hence the observable semantics — is a pure function
+   of (program, total fuel, slice), independent of the engine. *)
+let smp_run t ~fuel =
+  let n = Array.length t.harts in
+  let slice = max 1 t.config.hart_slice in
+  let total = ref fuel in
+  let result = ref None in
+  while !result = None && !total > 0 do
+    let found = ref (-1) in
+    let i = ref 0 in
+    while !found < 0 && !i < n do
+      let idx = (t.rr + !i) mod n in
+      if hart_runnable t t.harts.(idx) then found := idx;
+      incr i
+    done;
+    if !found < 0 then begin
+      if not (advance_all_parked t) then result := Some Wfi_halt
+    end
+    else begin
+      let idx = !found in
+      switch_to t idx;
+      let f = if slice < !total then slice else !total in
+      (match run_slice t ~fuel:f with
+      | Out_of_fuel -> ()
+      | Wfi_halt -> t.harts.(idx).hx_parked <- true
+      | (Exited _ | Fatal_trap _) as r -> result := Some r);
+      let left = !(t.fuel_left) in
+      let consumed = f - (if left > 0 then left else 0) in
+      total := !total - (if consumed > 0 then consumed else 1);
+      t.rr <- (idx + 1) mod n
+    end
+  done;
+  match !result with Some r -> r | None -> Out_of_fuel
+
+let run t ~fuel =
+  if Array.length t.harts = 1 then run_slice t ~fuel else smp_run t ~fuel
+
 (* ---------------- snapshot / restore ---------------- *)
 
 type snapshot = {
-  snap_state : Arch_state.t;
+  snap_states : Arch_state.t array; (* one per hart *)
+  snap_llm : int array;
+  snap_parked : bool array;
+  snap_cur : int;
+  snap_rr : int;
   snap_mem : S4e_mem.Sparse_mem.snapshot;
   snap_uart : Soc.Uart.snapshot;
   snap_clint : Soc.Clint.snapshot;
@@ -1054,7 +1335,7 @@ type snapshot = {
   snap_syscon : Soc.Syscon.snapshot;
   snap_dma : Soc.Dma.snapshot;
   snap_vnet : Soc.Vnet.snapshot;
-  snap_last_load_mask : int;
+  snap_plic : Soc.Plic.snapshot;
   snap_rec : S4e_obs.Flight_recorder.mark option;
       (* recorder position at capture time; [restore] rewinds an
          attached recorder to it so sequence numbers stay continuous
@@ -1062,7 +1343,13 @@ type snapshot = {
 }
 
 let snapshot t =
-  { snap_state = Arch_state.copy t.state;
+  (* the alias holds the current hart's live hazard window *)
+  t.harts.(t.cur).hx_llm <- t.last_load_mask;
+  { snap_states = Array.map (fun h -> Arch_state.copy h.hx_state) t.harts;
+    snap_llm = Array.map (fun h -> h.hx_llm) t.harts;
+    snap_parked = Array.map (fun h -> h.hx_parked) t.harts;
+    snap_cur = t.cur;
+    snap_rr = t.rr;
     snap_mem = S4e_mem.Sparse_mem.snapshot (Bus.ram t.bus);
     snap_uart = Soc.Uart.snapshot t.uart;
     snap_clint = Soc.Clint.snapshot t.clint;
@@ -1070,11 +1357,18 @@ let snapshot t =
     snap_syscon = Soc.Syscon.snapshot t.syscon;
     snap_dma = Soc.Dma.snapshot t.dma;
     snap_vnet = Soc.Vnet.snapshot t.vnet;
-    snap_last_load_mask = t.last_load_mask;
+    snap_plic = Soc.Plic.snapshot t.plic;
     snap_rec = Option.map S4e_obs.Flight_recorder.mark t.recorder }
 
 let restore t s =
-  Arch_state.restore t.state s.snap_state;
+  Array.iteri
+    (fun i h ->
+      Arch_state.restore h.hx_state s.snap_states.(i);
+      h.hx_llm <- s.snap_llm.(i);
+      h.hx_parked <- s.snap_parked.(i))
+    t.harts;
+  switch_to t s.snap_cur;
+  t.rr <- s.snap_rr;
   S4e_mem.Sparse_mem.restore (Bus.ram t.bus) s.snap_mem;
   Soc.Uart.restore t.uart s.snap_uart;
   (* the wheel holds closures, which a snapshot cannot capture: clear
@@ -1086,7 +1380,8 @@ let restore t s =
   Soc.Syscon.restore t.syscon s.snap_syscon;
   Soc.Dma.restore t.dma s.snap_dma;
   Soc.Vnet.restore t.vnet s.snap_vnet;
-  t.last_load_mask <- s.snap_last_load_mask;
+  Soc.Plic.restore t.plic s.snap_plic;
+  t.last_load_mask <- s.snap_llm.(s.snap_cur);
   (match (t.recorder, s.snap_rec) with
   | Some r, Some m -> S4e_obs.Flight_recorder.rewind r m
   | _ -> ());
@@ -1097,33 +1392,44 @@ let restore t s =
   (* Restored memory may hold different code than what was translated.
      The bus TLB is already flushed by this point: [Sparse_mem.restore]
      fires the change hook that [Bus.create] installed. *)
-  Tb_cache.flush t.tb
+  Array.iter (fun h -> Tb_cache.flush h.hx_tb) t.harts
 
-let state_digest ?(include_time = true) t =
-  let st = t.state in
+let state_digest ?(include_time = true) ?(include_instret = true) t =
   let b = Buffer.create 1024 in
   let add v =
     Buffer.add_string b (string_of_int v);
     Buffer.add_char b ';'
   in
-  Array.iter add st.Arch_state.regs;
-  Array.iter add st.Arch_state.fregs;
-  add st.Arch_state.pc;
-  add st.Arch_state.mstatus;
-  add st.Arch_state.mie;
-  add st.Arch_state.mip;
-  add st.Arch_state.mtvec;
-  add st.Arch_state.mscratch;
-  add st.Arch_state.mepc;
-  add st.Arch_state.mcause;
-  add st.Arch_state.mtval;
-  add st.Arch_state.fcsr;
-  if include_time then add st.Arch_state.cycle;
-  add st.Arch_state.instret;
-  (match st.Arch_state.reservation with None -> add (-1) | Some a -> add a);
+  (* Hart 0 first (then the others in index order, below): the byte
+     stream for a one-hart machine with an untouched PLIC is exactly
+     the pre-SMP serialization, keeping historical digests stable. *)
+  let add_hart (st : Arch_state.t) =
+    Array.iter add st.Arch_state.regs;
+    Array.iter add st.Arch_state.fregs;
+    add st.Arch_state.pc;
+    add st.Arch_state.mstatus;
+    add st.Arch_state.mie;
+    add st.Arch_state.mip;
+    add st.Arch_state.mtvec;
+    add st.Arch_state.mscratch;
+    add st.Arch_state.mepc;
+    add st.Arch_state.mcause;
+    add st.Arch_state.mtval;
+    add st.Arch_state.fcsr;
+    if include_time then add st.Arch_state.cycle;
+    if include_instret then add st.Arch_state.instret;
+    match st.Arch_state.reservation with None -> add (-1) | Some a -> add a
+  in
+  add_hart t.harts.(0).hx_state;
   if include_time then add (Soc.Clint.time t.clint);
   add (Soc.Clint.timecmp t.clint);
   add (if Soc.Clint.software_pending t.clint then 1 else 0);
+  for i = 1 to Array.length t.harts - 1 do
+    add_hart t.harts.(i).hx_state;
+    add (Soc.Clint.timecmp ~hart:i t.clint);
+    add (if Soc.Clint.software_pending ~hart:i t.clint then 1 else 0)
+  done;
+  if Soc.Plic.active t.plic then Buffer.add_string b (Soc.Plic.digest t.plic);
   add (Soc.Gpio.output t.gpio);
   Buffer.add_string b (Soc.Dma.digest ~include_time t.dma);
   Buffer.add_char b ';';

@@ -51,13 +51,26 @@ type config = {
           vnet device at {!S4e_soc.Memory_map.dma_base}/[vnet_base],
           with the CLINT deadline routed through the
           {!S4e_soc.Event_wheel} and device interrupts delivered as
-          [mip.MEIP].  Off reverts to the four-device platform with
-          direct timer polling (the E17 compute-guard baseline). *)
+          [mip.MEIP] (through the {!S4e_soc.Plic} once the guest
+          enables a source; OR-ed into hart 0's MEIP until then).  Off
+          reverts to the four-device platform with direct timer polling
+          (the E17 compute-guard baseline). *)
+  harts : int;
+      (** number of harts (default 1).  A one-hart machine executes on
+          the exact pre-SMP path; more harts run under the
+          deterministic round-robin scheduler of {!run}. *)
+  hart_slice : int;
+      (** round-robin fuel quantum per hart (default 1024).  Part of
+          the machine's deterministic semantics: the same slice yields
+          the same interleaving on every engine.  Data-race-free guests
+          reach the same architectural state under any slice (enforced
+          by the SMP differential tests). *)
 }
 
 val default_config : config
 (** RV32IMFC + Zicsr + B, default timing, TB cache on, DecodeTree,
-    lowering, chaining, the memory TLB, and superblock traces on. *)
+    lowering, chaining, the memory TLB, superblock traces on, and one
+    hart. *)
 
 type stop_reason =
   | Exited of int  (** software wrote the syscon EXIT register *)
@@ -82,8 +95,27 @@ type watchpoint = {
   mutable wp_hits : int;
 }
 
+(** One hart's private execution context.  Lowered µop closures capture
+    the {!Arch_state.t} they were translated against, so translated
+    code is hart-bound: each hart owns a TB cache, lowering context,
+    and superblock engine over the shared bus. *)
+type hart = {
+  hx_id : int;
+  hx_state : Arch_state.t;
+  hx_tb : Tb_cache.t;
+  mutable hx_lower : Lower.ctx;
+  mutable hx_sb : Superblock.t option;
+  mutable hx_llm : int;
+      (** saved load-use hazard window while the hart is descheduled *)
+  mutable hx_parked : bool;
+      (** parked in WFI (pc already past it); the scheduler wakes the
+          hart when an enabled interrupt becomes pending *)
+}
+
 type t = {
-  state : Arch_state.t;
+  mutable state : Arch_state.t;
+      (** alias of the current hart's state ([harts.(cur)]); constant
+          on a single-hart machine *)
   bus : S4e_mem.Bus.t;
   uart : S4e_soc.Uart.t;
   clint : S4e_soc.Clint.t;
@@ -94,10 +126,13 @@ type t = {
           at interrupt-sampling points when [config.device_plane] *)
   dma : S4e_soc.Dma.t;
   vnet : S4e_soc.Vnet.t;
+  plic : S4e_soc.Plic.t;
+      (** external-interrupt router; transparent (legacy hart-0 MEIP
+          wiring) until the guest enables a source *)
   hooks : Hooks.t;
   config : config;
   decode32 : word -> S4e_isa.Instr.t option;
-  tb : Tb_cache.t;
+  mutable tb : Tb_cache.t;  (** alias of the current hart's TB cache *)
   mutable last_load_mask : int;
       (** load-use hazard window of the previous retired instruction as
           an {!S4e_isa.Instr.source_mask}-encoded destination bitmask
@@ -117,10 +152,16 @@ type t = {
   exit_dirty : bool ref;
       (** set by the syscon write notifier; [run] polls the device's
           exit code only when this is set *)
-  lower_ctx : Lower.ctx;
+  mutable lower_ctx : Lower.ctx;
   mutable sb : Superblock.t option;
       (** the superblock trace engine; [None] when [config.superblocks]
           is off (or the lowered engine is unavailable) *)
+  harts : hart array;
+  mutable cur : int;  (** index of the hart the alias fields track *)
+  mutable rr : int;
+      (** round-robin scheduling pointer (next hart to consider);
+          persists across [run] calls so staged-fuel runs interleave
+          exactly like uninterrupted ones *)
   mutable profiler : S4e_obs.Profile.t option;
       (** per-block hot-spot attribution; prefer {!set_profiler} *)
   mutable recorder : S4e_obs.Flight_recorder.t option;
@@ -203,15 +244,32 @@ val set_uart_sink : t -> (string -> unit) option -> unit
     [run] flushes it at every stop. *)
 
 val reset : t -> pc:word -> unit
-(** Architectural reset (registers, CSRs, CLINT, syscon); memory, the
-    TB cache, and hooks are preserved. *)
+(** Architectural reset (registers, CSRs, CLINT, PLIC, syscon) of every
+    hart; all harts restart at [pc] (SMP guests branch on [mhartid]).
+    Memory, the TB caches, and hooks are preserved. *)
 
 val run : t -> fuel:int -> stop_reason
 (** Executes at most [fuel] instructions.  Interrupts are sampled at
     translation-block boundaries (as in QEMU) on every engine —
-    including single-step mode, which reconstructs the boundaries. *)
+    including single-step mode, which reconstructs the boundaries.
+
+    On a multi-hart machine, fuel is dealt to the harts round-robin in
+    [config.hart_slice]-sized quanta; a hart that executes WFI with no
+    enabled pending interrupt parks until one arrives (e.g. a
+    cross-hart MSIP IPI), virtual time fast-forwards only when every
+    hart is parked, and [Wfi_halt] means no hart can ever wake.  The
+    interleaving is a pure function of (program, fuel, slice) —
+    identical on every engine. *)
+
+val switch_to : t -> int -> unit
+(** Point the alias fields ([state], [tb], …) at the given hart.  Only
+    legal between [run] calls; [run] schedules harts itself. *)
+
+val hart_count : t -> int
 
 val instret : t -> int
+(** Sum over all harts (the hart's own counter on a 1-hart machine). *)
+
 val cycles : t -> int
 
 val uart_output : t -> string
@@ -245,15 +303,22 @@ val restore : t -> snapshot -> unit
     cache.  [run] can then resume as if execution had never left the
     snapshot point. *)
 
-val state_digest : ?include_time:bool -> t -> string
+val state_digest : ?include_time:bool -> ?include_instret:bool -> t -> string
 (** Digest of the complete snapshot-visible state (registers, CSRs,
-    cycle/instret, RAM, UART output, CLINT, GPIO).  Two machines with
-    equal digests behave identically from this point on (absent hook
-    interference) — the fault campaign's early-convergence check.
+    cycle/instret, RAM, UART output, CLINT, GPIO) of every hart.  Two
+    machines with equal digests behave identically from this point on
+    (absent hook interference) — the fault campaign's early-convergence
+    check.  A one-hart machine with an untouched PLIC hashes exactly
+    the pre-SMP byte stream.
 
-    [~include_time:false] omits the cycle counter and the CLINT mtime
+    [~include_time:false] omits the cycle counters and the CLINT mtime
     register.  Two machines with equal relaxed digests then execute the
     same instruction stream from this point on {e provided} neither run
     ever observes time (reads a cycle/time CSR, sleeps on WFI, takes a
     timer interrupt or loads from the CLINT window) — the caller is
-    responsible for establishing that.  Defaults to [true]. *)
+    responsible for establishing that.  Defaults to [true].
+
+    [~include_instret:false] additionally omits the retired-instruction
+    counters — the comparison the SMP slice-invariance tests use, since
+    spin-loop iteration counts legitimately vary with the scheduling
+    quantum while the architectural outcome must not. *)

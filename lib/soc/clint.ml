@@ -1,41 +1,68 @@
+(* CLINT with one MSIP/MTIMECMP pair per hart over a single shared
+   MTIME.  Hart 0's registers sit at the classic SiFive offsets, so a
+   single-hart platform is bit-compatible with the previous
+   implementation. *)
+
 type t = {
   mutable mtime : int;
-  mutable mtimecmp : int;
-  mutable msip : bool;
-  (* fired on every MTIMECMP change with the new value, so the machine
-     can keep its event wheel's timer deadline in sync *)
+  mtimecmp : int array; (* per hart *)
+  msip : bool array; (* per hart *)
+  (* fired on every MTIMECMP change with the new minimum over all
+     harts, so the machine can keep its event wheel's timer deadline in
+     sync *)
   mutable on_timecmp : int -> unit;
 }
 
-let create () =
-  { mtime = 0; mtimecmp = max_int; msip = false; on_timecmp = ignore }
+let create ?(harts = 1) () =
+  let harts = max 1 harts in
+  { mtime = 0; mtimecmp = Array.make harts max_int;
+    msip = Array.make harts false; on_timecmp = ignore }
 
+let harts t = Array.length t.msip
 let set_on_timecmp t f = t.on_timecmp <- f
+
+let next_timecmp t = Array.fold_left min max_int t.mtimecmp
 
 let lo32 v = v land 0xFFFF_FFFF
 let hi32 v = (v lsr 32) land 0x7FFF_FFFF
 
 let read t offset _size =
-  match offset with
-  | 0x0000 -> if t.msip then 1 else 0
-  | 0x4000 -> lo32 t.mtimecmp
-  | 0x4004 -> hi32 t.mtimecmp
-  | 0xBFF8 -> lo32 t.mtime
-  | 0xBFFC -> hi32 t.mtime
-  | _ -> 0
+  if offset >= 0xBFF8 then
+    if offset = 0xBFF8 then lo32 t.mtime
+    else if offset = 0xBFFC then hi32 t.mtime
+    else 0
+  else if offset >= 0x4000 then begin
+    let h = (offset - 0x4000) lsr 3 in
+    if h >= harts t then 0
+    else if offset land 7 = 0 then lo32 t.mtimecmp.(h)
+    else if offset land 7 = 4 then hi32 t.mtimecmp.(h)
+    else 0
+  end
+  else begin
+    let h = offset lsr 2 in
+    if h < harts t && offset land 3 = 0 then (if t.msip.(h) then 1 else 0)
+    else 0
+  end
 
 let write t offset _size v =
-  match offset with
-  | 0x0000 -> t.msip <- v land 1 = 1
-  | 0x4000 ->
-      t.mtimecmp <- (t.mtimecmp land lnot 0xFFFF_FFFF) lor lo32 v;
-      t.on_timecmp t.mtimecmp
-  | 0x4004 ->
-      t.mtimecmp <- lo32 t.mtimecmp lor (lo32 v lsl 32);
-      t.on_timecmp t.mtimecmp
-  | 0xBFF8 -> t.mtime <- (t.mtime land lnot 0xFFFF_FFFF) lor lo32 v
-  | 0xBFFC -> t.mtime <- lo32 t.mtime lor (lo32 v lsl 32)
-  | _ -> ()
+  if offset >= 0xBFF8 then begin
+    if offset = 0xBFF8 then t.mtime <- (t.mtime land lnot 0xFFFF_FFFF) lor lo32 v
+    else if offset = 0xBFFC then t.mtime <- lo32 t.mtime lor (lo32 v lsl 32)
+  end
+  else if offset >= 0x4000 then begin
+    let h = (offset - 0x4000) lsr 3 in
+    if h < harts t then begin
+      if offset land 7 = 0 then
+        t.mtimecmp.(h) <- (t.mtimecmp.(h) land lnot 0xFFFF_FFFF) lor lo32 v
+      else if offset land 7 = 4 then
+        t.mtimecmp.(h) <- lo32 t.mtimecmp.(h) lor (lo32 v lsl 32);
+      t.on_timecmp (next_timecmp t)
+    end
+  end
+  else begin
+    let h = offset lsr 2 in
+    if h < harts t && offset land 3 = 0 then t.msip.(h) <- v land 1 = 1
+  end
 
 let device t ~base =
   { S4e_mem.Bus.dev_name = "clint"; dev_base = base; dev_len = 0x10000;
@@ -43,26 +70,34 @@ let device t ~base =
 
 let tick t n = t.mtime <- t.mtime + n
 let time t = t.mtime
-let set_timecmp t v =
-  t.mtimecmp <- v;
-  t.on_timecmp v
-let timecmp t = t.mtimecmp
-let timer_pending t = t.mtime >= t.mtimecmp
-let software_pending t = t.msip
+
+let set_timecmp ?(hart = 0) t v =
+  t.mtimecmp.(hart) <- v;
+  t.on_timecmp (next_timecmp t)
+
+let timecmp ?(hart = 0) t = t.mtimecmp.(hart)
+let timer_pending ?(hart = 0) t = t.mtime >= t.mtimecmp.(hart)
+let software_pending ?(hart = 0) t = t.msip.(hart)
+let set_msip t ~hart v = t.msip.(hart) <- v
 
 let reset t =
   t.mtime <- 0;
-  t.mtimecmp <- max_int;
-  t.msip <- false;
-  t.on_timecmp t.mtimecmp
+  Array.fill t.mtimecmp 0 (harts t) max_int;
+  Array.fill t.msip 0 (harts t) false;
+  t.on_timecmp max_int
 
-type snapshot = { snap_mtime : int; snap_mtimecmp : int; snap_msip : bool }
+type snapshot = {
+  snap_mtime : int;
+  snap_mtimecmp : int array;
+  snap_msip : bool array;
+}
 
 let snapshot t =
-  { snap_mtime = t.mtime; snap_mtimecmp = t.mtimecmp; snap_msip = t.msip }
+  { snap_mtime = t.mtime; snap_mtimecmp = Array.copy t.mtimecmp;
+    snap_msip = Array.copy t.msip }
 
 let restore t s =
   t.mtime <- s.snap_mtime;
-  t.mtimecmp <- s.snap_mtimecmp;
-  t.msip <- s.snap_msip;
-  t.on_timecmp t.mtimecmp
+  Array.blit s.snap_mtimecmp 0 t.mtimecmp 0 (harts t);
+  Array.blit s.snap_msip 0 t.msip 0 (harts t);
+  t.on_timecmp (next_timecmp t)

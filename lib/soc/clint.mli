@@ -1,19 +1,25 @@
-(** CLINT-style core-local interruptor: machine timer and software
-    interrupt.
+(** CLINT-style core-local interruptor: machine timer plus one
+    MSIP/MTIMECMP pair per hart over a single shared MTIME.
 
     Register map (byte offsets, as in the SiFive CLINT):
-    - [0x0000] MSIP: software interrupt pending (bit 0).
-    - [0x4000] MTIMECMP (low), [0x4004] MTIMECMP (high).
+    - [0x0000 + 4*h] MSIP for hart [h]: software interrupt pending
+      (bit 0) — the cross-hart IPI doorbell.
+    - [0x4000 + 8*h] MTIMECMP for hart [h] (low), [+4] (high).
     - [0xBFF8] MTIME (low), [0xBFFC] MTIME (high).
 
-    The machine advances MTIME via {!tick} (one tick per retired
-    instruction by default, a common virtual-prototype simplification)
-    and polls {!timer_pending} / {!software_pending} to drive the
-    [mip.MTIP]/[mip.MSIP] bits. *)
+    Hart 0's registers are at the classic single-hart offsets, so a
+    one-hart platform is bit-compatible with the pre-SMP device.
+
+    The machine advances MTIME via {!tick} (one tick per retired cycle)
+    and polls {!timer_pending} / {!software_pending} per hart to drive
+    each hart's [mip.MTIP]/[mip.MSIP] bits. *)
 
 type t
 
-val create : unit -> t
+val create : ?harts:int -> unit -> t
+(** [harts] defaults to 1 and is clamped to at least 1. *)
+
+val harts : t -> int
 val device : t -> base:S4e_bits.Bits.word -> S4e_mem.Bus.device
 
 val tick : t -> int -> unit
@@ -22,18 +28,27 @@ val tick : t -> int -> unit
 val time : t -> int
 (** Current MTIME (64-bit value in a native int). *)
 
-val set_timecmp : t -> int -> unit
+val set_timecmp : ?hart:int -> t -> int -> unit
 
 val set_on_timecmp : t -> (int -> unit) -> unit
-(** Hook fired with the new MTIMECMP after every change (MMIO write,
-    {!set_timecmp}, {!reset}, {!restore}); the machine uses it to keep
-    the event wheel's timer deadline in sync.  Default: [ignore]. *)
+(** Hook fired after every MTIMECMP change (MMIO write, {!set_timecmp},
+    {!reset}, {!restore}) with the new {e minimum} MTIMECMP over all
+    harts; the machine uses it to keep the event wheel's timer deadline
+    in sync.  Default: [ignore]. *)
 
-val timecmp : t -> int
-val timer_pending : t -> bool
-val software_pending : t -> bool
+val next_timecmp : t -> int
+(** Minimum MTIMECMP over all harts ([max_int] when none armed). *)
+
+val timecmp : ?hart:int -> t -> int
+val timer_pending : ?hart:int -> t -> bool
+val software_pending : ?hart:int -> t -> bool
+
+val set_msip : t -> hart:int -> bool -> unit
+(** Host-side IPI doorbell (tests); guests use the MMIO register. *)
+
 val reset : t -> unit
 
 type snapshot
+
 val snapshot : t -> snapshot
 val restore : t -> snapshot -> unit

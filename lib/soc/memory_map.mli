@@ -6,6 +6,7 @@
 
 val ram_base : int
 val clint_base : int
+val plic_base : int
 val uart_base : int
 val syscon_base : int
 val gpio_base : int

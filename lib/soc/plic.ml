@@ -1,0 +1,183 @@
+(* Platform-level interrupt controller: routes the event wheel's
+   aggregated device IRQ lines to per-hart MEIP with the standard
+   priority / enable / threshold / claim / complete register file.
+
+   Wheel line [l] appears as PLIC source [l + 1] (source 0 is reserved,
+   as in the spec).  Level-triggered with a claim gateway: a claimed
+   source stops asserting until the matching completion, even while its
+   line stays high.
+
+   Until a guest writes any PLIC register the controller is inactive
+   ([routed] is false) and the machine falls back to the legacy wiring
+   — wheel lines OR-ed straight into hart 0's MEIP — so single-hart
+   digests are unchanged by the device's existence. *)
+
+type t = {
+  nharts : int;
+  priority : int array; (* per source; source 0 pinned to 0 *)
+  enable : int array; (* per hart: source bitmask *)
+  threshold : int array; (* per hart *)
+  mutable served : int; (* claimed-but-not-completed source bitmask *)
+  mutable routed : bool; (* any enable bit set: PLIC owns MEIP routing *)
+  mutable touched : bool; (* any register ever written since reset *)
+  mutable line_source : unit -> int; (* pulls the wheel's level lines *)
+}
+
+let nsources = 32 (* sources 1..31 <- wheel lines 0..30 *)
+
+let create ?(harts = 1) () =
+  let harts = max 1 harts in
+  { nharts = harts; priority = Array.make nsources 0;
+    enable = Array.make harts 0; threshold = Array.make harts 0; served = 0;
+    routed = false; touched = false; line_source = (fun () -> 0) }
+
+let harts t = t.nharts
+let set_line_source t f = t.line_source <- f
+let routed t = t.routed
+let active t = t.touched || t.served <> 0
+
+(* Source pending bitmask: raised lines shifted onto source ids, minus
+   claims in flight.  Source 0 never pends. *)
+let pending t =
+  (t.line_source () lsl 1) land lnot t.served land lnot 1
+  land ((1 lsl nsources) - 1)
+
+let update_routed t =
+  t.routed <- Array.exists (fun e -> e <> 0) t.enable
+
+(* Highest-priority pending+enabled source for a hart (lowest id wins
+   ties, as in the spec); returns [(source, priority)] or [(0, 0)]. *)
+let best t hart =
+  let cand = pending t land t.enable.(hart) in
+  let best_s = ref 0 and best_p = ref 0 in
+  let m = ref cand in
+  while !m <> 0 do
+    let s = (!m land - !m) in
+    let id =
+      (* index of the isolated bit *)
+      let rec idx b n = if b = 1 then n else idx (b lsr 1) (n + 1) in
+      idx s 0
+    in
+    if t.priority.(id) > !best_p then begin
+      best_p := t.priority.(id);
+      best_s := id
+    end;
+    m := !m land lnot s
+  done;
+  (!best_s, !best_p)
+
+let meip t hart =
+  let _, p = best t hart in
+  p > t.threshold.(hart)
+
+let claim t hart =
+  let s, p = best t hart in
+  if s <> 0 && p > 0 then begin
+    t.served <- t.served lor (1 lsl s);
+    s
+  end
+  else 0
+
+let complete t hart s =
+  if s > 0 && s < nsources && t.enable.(hart) land (1 lsl s) <> 0 then
+    t.served <- t.served land lnot (1 lsl s)
+
+(* MMIO layout (byte offsets, following the SiFive PLIC):
+   - [0x000000 + 4*s]      priority for source [s]
+   - [0x001000]            pending bitmask, sources 31:0 (read-only)
+   - [0x002000 + 0x80*h]   enable bitmask for hart [h], sources 31:0
+   - [0x200000 + 0x1000*h] priority threshold for hart [h]
+   - [0x200004 + 0x1000*h] claim (read) / complete (write) for hart [h] *)
+
+let read t offset _size =
+  if offset < 0x1000 then
+    let s = offset lsr 2 in
+    if offset land 3 = 0 && s < nsources then t.priority.(s) else 0
+  else if offset = 0x1000 then pending t
+  else if offset >= 0x2000 && offset < 0x2000 + (0x80 * t.nharts) then
+    if (offset - 0x2000) land 0x7F = 0 then t.enable.((offset - 0x2000) lsr 7)
+    else 0
+  else if offset >= 0x200000 then begin
+    let h = (offset - 0x200000) lsr 12 in
+    if h >= t.nharts then 0
+    else
+      match (offset - 0x200000) land 0xFFF with
+      | 0 -> t.threshold.(h)
+      | 4 -> claim t h
+      | _ -> 0
+  end
+  else 0
+
+let write t offset _size v =
+  let v = v land 0xFFFF_FFFF in
+  if offset < 0x1000 then begin
+    let s = offset lsr 2 in
+    if offset land 3 = 0 && s > 0 && s < nsources then begin
+      t.priority.(s) <- v land 7;
+      t.touched <- true
+    end
+  end
+  else if offset >= 0x2000 && offset < 0x2000 + (0x80 * t.nharts) then begin
+    if (offset - 0x2000) land 0x7F = 0 then begin
+      (* source 0 can never be enabled *)
+      t.enable.((offset - 0x2000) lsr 7) <- v land lnot 1;
+      t.touched <- true;
+      update_routed t
+    end
+  end
+  else if offset >= 0x200000 then begin
+    let h = (offset - 0x200000) lsr 12 in
+    if h < t.nharts then
+      match (offset - 0x200000) land 0xFFF with
+      | 0 ->
+          t.threshold.(h) <- v land 7;
+          t.touched <- true
+      | 4 -> complete t h v
+      | _ -> ()
+  end
+
+let device t ~base =
+  { S4e_mem.Bus.dev_name = "plic"; dev_base = base; dev_len = 0x400000;
+    dev_read = read t; dev_write = write t }
+
+let reset t =
+  Array.fill t.priority 0 nsources 0;
+  Array.fill t.enable 0 t.nharts 0;
+  Array.fill t.threshold 0 t.nharts 0;
+  t.served <- 0;
+  t.routed <- false;
+  t.touched <- false
+
+let digest t =
+  let b = Buffer.create 64 in
+  let add v =
+    Buffer.add_string b (string_of_int v);
+    Buffer.add_char b ','
+  in
+  Array.iter add t.priority;
+  Array.iter add t.enable;
+  Array.iter add t.threshold;
+  add t.served;
+  add (if t.touched then 1 else 0);
+  Buffer.contents b
+
+type snapshot = {
+  snap_priority : int array;
+  snap_enable : int array;
+  snap_threshold : int array;
+  snap_served : int;
+  snap_touched : bool;
+}
+
+let snapshot t =
+  { snap_priority = Array.copy t.priority; snap_enable = Array.copy t.enable;
+    snap_threshold = Array.copy t.threshold; snap_served = t.served;
+    snap_touched = t.touched }
+
+let restore t s =
+  Array.blit s.snap_priority 0 t.priority 0 nsources;
+  Array.blit s.snap_enable 0 t.enable 0 t.nharts;
+  Array.blit s.snap_threshold 0 t.threshold 0 t.nharts;
+  t.served <- s.snap_served;
+  t.touched <- s.snap_touched;
+  update_routed t

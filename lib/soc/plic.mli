@@ -1,0 +1,54 @@
+(** Platform-level interrupt controller (PLIC).
+
+    Routes the {!Event_wheel}'s aggregated device IRQ lines to per-hart
+    [mip.MEIP] through the standard priority / enable / threshold /
+    claim / complete register file.  Wheel line [l] is PLIC source
+    [l + 1] (source 0 is reserved).  Level-triggered with a claim
+    gateway: a claimed source stops asserting until completion.
+
+    Register map (byte offsets from [Memory_map.plic_base]):
+    - [0x000000 + 4*s]: priority for source [s] (3 bits; 0 = masked)
+    - [0x001000]: pending bitmask over sources 31:0 (read-only)
+    - [0x002000 + 0x80*h]: enable bitmask for hart [h]
+    - [0x200000 + 0x1000*h]: priority threshold for hart [h]
+    - [0x200004 + 0x1000*h]: claim (read) / complete (write) for [h]
+
+    Until the guest enables a source ({!routed} false), the machine
+    keeps the legacy wiring — wheel lines OR-ed into hart 0's MEIP —
+    so pre-SMP guests and their digests are unchanged. *)
+
+type t
+
+val create : ?harts:int -> unit -> t
+val harts : t -> int
+val device : t -> base:S4e_bits.Bits.word -> S4e_mem.Bus.device
+
+val set_line_source : t -> (unit -> int) -> unit
+(** Installs the pull closure for the level inputs (the machine points
+    it at {!Event_wheel.irq_pending}).  Default: constant 0. *)
+
+val routed : t -> bool
+(** True while any enable bit is set: the PLIC owns MEIP routing. *)
+
+val active : t -> bool
+(** True once the guest has written any PLIC register (or a claim is in
+    flight) — gates the digest contribution so untouched machines keep
+    their pre-PLIC digests. *)
+
+val meip : t -> int -> bool
+(** [meip t hart]: does any pending+enabled source exceed the hart's
+    threshold? *)
+
+val claim : t -> int -> int
+(** Claim the highest-priority pending+enabled source for a hart
+    (0 = none); the source stops pending until {!complete}. *)
+
+val complete : t -> int -> int -> unit
+
+val reset : t -> unit
+val digest : t -> string
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit

@@ -1,0 +1,158 @@
+(* SMP torture workloads: small hand-written multi-hart programs whose
+   final architectural state is a pure function of (harts, rounds) —
+   independent of the scheduler's slice size and of the execution
+   engine — so they can serve as differential oracles for the SMP
+   machine.
+
+   Determinism is engineered, not accidental:
+
+   - The spinlock program parks finished harts in a one-instruction
+     self-loop whose architectural state is a fixed point: the last
+     side-effecting instruction before the loop is an [amoadd.w] with
+     [rd = x0], so a hart preempted between the AMO and the jump is
+     byte-identical to one already spinning in it.  Registers are
+     normalized first.  Spinning still burns cycles, so cross-slice
+     comparisons must drop [cycle]/[instret]/[mtime]
+     ([include_time:false] [include_instret:false]); cross-engine
+     comparisons at a fixed slice can use the full digest.
+
+   - The IPI ring holds exactly one token (an MSIP bit) at a time, and
+     harts wait in WFI with only MSIE enabled and [mstatus.MIE] clear,
+     so a waiting hart retires the [wfi] exactly once per wake and
+     resumes without trapping.  Every hart's instruction stream — and
+     therefore even [instret] and the shared [mtime] — is fully
+     determined, making the final full digest slice-invariant too. *)
+
+let asm name src =
+  match S4e_asm.Assembler.assemble src with
+  | Ok p -> (name, p)
+  | Error e ->
+      failwith
+        (Format.asprintf "smp program %s: %a" name S4e_asm.Assembler.pp_error e)
+
+(* Every hart increments a shared counter [rounds] times under an
+   amoswap spinlock, then bumps a done-counter; hart 0 waits for all
+   harts and exits with status [counter - harts*rounds] (0 iff the
+   lock excluded every lost update). *)
+let spinlock ~harts ~rounds =
+  let name = Printf.sprintf "smp-spinlock-%dx%d" harts rounds in
+  asm name
+    (Printf.sprintf
+       {|
+_start:
+  csrr t0, mhartid
+  la   s0, lock
+  la   s1, counter
+  la   s2, done_ctr
+  li   s3, %d
+loop:
+  li   t1, 1
+acquire:
+  amoswap.w t2, t1, (s0)
+  bne  t2, x0, acquire
+  lw   t3, 0(s1)
+  addi t3, t3, 1
+  sw   t3, 0(s1)
+  sw   x0, 0(s0)
+  addi s3, s3, -1
+  bne  s3, x0, loop
+  li   t1, 1
+  bne  t0, x0, finish_other
+  amoadd.w x0, t1, (s2)
+wait_done:
+  lw   t4, 0(s2)
+  li   t5, %d
+  bne  t4, t5, wait_done
+  lw   a0, 0(s1)
+  li   a1, %d
+  sub  a0, a0, a1
+  li   t1, 0x00100000
+  sw   a0, 0(t1)
+halt0:
+  j halt0
+finish_other:
+  # Normalize before the done-increment: after the amoadd (rd = x0)
+  # the state is a fixed point of the halt loop, so the digest cannot
+  # depend on where the scheduler preempts this hart.
+  li   t0, 0
+  li   t2, 0
+  li   t3, 0
+  li   s0, 0
+  li   s1, 0
+  li   s3, 0
+  amoadd.w x0, t1, (s2)
+halt:
+  j halt
+  .data
+lock:
+  .word 0
+counter:
+  .word 0
+done_ctr:
+  .word 0
+|}
+       rounds harts (harts * rounds))
+
+(* A single MSIP token circulates hart 0 -> 1 -> ... -> N-1 -> 0 for
+   [harts * rounds] hops; waiters park in WFI.  The hart holding the
+   final hop exits with status [hops - total] (0 on success).  Only
+   MSIE is enabled and mstatus.MIE stays clear, so WFI wake-up resumes
+   inline rather than trapping. *)
+let ipi_ring ~harts ~rounds =
+  let name = Printf.sprintf "smp-ipi-ring-%dx%d" harts rounds in
+  asm name
+    (Printf.sprintf
+       {|
+_start:
+  csrr t0, mhartid
+  li   s0, 0x02000000
+  la   s1, hops
+  li   s2, %d
+  slli t1, t0, 2
+  add  s3, s0, t1
+  addi t2, t0, 1
+  li   t3, %d
+  blt  t2, t3, nowrap
+  li   t2, 0
+nowrap:
+  slli t1, t2, 2
+  add  s4, s0, t1
+  li   t1, 8
+  csrw mie, t1
+  bne  t0, x0, wait
+  li   t1, 1
+  sw   t1, 0(s3)
+wait:
+  lw   t4, 0(s3)
+  bne  t4, x0, got
+  wfi
+  j    wait
+got:
+  sw   x0, 0(s3)
+  lw   t5, 0(s1)
+  addi t5, t5, 1
+  sw   t5, 0(s1)
+  beq  t5, s2, finish
+  li   t1, 1
+  sw   t1, 0(s4)
+  j    wait
+finish:
+  sub  a0, t5, s2
+  li   t1, 0x00100000
+  sw   a0, 0(t1)
+halt:
+  j halt
+  .data
+hops:
+  .word 0
+|}
+       (harts * rounds) harts)
+
+let suite ~harts ~rounds =
+  [ spinlock ~harts ~rounds; ipi_ring ~harts ~rounds ]
+
+let fuel ~harts ~rounds =
+  (* Generous: the spinlock's contention and self-loop spinning scale
+     with harts * rounds * slice; 4 harts x 64 rounds stays far below
+     this bound even at slice 4096. *)
+  200_000 + (harts * rounds * 20_000)

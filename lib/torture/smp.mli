@@ -1,0 +1,31 @@
+(** Deterministic multi-hart torture workloads.
+
+    Both programs finish with an architectural state that is a pure
+    function of [(harts, rounds)]:
+
+    - {!spinlock}: every hart increments a shared counter [rounds]
+      times under an [amoswap.w] lock; hart 0 exits with status
+      [counter - harts*rounds] (0 iff no update was lost).  Finished
+      harts spin in a one-instruction self-loop whose state is a fixed
+      point, so digests with [include_time:false] and
+      [include_instret:false] are invariant under the scheduler's slice
+      size; full digests agree across engines at any fixed slice.
+
+    - {!ipi_ring}: one MSIP token circulates through all harts for
+      [harts * rounds] hops; waiters park in WFI with only MSIE
+      enabled.  Every hart's instruction stream is fully determined,
+      so even the {e full} digest (time and instret included) is
+      slice-invariant.
+
+    Both also run correctly — and stay deterministic — at [harts = 1],
+    anchoring single-hart no-regression checks. *)
+
+val spinlock : harts:int -> rounds:int -> string * S4e_asm.Program.t
+val ipi_ring : harts:int -> rounds:int -> string * S4e_asm.Program.t
+
+val suite : harts:int -> rounds:int -> (string * S4e_asm.Program.t) list
+(** [[spinlock; ipi_ring]]. *)
+
+val fuel : harts:int -> rounds:int -> int
+(** An instruction budget sufficient for either program at any slice
+    size up to 4096. *)

@@ -457,6 +457,101 @@ let test_uart_sink_threshold () =
   Alcotest.(check int) "threshold flush" 1 (List.length !chunks);
   Alcotest.(check int) "256 bytes" 256 (String.length (List.hd !chunks))
 
+(* ---------------- multi-hart CLINT ---------------- *)
+
+let test_clint_multihart () =
+  let c = Clint.create ~harts:2 () in
+  let d = Clint.device c ~base:0 in
+  (* msip registers are 4 bytes apart, one per hart *)
+  d.Bus.dev_write 4 4 1;
+  Alcotest.(check bool) "msip hart1 set" true (Clint.software_pending ~hart:1 c);
+  Alcotest.(check bool) "msip hart0 clear" false (Clint.software_pending c);
+  Alcotest.(check int) "msip hart1 reads back" 1 (d.Bus.dev_read 4 4);
+  (* mtimecmp pairs are 8 bytes apart from 0x4000 *)
+  d.Bus.dev_write 0x4008 4 500;
+  d.Bus.dev_write 0x400C 4 0;
+  Alcotest.(check int) "timecmp hart1" 500 (Clint.timecmp ~hart:1 c);
+  Alcotest.(check bool) "timecmp hart0 untouched" true
+    (Clint.timecmp c = max_int);
+  Clint.tick c 600;
+  Alcotest.(check bool) "timer hart1 pending" true
+    (Clint.timer_pending ~hart:1 c);
+  Alcotest.(check bool) "timer hart0 idle" false (Clint.timer_pending c);
+  Alcotest.(check int) "next_timecmp is the minimum" 500 (Clint.next_timecmp c)
+
+(* ---------------- PLIC ---------------- *)
+
+module Plic = S4e_soc.Plic
+
+let test_plic_routing () =
+  let lines = ref 0 in
+  let p = Plic.create ~harts:2 () in
+  Plic.set_line_source p (fun () -> !lines);
+  Alcotest.(check bool) "inactive until written" false (Plic.active p);
+  Alcotest.(check bool) "not routed" false (Plic.routed p);
+  let d = Plic.device p ~base:0 in
+  (* wheel line 0 = source 1: priority 3, enabled for hart 1 only *)
+  d.Bus.dev_write 0x4 4 3;
+  d.Bus.dev_write (0x2000 + 0x80) 4 0x2;
+  Alcotest.(check bool) "routed once enabled" true (Plic.routed p);
+  Alcotest.(check bool) "active once written" true (Plic.active p);
+  Alcotest.(check bool) "no line, no meip" false (Plic.meip p 1);
+  lines := 1;
+  Alcotest.(check bool) "meip hart1" true (Plic.meip p 1);
+  Alcotest.(check bool) "hart0 not enabled" false (Plic.meip p 0);
+  Alcotest.(check int) "pending register" 0x2 (d.Bus.dev_read 0x1000 4)
+
+let test_plic_claim_complete () =
+  let lines = ref 0 in
+  let p = Plic.create () in
+  Plic.set_line_source p (fun () -> !lines);
+  let d = Plic.device p ~base:0 in
+  d.Bus.dev_write 0x4 4 1;
+  d.Bus.dev_write 0x8 4 2;
+  d.Bus.dev_write 0x2000 4 0x6;
+  lines := 0b11;
+  (* highest priority claimed first; claimed sources stop asserting *)
+  Alcotest.(check int) "claim highest" 2 (d.Bus.dev_read 0x200004 4);
+  Alcotest.(check bool) "source 1 still pends" true (Plic.meip p 0);
+  Alcotest.(check int) "claim next" 1 (d.Bus.dev_read 0x200004 4);
+  Alcotest.(check bool) "all claimed" false (Plic.meip p 0);
+  Alcotest.(check int) "claim when empty" 0 (d.Bus.dev_read 0x200004 4);
+  (* completion re-arms the level-triggered line *)
+  d.Bus.dev_write 0x200004 4 2;
+  d.Bus.dev_write 0x200004 4 1;
+  Alcotest.(check bool) "meip after complete" true (Plic.meip p 0)
+
+let test_plic_threshold () =
+  let p = Plic.create () in
+  Plic.set_line_source p (fun () -> 1);
+  let d = Plic.device p ~base:0 in
+  d.Bus.dev_write 0x4 4 2;
+  d.Bus.dev_write 0x2000 4 0x2;
+  Alcotest.(check bool) "above threshold 0" true (Plic.meip p 0);
+  d.Bus.dev_write 0x200000 4 2;
+  Alcotest.(check bool) "masked at threshold = priority" false (Plic.meip p 0);
+  d.Bus.dev_write 0x200000 4 1;
+  Alcotest.(check bool) "visible again" true (Plic.meip p 0)
+
+let test_plic_snapshot () =
+  let p = Plic.create ~harts:2 () in
+  Plic.set_line_source p (fun () -> 1);
+  let d = Plic.device p ~base:0 in
+  d.Bus.dev_write 0x4 4 3;
+  d.Bus.dev_write 0x2000 4 0x2;
+  let claimed = d.Bus.dev_read 0x200004 4 in
+  Alcotest.(check int) "claimed source 1" 1 claimed;
+  let s = Plic.snapshot p in
+  let dg = Plic.digest p in
+  d.Bus.dev_write 0x200004 4 1;
+  d.Bus.dev_write 0x200000 4 5;
+  Alcotest.(check bool) "digest moved" true (Plic.digest p <> dg);
+  Plic.restore p s;
+  Alcotest.(check string) "digest restored" dg (Plic.digest p);
+  Alcotest.(check bool) "claim still in flight" false (Plic.meip p 0);
+  Plic.reset p;
+  Alcotest.(check bool) "reset deactivates" false (Plic.active p)
+
 let () =
   Alcotest.run "soc"
     [ ( "devices",
@@ -465,6 +560,7 @@ let () =
           Alcotest.test_case "uart rx" `Quick test_uart_rx;
           Alcotest.test_case "clint timer" `Quick test_clint_timer;
           Alcotest.test_case "clint registers" `Quick test_clint_registers;
+          Alcotest.test_case "clint multi-hart" `Quick test_clint_multihart;
           Alcotest.test_case "gpio" `Quick test_gpio;
           Alcotest.test_case "syscon" `Quick test_syscon;
           Alcotest.test_case "memory map disjoint" `Quick
@@ -490,6 +586,12 @@ let () =
           Alcotest.test_case "burst length clamped" `Quick
             test_dma_burst_len_clamped;
           Alcotest.test_case "notify range" `Quick test_dma_notify_range ] );
+      ( "plic",
+        [ Alcotest.test_case "routing" `Quick test_plic_routing;
+          Alcotest.test_case "claim/complete" `Quick test_plic_claim_complete;
+          Alcotest.test_case "threshold" `Quick test_plic_threshold;
+          Alcotest.test_case "snapshot/restore/reset" `Quick
+            test_plic_snapshot ] );
       ( "vnet",
         [ Alcotest.test_case "stream pure" `Quick test_vnet_stream_pure;
           Alcotest.test_case "rx deliver and drop" `Quick
