@@ -1,5 +1,5 @@
 (* The experiment harness: regenerates every table and figure of the
-   reproduction (E1..E18, see DESIGN.md for the per-experiment index and
+   reproduction (E1..E20, see DESIGN.md for the per-experiment index and
    EXPERIMENTS.md for paper-vs-measured).
 
    Usage:  dune exec bench/main.exe                    # all experiments
@@ -1750,11 +1750,230 @@ let e19 () =
      translated code on every hart and break other harts' reservations; \
      digests gated above)\n"
 
+(* ------------------------------------------------------------------ *)
+(* E20: campaign fleet scale-out                                        *)
+
+let e20 () =
+  section "E20" "campaign fleet: shard-leasing workers vs one process";
+  let module F = S4e_fleet in
+  let module J = F.Json in
+  let module Fault = S4e_fault.Fault in
+  let module Campaign = S4e_fault.Campaign in
+  let module Journal = S4e_fault.Journal in
+  let src =
+    {|
+_start:
+  li   a0, 0
+  li   a1, 1
+  li   a2, 30000
+l:
+  add  a0, a0, a1
+  xor  a3, a0, a1
+  addi a1, a1, 1
+  blt  a1, a2, l
+  li   t1, 0x00100000
+  sw   a0, 0(t1)
+  ebreak
+|}
+  in
+  let p = S4e_asm.Assembler.assemble_exn src in
+  let mutants = 400 and fuel = 600_000 and shards = 8 in
+  let seeds = [ 1; 2 ] in
+  let cfg seed =
+    { Flows.default_fault_config with
+      Flows.ff_seed = seed; ff_mutants = mutants; ff_fuel = fuel;
+      ff_hang_budget = Flows.Hang_fuel;
+      ff_engine = S4e_fault.Campaign.rerun_engine }
+  in
+  (* single-process references: one campaign per job, run back to back
+     (that is what the fleet's 1-worker configuration competes with) *)
+  let t0 = Unix.gettimeofday () in
+  let refs = List.map (fun seed -> (seed, Flows.fault_flow (cfg seed) p)) seeds in
+  let t_ref = Unix.gettimeofday () -. t0 in
+  List.iter
+    (fun (seed, r) ->
+      Printf.printf "reference seed %d: %s\n" seed
+        (Format.asprintf "%a" Campaign.pp_summary r.Flows.ff_summary))
+    refs;
+  (* one fleet run: in-process orchestrator on an ephemeral loopback
+     port, [workers] domains each running the real pull loop over real
+     sockets, both jobs submitted up front, workers drain and exit *)
+  let run_fleet ~workers =
+    let dir = Filename.temp_file "s4e-e20" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o755;
+    let server = F.Server.create ~journal_dir:dir () in
+    match F.Server.start server (F.Http.Tcp ("127.0.0.1", 0)) with
+    | Error e -> failwith ("E20: " ^ e)
+    | Ok addr ->
+        let ctl = F.Client.create addr in
+        let submit seed =
+          let spec =
+            J.Obj
+              [ ("program", J.String "e20-checksum"); ("mutants", J.Int mutants);
+                ("seed", J.Int seed); ("fuel", J.Int fuel);
+                ("engine", J.String "rerun"); ("shards", J.Int shards) ]
+          in
+          match
+            F.Client.request ctl ~meth:"POST" ~path:"/api/jobs" ~body:spec ()
+          with
+          | Ok (200, reply) -> (
+              match J.mem_str "job" reply with
+              | Some id -> (seed, id)
+              | None -> failwith "E20: submit reply without a job id")
+          | Ok (s, r) ->
+              failwith
+                (Printf.sprintf "E20: submit HTTP %d: %s" s (J.to_string r))
+          | Error e -> failwith ("E20: submit: " ^ e)
+        in
+        (* the bench runner closes over the assembled program; the spec
+           carries the campaign shape exactly as [s4e submit] ships it *)
+        let runner ~spec ~shard ~resume ~emit ~cancelled =
+          let seed = Option.value (J.mem_int "seed" spec) ~default:1 in
+          let resume_path =
+            Option.map
+              (fun (header, lines) ->
+                let tmp = Filename.temp_file "s4e-e20-resume" ".jsonl" in
+                let oc = open_out_bin tmp in
+                List.iter
+                  (fun l ->
+                    output_string oc l;
+                    output_char oc '\n')
+                  (header :: lines);
+                close_out oc;
+                tmp)
+              resume
+          in
+          let result =
+            Flows.fault_campaign ~jobs:1 ?resume:resume_path ~shard
+              ~on_journal_line:emit ~cancelled (cfg seed) p
+          in
+          Option.iter
+            (fun f -> try Sys.remove f with Sys_error _ -> ())
+            resume_path;
+          match result with
+          | Error e -> Error e
+          | Ok r when r.Flows.ff_complete -> Ok ()
+          | Ok _ -> Error "cancelled before the shard finished"
+        in
+        let t0 = Unix.gettimeofday () in
+        let jobs = List.map submit seeds in
+        let fleet =
+          List.init workers (fun i ->
+              Domain.spawn (fun () ->
+                  let client = F.Client.create addr in
+                  let r =
+                    F.Worker.run
+                      ~name:(Printf.sprintf "w%d" i)
+                      ~poll_s:0.05 ~drain:true ~client ~runner ()
+                  in
+                  F.Client.close client;
+                  r))
+        in
+        List.iter
+          (fun d ->
+            match Domain.join d with
+            | Error e -> failwith ("E20: worker: " ^ e)
+            | Ok o ->
+                if o.F.Worker.o_shards_failed > 0 then
+                  failwith
+                    (Printf.sprintf "E20: %d shard(s) failed"
+                       o.F.Worker.o_shards_failed))
+          fleet;
+        let dt = Unix.gettimeofday () -. t0 in
+        (* determinism gate (always hard): each job's merged journal
+           must reproduce the single-process campaign exactly - same
+           summary line, same (index, fault, outcome) multiset *)
+        List.iter
+          (fun (seed, job) ->
+            (match
+               F.Client.request ctl ~meth:"GET" ~path:("/api/jobs/" ^ job) ()
+             with
+            | Ok (200, st) when J.mem_str "state" st = Some "done" -> ()
+            | Ok (_, st) ->
+                failwith
+                  (Printf.sprintf "E20: job %s not done: %s" job
+                     (J.to_string st))
+            | Error e -> failwith ("E20: status: " ^ e));
+            let reference = List.assoc seed refs in
+            match Journal.read (Filename.concat dir (job ^ ".jsonl")) with
+            | Error e -> failwith ("E20: merged journal: " ^ e)
+            | Ok (h, records) ->
+                if not (Journal.is_complete h records) then
+                  failwith (Printf.sprintf "E20: job %s journal incomplete" job);
+                let got_summary =
+                  Campaign.summarize
+                    (List.map
+                       (fun r -> (r.Journal.r_fault, r.Journal.r_outcome))
+                       records)
+                in
+                let show s = Format.asprintf "%a" Campaign.pp_summary s in
+                if show got_summary <> show reference.Flows.ff_summary then
+                  failwith
+                    (Printf.sprintf "E20: summary diverges: %s <> %s"
+                       (show got_summary)
+                       (show reference.Flows.ff_summary));
+                let key (i, f, o) =
+                  (i, Fault.to_string f, Campaign.outcome_name o)
+                in
+                let got =
+                  List.sort compare
+                    (List.map
+                       (fun r ->
+                         key (r.Journal.r_index, r.Journal.r_fault,
+                              r.Journal.r_outcome))
+                       records)
+                in
+                let want =
+                  List.sort compare (List.map key reference.Flows.ff_indexed)
+                in
+                if got <> want then
+                  failwith
+                    (Printf.sprintf "E20: job %s records diverge from the \
+                                     unsharded campaign" job))
+          jobs;
+        F.Client.close ctl;
+        F.Server.stop server;
+        Array.iter
+          (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+        (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+        dt
+  in
+  let t1 = run_fleet ~workers:1 in
+  let t4 = run_fleet ~workers:4 in
+  let speedup = t1 /. t4 in
+  let cores = Domain.recommended_domain_count () in
+  let total = float_of_int (mutants * List.length seeds) in
+  Printf.printf "%-28s %10s %12s\n" "configuration" "wall (s)" "mutants/s";
+  Printf.printf "%-28s %10.2f %12.1f\n" "single process (reference)" t_ref
+    (total /. t_ref);
+  Printf.printf "%-28s %10.2f %12.1f\n" "fleet, 1 worker" t1 (total /. t1);
+  Printf.printf "%-28s %10.2f %12.1f\n" "fleet, 4 workers" t4 (total /. t4);
+  Printf.printf
+    "4-worker speedup: %.2fx over 1 worker (%d cores%s); merged summaries \
+     and record sets byte-equal to the references\n"
+    speedup cores
+    (if cores >= 4 then "" else "; scaling gate skipped below 4 cores");
+  record ~exp:"e20" ~name:"single-process/s" ~value:t_ref ~unit_:"s";
+  record ~exp:"e20" ~name:"fleet-1-worker/s" ~value:t1 ~unit_:"s";
+  record ~exp:"e20" ~name:"fleet-4-workers/s" ~value:t4 ~unit_:"s";
+  record ~exp:"e20" ~name:"fleet-1-worker/mutants-per-s" ~value:(total /. t1)
+    ~unit_:"mutants/s";
+  record ~exp:"e20" ~name:"fleet-4-workers/mutants-per-s" ~value:(total /. t4)
+    ~unit_:"mutants/s";
+  record ~exp:"e20" ~name:"4-worker-speedup" ~value:speedup ~unit_:"ratio";
+  if cores >= 4 && speedup < 3.0 then
+    failwith
+      (Printf.sprintf
+         "E20: 4 workers only %.2fx faster than 1 on a %d-core host" speedup
+         cores)
+
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
-    ("e17", e17); ("e18", e18); ("e19", e19) ]
+    ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20) ]
 
 let () =
   let rec parse json names = function

@@ -695,22 +695,27 @@ let fault_cmd =
         | _ -> ()
       end
     in
-    (* Cooperative SIGINT: workers finish their in-flight mutants, the
-       journal is flushed, and the partial summary still prints.  A
-       second ^C force-quits - flushing the telemetry sinks on the way
-       out so an impatient interrupt doesn't lose the trace. *)
+    (* Cooperative shutdown on SIGINT and SIGTERM: workers finish
+       their in-flight mutants, the journal is flushed, and the partial
+       summary still prints.  A second signal force-quits - flushing
+       the telemetry sinks on the way out so an impatient interrupt
+       doesn't lose the trace.  The exit code names the signal (130 =
+       INT, 143 = TERM) so supervisors that sent SIGTERM see the
+       conventional code. *)
     let stop = Atomic.make false in
-    Sys.set_signal Sys.sigint
-      (Sys.Signal_handle
-         (fun _ ->
-           if Atomic.get stop then begin
-             flush_outputs ();
-             Stdlib.exit 130
-           end;
-           Atomic.set stop true;
-           prerr_endline
-             "\ninterrupt: finishing in-flight mutants (^C again to force \
-              quit)"));
+    let signal_exit = Atomic.make 130 in
+    let handler signum =
+      Atomic.set signal_exit (if signum = Sys.sigterm then 143 else 130);
+      if Atomic.get stop then begin
+        flush_outputs ();
+        Stdlib.exit (Atomic.get signal_exit)
+      end;
+      Atomic.set stop true;
+      prerr_endline
+        "\ninterrupt: finishing in-flight mutants (again to force quit)"
+    in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle handler);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle handler);
     let r =
       match
         S4e_core.Flows.fault_campaign ~jobs ?metrics:reg ?trace:sink
@@ -780,7 +785,7 @@ let fault_cmd =
           Format.printf "interrupted: %d mutants classified (no journal - \
                          rerun from scratch)@."
             r.S4e_core.Flows.ff_summary.S4e_fault.Campaign.total);
-      exit 130
+      exit (Atomic.get signal_exit)
     end
   in
   Cmd.v
@@ -802,21 +807,38 @@ let merge_journals_cmd =
            ~doc:"Also write the merged records as a single unsharded journal \
                  to OUT.")
   in
-  let action files out =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Print a machine-readable merge summary (one JSON object) on \
+                 stdout instead of the human summary. Merge conflicts become \
+                 an {\"error\": ...} object; the exit code still reports \
+                 conflict or incompleteness.")
+  in
+  let action files out json =
+    let module J = S4e_fleet.Json in
+    let fail fmt =
+      Printf.ksprintf
+        (fun msg ->
+          if json then
+            print_endline
+              (J.to_string
+                 (J.Obj
+                    [ ("s4e_merge_schema", J.Int 1);
+                      ("error", J.String msg) ]))
+          else Format.eprintf "merge-journals: %s@." msg;
+          exit 1)
+        fmt
+    in
     let inputs =
       List.map
         (fun path ->
           match S4e_fault.Journal.read path with
           | Ok j -> j
-          | Error e ->
-              Format.eprintf "merge-journals: %s: %s@." path e;
-              exit 1)
+          | Error e -> fail "%s: %s" path e)
         files
     in
     match S4e_fault.Journal.merge inputs with
-    | Error e ->
-        Format.eprintf "merge-journals: %s@." e;
-        exit 1
+    | Error e -> fail "%s" e
     | Ok (h, records) ->
         let results =
           List.map
@@ -824,24 +846,46 @@ let merge_journals_cmd =
               (r.S4e_fault.Journal.r_fault, r.S4e_fault.Journal.r_outcome))
             records
         in
-        Format.printf "%a@." S4e_fault.Campaign.pp_summary
-          (S4e_fault.Campaign.summarize results);
+        let summary = S4e_fault.Campaign.summarize results in
+        let complete = S4e_fault.Journal.is_complete h records in
+        if json then
+          print_endline
+            (J.to_string
+               (J.Obj
+                  [ ("s4e_merge_schema", J.Int 1);
+                    ("seed", J.Int h.S4e_fault.Journal.j_seed);
+                    ("total", J.Int h.S4e_fault.Journal.j_total);
+                    ("program", J.String h.S4e_fault.Journal.j_program);
+                    ("journals", J.Int (List.length files));
+                    ("records", J.Int (List.length records));
+                    ("expected", J.Int (S4e_fault.Journal.expected_count h));
+                    ("complete", J.Bool complete);
+                    ("summary",
+                     J.Obj
+                       [ ("masked", J.Int summary.S4e_fault.Campaign.masked);
+                         ("sdc", J.Int summary.S4e_fault.Campaign.sdc);
+                         ("crashed", J.Int summary.S4e_fault.Campaign.crashed);
+                         ("hung", J.Int summary.S4e_fault.Campaign.hung);
+                         ("errored", J.Int summary.S4e_fault.Campaign.errors)
+                       ]) ]))
+        else
+          Format.printf "%a@." S4e_fault.Campaign.pp_summary summary;
         (match out with
         | None -> ()
         | Some path -> (
             match S4e_fault.Journal.create ~path h with
-            | Error e ->
-                Format.eprintf "merge-journals: %s: %s@." path e;
-                exit 1
+            | Error e -> fail "%s: %s" path e
             | Ok w ->
                 List.iter (S4e_fault.Journal.write w) records;
                 S4e_fault.Journal.close w;
-                Format.printf "wrote %d records to %s@." (List.length records)
-                  path));
-        if not (S4e_fault.Journal.is_complete h records) then begin
-          Format.eprintf
-            "merge-journals: incomplete campaign: %d/%d mutants classified@."
-            (List.length records) h.S4e_fault.Journal.j_total;
+                if not json then
+                  Format.printf "wrote %d records to %s@."
+                    (List.length records) path));
+        if not complete then begin
+          if not json then
+            Format.eprintf
+              "merge-journals: incomplete campaign: %d/%d mutants classified@."
+              (List.length records) h.S4e_fault.Journal.j_total;
           exit 1
         end
   in
@@ -849,7 +893,425 @@ let merge_journals_cmd =
     (Cmd.info "merge-journals"
        ~doc:"Merge the journals of a sharded fault campaign and print the \
              combined summary.")
-    Term.(const action $ files_arg $ out_arg)
+    Term.(const action $ files_arg $ out_arg $ json_arg)
+
+(* ---------------- fleet: serve / worker / submit / jobs ----------- *)
+
+module Fleet = S4e_fleet
+
+let default_fleet_addr = "127.0.0.1:4750"
+
+let fleet_addr s =
+  match Fleet.Http.addr_of_string s with
+  | Ok a -> a
+  | Error e ->
+      Format.eprintf "s4e: %s@." e;
+      exit 1
+
+let connect_arg =
+  Arg.(value & opt string default_fleet_addr
+       & info [ "connect" ] ~docv:"ADDR"
+           ~doc:"Orchestrator address: HOST:PORT, PORT, or unix:PATH.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "quiet"; "q" ]
+         ~doc:"Suppress per-event log lines on stderr.")
+
+(* Block until a signal flips the flag: handlers must not take the
+   server's locks themselves, so they only set the atomic and the main
+   thread does the teardown. *)
+let wait_for_shutdown () =
+  let req = Atomic.make false in
+  let handler _ = Atomic.set req true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle handler);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle handler);
+  fun () ->
+    while not (Atomic.get req) do
+      Thread.delay 0.2
+    done
+
+let serve_cmd =
+  let listen_arg =
+    Arg.(value & opt string default_fleet_addr
+         & info [ "listen" ] ~docv:"ADDR"
+             ~doc:"Address to serve the fleet API on: HOST:PORT, PORT (on \
+                   127.0.0.1), or unix:PATH. Port 0 picks an ephemeral \
+                   port (printed).")
+  in
+  let ttl_arg =
+    Arg.(value & opt float 30.0 & info [ "lease-ttl" ] ~docv:"SECS"
+           ~doc:"Shard lease expiry. A worker that streams no records and \
+                 sends no heartbeat for this long loses its shard to the \
+                 next worker; its already-streamed records are kept.")
+  in
+  let journal_dir_arg =
+    Arg.(value & opt (some string) None & info [ "journal-dir" ] ~docv:"DIR"
+           ~doc:"Write each completed job's merged journal to DIR/JOB.jsonl \
+                 (readable by 's4e merge-journals'); on shutdown, running \
+                 jobs flush to DIR/JOB.partial.jsonl.")
+  in
+  let metrics_arg =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Also write the final metrics snapshot (JSON) to FILE on \
+                 shutdown; '-' for stdout. The live registry is always \
+                 available at GET /metrics.")
+  in
+  let action listen ttl journal_dir metrics quiet =
+    (match journal_dir with
+    | Some d when not (Sys.file_exists d) -> (
+        try Unix.mkdir d 0o755 with Unix.Unix_error _ -> ())
+    | _ -> ());
+    let reg = S4e_obs.Metrics.create () in
+    let log =
+      if quiet then fun _ -> ()
+      else fun m -> Printf.eprintf "s4e serve: %s\n%!" m
+    in
+    let server = Fleet.Server.create ~ttl ?journal_dir ~metrics:reg ~log () in
+    let wait = wait_for_shutdown () in
+    match Fleet.Server.start server (fleet_addr listen) with
+    | Error e ->
+        Format.eprintf "serve: %s@." e;
+        exit 1
+    | Ok bound ->
+        Printf.printf "s4e serve: listening on %s\n%!"
+          (Fleet.Http.addr_to_string bound);
+        wait ();
+        log "shutting down";
+        Fleet.Server.stop server;
+        Option.iter (S4e_obs.Metrics.write_json reg) metrics
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the campaign fleet orchestrator: accept job submissions, \
+             lease shards to workers, merge their journal streams live, \
+             and re-lease the shards of dead workers.")
+    Term.(const action $ listen_arg $ ttl_arg $ journal_dir_arg
+          $ metrics_arg $ quiet_arg)
+
+(* Non-exiting variant of [assemble_file]: a worker must survive a job
+   whose program does not assemble — the shard fails, not the
+   process. *)
+let try_assemble path =
+  match (try Ok (read_file path) with Sys_error e -> Error e) with
+  | Error e -> Error e
+  | Ok content ->
+      if String.length content >= 4 && String.sub content 0 4 = "S4EP" then
+        Result.map_error
+          (fun m -> path ^ ": malformed image: " ^ m)
+          (S4e_asm.Program.of_bytes content)
+      else (
+        match S4e_asm.Assembler.assemble content with
+        | Ok p -> Ok p
+        | Error e ->
+            Error (Format.asprintf "%s: %a" path S4e_asm.Assembler.pp_error e))
+
+(* The job spec -> campaign config mapping mirrors the [fault]
+   subcommand's defaults exactly, so a fleet run of a spec and a local
+   [s4e fault] with the same flags classify identically. *)
+let fleet_spec_campaign spec =
+  let module J = Fleet.Json in
+  match J.mem_str "program" spec with
+  | None -> Error "spec: missing program"
+  | Some path ->
+      let fuel = J.mem_int "fuel" spec in
+      let engine =
+        if J.mem_str "engine" spec = Some "rerun" then
+          S4e_fault.Campaign.rerun_engine
+        else S4e_fault.Campaign.default_engine
+      in
+      Ok
+        ( path,
+          { S4e_core.Flows.default_fault_config with
+            S4e_core.Flows.ff_seed =
+              Option.value (J.mem_int "seed" spec) ~default:1;
+            ff_mutants = Option.value (J.mem_int "mutants" spec) ~default:100;
+            ff_blind = Option.value (J.mem_bool "blind" spec) ~default:false;
+            ff_fuel = Option.value fuel ~default:10_000_000;
+            ff_hang_budget =
+              (match fuel with
+              | Some _ -> S4e_core.Flows.Hang_fuel
+              | None -> S4e_core.Flows.Hang_auto);
+            ff_engine = engine } )
+
+let worker_cmd =
+  let name_arg =
+    Arg.(value & opt (some string) None & info [ "name" ] ~docv:"NAME"
+           ~doc:"Worker name reported to the orchestrator (default: \
+                 worker-PID).")
+  in
+  let poll_arg =
+    Arg.(value & opt float 0.5 & info [ "poll" ] ~docv:"SECS"
+           ~doc:"Idle backoff between lease requests when no work is \
+                 available.")
+  in
+  let drain_arg =
+    Arg.(value & flag & info [ "drain" ]
+           ~doc:"Exit once the orchestrator reports no running jobs, \
+                 instead of polling forever - for finite fleets in \
+                 benchmarks and CI.")
+  in
+  let metrics_arg =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write the worker's metrics snapshot (JSON) to FILE on \
+                 exit; '-' for stdout.")
+  in
+  let action connect jobs name poll drain metrics quiet =
+    let name =
+      match name with
+      | Some n -> n
+      | None -> Printf.sprintf "worker-%d" (Unix.getpid ())
+    in
+    let reg = Option.map (fun _ -> S4e_obs.Metrics.create ()) metrics in
+    let log =
+      if quiet then fun _ -> ()
+      else fun m -> Printf.eprintf "s4e worker: %s\n%!" m
+    in
+    let stop = ref false in
+    let handler _ = stop := true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle handler);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle handler);
+    let client = Fleet.Client.create (fleet_addr connect) in
+    let runner ~spec ~shard ~resume ~emit ~cancelled =
+      match fleet_spec_campaign spec with
+      | Error e -> Error e
+      | Ok (path, cfg) -> (
+          match try_assemble path with
+          | Error e -> Error e
+          | Ok p ->
+              (* The grant's resume payload becomes a journal file on
+                 disk so the campaign resumes through the same
+                 validated [--resume] path an interrupted local run
+                 uses. *)
+              let resume_path =
+                Option.map
+                  (fun (header, lines) ->
+                    let tmp =
+                      Filename.temp_file "s4e-fleet-resume" ".jsonl"
+                    in
+                    let oc = open_out_bin tmp in
+                    output_string oc header;
+                    output_char oc '\n';
+                    List.iter
+                      (fun l ->
+                        output_string oc l;
+                        output_char oc '\n')
+                      lines;
+                    close_out oc;
+                    tmp)
+                  resume
+              in
+              let result =
+                S4e_core.Flows.fault_campaign ~jobs ?metrics:reg
+                  ?resume:resume_path ~shard ~on_journal_line:emit ~cancelled
+                  cfg p
+              in
+              Option.iter
+                (fun f -> try Sys.remove f with Sys_error _ -> ())
+                resume_path;
+              match result with
+              | Error e -> Error e
+              | Ok r when r.S4e_core.Flows.ff_complete -> Ok ()
+              | Ok _ -> Error "cancelled before the shard finished")
+    in
+    match
+      Fleet.Worker.run ~name ~poll_s:poll ~stop ~drain ?metrics:reg ~log
+        ~client ~runner ()
+    with
+    | Error e ->
+        Format.eprintf "worker: %s@." e;
+        exit 1
+    | Ok o ->
+        Printf.printf
+          "worker %s: %d shards completed, %d failed, %d journal lines \
+           streamed\n"
+          name o.Fleet.Worker.o_shards_ok o.Fleet.Worker.o_shards_failed
+          o.Fleet.Worker.o_records;
+        (match (reg, metrics) with
+        | Some reg, Some path -> S4e_obs.Metrics.write_json reg path
+        | _ -> ())
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:"Run a fleet worker: pull shard leases from the orchestrator, \
+             run the campaign shards, and stream the journal back.")
+    Term.(const action $ connect_arg $ jobs_arg $ name_arg $ poll_arg
+          $ drain_arg $ metrics_arg $ quiet_arg)
+
+let fleet_request client ~meth ~path ?body () =
+  match Fleet.Client.request client ~meth ~path ?body () with
+  | Error e ->
+      Format.eprintf "s4e: %s: %s@."
+        (Fleet.Http.addr_to_string (Fleet.Client.addr client))
+        e;
+      exit 1
+  | Ok (status, reply) ->
+      if status < 200 || status > 299 then begin
+        Format.eprintf "s4e: HTTP %d: %s@." status
+          (Option.value
+             (Fleet.Json.mem_str "error" reply)
+             ~default:(Fleet.Json.to_string reply));
+        exit 1
+      end;
+      reply
+
+let summary_of_json v =
+  let module J = Fleet.Json in
+  let field k = Option.value (J.mem_int k v) ~default:0 in
+  { S4e_fault.Campaign.masked = field "masked"; sdc = field "sdc";
+    crashed = field "crashed"; hung = field "hung";
+    errors = field "errored"; total = field "total" }
+
+let submit_cmd =
+  let mutants_arg =
+    Arg.(value & opt int 100 & info [ "mutants"; "n" ] ~docv:"N"
+           ~doc:"Number of mutants to generate.")
+  in
+  let fuel_arg =
+    Arg.(value & opt (some int) None & info [ "fuel" ] ~docv:"N"
+           ~doc:"Per-run instruction budget, as in 's4e fault --fuel'.")
+  in
+  let blind_arg =
+    Arg.(value & flag & info [ "blind" ]
+           ~doc:"Ignore coverage guidance when choosing injection sites.")
+  in
+  let rerun_arg =
+    Arg.(value & flag & info [ "rerun" ]
+           ~doc:"Use the naive re-run engine, as in 's4e fault --rerun'.")
+  in
+  let shards_arg =
+    Arg.(value & opt int 4 & info [ "shards" ] ~docv:"K"
+           ~doc:"Shards to split the campaign into; each is leased to a \
+                 worker independently.")
+  in
+  let wait_arg =
+    Arg.(value & flag & info [ "wait" ]
+           ~doc:"Block until the job finishes and print the merged campaign \
+                 summary (first line matches 's4e fault' output); exit 1 if \
+                 the job fails.")
+  in
+  let poll_arg =
+    Arg.(value & opt float 0.5 & info [ "poll" ] ~docv:"SECS"
+           ~doc:"Status poll interval with --wait.")
+  in
+  let action file connect mutants seed fuel blind rerun shards wait poll =
+    let module J = Fleet.Json in
+    if shards <= 0 then begin
+      Format.eprintf "submit: --shards must be positive@.";
+      exit 1
+    end;
+    (* Workers read the program themselves, so ship an absolute path -
+       and reject a file that does not assemble before occupying the
+       fleet with it. *)
+    let path =
+      try Unix.realpath file with Unix.Unix_error _ | Sys_error _ -> file
+    in
+    ignore (assemble_file path : S4e_asm.Program.t);
+    let spec =
+      J.Obj
+        ([ ("program", J.String path); ("mutants", J.Int mutants);
+           ("seed", J.Int seed); ("shards", J.Int shards) ]
+        @ (match fuel with Some f -> [ ("fuel", J.Int f) ] | None -> [])
+        @ (if blind then [ ("blind", J.Bool true) ] else [])
+        @ if rerun then [ ("engine", J.String "rerun") ] else [])
+    in
+    let client = Fleet.Client.create (fleet_addr connect) in
+    let reply =
+      fleet_request client ~meth:"POST" ~path:"/api/jobs" ~body:spec ()
+    in
+    let job =
+      match J.mem_str "job" reply with
+      | Some id -> id
+      | None ->
+          Format.eprintf "submit: malformed reply: %s@." (J.to_string reply);
+          exit 1
+    in
+    if not wait then
+      Printf.printf "submitted %s (%d shards); poll with: s4e jobs %s\n" job
+        shards job
+    else begin
+      let rec poll_status () =
+        let st =
+          fleet_request client ~meth:"GET" ~path:("/api/jobs/" ^ job) ()
+        in
+        match J.mem_str "state" st with
+        | Some "running" | None ->
+            Thread.delay poll;
+            poll_status ()
+        | Some state -> (state, st)
+      in
+      match poll_status () with
+      | "done", st ->
+          let summary =
+            summary_of_json (Option.value (J.mem "summary" st) ~default:J.Null)
+          in
+          Format.printf "%a@." S4e_fault.Campaign.pp_summary summary;
+          Printf.printf "job %s: done in %.1fs\n" job
+            (match J.mem "age_s" st with
+            | Some v -> Option.value (J.num v) ~default:0.
+            | None -> 0.);
+          Option.iter
+            (fun p -> Printf.printf "journal: %s\n" p)
+            (J.mem_str "journal" st)
+      | state, st ->
+          Format.eprintf "submit: job %s %s: %s@." job state
+            (Option.value (J.mem_str "error" st) ~default:"(no reason)");
+          exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit a fault campaign to the fleet orchestrator as a \
+             sharded job.")
+    Term.(const action $ file_arg $ connect_arg $ mutants_arg $ seed_arg
+          $ fuel_arg $ blind_arg $ rerun_arg $ shards_arg $ wait_arg
+          $ poll_arg)
+
+let jobs_cmd =
+  let id_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"JOB"
+           ~doc:"Job id; omit to list every job.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Print the orchestrator's JSON status verbatim.")
+  in
+  let action connect id json =
+    let module J = Fleet.Json in
+    let client = Fleet.Client.create (fleet_addr connect) in
+    let path =
+      match id with Some id -> "/api/jobs/" ^ id | None -> "/api/jobs"
+    in
+    let reply = fleet_request client ~meth:"GET" ~path () in
+    if json then print_endline (J.to_string reply)
+    else
+      let describe v =
+        let str k = Option.value (J.mem_str k v) ~default:"?" in
+        let shards =
+          Option.value (J.mem "shards" v) ~default:J.Null
+        in
+        let n k = Option.value (J.mem_int k shards) ~default:0 in
+        Printf.printf "%-6s %-8s records=%s/%s shards=%d/%d leased=%d%s\n"
+          (str "job") (str "state")
+          (match J.mem_int "records" v with
+          | Some r -> string_of_int r
+          | None -> "?")
+          (match J.mem_int "total" v with
+          | Some t -> string_of_int t
+          | None -> "?")
+          (n "done") (n "count") (n "leased")
+          (match J.mem_str "error" v with
+          | Some e -> "  error: " ^ e
+          | None -> "")
+      in
+      match J.mem_list "jobs" reply with
+      | Some jobs ->
+          if jobs = [] then print_endline "no jobs"
+          else List.iter describe jobs
+      | None -> describe reply
+  in
+  Cmd.v
+    (Cmd.info "jobs" ~doc:"Show fleet job status from the orchestrator.")
+    Term.(const action $ connect_arg $ id_arg $ json_arg)
 
 (* ---------------- torture ---------------- *)
 
@@ -992,4 +1454,5 @@ let () =
        (Cmd.group info
           [ run_cmd; profile_cmd; asm_cmd; dis_cmd; cfg_cmd; stats_cmd;
             wcet_cmd; qta_export_cmd; coverage_cmd; fault_cmd;
-            merge_journals_cmd; mutate_cmd; torture_cmd; bmi_cmd ]))
+            merge_journals_cmd; serve_cmd; worker_cmd; submit_cmd; jobs_cmd;
+            mutate_cmd; torture_cmd; bmi_cmd ]))

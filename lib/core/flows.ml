@@ -252,7 +252,8 @@ let hang_budget_insns hb ~fuel ~golden_instret =
   | Hang_auto -> min fuel (max 10_000 (3 * golden_instret))
 
 let fault_campaign ?config ?jobs ?metrics ?trace ?(progress = false) ?journal
-    ?resume ?shard:shard_spec ?cancelled cfg p =
+    ?resume ?shard:shard_spec ?on_journal_line ?cancelled cfg p =
+  Option.iter S4e_obs.Metrics.register_process_gauges metrics;
   let span name f =
     match trace with
     | Some s -> S4e_obs.Trace_events.span s ~name ~cat:"flow" f
@@ -286,6 +287,7 @@ let fault_campaign ?config ?jobs ?metrics ?trace ?(progress = false) ?journal
       ?shard:shard_spec
       ~seed:cfg.ff_seed ~total p
   in
+  Option.iter (fun f -> f (Journal.header_line header)) on_journal_line;
   (* Records that survive in the resume journal must describe this
      exact campaign: same header, and every recorded fault must equal
      the regenerated fault at its index — anything else means the
@@ -358,11 +360,18 @@ let fault_campaign ?config ?jobs ?metrics ?trace ?(progress = false) ?journal
         Ok (Some w)
   in
   let on_result =
-    Option.map
-      (fun w i fault outcome ->
-        Journal.write w
-          { Journal.r_index = i; r_fault = fault; r_outcome = outcome })
-      writer
+    match (writer, on_journal_line) with
+    | None, None -> None
+    | _ ->
+        (* Campaign.run_indexed serializes on_result, so the stream is
+           ordered even with a parallel engine. *)
+        Some
+          (fun i fault outcome ->
+            let r =
+              { Journal.r_index = i; r_fault = fault; r_outcome = outcome }
+            in
+            Option.iter (fun w -> Journal.write w r) writer;
+            Option.iter (fun f -> f (Journal.record_line r)) on_journal_line)
   in
   let budget =
     hang_budget_insns cfg.ff_hang_budget ~fuel:cfg.ff_fuel ~golden_instret

@@ -150,6 +150,7 @@ val fault_campaign :
   ?journal:string ->
   ?resume:string ->
   ?shard:int * int ->
+  ?on_journal_line:(string -> unit) ->
   ?cancelled:(unit -> bool) ->
   fault_flow_config ->
   S4e_asm.Program.t ->
@@ -169,6 +170,12 @@ val fault_campaign :
       {!S4e_fault.Campaign.shard}[ ~index:i ~count:n]; the journals of
       all [n] shards merge into the full campaign
       ([s4e merge-journals]).
+    - [on_journal_line] streams the journal as it is produced: the
+      header line once, then every {e freshly} classified mutant's
+      record line (resumed records are not replayed — whoever supplied
+      the resume journal has them).  Calls are serialized.  This is the
+      fleet worker's feed: lines go to the orchestrator in batches
+      while an on-disk [journal] (if any) is written as usual.
     - [cancelled] is polled between mutants; once true the campaign
       stops classifying, flushes the journal, and returns the partial
       (valid, resumable) result with [ff_complete = false].

@@ -36,6 +36,26 @@ val expected_count : header -> int
 
 val is_complete : header -> record list -> bool
 
+(** {1 Line format}
+
+    The JSONL level of the format, exposed so the fleet layer can move
+    journal lines over the wire without depending on the engine: a
+    worker streams [record_line]s as the campaign classifies mutants,
+    and the orchestrator — which reads them as plain JSON — hands the
+    already-merged lines of a reclaimed shard back to the next holder,
+    which re-parses them here to resume. *)
+
+val header_line : header -> string
+(** One line, no trailing newline — exactly what {!create} writes. *)
+
+val record_line : record -> string
+
+val parse_header : string -> (header, string) result
+(** Inverse of {!header_line}; rejects lines without the
+    [s4e_journal] version field. *)
+
+val parse_record : string -> (record, string) result
+
 (** {1 Writing} *)
 
 type writer

@@ -1,0 +1,199 @@
+(* ---------------- addresses ---------------- *)
+
+type addr = Tcp of string * int | Unix_path of string
+
+let addr_of_string s =
+  if s = "" then Error "address: empty"
+  else if String.length s > 5 && String.sub s 0 5 = "unix:" then
+    Ok (Unix_path (String.sub s 5 (String.length s - 5)))
+  else if String.contains s '/' then Ok (Unix_path s)
+  else
+    match String.rindex_opt s ':' with
+    | Some i -> (
+        let host = String.sub s 0 i in
+        let port = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p >= 0 && p < 65536 ->
+            Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
+        | _ -> Error ("address: bad port in " ^ s))
+    | None -> (
+        match int_of_string_opt s with
+        | Some p when p >= 0 && p < 65536 -> Ok (Tcp ("127.0.0.1", p))
+        | _ ->
+            Error
+              ("address: expected HOST:PORT, PORT, or unix:PATH, got " ^ s))
+
+let addr_to_string = function
+  | Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+  | Unix_path p -> "unix:" ^ p
+
+let sockaddr_of = function
+  | Unix_path p -> Ok (Unix.ADDR_UNIX p)
+  | Tcp (host, port) -> (
+      try Ok (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+      with Failure _ -> (
+        match Unix.getaddrinfo host (string_of_int port)
+                [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
+        | { Unix.ai_addr = Unix.ADDR_INET (a, p); _ } :: _ ->
+            Ok (Unix.ADDR_INET (a, p))
+        | _ -> Error ("address: cannot resolve " ^ host)))
+
+let guard f =
+  try Ok (f ()) with
+  | Unix.Unix_error (e, _, arg) ->
+      Error
+        (Unix.error_message e ^ (if arg = "" then "" else " (" ^ arg ^ ")"))
+  | Sys_error e -> Error e
+
+let listen addr =
+  match sockaddr_of addr with
+  | Error e -> Error e
+  | Ok sa ->
+      guard (fun () ->
+          let domain = Unix.domain_of_sockaddr sa in
+          let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+          (try
+             Unix.setsockopt fd Unix.SO_REUSEADDR true;
+             (match addr with
+             | Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+             | Tcp _ -> ());
+             Unix.bind fd sa;
+             Unix.listen fd 64
+           with e -> Unix.close fd; raise e);
+          fd)
+
+let bound_addr fd addr =
+  match (addr, Unix.getsockname fd) with
+  | Tcp (h, _), Unix.ADDR_INET (_, p) -> Tcp (h, p)
+  | a, _ -> a
+
+let connect addr =
+  match sockaddr_of addr with
+  | Error e -> Error e
+  | Ok sa ->
+      guard (fun () ->
+          let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
+          (try Unix.connect fd sa with e -> Unix.close fd; raise e);
+          fd)
+
+(* ---------------- messages ---------------- *)
+
+type request = {
+  rq_method : string;
+  rq_path : string;
+  rq_headers : (string * string) list;
+  rq_body : string;
+}
+
+type response = {
+  rs_status : int;
+  rs_headers : (string * string) list;
+  rs_body : string;
+}
+
+let header key headers = List.assoc_opt key headers
+
+(* One CRLF- (or bare-LF-) terminated line, without the terminator. *)
+let read_line_opt ic =
+  match input_line ic with
+  | line ->
+      let n = String.length line in
+      Some (if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1)
+            else line)
+  | exception End_of_file -> None
+
+let read_headers ic =
+  let rec go acc =
+    match read_line_opt ic with
+    | None -> Error "unexpected eof in headers"
+    | Some "" -> Ok (List.rev acc)
+    | Some line -> (
+        match String.index_opt line ':' with
+        | None -> Error ("malformed header line: " ^ line)
+        | Some i ->
+            let key = String.lowercase_ascii (String.sub line 0 i) in
+            let v = String.sub line (i + 1) (String.length line - i - 1) in
+            go ((key, String.trim v) :: acc))
+  in
+  go []
+
+let read_body ic headers =
+  match header "content-length" headers with
+  | None -> Ok ""
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some len when len >= 0 && len <= 256 * 1024 * 1024 -> (
+          try Ok (really_input_string ic len)
+          with End_of_file -> Error "truncated body")
+      | _ -> Error ("bad content-length: " ^ v))
+
+let read_request ic =
+  match read_line_opt ic with
+  | None -> Error `Eof
+  | Some line -> (
+      match String.split_on_char ' ' line with
+      | [ meth; path; version ]
+        when version = "HTTP/1.1" || version = "HTTP/1.0" -> (
+          match read_headers ic with
+          | Error e -> Error (`Bad e)
+          | Ok headers -> (
+              match read_body ic headers with
+              | Error e -> Error (`Bad e)
+              | Ok body ->
+                  Ok
+                    { rq_method = String.uppercase_ascii meth;
+                      rq_path = path;
+                      rq_headers = headers;
+                      rq_body = body }))
+      | _ -> Error (`Bad ("malformed request line: " ^ line)))
+
+let write_request oc ~meth ~path ~body =
+  output_string oc
+    (Printf.sprintf
+       "%s %s HTTP/1.1\r\nHost: s4e\r\nContent-Type: application/json\r\n\
+        Content-Length: %d\r\n\r\n"
+       meth path (String.length body));
+  output_string oc body;
+  flush oc
+
+let reason = function
+  | 200 -> "OK"
+  | 202 -> "Accepted"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 409 -> "Conflict"
+  | 410 -> "Gone"
+  | 503 -> "Service Unavailable"
+  | _ -> "Status"
+
+let read_response ic =
+  match read_line_opt ic with
+  | None -> Error "eof before status line"
+  | Some line -> (
+      match String.split_on_char ' ' line with
+      | version :: code :: _
+        when String.length version >= 5 && String.sub version 0 5 = "HTTP/"
+        -> (
+          match int_of_string_opt code with
+          | None -> Error ("bad status code: " ^ line)
+          | Some status -> (
+              match read_headers ic with
+              | Error e -> Error e
+              | Ok headers -> (
+                  match read_body ic headers with
+                  | Error e -> Error e
+                  | Ok body ->
+                      Ok
+                        { rs_status = status;
+                          rs_headers = headers;
+                          rs_body = body })))
+      | _ -> Error ("malformed status line: " ^ line))
+
+let write_response oc ?(content_type = "application/json") ~status body =
+  output_string oc
+    (Printf.sprintf
+       "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\r\n"
+       status (reason status) content_type (String.length body));
+  output_string oc body;
+  flush oc

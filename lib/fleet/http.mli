@@ -1,0 +1,62 @@
+(** Minimal HTTP/1.1 framing over TCP or Unix-domain sockets.
+
+    Just enough of the protocol for the fleet's JSON API: request and
+    response lines, [Content-Length]-framed bodies, persistent
+    connections (HTTP/1.1 keep-alive — the worker reuses one connection
+    for its whole lease/records/complete cycle).  No chunked encoding,
+    no TLS, no pipelining. *)
+
+(** {1 Addresses} *)
+
+type addr =
+  | Tcp of string * int  (** host, port (port 0 = ephemeral on listen) *)
+  | Unix_path of string  (** Unix-domain socket path *)
+
+val addr_of_string : string -> (addr, string) result
+(** ["unix:/path"] or ["PATH.sock"] (anything containing '/') selects a
+    Unix socket; ["HOST:PORT"] or a bare ["PORT"] select TCP (bare
+    ports bind/connect on 127.0.0.1). *)
+
+val addr_to_string : addr -> string
+
+val listen : addr -> (Unix.file_descr, string) result
+(** Bind + listen (backlog 64, [SO_REUSEADDR]; an existing Unix socket
+    path is unlinked first). *)
+
+val bound_addr : Unix.file_descr -> addr -> addr
+(** The address actually bound — resolves an ephemeral TCP port 0 to
+    the kernel-assigned port. *)
+
+val connect : addr -> (Unix.file_descr, string) result
+
+(** {1 Messages} *)
+
+type request = {
+  rq_method : string;
+  rq_path : string;
+  rq_headers : (string * string) list;  (** keys lowercased *)
+  rq_body : string;
+}
+
+type response = {
+  rs_status : int;
+  rs_headers : (string * string) list;  (** keys lowercased *)
+  rs_body : string;
+}
+
+val header : string -> (string * string) list -> string option
+
+val read_request : in_channel -> (request, [ `Eof | `Bad of string ]) result
+(** [`Eof] means the peer closed the connection between requests (the
+    normal end of a keep-alive session); [`Bad] is a framing error. *)
+
+val write_request :
+  out_channel -> meth:string -> path:string -> body:string -> unit
+
+val read_response : in_channel -> (response, string) result
+
+val write_response :
+  out_channel -> ?content_type:string -> status:int -> string -> unit
+(** Writes status line, [Content-Length], [Content-Type] (default
+    [application/json]) and the body, then flushes.  The connection is
+    left open (HTTP/1.1 keep-alive). *)

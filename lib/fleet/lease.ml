@@ -1,0 +1,124 @@
+type holder = {
+  h_lease : int;
+  h_worker : string;
+  h_since : float;
+  h_expires : float;
+}
+
+type slot = Queued | Leased of holder | Done
+
+type t = {
+  slots : slot array;
+  mutable next_lease : int;
+  mutable done_count : int;
+  mutable reclaimed : int;
+}
+
+let create ~count =
+  if count <= 0 then invalid_arg "Lease.create: count must be positive";
+  { slots = Array.make count Queued; next_lease = 1; done_count = 0;
+    reclaimed = 0 }
+
+let count t = Array.length t.slots
+
+let queued t =
+  Array.fold_left
+    (fun n s -> match s with Queued -> n + 1 | _ -> n)
+    0 t.slots
+
+let leased t =
+  Array.fold_left
+    (fun n s -> match s with Leased _ -> n + 1 | _ -> n)
+    0 t.slots
+
+let completed t = t.done_count
+let reclaimed_total t = t.reclaimed
+let all_done t = t.done_count = Array.length t.slots
+
+(* Reclaim every expired lease: the shard goes back to the queue and
+   the old lease id becomes stale. *)
+let reap t ~now =
+  Array.iteri
+    (fun i s ->
+      match s with
+      | Leased h when h.h_expires <= now ->
+          t.slots.(i) <- Queued;
+          t.reclaimed <- t.reclaimed + 1
+      | _ -> ())
+    t.slots
+
+let acquire t ~now ~ttl ~worker =
+  reap t ~now;
+  let rec find i =
+    if i >= Array.length t.slots then None
+    else
+      match t.slots.(i) with
+      | Queued ->
+          let lease = t.next_lease in
+          t.next_lease <- lease + 1;
+          t.slots.(i) <-
+            Leased
+              { h_lease = lease; h_worker = worker; h_since = now;
+                h_expires = now +. ttl };
+          Some (i, lease)
+      | _ -> find (i + 1)
+  in
+  find 0
+
+let find_lease t ~lease =
+  let found = ref None in
+  Array.iteri
+    (fun i s ->
+      match s with
+      | Leased h when h.h_lease = lease -> found := Some (i, h)
+      | _ -> ())
+    t.slots;
+  !found
+
+let renew t ~now ~ttl ~lease =
+  match find_lease t ~lease with
+  | Some (i, h) when h.h_expires > now ->
+      t.slots.(i) <- Leased { h with h_expires = now +. ttl };
+      true
+  | Some (i, _) ->
+      (* expired but not yet reaped: reclaim it now *)
+      t.slots.(i) <- Queued;
+      t.reclaimed <- t.reclaimed + 1;
+      false
+  | None -> false
+
+let shard_of t ~now ~lease =
+  match find_lease t ~lease with
+  | Some (i, h) when h.h_expires > now -> Some i
+  | _ -> None
+
+let complete t ~now ~lease =
+  match find_lease t ~lease with
+  | Some (i, h) when h.h_expires > now ->
+      t.slots.(i) <- Done;
+      t.done_count <- t.done_count + 1;
+      Ok i
+  | Some _ -> Error "lease expired (shard reassigned)"
+  | None -> Error "unknown or stale lease"
+
+let release t ~lease =
+  match find_lease t ~lease with
+  | Some (i, _) ->
+      t.slots.(i) <- Queued;
+      true
+  | None -> false
+
+let holders t =
+  let acc = ref [] in
+  Array.iteri
+    (fun i s -> match s with Leased h -> acc := (i, h) :: !acc | _ -> ())
+    t.slots;
+  List.rev !acc
+
+let oldest_age t ~now =
+  Array.fold_left
+    (fun age s ->
+      match s with
+      | Leased h -> Float.max age (now -. h.h_since)
+      | _ -> age)
+    0. t.slots

@@ -1,0 +1,69 @@
+(** Shard lease table: one job's shards, leased to workers with expiry.
+
+    Every shard of a job is in one of three states — queued, leased, or
+    done.  A worker acquires the lowest-numbered available shard and
+    must keep the lease alive ({!renew} — the server also renews on
+    every record batch it accepts); a lease that outlives its TTL is
+    {e reclaimed}: the shard goes back to the queue and the next
+    {!acquire} hands it to another worker under a fresh lease id.  The
+    stale lease id is then rejected by {!renew}/{!complete}/{!release},
+    which is how a worker that lost a shard to its own slowness (or a
+    network partition) finds out.
+
+    Lease ids are unique across the table's lifetime, so a reclaimed
+    shard can never be completed by its previous holder.  Record
+    {e merging} is not this module's job: a dead worker's
+    already-streamed records stay valid (the campaign engine is
+    deterministic per mutant), so the orchestrator accepts record lines
+    regardless of lease state and only the {e liveness} bookkeeping
+    lives here.
+
+    Not thread-safe on its own — the orchestrator serializes access.
+    Time is passed in by the caller ([now]), so tests and simulations
+    can drive expiry deterministically. *)
+
+type t
+
+type holder = {
+  h_lease : int;
+  h_worker : string;
+  h_since : float;  (** when this holder acquired the shard *)
+  h_expires : float;
+}
+
+val create : count:int -> t
+(** [count] shards, all queued. *)
+
+val count : t -> int
+val queued : t -> int
+val leased : t -> int
+val completed : t -> int
+val reclaimed_total : t -> int
+(** Total leases that expired and were reclaimed (monotonic). *)
+
+val all_done : t -> bool
+
+val acquire : t -> now:float -> ttl:float -> worker:string -> (int * int) option
+(** [(shard, lease)] for the lowest available shard — expired leases
+    are reclaimed first, so a dead worker's shard is handed out again
+    here.  [None] when every shard is done or validly leased. *)
+
+val renew : t -> now:float -> ttl:float -> lease:int -> bool
+(** Extends the lease's expiry; [false] if the lease is stale (expired,
+    reclaimed, completed, or never granted). *)
+
+val shard_of : t -> now:float -> lease:int -> int option
+(** The shard a still-valid lease holds. *)
+
+val complete : t -> now:float -> lease:int -> (int, string) result
+(** Marks the lease's shard done; the shard number on success. *)
+
+val release : t -> lease:int -> bool
+(** Voluntarily returns the shard to the queue (worker shutdown);
+    [false] if the lease was already stale. *)
+
+val holders : t -> (int * holder) list
+(** [(shard, holder)] for every currently leased shard. *)
+
+val oldest_age : t -> now:float -> float
+(** Age in seconds of the oldest live lease; [0.] when none. *)

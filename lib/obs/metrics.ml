@@ -79,6 +79,43 @@ let observe h v =
   ignore (Atomic.fetch_and_add h.h_counts.(bucket 0) 1);
   ignore (Atomic.fetch_and_add h.h_sum v)
 
+(* [VmHWM] (peak RSS, kB) from /proc/self/status; 0 where procfs is
+   unavailable, so the gauge stays harmless off Linux. *)
+let max_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> 0
+        | line ->
+            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+              let rest = String.sub line 6 (String.length line - 6) in
+              let digits =
+                String.to_seq rest
+                |> Seq.filter (fun c -> c >= '0' && c <= '9')
+                |> String.of_seq
+              in
+              match int_of_string_opt digits with
+              | Some kb -> kb
+              | None -> 0
+            else scan ()
+      in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) scan
+
+let register_process_gauges t =
+  let epoch = Unix.gettimeofday () in
+  gauge_float t "process.uptime_s" (fun () -> Unix.gettimeofday () -. epoch);
+  gauge_int t "process.gc_heap_words" (fun () ->
+      (Gc.quick_stat ()).Gc.heap_words);
+  gauge_float t "process.gc_major_words" (fun () ->
+      (Gc.quick_stat ()).Gc.major_words);
+  gauge_int t "process.gc_minor_collections" (fun () ->
+      (Gc.quick_stat ()).Gc.minor_collections);
+  gauge_int t "process.gc_major_collections" (fun () ->
+      (Gc.quick_stat ()).Gc.major_collections);
+  gauge_int t "process.max_rss_kb" max_rss_kb
+
 let snapshot t =
   let entries =
     locked t (fun () -> Hashtbl.fold (fun k e acc -> (k, e) :: acc) t.tbl [])

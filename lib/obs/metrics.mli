@@ -58,6 +58,23 @@ val histogram : t -> string -> bounds:int array -> histogram
 
 val observe : histogram -> int -> unit
 
+(** {1 Process gauges} *)
+
+val register_process_gauges : t -> unit
+(** Registers the process-level self-observation gauges:
+
+    - [process.uptime_s] — wall-clock seconds since this call;
+    - [process.gc_heap_words], [process.gc_major_words],
+      [process.gc_minor_collections], [process.gc_major_collections] —
+      from [Gc.quick_stat];
+    - [process.max_rss_kb] — peak resident set ([VmHWM] from
+      [/proc/self/status]; [0] where procfs is unavailable).
+
+    Idempotent per registry (re-registering resets the uptime
+    epoch).  Long-running processes — [s4e serve], [s4e worker], fault
+    campaigns with [--metrics] — call this so every metrics export
+    carries the process's own health. *)
+
 (** {1 Export} *)
 
 val snapshot : t -> (string * value) list

@@ -290,7 +290,17 @@ let () =
          merge-journals %s %s -o %s && head -1 %s; }"
         s4e loop s1 s4e s0 s1 merged merged)
      ~expect_code:0
-     ~expect_substrings:[ "total=25"; "\"s4e_journal\":1" ]);
+     ~expect_substrings:[ "total=25"; "\"s4e_journal\":1" ];
+   check "merge-journals --json emits the machine summary"
+     (Printf.sprintf "%s merge-journals %s %s --json" s4e s0 s1)
+     ~expect_code:0
+     ~expect_substrings:
+       [ "\"s4e_merge_schema\":1"; "\"records\":25"; "\"expected\":25";
+         "\"complete\":true"; "\"summary\":{\"masked\":" ];
+   check "merge-journals --json reports incompleteness in the exit code"
+     (Printf.sprintf "%s merge-journals %s --json" s4e s0)
+     ~expect_code:1
+     ~expect_substrings:[ "\"complete\":false"; "\"records\":13" ]);
   (let j = Filename.concat dir "killed.jsonl" in
    let part = Filename.concat dir "killed.out" in
    let args =
@@ -307,6 +317,43 @@ let () =
         s4e args s4e args j part part s4e args j)
      ~expect_code:0
      ~expect_substrings:[ "exit=130"; "interrupted:"; "SUMMARIES-MATCH" ]);
+  (let j = Filename.concat dir "termed.jsonl" in
+   let part = Filename.concat dir "termed.out" in
+   let args =
+     Printf.sprintf "fault %s -n 400 --fuel 200000 --rerun -j 2" slow
+   in
+   (* Same shape with SIGTERM: supervisors (and the fleet) stop
+      campaigns with TERM, which must journal and exit 143. *)
+   check "SIGTERM journals progress (exit 143) and --resume completes it"
+     (Printf.sprintf
+        "{ ref=$(%s %s | head -1); %s %s --journal %s > %s 2>&1 & pid=$!; \
+         sleep 0.7; kill -TERM $pid 2>/dev/null; wait $pid; echo exit=$?; \
+         grep interrupted %s; res=$(%s %s --resume %s | head -1); [ \
+         \"$ref\" = \"$res\" ] && echo SUMMARIES-MATCH; }"
+        s4e args s4e args j part part s4e args j)
+     ~expect_code:0
+     ~expect_substrings:[ "exit=143"; "interrupted:"; "SUMMARIES-MATCH" ]);
+  (let sock = Filename.concat dir "fleet.sock" in
+   let jd = Filename.concat dir "fleet-journals" in
+   let sub = Filename.concat dir "submit.out" in
+   let args = "-n 120 --fuel 200000 --rerun" in
+   (* The fleet path end to end on a unix socket: orchestrator, one
+      draining worker, a 3-shard submission - the merged summary must
+      be byte-equal to the single-process campaign and the merged
+      journal must read back complete. *)
+   check "fleet serve/worker/submit matches the single-process campaign"
+     (Printf.sprintf
+        "{ ref=$(%s fault %s %s -j 1 | head -1); %s serve --listen unix:%s \
+         --journal-dir %s --lease-ttl 10 -q & spid=$!; sleep 0.5; %s submit \
+         %s --connect unix:%s %s --shards 3 --wait > %s 2>&1 & wpid=$!; \
+         sleep 0.3; %s worker --connect unix:%s -j 1 --drain -q; wait \
+         $wpid; echo submit=$?; kill -TERM $spid; wait $spid; echo \
+         serve=$?; res=$(head -1 %s); [ \"$ref\" = \"$res\" ] && echo \
+         FLEET-SUMMARY-MATCH; %s merge-journals %s/j1.jsonl --json; }"
+        s4e slow args s4e sock jd s4e slow sock args sub s4e sock sub s4e jd)
+     ~expect_code:0
+     ~expect_substrings:
+       [ "submit=0"; "serve=0"; "FLEET-SUMMARY-MATCH"; "\"complete\":true" ]);
 
   if !failures > 0 then begin
     Printf.printf "%d CLI test(s) failed\n" !failures;
